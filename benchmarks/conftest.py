@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark suite.
+
+The benchmarks regenerate every table and figure of the paper's evaluation
+at a reduced data scale (the paper's absolute sizes are not needed to check
+the *shape* of the results: which translator wins, by roughly what factor,
+and how the curves grow with data size).  Scales are chosen so the whole
+suite runs in a few minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_bench_system
+
+#: Replication factor standing in for the paper's x20 data sets (Figure 14/15).
+REPLICATE_LARGE = 10
+
+#: Replication sweep standing in for the paper's 10x-60x scalability runs.
+SCALABILITY_SWEEP = [2, 4, 6, 8]
+
+
+@pytest.fixture(scope="session")
+def shakespeare_system():
+    """Indexed Shakespeare-like dataset at the default scale."""
+    return build_bench_system("shakespeare", scale=1)
+
+
+@pytest.fixture(scope="session")
+def protein_system():
+    """Indexed Protein-like dataset at the default scale."""
+    return build_bench_system("protein", scale=1)
+
+
+@pytest.fixture(scope="session")
+def auction_system():
+    """Indexed Auction (XMark-like) dataset at the default scale."""
+    return build_bench_system("auction", scale=1)
+
+
+@pytest.fixture(scope="session")
+def auction_large_system():
+    """Auction dataset replicated to stand in for the paper's 69.7 MB file."""
+    return build_bench_system("auction", scale=1, replicate=REPLICATE_LARGE)
+
+
+def pytest_report_header(config):
+    return "BLAS reproduction benchmarks (shapes of paper figures 11-18)"

@@ -1,0 +1,63 @@
+"""Figure 11 — relational plans generated for QS3 by each translator.
+
+The paper shows that for QS3 the D-labeling baseline needs 5 D-joins while
+Split, Push-Up and Unfold need only 2, and that the selection mix shifts
+from ranges to equalities: Split uses two range + one equality selection,
+Push-Up one range + two equalities, Unfold three equalities.  This module
+regenerates those plans and asserts exactly that shape; the ``--benchmark``
+entries time plan generation itself (translation is cheap and the paper
+excludes it from query times, but it is useful to confirm it stays
+negligible).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig11_plan_shapes
+
+
+@pytest.fixture(scope="module")
+def plan_shapes():
+    return fig11_plan_shapes(scale=1)
+
+
+def test_dlabel_baseline_needs_five_djoins(plan_shapes):
+    assert plan_shapes["dlabel"]["d_joins"] == 5
+    assert plan_shapes["dlabel"]["tag_selections"] == 6
+
+
+def test_blas_translators_need_two_djoins(plan_shapes):
+    for translator in ("split", "pushup", "unfold"):
+        assert plan_shapes[translator]["d_joins"] == 2
+
+
+def test_split_selection_mix(plan_shapes):
+    assert plan_shapes["split"]["equality_selections"] == 1
+    assert plan_shapes["split"]["range_selections"] == 2
+
+
+def test_pushup_selection_mix(plan_shapes):
+    assert plan_shapes["pushup"]["equality_selections"] == 2
+    assert plan_shapes["pushup"]["range_selections"] == 1
+
+
+def test_unfold_selection_mix(plan_shapes):
+    assert plan_shapes["unfold"]["equality_selections"] == 3
+    assert plan_shapes["unfold"]["range_selections"] == 0
+
+
+def test_generated_sql_mentions_the_right_relations(plan_shapes):
+    assert " sd " in plan_shapes["dlabel"]["sql"] or "sd T" in plan_shapes["dlabel"]["sql"]
+    for translator in ("split", "pushup", "unfold"):
+        assert "sp T" in plan_shapes[translator]["sql"]
+
+
+@pytest.mark.parametrize("translator", ["dlabel", "split", "pushup", "unfold"])
+def test_benchmark_plan_generation(benchmark, shakespeare_system, translator):
+    query = shakespeare_system.query_named("QS3")
+    benchmark.pedantic(
+        lambda: shakespeare_system.system.translate(query, translator),
+        rounds=5,
+        iterations=1,
+    )

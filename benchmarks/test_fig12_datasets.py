@@ -1,0 +1,64 @@
+"""Figure 12 — characteristics of the three datasets.
+
+The paper reports size, node count, distinct tags and depth for
+Shakespeare (1.3 MB / 31975 nodes / 19 tags / depth 7), Protein
+(3.5 MB / 113831 / 66 / 7) and Auction (3.4 MB / 61890 / 77 / 12).  The
+synthetic datasets are smaller by default (a scale parameter grows them),
+but their structural profile — tag-count ordering, relative depths, the
+recursive Auction DTD being the deepest — must match; the assertions below
+check exactly that, and the benchmark entries time indexing itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig12_dataset_characteristics
+from repro.core.indexer import index_document
+from repro.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def characteristics():
+    rows = fig12_dataset_characteristics(scale=1)
+    return {row["name"].split("-")[0]: row for row in rows}
+
+
+def test_three_datasets_reported(characteristics):
+    assert set(characteristics) == {"shakespeare", "protein", "auction"}
+
+
+def test_tag_count_ordering_matches_paper(characteristics):
+    # Paper: Shakespeare 19 tags < Protein 66 < Auction 77.
+    assert characteristics["shakespeare"]["tags"] < characteristics["protein"]["tags"]
+    assert characteristics["protein"]["tags"] < characteristics["auction"]["tags"]
+
+
+def test_shakespeare_tag_count_matches_paper(characteristics):
+    # The Shakespeare DTD has exactly 19 distinct element names in the paper;
+    # the generator reproduces that vocabulary.
+    assert characteristics["shakespeare"]["tags"] == 19
+
+
+def test_auction_is_the_deepest_dataset(characteristics):
+    # Paper: depth 7 / 7 / 12 — the recursive DTD dominates.
+    assert characteristics["auction"]["depth"] >= 12
+    assert characteristics["auction"]["depth"] > characteristics["shakespeare"]["depth"]
+    assert characteristics["auction"]["depth"] > characteristics["protein"]["depth"]
+
+
+def test_protein_has_more_nodes_than_shakespeare(characteristics):
+    # Paper: 113831 vs 31975 nodes at comparable file size.
+    assert characteristics["protein"]["nodes"] > characteristics["shakespeare"]["nodes"]
+
+
+def test_sizes_and_nodes_are_positive(characteristics):
+    for row in characteristics.values():
+        assert row["size_bytes"] > 0
+        assert row["nodes"] > 0
+
+
+@pytest.mark.parametrize("dataset", ["shakespeare", "protein", "auction"])
+def test_benchmark_indexing(benchmark, dataset):
+    document = build_dataset(dataset, scale=1)
+    benchmark.pedantic(lambda: index_document(document), rounds=3, iterations=1)

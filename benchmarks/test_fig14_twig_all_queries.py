@@ -1,0 +1,85 @@
+"""Figure 14 — holistic twig join engine, all nine queries, replicated data.
+
+The paper runs QS1-3, QP1-3 and QA1-3 (value predicates removed, §5.3.1) on
+datasets repeated 20x, comparing D-labeling, Split and Push-Up on (a)
+execution time and (b) number of elements read.  The reproduction asserts
+the shape: every translator returns the same answers, and the BLAS
+translators read no more (and for the suffix-path and path queries, strictly
+fewer) elements than D-labeling.  The benchmark entries record the actual
+twig-join execution times per (dataset, query, translator).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.queries import strip_value_predicates
+
+QUERIES = {
+    "shakespeare": ["QS1", "QS2", "QS3"],
+    "protein": ["QP1", "QP2", "QP3"],
+    "auction": ["QA1", "QA2", "QA3"],
+}
+TRANSLATORS = ["dlabel", "split", "pushup"]
+REPLICATE = 6
+
+
+@pytest.fixture(scope="module")
+def replicated_systems():
+    from repro.bench.harness import build_bench_system
+
+    return {
+        dataset: build_bench_system(dataset, scale=1, replicate=REPLICATE)
+        for dataset in QUERIES
+    }
+
+
+def _run(bench, query_name, translator):
+    query = strip_value_predicates(bench.query_named(query_name))
+    return bench.system.query(query, translator=translator, engine="twig")
+
+
+@pytest.mark.parametrize("dataset", list(QUERIES))
+def test_twig_engine_translators_agree(replicated_systems, dataset):
+    bench = replicated_systems[dataset]
+    for query_name in QUERIES[dataset]:
+        results = {t: _run(bench, query_name, t) for t in TRANSLATORS}
+        starts = {t: tuple(r.starts) for t, r in results.items()}
+        assert len(set(starts.values())) == 1, f"{query_name}: result mismatch"
+        assert results["dlabel"].count > 0
+
+
+@pytest.mark.parametrize("dataset", list(QUERIES))
+def test_blas_reads_no_more_elements_than_dlabeling(replicated_systems, dataset):
+    bench = replicated_systems[dataset]
+    for query_name in QUERIES[dataset]:
+        reads = {t: _run(bench, query_name, t).stats.elements_read for t in TRANSLATORS}
+        assert reads["split"] <= reads["dlabel"], f"{query_name}: {reads}"
+        assert reads["pushup"] <= reads["split"], f"{query_name}: {reads}"
+
+
+@pytest.mark.parametrize("dataset,query_name", [
+    ("shakespeare", "QS1"), ("protein", "QP1"), ("auction", "QA1"),
+])
+def test_suffix_path_queries_read_strictly_fewer_elements(replicated_systems, dataset, query_name):
+    bench = replicated_systems[dataset]
+    reads = {t: _run(bench, query_name, t).stats.elements_read for t in TRANSLATORS}
+    # D-labeling must read every node tagged with any of the query's tags;
+    # BLAS reads only the suffix-path range (bounded by the final tag count).
+    assert reads["dlabel"] > reads["split"]
+    assert reads["dlabel"] > reads["pushup"]
+
+
+@pytest.mark.parametrize(
+    "dataset,query_name",
+    [(dataset, name) for dataset, names in QUERIES.items() for name in names],
+)
+@pytest.mark.parametrize("translator", TRANSLATORS)
+def test_benchmark_twig_query(benchmark, replicated_systems, dataset, query_name, translator):
+    bench = replicated_systems[dataset]
+    query = strip_value_predicates(bench.query_named(query_name))
+    outcome = bench.system.translate(query, translator)
+    from repro.engine.twigstack import TwigJoinEngine
+
+    engine = TwigJoinEngine(bench.system.catalog)
+    benchmark.pedantic(lambda: engine.execute(outcome.plan), rounds=2, iterations=1)

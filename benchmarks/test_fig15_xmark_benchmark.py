@@ -1,0 +1,65 @@
+"""Figure 15 — XMark benchmark queries on the large Auction dataset.
+
+The paper runs the XMark benchmark queries that fall inside the supported
+subset (Q1, Q2, Q4, Q5, Q6) against the 69.7 MB Auction file on the holistic
+twig-join engine, comparing D-labeling, Split and Push-Up.  Findings: Push-Up
+is as good as or better than Split, and Split is better than D-labeling, on
+both execution time and elements read.  The reproduction replicates the
+synthetic Auction data and asserts those orderings on the deterministic
+elements-read metric; wall-clock orderings are recorded by the benchmark
+entries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.queries import strip_value_predicates
+
+BENCHMARK_NAMES = ["Q1", "Q2", "Q4", "Q5", "Q6"]
+TRANSLATORS = ["dlabel", "split", "pushup"]
+
+
+def _run(bench, query_name, translator):
+    query = strip_value_predicates(bench.query_named(query_name))
+    return bench.system.query(query, translator=translator, engine="twig")
+
+
+@pytest.mark.parametrize("query_name", BENCHMARK_NAMES)
+def test_benchmark_queries_agree_across_translators(auction_large_system, query_name):
+    results = {t: _run(auction_large_system, query_name, t) for t in TRANSLATORS}
+    starts = {t: tuple(r.starts) for t, r in results.items()}
+    assert len(set(starts.values())) == 1, f"{query_name}: result mismatch"
+    assert results["dlabel"].count > 0
+
+
+@pytest.mark.parametrize("query_name", BENCHMARK_NAMES)
+def test_pushup_reads_no_more_than_split_no_more_than_dlabel(auction_large_system, query_name):
+    reads = {
+        t: _run(auction_large_system, query_name, t).stats.elements_read for t in TRANSLATORS
+    }
+    assert reads["pushup"] <= reads["split"] <= reads["dlabel"], f"{query_name}: {reads}"
+
+
+def test_dlabel_reads_substantially_more_overall(auction_large_system):
+    total = {t: 0 for t in TRANSLATORS}
+    for query_name in BENCHMARK_NAMES:
+        for translator in TRANSLATORS:
+            total[translator] += _run(
+                auction_large_system, query_name, translator
+            ).stats.elements_read
+    # Figure 15(b): across the benchmark queries D-labeling visits markedly
+    # more elements than the BLAS translators (a few times more in the paper;
+    # the synthetic data keeps the direction with a smaller factor).
+    assert total["dlabel"] >= 1.5 * total["pushup"]
+
+
+@pytest.mark.parametrize("query_name", BENCHMARK_NAMES)
+@pytest.mark.parametrize("translator", TRANSLATORS)
+def test_benchmark_xmark_query(benchmark, auction_large_system, query_name, translator):
+    query = strip_value_predicates(auction_large_system.query_named(query_name))
+    outcome = auction_large_system.system.translate(query, translator)
+    from repro.engine.twigstack import TwigJoinEngine
+
+    engine = TwigJoinEngine(auction_large_system.system.catalog)
+    benchmark.pedantic(lambda: engine.execute(outcome.plan), rounds=2, iterations=1)

@@ -1,0 +1,63 @@
+"""Figure 16 — scalability of the suffix-path query QA1.
+
+The paper replicates the Auction data 10x-60x and plots execution time (a)
+and elements read (b) for D-labeling, Split and Push-Up.  Findings: Split and
+Push-Up share the same plan (so the same cost) for suffix-path queries, the
+number of elements D-labeling reads grows with the file while BLAS only
+touches the matching ``plabel`` range, and the gap widens as the data grows.
+The reproduction runs a scaled-down sweep and asserts each of those facts on
+the deterministic elements-read metric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import scalability_sweep
+
+SWEEP = [2, 4, 6, 8]
+
+
+@pytest.fixture(scope="module")
+def qa1_sweep():
+    return scalability_sweep("QA1", replications=SWEEP)
+
+
+def test_split_and_pushup_have_identical_cost(qa1_sweep):
+    for replication, rows in qa1_sweep.items():
+        assert rows["split"]["elements_read"] == rows["pushup"]["elements_read"]
+        assert rows["split"]["results"] == rows["pushup"]["results"]
+
+
+def test_dlabel_reads_grow_linearly_with_replication(qa1_sweep):
+    reads = [qa1_sweep[r]["dlabel"]["elements_read"] for r in SWEEP]
+    # Doubling the data should roughly double what D-labeling reads.
+    assert reads[-1] >= 3 * reads[0]
+    assert all(later >= earlier for earlier, later in zip(reads, reads[1:]))
+
+
+def test_blas_reads_stay_far_below_dlabeling(qa1_sweep):
+    for replication in SWEEP:
+        rows = qa1_sweep[replication]
+        assert rows["split"]["elements_read"] * 2 <= rows["dlabel"]["elements_read"]
+
+
+def test_gap_widens_as_data_grows(qa1_sweep):
+    first, last = SWEEP[0], SWEEP[-1]
+    gap_first = qa1_sweep[first]["dlabel"]["elements_read"] - qa1_sweep[first]["split"]["elements_read"]
+    gap_last = qa1_sweep[last]["dlabel"]["elements_read"] - qa1_sweep[last]["split"]["elements_read"]
+    assert gap_last > gap_first
+
+
+@pytest.mark.parametrize("replication", SWEEP)
+@pytest.mark.parametrize("translator", ["dlabel", "split", "pushup"])
+def test_benchmark_qa1_at_scale(benchmark, replication, translator):
+    from repro.bench.harness import build_bench_system
+    from repro.datasets.queries import strip_value_predicates
+    from repro.engine.twigstack import TwigJoinEngine
+
+    bench = build_bench_system("auction", scale=1, replicate=replication)
+    query = strip_value_predicates(bench.query_named("QA1"))
+    outcome = bench.system.translate(query, translator)
+    engine = TwigJoinEngine(bench.system.catalog)
+    benchmark.pedantic(lambda: engine.execute(outcome.plan), rounds=2, iterations=1)

@@ -1,0 +1,79 @@
+"""Figure 17 — scalability of the path query QA2.
+
+QA2 (``/site/regions//item/description``) contains an interior descendant
+axis, so Split and Push-Up need one D-join; they still outperform D-labeling
+because they read up to ~4x fewer elements (Figure 17(b)) and use fewer
+joins, and the difference grows with the file size.  The reproduction runs
+the scaled-down replication sweep and asserts those facts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import scalability_sweep
+from repro.bench.harness import build_bench_system
+
+SWEEP = [2, 4, 6, 8]
+
+
+@pytest.fixture(scope="module")
+def qa2_sweep():
+    return scalability_sweep("QA2", replications=SWEEP)
+
+
+def test_split_and_pushup_share_the_plan_for_qa2(qa2_sweep):
+    # QA2 has no branches, so push-up has nothing to push: both read the same.
+    for replication in SWEEP:
+        rows = qa2_sweep[replication]
+        assert rows["split"]["elements_read"] == rows["pushup"]["elements_read"]
+
+
+def test_blas_uses_fewer_joins_than_dlabel_for_qa2():
+    bench = build_bench_system("auction", scale=1)
+    query = bench.query_named("QA2")
+    joins = {
+        translator: bench.system.translate(query, translator).plan.metrics().d_joins
+        for translator in ("dlabel", "split", "pushup")
+    }
+    assert joins["split"] == joins["pushup"] == 1
+    assert joins["dlabel"] == 3
+
+
+def test_dlabel_reads_a_multiple_of_blas_reads(qa2_sweep):
+    for replication in SWEEP:
+        rows = qa2_sweep[replication]
+        assert rows["dlabel"]["elements_read"] >= 2 * rows["split"]["elements_read"]
+
+
+def test_difference_grows_with_file_size(qa2_sweep):
+    first, last = SWEEP[0], SWEEP[-1]
+    gap_first = (
+        qa2_sweep[first]["dlabel"]["elements_read"]
+        - qa2_sweep[first]["split"]["elements_read"]
+    )
+    gap_last = (
+        qa2_sweep[last]["dlabel"]["elements_read"]
+        - qa2_sweep[last]["split"]["elements_read"]
+    )
+    assert gap_last > gap_first
+
+
+def test_results_agree_at_every_scale(qa2_sweep):
+    for replication in SWEEP:
+        rows = qa2_sweep[replication]
+        counts = {t: rows[t]["results"] for t in ("dlabel", "split", "pushup")}
+        assert len(set(counts.values())) == 1
+
+
+@pytest.mark.parametrize("replication", SWEEP)
+@pytest.mark.parametrize("translator", ["dlabel", "split", "pushup"])
+def test_benchmark_qa2_at_scale(benchmark, replication, translator):
+    from repro.datasets.queries import strip_value_predicates
+    from repro.engine.twigstack import TwigJoinEngine
+
+    bench = build_bench_system("auction", scale=1, replicate=replication)
+    query = strip_value_predicates(bench.query_named("QA2"))
+    outcome = bench.system.translate(query, translator)
+    engine = TwigJoinEngine(bench.system.catalog)
+    benchmark.pedantic(lambda: engine.execute(outcome.plan), rounds=2, iterations=1)

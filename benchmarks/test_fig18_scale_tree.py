@@ -1,0 +1,80 @@
+"""Figure 18 — scalability of the tree (twig) query QA3.
+
+QA3 (``/site/regions/asia/item[shipping]/description``) is a branching
+query.  The paper's findings: Split and Push-Up both beat D-labeling, and —
+unlike the path queries — Push-Up beats Split because its pushed-up
+subqueries are more selective, reading fewer elements (Figure 18(b)); the
+performance differences grow with the file size.  The reproduction asserts
+exactly those orderings on the deterministic elements-read metric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import scalability_sweep
+from repro.bench.harness import build_bench_system
+
+SWEEP = [2, 4, 6, 8]
+
+
+@pytest.fixture(scope="module")
+def qa3_sweep():
+    return scalability_sweep("QA3", replications=SWEEP)
+
+
+def test_pushup_reads_fewer_elements_than_split(qa3_sweep):
+    # The push-up plan restricts the shipping/description branches to
+    # /site/regions/asia/item/..., so it must touch strictly fewer records
+    # than Split's //shipping and //description ranges.
+    for replication in SWEEP:
+        rows = qa3_sweep[replication]
+        assert rows["pushup"]["elements_read"] < rows["split"]["elements_read"]
+
+
+def test_split_reads_fewer_elements_than_dlabel(qa3_sweep):
+    for replication in SWEEP:
+        rows = qa3_sweep[replication]
+        assert rows["split"]["elements_read"] < rows["dlabel"]["elements_read"]
+
+
+def test_same_number_of_joins_for_split_and_pushup():
+    bench = build_bench_system("auction", scale=1)
+    query = bench.query_named("QA3")
+    split_joins = bench.system.translate(query, "split").plan.metrics().d_joins
+    pushup_joins = bench.system.translate(query, "pushup").plan.metrics().d_joins
+    assert split_joins == pushup_joins == 2
+
+
+def test_differences_grow_with_file_size(qa3_sweep):
+    first, last = SWEEP[0], SWEEP[-1]
+    gap_first = (
+        qa3_sweep[first]["split"]["elements_read"]
+        - qa3_sweep[first]["pushup"]["elements_read"]
+    )
+    gap_last = (
+        qa3_sweep[last]["split"]["elements_read"]
+        - qa3_sweep[last]["pushup"]["elements_read"]
+    )
+    assert gap_last > gap_first
+
+
+def test_results_agree_at_every_scale(qa3_sweep):
+    for replication in SWEEP:
+        rows = qa3_sweep[replication]
+        counts = {t: rows[t]["results"] for t in ("dlabel", "split", "pushup")}
+        assert len(set(counts.values())) == 1
+        assert rows["dlabel"]["results"] > 0
+
+
+@pytest.mark.parametrize("replication", SWEEP)
+@pytest.mark.parametrize("translator", ["dlabel", "split", "pushup"])
+def test_benchmark_qa3_at_scale(benchmark, replication, translator):
+    from repro.datasets.queries import strip_value_predicates
+    from repro.engine.twigstack import TwigJoinEngine
+
+    bench = build_bench_system("auction", scale=1, replicate=replication)
+    query = strip_value_predicates(bench.query_named("QA3"))
+    outcome = bench.system.translate(query, translator)
+    engine = TwigJoinEngine(bench.system.catalog)
+    benchmark.pedantic(lambda: engine.execute(outcome.plan), rounds=2, iterations=1)

@@ -1,0 +1,64 @@
+"""Section 4.2 — analytical join-count and disk-access claims.
+
+The paper's efficiency argument: a query with ``l`` tags needs ``l - 1``
+D-joins under D-labeling; Split and Push-Up need at most ``b + d`` (branch
+edges plus descendant-axis edges), which is always smaller; Unfold removes
+the D-joins caused by interior descendant steps.  And the number of records
+BLAS reads for a simple path ``/t1/../tn`` is bounded by the number of
+``tn``-tagged nodes, while D-labeling reads every node tagged ``t1 .. tn``.
+These are checked for all nine Figure 10 queries; a small benchmark times
+the full translate+execute pipeline per translator as an overall ablation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import sec42_join_counts
+from repro.bench.harness import build_bench_system
+
+
+@pytest.fixture(scope="module")
+def join_rows():
+    return sec42_join_counts(scale=1)
+
+
+def test_dlabel_needs_one_join_per_edge(join_rows):
+    for row in join_rows:
+        assert row["djoins_dlabel"] == row["tags"] - 1, row
+
+
+def test_split_and_pushup_bounded_by_branches_plus_descendants(join_rows):
+    for row in join_rows:
+        bound = row["branch_edges"] + row["descendant_edges"]
+        assert row["djoins_split"] <= bound, row
+        assert row["djoins_pushup"] <= bound, row
+
+
+def test_blas_never_needs_more_joins_than_dlabel(join_rows):
+    for row in join_rows:
+        assert row["djoins_split"] <= row["djoins_dlabel"], row
+        assert row["djoins_pushup"] <= row["djoins_split"], row
+        assert row["djoins_unfold"] <= row["djoins_pushup"], row
+
+
+def test_simple_path_reads_bounded_by_final_tag_count():
+    bench = build_bench_system("protein", scale=1)
+    query = bench.query_named("QP1")  # /ProteinDatabase/ProteinEntry/protein/name
+    result = bench.system.query(query, translator="pushup", engine="memory")
+    final_tag_nodes = len(
+        [record for record in bench.system.indexed.records if record.tag == "name"]
+    )
+    assert result.stats.elements_read <= final_tag_nodes
+    baseline = bench.system.query(query, translator="dlabel", engine="memory")
+    assert baseline.stats.elements_read > result.stats.elements_read
+
+
+@pytest.mark.parametrize("translator", ["dlabel", "split", "pushup", "unfold"])
+def test_benchmark_full_pipeline(benchmark, protein_system, translator):
+    query = protein_system.query_named("QP3")
+    benchmark.pedantic(
+        lambda: protein_system.system.query(query, translator=translator, engine="memory"),
+        rounds=3,
+        iterations=1,
+    )

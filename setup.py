@@ -1,0 +1,6 @@
+"""Setup shim so `pip install -e .` / `python setup.py develop` works on
+environments whose setuptools predates PEP 660 editable installs."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""BLAS: a Bi-LAbeling based System for XPath processing.
+
+A full reproduction of *BLAS: An Efficient XPath Processing System*
+(Chen, Davidson, Zheng -- SIGMOD 2004): P-labeling and D-labeling of XML
+documents, the Split / Push-Up / Unfold query translators, a D-labeling
+baseline, and three query engines (instrumented structural joins, holistic
+twig joins, and SQL on SQLite).
+
+Quickstart::
+
+    from repro import BLAS
+
+    system = BLAS.from_xml(open("proteins.xml").read())
+    result = system.query("//protein/name")
+    for record in result.records:
+        print(record.data)
+"""
+
+from repro.core.indexer import IndexedDocument, NodeRecord, index_document, index_text
+from repro.core.dlabel import DLabel
+from repro.core.plabel import PLabelInterval, PLabelScheme
+from repro.engine.results import QueryResult
+from repro.exceptions import (
+    EngineError,
+    LabelingError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    UnsupportedQueryError,
+    XMLSyntaxError,
+    XPathSyntaxError,
+)
+from repro.system import BLAS
+from repro.xmlkit.model import Document, Element
+from repro.xmlkit.parser import parse_document, parse_string
+from repro.xmlkit.schema import SchemaGraph, extract_schema
+from repro.xpath.parser import parse_xpath
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLAS",
+    "DLabel",
+    "Document",
+    "Element",
+    "EngineError",
+    "IndexedDocument",
+    "LabelingError",
+    "NodeRecord",
+    "PLabelInterval",
+    "PLabelScheme",
+    "PlanError",
+    "QueryResult",
+    "ReproError",
+    "SchemaError",
+    "SchemaGraph",
+    "StorageError",
+    "UnsupportedQueryError",
+    "XMLSyntaxError",
+    "XPathSyntaxError",
+    "extract_schema",
+    "index_document",
+    "index_text",
+    "parse_document",
+    "parse_string",
+    "parse_xpath",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Benchmark harness: the code that regenerates every table and figure.
+
+* :mod:`repro.bench.harness` — build indexed systems for a dataset at a
+  given scale/replication and run a query under every translator/engine.
+* :mod:`repro.bench.experiments` — one driver per paper artifact
+  (Figure 11 plans, Figure 12 dataset characteristics, Figure 13 RDBMS
+  times, Figures 14/15 twig-join times and visited elements, Figures 16–18
+  scalability sweeps, and the §4.2 join-count analysis).
+* :mod:`repro.bench.reporting` — plain-text tables for the experiment
+  output (used by the example scripts and EXPERIMENTS.md).
+"""
+
+from repro.bench.experiments import (
+    fig11_plan_shapes,
+    fig12_dataset_characteristics,
+    fig13_rdbms_times,
+    fig14_twig_all_queries,
+    fig15_benchmark_queries,
+    scalability_sweep,
+    sec42_join_counts,
+)
+from repro.bench.harness import BenchSystem, build_bench_system, time_call
+from repro.bench.reporting import format_table
+
+__all__ = [
+    "BenchSystem",
+    "build_bench_system",
+    "fig11_plan_shapes",
+    "fig12_dataset_characteristics",
+    "fig13_rdbms_times",
+    "fig14_twig_all_queries",
+    "fig15_benchmark_queries",
+    "format_table",
+    "scalability_sweep",
+    "sec42_join_counts",
+    "time_call",
+]

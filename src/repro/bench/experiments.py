@@ -1,0 +1,200 @@
+"""One driver per paper artifact.
+
+Each function regenerates the data behind one table or figure of the paper's
+evaluation (§5) and returns it as plain Python structures; the pytest
+benchmark files under ``benchmarks/`` and the example scripts print or assert
+over these.  Wall-clock numbers are machine-dependent — the assertions in the
+benchmark suite check the paper's *shape* (orderings, rough factors), never
+absolute times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.harness import (
+    BenchSystem,
+    build_bench_system,
+    run_translator_comparison,
+)
+from repro.datasets.queries import strip_value_predicates
+from repro.translate.plan import QueryPlan
+
+ALL_TRANSLATORS = ["dlabel", "split", "pushup", "unfold"]
+TWIG_TRANSLATORS = ["dlabel", "split", "pushup"]
+FIGURE10_QUERIES = {
+    "shakespeare": ["QS1", "QS2", "QS3"],
+    "protein": ["QP1", "QP2", "QP3"],
+    "auction": ["QA1", "QA2", "QA3"],
+}
+BENCHMARK_NAMES = ["Q1", "Q2", "Q4", "Q5", "Q6"]
+
+
+# -- Figure 11: generated plans for QS3 -----------------------------------------------
+
+
+def fig11_plan_shapes(scale: int = 1) -> Dict[str, Dict[str, object]]:
+    """Plan-shape metrics (joins, selection kinds, SQL) for QS3 per translator."""
+    bench = build_bench_system("shakespeare", scale=scale)
+    query = bench.query_named("QS3")
+    shapes: Dict[str, Dict[str, object]] = {}
+    for translator in ALL_TRANSLATORS:
+        outcome = bench.system.translate(query, translator)
+        plan: QueryPlan = outcome.plan
+        metrics = plan.metrics().as_dict()
+        metrics["sql"] = outcome.sql
+        metrics["description"] = plan.describe()
+        shapes[translator] = metrics
+    return shapes
+
+
+# -- Figure 12: dataset characteristics -------------------------------------------------
+
+
+def fig12_dataset_characteristics(scale: int = 1) -> List[Dict[str, object]]:
+    """The Size / Nodes / Tags / Depth table for the three datasets."""
+    rows = []
+    for dataset in ("shakespeare", "protein", "auction"):
+        bench = build_bench_system(dataset, scale=scale)
+        rows.append(bench.system.summary())
+    return rows
+
+
+# -- Figure 13: RDBMS (SQLite) query times ------------------------------------------------
+
+
+def fig13_rdbms_times(
+    scale: int = 1, repeats: int = 3, datasets: Optional[List[str]] = None
+) -> Dict[str, Dict[str, Dict[str, Dict[str, object]]]]:
+    """Query time per dataset, query and translator on the SQL engine.
+
+    Structure: ``result[dataset][query][translator] -> metrics``.
+    """
+    output: Dict[str, Dict[str, Dict[str, Dict[str, object]]]] = {}
+    for dataset in datasets or FIGURE10_QUERIES:
+        bench = build_bench_system(dataset, scale=scale)
+        per_query: Dict[str, Dict[str, Dict[str, object]]] = {}
+        for query_name in FIGURE10_QUERIES[dataset]:
+            per_query[query_name] = run_translator_comparison(
+                bench,
+                bench.query_named(query_name),
+                engine="sqlite",
+                translators=ALL_TRANSLATORS,
+                repeats=repeats,
+            )
+        output[dataset] = per_query
+    return output
+
+
+# -- Figure 14: twig-join engine, all nine queries, replicated data -------------------------
+
+
+def fig14_twig_all_queries(
+    scale: int = 1, replicate: int = 20, repeats: int = 1
+) -> Dict[str, Dict[str, Dict[str, Dict[str, object]]]]:
+    """Execution time and visited elements on the holistic twig engine.
+
+    Value predicates are removed (paper §5.3.1) and the Unfold translator is
+    excluded (its unions are outside the twig-join prototype), exactly as in
+    the paper.  Structure: ``result[dataset][query][translator] -> metrics``.
+    """
+    output: Dict[str, Dict[str, Dict[str, Dict[str, object]]]] = {}
+    for dataset in FIGURE10_QUERIES:
+        bench = build_bench_system(dataset, scale=scale, replicate=replicate)
+        per_query: Dict[str, Dict[str, Dict[str, object]]] = {}
+        for query_name in FIGURE10_QUERIES[dataset]:
+            per_query[query_name] = run_translator_comparison(
+                bench,
+                bench.query_named(query_name),
+                engine="twig",
+                translators=TWIG_TRANSLATORS,
+                strip_values=True,
+                repeats=repeats,
+            )
+        output[dataset] = per_query
+    return output
+
+
+# -- Figure 15: XMark benchmark queries on the large Auction data -----------------------------
+
+
+def fig15_benchmark_queries(
+    scale: int = 1, replicate: int = 20, repeats: int = 1
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Benchmark queries Q1, Q2, Q4, Q5, Q6 on the twig engine."""
+    bench = build_bench_system("auction", scale=scale, replicate=replicate)
+    output: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for query_name in BENCHMARK_NAMES:
+        output[query_name] = run_translator_comparison(
+            bench,
+            bench.query_named(query_name),
+            engine="twig",
+            translators=TWIG_TRANSLATORS,
+            strip_values=True,
+            repeats=repeats,
+        )
+    return output
+
+
+# -- Figures 16-18: scalability sweeps on Auction -----------------------------------------------
+
+
+def scalability_sweep(
+    query_name: str,
+    replications: Optional[List[int]] = None,
+    scale: int = 1,
+    engine: str = "twig",
+    repeats: int = 1,
+) -> Dict[int, Dict[str, Dict[str, object]]]:
+    """Time and visited elements for one query over growing replications.
+
+    ``query_name`` is ``"QA1"`` (Figure 16), ``"QA2"`` (Figure 17) or
+    ``"QA3"`` (Figure 18); the paper replicates the Auction data 10–60
+    times, this driver defaults to a scaled-down sweep so the whole suite
+    stays fast.  Structure: ``result[replication][translator] -> metrics``.
+    """
+    sweep = replications or [1, 2, 4, 6]
+    output: Dict[int, Dict[str, Dict[str, object]]] = {}
+    for replication in sweep:
+        bench = build_bench_system("auction", scale=scale, replicate=replication)
+        output[replication] = run_translator_comparison(
+            bench,
+            bench.query_named(query_name),
+            engine=engine,
+            translators=TWIG_TRANSLATORS,
+            strip_values=True,
+            repeats=repeats,
+        )
+    return output
+
+
+# -- Section 4.2: join-count analysis ---------------------------------------------------------
+
+
+def sec42_join_counts(scale: int = 1) -> List[Dict[str, object]]:
+    """D-join counts per query and translator, plus the §4.2 bounds.
+
+    For a query with ``l`` tags, ``b`` non-descendant branching edges and
+    ``d`` descendant edges the paper bounds the D-joins by ``l-1`` for the
+    baseline and ``b+d`` for Split/Push-Up.
+    """
+    rows: List[Dict[str, object]] = []
+    for dataset, query_names in FIGURE10_QUERIES.items():
+        bench = build_bench_system(dataset, scale=scale)
+        for query_name in query_names:
+            query = bench.query_named(query_name)
+            from repro.xpath.query_tree import build_query_tree
+
+            tree = build_query_tree(query)
+            row: Dict[str, object] = {
+                "dataset": dataset,
+                "query": query_name,
+                "tags": tree.node_count,
+                "branch_edges": tree.non_descendant_branch_edges,
+                "descendant_edges": tree.descendant_edge_count,
+            }
+            for translator in ALL_TRANSLATORS:
+                plan = bench.system.translate(query, translator).plan
+                row[f"djoins_{translator}"] = plan.metrics().d_joins
+            rows.append(row)
+    return rows

@@ -1,0 +1,132 @@
+"""Shared plumbing for the benchmark experiments.
+
+A :class:`BenchSystem` bundles the generated document, its BLAS index and
+the query workload for one dataset, optionally replicated ``times``×N as the
+paper does for the large-data experiments.  Systems are cached per
+``(dataset, scale, replicate)`` so a pytest-benchmark session does not
+re-index the same data for every parametrised case.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.datasets import build_dataset, queries_for_dataset, replicate_document
+from repro.datasets.queries import benchmark_queries, strip_value_predicates
+from repro.system import BLAS
+from repro.xmlkit.model import Document
+from repro.xpath.ast import LocationPath
+
+TRANSLATORS_WITH_SCHEMA = ("dlabel", "split", "pushup", "unfold")
+TRANSLATORS_WITHOUT_VALUES = ("dlabel", "split", "pushup")
+
+
+@dataclass
+class BenchSystem:
+    """A dataset, its indexed BLAS system and its query workload."""
+
+    dataset: str
+    scale: int
+    replicate: int
+    document: Document
+    system: BLAS
+    queries: Dict[str, LocationPath] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """A short identifier such as ``auction(scale=1,x20)``."""
+        suffix = f",x{self.replicate}" if self.replicate > 1 else ""
+        return f"{self.dataset}(scale={self.scale}{suffix})"
+
+    def query_named(self, name: str) -> LocationPath:
+        """Look up a query of the workload by name (``QS1``, ``Q6``, …)."""
+        return self.queries[name]
+
+
+_CACHE: Dict[Tuple[str, int, int, int], BenchSystem] = {}
+
+
+def build_bench_system(
+    dataset: str,
+    scale: int = 1,
+    replicate: int = 1,
+    seed: int = 7,
+    use_cache: bool = True,
+) -> BenchSystem:
+    """Build (or fetch from cache) the benchmark system for one dataset."""
+    key = (dataset, scale, replicate, seed)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    document = build_dataset(dataset, scale=scale, seed=seed)
+    if replicate > 1:
+        document = replicate_document(document, replicate)
+    system = BLAS.from_document(document, name=f"{dataset}-s{scale}-r{replicate}")
+    queries = dict(queries_for_dataset(dataset))
+    if dataset == "auction":
+        queries.update(benchmark_queries())
+    bench = BenchSystem(
+        dataset=dataset,
+        scale=scale,
+        replicate=replicate,
+        document=document,
+        system=system,
+        queries=queries,
+    )
+    if use_cache:
+        _CACHE[key] = bench
+    return bench
+
+
+def clear_cache() -> None:
+    """Drop all cached systems (used by tests that need isolation)."""
+    _CACHE.clear()
+
+
+def time_call(callable_: Callable[[], object], repeats: int = 3) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall-clock time of ``callable_`` plus its result.
+
+    The paper repeats each measurement and averages after dropping extremes;
+    with an in-process engine the minimum over a few repeats is the stabler
+    statistic, and the comparisons only rely on ratios.
+    """
+    best = float("inf")
+    result: object = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = callable_()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return best, result
+
+
+def run_translator_comparison(
+    bench: BenchSystem,
+    query: LocationPath,
+    engine: str,
+    translators: Optional[List[str]] = None,
+    strip_values: bool = False,
+    repeats: int = 3,
+) -> Dict[str, Dict[str, object]]:
+    """Run one query under several translators on one engine.
+
+    Returns rows keyed by translator with elapsed time, result count and
+    (for the instrumented engines) elements read.
+    """
+    names = list(translators or TRANSLATORS_WITH_SCHEMA)
+    target = strip_value_predicates(query) if strip_values else query
+    rows: Dict[str, Dict[str, object]] = {}
+    for translator in names:
+        elapsed, result = time_call(
+            lambda t=translator: bench.system.query(target, translator=t, engine=engine),
+            repeats=repeats,
+        )
+        rows[translator] = {
+            "elapsed_seconds": elapsed,
+            "results": result.count,
+            "elements_read": result.stats.elements_read,
+            "pages_read": result.stats.pages_read,
+            "djoins": result.stats.djoins_executed,
+        }
+    return rows

@@ -1,0 +1,47 @@
+"""Plain-text reporting helpers for the benchmark experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width text table (used by examples and EXPERIMENTS.md)."""
+    columns = [str(header) for header in headers]
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(column.ljust(width) for column, width in zip(columns, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def comparison_rows(results: Dict[str, Dict[str, object]], key: str) -> List[List[object]]:
+    """Turn a translator→metrics mapping into table rows for one metric."""
+    return [[translator, metrics[key]] for translator, metrics in results.items()]
+
+
+def speedup_over_baseline(
+    results: Dict[str, Dict[str, object]], metric: str = "elapsed_seconds",
+    baseline: str = "dlabel",
+) -> Dict[str, float]:
+    """Baseline metric divided by each translator's metric (>1 means faster)."""
+    base = float(results[baseline][metric])
+    speedups: Dict[str, float] = {}
+    for translator, metrics in results.items():
+        value = float(metrics[metric])
+        speedups[translator] = base / value if value > 0 else float("inf")
+    return speedups

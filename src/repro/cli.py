@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands cover the everyday uses of the library:
+
+``query``
+    Index an XML file and evaluate one XPath query, printing the matching
+    nodes (and optionally the plan and generated SQL).
+
+``plan``
+    Show the plan every translator produces for a query (Figure 11 style),
+    without executing anything.
+
+``experiment``
+    Run one of the paper-figure experiment drivers on the synthetic datasets
+    and print its table (fig11, fig12, fig13, fig14, fig15, fig16, fig17,
+    fig18, sec42).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table
+from repro.system import BLAS, ENGINE_NAMES, TRANSLATOR_NAMES
+
+EXPERIMENT_NAMES = (
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "sec42",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BLAS: a bi-labeling based XPath processing system (SIGMOD 2004 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="index an XML file and run an XPath query")
+    query.add_argument("file", help="path to the XML document")
+    query.add_argument("xpath", help="the XPath query (supported subset: /, //, [..], =)")
+    query.add_argument("--translator", choices=TRANSLATOR_NAMES, default="pushup")
+    query.add_argument("--engine", choices=ENGINE_NAMES, default="memory")
+    query.add_argument("--show-plan", action="store_true", help="print the logical plan")
+    query.add_argument("--show-sql", action="store_true", help="print the generated SQL")
+    query.add_argument("--limit", type=int, default=20, help="maximum result rows to print")
+
+    plan = subparsers.add_parser("plan", help="show every translator's plan for a query")
+    plan.add_argument("file", help="path to the XML document")
+    plan.add_argument("xpath", help="the XPath query")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one of the paper-figure experiments on the synthetic datasets"
+    )
+    experiment.add_argument("name", choices=EXPERIMENT_NAMES)
+    experiment.add_argument("--scale", type=int, default=1, help="dataset scale factor")
+    experiment.add_argument(
+        "--replicate", type=int, default=6,
+        help="replication factor for the twig/scalability experiments",
+    )
+    return parser
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    system = BLAS.from_file(args.file)
+    outcome = system.translate(args.xpath, args.translator)
+    if args.show_plan:
+        print(outcome.plan.describe())
+        print()
+    if args.show_sql:
+        print(outcome.sql)
+        print()
+    result = system.query(args.xpath, translator=args.translator, engine=args.engine)
+    print(f"{result.count} result node(s) "
+          f"[translator={args.translator}, engine={args.engine}, "
+          f"{result.elapsed_seconds * 1000:.2f} ms, "
+          f"{result.stats.elements_read} elements read]")
+    rows = [
+        [record.tag, record.start, record.level, (record.data or "")[:60]]
+        for record in result.records[: args.limit]
+    ]
+    if rows:
+        print(format_table(["tag", "start", "level", "data"], rows))
+    if result.count > args.limit:
+        print(f"... and {result.count - args.limit} more")
+    return 0
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    system = BLAS.from_file(args.file)
+    rows = []
+    for translator in TRANSLATOR_NAMES:
+        try:
+            outcome = system.translate(args.xpath, translator)
+        except Exception as error:  # pragma: no cover - schema-less unfold etc.
+            print(f"{translator}: {error}")
+            continue
+        metrics = outcome.plan.metrics()
+        rows.append([
+            translator, metrics.d_joins, metrics.equality_selections,
+            metrics.range_selections, metrics.tag_selections, metrics.union_branches,
+        ])
+        print(outcome.plan.describe())
+        print()
+    print(format_table(
+        ["translator", "D-joins", "eq selections", "range selections", "tag selections", "union branches"],
+        rows,
+    ))
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig11":
+        shapes = experiments.fig11_plan_shapes(scale=args.scale)
+        rows = [
+            [t, m["d_joins"], m["equality_selections"], m["range_selections"], m["tag_selections"]]
+            for t, m in shapes.items()
+        ]
+        print(format_table(
+            ["translator", "D-joins", "equality", "range", "tag"], rows,
+            title="Figure 11 — plan shapes for QS3",
+        ))
+    elif name == "fig12":
+        rows = [
+            [r["name"], r["size_bytes"], r["nodes"], r["tags"], r["depth"]]
+            for r in experiments.fig12_dataset_characteristics(scale=args.scale)
+        ]
+        print(format_table(["dataset", "size (bytes)", "nodes", "tags", "depth"], rows,
+                           title="Figure 12 — dataset characteristics"))
+    elif name == "fig13":
+        data = experiments.fig13_rdbms_times(scale=args.scale)
+        rows = []
+        for dataset, per_query in data.items():
+            for query, per_translator in per_query.items():
+                rows.append([dataset, query] + [
+                    f"{per_translator[t]['elapsed_seconds'] * 1000:.2f}"
+                    for t in ("dlabel", "split", "pushup", "unfold")
+                ])
+        print(format_table(
+            ["dataset", "query", "dlabel (ms)", "split (ms)", "pushup (ms)", "unfold (ms)"],
+            rows, title="Figure 13 — RDBMS (SQLite) query times",
+        ))
+    elif name in ("fig14", "fig15"):
+        driver = experiments.fig14_twig_all_queries if name == "fig14" else (
+            lambda **kw: {"auction": experiments.fig15_benchmark_queries(**kw)}
+        )
+        data = driver(scale=args.scale, replicate=args.replicate)
+        rows = []
+        for dataset, per_query in data.items():
+            for query, per_translator in per_query.items():
+                rows.append([dataset, query] + [
+                    f"{per_translator[t]['elapsed_seconds'] * 1000:.1f} / {per_translator[t]['elements_read']}"
+                    for t in ("dlabel", "split", "pushup")
+                ])
+        print(format_table(
+            ["dataset", "query", "dlabel (ms/elems)", "split", "pushup"], rows,
+            title=f"Figure {name[3:]} — holistic twig join engine (x{args.replicate})",
+        ))
+    elif name in ("fig16", "fig17", "fig18"):
+        query_name = {"fig16": "QA1", "fig17": "QA2", "fig18": "QA3"}[name]
+        sweep = experiments.scalability_sweep(
+            query_name, replications=[2, 4, args.replicate], scale=args.scale
+        )
+        rows = []
+        for replication, per_translator in sweep.items():
+            rows.append([f"x{replication}"] + [
+                f"{per_translator[t]['elapsed_seconds'] * 1000:.1f} / {per_translator[t]['elements_read']}"
+                for t in ("dlabel", "split", "pushup")
+            ])
+        print(format_table(
+            ["replication", "dlabel (ms/elems)", "split", "pushup"], rows,
+            title=f"Figure {name[3:]} — scalability of {query_name}",
+        ))
+    else:  # sec42
+        rows = [
+            [r["dataset"], r["query"], r["tags"], r["branch_edges"], r["descendant_edges"],
+             r["djoins_dlabel"], r["djoins_split"], r["djoins_pushup"], r["djoins_unfold"]]
+            for r in experiments.sec42_join_counts(scale=args.scale)
+        ]
+        print(format_table(
+            ["dataset", "query", "l", "b", "d", "dlabel", "split", "pushup", "unfold"],
+            rows, title="Section 4.2 — D-join counts",
+        ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query":
+        return _run_query(args)
+    if args.command == "plan":
+        return _run_plan(args)
+    return _run_experiment(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Core BLAS contribution: the bi-labeling scheme and the index generator.
+
+* :mod:`repro.core.dlabel` — D-labeling ``<start, end, level>`` (paper §3.1).
+* :mod:`repro.core.plabel` — P-labeling of suffix paths and nodes (paper
+  §3.2, Algorithms 1 and 2).
+* :mod:`repro.core.relationships` — ancestor/descendant/parent predicates on
+  D-labels and containment predicates on P-labels.
+* :mod:`repro.core.indexer` — the SAX-driven index generator producing
+  ``<plabel, start, end, level, tag, data>`` node records (paper Figure 6).
+"""
+
+from repro.core.dlabel import DLabel, DLabelAssigner, assign_dlabels
+from repro.core.indexer import BiLabelIndexer, IndexedDocument, index_document, index_text
+from repro.core.plabel import PLabelInterval, PLabelScheme
+from repro.core.relationships import (
+    is_ancestor,
+    is_descendant,
+    is_parent,
+    is_child,
+    level_gap_related,
+    plabel_contained,
+)
+
+__all__ = [
+    "BiLabelIndexer",
+    "DLabel",
+    "DLabelAssigner",
+    "IndexedDocument",
+    "PLabelInterval",
+    "PLabelScheme",
+    "assign_dlabels",
+    "index_document",
+    "index_text",
+    "is_ancestor",
+    "is_child",
+    "is_descendant",
+    "is_parent",
+    "level_gap_related",
+    "plabel_contained",
+]

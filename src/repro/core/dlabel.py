@@ -1,0 +1,162 @@
+"""D-labeling: the interval + level encoding of paper §3.1.
+
+A D-label is a triple ``<start, end, level>`` satisfying (Definition 3.1):
+
+* ``start <= end`` (validation),
+* ``m`` is a descendant of ``n`` iff ``n.start < m.start and n.end > m.end``,
+* ``m`` is a child of ``n`` iff ``m`` is a descendant and
+  ``n.level + 1 == m.level``,
+* two nodes are unrelated iff their intervals do not nest.
+
+Following the implementation the paper adopts from [Zhang et al. 2001,
+DeHaan et al.], ``start``/``end`` are the positions of the node's start and
+end tags where *each start tag, end tag and text node counts as one position
+unit*, and ``level`` is the node's depth (the root has level 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.exceptions import LabelingError
+from repro.xmlkit.events import (
+    CharactersEvent,
+    EndElementEvent,
+    ParseEvent,
+    SaxHandler,
+    StartElementEvent,
+)
+from repro.xmlkit.model import Document, Element
+from repro.xmlkit.parser import drive
+
+
+@dataclass(frozen=True, order=True)
+class DLabel:
+    """A D-label ``<start, end, level>`` for one XML node."""
+
+    start: int
+    end: int
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise LabelingError(f"invalid D-label: start {self.start} > end {self.end}")
+        if self.level < 1:
+            raise LabelingError(f"invalid D-label: level {self.level} < 1")
+
+    def contains(self, other: "DLabel") -> bool:
+        """True when ``other`` is a proper descendant of this node."""
+        return self.start < other.start and self.end > other.end
+
+    def is_parent_of(self, other: "DLabel") -> bool:
+        """True when ``other`` is a child of this node."""
+        return self.contains(other) and self.level + 1 == other.level
+
+    def disjoint(self, other: "DLabel") -> bool:
+        """True when the two nodes have no ancestor-descendant relationship."""
+        return self.end < other.start or self.start > other.end
+
+    @property
+    def width(self) -> int:
+        """Number of position units spanned by the node (inclusive)."""
+        return self.end - self.start + 1
+
+
+class DLabelAssigner(SaxHandler):
+    """A SAX handler that assigns D-labels while streaming a document.
+
+    The handler keeps a stack of open elements.  When an element closes its
+    D-label is complete and is appended to :attr:`labels` (in end-tag order);
+    :attr:`labels_in_document_order` reorders them by ``start``.
+    """
+
+    def __init__(self) -> None:
+        self.labels: List[DLabel] = []
+        self.tags: List[str] = []
+        self._stack: List[tuple[str, int, int]] = []  # (tag, start position, level)
+
+    def start_element(self, event: StartElementEvent) -> None:
+        level = len(self._stack) + 1
+        self._stack.append((event.tag, event.position, level))
+
+    def end_element(self, event: EndElementEvent) -> None:
+        tag, start, level = self._stack.pop()
+        if tag != event.tag:  # pragma: no cover - parser guarantees well-formedness
+            raise LabelingError(f"mismatched tags during labeling: {tag} vs {event.tag}")
+        self.labels.append(DLabel(start, event.position, level))
+        self.tags.append(tag)
+
+    def characters(self, event: CharactersEvent) -> None:
+        # Text consumes a position unit; the parser already accounted for it
+        # in ``event.position`` so nothing to do here.
+        return
+
+    def labelled_nodes(self) -> List[tuple[str, DLabel]]:
+        """(tag, label) pairs sorted by document (start-position) order."""
+        pairs = list(zip(self.tags, self.labels))
+        pairs.sort(key=lambda pair: pair[1].start)
+        return pairs
+
+
+def assign_dlabels(events: Iterable[ParseEvent]) -> List[tuple[str, DLabel]]:
+    """Assign D-labels to every element in an event stream.
+
+    Returns (tag, label) pairs in document order.
+    """
+    assigner = DLabelAssigner()
+    drive(events, assigner)
+    return assigner.labelled_nodes()
+
+
+def dlabels_for_document(document: Document) -> Dict[int, DLabel]:
+    """Assign D-labels directly over an in-memory :class:`Document`.
+
+    Returns a mapping from ``id(element)`` to its :class:`DLabel`.  Positions
+    follow the same unit accounting as the streaming path: one unit per start
+    tag, end tag and (non-empty) text node.
+    """
+    labels: Dict[int, DLabel] = {}
+    counter = 0
+
+    def walk(element: Element, level: int) -> None:
+        nonlocal counter
+        counter += 1
+        start = counter
+        if element.text is not None and element.text.strip():
+            counter += 1
+        for child in element.children:
+            walk(child, level + 1)
+        counter += 1
+        labels[id(element)] = DLabel(start, counter, level)
+
+    walk(document.root, 1)
+    return labels
+
+
+def validate_dlabels(pairs: Iterable[tuple[str, DLabel]]) -> Optional[str]:
+    """Check the Definition 3.1 invariants over a labelled node set.
+
+    Returns ``None`` when all invariants hold, otherwise a human-readable
+    description of the first violation found.  Used by tests and by the
+    indexer's optional self-check.
+    """
+    labelled = sorted(pairs, key=lambda pair: pair[1].start)
+    open_stack: List[DLabel] = []
+    previous_end = 0
+    for tag, label in labelled:
+        if label.start <= previous_end and not open_stack:
+            return f"node {tag} starts at {label.start} before previous subtree closed"
+        while open_stack and open_stack[-1].end < label.start:
+            open_stack.pop()
+        if open_stack:
+            parent = open_stack[-1]
+            if not parent.contains(label):
+                return f"node {tag} {label} not nested in enclosing interval {parent}"
+            if label.level != parent.level + 1:
+                return f"node {tag} level {label.level} != parent level {parent.level} + 1"
+        elif label.level != 1:
+            return f"top-level node {tag} has level {label.level} != 1"
+        open_stack.append(label)
+        previous_end = max(previous_end, label.end)
+    return None

@@ -1,0 +1,279 @@
+"""The BLAS index generator (paper Figure 6).
+
+The index generator consumes SAX events over an XML document and produces a
+``<plabel, start, end, level, tag, data>`` tuple for every element node:
+
+* ``plabel`` — the node's P-label (start of its rooted simple path interval),
+* ``start``/``end``/``level`` — the node's D-label,
+* ``tag`` — the element name (kept so the D-labeling baseline relation ``SD``
+  can be derived from the same records),
+* ``data`` — the node's text value, or ``None``.
+
+Labeling a document needs the tag vocabulary and a depth bound before node
+P-labels can be assigned, so :func:`index_text` runs two streaming passes: a
+cheap discovery pass (tags + max depth) and the labeling pass.  When a
+:class:`~repro.core.plabel.PLabelScheme` is supplied (e.g. shared across the
+replicated datasets of the scalability experiments) only one pass is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.dlabel import DLabel
+from repro.core.plabel import PLabelScheme, build_scheme_for_tags
+from repro.exceptions import LabelingError
+from repro.xmlkit.events import (
+    CharactersEvent,
+    EndElementEvent,
+    SaxHandler,
+    StartElementEvent,
+)
+from repro.xmlkit.model import Document
+from repro.xmlkit.parser import drive, iterparse
+from repro.xmlkit.schema import SchemaGraph, extract_schema
+from repro.xmlkit.writer import document_to_string
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """One tuple of the BLAS node relation ``SP`` (and, with ``tag``, ``SD``)."""
+
+    plabel: int
+    start: int
+    end: int
+    level: int
+    tag: str
+    data: Optional[str] = None
+    doc_id: int = 0
+
+    @property
+    def dlabel(self) -> DLabel:
+        """The record's D-label as a :class:`DLabel` value."""
+        return DLabel(self.start, self.end, self.level)
+
+    def sort_key_sp(self) -> Tuple[int, int]:
+        """Clustering key of the SP relation: ``(plabel, start)``."""
+        return (self.plabel, self.start)
+
+    def sort_key_sd(self) -> Tuple[str, int]:
+        """Clustering key of the SD relation: ``(tag, start)``."""
+        return (self.tag, self.start)
+
+
+class _DiscoveryPass(SaxHandler):
+    """First pass: collect the tag vocabulary and the maximum depth."""
+
+    def __init__(self) -> None:
+        self.tags: Dict[str, int] = {}
+        self.max_depth = 0
+        self._depth = 0
+
+    def start_element(self, event: StartElementEvent) -> None:
+        self._depth += 1
+        self.max_depth = max(self.max_depth, self._depth)
+        self.tags[event.tag] = self.tags.get(event.tag, 0) + 1
+
+    def end_element(self, event: EndElementEvent) -> None:
+        self._depth -= 1
+
+
+class BiLabelIndexer(SaxHandler):
+    """Second pass: build node records with both labels while streaming."""
+
+    def __init__(self, scheme: PLabelScheme, doc_id: int = 0):
+        self.scheme = scheme
+        self.doc_id = doc_id
+        self.records: List[NodeRecord] = []
+        self._stack: List[dict] = []
+        self._interval_stack: List[Tuple[int, int]] = [(0, scheme.domain - 1)]
+        self._top_intervals: Dict[str, Tuple[int, int]] = {}
+        for tag in scheme.tags:
+            interval = scheme.suffix_path_interval([tag])
+            assert interval is not None
+            self._top_intervals[tag] = (interval.p1, interval.p2)
+
+    def start_element(self, event: StartElementEvent) -> None:
+        tag = event.tag
+        top = self._top_intervals.get(tag)
+        if top is None:
+            raise LabelingError(f"tag {tag!r} is not in the P-label scheme vocabulary")
+        parent_p1, parent_p2 = self._interval_stack[-1]
+        m = self.scheme.domain
+        width = top[1] - top[0] + 1
+        p1 = top[0] + parent_p1 * width // m
+        p2 = top[0] + (parent_p2 + 1) * width // m - 1
+        self._interval_stack.append((p1, p2))
+        level = len(self._stack) + 1
+        self._stack.append(
+            {"tag": tag, "start": event.position, "level": level, "plabel": p1, "text": []}
+        )
+
+    def characters(self, event: CharactersEvent) -> None:
+        if self._stack:
+            self._stack[-1]["text"].append(event.text)
+
+    def end_element(self, event: EndElementEvent) -> None:
+        frame = self._stack.pop()
+        self._interval_stack.pop()
+        text_parts: List[str] = frame["text"]
+        data = " ".join(part for part in text_parts if part) or None
+        self.records.append(
+            NodeRecord(
+                plabel=frame["plabel"],
+                start=frame["start"],
+                end=event.position,
+                level=frame["level"],
+                tag=frame["tag"],
+                data=data,
+                doc_id=self.doc_id,
+            )
+        )
+
+    def records_in_document_order(self) -> List[NodeRecord]:
+        """Records sorted by start position (document order)."""
+        return sorted(self.records, key=lambda record: record.start)
+
+
+@dataclass
+class IndexedDocument:
+    """The output of the index generator for one document.
+
+    Holds the node records, the P-label scheme used, and the schema graph
+    (when extracted) so that every downstream component — the SQLite backend,
+    the instrumented file backend, the translators and the query engines —
+    works from the same labelled data.
+    """
+
+    records: List[NodeRecord]
+    scheme: PLabelScheme
+    schema: Optional[SchemaGraph] = None
+    name: str = "document"
+    source_size_bytes: int = 0
+
+    @property
+    def node_count(self) -> int:
+        """Number of element (and attribute) nodes."""
+        return len(self.records)
+
+    @property
+    def distinct_tags(self) -> List[str]:
+        """Sorted distinct tags occurring in the records."""
+        return sorted({record.tag for record in self.records})
+
+    @property
+    def max_depth(self) -> int:
+        """Length of the longest simple path."""
+        return max((record.level for record in self.records), default=0)
+
+    def records_by_sp_order(self) -> List[NodeRecord]:
+        """Records in SP clustering order ``(plabel, start)``."""
+        return sorted(self.records, key=NodeRecord.sort_key_sp)
+
+    def records_by_sd_order(self) -> List[NodeRecord]:
+        """Records in SD clustering order ``(tag, start)``."""
+        return sorted(self.records, key=NodeRecord.sort_key_sd)
+
+    def records_for_tag(self, tag: str) -> List[NodeRecord]:
+        """Records with the given tag, in document order."""
+        return sorted(
+            (record for record in self.records if record.tag == tag),
+            key=lambda record: record.start,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """The Figure 12 style characteristics row for this document."""
+        return {
+            "name": self.name,
+            "size_bytes": self.source_size_bytes,
+            "nodes": self.node_count,
+            "tags": len(self.distinct_tags),
+            "depth": self.max_depth,
+        }
+
+
+def index_text(
+    text: str,
+    scheme: Optional[PLabelScheme] = None,
+    name: str = "document",
+    doc_id: int = 0,
+    extract_schema_graph: bool = True,
+) -> IndexedDocument:
+    """Index an XML document given as text.
+
+    When ``scheme`` is omitted a discovery pass determines the tag vocabulary
+    and depth bound first.  When ``extract_schema_graph`` is true the schema
+    graph needed by the Unfold translator is also built (from the document
+    itself, standing in for a DTD).
+    """
+    if scheme is None:
+        discovery = _DiscoveryPass()
+        drive(iterparse(text), discovery)
+        if not discovery.tags:
+            raise LabelingError("document contains no elements")
+        scheme = build_scheme_for_tags(discovery.tags, discovery.max_depth)
+    indexer = BiLabelIndexer(scheme, doc_id=doc_id)
+    drive(iterparse(text), indexer)
+    schema = None
+    if extract_schema_graph:
+        from repro.xmlkit.parser import parse_string
+
+        schema = extract_schema(parse_string(text, name=name))
+    return IndexedDocument(
+        records=indexer.records_in_document_order(),
+        scheme=scheme,
+        schema=schema,
+        name=name,
+        source_size_bytes=len(text.encode("utf-8")),
+    )
+
+
+def index_document(
+    document: Document,
+    scheme: Optional[PLabelScheme] = None,
+    name: Optional[str] = None,
+    doc_id: int = 0,
+) -> IndexedDocument:
+    """Index an in-memory :class:`Document`.
+
+    The document is serialised and re-parsed so that exactly the same
+    event-driven pipeline (and position accounting) as :func:`index_text` is
+    exercised; the serialised size also provides the Figure 12 ``Size``
+    column.
+    """
+    text = document_to_string(document)
+    indexed = index_text(
+        text,
+        scheme=scheme,
+        name=name or document.name,
+        doc_id=doc_id,
+        extract_schema_graph=False,
+    )
+    indexed.schema = extract_schema(document)
+    return indexed
+
+
+def merge_indexes(indexes: Sequence[IndexedDocument], name: str = "merged") -> IndexedDocument:
+    """Merge per-document indexes that share a single P-label scheme.
+
+    Supports the multi-document extension mentioned in paper §3: records keep
+    their ``doc_id`` and D-labels are interpreted per document.
+    """
+    if not indexes:
+        raise LabelingError("cannot merge an empty list of indexes")
+    scheme = indexes[0].scheme
+    for indexed in indexes[1:]:
+        if indexed.scheme is not scheme and indexed.scheme.tags != scheme.tags:
+            raise LabelingError("indexes to merge must share one P-label scheme")
+    records: List[NodeRecord] = []
+    for indexed in indexes:
+        records.extend(indexed.records)
+    schema = indexes[0].schema
+    return IndexedDocument(
+        records=records,
+        scheme=scheme,
+        schema=schema,
+        name=name,
+        source_size_bytes=sum(indexed.source_size_bytes for indexed in indexes),
+    )

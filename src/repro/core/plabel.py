@@ -1,0 +1,303 @@
+"""P-labeling: the suffix-path interval labeling of paper §3.2.
+
+The scheme assigns an integer interval to every *suffix path expression*
+(``//a/b/c`` or ``/a/b/c``) and an integer (the interval start of its rooted
+simple path) to every XML node, such that a node matches a suffix-path query
+iff its integer falls inside the query's interval (Proposition 3.2).
+
+Construction (paper §3.2.2): with ``n`` distinct tags each tag gets ratio
+``1/(n+1)`` and the rooted-path marker ``/`` gets the remaining ``1/(n+1)``
+slot.  The label domain is ``[0, m-1]`` with ``m = (n+1)**h`` where ``h`` is
+at least the length of the longest simple path plus one.  Intervals are
+partitioned recursively: the top-level split assigns slot 0 to ``/`` and slot
+``i`` to ``//t_i``; the interval of ``//t_i`` is split the same way for
+``//t_j/t_i`` and ``/t_i``; and so on.
+
+Because every ratio is ``1/(n+1)`` the arithmetic is exact over Python
+integers — the interval of a suffix path is just a base-``(n+1)`` number
+whose most-significant digits are the path's tags read from the *last* step
+backwards.  Two equivalent constructions are provided:
+
+* :meth:`PLabelScheme.suffix_path_interval` — the literal Algorithm 1
+  (iterative interval narrowing).
+* :meth:`PLabelScheme.suffix_path_interval_digits` — the closed-form digit
+  construction.
+
+and likewise for node labels (Algorithm 2's stack-based incremental labeler
+vs the closed form).  The test-suite checks the two agree on random inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import LabelingError
+from repro.xmlkit.events import (
+    EndElementEvent,
+    SaxHandler,
+    StartElementEvent,
+)
+
+
+@dataclass(frozen=True)
+class PLabelInterval:
+    """The P-label ``<p1, p2>`` of a suffix path expression."""
+
+    p1: int
+    p2: int
+
+    def __post_init__(self) -> None:
+        if self.p1 > self.p2:
+            raise LabelingError(f"invalid P-label interval: {self.p1} > {self.p2}")
+
+    def contains_interval(self, other: "PLabelInterval") -> bool:
+        """Containment test of Definition 3.2: ``other ⊆ self``."""
+        return self.p1 <= other.p1 and self.p2 >= other.p2
+
+    def contains_point(self, plabel: int) -> bool:
+        """True when a node P-label falls inside this interval."""
+        return self.p1 <= plabel <= self.p2
+
+    def overlaps(self, other: "PLabelInterval") -> bool:
+        """True when the two intervals intersect."""
+        return not (self.p2 < other.p1 or other.p2 < self.p1)
+
+    @property
+    def is_point(self) -> bool:
+        """True when the interval has length one (equality selections)."""
+        return self.p1 == self.p2
+
+    @property
+    def length(self) -> int:
+        """Number of integers in the interval."""
+        return self.p2 - self.p1 + 1
+
+
+class PLabelScheme:
+    """The P-label assignment for a fixed tag vocabulary and depth bound.
+
+    Parameters
+    ----------
+    tags:
+        The distinct element tags, in the (arbitrary but fixed) order used to
+        partition intervals.  Order does not affect correctness.
+    height:
+        Upper bound on the length of the longest simple path in any document
+        to be labelled.  The label domain is ``(len(tags)+1) ** (height+1)``;
+        one extra level is reserved so that rooted paths of maximal length can
+        still be distinguished from their un-rooted counterparts.
+    """
+
+    def __init__(self, tags: Sequence[str], height: int):
+        if height < 1:
+            raise LabelingError("height must be at least 1")
+        ordered = list(dict.fromkeys(tags))
+        if not ordered:
+            raise LabelingError("at least one tag is required")
+        self._tags: List[str] = ordered
+        self._index: Dict[str, int] = {tag: i + 1 for i, tag in enumerate(ordered)}
+        self.height = height
+        self.base = len(ordered) + 1
+        # Exponent height+1: `height` narrowings for the steps of the longest
+        # rooted path plus one more for the trailing '/' narrowing.
+        self.exponent = height + 1
+        self.domain = self.base ** self.exponent
+
+    # -- vocabulary ----------------------------------------------------------
+
+    @property
+    def tags(self) -> List[str]:
+        """The tag vocabulary in partition order."""
+        return list(self._tags)
+
+    def tag_index(self, tag: str) -> Optional[int]:
+        """1-based partition slot of ``tag`` or ``None`` when unknown."""
+        return self._index.get(tag)
+
+    def knows_tag(self, tag: str) -> bool:
+        """True when ``tag`` is part of the vocabulary."""
+        return tag in self._index
+
+    # -- Algorithm 1: P-label of a suffix path --------------------------------
+
+    def suffix_path_interval(
+        self, steps: Sequence[str], rooted: bool = False
+    ) -> Optional[PLabelInterval]:
+        """Compute the P-label of the suffix path ``α l1/l2/../ln``.
+
+        ``steps`` is ``[l1, .., ln]``; ``rooted`` is true when ``α`` is ``/``
+        (a rooted path) and false when it is ``//``.  Returns ``None`` when a
+        step uses a tag outside the vocabulary (such a query matches nothing)
+        or the path is longer than the scheme's height.
+
+        This is the literal Algorithm 1: iterate from the last step to the
+        first, narrowing the interval into the slot of the step's tag, then
+        optionally take the ``/`` slot.
+        """
+        if not steps:
+            # The path "//" denotes all nodes: the whole domain.
+            return PLabelInterval(0, self.domain - 1)
+        if len(steps) > self.height:
+            # No document labelled by this scheme has a path that long, so
+            # the query can match nothing.
+            return None
+        p1, p2 = 0, self.domain - 1
+        for step in reversed(steps):
+            slot = self._index.get(step)
+            if slot is None:
+                return None
+            width = (p2 - p1 + 1) // self.base
+            p1 = p1 + width * slot
+            p2 = p1 + width - 1
+        if rooted:
+            width = (p2 - p1 + 1) // self.base
+            p2 = p1 + width - 1
+        return PLabelInterval(p1, p2)
+
+    def suffix_path_interval_digits(
+        self, steps: Sequence[str], rooted: bool = False
+    ) -> Optional[PLabelInterval]:
+        """Closed-form equivalent of :meth:`suffix_path_interval`.
+
+        The interval start is the base-``(n+1)`` number whose digits (most
+        significant first) are the slots of ``ln, l(n-1), .., l1`` followed by
+        zeros; the width is ``base ** (exponent - len(steps) - rooted)``.
+        """
+        if not steps:
+            return PLabelInterval(0, self.domain - 1)
+        if len(steps) > self.height:
+            return None
+        start = 0
+        for offset, step in enumerate(reversed(steps)):
+            slot = self._index.get(step)
+            if slot is None:
+                return None
+            start += slot * self.base ** (self.exponent - 1 - offset)
+        width_exponent = self.exponent - len(steps) - (1 if rooted else 0)
+        width = self.base ** width_exponent
+        return PLabelInterval(start, start + width - 1)
+
+    # -- node P-labels ---------------------------------------------------------
+
+    def node_plabel(self, path_tags: Sequence[str]) -> int:
+        """P-label of a node whose rooted simple path is ``/t1/../td``.
+
+        By Definition 3.3 this is the interval start of the node's source
+        path, which the closed form gives directly.
+        """
+        if len(path_tags) > self.height:
+            raise LabelingError(
+                f"node at depth {len(path_tags)} exceeds the scheme height {self.height}"
+            )
+        interval = self.suffix_path_interval_digits(path_tags, rooted=True)
+        if interval is None:
+            raise LabelingError(f"path {list(path_tags)} uses tags outside the vocabulary")
+        return interval.p1
+
+    def plabel_matches(self, plabel: int, steps: Sequence[str], rooted: bool = False) -> bool:
+        """True when a node with ``plabel`` answers the suffix path query."""
+        interval = self.suffix_path_interval(steps, rooted=rooted)
+        return interval is not None and interval.contains_point(plabel)
+
+    def decode_plabel(self, plabel: int) -> List[str]:
+        """Recover the rooted simple path encoded by a node P-label.
+
+        The inverse of :meth:`node_plabel`; useful for debugging and for the
+        round-trip property tests.
+        """
+        digits: List[int] = []
+        remaining = plabel
+        for position in range(self.exponent - 1, -1, -1):
+            power = self.base ** position
+            digit, remaining = divmod(remaining, power)
+            digits.append(digit)
+        tags_reversed: List[str] = []
+        for digit in digits:
+            if digit == 0:
+                break
+            tags_reversed.append(self._tags[digit - 1])
+        return list(reversed(tags_reversed))
+
+
+@dataclass
+class _StackEntry:
+    p1: int
+    p2: int
+
+
+class NodePLabeler(SaxHandler):
+    """Algorithm 2: assign node P-labels while streaming a document.
+
+    The handler maintains a stack of intervals; when an element with tag
+    ``ti`` starts, the parent interval ``<p1, p2>`` is mapped into the
+    top-level interval of ``//ti`` by
+
+    ``p1' = pi1 + p1 * (pi2 - pi1 + 1) / m``
+    ``p2' = pi1 + (p2 + 1) * (pi2 - pi1 + 1) / m - 1``
+
+    and the node's P-label is ``p1'``.  All divisions are exact because
+    interval widths are powers of the base.
+    """
+
+    def __init__(self, scheme: PLabelScheme):
+        self.scheme = scheme
+        self.plabels: List[int] = []
+        self.tags: List[str] = []
+        self._stack: List[_StackEntry] = [_StackEntry(0, scheme.domain - 1)]
+        self._top_intervals: Dict[str, PLabelInterval] = {}
+        for tag in scheme.tags:
+            interval = scheme.suffix_path_interval([tag])
+            assert interval is not None
+            self._top_intervals[tag] = interval
+
+    def start_element(self, event: StartElementEvent) -> None:
+        tag = event.tag
+        top = self._top_intervals.get(tag)
+        if top is None:
+            raise LabelingError(f"tag {tag!r} is not in the P-label scheme vocabulary")
+        parent = self._stack[-1]
+        m = self.scheme.domain
+        width = top.p2 - top.p1 + 1
+        p1 = top.p1 + parent.p1 * width // m
+        p2 = top.p1 + (parent.p2 + 1) * width // m - 1
+        self._stack.append(_StackEntry(p1, p2))
+        self.plabels.append(p1)
+        self.tags.append(tag)
+
+    def end_element(self, event: EndElementEvent) -> None:
+        self._stack.pop()
+
+    def labelled_nodes(self) -> List[Tuple[str, int]]:
+        """(tag, plabel) pairs in document (start-tag) order."""
+        return list(zip(self.tags, self.plabels))
+
+
+def build_scheme_for_tags(tags: Iterable[str], max_depth: int) -> PLabelScheme:
+    """Convenience constructor used by the indexer and dataset helpers."""
+    return PLabelScheme(sorted(set(tags)), height=max(1, max_depth))
+
+
+#: Width of the fixed-width decimal encoding used when a P-label must be
+#: stored in a system without arbitrary-precision integers (e.g. SQLite's
+#: 64-bit INTEGER).  Zero-padded equal-width decimal strings compare
+#: lexicographically exactly like the underlying integers, so B+ tree range
+#: and equality predicates keep working unchanged.
+PLABEL_TEXT_WIDTH = 96
+
+
+def encode_plabel_text(value: int, width: int = PLABEL_TEXT_WIDTH) -> str:
+    """Encode a P-label as a zero-padded decimal string of fixed width."""
+    if value < 0:
+        raise LabelingError("P-labels are non-negative")
+    text = str(value)
+    if len(text) > width:
+        raise LabelingError(
+            f"P-label needs {len(text)} digits which exceeds the text width {width}"
+        )
+    return text.zfill(width)
+
+
+def decode_plabel_text(text: str) -> int:
+    """Inverse of :func:`encode_plabel_text`."""
+    return int(text)

@@ -1,0 +1,60 @@
+"""Predicates over D-labels and P-labels.
+
+These are the join and selection predicates the translators compile into
+plans: ancestor/descendant and parent/child tests on D-labels (used by
+D-joins), and interval containment on P-labels (used by suffix-path
+selections).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dlabel import DLabel
+from repro.core.plabel import PLabelInterval
+
+
+def is_ancestor(ancestor: DLabel, descendant: DLabel) -> bool:
+    """True when ``ancestor`` properly contains ``descendant``."""
+    return ancestor.start < descendant.start and ancestor.end > descendant.end
+
+
+def is_descendant(descendant: DLabel, ancestor: DLabel) -> bool:
+    """True when ``descendant`` is properly contained in ``ancestor``."""
+    return is_ancestor(ancestor, descendant)
+
+
+def is_parent(parent: DLabel, child: DLabel) -> bool:
+    """True when ``child`` is a direct child of ``parent``."""
+    return is_ancestor(parent, child) and parent.level + 1 == child.level
+
+
+def is_child(child: DLabel, parent: DLabel) -> bool:
+    """True when ``child`` is a direct child of ``parent``."""
+    return is_parent(parent, child)
+
+
+def level_gap_related(ancestor: DLabel, descendant: DLabel, gap: Optional[int]) -> bool:
+    """Ancestor/descendant test with an optional exact level difference.
+
+    The Push-Up and Split translators record the level difference between the
+    results of two suffix-path subqueries when the two paths were connected
+    by child axes only (paper §4.1.1, Example 4.1); the D-join then carries a
+    ``level`` predicate.  ``gap=None`` means any positive difference (a plain
+    descendant-axis D-join).
+    """
+    if not is_ancestor(ancestor, descendant):
+        return False
+    if gap is None:
+        return True
+    return descendant.level - ancestor.level == gap
+
+
+def plabel_contained(plabel: int, interval: PLabelInterval) -> bool:
+    """True when a node P-label answers the suffix-path query ``interval``."""
+    return interval.contains_point(plabel)
+
+
+def document_order_key(label: DLabel) -> int:
+    """Sort key placing labels in document order (by start position)."""
+    return label.start

@@ -1,0 +1,56 @@
+"""Synthetic datasets standing in for the paper's three corpora.
+
+The paper evaluates on Shakespeare's plays (graph DTD), the Georgetown PIR
+protein database (tree DTD) and the XMark auction benchmark (recursive DTD).
+None of those files ship with this repository, so each generator produces a
+structurally faithful synthetic document: the same tag vocabulary and
+nesting (and therefore the same query behaviour), deterministic for a given
+seed, and sized by a ``scale`` parameter.
+
+* :mod:`repro.datasets.shakespeare` — ``PLAYS/PLAY/ACT/SCENE/SPEECH/LINE`` …
+* :mod:`repro.datasets.protein` — ``ProteinDatabase/ProteinEntry/…``
+* :mod:`repro.datasets.auction` — XMark-like ``site/…`` with recursive
+  ``parlist/listitem`` descriptions.
+* :mod:`repro.datasets.replicate` — the ×N replication used by the
+  scalability experiments (Figures 14–18).
+* :mod:`repro.datasets.queries` — the paper's query workloads (Figure 10 and
+  the XMark benchmark queries).
+"""
+
+from repro.datasets.auction import generate_auction
+from repro.datasets.protein import generate_protein
+from repro.datasets.queries import (
+    BENCHMARK_QUERIES,
+    QUERY_SETS,
+    queries_for_dataset,
+    strip_value_predicates,
+)
+from repro.datasets.replicate import replicate_document
+from repro.datasets.shakespeare import generate_shakespeare
+
+GENERATORS = {
+    "shakespeare": generate_shakespeare,
+    "protein": generate_protein,
+    "auction": generate_auction,
+}
+
+
+def build_dataset(name: str, scale: int = 1, seed: int = 7):
+    """Build one of the three datasets by name."""
+    if name not in GENERATORS:
+        raise ValueError(f"unknown dataset {name!r}; expected one of {sorted(GENERATORS)}")
+    return GENERATORS[name](scale=scale, seed=seed)
+
+
+__all__ = [
+    "BENCHMARK_QUERIES",
+    "GENERATORS",
+    "QUERY_SETS",
+    "build_dataset",
+    "generate_auction",
+    "generate_protein",
+    "generate_shakespeare",
+    "queries_for_dataset",
+    "replicate_document",
+    "strip_value_predicates",
+]

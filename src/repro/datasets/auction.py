@@ -1,0 +1,206 @@
+"""XMark-like auction dataset generator (recursive DTD, depth >= 12).
+
+Mirrors the XMark benchmark document the paper generates with ``xmlgen``:
+``site`` with regional ``item`` listings, ``categories`` (whose descriptions
+use the recursive ``parlist``/``listitem`` structure), ``people``,
+``open_auctions`` and ``closed_auctions``.  The recursion of
+``description → parlist → listitem → parlist → …`` is what gives the
+dataset its depth (the paper reports 12 levels); the generator nests up to
+four ``parlist`` levels under category descriptions, which yields simple
+paths of length 12.
+
+Queries QA1–QA3 of Figure 10 and the tree-pattern versions of the XMark
+benchmark queries (see :mod:`repro.datasets.queries`) run unchanged.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List
+
+from repro.datasets.words import CITIES, COUNTRIES, paragraph, person_name, sentence, title_words
+from repro.xmlkit.model import Document, Element
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+def generate_auction(scale: int = 1, seed: int = 7) -> Document:
+    """Generate an auction-site document.
+
+    ``scale`` controls the number of items per region (6 per scale unit),
+    people (20 per unit), auctions (10 per unit) and categories (5 per unit).
+    """
+    rng = Random(seed)
+    root = Element("site")
+
+    regions = root.make_child("regions")
+    item_ids: List[str] = []
+    for region_name in REGIONS:
+        region = regions.make_child(region_name)
+        for _ in range(max(1, 6 * scale)):
+            item_id = f"item{len(item_ids)}"
+            item_ids.append(item_id)
+            region.append(_item(rng, item_id))
+
+    categories = root.make_child("categories")
+    category_ids: List[str] = []
+    for _ in range(max(1, 5 * scale)):
+        category_id = f"category{len(category_ids)}"
+        category_ids.append(category_id)
+        categories.append(_category(rng, category_id))
+
+    catgraph = root.make_child("catgraph")
+    for _ in range(max(1, 3 * scale)):
+        edge = catgraph.make_child("edge")
+        edge.set_attribute("from", rng.choice(category_ids))
+        edge.set_attribute("to", rng.choice(category_ids))
+
+    people = root.make_child("people")
+    person_ids: List[str] = []
+    for _ in range(max(1, 20 * scale)):
+        person_id = f"person{len(person_ids)}"
+        person_ids.append(person_id)
+        people.append(_person(rng, person_id))
+
+    open_auctions = root.make_child("open_auctions")
+    for auction_number in range(max(1, 10 * scale)):
+        open_auctions.append(_open_auction(rng, auction_number, item_ids, person_ids))
+
+    closed_auctions = root.make_child("closed_auctions")
+    for auction_number in range(max(1, 6 * scale)):
+        closed_auctions.append(_closed_auction(rng, auction_number, item_ids, person_ids))
+
+    return Document(root, name="auction")
+
+
+def _description(rng: Random, depth: int) -> Element:
+    """A description that is either flat text or a recursive parlist."""
+    description = Element("description")
+    if depth <= 0 or rng.random() < 0.35:
+        description.make_child("text", text=paragraph(rng))
+        return description
+    description.append(_parlist(rng, depth))
+    return description
+
+
+def _parlist(rng: Random, depth: int) -> Element:
+    parlist = Element("parlist")
+    for _ in range(rng.randint(1, 3)):
+        listitem = parlist.make_child("listitem")
+        if depth > 1 and rng.random() < 0.5:
+            listitem.append(_parlist(rng, depth - 1))
+        else:
+            listitem.make_child("text", text=sentence(rng))
+    return parlist
+
+
+def _item(rng: Random, item_id: str) -> Element:
+    item = Element("item", attributes={"id": item_id})
+    item.make_child("location", text=rng.choice(COUNTRIES))
+    item.make_child("quantity", text=str(rng.randint(1, 5)))
+    item.make_child("name", text=title_words(rng, 2))
+    payment = item.make_child("payment", text="Creditcard")
+    del payment
+    item.append(_description(rng, depth=2))
+    # Roughly half of the items offer shipping: the QA3 branch predicate.
+    if rng.random() < 0.5:
+        item.make_child("shipping", text="Will ship internationally")
+    incategory = item.make_child("incategory")
+    incategory.set_attribute("category", f"category{rng.randint(0, 4)}")
+    mailbox = item.make_child("mailbox")
+    for _ in range(rng.randint(0, 2)):
+        mail = mailbox.make_child("mail")
+        mail.make_child("from", text=person_name(rng))
+        mail.make_child("to", text=person_name(rng))
+        mail.make_child("date", text=_date(rng))
+        mail.make_child("text", text=sentence(rng))
+    return item
+
+
+def _category(rng: Random, category_id: str) -> Element:
+    category = Element("category", attributes={"id": category_id})
+    category.make_child("name", text=title_words(rng, 2))
+    # Category descriptions use the deep recursive parlist nesting; four
+    # levels gives simple paths of length 12:
+    # site/categories/category/description/parlist/listitem/parlist/listitem/
+    # parlist/listitem/parlist/listitem.
+    category.append(_description(rng, depth=4))
+    return category
+
+
+def _person(rng: Random, person_id: str) -> Element:
+    person = Element("person", attributes={"id": person_id})
+    person.make_child("name", text=person_name(rng))
+    person.make_child("emailaddress", text=f"mailto:{person_id}@example.org")
+    if rng.random() < 0.6:
+        person.make_child("phone", text=f"+1 ({rng.randint(200, 999)}) {rng.randint(1000000, 9999999)}")
+    if rng.random() < 0.7:
+        address = person.make_child("address")
+        address.make_child("street", text=f"{rng.randint(1, 99)} {title_words(rng, 1)} St")
+        address.make_child("city", text=rng.choice(CITIES))
+        address.make_child("country", text=rng.choice(COUNTRIES))
+        address.make_child("zipcode", text=str(rng.randint(10000, 99999)))
+    profile = person.make_child("profile")
+    profile.set_attribute("income", str(rng.randint(10000, 120000)))
+    for _ in range(rng.randint(0, 3)):
+        interest = profile.make_child("interest")
+        interest.set_attribute("category", f"category{rng.randint(0, 4)}")
+    profile.make_child("education", text="Graduate School")
+    profile.make_child("age", text=str(rng.randint(18, 80)))
+    watches = person.make_child("watches")
+    for _ in range(rng.randint(0, 2)):
+        watch = watches.make_child("watch")
+        watch.set_attribute("open_auction", f"open_auction{rng.randint(0, 9)}")
+    return person
+
+
+def _open_auction(rng: Random, number: int, item_ids: List[str], person_ids: List[str]) -> Element:
+    auction = Element("open_auction", attributes={"id": f"open_auction{number}"})
+    auction.make_child("initial", text=f"{rng.uniform(1, 200):.2f}")
+    if rng.random() < 0.6:
+        auction.make_child("reserve", text=f"{rng.uniform(10, 400):.2f}")
+    for _ in range(rng.randint(1, 4)):
+        bidder = auction.make_child("bidder")
+        bidder.make_child("date", text=_date(rng))
+        bidder.make_child("time", text=f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:00")
+        personref = bidder.make_child("personref")
+        personref.set_attribute("person", rng.choice(person_ids))
+        bidder.make_child("increase", text=f"{rng.uniform(1, 30):.2f}")
+    auction.make_child("current", text=f"{rng.uniform(10, 600):.2f}")
+    itemref = auction.make_child("itemref")
+    itemref.set_attribute("item", rng.choice(item_ids))
+    seller = auction.make_child("seller")
+    seller.set_attribute("person", rng.choice(person_ids))
+    annotation = auction.make_child("annotation")
+    annotation.make_child("author", text=person_name(rng))
+    annotation.append(_description(rng, depth=1))
+    annotation.make_child("happiness", text=str(rng.randint(1, 10)))
+    auction.make_child("quantity", text=str(rng.randint(1, 3)))
+    auction.make_child("type", text="Regular")
+    interval = auction.make_child("interval")
+    interval.make_child("start", text=_date(rng))
+    interval.make_child("end", text=_date(rng))
+    return auction
+
+
+def _closed_auction(rng: Random, number: int, item_ids: List[str], person_ids: List[str]) -> Element:
+    auction = Element("closed_auction", attributes={"id": f"closed_auction{number}"})
+    seller = auction.make_child("seller")
+    seller.set_attribute("person", rng.choice(person_ids))
+    buyer = auction.make_child("buyer")
+    buyer.set_attribute("person", rng.choice(person_ids))
+    itemref = auction.make_child("itemref")
+    itemref.set_attribute("item", rng.choice(item_ids))
+    auction.make_child("price", text=f"{rng.uniform(5, 500):.2f}")
+    auction.make_child("date", text=_date(rng))
+    auction.make_child("quantity", text=str(rng.randint(1, 3)))
+    auction.make_child("type", text="Regular")
+    annotation = auction.make_child("annotation")
+    annotation.make_child("author", text=person_name(rng))
+    annotation.append(_description(rng, depth=1))
+    annotation.make_child("happiness", text=str(rng.randint(1, 10)))
+    return auction
+
+
+def _date(rng: Random) -> str:
+    return f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/{rng.randint(1999, 2003)}"

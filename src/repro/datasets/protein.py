@@ -1,0 +1,113 @@
+"""Protein-like dataset generator (tree DTD, depth 7).
+
+Mirrors the structure of the Georgetown Protein Information Resource export
+the paper uses (and whose fragment appears in the paper's Figure 1):
+``ProteinDatabase`` of ``ProteinEntry`` elements, each with a ``protein``
+description (name, classification/superfamily, organism), ``reference``
+blocks carrying ``refinfo`` with authors/year/title/citation, genetics and a
+sequence.  Queries QP1–QP3 of Figure 10 run unchanged, and a controlled
+fraction of entries carries the author ``"Daniel, M."`` that QP2 selects and
+the cytochrome-c family used by the paper's running example.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.datasets.words import paragraph, person_name, sentence, title_words
+from repro.xmlkit.model import Document, Element
+
+SUPERFAMILIES = (
+    "cytochrome c",
+    "globin",
+    "kinase",
+    "protease inhibitor",
+    "homeobox protein",
+    "ferredoxin",
+)
+
+TARGET_AUTHOR = "Daniel, M."
+EXAMPLE_AUTHOR = "Evans, M.J."
+
+
+def generate_protein(scale: int = 1, seed: int = 7) -> Document:
+    """Generate a protein-database-like document.
+
+    ``scale`` controls the number of protein entries (30 per scale unit).
+    Every fifth entry cites ``"Daniel, M."`` (the QP2 value) and every
+    seventh entry belongs to the cytochrome c superfamily with an
+    ``"Evans, M.J."`` 2001 reference, reproducing the paper's running
+    example query Q.
+    """
+    rng = Random(seed)
+    root = Element("ProteinDatabase")
+    for entry_number in range(max(1, 30 * scale)):
+        root.append(_protein_entry(rng, entry_number))
+    return Document(root, name="protein")
+
+
+def _protein_entry(rng: Random, entry_number: int) -> Element:
+    entry = Element("ProteinEntry", attributes={"id": f"PE{entry_number:05d}"})
+    entry.make_child("header", text=f"entry {entry_number}")
+
+    protein = entry.make_child("protein")
+    is_cytochrome = entry_number % 7 == 0
+    family = "cytochrome c" if is_cytochrome else SUPERFAMILIES[entry_number % len(SUPERFAMILIES)]
+    protein.make_child(
+        "name",
+        text=("cytochrome c [validated]" if is_cytochrome else f"{title_words(rng, 2)} protein"),
+    )
+    classification = protein.make_child("classification")
+    classification.make_child("superfamily", text=family)
+    organism = protein.make_child("organism")
+    organism.make_child("source", text=title_words(rng, 2))
+    organism.make_child("common", text=title_words(rng, 1))
+
+    for reference_number in range(rng.randint(1, 3)):
+        entry.append(_reference(rng, entry_number, reference_number, is_cytochrome))
+
+    genetics = entry.make_child("genetics")
+    genetics.make_child("gene", text=title_words(rng, 1).upper())
+    genetics.make_child("codon", text=str(rng.randint(1, 64)))
+
+    classification_block = entry.make_child("summary", text=paragraph(rng))
+    del classification_block
+
+    sequence = entry.make_child("sequence")
+    sequence.make_child("length", text=str(rng.randint(80, 600)))
+    sequence.make_child("seqdata", text="".join(rng.choice("ACDEFGHIKLMNPQRSTVWY") for _ in range(60)))
+    return entry
+
+
+def _reference(rng: Random, entry_number: int, reference_number: int, is_cytochrome: bool) -> Element:
+    reference = Element("reference")
+    refinfo = reference.make_child("refinfo", refid=f"R{entry_number}.{reference_number}")
+    authors = refinfo.make_child("authors")
+    author_count = rng.randint(1, 4)
+    for author_number in range(author_count):
+        if entry_number % 5 == 0 and author_number == 0:
+            authors.make_child("author", text=TARGET_AUTHOR)
+        elif is_cytochrome and reference_number == 0 and author_number == 0:
+            authors.make_child("author", text=EXAMPLE_AUTHOR)
+        else:
+            authors.make_child("author", text=person_name(rng))
+    if is_cytochrome and reference_number == 0:
+        refinfo.make_child("year", text="2001")
+        refinfo.make_child("title", text="The human somatic cytochrome c gene")
+    else:
+        refinfo.make_child("year", text=str(rng.randint(1985, 2003)))
+        refinfo.make_child("title", text=sentence(rng))
+    # Roughly half of the refinfo blocks carry a citation element, which QP3
+    # requires alongside year.
+    if rng.random() < 0.5 or (is_cytochrome and reference_number == 0):
+        citation = refinfo.make_child("citation", text=title_words(rng, 3))
+        citation.set_attribute("type", "journal")
+    refinfo.make_child("volume", text=str(rng.randint(1, 400)))
+    refinfo.make_child("pages", text=f"{rng.randint(1, 900)}-{rng.randint(901, 1400)}")
+    accinfo = reference.make_child("accinfo")
+    xrefs = accinfo.make_child("xrefs")
+    for _ in range(rng.randint(1, 2)):
+        xref = xrefs.make_child("xref")
+        xref.make_child("db", text="GenBank")
+        xref.make_child("uid", text=str(rng.randint(10000, 99999)))
+    return reference

@@ -1,0 +1,113 @@
+"""The paper's query workloads.
+
+Figure 10's nine queries (three per dataset: a suffix path query, a path
+query with an interior descendant axis, and a general tree query) plus the
+XMark benchmark queries the paper runs on the large Auction dataset
+(Figure 15 uses Q1, Q2, Q4, Q5, Q6).  The benchmark queries are the
+tree-pattern cores of the original XQuery definitions — the paper itself
+restricts them to "/", "//" and branches (§5.1.2), and §5.3.1 additionally
+strips value predicates for the holistic-twig-join experiments, which
+:func:`strip_value_predicates` reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.xpath.ast import LocationPath, PathPredicate, Step
+from repro.xpath.parser import parse_xpath
+
+# -- Figure 10 query sets ---------------------------------------------------------
+
+SHAKESPEARE_QUERIES: Dict[str, str] = {
+    "QS1": "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE",
+    "QS2": "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR",
+    "QS3": '/PLAYS/PLAY/ACT/SCENE[TITLE = "SCENE III. A public place."]//LINE',
+}
+
+PROTEIN_QUERIES: Dict[str, str] = {
+    "QP1": "/ProteinDatabase/ProteinEntry/protein/name",
+    "QP2": '/ProteinDatabase/ProteinEntry//authors/author = "Daniel, M."',
+    "QP3": "/ProteinDatabase/ProteinEntry[reference/refinfo[citation and year]]/protein/name",
+}
+
+AUCTION_QUERIES: Dict[str, str] = {
+    "QA1": "//category/description/parlist/listitem",
+    "QA2": "/site/regions//item/description",
+    "QA3": "/site/regions/asia/item[shipping]/description",
+}
+
+#: The running-example query of the paper's introduction (Figure 2).
+EXAMPLE_QUERY = (
+    '/ProteinDatabase/ProteinEntry[protein//superfamily = "cytochrome c"]'
+    '/reference/refinfo[//author = "Evans, M.J." and year = "2001"]/title'
+)
+
+QUERY_SETS: Dict[str, Dict[str, str]] = {
+    "shakespeare": SHAKESPEARE_QUERIES,
+    "protein": PROTEIN_QUERIES,
+    "auction": AUCTION_QUERIES,
+}
+
+# -- XMark benchmark queries (tree-pattern cores) -----------------------------------
+
+BENCHMARK_QUERIES: Dict[str, str] = {
+    # Q1: the name of the person with a given id (attribute branch).
+    "Q1": '/site/people/person[@id = "person0"]/name',
+    # Q2: the increases of all bidders of open auctions.
+    "Q2": "/site/open_auctions/open_auction/bidder/increase",
+    # Q4: reserves of open auctions that have a bidder referencing a person.
+    "Q4": "/site/open_auctions/open_auction[bidder/personref]/reserve",
+    # Q5: prices of closed auctions (the original counts those above a bound).
+    "Q5": "/site/closed_auctions/closed_auction/price",
+    # Q6: all items anywhere under the regions subtree.
+    "Q6": "/site/regions//item",
+}
+
+
+def queries_for_dataset(name: str) -> Dict[str, LocationPath]:
+    """Parsed Figure 10 queries for one dataset."""
+    if name not in QUERY_SETS:
+        raise ValueError(f"unknown dataset {name!r}; expected one of {sorted(QUERY_SETS)}")
+    return {query_name: parse_xpath(text) for query_name, text in QUERY_SETS[name].items()}
+
+
+def benchmark_queries() -> Dict[str, LocationPath]:
+    """Parsed XMark benchmark queries used by Figure 15."""
+    return {name: parse_xpath(text) for name, text in BENCHMARK_QUERIES.items()}
+
+
+def all_figure10_queries() -> List[Tuple[str, str, str]]:
+    """(dataset, query name, query text) rows in the paper's order."""
+    rows: List[Tuple[str, str, str]] = []
+    for dataset in ("shakespeare", "protein", "auction"):
+        for query_name, text in QUERY_SETS[dataset].items():
+            rows.append((dataset, query_name, text))
+    return rows
+
+
+def strip_value_predicates(path: LocationPath) -> LocationPath:
+    """Remove every value comparison from a query (paper §5.3.1).
+
+    Existence branches are kept (they are structural); only the ``= "value"``
+    comparisons — on the trailing path and inside predicates — are dropped.
+    """
+
+    def strip_predicate(predicate: PathPredicate) -> PathPredicate:
+        return PathPredicate(path=strip_path(predicate.path), value=None)
+
+    def strip_step(step: Step) -> Step:
+        return Step(
+            axis=step.axis,
+            node_test=step.node_test,
+            predicates=tuple(strip_predicate(p) for p in step.predicates),
+        )
+
+    def strip_path(inner: LocationPath) -> LocationPath:
+        return LocationPath(
+            steps=tuple(strip_step(step) for step in inner.steps),
+            absolute=inner.absolute,
+            value=None,
+        )
+
+    return strip_path(path)

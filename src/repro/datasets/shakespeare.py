@@ -1,0 +1,114 @@
+"""Shakespeare-like dataset generator (graph DTD, depth 7).
+
+Mirrors the structure of Jon Bosak's Shakespeare XML used by the paper:
+``PLAYS`` containing ``PLAY`` elements with front matter, ``PERSONAE``,
+``PROLOGUE``, ``ACT``/``SCENE``/``SPEECH``/``LINE`` nesting, ``STAGEDIR``
+directions (both as scene children and nested inside lines), and an
+``EPILOGUE``.  The queries QS1–QS3 of Figure 10 run unchanged against this
+structure, including the specific scene title ``"SCENE III. A public
+place."`` that QS3 selects on.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.datasets.words import paragraph, sentence, title_words
+from repro.xmlkit.model import Document, Element
+
+PUBLIC_PLACE_TITLE = "SCENE III. A public place."
+
+
+def generate_shakespeare(scale: int = 1, seed: int = 7) -> Document:
+    """Generate a Shakespeare-like document.
+
+    ``scale`` controls the number of plays (2 per scale unit); one scene per
+    play receives the QS3 title so the selective query always has matches.
+    """
+    rng = Random(seed)
+    root = Element("PLAYS")
+    for play_number in range(max(1, 2 * scale)):
+        root.append(_play(rng, play_number))
+    return Document(root, name="shakespeare")
+
+
+def _play(rng: Random, play_number: int) -> Element:
+    play = Element("PLAY")
+    play.make_child("TITLE", text=f"The Tragedy of {title_words(rng, 2)}")
+    front_matter = play.make_child("FM")
+    for _ in range(3):
+        front_matter.make_child("P", text=sentence(rng))
+    play.make_child("SCNDESCR", text=sentence(rng))
+    play.make_child("PLAYSUBT", text=title_words(rng, 3))
+
+    personae = play.make_child("PERSONAE")
+    personae.make_child("TITLE", text="Dramatis Personae")
+    for _ in range(rng.randint(4, 8)):
+        personae.make_child("PERSONA", text=title_words(rng, 2))
+    group = personae.make_child("PGROUP")
+    for _ in range(2):
+        group.make_child("PERSONA", text=title_words(rng, 2))
+    group.make_child("GRPDESCR", text=sentence(rng))
+
+    prologue = play.make_child("PROLOGUE")
+    prologue.make_child("TITLE", text="PROLOGUE")
+    for _ in range(2):
+        speech = prologue.make_child("SPEECH")
+        speech.make_child("SPEAKER", text="Chorus")
+        for _ in range(rng.randint(2, 4)):
+            speech.make_child("LINE", text=sentence(rng))
+
+    for act_number in range(1, rng.randint(3, 5) + 1):
+        play.append(_act(rng, play_number, act_number))
+
+    epilogue = play.make_child("EPILOGUE")
+    epilogue.make_child("TITLE", text="EPILOGUE")
+    for _ in range(2):
+        speech = epilogue.make_child("SPEECH")
+        speech.make_child("SPEAKER", text=title_words(rng, 1))
+        for line_number in range(rng.randint(3, 6)):
+            line = speech.make_child("LINE", text=sentence(rng))
+            # Some epilogue lines carry inline stage directions: the target
+            # of QS2 (/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR).
+            if line_number % 2 == 0:
+                line.make_child("STAGEDIR", text=f"Exit {title_words(rng, 1)}")
+    return play
+
+
+def _act(rng: Random, play_number: int, act_number: int) -> Element:
+    act = Element("ACT")
+    act.make_child("TITLE", text=f"ACT {_roman(act_number)}")
+    scene_count = rng.randint(2, 4)
+    for scene_number in range(1, scene_count + 1):
+        act.append(_scene(rng, play_number, act_number, scene_number))
+    return act
+
+
+def _scene(rng: Random, play_number: int, act_number: int, scene_number: int) -> Element:
+    scene = Element("SCENE")
+    if act_number == 1 and scene_number == 3:
+        # QS3's selective title; one scene per play matches.
+        scene.make_child("TITLE", text=PUBLIC_PLACE_TITLE)
+    else:
+        scene.make_child(
+            "TITLE", text=f"SCENE {_roman(scene_number)}. {title_words(rng, 3)}."
+        )
+    scene.make_child("STAGEDIR", text=f"Enter {title_words(rng, 2)}")
+    for _ in range(rng.randint(3, 6)):
+        speech = scene.make_child("SPEECH")
+        speech.make_child("SPEAKER", text=title_words(rng, 1).upper())
+        for line_number in range(rng.randint(2, 6)):
+            line = speech.make_child("LINE", text=sentence(rng))
+            # Occasional inline stage directions give the dataset the same
+            # depth-7 simple paths as the real Shakespeare corpus
+            # (PLAYS/PLAY/ACT/SCENE/SPEECH/LINE/STAGEDIR).
+            if line_number == 0 and rng.random() < 0.2:
+                line.make_child("STAGEDIR", text="Aside")
+    if rng.random() < 0.5:
+        scene.make_child("STAGEDIR", text="Exeunt")
+    return scene
+
+
+def _roman(number: int) -> str:
+    numerals = ["I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"]
+    return numerals[number - 1] if 1 <= number <= len(numerals) else str(number)

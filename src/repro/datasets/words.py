@@ -1,0 +1,65 @@
+"""Small word pools and text helpers shared by the dataset generators.
+
+The generators only need *plausible* text of realistic length — enough for
+the documents to have the mix of markup and character data the paper's size
+and node-count table (Figure 12) reflects — so a tiny deterministic
+vocabulary is sufficient.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List, Sequence
+
+WORDS: Sequence[str] = (
+    "time", "house", "river", "letter", "night", "market", "silver", "garden",
+    "question", "answer", "shadow", "crown", "voyage", "harbor", "stone",
+    "winter", "summer", "promise", "signal", "measure", "fortune", "message",
+    "council", "village", "mountain", "treaty", "whisper", "lantern", "mirror",
+    "sentence", "archive", "pattern", "figure", "record", "station", "account",
+)
+
+FIRST_NAMES: Sequence[str] = (
+    "Daniel", "Maria", "Evans", "Chen", "Susan", "Yifeng", "Thomas", "Alice",
+    "Robert", "Helena", "Marcus", "Julia", "Peter", "Nadia", "Oliver", "Grace",
+)
+
+LAST_INITIALS: Sequence[str] = ("M", "J", "K", "L", "R", "S", "T", "W")
+
+CITIES: Sequence[str] = (
+    "Philadelphia", "Paris", "Lisbon", "Kyoto", "Nairobi", "Toronto", "Sydney",
+    "Lima", "Oslo", "Prague", "Seoul", "Vienna",
+)
+
+COUNTRIES: Sequence[str] = (
+    "United States", "France", "Portugal", "Japan", "Kenya", "Canada",
+    "Australia", "Peru", "Norway", "Czech Republic", "South Korea", "Austria",
+)
+
+
+def sentence(rng: Random, min_words: int = 4, max_words: int = 12) -> str:
+    """A deterministic pseudo-sentence."""
+    count = rng.randint(min_words, max_words)
+    words = [rng.choice(WORDS) for _ in range(count)]
+    words[0] = words[0].capitalize()
+    return " ".join(words) + "."
+
+
+def paragraph(rng: Random, sentences: int = 2) -> str:
+    """A short paragraph of pseudo-sentences."""
+    return " ".join(sentence(rng) for _ in range(sentences))
+
+
+def person_name(rng: Random) -> str:
+    """A “Surname, I.” style person name (the format the paper's queries use)."""
+    return f"{rng.choice(FIRST_NAMES)}, {rng.choice(LAST_INITIALS)}."
+
+
+def title_words(rng: Random, count: int = 5) -> str:
+    """A title-cased phrase."""
+    return " ".join(word.capitalize() for word in (rng.choice(WORDS) for _ in range(count)))
+
+
+def pick_many(rng: Random, pool: Sequence[str], count: int) -> List[str]:
+    """``count`` choices (with replacement) from ``pool``."""
+    return [rng.choice(pool) for _ in range(count)]

@@ -1,0 +1,67 @@
+"""The RDBMS query engine: translator SQL executed on SQLite.
+
+The paper's first engine stores the two relations in DB2 and runs the SQL
+emitted by the translators (§5.2).  Here the backend is SQLite (standard
+library); the engine measures wall-clock execution time of the generated SQL
+and resolves the resulting ``start`` positions back to node records so that
+results can be cross-checked against the other engines and the naive
+evaluator.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.core.indexer import IndexedDocument, NodeRecord
+from repro.engine.results import QueryResult
+from repro.storage.sqlite_backend import SqliteBackend
+from repro.translate.plan import QueryPlan
+from repro.translate.sql import plan_to_sql
+
+
+class RdbmsEngine:
+    """Runs plans as SQL on a :class:`SqliteBackend`."""
+
+    def __init__(self, backend: SqliteBackend, indexed: Optional[IndexedDocument] = None):
+        self.backend = backend
+        self._records_by_start: Dict[int, NodeRecord] = {}
+        if indexed is not None:
+            self._records_by_start = {record.start: record for record in indexed.records}
+
+    @classmethod
+    def from_indexed_document(
+        cls, indexed: IndexedDocument, path: str = ":memory:"
+    ) -> "RdbmsEngine":
+        """Build a backend from an indexed document and wrap it."""
+        backend = SqliteBackend.from_indexed_document(indexed, path=path)
+        return cls(backend, indexed)
+
+    def execute(self, plan: QueryPlan) -> QueryResult:
+        """Generate SQL for ``plan``, run it, and collect results."""
+        sql = plan_to_sql(plan)
+        started = time.perf_counter()
+        rows = self.backend.execute(sql)
+        elapsed = time.perf_counter() - started
+        starts = sorted({int(row[0]) for row in rows})
+        records = [
+            self._records_by_start[start]
+            for start in starts
+            if start in self._records_by_start
+        ]
+        return QueryResult(
+            starts=starts,
+            records=records,
+            elapsed_seconds=elapsed,
+            engine="sqlite",
+            translator=plan.translator,
+            sql=sql,
+        )
+
+    def explain(self, plan: QueryPlan) -> List[str]:
+        """EXPLAIN QUERY PLAN lines for the plan's SQL."""
+        return self.backend.explain(plan_to_sql(plan))
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self.backend.close()

@@ -1,0 +1,51 @@
+"""Query result container shared by the engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.indexer import NodeRecord
+from repro.storage.stats import AccessStatistics
+
+
+@dataclass
+class QueryResult:
+    """The outcome of running one query on one engine.
+
+    ``starts`` identifies result nodes by their D-label start position
+    (the paper's plans project the return alias's ``start``); ``records``
+    carries the full node records when the engine resolved them; ``stats``
+    holds the access counters (empty for the SQLite engine, which does its
+    own I/O); ``elapsed_seconds`` is wall-clock execution time excluding
+    translation.
+    """
+
+    starts: List[int]
+    records: List[NodeRecord] = field(default_factory=list)
+    stats: AccessStatistics = field(default_factory=AccessStatistics)
+    elapsed_seconds: float = 0.0
+    engine: str = ""
+    translator: str = ""
+    sql: Optional[str] = None
+
+    @property
+    def count(self) -> int:
+        """Number of result nodes."""
+        return len(self.starts)
+
+    def values(self) -> List[Optional[str]]:
+        """Data values of the result nodes (when records are available)."""
+        return [record.data for record in self.records]
+
+    def summary(self) -> Dict[str, object]:
+        """A flat summary row for benchmark reports."""
+        return {
+            "engine": self.engine,
+            "translator": self.translator,
+            "results": self.count,
+            "elapsed_seconds": self.elapsed_seconds,
+            "elements_read": self.stats.elements_read,
+            "pages_read": self.stats.pages_read,
+            "djoins": self.stats.djoins_executed,
+        }

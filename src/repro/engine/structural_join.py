@@ -1,0 +1,97 @@
+"""Binary structural D-joins (stack-based sort-merge).
+
+The D-join of paper §3.1 pairs an ancestor node list with a descendant node
+list on interval containment (optionally constrained by an exact or minimum
+level difference).  This module implements the stack-based merge of
+Al-Khalifa et al. ("Structural joins: a primitive for efficient XML query
+pattern matching", ICDE 2002): both inputs are sorted by start position and
+merged in one pass, keeping a stack of currently open ancestors, so the cost
+is linear in input plus output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.indexer import NodeRecord
+from repro.storage.stats import AccessStatistics
+
+
+def _level_ok(ancestor: NodeRecord, descendant: NodeRecord,
+              level_gap: Optional[int], min_level_gap: Optional[int]) -> bool:
+    difference = descendant.level - ancestor.level
+    if level_gap is not None:
+        return difference == level_gap
+    if min_level_gap is not None:
+        return difference >= min_level_gap
+    return True
+
+
+def structural_join(
+    ancestors: Sequence[NodeRecord],
+    descendants: Sequence[NodeRecord],
+    level_gap: Optional[int] = None,
+    min_level_gap: Optional[int] = None,
+    stats: Optional[AccessStatistics] = None,
+) -> List[Tuple[int, int]]:
+    """All (ancestor index, descendant index) pairs where containment holds.
+
+    Indexes refer to positions in the *input sequences* so callers can carry
+    along whatever extra state they attached to each record (the plan
+    executor joins row bindings this way).  Records from different documents
+    never pair up.
+    """
+    anc_order = sorted(range(len(ancestors)), key=lambda i: (ancestors[i].doc_id, ancestors[i].start))
+    desc_order = sorted(
+        range(len(descendants)), key=lambda i: (descendants[i].doc_id, descendants[i].start)
+    )
+    pairs: List[Tuple[int, int]] = []
+    comparisons = 0
+    stack: List[int] = []  # ancestor indexes whose intervals are currently open
+    a_pos = 0
+    for d_index in desc_order:
+        descendant = descendants[d_index]
+        # Push every ancestor that starts before this descendant.
+        while a_pos < len(anc_order):
+            a_index = anc_order[a_pos]
+            ancestor = ancestors[a_index]
+            if (ancestor.doc_id, ancestor.start) >= (descendant.doc_id, descendant.start):
+                break
+            # Drop closed ancestors before pushing (keeps the stack nested).
+            while stack and (
+                ancestors[stack[-1]].doc_id != ancestor.doc_id
+                or ancestors[stack[-1]].end < ancestor.start
+            ):
+                stack.pop()
+            stack.append(a_index)
+            a_pos += 1
+        # Drop ancestors that closed before this descendant starts.
+        while stack and (
+            ancestors[stack[-1]].doc_id != descendant.doc_id
+            or ancestors[stack[-1]].end < descendant.start
+        ):
+            stack.pop()
+        # Every remaining stacked ancestor contains the descendant (intervals
+        # from one well-formed document are properly nested).
+        for a_index in stack:
+            ancestor = ancestors[a_index]
+            comparisons += 1
+            if ancestor.end > descendant.end and _level_ok(
+                ancestor, descendant, level_gap, min_level_gap
+            ):
+                pairs.append((a_index, d_index))
+    if stats is not None:
+        stats.record_join(comparisons=comparisons, outputs=len(pairs))
+    return pairs
+
+
+def join_records(
+    ancestors: Sequence[NodeRecord],
+    descendants: Sequence[NodeRecord],
+    level_gap: Optional[int] = None,
+    min_level_gap: Optional[int] = None,
+    stats: Optional[AccessStatistics] = None,
+) -> List[Tuple[NodeRecord, NodeRecord]]:
+    """Like :func:`structural_join` but returning record pairs directly."""
+    pairs = structural_join(ancestors, descendants, level_gap, min_level_gap, stats)
+    return [(ancestors[a], descendants[d]) for a, d in pairs]

@@ -1,0 +1,347 @@
+"""Holistic twig join (TwigStack) engine.
+
+The paper's second query engine (§5.3) stores the labelled nodes in a file
+system and evaluates tree-pattern queries with the holistic twig join of
+Bruno, Koudas and Srivastava (SIGMOD 2002).  This module implements:
+
+* :class:`TwigPattern` / :class:`TwigPatternNode` — a tree pattern whose
+  nodes carry a sorted-by-``start`` stream of candidate records and whose
+  edges are ancestor/descendant relationships with optional level
+  constraints (exact for child-axis chains, minimum for descendant cuts).
+* :class:`TwigStack` — the two-phase algorithm: phase one streams all inputs
+  once, using one stack per pattern node, and emits root-to-leaf *path
+  solutions*; phase two merge-joins the path solutions of the different
+  leaves into full twig matches.
+* :class:`TwigJoinEngine` — executes a translator's
+  :class:`~repro.translate.plan.QueryPlan` holistically: each plan alias
+  becomes one pattern node whose stream is produced by the corresponding
+  selection (a tag scan for the D-labeling baseline, a ``plabel`` range or
+  equality scan for the BLAS translators), and the plan's D-joins define the
+  pattern edges.
+
+For a pure path pattern the phase-two merge degenerates to returning the
+single leaf's path solutions, which is the PathStack special case.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.indexer import NodeRecord
+from repro.engine.results import QueryResult
+from repro.exceptions import EngineError, PlanError
+from repro.storage.stats import AccessStatistics
+from repro.storage.table import StorageCatalog
+from repro.translate.plan import ConjunctivePlan, QueryPlan, SelectionKind, SelectionSpec
+
+
+@dataclass
+class TwigPatternNode:
+    """One node of a twig pattern."""
+
+    name: str
+    stream: List[NodeRecord]
+    parent: Optional["TwigPatternNode"] = None
+    children: List["TwigPatternNode"] = field(default_factory=list)
+    level_gap: Optional[int] = None
+    min_level_gap: Optional[int] = None
+
+    # Runtime state (phase one).
+    cursor: int = 0
+    stack: List[Tuple[NodeRecord, int]] = field(default_factory=list)
+
+    def add_child(self, child: "TwigPatternNode") -> "TwigPatternNode":
+        """Attach ``child`` below this node and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- stream cursor helpers -------------------------------------------------
+
+    def exhausted(self) -> bool:
+        """True when the node's stream has been fully consumed."""
+        return self.cursor >= len(self.stream)
+
+    def head(self) -> NodeRecord:
+        """The stream's current record."""
+        return self.stream[self.cursor]
+
+    def advance(self) -> None:
+        """Move the stream cursor forward by one record."""
+        self.cursor += 1
+
+    def is_leaf(self) -> bool:
+        """True when the pattern node has no children."""
+        return not self.children
+
+    def subtree(self) -> List["TwigPatternNode"]:
+        """This node and all pattern descendants (pre-order)."""
+        nodes = [self]
+        for child in self.children:
+            nodes.extend(child.subtree())
+        return nodes
+
+
+@dataclass
+class TwigPattern:
+    """A whole twig pattern with a distinguished return node."""
+
+    root: TwigPatternNode
+    return_name: str
+
+    def nodes(self) -> List[TwigPatternNode]:
+        """All pattern nodes, pre-order."""
+        return self.root.subtree()
+
+    def leaves(self) -> List[TwigPatternNode]:
+        """All leaf pattern nodes."""
+        return [node for node in self.nodes() if node.is_leaf()]
+
+
+class TwigStack:
+    """The TwigStack algorithm over one pattern."""
+
+    def __init__(self, pattern: TwigPattern):
+        self.pattern = pattern
+        # Path solutions per leaf: a list of {pattern name: record} dicts.
+        self.path_solutions: Dict[str, List[Dict[str, NodeRecord]]] = {
+            leaf.name: [] for leaf in pattern.leaves()
+        }
+
+    # -- phase one: streaming ----------------------------------------------------
+
+    _INFINITY = float("inf")
+
+    def _head_start(self, node: TwigPatternNode) -> float:
+        """Start of the node's head element (+inf when the stream is drained)."""
+        return node.head().start if not node.exhausted() else self._INFINITY
+
+    def _end(self) -> bool:
+        """True once every leaf stream has been fully consumed."""
+        return all(leaf.exhausted() for leaf in self.pattern.leaves())
+
+    def _get_next(self, node: TwigPatternNode) -> TwigPatternNode:
+        """The getNext(q) routine of TwigStack.
+
+        Returns a pattern node whose head element should be processed next:
+        either a node all of whose child subtrees have a matching descendant
+        head (a "solution extension"), or the descendant blocking one.
+        Exhausted streams behave as if terminated by a sentinel element at
+        +infinity, so a drained subtree forces its ancestors' streams to
+        drain too without blocking the remaining subtrees.
+        """
+        if node.is_leaf():
+            return node
+        live_children: List[TwigPatternNode] = []
+        max_child_start = 0.0
+        for child in node.children:
+            result = self._get_next(child)
+            if result is not child and not result.exhausted():
+                return result
+            max_child_start = max(max_child_start, self._head_start(child))
+            if not child.exhausted():
+                live_children.append(child)
+        if not live_children:
+            # Every leaf below this node is drained; report any child so the
+            # caller can notice the subtree is finished.
+            return node.children[0]
+        n_min = min(live_children, key=self._head_start)
+        while not node.exhausted() and node.head().end < max_child_start:
+            node.advance()
+        if not node.exhausted() and node.head().start < self._head_start(n_min):
+            return node
+        return n_min
+
+    def _clean_stack(self, node: TwigPatternNode, next_start: int) -> None:
+        while node.stack and node.stack[-1][0].end < next_start:
+            node.stack.pop()
+
+    def _move_stream_to_stack(self, node: TwigPatternNode) -> None:
+        parent_top = len(node.parent.stack) - 1 if node.parent is not None else -1
+        node.stack.append((node.head(), parent_top))
+        node.advance()
+
+    def _record_path_solutions(self, leaf: TwigPatternNode) -> None:
+        """Enumerate root-to-leaf solutions encoded by the stack pointers."""
+
+        def expand(node: TwigPatternNode, stack_index: int, partial: Dict[str, NodeRecord]) -> None:
+            if stack_index < 0:
+                return
+            record, parent_pointer = node.stack[stack_index]
+            bound = dict(partial)
+            bound[node.name] = record
+            if node.parent is None:
+                if self._edges_satisfied(bound, leaf):
+                    self.path_solutions[leaf.name].append(bound)
+                return
+            # The leaf element may extend any ancestor element at or below
+            # the recorded pointer in the parent stack.
+            for ancestor_index in range(parent_pointer, -1, -1):
+                expand(node.parent, ancestor_index, bound)
+
+        top = len(leaf.stack) - 1
+        expand(leaf, top, {})
+
+    def _edges_satisfied(self, bound: Dict[str, NodeRecord], leaf: TwigPatternNode) -> bool:
+        node = leaf
+        while node.parent is not None:
+            child_record = bound.get(node.name)
+            parent_record = bound.get(node.parent.name)
+            if child_record is None or parent_record is None:
+                return False
+            if not (
+                parent_record.doc_id == child_record.doc_id
+                and parent_record.start < child_record.start
+                and parent_record.end > child_record.end
+            ):
+                return False
+            difference = child_record.level - parent_record.level
+            if node.level_gap is not None and difference != node.level_gap:
+                return False
+            if node.min_level_gap is not None and difference < node.min_level_gap:
+                return False
+            node = node.parent
+        return True
+
+    def run_phase_one(self) -> None:
+        """Stream every input once, producing path solutions per leaf."""
+        root = self.pattern.root
+        while not self._end():
+            node = self._get_next(root)
+            if node.exhausted():
+                # Every remaining subtree is drained; nothing more can match.
+                break
+            if node.parent is not None:
+                self._clean_stack(node.parent, node.head().start)
+            if node.parent is None or node.parent.stack:
+                self._clean_stack(node, node.head().start)
+                self._move_stream_to_stack(node)
+                if node.is_leaf():
+                    self._record_path_solutions(node)
+                    node.stack.pop()
+            else:
+                node.advance()
+
+    # -- phase two: merging path solutions -----------------------------------------
+
+    def merge_solutions(self) -> List[Dict[str, NodeRecord]]:
+        """Natural-join the per-leaf path solutions into twig matches."""
+        leaves = self.pattern.leaves()
+        if not leaves:
+            return []
+        merged = self.path_solutions[leaves[0].name]
+        for leaf in leaves[1:]:
+            right = self.path_solutions[leaf.name]
+            merged = _natural_join(merged, right)
+            if not merged:
+                return []
+        return merged
+
+    def matches(self) -> List[Dict[str, NodeRecord]]:
+        """Run both phases and return the full twig matches."""
+        self.run_phase_one()
+        return self.merge_solutions()
+
+
+def _natural_join(
+    left: List[Dict[str, NodeRecord]], right: List[Dict[str, NodeRecord]]
+) -> List[Dict[str, NodeRecord]]:
+    if not left or not right:
+        return []
+    shared = sorted(set(left[0]) & set(right[0]))
+    if not shared:
+        return [dict(l, **r) for l in left for r in right]
+    index: Dict[Tuple, List[Dict[str, NodeRecord]]] = {}
+    for row in left:
+        key = tuple(row[name].start for name in shared)
+        index.setdefault(key, []).append(row)
+    joined: List[Dict[str, NodeRecord]] = []
+    for row in right:
+        key = tuple(row[name].start for name in shared)
+        for match in index.get(key, ()):  # pragma: no branch - simple loop
+            joined.append(dict(match, **row))
+    return joined
+
+
+class TwigJoinEngine:
+    """Executes translator plans with the holistic twig join."""
+
+    def __init__(self, catalog: StorageCatalog):
+        self.catalog = catalog
+
+    def _stream_for_selection(
+        self, selection: SelectionSpec, stats: AccessStatistics
+    ) -> List[NodeRecord]:
+        if selection.kind is SelectionKind.EMPTY:
+            return []
+        table = self.catalog.table_for(selection.source)
+        if selection.kind is SelectionKind.TAG:
+            records = table.stream_for_tag(selection.tag, stats=stats, alias=selection.alias) \
+                if selection.tag is not None else table.select_tag(None, stats=stats, alias=selection.alias)
+        else:
+            records = table.stream_for_plabel_range(
+                selection.plabel_low,
+                selection.plabel_high if selection.plabel_high is not None else selection.plabel_low,
+                stats=stats,
+                alias=selection.alias,
+            )
+        if selection.data_eq is not None:
+            records = [record for record in records if record.data == selection.data_eq]
+        if selection.level_eq is not None:
+            records = [record for record in records if record.level == selection.level_eq]
+        return sorted(records, key=lambda record: (record.doc_id, record.start))
+
+    def build_pattern(self, branch: ConjunctivePlan, stats: AccessStatistics) -> TwigPattern:
+        """Build the twig pattern of one conjunctive branch."""
+        selections = branch.alias_map
+        nodes: Dict[str, TwigPatternNode] = {
+            alias: TwigPatternNode(name=alias, stream=self._stream_for_selection(spec, stats))
+            for alias, spec in selections.items()
+        }
+        children = set()
+        for join in branch.joins:
+            parent = nodes[join.ancestor]
+            child = nodes[join.descendant]
+            child.level_gap = join.level_gap
+            child.min_level_gap = join.min_level_gap
+            parent.add_child(child)
+            children.add(join.descendant)
+        roots = [alias for alias in nodes if alias not in children]
+        if len(roots) != 1:
+            raise PlanError(
+                f"a twig pattern needs exactly one root; found {sorted(roots)}"
+            )
+        return TwigPattern(root=nodes[roots[0]], return_name=branch.return_alias)
+
+    def execute(self, plan: QueryPlan) -> QueryResult:
+        """Execute a plan holistically; returns result nodes in document order."""
+        stats = AccessStatistics()
+        started = time.perf_counter()
+        seen: Dict[int, NodeRecord] = {}
+        for branch in plan.non_empty_branches():
+            if len(branch.selections) == 1 and not branch.joins:
+                for record in self._stream_for_selection(branch.selections[0], stats):
+                    seen[record.start] = record
+                continue
+            pattern = self.build_pattern(branch, stats)
+            if any(not node.stream for node in pattern.nodes()):
+                continue
+            twig = TwigStack(pattern)
+            for match in twig.matches():
+                record = match.get(branch.return_alias)
+                if record is None:
+                    raise EngineError("twig match is missing the return binding")
+                seen[record.start] = record
+        elapsed = time.perf_counter() - started
+        starts = sorted(seen)
+        stats.record_output(len(starts))
+        return QueryResult(
+            starts=starts,
+            records=[seen[start] for start in starts],
+            stats=stats,
+            elapsed_seconds=elapsed,
+            engine="twig",
+            translator=plan.translator,
+        )

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the BLAS reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems raise the more specific
+types below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised by the XML tokenizer/parser on malformed input.
+
+    Attributes
+    ----------
+    position:
+        Character offset into the input text where the problem was found,
+        or ``None`` when the offset is not meaningful.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        base = super().__str__()
+        if self.position is None:
+            return base
+        return f"{base} (at offset {self.position})"
+
+
+class XPathSyntaxError(ReproError):
+    """Raised when an XPath expression cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedQueryError(ReproError):
+    """Raised when an XPath feature outside the supported subset is used."""
+
+
+class LabelingError(ReproError):
+    """Raised when a label cannot be constructed (e.g. depth exceeds capacity)."""
+
+
+class SchemaError(ReproError):
+    """Raised for invalid schema graphs or failed schema-guided rewrites."""
+
+
+class StorageError(ReproError):
+    """Raised by the storage layer (tables, B+ trees, backends)."""
+
+
+class PlanError(ReproError):
+    """Raised when a logical plan is malformed or cannot be executed."""
+
+
+class EngineError(ReproError):
+    """Raised by query engines during execution."""

@@ -1,0 +1,34 @@
+"""Storage substrate: instrumented tables, B+ tree indexes and SQL backend.
+
+The paper stores the labelled node relation two ways:
+
+* ``SP(plabel, start, end, level, data)`` clustered by ``{plabel, start}`` —
+  the BLAS storage.
+* ``SD(tag, start, end, level, data)`` clustered by ``{tag, start}`` — the
+  D-labeling baseline storage.
+
+This package provides both layouts over two engines:
+
+* :mod:`repro.storage.table` — a from-scratch clustered table with
+  :mod:`B+ tree <repro.storage.btree>` indexes and page-level access
+  accounting (:mod:`repro.storage.stats`, :mod:`repro.storage.pages`);
+  this is the engine used for the "visited elements" measurements.
+* :mod:`repro.storage.sqlite_backend` — the same two relations loaded into
+  SQLite (standing in for the paper's DB2), used by the RDBMS experiments.
+"""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.pages import PageLayout
+from repro.storage.sqlite_backend import SqliteBackend
+from repro.storage.stats import AccessStatistics
+from repro.storage.table import ClusterKind, NodeTable, StorageCatalog
+
+__all__ = [
+    "AccessStatistics",
+    "BPlusTree",
+    "ClusterKind",
+    "NodeTable",
+    "PageLayout",
+    "SqliteBackend",
+    "StorageCatalog",
+]

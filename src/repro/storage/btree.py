@@ -1,0 +1,228 @@
+"""A from-scratch B+ tree.
+
+The paper builds "a generic B+ tree index" over ``start``, ``plabel`` and
+``data`` (§4) and credits the cheapness of suffix-path queries to index
+range scans.  This module provides a small but complete B+ tree supporting
+bulk loading, insertion, point lookup, and inclusive range scans; internal
+nodes hold only keys, leaves hold key → value-list entries and are chained
+for range traversal.
+
+Keys may be any totally ordered Python values (ints for labels, strings for
+``data``).  Values are opaque (the tables store record positions).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Generic, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.exceptions import StorageError
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+DEFAULT_ORDER = 64
+
+
+class _Node(Generic[K, V]):
+    """Internal representation shared by leaf and interior nodes."""
+
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: List[K] = []
+        self.children: List["_Node[K, V]"] = []
+        self.values: List[List[V]] = []
+        self.next_leaf: Optional["_Node[K, V]"] = None
+
+
+class BPlusTree(Generic[K, V]):
+    """A B+ tree mapping keys to lists of values (duplicate keys allowed).
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node before it splits.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER):
+        if order < 3:
+            raise StorageError("B+ tree order must be at least 3")
+        self.order = order
+        self._root: _Node[K, V] = _Node(is_leaf=True)
+        self._size = 0
+        self.height = 1
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls, items: Sequence[Tuple[K, V]], order: int = DEFAULT_ORDER
+    ) -> "BPlusTree[K, V]":
+        """Build a tree from ``items`` (need not be sorted)."""
+        tree = cls(order=order)
+        for key, value in sorted(items, key=lambda pair: pair[0]):
+            tree.insert(key, value)
+        return tree
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert a key/value pair (duplicates append to the key's value list)."""
+        root = self._root
+        split = self._insert_into(root, key, value)
+        if split is not None:
+            separator, new_node = split
+            new_root: _Node[K, V] = _Node(is_leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [root, new_node]
+            self._root = new_root
+            self.height += 1
+        self._size += 1
+
+    def _insert_into(
+        self, node: _Node[K, V], key: K, value: V
+    ) -> Optional[Tuple[K, _Node[K, V]]]:
+        if node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(value)
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, [value])
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        index = bisect.bisect_right(node.keys, key)
+        split = self._insert_into(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, new_child = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, new_child)
+        if len(node.keys) > self.order:
+            return self._split_interior(node)
+        return None
+
+    def _split_leaf(self, node: _Node[K, V]) -> Tuple[K, _Node[K, V]]:
+        middle = len(node.keys) // 2
+        sibling: _Node[K, V] = _Node(is_leaf=True)
+        sibling.keys = node.keys[middle:]
+        sibling.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        sibling.next_leaf = node.next_leaf
+        node.next_leaf = sibling
+        return sibling.keys[0], sibling
+
+    def _split_interior(self, node: _Node[K, V]) -> Tuple[K, _Node[K, V]]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        sibling: _Node[K, V] = _Node(is_leaf=False)
+        sibling.keys = node.keys[middle + 1 :]
+        sibling.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return separator, sibling
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _find_leaf(self, key: K) -> _Node[K, V]:
+        node = self._root
+        while not node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def get(self, key: K) -> List[V]:
+        """All values stored under exactly ``key`` (empty list when absent)."""
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def __contains__(self, key: K) -> bool:
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        return index < len(leaf.keys) and leaf.keys[index] == key
+
+    def range(self, low: K, high: K) -> Iterator[Tuple[K, V]]:
+        """Yield ``(key, value)`` pairs with ``low <= key <= high`` in key order."""
+        if low > high:  # type: ignore[operator]
+            return
+        leaf: Optional[_Node[K, V]] = self._find_leaf(low)
+        index = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > high:  # type: ignore[operator]
+                    return
+                for value in leaf.values[index]:
+                    yield key, value
+                index += 1
+            leaf = leaf.next_leaf
+            index = 0
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """Every (key, value) pair in key order."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        leaf: Optional[_Node[K, V]] = node
+        while leaf is not None:
+            for key, values in zip(leaf.keys, leaf.values):
+                for value in values:
+                    yield key, value
+            leaf = leaf.next_leaf
+
+    def keys(self) -> Iterator[K]:
+        """Every distinct key in order."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        leaf: Optional[_Node[K, V]] = node
+        while leaf is not None:
+            yield from leaf.keys
+            leaf = leaf.next_leaf
+
+    def min_key(self) -> Optional[K]:
+        """Smallest key, or ``None`` for an empty tree."""
+        for key in self.keys():
+            return key
+        return None
+
+    def max_key(self) -> Optional[K]:
+        """Largest key, or ``None`` for an empty tree."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1] if node.keys else None
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants (used by property tests)."""
+
+        def depth(node: _Node[K, V]) -> int:
+            if node.is_leaf:
+                return 1
+            depths = {depth(child) for child in node.children}
+            if len(depths) != 1:
+                raise StorageError("B+ tree leaves are not all at the same depth")
+            return depths.pop() + 1
+
+        def ordered(node: _Node[K, V]) -> None:
+            if any(a > b for a, b in zip(node.keys, node.keys[1:])):  # type: ignore[operator]
+                raise StorageError("B+ tree node keys out of order")
+            if not node.is_leaf:
+                if len(node.children) != len(node.keys) + 1:
+                    raise StorageError("interior node child count mismatch")
+                for child in node.children:
+                    ordered(child)
+
+        depth(self._root)
+        ordered(self._root)
+        all_keys = list(self.keys())
+        if any(a > b for a, b in zip(all_keys, all_keys[1:])):  # type: ignore[operator]
+            raise StorageError("B+ tree leaf chain out of order")

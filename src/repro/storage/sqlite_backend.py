@@ -1,0 +1,182 @@
+"""SQLite backend: the RDBMS query engine of the reproduction.
+
+The paper stores each dataset in DB2 as two relations (§5.2.1)::
+
+    SP(plabel, start, end, level, data)   clustered by {plabel, start}
+    SD(tag,    start, end, level, data)   clustered by {tag, start}
+
+with B+ tree indexes on every attribute used by the queries.  This module
+loads an :class:`~repro.core.indexer.IndexedDocument` into an in-memory (or
+on-disk) SQLite database with the same two relations and indexes, and
+executes the SQL emitted by :mod:`repro.translate.sql`.
+
+SQLite note: ``end`` is a keyword, so the column is named ``end_pos`` (and
+``start`` is named ``start_pos`` for symmetry).  P-labels can exceed 64 bits
+for deep documents with many tags, so the ``plabel`` column stores the
+fixed-width decimal text encoding of
+:func:`repro.core.plabel.encode_plabel_text`; zero-padded equal-width strings
+compare exactly like the underlying integers, so the generated SQL's range
+and equality predicates are unaffected.  The SQL generator targets these
+column names and the same encoding.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.indexer import IndexedDocument, NodeRecord
+from repro.core.plabel import encode_plabel_text
+from repro.exceptions import StorageError
+
+SP_COLUMNS = "plabel, start_pos, end_pos, level, tag, data, doc_id"
+SD_COLUMNS = "tag, start_pos, end_pos, level, plabel, data, doc_id"
+
+
+class SqliteBackend:
+    """An SQLite database holding the SP and SD relations of one document."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        self.connection.execute("PRAGMA synchronous = OFF")
+        self._loaded = False
+
+    # -- schema and loading ------------------------------------------------------
+
+    def create_schema(self) -> None:
+        """Create the SP and SD tables (dropping any previous contents)."""
+        cursor = self.connection.cursor()
+        cursor.execute("DROP TABLE IF EXISTS sp")
+        cursor.execute("DROP TABLE IF EXISTS sd")
+        cursor.execute(
+            """
+            CREATE TABLE sp (
+                plabel TEXT NOT NULL,
+                start_pos INTEGER NOT NULL,
+                end_pos INTEGER NOT NULL,
+                level INTEGER NOT NULL,
+                tag TEXT NOT NULL,
+                data TEXT,
+                doc_id INTEGER NOT NULL DEFAULT 0,
+                PRIMARY KEY (plabel, start_pos)
+            ) WITHOUT ROWID
+            """
+        )
+        cursor.execute(
+            """
+            CREATE TABLE sd (
+                tag TEXT NOT NULL,
+                start_pos INTEGER NOT NULL,
+                end_pos INTEGER NOT NULL,
+                level INTEGER NOT NULL,
+                plabel TEXT NOT NULL,
+                data TEXT,
+                doc_id INTEGER NOT NULL DEFAULT 0,
+                PRIMARY KEY (tag, start_pos)
+            ) WITHOUT ROWID
+            """
+        )
+        self.connection.commit()
+
+    def create_indexes(self) -> None:
+        """Create the secondary B+ tree indexes used by the experiments."""
+        cursor = self.connection.cursor()
+        statements = [
+            "CREATE INDEX IF NOT EXISTS sp_start ON sp(start_pos)",
+            "CREATE INDEX IF NOT EXISTS sp_data ON sp(data)",
+            "CREATE INDEX IF NOT EXISTS sp_level ON sp(level)",
+            "CREATE INDEX IF NOT EXISTS sd_start ON sd(start_pos)",
+            "CREATE INDEX IF NOT EXISTS sd_data ON sd(data)",
+            "CREATE INDEX IF NOT EXISTS sd_level ON sd(level)",
+        ]
+        for statement in statements:
+            cursor.execute(statement)
+        cursor.execute("ANALYZE")
+        self.connection.commit()
+
+    def load_records(self, records: Iterable[NodeRecord]) -> int:
+        """Insert node records into both relations; returns the row count."""
+        sp_rows: List[Tuple] = []
+        sd_rows: List[Tuple] = []
+        for record in records:
+            plabel_text = encode_plabel_text(record.plabel)
+            sp_rows.append(
+                (
+                    plabel_text,
+                    record.start,
+                    record.end,
+                    record.level,
+                    record.tag,
+                    record.data,
+                    record.doc_id,
+                )
+            )
+            sd_rows.append(
+                (
+                    record.tag,
+                    record.start,
+                    record.end,
+                    record.level,
+                    plabel_text,
+                    record.data,
+                    record.doc_id,
+                )
+            )
+        cursor = self.connection.cursor()
+        cursor.executemany(
+            f"INSERT INTO sp ({SP_COLUMNS}) VALUES (?, ?, ?, ?, ?, ?, ?)", sp_rows
+        )
+        cursor.executemany(
+            f"INSERT INTO sd ({SD_COLUMNS}) VALUES (?, ?, ?, ?, ?, ?, ?)", sd_rows
+        )
+        self.connection.commit()
+        return len(sp_rows)
+
+    @classmethod
+    def from_indexed_document(
+        cls, indexed: IndexedDocument, path: str = ":memory:"
+    ) -> "SqliteBackend":
+        """Create, load and index a backend from an indexed document."""
+        backend = cls(path)
+        backend.create_schema()
+        backend.load_records(indexed.records)
+        backend.create_indexes()
+        backend._loaded = True
+        return backend
+
+    # -- querying ----------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence = ()) -> List[Tuple]:
+        """Run a SQL statement and return all rows."""
+        if not sql.strip():
+            raise StorageError("refusing to execute an empty SQL statement")
+        cursor = self.connection.cursor()
+        cursor.execute(sql, tuple(parameters))
+        return cursor.fetchall()
+
+    def explain(self, sql: str) -> List[str]:
+        """EXPLAIN QUERY PLAN output lines (used by plan-shape tests)."""
+        cursor = self.connection.cursor()
+        cursor.execute(f"EXPLAIN QUERY PLAN {sql}")
+        return [str(row[-1]) for row in cursor.fetchall()]
+
+    def count(self, table: str) -> int:
+        """Row count of ``sp`` or ``sd``."""
+        if table not in ("sp", "sd"):
+            raise StorageError(f"unknown table {table!r}")
+        cursor = self.connection.cursor()
+        cursor.execute(f"SELECT COUNT(*) FROM {table}")
+        return int(cursor.fetchone()[0])
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self.connection.close()
+
+    def __enter__(self) -> "SqliteBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> Optional[bool]:
+        self.close()
+        return None

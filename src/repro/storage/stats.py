@@ -1,0 +1,84 @@
+"""Access accounting for the instrumented storage engine.
+
+The paper's second experimental metric (Figures 14–18, right-hand panels) is
+the number of *visited elements*: how many node records an algorithm reads to
+answer a query.  Every read path of :class:`~repro.storage.table.NodeTable`
+reports into an :class:`AccessStatistics` object so the benchmark harness can
+regenerate those panels exactly, alongside page-level counts that stand in
+for the paper's "disk accesses" discussion (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class AccessStatistics:
+    """Counters accumulated while executing a query."""
+
+    elements_read: int = 0
+    pages_read: int = 0
+    index_lookups: int = 0
+    tuples_output: int = 0
+    djoins_executed: int = 0
+    selections_executed: int = 0
+    comparisons: int = 0
+    per_alias_elements: Dict[str, int] = field(default_factory=dict)
+
+    def record_scan(self, alias: str, elements: int, pages: int) -> None:
+        """Record a (range or equality) scan that touched ``elements`` records."""
+        self.elements_read += elements
+        self.pages_read += pages
+        self.selections_executed += 1
+        self.per_alias_elements[alias] = self.per_alias_elements.get(alias, 0) + elements
+
+    def record_index_lookup(self, count: int = 1) -> None:
+        """Record ``count`` B+ tree descents."""
+        self.index_lookups += count
+
+    def record_join(self, comparisons: int, outputs: int) -> None:
+        """Record one D-join execution."""
+        self.djoins_executed += 1
+        self.comparisons += comparisons
+        self.tuples_output += outputs
+
+    def record_output(self, count: int) -> None:
+        """Record final result tuples."""
+        self.tuples_output += count
+
+    def merge(self, other: "AccessStatistics") -> None:
+        """Accumulate another statistics object into this one."""
+        self.elements_read += other.elements_read
+        self.pages_read += other.pages_read
+        self.index_lookups += other.index_lookups
+        self.tuples_output += other.tuples_output
+        self.djoins_executed += other.djoins_executed
+        self.selections_executed += other.selections_executed
+        self.comparisons += other.comparisons
+        for alias, count in other.per_alias_elements.items():
+            self.per_alias_elements[alias] = self.per_alias_elements.get(alias, 0) + count
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.elements_read = 0
+        self.pages_read = 0
+        self.index_lookups = 0
+        self.tuples_output = 0
+        self.djoins_executed = 0
+        self.selections_executed = 0
+        self.comparisons = 0
+        self.per_alias_elements = {}
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (for reports and assertions)."""
+        return {
+            "elements_read": self.elements_read,
+            "pages_read": self.pages_read,
+            "index_lookups": self.index_lookups,
+            "tuples_output": self.tuples_output,
+            "djoins_executed": self.djoins_executed,
+            "selections_executed": self.selections_executed,
+            "comparisons": self.comparisons,
+        }

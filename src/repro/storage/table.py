@@ -1,0 +1,259 @@
+"""Instrumented clustered node tables (the from-scratch storage engine).
+
+Two layouts mirror the paper's §5.2.1 storage setup:
+
+* ``SP`` — clustered by ``(plabel, start)``; B+ tree indexes on ``plabel``,
+  ``start`` and ``data``.  This is the BLAS relation.
+* ``SD`` — clustered by ``(tag, start)``; B+ tree indexes on ``tag``,
+  ``start`` and ``data``.  This is the D-labeling baseline relation.
+
+Every read path reports the number of records (and simulated pages) it
+touched into an :class:`~repro.storage.stats.AccessStatistics`, which is how
+the benchmark harness regenerates the paper's "visited elements" panels.
+"""
+
+from __future__ import annotations
+
+import bisect
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.indexer import IndexedDocument, NodeRecord
+from repro.exceptions import StorageError
+from repro.storage.btree import BPlusTree
+from repro.storage.pages import PageLayout
+from repro.storage.stats import AccessStatistics
+
+
+class ClusterKind(Enum):
+    """Physical clustering of a node table."""
+
+    SP = "sp"  # clustered by (plabel, start) — the BLAS layout
+    SD = "sd"  # clustered by (tag, start) — the D-labeling layout
+
+
+class NodeTable:
+    """A clustered, indexed table of :class:`NodeRecord` tuples."""
+
+    def __init__(
+        self,
+        records: Sequence[NodeRecord],
+        cluster: ClusterKind,
+        page_layout: Optional[PageLayout] = None,
+        btree_order: int = 64,
+    ):
+        self.cluster = cluster
+        self.pages = page_layout or PageLayout()
+        if cluster is ClusterKind.SP:
+            self.records: List[NodeRecord] = sorted(records, key=NodeRecord.sort_key_sp)
+            self._cluster_keys = [record.plabel for record in self.records]
+        else:
+            self.records = sorted(records, key=NodeRecord.sort_key_sd)
+            self._cluster_keys = [record.tag for record in self.records]
+        self._plabel_index: BPlusTree[int, int] = BPlusTree(order=btree_order)
+        self._start_index: BPlusTree[int, int] = BPlusTree(order=btree_order)
+        self._data_index: BPlusTree[str, int] = BPlusTree(order=btree_order)
+        self._tag_slots: Dict[str, Tuple[int, int]] = {}
+        for slot, record in enumerate(self.records):
+            self._plabel_index.insert(record.plabel, slot)
+            self._start_index.insert(record.start, slot)
+            if record.data is not None:
+                self._data_index.insert(record.data, slot)
+        if cluster is ClusterKind.SD:
+            self._tag_slots = self._compute_tag_ranges()
+
+    def _compute_tag_ranges(self) -> Dict[str, Tuple[int, int]]:
+        ranges: Dict[str, Tuple[int, int]] = {}
+        for slot, record in enumerate(self.records):
+            if record.tag not in ranges:
+                ranges[record.tag] = (slot, slot)
+            else:
+                first, _ = ranges[record.tag]
+                ranges[record.tag] = (first, slot)
+        return ranges
+
+    # -- basic properties ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_pages(self) -> int:
+        """Pages occupied by the clustered heap."""
+        return self.pages.total_pages(len(self.records))
+
+    # -- selections (the BLAS access paths) ------------------------------------
+
+    def select_plabel_range(
+        self,
+        low: int,
+        high: int,
+        stats: Optional[AccessStatistics] = None,
+        alias: str = "",
+        data_eq: Optional[str] = None,
+        level_eq: Optional[int] = None,
+    ) -> List[NodeRecord]:
+        """Records with ``low <= plabel <= high`` (a suffix-path selection).
+
+        On the SP layout this is a contiguous clustered range; elsewhere the
+        plabel B+ tree is probed and each match costs one scattered page.
+        Additional ``data``/``level`` predicates are applied after the scan —
+        the scanned records still count as read.
+        """
+        if self.cluster is ClusterKind.SP:
+            first = bisect.bisect_left(self._cluster_keys, low)
+            last = bisect.bisect_right(self._cluster_keys, high) - 1
+            scanned = self.records[first : last + 1] if last >= first else []
+            pages = self.pages.pages_for_range(first, last)
+        else:
+            slots = [slot for _, slot in self._plabel_index.range(low, high)]
+            scanned = [self.records[slot] for slot in sorted(slots)]
+            pages = self.pages.pages_for_scattered(len(scanned))
+        if stats is not None:
+            stats.record_index_lookup()
+            stats.record_scan(alias, len(scanned), pages)
+        return _apply_residual(scanned, data_eq, level_eq)
+
+    def select_plabel_eq(
+        self,
+        plabel: int,
+        stats: Optional[AccessStatistics] = None,
+        alias: str = "",
+        data_eq: Optional[str] = None,
+        level_eq: Optional[int] = None,
+    ) -> List[NodeRecord]:
+        """Records with exactly this plabel (a simple-path selection)."""
+        return self.select_plabel_range(
+            plabel, plabel, stats=stats, alias=alias, data_eq=data_eq, level_eq=level_eq
+        )
+
+    # -- selections (the D-labeling access paths) -------------------------------
+
+    def select_tag(
+        self,
+        tag: Optional[str],
+        stats: Optional[AccessStatistics] = None,
+        alias: str = "",
+        data_eq: Optional[str] = None,
+        level_eq: Optional[int] = None,
+    ) -> List[NodeRecord]:
+        """Records with the given tag (``None`` or ``"*"`` means every record).
+
+        This is the access path of the D-labeling baseline: answering a query
+        requires reading *all* tuples whose tag appears in the query, so the
+        whole tag cluster counts as read even when residual predicates filter
+        most of it out.
+        """
+        if tag is None or tag == "*":
+            scanned = list(self.records)
+            pages = self.total_pages
+        elif self.cluster is ClusterKind.SD:
+            slot_range = self._tag_slots.get(tag)
+            if slot_range is None:
+                scanned = []
+                pages = 0
+            else:
+                first, last = slot_range
+                scanned = self.records[first : last + 1]
+                pages = self.pages.pages_for_range(first, last)
+        else:
+            scanned = [record for record in self.records if record.tag == tag]
+            pages = self.pages.pages_for_scattered(len(scanned))
+        if stats is not None:
+            stats.record_index_lookup()
+            stats.record_scan(alias, len(scanned), pages)
+        return _apply_residual(scanned, data_eq, level_eq)
+
+    # -- sorted streams for the holistic twig join ------------------------------
+
+    def stream_for_tag(
+        self,
+        tag: str,
+        stats: Optional[AccessStatistics] = None,
+        alias: str = "",
+    ) -> List[NodeRecord]:
+        """The tag's records sorted by ``start`` (a TwigStack input stream)."""
+        records = self.select_tag(tag, stats=stats, alias=alias)
+        return sorted(records, key=lambda record: record.start)
+
+    def stream_for_plabel_range(
+        self,
+        low: int,
+        high: int,
+        stats: Optional[AccessStatistics] = None,
+        alias: str = "",
+    ) -> List[NodeRecord]:
+        """Records in a plabel range sorted by ``start`` (a BLAS twig stream)."""
+        records = self.select_plabel_range(low, high, stats=stats, alias=alias)
+        return sorted(records, key=lambda record: record.start)
+
+    # -- point lookups -----------------------------------------------------------
+
+    def lookup_start(self, start: int) -> Optional[NodeRecord]:
+        """The record whose D-label start equals ``start`` (primary key)."""
+        slots = self._start_index.get(start)
+        if not slots:
+            return None
+        return self.records[slots[0]]
+
+    def select_data_eq(
+        self,
+        value: str,
+        stats: Optional[AccessStatistics] = None,
+        alias: str = "",
+    ) -> List[NodeRecord]:
+        """Records whose data value equals ``value`` (via the data B+ tree)."""
+        slots = sorted(self._data_index.get(value))
+        records = [self.records[slot] for slot in slots]
+        if stats is not None:
+            stats.record_index_lookup()
+            stats.record_scan(alias, len(records), self.pages.pages_for_scattered(len(records)))
+        return records
+
+
+def _apply_residual(
+    records: Sequence[NodeRecord], data_eq: Optional[str], level_eq: Optional[int]
+) -> List[NodeRecord]:
+    result = list(records)
+    if data_eq is not None:
+        result = [record for record in result if record.data == data_eq]
+    if level_eq is not None:
+        result = [record for record in result if record.level == level_eq]
+    return result
+
+
+class StorageCatalog:
+    """Both physical layouts of one indexed document, plus its label scheme.
+
+    This is the object query engines receive: it bundles the SP table (BLAS),
+    the SD table (D-labeling baseline), the P-label scheme and the schema
+    graph so a translator/engine pair has everything it needs.
+    """
+
+    def __init__(
+        self,
+        indexed: IndexedDocument,
+        page_layout: Optional[PageLayout] = None,
+        btree_order: int = 64,
+    ):
+        if not indexed.records:
+            raise StorageError("cannot build storage over an empty document index")
+        self.indexed = indexed
+        self.scheme = indexed.scheme
+        self.schema = indexed.schema
+        layout = page_layout or PageLayout()
+        self.sp = NodeTable(indexed.records, ClusterKind.SP, layout, btree_order)
+        self.sd = NodeTable(indexed.records, ClusterKind.SD, layout, btree_order)
+
+    @property
+    def node_count(self) -> int:
+        """Number of node records."""
+        return len(self.sp)
+
+    def table_for(self, source: str) -> NodeTable:
+        """Return the table named ``"sp"`` or ``"sd"``."""
+        if source == "sp":
+            return self.sp
+        if source == "sd":
+            return self.sd
+        raise StorageError(f"unknown table source {source!r}")

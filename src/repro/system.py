@@ -1,0 +1,185 @@
+"""The BLAS system facade.
+
+:class:`BLAS` ties the pieces of Figure 6 together: it indexes a document
+(P-labels + D-labels + values), holds the storage catalog and the optional
+SQLite backend, and answers XPath queries through any translator/engine
+combination.  This is the class most users of the library interact with::
+
+    from repro import BLAS
+
+    system = BLAS.from_xml(xml_text)
+    result = system.query("//protein/name")            # Push-Up + memory engine
+    result = system.query(query, translator="unfold")  # schema-aware plan
+    print(result.values())
+
+Translators: ``"dlabel"`` (the baseline), ``"split"``, ``"pushup"``
+(default; the paper's choice without schema information) and ``"unfold"``
+(default when a schema is available and the caller asks for it).
+
+Engines: ``"memory"`` (instrumented storage + structural joins; reports
+elements read), ``"twig"`` (holistic twig join over the same storage) and
+``"sqlite"`` (the RDBMS engine).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.indexer import IndexedDocument, index_document, index_text
+from repro.core.plabel import PLabelScheme
+from repro.engine.executor import PlanExecutor
+from repro.engine.rdbms import RdbmsEngine
+from repro.engine.results import QueryResult
+from repro.engine.twigstack import TwigJoinEngine
+from repro.exceptions import EngineError, SchemaError
+from repro.storage.table import StorageCatalog
+from repro.translate import translate
+from repro.translate.plan import QueryPlan
+from repro.translate.sql import plan_to_sql
+from repro.xmlkit.model import Document
+from repro.xmlkit.schema import SchemaGraph
+from repro.xpath.ast import LocationPath
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+
+DEFAULT_TRANSLATOR = "pushup"
+DEFAULT_ENGINE = "memory"
+
+TRANSLATOR_NAMES = ("dlabel", "split", "pushup", "unfold")
+ENGINE_NAMES = ("memory", "twig", "sqlite")
+
+
+@dataclass
+class TranslationOutcome:
+    """A plan together with the time spent producing it."""
+
+    plan: QueryPlan
+    translation_seconds: float
+    sql: str
+
+
+class BLAS:
+    """The bi-labeling based XPath processing system."""
+
+    def __init__(
+        self,
+        indexed: IndexedDocument,
+        build_sqlite: bool = False,
+    ):
+        self.indexed = indexed
+        self.scheme: PLabelScheme = indexed.scheme
+        self.schema: Optional[SchemaGraph] = indexed.schema
+        self.catalog = StorageCatalog(indexed)
+        self._executor = PlanExecutor(self.catalog)
+        self._twig = TwigJoinEngine(self.catalog)
+        self._rdbms: Optional[RdbmsEngine] = None
+        if build_sqlite:
+            self._rdbms = RdbmsEngine.from_indexed_document(indexed)
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, text: str, name: str = "document", build_sqlite: bool = False) -> "BLAS":
+        """Index an XML string and build a system over it."""
+        return cls(index_text(text, name=name), build_sqlite=build_sqlite)
+
+    @classmethod
+    def from_document(
+        cls, document: Document, name: Optional[str] = None, build_sqlite: bool = False
+    ) -> "BLAS":
+        """Index an in-memory document and build a system over it."""
+        return cls(index_document(document, name=name), build_sqlite=build_sqlite)
+
+    @classmethod
+    def from_file(cls, path: str, build_sqlite: bool = False) -> "BLAS":
+        """Index an XML file and build a system over it."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_xml(handle.read(), name=path, build_sqlite=build_sqlite)
+
+    # -- engines --------------------------------------------------------------------
+
+    @property
+    def rdbms(self) -> RdbmsEngine:
+        """The SQLite engine (built lazily on first use)."""
+        if self._rdbms is None:
+            self._rdbms = RdbmsEngine.from_indexed_document(self.indexed)
+        return self._rdbms
+
+    # -- translation -----------------------------------------------------------------
+
+    def _query_tree(self, query: Union[str, LocationPath]):
+        path = parse_xpath(query) if isinstance(query, str) else query
+        return build_query_tree(path)
+
+    def translate(
+        self, query: Union[str, LocationPath], translator: str = DEFAULT_TRANSLATOR
+    ) -> TranslationOutcome:
+        """Translate a query and return the plan, timing and generated SQL."""
+        if translator not in TRANSLATOR_NAMES:
+            raise EngineError(
+                f"unknown translator {translator!r}; expected one of {TRANSLATOR_NAMES}"
+            )
+        tree = self._query_tree(query)
+        started = time.perf_counter()
+        if translator == "unfold":
+            if self.schema is None:
+                raise SchemaError("this system was built without a schema graph")
+            plan = translate(tree, self.scheme, "unfold", schema=self.schema)
+        else:
+            plan = translate(tree, self.scheme, translator)
+        elapsed = time.perf_counter() - started
+        return TranslationOutcome(plan=plan, translation_seconds=elapsed, sql=plan_to_sql(plan))
+
+    def explain(
+        self, query: Union[str, LocationPath], translator: str = DEFAULT_TRANSLATOR
+    ) -> str:
+        """A readable description of the plan a translator produces."""
+        return self.translate(query, translator).plan.describe()
+
+    # -- querying ---------------------------------------------------------------------
+
+    def query(
+        self,
+        query: Union[str, LocationPath],
+        translator: str = DEFAULT_TRANSLATOR,
+        engine: str = DEFAULT_ENGINE,
+    ) -> QueryResult:
+        """Answer an XPath query.
+
+        Returns a :class:`QueryResult` whose ``records`` are the matching
+        nodes in document order; ``stats`` carries access counters for the
+        ``memory`` and ``twig`` engines and ``elapsed_seconds`` the execution
+        time (translation excluded, as in the paper's measurements).
+        """
+        if engine not in ENGINE_NAMES:
+            raise EngineError(f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}")
+        outcome = self.translate(query, translator)
+        if engine == "memory":
+            result = self._executor.execute(outcome.plan)
+        elif engine == "twig":
+            result = self._twig.execute(outcome.plan)
+        else:
+            result = self.rdbms.execute(outcome.plan)
+        result.sql = outcome.sql
+        return result
+
+    def query_all_translators(
+        self, query: Union[str, LocationPath], engine: str = DEFAULT_ENGINE,
+        translators: Optional[List[str]] = None,
+    ) -> Dict[str, QueryResult]:
+        """Run the query under every translator (the paper's comparisons)."""
+        names = translators or list(TRANSLATOR_NAMES)
+        results: Dict[str, QueryResult] = {}
+        for name in names:
+            if name == "unfold" and self.schema is None:
+                continue
+            results[name] = self.query(query, translator=name, engine=engine)
+        return results
+
+    # -- dataset characteristics --------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """The Figure 12 characteristics row of the indexed document."""
+        return self.indexed.summary()

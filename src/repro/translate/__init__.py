@@ -1,0 +1,74 @@
+"""Query translation: XPath tree queries → relational plans → SQL.
+
+The paper's query translator (Figure 6) decomposes an XPath query into
+suffix-path subqueries, computes each subquery's P-label, emits one SQL
+subquery per piece, and composes the pieces with D-joins.  Four translators
+are provided:
+
+* :mod:`repro.translate.dlabel_baseline` — the conventional approach: one
+  selection per query tag and one D-join per axis step (the paper's
+  comparison baseline).
+* :mod:`repro.translate.split` — the Split algorithm (§4.1.1).
+* :mod:`repro.translate.pushup` — the Push-Up algorithm (§4.1.2).
+* :mod:`repro.translate.unfold` — the Unfold algorithm (§4.1.3), which needs
+  a schema graph.
+
+All four produce the same plan IR (:mod:`repro.translate.plan`), which both
+the SQL generator (:mod:`repro.translate.sql`) and the instrumented plan
+executor (:mod:`repro.engine.executor`) consume.
+"""
+
+from repro.translate.dlabel_baseline import translate_dlabel
+from repro.translate.plan import (
+    ConjunctivePlan,
+    JoinSpec,
+    PlanMetrics,
+    QueryPlan,
+    SelectionKind,
+    SelectionSpec,
+)
+from repro.translate.pushup import translate_pushup
+from repro.translate.split import translate_split
+from repro.translate.sql import plan_to_sql
+from repro.translate.unfold import translate_unfold
+
+TRANSLATORS = {
+    "dlabel": translate_dlabel,
+    "split": translate_split,
+    "pushup": translate_pushup,
+    "unfold": translate_unfold,
+}
+
+
+def translate(query_tree, scheme, algorithm: str, schema=None):
+    """Translate a query tree with the named algorithm.
+
+    ``algorithm`` is one of ``"dlabel"``, ``"split"``, ``"pushup"`` or
+    ``"unfold"``; the last requires ``schema``.
+    """
+    if algorithm not in TRANSLATORS:
+        raise ValueError(
+            f"unknown translator {algorithm!r}; expected one of {sorted(TRANSLATORS)}"
+        )
+    if algorithm == "unfold":
+        return translate_unfold(query_tree, scheme, schema)
+    if algorithm == "dlabel":
+        return translate_dlabel(query_tree, scheme)
+    return TRANSLATORS[algorithm](query_tree, scheme)
+
+
+__all__ = [
+    "ConjunctivePlan",
+    "JoinSpec",
+    "PlanMetrics",
+    "QueryPlan",
+    "SelectionKind",
+    "SelectionSpec",
+    "TRANSLATORS",
+    "plan_to_sql",
+    "translate",
+    "translate_dlabel",
+    "translate_pushup",
+    "translate_split",
+    "translate_unfold",
+]

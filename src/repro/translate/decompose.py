@@ -1,0 +1,176 @@
+"""Query-tree decomposition into suffix-path pieces.
+
+The Split and Push-Up translators both decompose the query tree by cutting
+it (a) at every descendant-axis edge (descendant-axis elimination,
+Algorithm 3) and (b) at every branching point (branch elimination,
+Algorithms 4 and 5).  The Unfold translator cuts only at branching points —
+interior descendant edges stay inside a piece and are later unfolded against
+the schema.
+
+A :class:`Piece` is a maximal chain of query-tree nodes connected by edges
+that were *not* cut.  Pieces form a tree themselves (each non-root piece
+remembers the axis of the edge that connected it to its parent piece), and
+every translator derives its SQL subqueries and D-joins from that piece
+tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.exceptions import UnsupportedQueryError
+from repro.xpath.ast import Axis
+from repro.xpath.query_tree import QueryTree, QueryTreeNode
+
+
+@dataclass
+class Piece:
+    """One chain of the decomposed query tree.
+
+    Attributes
+    ----------
+    index:
+        Pre-order index (0 for the piece containing the query root); aliases
+        ``T1``, ``T2``, … follow this order.
+    chain:
+        The query-tree nodes of the chain, top to bottom.
+    cut_axis:
+        Axis of the edge from the parent piece's end node to ``chain[0]``;
+        ``None`` for the root piece (whose incoming axis is the query's
+        leading axis).
+    parent:
+        The parent piece, or ``None`` for the root piece.
+    children:
+        Child pieces in pre-order.
+    """
+
+    index: int
+    chain: List[QueryTreeNode]
+    cut_axis: Optional[Axis]
+    parent: Optional["Piece"]
+    children: List["Piece"] = field(default_factory=list)
+
+    @property
+    def alias(self) -> str:
+        """The SQL alias of this piece (``T1`` for the root piece)."""
+        return f"T{self.index + 1}"
+
+    @property
+    def end_node(self) -> QueryTreeNode:
+        """The deepest node of the chain (the piece's output node)."""
+        return self.chain[-1]
+
+    @property
+    def tags(self) -> List[str]:
+        """The node tests along the chain."""
+        return [node.tag for node in self.chain]
+
+    @property
+    def value(self) -> Optional[str]:
+        """The value predicate of the piece's output node, if any."""
+        return self.end_node.value
+
+    @property
+    def contains_return(self) -> bool:
+        """True when the query's return node is this piece's output node."""
+        return self.end_node.is_return
+
+    @property
+    def length(self) -> int:
+        """Number of nodes in the chain."""
+        return len(self.chain)
+
+    @property
+    def chain_axes(self) -> List[Axis]:
+        """Incoming axis of each chain node.
+
+        ``chain_axes[0]`` is the cut axis (or the query's leading axis for the
+        root piece); subsequent entries are the internal edge axes.
+        """
+        first = self.cut_axis if self.cut_axis is not None else self.chain[0].axis
+        return [first] + [node.axis for node in self.chain[1:]]
+
+    @property
+    def has_interior_descendant(self) -> bool:
+        """True when an internal edge of the chain uses the descendant axis."""
+        return any(node.axis is Axis.DESCENDANT for node in self.chain[1:])
+
+
+@dataclass
+class Decomposition:
+    """The piece tree of one query."""
+
+    pieces: List[Piece]
+    root_axis: Axis
+
+    @property
+    def root_piece(self) -> Piece:
+        """The piece containing the query root."""
+        return self.pieces[0]
+
+    @property
+    def return_piece(self) -> Piece:
+        """The piece whose output node is the query's return node."""
+        for piece in self.pieces:
+            if piece.contains_return:
+                return piece
+        raise UnsupportedQueryError("decomposition lost the return node")
+
+    def joins(self) -> List[Tuple[Piece, Piece]]:
+        """(ancestor piece, descendant piece) pairs, one per non-root piece."""
+        return [(piece.parent, piece) for piece in self.pieces if piece.parent is not None]
+
+
+def _is_branching_point(node: QueryTreeNode) -> bool:
+    if len(node.children) > 1:
+        return True
+    return node.is_return and bool(node.children)
+
+
+def decompose(tree: QueryTree, break_at_descendant: bool = True) -> Decomposition:
+    """Decompose a query tree into pieces.
+
+    ``break_at_descendant=True`` is the Split/Push-Up decomposition (cut at
+    descendant edges and branching points); ``False`` is the Unfold
+    decomposition (cut at branching points only).
+    """
+    pieces: List[Piece] = []
+
+    def build_piece(start: QueryTreeNode, cut_axis: Optional[Axis], parent: Optional[Piece]) -> None:
+        piece = Piece(index=len(pieces), chain=[start], cut_axis=cut_axis, parent=parent)
+        pieces.append(piece)
+        if parent is not None:
+            parent.children.append(piece)
+        node = start
+        while True:
+            if _is_branching_point(node):
+                for child in node.children:
+                    build_piece(child, child.axis, piece)
+                return
+            if not node.children:
+                return
+            child = node.children[0]
+            if break_at_descendant and child.axis is Axis.DESCENDANT:
+                build_piece(child, child.axis, piece)
+                return
+            piece.chain.append(child)
+            node = child
+
+    build_piece(tree.root, None, None)
+    return Decomposition(pieces=pieces, root_axis=tree.root.axis)
+
+
+def check_supported_for_plabels(decomposition: Decomposition) -> None:
+    """Reject wildcards in translators that cannot expand them.
+
+    Split and Push-Up compute P-labels directly from the chain tags, so a
+    ``*`` node test cannot be handled; the Unfold translator expands
+    wildcards against the schema instead.
+    """
+    for piece in decomposition.pieces:
+        for tag in piece.tags:
+            if tag == "*":
+                raise UnsupportedQueryError(
+                    "wildcard steps require schema information; use the Unfold translator"
+                )

@@ -1,0 +1,76 @@
+"""The D-labeling baseline translator (the paper's comparison point).
+
+The conventional approach stores nodes in the ``SD(tag, start, end, level,
+data)`` relation and answers a tree query with one selection per query tag
+and one D-join per query-tree edge: a child-axis edge joins with
+``level difference = 1`` and a descendant-axis edge with plain interval
+containment.  A query mentioning ``l`` tags therefore needs ``l - 1``
+D-joins (§4.2), which is exactly what the experiments compare BLAS against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.plabel import PLabelScheme
+from repro.translate.plan import (
+    JoinSpec,
+    QueryPlan,
+    SelectionKind,
+    SelectionSpec,
+    single_branch_plan,
+)
+from repro.xpath.ast import Axis
+from repro.xpath.query_tree import QueryTree, QueryTreeNode
+
+
+def translate_dlabel(tree: QueryTree, scheme: PLabelScheme = None) -> QueryPlan:
+    """Translate a query tree into the conventional D-labeling-only plan.
+
+    ``scheme`` is accepted (and ignored) so all translators share one call
+    signature.
+    """
+    aliases: Dict[int, str] = {}
+    selections: List[SelectionSpec] = []
+    joins: List[JoinSpec] = []
+    return_alias = ""
+
+    ordered_nodes: List[QueryTreeNode] = list(tree.iter())
+    for position, node in enumerate(ordered_nodes):
+        aliases[id(node)] = f"T{position + 1}"
+
+    for node in ordered_nodes:
+        alias = aliases[id(node)]
+        level_eq = None
+        if node is tree.root and tree.root.axis is Axis.CHILD:
+            # A leading '/' pins the query root to level 1 (see the SD plan of
+            # Figure 11: tag='PLAYS' and level=1).
+            level_eq = 1
+        tag = None if node.tag == "*" else node.tag
+        selections.append(
+            SelectionSpec(
+                alias=alias,
+                kind=SelectionKind.TAG,
+                source="sd",
+                tag=tag,
+                data_eq=node.value,
+                level_eq=level_eq,
+                description=f"tag {node.tag!r}",
+            )
+        )
+        if node.is_return:
+            return_alias = alias
+        for child in node.children:
+            child_alias = aliases[id(child)]
+            if child.axis is Axis.CHILD:
+                joins.append(JoinSpec(ancestor=alias, descendant=child_alias, level_gap=1))
+            else:
+                joins.append(JoinSpec(ancestor=alias, descendant=child_alias, min_level_gap=1))
+
+    return single_branch_plan(
+        selections=selections,
+        joins=joins,
+        return_alias=return_alias,
+        translator="dlabel",
+        query_text=tree.to_xpath(),
+    )

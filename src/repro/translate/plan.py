@@ -1,0 +1,259 @@
+"""The logical plan IR shared by every translator and engine.
+
+A :class:`QueryPlan` is a union of :class:`ConjunctivePlan` branches (the
+Unfold translator generates several; the others generate exactly one).  Each
+conjunctive branch is a set of node-set *selections* (one per alias) joined
+by *D-joins* and projected onto the return alias.
+
+Selections come in the flavours the paper distinguishes in §5.2.2:
+
+* ``PLABEL_EQ`` — equality on ``plabel`` (simple-path subqueries),
+* ``PLABEL_RANGE`` — range on ``plabel`` (suffix-path subqueries),
+* ``TAG`` — equality on ``tag`` (the D-labeling baseline),
+* ``EMPTY`` — a statically empty node set (a query tag that does not occur in
+  the data, or a path the schema rules out).
+
+plus optional residual predicates on ``data`` (value equality) and ``level``.
+
+D-joins relate an ancestor alias to a descendant alias with an optional level
+constraint: ``level_gap`` fixes the exact level difference (child-axis
+chains) and ``min_level_gap`` bounds it from below (descendant-axis cuts
+whose subquery chain has a known minimum length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import PlanError
+
+
+class SelectionKind(Enum):
+    """Access-path flavour of a selection."""
+
+    PLABEL_EQ = "plabel_eq"
+    PLABEL_RANGE = "plabel_range"
+    TAG = "tag"
+    EMPTY = "empty"
+
+
+@dataclass(frozen=True)
+class SelectionSpec:
+    """One node-set selection bound to an alias."""
+
+    alias: str
+    kind: SelectionKind
+    source: str = "sp"  # "sp" for BLAS plans, "sd" for the D-labeling baseline
+    plabel_low: Optional[int] = None
+    plabel_high: Optional[int] = None
+    tag: Optional[str] = None
+    data_eq: Optional[str] = None
+    level_eq: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is SelectionKind.PLABEL_EQ and self.plabel_low is None:
+            raise PlanError(f"{self.alias}: PLABEL_EQ selection needs plabel_low")
+        if self.kind is SelectionKind.PLABEL_RANGE and (
+            self.plabel_low is None or self.plabel_high is None
+        ):
+            raise PlanError(f"{self.alias}: PLABEL_RANGE selection needs both bounds")
+
+    @property
+    def is_equality(self) -> bool:
+        """True for equality access paths (plabel point or tag)."""
+        return self.kind in (SelectionKind.PLABEL_EQ, SelectionKind.TAG)
+
+    @property
+    def is_range(self) -> bool:
+        """True for range access paths."""
+        return self.kind is SelectionKind.PLABEL_RANGE
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One D-join between two aliases of a conjunctive branch."""
+
+    ancestor: str
+    descendant: str
+    level_gap: Optional[int] = None
+    min_level_gap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.level_gap is not None and self.level_gap < 1:
+            raise PlanError("level_gap must be at least 1")
+        if self.min_level_gap is not None and self.min_level_gap < 1:
+            raise PlanError("min_level_gap must be at least 1")
+
+
+@dataclass
+class ConjunctivePlan:
+    """Selections + D-joins + a projection onto the return alias."""
+
+    selections: List[SelectionSpec]
+    joins: List[JoinSpec]
+    return_alias: str
+
+    def __post_init__(self) -> None:
+        aliases = {selection.alias for selection in self.selections}
+        if len(aliases) != len(self.selections):
+            raise PlanError("duplicate aliases in a conjunctive plan")
+        if self.return_alias not in aliases:
+            raise PlanError(f"return alias {self.return_alias!r} has no selection")
+        for join in self.joins:
+            if join.ancestor not in aliases or join.descendant not in aliases:
+                raise PlanError(f"join {join} references an unknown alias")
+
+    @property
+    def alias_map(self) -> Dict[str, SelectionSpec]:
+        """Alias → selection lookup."""
+        return {selection.alias: selection for selection in self.selections}
+
+    @property
+    def is_empty(self) -> bool:
+        """True when any selection is statically empty."""
+        return any(selection.kind is SelectionKind.EMPTY for selection in self.selections)
+
+    def join_order(self) -> List[JoinSpec]:
+        """Joins ordered so each one touches an already-joined alias.
+
+        The executor builds the result left-deep; the translators emit joins
+        in parent-before-child order so this is normally the identity, but the
+        method re-orders defensively and raises when the join graph is not
+        connected.
+        """
+        if not self.joins:
+            return []
+        remaining = list(self.joins)
+        ordered: List[JoinSpec] = []
+        connected = {remaining[0].ancestor}
+        while remaining:
+            for index, join in enumerate(remaining):
+                if join.ancestor in connected or join.descendant in connected:
+                    connected.add(join.ancestor)
+                    connected.add(join.descendant)
+                    ordered.append(join)
+                    remaining.pop(index)
+                    break
+            else:
+                raise PlanError("join graph is not connected")
+        return ordered
+
+
+@dataclass
+class PlanMetrics:
+    """Plan-shape numbers used by the §4.2 / Figure 11 analyses."""
+
+    d_joins: int
+    equality_selections: int
+    range_selections: int
+    tag_selections: int
+    union_branches: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for reports."""
+        return {
+            "d_joins": self.d_joins,
+            "equality_selections": self.equality_selections,
+            "range_selections": self.range_selections,
+            "tag_selections": self.tag_selections,
+            "union_branches": self.union_branches,
+        }
+
+
+@dataclass
+class QueryPlan:
+    """A union of conjunctive branches produced by one translator."""
+
+    branches: List[ConjunctivePlan]
+    translator: str
+    query_text: str = ""
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan can produce no results."""
+        return all(branch.is_empty for branch in self.branches) or not self.branches
+
+    def non_empty_branches(self) -> List[ConjunctivePlan]:
+        """Branches that are not statically empty."""
+        return [branch for branch in self.branches if not branch.is_empty]
+
+    def metrics(self) -> PlanMetrics:
+        """Plan-shape metrics.
+
+        Join and selection counts are reported for a representative branch
+        (the first non-empty one) because union branches of an Unfold plan
+        share the same shape; ``union_branches`` carries the fan-out.
+        """
+        branches = self.non_empty_branches()
+        if not branches:
+            return PlanMetrics(0, 0, 0, 0, 0)
+        sample = branches[0]
+        equality = sum(
+            1 for s in sample.selections if s.kind is SelectionKind.PLABEL_EQ
+        )
+        ranges = sum(1 for s in sample.selections if s.kind is SelectionKind.PLABEL_RANGE)
+        tags = sum(1 for s in sample.selections if s.kind is SelectionKind.TAG)
+        return PlanMetrics(
+            d_joins=len(sample.joins),
+            equality_selections=equality,
+            range_selections=ranges,
+            tag_selections=tags,
+            union_branches=len(branches),
+        )
+
+    def describe(self) -> str:
+        """A readable multi-line description (used in reports and examples)."""
+        lines = [f"QueryPlan[{self.translator}] for {self.query_text}"]
+        for number, branch in enumerate(self.branches, start=1):
+            lines.append(f"  branch {number} (return {branch.return_alias}):")
+            for selection in branch.selections:
+                lines.append(f"    {selection.alias}: {_describe_selection(selection)}")
+            for join in branch.joins:
+                lines.append(f"    join {_describe_join(join)}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _describe_selection(selection: SelectionSpec) -> str:
+    if selection.kind is SelectionKind.EMPTY:
+        core = "EMPTY"
+    elif selection.kind is SelectionKind.PLABEL_EQ:
+        core = f"plabel = {selection.plabel_low}"
+    elif selection.kind is SelectionKind.PLABEL_RANGE:
+        core = f"plabel in [{selection.plabel_low}, {selection.plabel_high}]"
+    else:
+        core = f"tag = {selection.tag!r}"
+    extras = []
+    if selection.data_eq is not None:
+        extras.append(f"data = {selection.data_eq!r}")
+    if selection.level_eq is not None:
+        extras.append(f"level = {selection.level_eq}")
+    if selection.description:
+        extras.append(f"({selection.description})")
+    return " and ".join([core] + extras) if extras else core
+
+
+def _describe_join(join: JoinSpec) -> str:
+    text = f"{join.ancestor} contains {join.descendant}"
+    if join.level_gap is not None:
+        text += f" at level gap {join.level_gap}"
+    elif join.min_level_gap is not None and join.min_level_gap > 1:
+        text += f" at level gap >= {join.min_level_gap}"
+    return text
+
+
+def single_branch_plan(
+    selections: List[SelectionSpec],
+    joins: List[JoinSpec],
+    return_alias: str,
+    translator: str,
+    query_text: str = "",
+) -> QueryPlan:
+    """Convenience constructor for the single-branch translators."""
+    branch = ConjunctivePlan(selections=selections, joins=joins, return_alias=return_alias)
+    return QueryPlan(branches=[branch], translator=translator, query_text=query_text)

@@ -1,0 +1,72 @@
+"""The Push-Up translator (paper §4.1.2, Algorithm 5).
+
+Push-Up performs the same decomposition as Split (descendant-axis
+elimination first, then branch elimination) but, while eliminating branches,
+pushes the complete path from the decomposition anchor down to each piece
+into that piece's subquery.  A piece cut at a branching point therefore
+selects on the *full* path ``anchor-path/q1/../qk`` instead of the bare
+``//q1/../qk``, which turns range selections into more selective equality
+selections whenever the anchor path is rooted, and shrinks intermediate
+results either way.
+
+Descendant-axis cuts reset the pushed prefix (the anchor of a piece is the
+nearest enclosing descendant-axis cut, or the query root), exactly because
+the paper applies descendant-axis elimination *before* push-up branch
+elimination (§4.1.2 discusses why this ordering matters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.plabel import PLabelScheme
+from repro.translate.decompose import Decomposition, Piece, check_supported_for_plabels, decompose
+from repro.translate.plan import QueryPlan, SelectionSpec, single_branch_plan
+from repro.translate.split import join_for_cut, selection_for_suffix_path
+from repro.xpath.ast import Axis
+from repro.xpath.query_tree import QueryTree
+
+
+def pushed_up_path(piece: Piece, root_axis: Axis) -> Tuple[List[str], bool]:
+    """The pushed-up (tags, rooted) pair of a piece.
+
+    * Root piece — its own chain; rooted when the query starts with ``/``.
+    * Piece cut by a descendant axis — its own chain, not rooted (the prefix
+      resets at the ``//`` cut).
+    * Piece cut by a child axis (a branch cut) — the parent's pushed-up path
+      concatenated with its own chain, inheriting the parent's rootedness.
+    """
+    if piece.parent is None:
+        return list(piece.tags), root_axis is Axis.CHILD
+    if piece.cut_axis is Axis.DESCENDANT:
+        return list(piece.tags), False
+    parent_tags, parent_rooted = pushed_up_path(piece.parent, root_axis)
+    return parent_tags + list(piece.tags), parent_rooted
+
+
+def translate_pushup(tree: QueryTree, scheme: PLabelScheme) -> QueryPlan:
+    """Translate a query tree with the Push-Up algorithm."""
+    decomposition = decompose(tree, break_at_descendant=True)
+    check_supported_for_plabels(decomposition)
+    selections: List[SelectionSpec] = []
+    memo: Dict[int, Tuple[List[str], bool]] = {}
+    for piece in decomposition.pieces:
+        tags, rooted = pushed_up_path(piece, decomposition.root_axis)
+        memo[piece.index] = (tags, rooted)
+        selections.append(
+            selection_for_suffix_path(
+                alias=piece.alias,
+                tags=tags,
+                rooted=rooted,
+                scheme=scheme,
+                data_eq=piece.value,
+            )
+        )
+    joins = [join_for_cut(parent, piece) for parent, piece in decomposition.joins()]
+    return single_branch_plan(
+        selections=selections,
+        joins=joins,
+        return_alias=decomposition.return_piece.alias,
+        translator="pushup",
+        query_text=tree.to_xpath(),
+    )

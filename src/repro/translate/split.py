@@ -1,0 +1,117 @@
+"""The Split translator (paper §4.1.1, Algorithms 3 and 4).
+
+Split cuts the query tree at descendant-axis edges and at branching points.
+Each resulting piece becomes a suffix-path subquery of form ``//q1/../qk``
+(the root piece keeps the query's leading axis), evaluated as a selection on
+P-labels; the pieces are recombined with D-joins.  When two pieces were
+connected by child axes only, the D-join carries the exact level difference
+(Example 4.1); a descendant-axis cut only bounds the difference from below.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.plabel import PLabelScheme
+from repro.translate.decompose import Decomposition, Piece, check_supported_for_plabels, decompose
+from repro.translate.plan import (
+    JoinSpec,
+    QueryPlan,
+    SelectionKind,
+    SelectionSpec,
+    single_branch_plan,
+)
+from repro.xpath.ast import Axis
+from repro.xpath.query_tree import QueryTree
+
+
+def selection_for_suffix_path(
+    alias: str,
+    tags: List[str],
+    rooted: bool,
+    scheme: PLabelScheme,
+    data_eq: Optional[str] = None,
+    level_eq: Optional[int] = None,
+) -> SelectionSpec:
+    """Build the P-label selection for a suffix path ``(//|/) t1/../tk``.
+
+    Rooted paths are *simple path expressions*; by Proposition 3.2 their
+    answer is an equality selection on ``plabel``.  Un-rooted suffix paths
+    become range selections over the path's P-label interval.  A tag outside
+    the scheme vocabulary yields a statically empty selection.
+    """
+    description = ("/" if rooted else "//") + "/".join(tags)
+    interval = scheme.suffix_path_interval(tags, rooted=rooted)
+    if interval is None:
+        return SelectionSpec(
+            alias=alias, kind=SelectionKind.EMPTY, description=description, data_eq=data_eq
+        )
+    if rooted:
+        return SelectionSpec(
+            alias=alias,
+            kind=SelectionKind.PLABEL_EQ,
+            plabel_low=interval.p1,
+            plabel_high=interval.p1,
+            data_eq=data_eq,
+            level_eq=level_eq,
+            description=description,
+        )
+    return SelectionSpec(
+        alias=alias,
+        kind=SelectionKind.PLABEL_RANGE,
+        plabel_low=interval.p1,
+        plabel_high=interval.p2,
+        data_eq=data_eq,
+        level_eq=level_eq,
+        description=description,
+    )
+
+
+def join_for_cut(ancestor: Piece, descendant: Piece) -> JoinSpec:
+    """The D-join reconnecting a cut piece to its parent piece.
+
+    A child-axis cut whose piece chain contains only child axes pins the
+    level difference to the chain length; a descendant-axis cut only bounds
+    it from below (the descendant piece's chain still contributes a minimum
+    depth, which also rules out the corner case where the chain's top node
+    would coincide with the ancestor itself).
+    """
+    if descendant.cut_axis is Axis.CHILD and not descendant.has_interior_descendant:
+        return JoinSpec(
+            ancestor=ancestor.alias,
+            descendant=descendant.alias,
+            level_gap=descendant.length,
+        )
+    return JoinSpec(
+        ancestor=ancestor.alias,
+        descendant=descendant.alias,
+        min_level_gap=descendant.length,
+    )
+
+
+def translate_split(tree: QueryTree, scheme: PLabelScheme) -> QueryPlan:
+    """Translate a query tree with the Split algorithm."""
+    decomposition = decompose(tree, break_at_descendant=True)
+    check_supported_for_plabels(decomposition)
+    selections = [_split_selection(piece, decomposition, scheme) for piece in decomposition.pieces]
+    joins = [join_for_cut(parent, piece) for parent, piece in decomposition.joins()]
+    return single_branch_plan(
+        selections=selections,
+        joins=joins,
+        return_alias=decomposition.return_piece.alias,
+        translator="split",
+        query_text=tree.to_xpath(),
+    )
+
+
+def _split_selection(
+    piece: Piece, decomposition: Decomposition, scheme: PLabelScheme
+) -> SelectionSpec:
+    rooted = piece.parent is None and decomposition.root_axis is Axis.CHILD
+    return selection_for_suffix_path(
+        alias=piece.alias,
+        tags=piece.tags,
+        rooted=rooted,
+        scheme=scheme,
+        data_eq=piece.value,
+    )

@@ -1,0 +1,100 @@
+"""SQL generation from logical plans.
+
+Turns a :class:`~repro.translate.plan.QueryPlan` into a single SQL statement
+over the SQLite backend's relations (``sp``/``sd`` with columns ``plabel,
+start_pos, end_pos, level, tag, data``).  Each conjunctive branch becomes a
+``SELECT DISTINCT <return>.start_pos FROM .. WHERE ..`` block — the paper's
+Figure 11 relational-algebra expressions rendered as SQL — and Unfold's
+union branches are combined with ``UNION`` (which also removes the
+duplicates the paper notes cannot occur across disjoint simple paths, so the
+deduplication is free in practice).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.plabel import encode_plabel_text
+from repro.exceptions import PlanError
+from repro.translate.plan import ConjunctivePlan, JoinSpec, QueryPlan, SelectionKind, SelectionSpec
+
+
+def _sql_literal(value: str) -> str:
+    escaped = value.replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _plabel_literal(value: int) -> str:
+    """A P-label literal in the backend's fixed-width text encoding."""
+    return _sql_literal(encode_plabel_text(value))
+
+
+def selection_conditions(selection: SelectionSpec) -> List[str]:
+    """WHERE conditions contributed by one selection."""
+    alias = selection.alias
+    conditions: List[str] = []
+    if selection.kind is SelectionKind.EMPTY:
+        conditions.append("1 = 0")
+    elif selection.kind is SelectionKind.PLABEL_EQ:
+        conditions.append(f"{alias}.plabel = {_plabel_literal(selection.plabel_low)}")
+    elif selection.kind is SelectionKind.PLABEL_RANGE:
+        conditions.append(f"{alias}.plabel >= {_plabel_literal(selection.plabel_low)}")
+        conditions.append(f"{alias}.plabel <= {_plabel_literal(selection.plabel_high)}")
+    elif selection.kind is SelectionKind.TAG:
+        if selection.tag is not None:
+            conditions.append(f"{alias}.tag = {_sql_literal(selection.tag)}")
+    else:  # pragma: no cover - exhaustive over the enum
+        raise PlanError(f"unknown selection kind {selection.kind}")
+    if selection.data_eq is not None:
+        conditions.append(f"{alias}.data = {_sql_literal(selection.data_eq)}")
+    if selection.level_eq is not None:
+        conditions.append(f"{alias}.level = {selection.level_eq}")
+    return conditions
+
+
+def join_conditions(join: JoinSpec) -> List[str]:
+    """WHERE conditions contributed by one D-join."""
+    ancestor, descendant = join.ancestor, join.descendant
+    conditions = [
+        f"{ancestor}.start_pos < {descendant}.start_pos",
+        f"{ancestor}.end_pos > {descendant}.end_pos",
+    ]
+    if join.level_gap is not None:
+        conditions.append(f"{ancestor}.level = {descendant}.level - {join.level_gap}")
+    elif join.min_level_gap is not None and join.min_level_gap > 1:
+        conditions.append(f"{ancestor}.level <= {descendant}.level - {join.min_level_gap}")
+    return conditions
+
+
+def branch_to_sql(branch: ConjunctivePlan) -> str:
+    """SQL for one conjunctive branch."""
+    from_parts = [f"{selection.source} {selection.alias}" for selection in branch.selections]
+    where_parts: List[str] = []
+    for selection in branch.selections:
+        where_parts.extend(selection_conditions(selection))
+    for join in branch.joins:
+        where_parts.extend(join_conditions(join))
+    sql = (
+        f"SELECT DISTINCT {branch.return_alias}.start_pos AS start_pos"
+        f" FROM {', '.join(from_parts)}"
+    )
+    if where_parts:
+        sql += " WHERE " + " AND ".join(where_parts)
+    return sql
+
+
+def plan_to_sql(plan: QueryPlan) -> str:
+    """SQL for a whole plan (union branches combined with ``UNION``)."""
+    branches = plan.non_empty_branches()
+    if not branches:
+        # A statically empty query still needs to be runnable.
+        return "SELECT start_pos FROM sp WHERE 1 = 0"
+    parts = [branch_to_sql(branch) for branch in branches]
+    if len(parts) == 1:
+        return parts[0]
+    return " UNION ".join(parts)
+
+
+def plan_to_sql_statements(plans: Sequence[QueryPlan]) -> List[str]:
+    """SQL for several plans (convenience for reports)."""
+    return [plan_to_sql(plan) for plan in plans]

@@ -1,0 +1,199 @@
+"""The Unfold translator (paper §4.1.3).
+
+With schema information, descendant-axis steps in the middle of a path can
+be *unfolded*: ``p//q`` is replaced by the union of every schema-permitted
+simple path ``p/r1/../rk/q`` (bounded by the instance depth for recursive
+schemas), and wildcard child steps are replaced by the schema's actual
+children.  After unfolding, every subquery is a rooted simple path, so it is
+answered with an *equality* selection on ``plabel`` — no range predicates
+and no D-joins for descendant steps.  Branch edges still need D-joins to tie
+the branch back to the same ancestor instance, but each union branch knows
+the concrete level difference, so those joins carry exact level predicates.
+
+The decomposition differs from Split/Push-Up: pieces break only at branching
+points, so interior ``//`` edges stay inside a piece and are expanded here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.plabel import PLabelScheme
+from repro.exceptions import SchemaError, UnsupportedQueryError
+from repro.translate.decompose import Decomposition, Piece, decompose
+from repro.translate.plan import (
+    ConjunctivePlan,
+    JoinSpec,
+    QueryPlan,
+    SelectionKind,
+    SelectionSpec,
+)
+from repro.xmlkit.schema import SchemaGraph
+from repro.xpath.ast import Axis
+from repro.xpath.query_tree import QueryTree
+
+DEFAULT_BRANCH_LIMIT = 4096
+
+
+@dataclass
+class _Fragment:
+    """A fully unfolded piece subtree: its selections, joins and path length."""
+
+    selections: List[SelectionSpec]
+    joins: List[JoinSpec]
+    own_path_length: int
+
+
+def expand_piece_paths(
+    prefix: Sequence[str],
+    piece: Piece,
+    schema: SchemaGraph,
+    root_piece: bool,
+    root_axis: Axis,
+) -> List[List[str]]:
+    """All rooted simple paths for ``prefix`` extended by the piece's chain.
+
+    ``prefix`` is the concrete (already unfolded) path of the parent piece;
+    the returned paths all start with ``prefix``.  Child steps must follow a
+    schema edge, wildcard child steps expand to every schema child, and
+    descendant steps expand to every schema-permitted connecting path bounded
+    by the schema's depth.
+    """
+    axes = piece.chain_axes
+    if root_piece:
+        axes = [root_axis] + axes[1:]
+    candidates: List[List[str]] = [list(prefix)]
+    for axis, tag in zip(axes, piece.tags):
+        grown: List[List[str]] = []
+        for tags in candidates:
+            last = tags[-1] if tags else None
+            if axis is Axis.CHILD:
+                grown.extend(_expand_child_step(tags, last, tag, schema))
+            else:
+                grown.extend(_expand_descendant_step(tags, last, tag, schema))
+        candidates = grown
+        if not candidates:
+            return []
+    return candidates
+
+
+def _expand_child_step(
+    tags: List[str], last: Optional[str], tag: str, schema: SchemaGraph
+) -> List[List[str]]:
+    if tag == "*":
+        options = sorted(schema.children(last)) if last is not None else sorted(schema.roots)
+        return [tags + [option] for option in options]
+    if last is None:
+        return [tags + [tag]] if tag in schema.roots else []
+    return [tags + [tag]] if schema.has_edge(last, tag) else []
+
+
+def _expand_descendant_step(
+    tags: List[str], last: Optional[str], tag: str, schema: SchemaGraph
+) -> List[List[str]]:
+    if tag == "*":
+        raise UnsupportedQueryError(
+            "a wildcard on a descendant-axis step is outside the supported subset"
+        )
+    remaining = schema.max_depth - len(tags)
+    if remaining <= 0:
+        return []
+    connecting = schema.enumerate_connecting_paths(last, tag, max_length=remaining)
+    return [tags + list(path) for path in connecting]
+
+
+def translate_unfold(
+    tree: QueryTree,
+    scheme: PLabelScheme,
+    schema: Optional[SchemaGraph],
+    branch_limit: int = DEFAULT_BRANCH_LIMIT,
+) -> QueryPlan:
+    """Translate a query tree with the Unfold algorithm.
+
+    Raises :class:`SchemaError` when no schema is supplied or the unfolding
+    would exceed ``branch_limit`` union branches.
+    """
+    if schema is None:
+        raise SchemaError("the Unfold translator requires a schema graph")
+    decomposition = decompose(tree, break_at_descendant=False)
+
+    def assemble(piece: Piece, prefix: Sequence[str]) -> List[_Fragment]:
+        alternatives = expand_piece_paths(
+            prefix,
+            piece,
+            schema,
+            root_piece=piece.parent is None,
+            root_axis=decomposition.root_axis,
+        )
+        fragments: List[_Fragment] = []
+        for path in alternatives:
+            selection = _equality_selection(piece, path, scheme)
+            child_fragment_lists = [assemble(child, path) for child in piece.children]
+            if any(not child_list for child_list in child_fragment_lists):
+                continue
+            for combo in product(*child_fragment_lists):
+                selections = [selection]
+                joins: List[JoinSpec] = []
+                for child_piece, child_fragment in zip(piece.children, combo):
+                    selections.extend(child_fragment.selections)
+                    joins.extend(child_fragment.joins)
+                    joins.append(
+                        JoinSpec(
+                            ancestor=piece.alias,
+                            descendant=child_piece.alias,
+                            level_gap=child_fragment.own_path_length - len(path),
+                        )
+                    )
+                fragments.append(
+                    _Fragment(
+                        selections=selections, joins=joins, own_path_length=len(path)
+                    )
+                )
+                if len(fragments) > branch_limit:
+                    raise SchemaError(
+                        f"unfolding produced more than {branch_limit} union branches; "
+                        "increase branch_limit or use the Push-Up translator"
+                    )
+        return fragments
+
+    fragments = assemble(decomposition.root_piece, [])
+    return_alias = decomposition.return_piece.alias
+    branches = [
+        ConjunctivePlan(
+            selections=fragment.selections,
+            joins=fragment.joins,
+            return_alias=return_alias,
+        )
+        for fragment in fragments
+    ]
+    notes = []
+    if not branches:
+        notes.append("the schema admits no path matching this query; the result is empty")
+    return QueryPlan(
+        branches=branches,
+        translator="unfold",
+        query_text=tree.to_xpath(),
+        notes=notes,
+    )
+
+
+def _equality_selection(piece: Piece, path: List[str], scheme: PLabelScheme) -> SelectionSpec:
+    description = "/" + "/".join(path)
+    interval = scheme.suffix_path_interval(path, rooted=True)
+    if interval is None:
+        return SelectionSpec(
+            alias=piece.alias,
+            kind=SelectionKind.EMPTY,
+            data_eq=piece.value,
+            description=description,
+        )
+    return SelectionSpec(
+        alias=piece.alias,
+        kind=SelectionKind.PLABEL_EQ,
+        plabel_low=interval.p1,
+        plabel_high=interval.p1,
+        data_eq=piece.value,
+        description=description,
+    )

@@ -1,0 +1,49 @@
+"""A from-scratch XML toolkit used as the substrate for BLAS.
+
+The paper's index generator consumes SAX events over an XML document and
+assigns D-labels (start/end/level) where *each start tag, end tag and text
+node counts as one position unit*.  To control that position accounting
+precisely (and to avoid any dependency on third-party XML libraries) this
+package implements:
+
+* :mod:`repro.xmlkit.model` — an in-memory element tree (:class:`Element`,
+  :class:`Document`).
+* :mod:`repro.xmlkit.tokenizer` — a streaming tokenizer producing low-level
+  markup tokens.
+* :mod:`repro.xmlkit.events` — SAX-style event records and handler protocol.
+* :mod:`repro.xmlkit.parser` — an event parser plus a tree builder.
+* :mod:`repro.xmlkit.writer` — serialisation back to XML text.
+* :mod:`repro.xmlkit.schema` — a schema graph ("DTD summary") extracted from
+  documents or declared programmatically; used by the Unfold translator.
+"""
+
+from repro.xmlkit.events import (
+    CharactersEvent,
+    EndDocumentEvent,
+    EndElementEvent,
+    SaxHandler,
+    StartDocumentEvent,
+    StartElementEvent,
+)
+from repro.xmlkit.model import Document, Element
+from repro.xmlkit.parser import iterparse, parse_document, parse_string
+from repro.xmlkit.schema import SchemaGraph, extract_schema
+from repro.xmlkit.writer import document_to_string, element_to_string
+
+__all__ = [
+    "CharactersEvent",
+    "Document",
+    "Element",
+    "EndDocumentEvent",
+    "EndElementEvent",
+    "SaxHandler",
+    "SchemaGraph",
+    "StartDocumentEvent",
+    "StartElementEvent",
+    "document_to_string",
+    "element_to_string",
+    "extract_schema",
+    "iterparse",
+    "parse_document",
+    "parse_string",
+]

@@ -1,0 +1,113 @@
+"""SAX-style parse events and the handler protocol.
+
+The BLAS index generator (paper Figure 6) is driven by SAX parser events; the
+labeling generators consume :class:`StartElementEvent`, ``CharactersEvent``
+and ``EndElementEvent`` streams.  Events carry the *position unit* assigned by
+the tokenizer: the paper treats each start tag, end tag and text node as one
+unit when computing D-label start/end positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+
+@dataclass(frozen=True)
+class StartDocumentEvent:
+    """Emitted once before any other event."""
+
+
+@dataclass(frozen=True)
+class EndDocumentEvent:
+    """Emitted once after every other event."""
+
+
+@dataclass(frozen=True)
+class StartElementEvent:
+    """An element start tag.
+
+    Attributes
+    ----------
+    tag:
+        The element name.
+    attributes:
+        Attribute name → value mapping.
+    position:
+        1-based position unit of this start tag in the document.
+    """
+
+    tag: str
+    attributes: Dict[str, str] = field(default_factory=dict)
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class EndElementEvent:
+    """An element end tag (or the implicit end of an empty-element tag)."""
+
+    tag: str
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class CharactersEvent:
+    """A run of character data (text node)."""
+
+    text: str
+    position: int = 0
+
+
+ParseEvent = Union[
+    StartDocumentEvent,
+    EndDocumentEvent,
+    StartElementEvent,
+    EndElementEvent,
+    CharactersEvent,
+]
+
+
+class SaxHandler:
+    """Base class for SAX-style consumers.
+
+    Subclasses override the callbacks they care about; the defaults do
+    nothing.  :func:`repro.xmlkit.parser.drive` feeds an event iterator into
+    a handler.
+    """
+
+    def start_document(self) -> None:
+        """Called before any element."""
+
+    def end_document(self) -> None:
+        """Called after the last element."""
+
+    def start_element(self, event: StartElementEvent) -> None:
+        """Called for every start tag."""
+
+    def end_element(self, event: EndElementEvent) -> None:
+        """Called for every end tag."""
+
+    def characters(self, event: CharactersEvent) -> None:
+        """Called for every text node."""
+
+
+class EventCollector(SaxHandler):
+    """A handler that simply records every event (useful in tests)."""
+
+    def __init__(self) -> None:
+        self.events: List[ParseEvent] = []
+
+    def start_document(self) -> None:
+        self.events.append(StartDocumentEvent())
+
+    def end_document(self) -> None:
+        self.events.append(EndDocumentEvent())
+
+    def start_element(self, event: StartElementEvent) -> None:
+        self.events.append(event)
+
+    def end_element(self, event: EndElementEvent) -> None:
+        self.events.append(event)
+
+    def characters(self, event: CharactersEvent) -> None:
+        self.events.append(event)

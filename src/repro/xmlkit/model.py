@@ -1,0 +1,203 @@
+"""In-memory XML tree model.
+
+The model is intentionally small: elements with a tag, attributes, text and
+children.  Attributes are also exposed as *attribute nodes* (children with a
+``@name`` tag) so that the labeling layer can treat them uniformly with
+elements, matching the paper's node counts which include attribute nodes
+(Figure 12 counts "element and attribute nodes").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class Element:
+    """A single XML element.
+
+    Parameters
+    ----------
+    tag:
+        Element name.  Attribute nodes use the convention ``"@name"``.
+    text:
+        Concatenated character data directly under this element (leading and
+        trailing whitespace stripped by the tree builder).
+    attributes:
+        Mapping of attribute name to string value.
+    """
+
+    __slots__ = ("tag", "text", "attributes", "children", "parent")
+
+    def __init__(
+        self,
+        tag: str,
+        text: Optional[str] = None,
+        attributes: Optional[Dict[str, str]] = None,
+    ):
+        self.tag = tag
+        self.text = text
+        self.attributes: Dict[str, str] = {}
+        self.children: List["Element"] = []
+        self.parent: Optional["Element"] = None
+        for name, value in (attributes or {}).items():
+            self.set_attribute(name, value)
+
+    # -- tree construction -------------------------------------------------
+
+    def append(self, child: "Element") -> "Element":
+        """Append ``child`` and return it (for chaining)."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def make_child(self, tag: str, text: Optional[str] = None, **attributes: str) -> "Element":
+        """Create, append and return a new child element.
+
+        Keyword arguments become attributes and are materialised as ``@name``
+        child nodes (see :meth:`set_attribute`).
+        """
+        child = self.append(Element(tag, text=text))
+        for name, value in attributes.items():
+            child.set_attribute(name, value)
+        return child
+
+    def set_attribute(self, name: str, value: str) -> "Element":
+        """Set an attribute and materialise it as an ``@name`` child node.
+
+        The BLAS node relation stores attributes as nodes (they count toward
+        Figure 12's node totals and can be queried like elements, e.g.
+        ``person[@id = "person0"]``), so attributes are kept in two mirrored
+        forms: the ``attributes`` mapping (used when serialising) and an
+        ``@name`` child element (used by query evaluation and labeling).
+        Returns the attribute node.
+        """
+        self.attributes[name] = value
+        tag = "@" + name
+        for child in self.children:
+            if child.tag == tag:
+                child.text = value
+                return child
+        attribute_node = Element(tag, text=value)
+        attribute_node.parent = self
+        # Attribute nodes precede element children in document order.
+        insert_at = 0
+        while insert_at < len(self.children) and self.children[insert_at].tag.startswith("@"):
+            insert_at += 1
+        self.children.insert(insert_at, attribute_node)
+        return attribute_node
+
+    # -- navigation --------------------------------------------------------
+
+    def iter(self) -> Iterator["Element"]:
+        """Yield this element and every descendant in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_descendants(self) -> Iterator["Element"]:
+        """Yield every proper descendant in document order."""
+        for child in self.children:
+            yield from child.iter()
+
+    def find_children(self, tag: str) -> List["Element"]:
+        """Return the direct children whose tag equals ``tag``."""
+        return [child for child in self.children if child.tag == tag]
+
+    def find_descendants(self, tag: str) -> List["Element"]:
+        """Return every proper descendant whose tag equals ``tag``."""
+        return [node for node in self.iter_descendants() if node.tag == tag]
+
+    @property
+    def depth(self) -> int:
+        """Depth of this element; the document root has depth 1."""
+        level = 1
+        node = self.parent
+        while node is not None:
+            level += 1
+            node = node.parent
+        return level
+
+    def path_tags(self) -> List[str]:
+        """Return the tags on the path from the root down to this element."""
+        tags: List[str] = []
+        node: Optional[Element] = self
+        while node is not None:
+            tags.append(node.tag)
+            node = node.parent
+        tags.reverse()
+        return tags
+
+    def source_path(self) -> str:
+        """The node's *source path* ``SP(n)`` as a string, e.g. ``/a/b/c``."""
+        return "/" + "/".join(self.path_tags())
+
+    # -- content -----------------------------------------------------------
+
+    def value(self) -> Optional[str]:
+        """The node's data value: its own text if present, else ``None``."""
+        return self.text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Element({self.tag!r}, children={len(self.children)})"
+
+
+class Document:
+    """A parsed XML document with a single root element."""
+
+    __slots__ = ("root", "name")
+
+    def __init__(self, root: Element, name: str = "document"):
+        self.root = root
+        self.name = name
+
+    def iter(self) -> Iterator[Element]:
+        """Yield every element (including attribute nodes) in document order."""
+        return self.root.iter()
+
+    def count_nodes(self) -> int:
+        """Total number of element and attribute nodes in the document."""
+        return sum(1 for _ in self.iter())
+
+    def distinct_tags(self) -> List[str]:
+        """Sorted list of distinct tags appearing in the document."""
+        return sorted({node.tag for node in self.iter()})
+
+    def max_depth(self) -> int:
+        """Length of the longest root-to-leaf simple path."""
+        best = 0
+        stack = [(self.root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if depth > best:
+                best = depth
+            for child in node.children:
+                stack.append((child, depth + 1))
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Document({self.name!r}, root={self.root.tag!r})"
+
+
+def attach_attribute_nodes(document: Document) -> int:
+    """Materialise each attribute as an ``@name`` child element.
+
+    The BLAS node relation stores attributes as nodes (they count toward the
+    node totals of Figure 12 and can be queried like elements).  Returns the
+    number of attribute nodes added.  Attributes already materialised are not
+    duplicated.
+    """
+    added = 0
+    for node in list(document.iter()):
+        existing = {child.tag for child in node.children if child.tag.startswith("@")}
+        for name, value in node.attributes.items():
+            tag = "@" + name
+            if tag in existing:
+                continue
+            attr_node = Element(tag, text=value)
+            # Attribute nodes come before element children in document order.
+            attr_node.parent = node
+            node.children.insert(0, attr_node)
+            added += 1
+    return added

@@ -1,0 +1,188 @@
+"""Event parser and tree builder.
+
+:func:`iterparse` converts the token stream into SAX-style events with the
+paper's *position unit* numbering: every start tag, end tag and
+non-whitespace text node occupies one position, counted from 1.  Empty
+element tags (``<a/>``) are expanded into a start event and an end event and
+therefore consume two positions, exactly as if written ``<a></a>``.
+
+:func:`parse_string` / :func:`parse_document` build an in-memory
+:class:`~repro.xmlkit.model.Document` from the events; :func:`drive` feeds an
+event iterator into a :class:`~repro.xmlkit.events.SaxHandler`, which is how
+the BLAS index generator consumes documents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.exceptions import XMLSyntaxError
+from repro.xmlkit.events import (
+    CharactersEvent,
+    EndDocumentEvent,
+    EndElementEvent,
+    ParseEvent,
+    SaxHandler,
+    StartDocumentEvent,
+    StartElementEvent,
+)
+from repro.xmlkit.model import Document, Element
+from repro.xmlkit.tokenizer import Token, TokenType, tokenize
+
+
+def iterparse(
+    text: str, keep_whitespace: bool = False, expand_attributes: bool = True
+) -> Iterator[ParseEvent]:
+    """Yield SAX-style events for ``text``.
+
+    Parameters
+    ----------
+    text:
+        The XML document as a string.
+    keep_whitespace:
+        When false (the default) text nodes consisting solely of whitespace
+        are dropped; they are formatting artefacts and the paper's position
+        accounting does not count them.
+    expand_attributes:
+        When true (the default) each attribute ``name="value"`` additionally
+        yields a synthetic ``@name`` element (start, characters, end) right
+        after its owner's start tag.  BLAS stores attributes as nodes — the
+        paper's node counts include attribute nodes and queries may test them
+        (e.g. ``person[@id = "person0"]``) — so the index generator and the
+        tree builder both rely on these events.
+    """
+    yield StartDocumentEvent()
+    position = 0
+    open_tags: list[str] = []
+    seen_root = False
+
+    def attribute_events(attributes):
+        nonlocal position
+        for name, value in attributes.items():
+            position += 1
+            yield StartElementEvent("@" + name, {}, position)
+            position += 1
+            yield CharactersEvent(value, position)
+            position += 1
+            yield EndElementEvent("@" + name, position)
+
+    for token in tokenize(text):
+        if token.type in (
+            TokenType.COMMENT,
+            TokenType.PROCESSING_INSTRUCTION,
+            TokenType.DOCTYPE,
+            TokenType.XML_DECLARATION,
+        ):
+            continue
+        if token.type == TokenType.TEXT or token.type == TokenType.CDATA:
+            content = token.value if keep_whitespace else token.value.strip()
+            if not content:
+                continue
+            if not open_tags:
+                raise XMLSyntaxError("character data outside the root element", token.offset)
+            position += 1
+            yield CharactersEvent(content, position)
+            continue
+        if token.type == TokenType.START_TAG:
+            if not open_tags and seen_root:
+                raise XMLSyntaxError("multiple root elements", token.offset)
+            seen_root = True
+            open_tags.append(token.value)
+            position += 1
+            yield StartElementEvent(token.value, dict(token.attributes), position)
+            if expand_attributes:
+                yield from attribute_events(token.attributes)
+            continue
+        if token.type == TokenType.EMPTY_TAG:
+            if not open_tags and seen_root:
+                raise XMLSyntaxError("multiple root elements", token.offset)
+            seen_root = True
+            position += 1
+            yield StartElementEvent(token.value, dict(token.attributes), position)
+            if expand_attributes:
+                yield from attribute_events(token.attributes)
+            position += 1
+            yield EndElementEvent(token.value, position)
+            continue
+        if token.type == TokenType.END_TAG:
+            if not open_tags:
+                raise XMLSyntaxError(f"unexpected end tag </{token.value}>", token.offset)
+            expected = open_tags.pop()
+            if expected != token.value:
+                raise XMLSyntaxError(
+                    f"mismatched end tag </{token.value}>, expected </{expected}>",
+                    token.offset,
+                )
+            position += 1
+            yield EndElementEvent(token.value, position)
+            continue
+    if open_tags:
+        raise XMLSyntaxError(f"unclosed element <{open_tags[-1]}>")
+    if not seen_root:
+        raise XMLSyntaxError("document has no root element")
+    yield EndDocumentEvent()
+
+
+def drive(events: Iterable[ParseEvent], handler: SaxHandler) -> None:
+    """Feed an event stream into a :class:`SaxHandler`."""
+    for event in events:
+        if isinstance(event, StartDocumentEvent):
+            handler.start_document()
+        elif isinstance(event, EndDocumentEvent):
+            handler.end_document()
+        elif isinstance(event, StartElementEvent):
+            handler.start_element(event)
+        elif isinstance(event, EndElementEvent):
+            handler.end_element(event)
+        elif isinstance(event, CharactersEvent):
+            handler.characters(event)
+
+
+class _TreeBuilder(SaxHandler):
+    """Builds a :class:`Document` from parse events."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._stack: list[Element] = []
+        self._root: Optional[Element] = None
+
+    def start_element(self, event: StartElementEvent) -> None:
+        element = Element(event.tag)
+        # Attributes are recorded on the owner element for serialisation; the
+        # matching ``@name`` child nodes arrive as synthetic events from
+        # ``iterparse`` so they are not materialised twice here.
+        element.attributes.update(event.attributes)
+        if self._stack:
+            self._stack[-1].append(element)
+        else:
+            self._root = element
+        self._stack.append(element)
+
+    def end_element(self, event: EndElementEvent) -> None:
+        self._stack.pop()
+
+    def characters(self, event: CharactersEvent) -> None:
+        current = self._stack[-1]
+        if current.text is None:
+            current.text = event.text
+        else:
+            current.text += event.text
+
+    def document(self) -> Document:
+        if self._root is None:
+            raise XMLSyntaxError("document has no root element")
+        return Document(self._root, name=self._name)
+
+
+def parse_string(text: str, name: str = "document") -> Document:
+    """Parse XML ``text`` into a :class:`Document`."""
+    builder = _TreeBuilder(name)
+    drive(iterparse(text), builder)
+    return builder.document()
+
+
+def parse_document(path: str, name: Optional[str] = None) -> Document:
+    """Parse the XML file at ``path`` into a :class:`Document`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_string(text, name=name or path)

@@ -1,0 +1,192 @@
+"""Schema graph ("DTD summary") used by the Unfold translator.
+
+The paper's Unfold algorithm (§4.1.3) assumes schema information: for a
+non-recursive schema a query step ``p//q`` can be *unfolded* into the union of
+all simple paths ``p/r1/../q`` permitted by the schema; for a recursive
+schema the unfolding is bounded by the known maximum depth of the instance
+data.
+
+A :class:`SchemaGraph` is a directed graph whose vertices are element tags
+and whose edges are the observed (or declared) parent→child relationships,
+plus a set of *root* tags.  It can be declared programmatically (as a DTD
+would be) or extracted from one or more documents with
+:func:`extract_schema`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import SchemaError
+from repro.xmlkit.model import Document
+
+
+class SchemaGraph:
+    """A parent→child tag graph with root tags and a depth bound.
+
+    Parameters
+    ----------
+    edges:
+        Mapping from a parent tag to the set of child tags that may appear
+        directly beneath it.
+    roots:
+        Tags that may appear as the document root.
+    max_depth:
+        Length of the longest simple path observed in (or allowed for) the
+        instance data.  Recursive schemas are unfolded only to this depth.
+    """
+
+    def __init__(
+        self,
+        edges: Optional[Dict[str, Set[str]]] = None,
+        roots: Optional[Iterable[str]] = None,
+        max_depth: int = 0,
+    ):
+        self._edges: Dict[str, Set[str]] = {tag: set(children) for tag, children in (edges or {}).items()}
+        self._roots: Set[str] = set(roots or ())
+        self.max_depth = max_depth
+
+    # -- construction ------------------------------------------------------
+
+    def add_root(self, tag: str) -> None:
+        """Declare ``tag`` as a possible document root."""
+        self._roots.add(tag)
+        self._edges.setdefault(tag, set())
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Declare that ``child`` may appear directly under ``parent``."""
+        self._edges.setdefault(parent, set()).add(child)
+        self._edges.setdefault(child, set())
+
+    def observe_depth(self, depth: int) -> None:
+        """Record that an instance path of length ``depth`` exists."""
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def roots(self) -> Set[str]:
+        """The set of possible root tags."""
+        return set(self._roots)
+
+    @property
+    def tags(self) -> Set[str]:
+        """Every tag known to the schema."""
+        return set(self._edges)
+
+    def children(self, tag: str) -> Set[str]:
+        """Tags that may appear directly under ``tag``."""
+        return set(self._edges.get(tag, set()))
+
+    def parents(self, tag: str) -> Set[str]:
+        """Tags that may appear directly above ``tag``."""
+        return {parent for parent, kids in self._edges.items() if tag in kids}
+
+    def has_edge(self, parent: str, child: str) -> bool:
+        """True when ``child`` may appear directly under ``parent``."""
+        return child in self._edges.get(parent, set())
+
+    def is_recursive(self) -> bool:
+        """True when the graph contains a cycle (a tag can nest inside itself)."""
+        state: Dict[str, int] = {}
+
+        def visit(tag: str) -> bool:
+            state[tag] = 1
+            for child in self._edges.get(tag, ()):  # grey node on the stack => cycle
+                mark = state.get(child, 0)
+                if mark == 1:
+                    return True
+                if mark == 0 and visit(child):
+                    return True
+            state[tag] = 2
+            return False
+
+        return any(visit(tag) for tag in self._edges if state.get(tag, 0) == 0)
+
+    # -- path enumeration (the heart of Unfold) -----------------------------
+
+    def enumerate_connecting_paths(
+        self,
+        from_tag: Optional[str],
+        to_tag: str,
+        max_length: Optional[int] = None,
+        limit: int = 10000,
+    ) -> List[Tuple[str, ...]]:
+        """Enumerate tag sequences connecting ``from_tag`` to ``to_tag``.
+
+        Returns every sequence ``(r1, .., rk, to_tag)`` (k >= 0) such that the
+        schema permits ``from_tag/r1/../rk/to_tag``.  ``from_tag`` itself is
+        *not* included in the returned tuples.  When ``from_tag`` is ``None``
+        the enumeration starts from the schema roots and the root tag *is*
+        included (these are absolute paths).
+
+        ``max_length`` bounds the number of tags in a returned sequence;
+        recursive schemas must supply a bound (``self.max_depth`` is used by
+        default).  ``limit`` guards against pathological blow-up.
+        """
+        if max_length is None:
+            max_length = self.max_depth if self.max_depth else len(self._edges) + 1
+        if max_length <= 0:
+            raise SchemaError("max_length must be positive for path enumeration")
+
+        results: List[Tuple[str, ...]] = []
+
+        def extend(prefix: Tuple[str, ...], tag: str) -> None:
+            if len(results) >= limit:
+                raise SchemaError(
+                    f"path enumeration exceeded limit of {limit} paths; "
+                    "supply a tighter max_length"
+                )
+            path = prefix + (tag,)
+            if tag == to_tag:
+                results.append(path)
+            if len(path) >= max_length:
+                return
+            for child in sorted(self._edges.get(tag, ())):
+                extend(path, child)
+
+        if from_tag is None:
+            for root in sorted(self._roots):
+                extend((), root)
+        else:
+            if from_tag not in self._edges:
+                return []
+            for child in sorted(self._edges.get(from_tag, ())):
+                extend((), child)
+        return results
+
+    def simple_paths_to(self, tag: str, limit: int = 10000) -> List[Tuple[str, ...]]:
+        """Every absolute simple path (root..tag) permitted by the schema."""
+        return self.enumerate_connecting_paths(None, tag, limit=limit)
+
+    def validate_path(self, tags: Sequence[str]) -> bool:
+        """True when ``tags`` is an absolute simple path permitted by the schema."""
+        if not tags:
+            return False
+        if tags[0] not in self._roots:
+            return False
+        for parent, child in zip(tags, tags[1:]):
+            if not self.has_edge(parent, child):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SchemaGraph(tags={len(self._edges)}, roots={sorted(self._roots)}, "
+            f"max_depth={self.max_depth}, recursive={self.is_recursive()})"
+        )
+
+
+def extract_schema(documents: Iterable[Document] | Document) -> SchemaGraph:
+    """Build a :class:`SchemaGraph` by observing one or more documents."""
+    if isinstance(documents, Document):
+        documents = [documents]
+    graph = SchemaGraph()
+    for document in documents:
+        graph.add_root(document.root.tag)
+        graph.observe_depth(document.max_depth())
+        for node in document.iter():
+            for child in node.children:
+                graph.add_edge(node.tag, child.tag)
+    return graph

@@ -1,0 +1,233 @@
+"""A streaming XML tokenizer.
+
+The tokenizer turns XML text into a flat sequence of :class:`Token` objects
+(start tags, end tags, empty-element tags, text, comments, processing
+instructions, CDATA sections and doctype declarations).  It supports the
+subset of XML needed for data-oriented documents: namespaces are treated as
+part of the tag name, entity references for the five predefined entities are
+decoded, and the parser is forgiving about whitespace.
+
+The tokenizer is deliberately independent from the event parser so that the
+low-level lexical behaviour can be tested on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, Tuple
+
+from repro.exceptions import XMLSyntaxError
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+class TokenType(Enum):
+    """Lexical classes produced by :func:`tokenize`."""
+
+    START_TAG = "start_tag"
+    END_TAG = "end_tag"
+    EMPTY_TAG = "empty_tag"
+    TEXT = "text"
+    COMMENT = "comment"
+    PROCESSING_INSTRUCTION = "pi"
+    CDATA = "cdata"
+    DOCTYPE = "doctype"
+    XML_DECLARATION = "xml_declaration"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``offset`` is the character offset of the token's first character in the
+    input text (useful for error messages); ``value`` is the tag name for tag
+    tokens and the decoded character data for text/CDATA tokens.
+    """
+
+    type: TokenType
+    value: str
+    offset: int
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+
+def decode_entities(text: str, offset: int = 0) -> str:
+    """Replace predefined and numeric character references in ``text``."""
+    if "&" not in text:
+        return text
+    parts = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch != "&":
+            parts.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XMLSyntaxError("unterminated entity reference", offset + i)
+        name = text[i + 1 : end]
+        if not name:
+            raise XMLSyntaxError("empty entity reference", offset + i)
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                parts.append(chr(int(name[2:], 16)))
+            except ValueError as exc:
+                raise XMLSyntaxError(f"bad character reference &{name};", offset + i) from exc
+        elif name.startswith("#"):
+            try:
+                parts.append(chr(int(name[1:])))
+            except ValueError as exc:
+                raise XMLSyntaxError(f"bad character reference &{name};", offset + i) from exc
+        elif name in _PREDEFINED_ENTITIES:
+            parts.append(_PREDEFINED_ENTITIES[name])
+        else:
+            # Unknown entity: keep it verbatim rather than failing, which is
+            # the pragmatic choice for data-oriented documents.
+            parts.append(text[i : end + 1])
+        i = end + 1
+    return "".join(parts)
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in ("_", ":")
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in ("_", ":", "-", ".")
+
+
+def _parse_name(text: str, pos: int) -> Tuple[str, int]:
+    """Parse an XML name starting at ``pos``; return (name, next position)."""
+    if pos >= len(text) or not _is_name_start(text[pos]):
+        raise XMLSyntaxError("expected a name", pos)
+    end = pos + 1
+    while end < len(text) and _is_name_char(text[end]):
+        end += 1
+    return text[pos:end], end
+
+
+def _skip_whitespace(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    return pos
+
+
+def _parse_attributes(text: str, pos: int, stop_chars: str) -> Tuple[Dict[str, str], int]:
+    """Parse ``name="value"`` pairs until one of ``stop_chars`` is reached."""
+    attributes: Dict[str, str] = {}
+    while True:
+        pos = _skip_whitespace(text, pos)
+        if pos >= len(text):
+            raise XMLSyntaxError("unterminated tag", pos)
+        if text[pos] in stop_chars:
+            return attributes, pos
+        name, pos = _parse_name(text, pos)
+        pos = _skip_whitespace(text, pos)
+        if pos >= len(text) or text[pos] != "=":
+            raise XMLSyntaxError(f"expected '=' after attribute {name!r}", pos)
+        pos = _skip_whitespace(text, pos + 1)
+        if pos >= len(text) or text[pos] not in "\"'":
+            raise XMLSyntaxError(f"expected quoted value for attribute {name!r}", pos)
+        quote = text[pos]
+        end = text.find(quote, pos + 1)
+        if end == -1:
+            raise XMLSyntaxError(f"unterminated value for attribute {name!r}", pos)
+        attributes[name] = decode_entities(text[pos + 1 : end], pos + 1)
+        pos = end + 1
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield the :class:`Token` stream for ``text``.
+
+    Raises :class:`~repro.exceptions.XMLSyntaxError` on malformed markup.
+    """
+    pos = 0
+    length = len(text)
+    while pos < length:
+        if text[pos] != "<":
+            end = text.find("<", pos)
+            if end == -1:
+                end = length
+            raw = text[pos:end]
+            yield Token(TokenType.TEXT, decode_entities(raw, pos), pos)
+            pos = end
+            continue
+
+        if text.startswith("<?", pos):
+            end = text.find("?>", pos + 2)
+            if end == -1:
+                raise XMLSyntaxError("unterminated processing instruction", pos)
+            content = text[pos + 2 : end]
+            token_type = (
+                TokenType.XML_DECLARATION
+                if content.lower().startswith("xml")
+                else TokenType.PROCESSING_INSTRUCTION
+            )
+            yield Token(token_type, content, pos)
+            pos = end + 2
+            continue
+
+        if text.startswith("<!--", pos):
+            end = text.find("-->", pos + 4)
+            if end == -1:
+                raise XMLSyntaxError("unterminated comment", pos)
+            yield Token(TokenType.COMMENT, text[pos + 4 : end], pos)
+            pos = end + 3
+            continue
+
+        if text.startswith("<![CDATA[", pos):
+            end = text.find("]]>", pos + 9)
+            if end == -1:
+                raise XMLSyntaxError("unterminated CDATA section", pos)
+            yield Token(TokenType.CDATA, text[pos + 9 : end], pos)
+            pos = end + 3
+            continue
+
+        if text.startswith("<!DOCTYPE", pos) or text.startswith("<!doctype", pos):
+            # Skip to the matching '>' accounting for an optional internal
+            # subset delimited by [ ... ].
+            depth = 0
+            cursor = pos + 9
+            while cursor < length:
+                ch = text[cursor]
+                if ch == "[":
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                elif ch == ">" and depth <= 0:
+                    break
+                cursor += 1
+            if cursor >= length:
+                raise XMLSyntaxError("unterminated DOCTYPE declaration", pos)
+            yield Token(TokenType.DOCTYPE, text[pos + 9 : cursor].strip(), pos)
+            pos = cursor + 1
+            continue
+
+        if text.startswith("</", pos):
+            name, cursor = _parse_name(text, pos + 2)
+            cursor = _skip_whitespace(text, cursor)
+            if cursor >= length or text[cursor] != ">":
+                raise XMLSyntaxError(f"malformed end tag </{name}", pos)
+            yield Token(TokenType.END_TAG, name, pos)
+            pos = cursor + 1
+            continue
+
+        # Ordinary start tag or empty-element tag.
+        name, cursor = _parse_name(text, pos + 1)
+        attributes, cursor = _parse_attributes(text, cursor, "/>")
+        if text.startswith("/>", cursor):
+            yield Token(TokenType.EMPTY_TAG, name, pos, attributes)
+            pos = cursor + 2
+        elif text[cursor] == ">":
+            yield Token(TokenType.START_TAG, name, pos, attributes)
+            pos = cursor + 1
+        else:  # pragma: no cover - defensive
+            raise XMLSyntaxError(f"malformed start tag <{name}", pos)

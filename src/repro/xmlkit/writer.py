@@ -1,0 +1,82 @@
+"""Serialisation of the in-memory model back to XML text.
+
+Round-tripping matters for two reasons: the dataset generators build
+:class:`~repro.xmlkit.model.Document` objects and the replication utilities
+need to write them out as text so that the *same* parsing/labeling pipeline
+the paper describes (SAX events over a document) is exercised end to end, and
+Figure 12 reports the on-disk size of each dataset, which we measure on the
+serialised text.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmlkit.model import Document, Element
+
+_ESCAPES_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ESCAPES_ATTR = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    for raw, repl in _ESCAPES_TEXT.items():
+        value = value.replace(raw, repl)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for an attribute value."""
+    for raw, repl in _ESCAPES_ATTR.items():
+        value = value.replace(raw, repl)
+    return value
+
+
+def _write_element(element: Element, parts: List[str], indent: int, pretty: bool) -> None:
+    pad = "  " * indent if pretty else ""
+    newline = "\n" if pretty else ""
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"' for name, value in element.attributes.items()
+    )
+    # Attribute nodes (tag starting with '@') are serialised back as
+    # attributes of their parent, so they are skipped here; the parent already
+    # carries them in ``attributes``.
+    children = [child for child in element.children if not child.tag.startswith("@")]
+    if not children and element.text is None:
+        parts.append(f"{pad}<{element.tag}{attrs}/>{newline}")
+        return
+    parts.append(f"{pad}<{element.tag}{attrs}>")
+    if element.text is not None:
+        parts.append(escape_text(element.text))
+    if children:
+        parts.append(newline)
+        for child in children:
+            _write_element(child, parts, indent + 1, pretty)
+        parts.append(pad)
+    parts.append(f"</{element.tag}>{newline}")
+
+
+def element_to_string(element: Element, pretty: bool = True) -> str:
+    """Serialise a single element (and its subtree) to XML text."""
+    parts: List[str] = []
+    _write_element(element, parts, 0, pretty)
+    return "".join(parts)
+
+
+def document_to_string(document: Document, pretty: bool = True, declaration: bool = True) -> str:
+    """Serialise a document to XML text."""
+    parts: List[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>\n' if pretty else
+                     '<?xml version="1.0" encoding="UTF-8"?>')
+    parts.append(element_to_string(document.root, pretty=pretty))
+    return "".join(parts)
+
+
+def write_document(document: Document, path: str, pretty: bool = True) -> int:
+    """Write ``document`` to ``path``; return the number of bytes written."""
+    text = document_to_string(document, pretty=pretty)
+    data = text.encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)

@@ -1,0 +1,33 @@
+"""XPath subset: AST, parser, query-tree model and a naive evaluator.
+
+The paper (§2) restricts attention to *tree queries*: child axis ``/``,
+descendant axis ``//``, branches ``[..]`` and equality value predicates.
+This package provides:
+
+* :mod:`repro.xpath.ast` — the abstract syntax (location paths, steps,
+  predicates).
+* :mod:`repro.xpath.parser` — a recursive-descent parser for the subset.
+* :mod:`repro.xpath.query_tree` — the paper's query-tree representation
+  (Figure 3) used by the translators.
+* :mod:`repro.xpath.evaluator` — a naive in-memory evaluator over
+  :class:`~repro.xmlkit.model.Document`; it is the correctness oracle for the
+  whole system.
+"""
+
+from repro.xpath.ast import Axis, LocationPath, PathPredicate, Step
+from repro.xpath.evaluator import evaluate, evaluate_query_tree
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import QueryTree, QueryTreeNode, build_query_tree
+
+__all__ = [
+    "Axis",
+    "LocationPath",
+    "PathPredicate",
+    "QueryTree",
+    "QueryTreeNode",
+    "Step",
+    "build_query_tree",
+    "evaluate",
+    "evaluate_query_tree",
+    "parse_xpath",
+]

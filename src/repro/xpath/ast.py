@@ -1,0 +1,183 @@
+"""Abstract syntax for the supported XPath subset.
+
+The subset (paper §2) is: absolute location paths starting with ``/`` or
+``//``, steps over element names (plus ``*`` wildcards and ``@attr``
+attribute tests, which the data model stores as ``@attr`` child nodes),
+branch predicates ``[..]`` combining relative paths with ``and``, and
+equality comparisons of a path against a string literal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+
+class Axis(Enum):
+    """The two navigation axes of the subset."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class PathPredicate:
+    """One conjunct of a branch predicate: a relative path, optionally
+    compared for equality against a string literal.
+
+    ``[year = "2001"]`` parses to ``PathPredicate(path=year, value="2001")``;
+    ``[shipping]`` parses to ``PathPredicate(path=shipping, value=None)``
+    (an existence test).
+    """
+
+    path: "LocationPath"
+    value: Optional[str] = None
+
+    def to_xpath(self) -> str:
+        """Serialise this predicate back to XPath syntax."""
+        text = self.path.to_xpath(relative=True)
+        if self.value is None:
+            return text
+        return f'{text} = "{self.value}"'
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: an axis, a node test and branch predicates."""
+
+    axis: Axis
+    node_test: str
+    predicates: Tuple[PathPredicate, ...] = field(default_factory=tuple)
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True when the node test is ``*``."""
+        return self.node_test == WILDCARD
+
+    def to_xpath(self, leading_axis: bool = True) -> str:
+        """Serialise this step (with or without its leading axis token)."""
+        parts = []
+        if leading_axis:
+            parts.append(self.axis.value)
+        parts.append(self.node_test)
+        for predicate in self.predicates:
+            parts.append(f"[{predicate.to_xpath()}]")
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A location path: a sequence of steps plus an optional value test.
+
+    ``absolute`` is true for the outermost query (which starts at the
+    document root) and false for relative paths inside predicates (which
+    start at the context node).  The leading axis is the axis of the first
+    step: ``//a/b`` has first step axis :attr:`Axis.DESCENDANT`.
+
+    ``value`` implements the trailing equality of queries such as
+    ``/a/b//author = "Evans, M.J."`` (QP2 in the paper): the path's result
+    nodes are filtered by their text value.
+    """
+
+    steps: Tuple[Step, ...]
+    absolute: bool = True
+    value: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a location path needs at least one step")
+
+    @property
+    def length(self) -> int:
+        """Number of steps."""
+        return len(self.steps)
+
+    @property
+    def has_branches(self) -> bool:
+        """True when any step carries a predicate."""
+        return any(step.predicates for step in self.steps)
+
+    @property
+    def has_descendant_axis(self) -> bool:
+        """True when any step (including the first) uses ``//``."""
+        return any(step.axis is Axis.DESCENDANT for step in self.steps)
+
+    @property
+    def has_interior_descendant_axis(self) -> bool:
+        """True when a step other than the first uses ``//``."""
+        return any(step.axis is Axis.DESCENDANT for step in self.steps[1:])
+
+    @property
+    def has_wildcards(self) -> bool:
+        """True when any step (or nested predicate path) uses ``*``."""
+        for step in self.steps:
+            if step.is_wildcard:
+                return True
+            for predicate in step.predicates:
+                if predicate.path.has_wildcards:
+                    return True
+        return False
+
+    def is_suffix_path(self) -> bool:
+        """True for a *suffix path expression* (Definition 2.3).
+
+        A suffix path optionally begins with ``//`` and is followed only by
+        child-axis steps, with no branches and no value test in the middle
+        (a trailing value test is fine: the paper's subqueries carry them).
+        """
+        return not self.has_branches and not self.has_interior_descendant_axis
+
+    def is_simple_path(self) -> bool:
+        """True for a *simple path expression*: child axes only, no branches."""
+        return (
+            not self.has_branches
+            and not self.has_descendant_axis
+            and self.absolute
+        )
+
+    def tag_sequence(self) -> List[str]:
+        """The node tests of the steps, in order."""
+        return [step.node_test for step in self.steps]
+
+    def to_xpath(self, relative: bool = False) -> str:
+        """Serialise back to XPath text."""
+        parts: List[str] = []
+        for position, step in enumerate(self.steps):
+            leading = True
+            if position == 0 and relative and step.axis is Axis.CHILD:
+                leading = False
+            parts.append(step.to_xpath(leading_axis=leading))
+        text = "".join(parts)
+        if self.value is not None:
+            text = f'{text} = "{self.value}"'
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_xpath(relative=not self.absolute)
+
+
+def count_axis_steps(path: LocationPath) -> Tuple[int, int]:
+    """Return ``(child_steps, descendant_steps)`` over the whole query tree.
+
+    Used by the §4.2 join-count analysis: a D-labeling-only plan needs one
+    D-join per axis step beyond the first.
+    """
+    child = 0
+    descendant = 0
+
+    def visit(p: LocationPath) -> None:
+        nonlocal child, descendant
+        for step in p.steps:
+            if step.axis is Axis.CHILD:
+                child += 1
+            else:
+                descendant += 1
+            for predicate in step.predicates:
+                visit(predicate.path)
+
+    visit(path)
+    return child, descendant

@@ -1,0 +1,129 @@
+"""Naive in-memory XPath evaluation over the element tree.
+
+This evaluator walks the :class:`~repro.xmlkit.model.Document` directly, with
+no labels and no indexes.  It exists as the *correctness oracle*: every query
+engine in the repository is tested against it, and it is also the reference
+implementation of the semantics in paper §2 (Definition 2.1: the evaluation
+of a path expression is the set of nodes reachable by it from the root).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from repro.xmlkit.model import Document, Element
+from repro.xpath.ast import Axis, LocationPath, PathPredicate, Step
+from repro.xpath.query_tree import QueryTree, QueryTreeNode
+
+
+def _matches_test(element: Element, node_test: str) -> bool:
+    if node_test == "*":
+        return not element.tag.startswith("@")
+    return element.tag == node_test
+
+
+def _axis_candidates(context: Element, axis: Axis) -> Iterable[Element]:
+    if axis is Axis.CHILD:
+        return context.children
+    return context.iter_descendants()
+
+
+def _value_matches(element: Element, value: str) -> bool:
+    return (element.text or "").strip() == value
+
+
+def _evaluate_steps(contexts: Sequence[Element], steps: Sequence[Step]) -> List[Element]:
+    current: List[Element] = list(contexts)
+    for step in steps:
+        next_nodes: List[Element] = []
+        seen: Set[int] = set()
+        for context in current:
+            for candidate in _axis_candidates(context, step.axis):
+                if not _matches_test(candidate, step.node_test):
+                    continue
+                if not all(_predicate_holds(candidate, pred) for pred in step.predicates):
+                    continue
+                if id(candidate) not in seen:
+                    seen.add(id(candidate))
+                    next_nodes.append(candidate)
+        current = next_nodes
+    return current
+
+
+def _predicate_holds(context: Element, predicate: PathPredicate) -> bool:
+    matches = _evaluate_steps([context], predicate.path.steps)
+    if predicate.value is None:
+        return bool(matches)
+    return any(_value_matches(node, predicate.value) for node in matches)
+
+
+def evaluate(document: Document, path: LocationPath) -> List[Element]:
+    """Evaluate an absolute location path; results in document order.
+
+    The first step is applied from a virtual node above the root: ``/a``
+    matches the root only when its tag is ``a``; ``//a`` matches any element
+    tagged ``a``.
+    """
+    first = path.steps[0]
+    if first.axis is Axis.CHILD:
+        initial = [document.root] if _matches_test(document.root, first.node_test) else []
+    else:
+        initial = [
+            node for node in document.iter() if _matches_test(node, first.node_test)
+        ]
+    initial = [
+        node
+        for node in initial
+        if all(_predicate_holds(node, pred) for pred in first.predicates)
+    ]
+    results = _evaluate_steps(initial, path.steps[1:])
+    if path.value is not None:
+        results = [node for node in results if _value_matches(node, path.value)]
+    return _document_order(document, results)
+
+
+def evaluate_query_tree(document: Document, tree: QueryTree) -> List[Element]:
+    """Evaluate a query tree directly (used to validate the conversion)."""
+
+    def node_matches(element: Element, qnode: QueryTreeNode) -> bool:
+        if not _matches_test(element, qnode.tag):
+            return False
+        if qnode.value is not None and not _value_matches(element, qnode.value):
+            return False
+        for child in qnode.children:
+            if not any(
+                node_matches(candidate, child)
+                for candidate in _axis_candidates(element, child.axis)
+            ):
+                return False
+        return True
+
+    root_q = tree.root
+    if root_q.axis is Axis.CHILD:
+        candidates = [document.root]
+    else:
+        candidates = list(document.iter())
+    matched_roots = [element for element in candidates if node_matches(element, root_q)]
+
+    # Collect the elements bound to the return node.
+    results: List[Element] = []
+    seen: Set[int] = set()
+
+    def collect(element: Element, qnode: QueryTreeNode) -> None:
+        if qnode.is_return:
+            if id(element) not in seen:
+                seen.add(id(element))
+                results.append(element)
+        for child in qnode.children:
+            for candidate in _axis_candidates(element, child.axis):
+                if node_matches(candidate, child):
+                    collect(candidate, child)
+
+    for element in matched_roots:
+        collect(element, root_q)
+    return _document_order(document, results)
+
+
+def _document_order(document: Document, elements: Sequence[Element]) -> List[Element]:
+    order = {id(node): position for position, node in enumerate(document.iter())}
+    return sorted(elements, key=lambda node: order.get(id(node), 0))

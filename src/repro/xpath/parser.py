@@ -1,0 +1,207 @@
+"""Recursive-descent parser for the supported XPath subset.
+
+Grammar (whitespace insensitive between tokens)::
+
+    xpath       :=  abs_path ( '=' literal )?
+    abs_path    :=  ('/' | '//') rel_path
+    rel_path    :=  step ( ('/' | '//') step )*
+    step        :=  nodetest predicate*
+    nodetest    :=  NAME | '*' | '@' NAME
+    predicate   :=  '[' conjunction ']'
+    conjunction :=  comparison ( 'and' comparison )*
+    comparison  :=  pred_path ( '=' literal )?
+    pred_path   :=  ('//' | '/' | './/')? rel_path
+    literal     :=  '"' chars '"'  |  "'" chars "'"
+
+Anything outside the subset (other axes, functions, positional predicates,
+``or``) raises :class:`~repro.exceptions.UnsupportedQueryError` with a
+message naming the offending construct, and malformed input raises
+:class:`~repro.exceptions.XPathSyntaxError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.exceptions import UnsupportedQueryError, XPathSyntaxError
+from repro.xpath.ast import Axis, LocationPath, PathPredicate, Step
+
+_NAME_EXTRA = {"_", "-", ".", ":"}
+
+
+class _Scanner:
+    """Character scanner with small helpers; no separate token buffer needed."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def skip_ws(self) -> None:
+        while not self.eof() and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def consume(self, token: str) -> bool:
+        if self.startswith(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.consume(token):
+            raise XPathSyntaxError(f"expected {token!r}", self.pos)
+
+    def read_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        if self.consume("*"):
+            return "*"
+        prefix = ""
+        if self.consume("@"):
+            prefix = "@"
+        while not self.eof() and (self.peek().isalnum() or self.peek() in _NAME_EXTRA):
+            self.pos += 1
+        if self.pos == start + len(prefix):
+            raise XPathSyntaxError("expected an element or attribute name", start)
+        return prefix + self.text[start + len(prefix) : self.pos]
+
+    def read_literal(self) -> str:
+        self.skip_ws()
+        if self.eof() or self.peek() not in "\"'":
+            raise XPathSyntaxError("expected a quoted string literal", self.pos)
+        quote = self.peek()
+        self.pos += 1
+        end = self.text.find(quote, self.pos)
+        if end == -1:
+            raise XPathSyntaxError("unterminated string literal", self.pos)
+        value = self.text[self.pos : end]
+        self.pos = end + 1
+        return value
+
+
+def _parse_axis(scanner: _Scanner, default: Optional[Axis]) -> Optional[Axis]:
+    """Parse a leading axis token; return ``default`` when absent."""
+    scanner.skip_ws()
+    if scanner.startswith("//"):
+        scanner.pos += 2
+        return Axis.DESCENDANT
+    if scanner.startswith("/"):
+        scanner.pos += 1
+        return Axis.CHILD
+    if scanner.startswith(".//"):
+        scanner.pos += 3
+        return Axis.DESCENDANT
+    return default
+
+
+def _reject_unsupported_axes(scanner: _Scanner) -> None:
+    for keyword in ("ancestor::", "parent::", "following", "preceding", "self::", "child::",
+                    "descendant::", "attribute::"):
+        if scanner.startswith(keyword):
+            if keyword in ("child::", "descendant::", "attribute::"):
+                # These are expressible in the subset; accept the abbreviation only.
+                raise UnsupportedQueryError(
+                    f"explicit axis syntax {keyword!r} is not supported; "
+                    "use the abbreviated '/', '//' or '@' forms"
+                )
+            raise UnsupportedQueryError(f"axis {keyword!r} is outside the supported subset")
+
+
+def _parse_step(scanner: _Scanner, axis: Axis) -> Step:
+    scanner.skip_ws()
+    _reject_unsupported_axes(scanner)
+    name = scanner.read_name()
+    if name.endswith("()") or scanner.startswith("("):
+        raise UnsupportedQueryError(f"functions such as {name!r}() are not supported")
+    predicates: List[PathPredicate] = []
+    scanner.skip_ws()
+    while scanner.consume("["):
+        predicates.extend(_parse_conjunction(scanner))
+        scanner.skip_ws()
+        scanner.expect("]")
+        scanner.skip_ws()
+    return Step(axis=axis, node_test=name, predicates=tuple(predicates))
+
+
+def _parse_conjunction(scanner: _Scanner) -> List[PathPredicate]:
+    predicates = [_parse_comparison(scanner)]
+    while True:
+        scanner.skip_ws()
+        if scanner.startswith("or "):
+            raise UnsupportedQueryError("'or' inside predicates is not supported")
+        if scanner.startswith("and ") or scanner.startswith("and]"):
+            scanner.pos += 3
+            predicates.append(_parse_comparison(scanner))
+            continue
+        return predicates
+
+
+def _parse_comparison(scanner: _Scanner) -> PathPredicate:
+    scanner.skip_ws()
+    if scanner.peek().isdigit():
+        raise UnsupportedQueryError("positional predicates are not supported")
+    path = _parse_relative_path(scanner)
+    scanner.skip_ws()
+    value: Optional[str] = None
+    if scanner.consume("="):
+        value = scanner.read_literal()
+    return PathPredicate(path=path, value=value)
+
+
+def _parse_relative_path(scanner: _Scanner) -> LocationPath:
+    first_axis = _parse_axis(scanner, default=Axis.CHILD)
+    steps = [_parse_step(scanner, first_axis or Axis.CHILD)]
+    while True:
+        axis = _parse_axis(scanner, default=None)
+        if axis is None:
+            break
+        steps.append(_parse_step(scanner, axis))
+    return LocationPath(steps=tuple(steps), absolute=False)
+
+
+def parse_xpath(text: str) -> LocationPath:
+    """Parse an XPath expression of the supported subset.
+
+    Returns an absolute :class:`~repro.xpath.ast.LocationPath`.  Raises
+    :class:`XPathSyntaxError` for malformed input and
+    :class:`UnsupportedQueryError` for features outside the subset.
+    """
+    scanner = _Scanner(text)
+    scanner.skip_ws()
+    if scanner.eof():
+        raise XPathSyntaxError("empty XPath expression")
+    first_axis = _parse_axis(scanner, default=None)
+    if first_axis is None:
+        raise UnsupportedQueryError(
+            "queries must be absolute (start with '/' or '//') in the supported subset"
+        )
+    steps: List[Step] = [_parse_step(scanner, first_axis)]
+    while True:
+        axis = _parse_axis(scanner, default=None)
+        if axis is None:
+            break
+        steps.append(_parse_step(scanner, axis))
+    scanner.skip_ws()
+    value: Optional[str] = None
+    if scanner.consume("="):
+        value = scanner.read_literal()
+    scanner.skip_ws()
+    if not scanner.eof():
+        raise XPathSyntaxError(
+            f"unexpected trailing input: {scanner.text[scanner.pos:]!r}", scanner.pos
+        )
+    return LocationPath(steps=tuple(steps), absolute=True, value=value)
+
+
+def parse_many(expressions: Tuple[str, ...]) -> List[LocationPath]:
+    """Parse a sequence of expressions (convenience for query workloads)."""
+    return [parse_xpath(expression) for expression in expressions]

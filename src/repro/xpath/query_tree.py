@@ -1,0 +1,226 @@
+"""The query-tree representation of paper Figure 3.
+
+An XPath tree query is represented as a rooted, node-labelled tree: one node
+per tag in the query, an edge per axis step (annotated child or descendant),
+an optional value predicate on leaves, and one distinguished *return node*
+(the result of the query).  The root carries the axis of the query's first
+step ("the root has an incoming edge to indicate that it starts with axis /
+or //").
+
+The translators (Split, Push-Up, Unfold) operate on this representation; the
+naive evaluator can also run it directly, which the tests use to check that
+AST → query tree conversion preserves semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.exceptions import UnsupportedQueryError
+from repro.xpath.ast import Axis, LocationPath, PathPredicate, Step
+
+
+@dataclass
+class QueryTreeNode:
+    """One node of a query tree.
+
+    Attributes
+    ----------
+    tag:
+        The node test (an element name, ``@attr`` or ``*``).
+    axis:
+        The axis of the incoming edge (from the parent, or from the document
+        root for the tree's root node).
+    children:
+        Child query nodes (branches and the continuation of the trunk).
+    value:
+        Optional equality predicate on this node's text value.
+    is_return:
+        True for the single return node of the query.
+    """
+
+    tag: str
+    axis: Axis
+    children: List["QueryTreeNode"] = field(default_factory=list)
+    value: Optional[str] = None
+    is_return: bool = False
+
+    def add_child(self, child: "QueryTreeNode") -> "QueryTreeNode":
+        """Append a child node and return it."""
+        self.children.append(child)
+        return child
+
+    def iter(self) -> Iterator["QueryTreeNode"]:
+        """This node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    @property
+    def is_branching_point(self) -> bool:
+        """More than one child, or a return node that is not a leaf (paper §2)."""
+        if len(self.children) > 1:
+            return True
+        return self.is_return and bool(self.children)
+
+    def clone(self) -> "QueryTreeNode":
+        """Deep copy (translators mutate trees while decomposing them)."""
+        return QueryTreeNode(
+            tag=self.tag,
+            axis=self.axis,
+            children=[child.clone() for child in self.children],
+            value=self.value,
+            is_return=self.is_return,
+        )
+
+
+@dataclass
+class QueryTree:
+    """A whole tree query: the root node plus convenience accessors."""
+
+    root: QueryTreeNode
+
+    def iter(self) -> Iterator[QueryTreeNode]:
+        """All nodes in pre-order."""
+        return self.root.iter()
+
+    @property
+    def return_node(self) -> QueryTreeNode:
+        """The query's return node."""
+        for node in self.iter():
+            if node.is_return:
+                return node
+        raise UnsupportedQueryError("query tree has no return node")
+
+    @property
+    def node_count(self) -> int:
+        """Number of tags mentioned by the query (``l`` in §4.2)."""
+        return sum(1 for _ in self.iter())
+
+    @property
+    def branching_points(self) -> List[QueryTreeNode]:
+        """All branching points (paper §2)."""
+        return [node for node in self.iter() if node.is_branching_point]
+
+    @property
+    def descendant_edge_count(self) -> int:
+        """Number of descendant-axis edges, excluding the incoming root edge
+        when it is the leading ``//`` of the query (``d`` in §4.2 counts the
+        descendant steps that require a D-join; the leading ``//`` of a suffix
+        path does not)."""
+        count = 0
+        for node in self.iter():
+            for child in node.children:
+                if child.axis is Axis.DESCENDANT:
+                    count += 1
+        return count
+
+    @property
+    def non_descendant_branch_edges(self) -> int:
+        """``b`` in §4.2: outgoing child-axis edges of branching points."""
+        count = 0
+        for node in self.branching_points:
+            for child in node.children:
+                if child.axis is Axis.CHILD:
+                    count += 1
+        return count
+
+    def is_path_query(self) -> bool:
+        """True when the tree has no branches (a path query, §2)."""
+        return all(len(node.children) <= 1 for node in self.iter())
+
+    def is_suffix_path_query(self) -> bool:
+        """True when the query is a suffix path expression (Definition 2.3)."""
+        if not self.is_path_query():
+            return False
+        node = self.root
+        while node.children:
+            child = node.children[0]
+            if child.axis is Axis.DESCENDANT:
+                return False
+            node = child
+        return True
+
+    def clone(self) -> "QueryTree":
+        """Deep copy of the tree."""
+        return QueryTree(root=self.root.clone())
+
+    def to_xpath(self) -> str:
+        """Serialise back to an XPath string (best-effort, for diagnostics)."""
+
+        def render(node: QueryTreeNode) -> str:
+            text = node.axis.value + node.tag
+            trunk_child: Optional[QueryTreeNode] = None
+            branches: List[QueryTreeNode] = []
+            for child in node.children:
+                # Render one child as the trunk continuation (prefer the one
+                # leading to the return node) and the rest as predicates.
+                branches.append(child)
+            if branches:
+                trunk_child = None
+                for child in branches:
+                    if any(grand.is_return for grand in child.iter()):
+                        trunk_child = child
+                        break
+                if trunk_child is not None:
+                    branches.remove(trunk_child)
+            predicate_texts = []
+            for branch in branches:
+                rendered = render(branch)
+                if branch.axis is Axis.CHILD:
+                    rendered = rendered[1:]
+                predicate_texts.append(f"[{rendered}]")
+            if node.value is not None:
+                if node.children:
+                    # Not expressible in the subset; keep a readable marker.
+                    predicate_texts.append(f'[. = "{node.value}"]')
+                else:
+                    predicate_texts.append(f' = "{node.value}"')
+            text += "".join(predicate_texts)
+            if trunk_child is not None:
+                text += render(trunk_child)
+            return text
+
+        return render(self.root)
+
+
+def build_query_tree(path: LocationPath) -> QueryTree:
+    """Convert an absolute :class:`LocationPath` into a :class:`QueryTree`."""
+    if not path.absolute:
+        raise UnsupportedQueryError("only absolute queries can form a query tree")
+
+    def attach_predicates(node: QueryTreeNode, step: Step) -> None:
+        for predicate in step.predicates:
+            node.add_child(_predicate_to_subtree(predicate))
+
+    root_step = path.steps[0]
+    root = QueryTreeNode(tag=root_step.node_test, axis=root_step.axis)
+    attach_predicates(root, root_step)
+    current = root
+    for step in path.steps[1:]:
+        child = QueryTreeNode(tag=step.node_test, axis=step.axis)
+        attach_predicates(child, step)
+        current.add_child(child)
+        current = child
+    current.is_return = True
+    if path.value is not None:
+        current.value = path.value
+    return QueryTree(root=root)
+
+
+def _predicate_to_subtree(predicate: PathPredicate) -> QueryTreeNode:
+    steps = predicate.path.steps
+    head = QueryTreeNode(tag=steps[0].node_test, axis=steps[0].axis)
+    for nested in steps[0].predicates:
+        head.add_child(_predicate_to_subtree(nested))
+    current = head
+    for step in steps[1:]:
+        child = QueryTreeNode(tag=step.node_test, axis=step.axis)
+        for nested in step.predicates:
+            child.add_child(_predicate_to_subtree(nested))
+        current.add_child(child)
+        current = child
+    if predicate.value is not None:
+        current.value = predicate.value
+    return head

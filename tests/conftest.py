@@ -1,0 +1,128 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexer import index_text
+from repro.datasets import build_dataset
+from repro.system import BLAS
+from repro.xmlkit.parser import parse_string
+
+#: A small protein-repository document mirroring the paper's Figure 1.
+PROTEIN_SAMPLE = """
+<ProteinDatabase>
+  <ProteinEntry id="PE1">
+    <protein>
+      <name>cytochrome c [validated]</name>
+      <classification>
+        <superfamily>cytochrome c</superfamily>
+      </classification>
+    </protein>
+    <reference>
+      <refinfo>
+        <authors>
+          <author>Evans, M.J.</author>
+          <author>Li, Q.</author>
+        </authors>
+        <year>2001</year>
+        <title>The human somatic cytochrome c gene</title>
+      </refinfo>
+    </reference>
+  </ProteinEntry>
+  <ProteinEntry id="PE2">
+    <protein>
+      <name>hemoglobin beta</name>
+      <classification>
+        <superfamily>globin</superfamily>
+      </classification>
+    </protein>
+    <reference>
+      <refinfo>
+        <authors>
+          <author>Smith, A.</author>
+        </authors>
+        <year>2001</year>
+        <title>Another paper</title>
+      </refinfo>
+    </reference>
+  </ProteinEntry>
+  <ProteinEntry id="PE3">
+    <protein>
+      <name>cytochrome c2</name>
+      <classification>
+        <superfamily>cytochrome c</superfamily>
+      </classification>
+    </protein>
+    <reference>
+      <refinfo>
+        <authors>
+          <author>Evans, M.J.</author>
+        </authors>
+        <year>1999</year>
+        <title>An older paper</title>
+      </refinfo>
+    </reference>
+  </ProteinEntry>
+</ProteinDatabase>
+"""
+
+#: The paper's running example query (Figure 2).
+EXAMPLE_QUERY = (
+    '/ProteinDatabase/ProteinEntry[protein//superfamily = "cytochrome c"]'
+    '/reference/refinfo[//author = "Evans, M.J." and year = "2001"]/title'
+)
+
+#: A tiny document exercising nesting, attributes, repeated tags and values.
+TINY_SAMPLE = """
+<a>
+  <b id="1"><c>x</c><c>y</c></b>
+  <b id="2"><d><c>z</c></d></b>
+  <e>plain</e>
+</a>
+"""
+
+
+@pytest.fixture(scope="session")
+def protein_xml() -> str:
+    return PROTEIN_SAMPLE
+
+
+@pytest.fixture(scope="session")
+def protein_document():
+    return parse_string(PROTEIN_SAMPLE, name="protein-sample")
+
+
+@pytest.fixture(scope="session")
+def protein_indexed():
+    return index_text(PROTEIN_SAMPLE, name="protein-sample")
+
+
+@pytest.fixture(scope="session")
+def protein_system():
+    return BLAS.from_xml(PROTEIN_SAMPLE, name="protein-sample")
+
+
+@pytest.fixture(scope="session")
+def tiny_document():
+    return parse_string(TINY_SAMPLE, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_indexed():
+    return index_text(TINY_SAMPLE, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def shakespeare_document():
+    return build_dataset("shakespeare", scale=1)
+
+
+@pytest.fixture(scope="session")
+def auction_document():
+    return build_dataset("auction", scale=1)
+
+
+@pytest.fixture(scope="session")
+def protein_dataset_document():
+    return build_dataset("protein", scale=1)

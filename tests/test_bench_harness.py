@@ -1,0 +1,103 @@
+"""Tests for the benchmark harness and reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    BenchSystem,
+    build_bench_system,
+    clear_cache,
+    run_translator_comparison,
+    time_call,
+)
+from repro.bench.reporting import comparison_rows, format_table, speedup_over_baseline
+
+
+def test_build_bench_system_carries_the_workload():
+    bench = build_bench_system("protein", scale=1)
+    assert isinstance(bench, BenchSystem)
+    assert set(bench.queries) == {"QP1", "QP2", "QP3"}
+    assert bench.label == "protein(scale=1)"
+    assert bench.query_named("QP1") is bench.queries["QP1"]
+
+
+def test_auction_bench_includes_benchmark_queries():
+    bench = build_bench_system("auction", scale=1)
+    assert {"QA1", "Q1", "Q6"}.issubset(bench.queries)
+
+
+def test_bench_systems_are_cached():
+    clear_cache()
+    first = build_bench_system("protein", scale=1)
+    second = build_bench_system("protein", scale=1)
+    assert first is second
+    uncached = build_bench_system("protein", scale=1, use_cache=False)
+    assert uncached is not first
+
+
+def test_replication_grows_the_system():
+    small = build_bench_system("protein", scale=1)
+    big = build_bench_system("protein", scale=1, replicate=2)
+    assert big.system.summary()["nodes"] > small.system.summary()["nodes"]
+    assert big.label.endswith(",x2)")
+
+
+def test_time_call_returns_best_time_and_result():
+    elapsed, value = time_call(lambda: sum(range(1000)), repeats=2)
+    assert value == sum(range(1000))
+    assert elapsed >= 0
+
+
+def test_run_translator_comparison_rows():
+    bench = build_bench_system("protein", scale=1)
+    rows = run_translator_comparison(
+        bench, bench.query_named("QP1"), engine="memory",
+        translators=["dlabel", "pushup"], repeats=1,
+    )
+    assert set(rows) == {"dlabel", "pushup"}
+    assert rows["dlabel"]["results"] == rows["pushup"]["results"]
+    assert rows["dlabel"]["elements_read"] > rows["pushup"]["elements_read"]
+
+
+def test_strip_values_option_changes_the_result_count():
+    bench = build_bench_system("protein", scale=1)
+    query = bench.query_named("QP2")
+    with_values = run_translator_comparison(
+        bench, query, engine="memory", translators=["pushup"], repeats=1
+    )
+    without_values = run_translator_comparison(
+        bench, query, engine="memory", translators=["pushup"], strip_values=True, repeats=1
+    )
+    assert without_values["pushup"]["results"] >= with_values["pushup"]["results"]
+
+
+def test_format_table_renders_headers_rows_and_title():
+    text = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]], title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "1.2346" in text  # floats are rounded to four decimals
+    assert "bb" in text
+
+
+def test_comparison_rows_and_speedups():
+    results = {
+        "dlabel": {"elapsed_seconds": 2.0, "elements_read": 100},
+        "pushup": {"elapsed_seconds": 0.5, "elements_read": 10},
+    }
+    rows = comparison_rows(results, "elements_read")
+    assert rows == [["dlabel", 100], ["pushup", 10]]
+    speedups = speedup_over_baseline(results)
+    assert speedups["dlabel"] == pytest.approx(1.0)
+    assert speedups["pushup"] == pytest.approx(4.0)
+
+
+def test_experiment_driver_smoke_fig12_and_sec42():
+    from repro.bench.experiments import fig12_dataset_characteristics, sec42_join_counts
+
+    rows = fig12_dataset_characteristics()
+    assert len(rows) == 3
+    joins = sec42_join_counts()
+    assert len(joins) == 9
+    assert all(row["djoins_dlabel"] == row["tags"] - 1 for row in joins)

@@ -1,0 +1,111 @@
+"""Tests for the B+ tree index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.btree import BPlusTree
+
+
+def test_order_must_be_reasonable():
+    with pytest.raises(StorageError):
+        BPlusTree(order=2)
+
+
+def test_insert_and_point_lookup():
+    tree = BPlusTree(order=4)
+    for key in [5, 1, 9, 3, 7]:
+        tree.insert(key, f"v{key}")
+    assert tree.get(3) == ["v3"]
+    assert tree.get(4) == []
+    assert 9 in tree
+    assert 10 not in tree
+    assert len(tree) == 5
+
+
+def test_duplicate_keys_accumulate_values():
+    tree = BPlusTree(order=4)
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    assert sorted(tree.get(1)) == ["a", "b"]
+    assert len(tree) == 2
+
+
+def test_range_scan_is_inclusive_and_ordered():
+    tree = BPlusTree(order=4)
+    for key in range(100):
+        tree.insert(key, key * 10)
+    values = [value for _, value in tree.range(10, 20)]
+    assert values == [key * 10 for key in range(10, 21)]
+
+
+def test_range_scan_with_empty_interval():
+    tree = BPlusTree(order=4)
+    for key in range(10):
+        tree.insert(key, key)
+    assert list(tree.range(7, 3)) == []
+    assert list(tree.range(100, 200)) == []
+
+
+def test_range_scan_spanning_leaf_boundaries():
+    tree = BPlusTree(order=3)
+    for key in range(200):
+        tree.insert(key, key)
+    assert [key for key, _ in tree.range(0, 199)] == list(range(200))
+
+
+def test_items_and_keys_iterate_in_order():
+    tree = BPlusTree(order=4)
+    import random
+
+    keys = list(range(500))
+    random.Random(3).shuffle(keys)
+    for key in keys:
+        tree.insert(key, str(key))
+    assert [key for key, _ in tree.items()] == list(range(500))
+    assert list(tree.keys()) == list(range(500))
+
+
+def test_min_and_max_key():
+    tree = BPlusTree(order=4)
+    assert tree.min_key() is None
+    assert tree.max_key() is None
+    for key in [42, 7, 99]:
+        tree.insert(key, None)
+    assert tree.min_key() == 7
+    assert tree.max_key() == 99
+
+
+def test_string_keys_are_supported():
+    tree = BPlusTree(order=4)
+    for word in ["pear", "apple", "quince", "banana"]:
+        tree.insert(word, word.upper())
+    assert [key for key, _ in tree.items()] == ["apple", "banana", "pear", "quince"]
+    assert [value for _, value in tree.range("b", "p")] == ["BANANA"]
+
+
+def test_bulk_load_matches_incremental_inserts():
+    items = [(key % 37, key) for key in range(300)]
+    bulk = BPlusTree.bulk_load(items, order=8)
+    incremental = BPlusTree(order=8)
+    for key, value in items:
+        incremental.insert(key, value)
+    assert sorted(bulk.items()) == sorted(incremental.items())
+
+
+def test_tree_height_grows_logarithmically():
+    tree = BPlusTree(order=4)
+    for key in range(1000):
+        tree.insert(key, key)
+    assert tree.height <= 8
+
+
+def test_invariants_hold_after_many_inserts():
+    tree = BPlusTree(order=5)
+    import random
+
+    rng = random.Random(11)
+    for _ in range(2000):
+        tree.insert(rng.randint(0, 500), rng.random())
+    tree.check_invariants()

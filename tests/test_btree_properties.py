@@ -1,0 +1,52 @@
+"""Property-based tests for the B+ tree (hypothesis)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.btree import BPlusTree
+
+keys_strategy = st.lists(st.integers(min_value=-1000, max_value=1000), max_size=300)
+
+
+@given(keys=keys_strategy, order=st.integers(min_value=3, max_value=16))
+@settings(max_examples=100, deadline=None)
+def test_items_are_sorted_and_complete(keys, order):
+    tree = BPlusTree(order=order)
+    for position, key in enumerate(keys):
+        tree.insert(key, position)
+    stored_keys = [key for key, _ in tree.items()]
+    assert stored_keys == sorted(keys)
+    assert len(tree) == len(keys)
+    tree.check_invariants()
+
+
+@given(keys=keys_strategy)
+@settings(max_examples=100, deadline=None)
+def test_point_lookup_returns_every_inserted_value(keys):
+    tree = BPlusTree(order=6)
+    expected = Counter()
+    for position, key in enumerate(keys):
+        tree.insert(key, position)
+        expected[key] += 1
+    for key, count in expected.items():
+        assert len(tree.get(key)) == count
+    missing = 2000
+    assert tree.get(missing) == []
+
+
+@given(
+    keys=keys_strategy,
+    low=st.integers(min_value=-1000, max_value=1000),
+    high=st.integers(min_value=-1000, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_range_scan_equals_filtered_sort(keys, low, high):
+    tree = BPlusTree(order=5)
+    for key in keys:
+        tree.insert(key, key)
+    scanned = [key for key, _ in tree.range(low, high)]
+    expected = sorted(key for key in keys if low <= key <= high)
+    assert scanned == expected

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import PROTEIN_SAMPLE
+
+
+@pytest.fixture()
+def xml_file(tmp_path):
+    path = tmp_path / "protein.xml"
+    path.write_text(PROTEIN_SAMPLE, encoding="utf-8")
+    return str(path)
+
+
+def test_parser_requires_a_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_query_command_prints_results(xml_file, capsys):
+    code = main(["query", xml_file, "//protein/name"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "3 result node(s)" in captured
+    assert "cytochrome c [validated]" in captured
+
+
+def test_query_command_with_plan_and_sql(xml_file, capsys):
+    code = main([
+        "query", xml_file, "//author", "--translator", "split",
+        "--engine", "sqlite", "--show-plan", "--show-sql",
+    ])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "QueryPlan[split]" in captured
+    assert "SELECT DISTINCT" in captured
+
+
+def test_query_command_respects_the_limit(xml_file, capsys):
+    main(["query", xml_file, "//author", "--limit", "1"])
+    captured = capsys.readouterr().out
+    assert "and 3 more" in captured
+
+
+def test_plan_command_lists_every_translator(xml_file, capsys):
+    code = main(["plan", xml_file, '/ProteinDatabase/ProteinEntry[protein]/reference/refinfo'])
+    captured = capsys.readouterr().out
+    assert code == 0
+    for translator in ("dlabel", "split", "pushup", "unfold"):
+        assert translator in captured
+
+
+def test_experiment_fig12(capsys):
+    code = main(["experiment", "fig12"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "shakespeare" in captured and "auction" in captured
+
+
+def test_experiment_fig11(capsys):
+    code = main(["experiment", "fig11"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "Figure 11" in captured
+    assert "unfold" in captured
+
+
+def test_experiment_sec42(capsys):
+    code = main(["experiment", "sec42"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "QS3" in captured and "QA3" in captured
+
+
+def test_experiment_fig16_small(capsys):
+    code = main(["experiment", "fig16", "--replicate", "2"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "QA1" in captured
+
+
+def test_unknown_experiment_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])

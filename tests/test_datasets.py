@@ -1,0 +1,128 @@
+"""Tests for the synthetic dataset generators and replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_dataset, replicate_document
+from repro.datasets.auction import generate_auction
+from repro.datasets.protein import generate_protein
+from repro.datasets.shakespeare import PUBLIC_PLACE_TITLE, generate_shakespeare
+from repro.xmlkit.schema import extract_schema
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+
+
+def count(document, text):
+    return len(evaluate(document, parse_xpath(text)))
+
+
+def test_build_dataset_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        build_dataset("imdb")
+
+
+def test_generators_are_deterministic_for_a_seed():
+    first = generate_auction(scale=1, seed=3)
+    second = generate_auction(scale=1, seed=3)
+    different = generate_auction(scale=1, seed=4)
+    assert first.count_nodes() == second.count_nodes()
+    assert [n.tag for n in first.iter()] == [n.tag for n in second.iter()]
+    assert first.count_nodes() != different.count_nodes() or [
+        n.text for n in first.iter()
+    ] != [n.text for n in different.iter()]
+
+
+def test_scale_grows_the_documents():
+    small = generate_protein(scale=1)
+    large = generate_protein(scale=2)
+    assert large.count_nodes() > small.count_nodes()
+
+
+def test_shakespeare_structure(shakespeare_document):
+    assert shakespeare_document.root.tag == "PLAYS"
+    assert count(shakespeare_document, "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE") > 0
+    assert count(shakespeare_document, "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR") > 0
+    assert count(shakespeare_document, f'/PLAYS/PLAY/ACT/SCENE[TITLE = "{PUBLIC_PLACE_TITLE}"]//LINE') > 0
+    assert len(shakespeare_document.distinct_tags()) == 19
+
+
+def test_protein_structure(protein_dataset_document):
+    assert protein_dataset_document.root.tag == "ProteinDatabase"
+    assert count(protein_dataset_document, "/ProteinDatabase/ProteinEntry/protein/name") > 0
+    assert count(
+        protein_dataset_document, '/ProteinDatabase/ProteinEntry//authors/author = "Daniel, M."'
+    ) > 0
+    assert count(
+        protein_dataset_document,
+        "/ProteinDatabase/ProteinEntry[reference/refinfo[citation and year]]/protein/name",
+    ) > 0
+    # The running example of the paper's introduction also has matches.
+    assert count(
+        protein_dataset_document,
+        '/ProteinDatabase/ProteinEntry[protein//superfamily = "cytochrome c"]'
+        '/reference/refinfo[//author = "Evans, M.J." and year = "2001"]/title',
+    ) > 0
+
+
+def test_auction_structure(auction_document):
+    assert auction_document.root.tag == "site"
+    assert count(auction_document, "//category/description/parlist/listitem") > 0
+    assert count(auction_document, "/site/regions//item/description") > 0
+    assert count(auction_document, "/site/regions/asia/item[shipping]/description") > 0
+    assert auction_document.max_depth() >= 12
+
+
+def test_auction_schema_is_recursive_and_protein_is_not(auction_document, protein_dataset_document):
+    assert extract_schema(auction_document).is_recursive()
+    assert not extract_schema(protein_dataset_document).is_recursive()
+
+
+def test_auction_benchmark_queries_have_matches(auction_document):
+    from repro.datasets.queries import BENCHMARK_QUERIES
+
+    for name, text in BENCHMARK_QUERIES.items():
+        assert count(auction_document, text) > 0, name
+
+
+def test_replicate_document_multiplies_children(auction_document):
+    replicated = replicate_document(auction_document, 3)
+    assert replicated.root.tag == auction_document.root.tag
+    assert len(replicated.root.children) == 3 * len(auction_document.root.children)
+    assert replicated.max_depth() == auction_document.max_depth()
+    assert replicated.distinct_tags() == auction_document.distinct_tags()
+
+
+def test_replicate_scales_query_results_linearly(protein_dataset_document):
+    single = count(protein_dataset_document, "/ProteinDatabase/ProteinEntry/protein/name")
+    replicated = replicate_document(protein_dataset_document, 4)
+    assert count(replicated, "/ProteinDatabase/ProteinEntry/protein/name") == 4 * single
+
+
+def test_replicate_rejects_zero(auction_document):
+    with pytest.raises(ValueError):
+        replicate_document(auction_document, 0)
+
+
+def test_replicated_copy_is_independent(protein_dataset_document):
+    replicated = replicate_document(protein_dataset_document, 2)
+    original_first = protein_dataset_document.root.children[0]
+    copy_first = replicated.root.children[0]
+    assert original_first is not copy_first
+    copy_first.tag = "Mutated"
+    assert protein_dataset_document.root.children[0].tag == "ProteinEntry"
+
+
+def test_replicate_preserves_attributes(auction_document):
+    replicated = replicate_document(auction_document, 2)
+    items = [node for node in replicated.iter() if node.tag == "item"]
+    assert all("id" in item.attributes for item in items)
+    attribute_nodes = [node for node in replicated.iter() if node.tag == "@id"]
+    assert attribute_nodes
+
+
+def test_generated_sizes_are_reported(shakespeare_document):
+    from repro.core.indexer import index_document
+
+    indexed = index_document(shakespeare_document)
+    assert indexed.source_size_bytes > 10_000

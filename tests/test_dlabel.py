@@ -1,0 +1,113 @@
+"""Tests for D-labeling (paper §3.1, Definition 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dlabel import (
+    DLabel,
+    DLabelAssigner,
+    assign_dlabels,
+    dlabels_for_document,
+    validate_dlabels,
+)
+from repro.exceptions import LabelingError
+from repro.xmlkit.parser import drive, iterparse, parse_string
+
+
+def labels_for(text):
+    return dict(
+        (tag, label)
+        for tag, label in assign_dlabels(iterparse(text))
+    )
+
+
+def test_validation_start_not_after_end():
+    with pytest.raises(LabelingError):
+        DLabel(5, 4, 1)
+
+
+def test_level_must_be_positive():
+    with pytest.raises(LabelingError):
+        DLabel(1, 2, 0)
+
+
+def test_descendant_property():
+    labels = labels_for("<a><b><c>x</c></b><d/></a>")
+    assert labels["a"].contains(labels["b"])
+    assert labels["a"].contains(labels["c"])
+    assert labels["b"].contains(labels["c"])
+    assert not labels["b"].contains(labels["d"])
+    assert not labels["c"].contains(labels["b"])
+
+
+def test_child_property_uses_level():
+    labels = labels_for("<a><b><c>x</c></b></a>")
+    assert labels["a"].is_parent_of(labels["b"])
+    assert labels["b"].is_parent_of(labels["c"])
+    assert not labels["a"].is_parent_of(labels["c"])  # grandchild, not child
+
+
+def test_nonoverlap_property():
+    labels = labels_for("<a><b>x</b><c>y</c></a>")
+    assert labels["b"].disjoint(labels["c"])
+    assert not labels["a"].disjoint(labels["b"])
+
+
+def test_positions_follow_the_paper_unit_accounting():
+    labels = labels_for("<a><b>x</b><c/></a>")
+    # Units: <a>=1 <b>=2 x=3 </b>=4 <c>=5 </c>=6 </a>=7.
+    assert labels["a"] == DLabel(1, 7, 1)
+    assert labels["b"] == DLabel(2, 4, 2)
+    assert labels["c"] == DLabel(5, 6, 2)
+
+
+def test_levels_start_at_one_for_the_root():
+    labels = labels_for("<a><b><c>x</c></b></a>")
+    assert labels["a"].level == 1
+    assert labels["b"].level == 2
+    assert labels["c"].level == 3
+
+
+def test_width_counts_contained_units():
+    labels = labels_for("<a><b>x</b></a>")
+    assert labels["b"].width == 3
+    assert labels["a"].width == 5
+
+
+def test_assigner_returns_document_order():
+    pairs = assign_dlabels(iterparse("<a><b>x</b><c><d/></c></a>"))
+    assert [tag for tag, _ in pairs] == ["a", "b", "c", "d"]
+
+
+def test_dlabels_for_document_matches_streaming_labels():
+    text = "<a><b>x</b><c><d>y</d></c></a>"
+    streamed = {tag: label for tag, label in assign_dlabels(iterparse(text, expand_attributes=False))}
+    document = parse_string(text)
+    by_identity = dlabels_for_document(document)
+    for node in document.iter():
+        assert by_identity[id(node)] == streamed[node.tag]
+
+
+def test_validate_dlabels_accepts_real_documents(protein_indexed):
+    pairs = [(record.tag, record.dlabel) for record in protein_indexed.records]
+    assert validate_dlabels(pairs) is None
+
+
+def test_validate_dlabels_rejects_broken_nesting():
+    bad = [("a", DLabel(1, 5, 1)), ("b", DLabel(3, 9, 2))]
+    assert validate_dlabels(bad) is not None
+
+
+def test_validate_dlabels_rejects_wrong_level():
+    bad = [("a", DLabel(1, 10, 1)), ("b", DLabel(2, 3, 3))]
+    assert validate_dlabels(bad) is not None
+
+
+def test_assigner_counts_every_element(shakespeare_document):
+    from repro.xmlkit.writer import document_to_string
+
+    text = document_to_string(shakespeare_document)
+    assigner = DLabelAssigner()
+    drive(iterparse(text), assigner)
+    assert len(assigner.labels) == shakespeare_document.count_nodes()

@@ -1,0 +1,111 @@
+"""End-to-end equivalence: every translator and engine vs the naive evaluator.
+
+This is the repository's main correctness net: for every dataset and every
+workload query (plus a set of hand-written corner cases), all four
+translators on all three engines must return exactly the node set the naive
+in-memory evaluator computes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dlabel import dlabels_for_document
+from repro.datasets import queries_for_dataset
+from repro.datasets.queries import BENCHMARK_QUERIES
+from repro.system import BLAS
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+
+TRANSLATORS = ["dlabel", "split", "pushup", "unfold"]
+ENGINES = ["memory", "twig", "sqlite"]
+
+EXTRA_QUERIES = {
+    "shakespeare": [
+        "//SPEECH/LINE",
+        "/PLAYS/PLAY[EPILOGUE]/TITLE",
+        "//SCENE[STAGEDIR]/SPEECH/SPEAKER",
+        "/PLAYS/PLAY/PERSONAE/PGROUP/PERSONA",
+    ],
+    "protein": [
+        "//refinfo[citation]/year",
+        '/ProteinDatabase/ProteinEntry[genetics/gene]/protein/name',
+        "//authors/author",
+        "/ProteinDatabase/ProteinEntry/reference/accinfo/xrefs/xref/db",
+    ],
+    "auction": [
+        "//listitem//text",
+        "/site/people/person[address/country]/name",
+        '/site/open_auctions/open_auction[bidder/increase]/itemref',
+        "//closed_auction/annotation/description",
+        "/site/regions/europe/item/description//text",
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def systems(shakespeare_document, protein_dataset_document, auction_document):
+    documents = {
+        "shakespeare": shakespeare_document,
+        "protein": protein_dataset_document,
+        "auction": auction_document,
+    }
+    built = {}
+    for name, document in documents.items():
+        built[name] = (document, BLAS.from_document(document), dlabels_for_document(document))
+    return built
+
+
+def expected_starts(document, labels, path):
+    return sorted(labels[id(node)].start for node in evaluate(document, path))
+
+
+def queries_under_test(dataset):
+    queries = dict(queries_for_dataset(dataset))
+    for extra in EXTRA_QUERIES[dataset]:
+        queries[extra] = parse_xpath(extra)
+    if dataset == "auction":
+        for name, text in BENCHMARK_QUERIES.items():
+            queries[name] = parse_xpath(text)
+    return queries
+
+
+@pytest.mark.parametrize("dataset", ["shakespeare", "protein", "auction"])
+@pytest.mark.parametrize("translator", TRANSLATORS)
+def test_memory_engine_equals_naive_evaluation(systems, dataset, translator):
+    document, system, labels = systems[dataset]
+    for name, path in queries_under_test(dataset).items():
+        expected = expected_starts(document, labels, path)
+        result = system.query(path, translator=translator, engine="memory")
+        assert result.starts == expected, (dataset, name, translator)
+
+
+@pytest.mark.parametrize("dataset", ["shakespeare", "protein", "auction"])
+@pytest.mark.parametrize("translator", ["dlabel", "split", "pushup"])
+def test_twig_engine_equals_naive_evaluation(systems, dataset, translator):
+    document, system, labels = systems[dataset]
+    for name, path in queries_under_test(dataset).items():
+        expected = expected_starts(document, labels, path)
+        result = system.query(path, translator=translator, engine="twig")
+        assert result.starts == expected, (dataset, name, translator)
+
+
+@pytest.mark.parametrize("dataset", ["shakespeare", "protein", "auction"])
+def test_sqlite_engine_equals_naive_evaluation(systems, dataset):
+    document, system, labels = systems[dataset]
+    for name, path in queries_under_test(dataset).items():
+        expected = expected_starts(document, labels, path)
+        for translator in ("split", "unfold"):
+            result = system.query(path, translator=translator, engine="sqlite")
+            assert result.starts == expected, (dataset, name, translator)
+
+
+@pytest.mark.parametrize("dataset", ["shakespeare", "protein", "auction"])
+def test_all_translators_return_identical_answers(systems, dataset):
+    _, system, _ = systems[dataset]
+    for name, path in queries_under_test(dataset).items():
+        answers = {
+            translator: tuple(system.query(path, translator=translator).starts)
+            for translator in TRANSLATORS
+        }
+        assert len(set(answers.values())) == 1, (dataset, name, answers)

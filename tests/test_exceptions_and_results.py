@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy and the QueryResult container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexer import NodeRecord
+from repro.engine.results import QueryResult
+from repro.exceptions import (
+    EngineError,
+    LabelingError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    UnsupportedQueryError,
+    XMLSyntaxError,
+    XPathSyntaxError,
+)
+
+
+def test_every_library_error_derives_from_repro_error():
+    for exception_type in (
+        XMLSyntaxError,
+        XPathSyntaxError,
+        UnsupportedQueryError,
+        LabelingError,
+        SchemaError,
+        StorageError,
+        PlanError,
+        EngineError,
+    ):
+        assert issubclass(exception_type, ReproError)
+
+
+def test_xml_syntax_error_reports_offset():
+    error = XMLSyntaxError("boom", position=42)
+    assert "42" in str(error)
+    bare = XMLSyntaxError("boom")
+    assert str(bare) == "boom"
+
+
+def test_callers_can_catch_the_base_class(protein_system):
+    with pytest.raises(ReproError):
+        protein_system.query("not an xpath at all (")
+
+
+def test_query_result_defaults_and_values():
+    records = [
+        NodeRecord(plabel=1, start=3, end=4, level=2, tag="a", data="x"),
+        NodeRecord(plabel=2, start=7, end=8, level=2, tag="a", data=None),
+    ]
+    result = QueryResult(starts=[3, 7], records=records, engine="memory", translator="split")
+    assert result.count == 2
+    assert result.values() == ["x", None]
+    summary = result.summary()
+    assert summary["results"] == 2
+    assert summary["engine"] == "memory"
+    assert result.stats.elements_read == 0
+
+
+def test_parse_errors_carry_useful_messages(protein_system):
+    with pytest.raises(UnsupportedQueryError) as exc_info:
+        protein_system.query("/a/b[c or d]")
+    assert "or" in str(exc_info.value)
+    with pytest.raises(XPathSyntaxError):
+        protein_system.query('/a/b = "unterminated')

@@ -1,0 +1,136 @@
+"""Tests for the instrumented plan executor (memory engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.executor import PlanExecutor, execute_plans
+from repro.exceptions import PlanError
+from repro.storage.table import StorageCatalog
+from repro.translate.plan import ConjunctivePlan, JoinSpec, QueryPlan, SelectionKind, SelectionSpec
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+from tests.conftest import EXAMPLE_QUERY
+
+
+@pytest.fixture()
+def executor(protein_indexed):
+    return PlanExecutor(StorageCatalog(protein_indexed))
+
+
+def expected_starts(document, indexed, text):
+    from repro.core.dlabel import dlabels_for_document
+
+    labels = dlabels_for_document(document)
+    return sorted(labels[id(node)].start for node in evaluate(document, parse_xpath(text)))
+
+
+@pytest.mark.parametrize("translator", ["dlabel", "split", "pushup", "unfold"])
+def test_memory_engine_matches_the_naive_evaluator(
+    protein_system, protein_document, protein_indexed, translator
+):
+    for text in (
+        EXAMPLE_QUERY,
+        "//protein/name",
+        "/ProteinDatabase/ProteinEntry//author",
+        '//refinfo[year = "2001"]/title',
+    ):
+        result = protein_system.query(text, translator=translator, engine="memory")
+        assert result.starts == expected_starts(protein_document, protein_indexed, text), (
+            translator, text,
+        )
+
+
+def test_stats_accumulate_reads_and_joins(protein_system):
+    result = protein_system.query(EXAMPLE_QUERY, translator="pushup", engine="memory")
+    stats = result.stats
+    assert stats.elements_read > 0
+    assert stats.djoins_executed == 6
+    assert stats.selections_executed == 7
+    assert stats.per_alias_elements  # per-alias breakdown is populated
+
+
+def test_dlabel_plan_reads_more_than_pushup(protein_system):
+    baseline = protein_system.query(EXAMPLE_QUERY, translator="dlabel", engine="memory")
+    pushup = protein_system.query(EXAMPLE_QUERY, translator="pushup", engine="memory")
+    assert baseline.stats.elements_read > pushup.stats.elements_read
+    assert baseline.starts == pushup.starts
+
+
+def test_empty_selection_short_circuits(executor):
+    branch = ConjunctivePlan(
+        selections=[
+            SelectionSpec(alias="T1", kind=SelectionKind.EMPTY),
+            SelectionSpec(alias="T2", kind=SelectionKind.TAG, source="sd", tag="author"),
+        ],
+        joins=[JoinSpec(ancestor="T1", descendant="T2")],
+        return_alias="T2",
+    )
+    plan = QueryPlan(branches=[branch], translator="split")
+    result = executor.execute(plan)
+    assert result.starts == []
+    # Nothing should have been scanned for the other alias either.
+    assert result.stats.elements_read == 0
+
+
+def test_selection_only_plan(executor, protein_indexed):
+    scheme = protein_indexed.scheme
+    plabel = scheme.node_plabel(["ProteinDatabase", "ProteinEntry", "protein", "name"])
+    branch = ConjunctivePlan(
+        selections=[SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_EQ, plabel_low=plabel)],
+        joins=[],
+        return_alias="T1",
+    )
+    result = executor.execute(QueryPlan(branches=[branch], translator="pushup"))
+    assert result.count == 3
+    assert [record.tag for record in result.records] == ["name", "name", "name"]
+
+
+def test_union_branches_are_deduplicated(executor, protein_indexed):
+    scheme = protein_indexed.scheme
+    plabel = scheme.node_plabel(["ProteinDatabase", "ProteinEntry"])
+    branch = ConjunctivePlan(
+        selections=[SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_EQ, plabel_low=plabel)],
+        joins=[],
+        return_alias="T1",
+    )
+    duplicate = ConjunctivePlan(
+        selections=[SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_EQ, plabel_low=plabel)],
+        joins=[],
+        return_alias="T1",
+    )
+    plan = QueryPlan(branches=[branch, duplicate], translator="unfold")
+    result = executor.execute(plan)
+    assert result.count == 3  # three ProteinEntry nodes, not six
+
+
+def test_disconnected_join_graph_raises(executor):
+    branch = ConjunctivePlan(
+        selections=[
+            SelectionSpec(alias=alias, kind=SelectionKind.TAG, source="sd", tag="author")
+            for alias in ("T1", "T2", "T3", "T4")
+        ],
+        joins=[
+            JoinSpec(ancestor="T1", descendant="T2"),
+            JoinSpec(ancestor="T3", descendant="T4"),
+        ],
+        return_alias="T1",
+    )
+    with pytest.raises(PlanError):
+        executor.execute(QueryPlan(branches=[branch], translator="split"))
+
+
+def test_execute_plans_convenience(protein_system, protein_indexed):
+    catalog = protein_system.catalog
+    plans = [
+        protein_system.translate("//author", "split").plan,
+        protein_system.translate("//year", "pushup").plan,
+    ]
+    results = execute_plans(catalog, plans)
+    assert [result.count for result in results] == [4, 3]
+
+
+def test_results_are_sorted_by_document_order(protein_system):
+    result = protein_system.query("//author", translator="split", engine="memory")
+    assert result.starts == sorted(result.starts)
+    assert [record.start for record in result.records] == result.starts

@@ -1,0 +1,144 @@
+"""Tests for the bi-labeling index generator (paper Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexer import (
+    BiLabelIndexer,
+    NodeRecord,
+    index_document,
+    index_text,
+    merge_indexes,
+)
+from repro.core.plabel import PLabelScheme
+from repro.exceptions import LabelingError
+from repro.xmlkit.parser import drive, iterparse, parse_string
+
+
+def test_one_record_per_node(tiny_indexed, tiny_document):
+    assert tiny_indexed.node_count == tiny_document.count_nodes()
+
+
+def test_records_carry_both_labels_and_values(protein_indexed):
+    by_tag = {}
+    for record in protein_indexed.records:
+        by_tag.setdefault(record.tag, []).append(record)
+    year = by_tag["year"][0]
+    assert year.data in ("2001", "1999")
+    assert year.start < year.end
+    assert year.level == 5
+    scheme = protein_indexed.scheme
+    assert scheme.decode_plabel(year.plabel) == [
+        "ProteinDatabase", "ProteinEntry", "reference", "refinfo", "year",
+    ]
+
+
+def test_record_dlabel_property(tiny_indexed):
+    record = tiny_indexed.records[0]
+    assert record.dlabel.start == record.start
+    assert record.dlabel.level == record.level
+
+
+def test_plabels_match_source_paths(protein_indexed, protein_document):
+    scheme = protein_indexed.scheme
+    by_start = {record.start: record for record in protein_indexed.records}
+    # Walk the tree and recompute each node's plabel from its path.
+    from repro.core.dlabel import dlabels_for_document
+
+    labels = dlabels_for_document(protein_document)
+    for node in protein_document.iter():
+        record = by_start[labels[id(node)].start]
+        assert record.plabel == scheme.node_plabel(node.path_tags()), node.source_path()
+
+
+def test_attribute_nodes_are_indexed(tiny_indexed):
+    attribute_records = [record for record in tiny_indexed.records if record.tag == "@id"]
+    assert len(attribute_records) == 2
+    assert {record.data for record in attribute_records} == {"1", "2"}
+
+
+def test_sp_and_sd_orderings(tiny_indexed):
+    sp = tiny_indexed.records_by_sp_order()
+    assert all(
+        earlier.sort_key_sp() <= later.sort_key_sp() for earlier, later in zip(sp, sp[1:])
+    )
+    sd = tiny_indexed.records_by_sd_order()
+    assert all(
+        earlier.sort_key_sd() <= later.sort_key_sd() for earlier, later in zip(sd, sd[1:])
+    )
+
+
+def test_records_for_tag_in_document_order(tiny_indexed):
+    c_records = tiny_indexed.records_for_tag("c")
+    assert len(c_records) == 3
+    assert [record.start for record in c_records] == sorted(record.start for record in c_records)
+
+
+def test_summary_reports_figure12_columns(protein_indexed):
+    summary = protein_indexed.summary()
+    assert set(summary) == {"name", "size_bytes", "nodes", "tags", "depth"}
+    assert summary["nodes"] == protein_indexed.node_count
+    assert summary["depth"] == 6
+
+
+def test_index_text_builds_schema_graph(protein_indexed):
+    assert protein_indexed.schema is not None
+    assert protein_indexed.schema.has_edge("refinfo", "authors")
+
+
+def test_index_with_supplied_scheme_skips_discovery():
+    text = "<a><b>x</b></a>"
+    scheme = PLabelScheme(["a", "b"], height=4)
+    indexed = index_text(text, scheme=scheme, extract_schema_graph=False)
+    assert indexed.scheme is scheme
+    assert indexed.schema is None
+
+
+def test_indexer_rejects_tags_outside_the_scheme():
+    scheme = PLabelScheme(["a"], height=3)
+    indexer = BiLabelIndexer(scheme)
+    with pytest.raises(LabelingError):
+        drive(iterparse("<a><b/></a>"), indexer)
+
+
+def test_index_empty_document_raises():
+    with pytest.raises(Exception):
+        index_text("   ")
+
+
+def test_index_document_matches_index_text(protein_xml):
+    from_text = index_text(protein_xml, name="t")
+    from_document = index_document(parse_string(protein_xml), name="t")
+    assert from_text.node_count == from_document.node_count
+    text_tags = sorted(record.tag for record in from_text.records)
+    document_tags = sorted(record.tag for record in from_document.records)
+    assert text_tags == document_tags
+
+
+def test_merge_indexes_requires_matching_schemes():
+    scheme = PLabelScheme(["a", "b"], height=4)
+    first = index_text("<a><b>1</b></a>", scheme=scheme, doc_id=0, extract_schema_graph=False)
+    second = index_text("<a><b>2</b></a>", scheme=scheme, doc_id=1, extract_schema_graph=False)
+    merged = merge_indexes([first, second])
+    assert merged.node_count == 4
+    assert {record.doc_id for record in merged.records} == {0, 1}
+    other = index_text("<c/>", extract_schema_graph=False)
+    with pytest.raises(LabelingError):
+        merge_indexes([first, other])
+
+
+def test_merge_indexes_rejects_empty_list():
+    with pytest.raises(LabelingError):
+        merge_indexes([])
+
+
+def test_doc_id_is_recorded():
+    indexed = index_text("<a><b/></a>", doc_id=3, extract_schema_graph=False)
+    assert all(record.doc_id == 3 for record in indexed.records)
+
+
+def test_node_record_is_immutable(tiny_indexed):
+    record = tiny_indexed.records[0]
+    with pytest.raises(AttributeError):
+        record.start = 99

@@ -1,0 +1,174 @@
+"""Tests for P-labeling (paper §3.2, Definitions 3.2/3.3, Algorithms 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plabel import (
+    NodePLabeler,
+    PLabelInterval,
+    PLabelScheme,
+    build_scheme_for_tags,
+    decode_plabel_text,
+    encode_plabel_text,
+)
+from repro.exceptions import LabelingError
+from repro.xmlkit.parser import drive, iterparse
+
+TAGS = ["db", "entry", "protein", "name", "reference", "refinfo", "author"]
+
+
+@pytest.fixture()
+def scheme():
+    return PLabelScheme(TAGS, height=6)
+
+
+def test_interval_validation():
+    with pytest.raises(LabelingError):
+        PLabelInterval(10, 5)
+
+
+def test_interval_containment_and_overlap():
+    outer = PLabelInterval(10, 100)
+    inner = PLabelInterval(20, 30)
+    disjoint = PLabelInterval(200, 300)
+    assert outer.contains_interval(inner)
+    assert not inner.contains_interval(outer)
+    assert outer.overlaps(inner)
+    assert not outer.overlaps(disjoint)
+    assert outer.contains_point(10) and outer.contains_point(100)
+    assert not outer.contains_point(101)
+
+
+def test_domain_size_follows_the_construction(scheme):
+    # n tags -> base n+1, exponent height+1.
+    assert scheme.base == len(TAGS) + 1
+    assert scheme.domain == scheme.base ** (scheme.height + 1)
+
+
+def test_whole_domain_for_the_empty_suffix_path(scheme):
+    interval = scheme.suffix_path_interval([])
+    assert (interval.p1, interval.p2) == (0, scheme.domain - 1)
+
+
+def test_algorithm1_matches_closed_form(scheme):
+    cases = [
+        (["name"], False),
+        (["protein", "name"], False),
+        (["entry", "protein", "name"], False),
+        (["db", "entry", "protein", "name"], True),
+        (["db"], True),
+        (["refinfo", "author"], False),
+    ]
+    for steps, rooted in cases:
+        literal = scheme.suffix_path_interval(steps, rooted)
+        closed = scheme.suffix_path_interval_digits(steps, rooted)
+        assert literal == closed, (steps, rooted)
+
+
+def test_containment_mirrors_path_containment(scheme):
+    # //protein/name is contained in //name (paper: P ⊆ Q iff interval inside).
+    broad = scheme.suffix_path_interval(["name"])
+    narrow = scheme.suffix_path_interval(["protein", "name"])
+    narrower = scheme.suffix_path_interval(["entry", "protein", "name"])
+    rooted = scheme.suffix_path_interval(["db", "entry", "protein", "name"], rooted=True)
+    assert broad.contains_interval(narrow)
+    assert narrow.contains_interval(narrower)
+    assert narrower.contains_interval(rooted)
+    assert not narrow.contains_interval(broad)
+
+
+def test_nonintersection_of_unrelated_paths(scheme):
+    one = scheme.suffix_path_interval(["protein", "name"])
+    other = scheme.suffix_path_interval(["refinfo", "author"])
+    assert not one.overlaps(other)
+
+
+def test_unknown_tag_gives_no_interval(scheme):
+    assert scheme.suffix_path_interval(["unknown"]) is None
+    assert scheme.suffix_path_interval(["protein", "unknown"]) is None
+
+
+def test_path_longer_than_height_matches_nothing(scheme):
+    # A query path longer than any possible document path is statically empty.
+    assert scheme.suffix_path_interval(["db"] * (scheme.height + 1)) is None
+    with pytest.raises(LabelingError):
+        scheme.node_plabel(["db"] * (scheme.height + 1))
+
+
+def test_node_plabel_is_interval_start_of_rooted_path(scheme):
+    tags = ["db", "entry", "protein", "name"]
+    interval = scheme.suffix_path_interval(tags, rooted=True)
+    assert scheme.node_plabel(tags) == interval.p1
+
+
+def test_node_plabel_rejects_unknown_tags(scheme):
+    with pytest.raises(LabelingError):
+        scheme.node_plabel(["db", "mystery"])
+
+
+def test_plabel_matches_implements_proposition_32(scheme):
+    node = scheme.node_plabel(["db", "entry", "protein", "name"])
+    assert scheme.plabel_matches(node, ["name"])
+    assert scheme.plabel_matches(node, ["protein", "name"])
+    assert scheme.plabel_matches(node, ["db", "entry", "protein", "name"], rooted=True)
+    assert not scheme.plabel_matches(node, ["refinfo", "name"])
+    assert not scheme.plabel_matches(node, ["entry", "name"])
+    assert not scheme.plabel_matches(node, ["db", "entry", "protein"], rooted=True)
+
+
+def test_rooted_interval_contains_only_the_exact_path(scheme):
+    # Proposition 3.2: for a simple path, evaluation is an equality test.
+    rooted = scheme.suffix_path_interval(["db", "entry"], rooted=True)
+    deeper = scheme.node_plabel(["db", "entry", "protein"])
+    exact = scheme.node_plabel(["db", "entry"])
+    assert rooted.contains_point(exact)
+    assert not rooted.contains_point(deeper)
+
+
+def test_decode_plabel_round_trips(scheme):
+    tags = ["db", "entry", "reference", "refinfo", "author"]
+    assert scheme.decode_plabel(scheme.node_plabel(tags)) == tags
+
+
+def test_tag_order_does_not_affect_correctness():
+    forward = PLabelScheme(TAGS, height=6)
+    backward = PLabelScheme(list(reversed(TAGS)), height=6)
+    for variant in (forward, backward):
+        node = variant.node_plabel(["db", "entry", "protein", "name"])
+        assert variant.plabel_matches(node, ["protein", "name"])
+        assert not variant.plabel_matches(node, ["refinfo", "author"])
+
+
+def test_node_plabeler_streams_algorithm2(scheme):
+    text = "<db><entry><protein><name>x</name></protein></entry></db>"
+    labeler = NodePLabeler(scheme)
+    drive(iterparse(text), labeler)
+    labelled = dict(labeler.labelled_nodes())
+    assert labelled["name"] == scheme.node_plabel(["db", "entry", "protein", "name"])
+    assert labelled["db"] == scheme.node_plabel(["db"])
+
+
+def test_node_plabeler_rejects_unknown_tags(scheme):
+    with pytest.raises(LabelingError):
+        drive(iterparse("<db><oops/></db>"), NodePLabeler(scheme))
+
+
+def test_build_scheme_deduplicates_and_sorts_tags():
+    scheme = build_scheme_for_tags(["b", "a", "b", "c"], max_depth=3)
+    assert scheme.tags == ["a", "b", "c"]
+    assert scheme.height == 3
+
+
+def test_text_encoding_round_trips_and_preserves_order():
+    values = [0, 1, 17, 10**30, 5 * 10**30]
+    encoded = [encode_plabel_text(value) for value in values]
+    assert encoded == sorted(encoded)
+    assert [decode_plabel_text(text) for text in encoded] == values
+
+
+def test_text_encoding_rejects_oversized_values():
+    with pytest.raises(LabelingError):
+        encode_plabel_text(10 ** 200)
+    with pytest.raises(LabelingError):
+        encode_plabel_text(-1)

@@ -1,0 +1,84 @@
+"""Property-based tests for the P-labeling scheme (hypothesis).
+
+These check the paper's Definition 3.2/3.3 invariants over randomly chosen
+vocabularies and paths: the two constructions (literal Algorithm 1 and the
+closed-form digit formulation) always agree, containment of intervals is
+exactly suffix containment of paths, and node labels answer suffix-path
+queries if and only if the query is a suffix of the node's rooted path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plabel import PLabelScheme
+
+TAG_POOL = ["a", "b", "c", "d", "e", "f", "g", "h"]
+HEIGHT = 8
+
+tags_strategy = st.lists(st.sampled_from(TAG_POOL), min_size=1, max_size=HEIGHT)
+rooted_strategy = st.booleans()
+
+
+def scheme() -> PLabelScheme:
+    return PLabelScheme(TAG_POOL, height=HEIGHT)
+
+
+@given(steps=tags_strategy, rooted=rooted_strategy)
+@settings(max_examples=200, deadline=None)
+def test_literal_and_digit_constructions_agree(steps, rooted):
+    s = scheme()
+    assert s.suffix_path_interval(steps, rooted) == s.suffix_path_interval_digits(steps, rooted)
+
+
+@given(path=tags_strategy)
+@settings(max_examples=200, deadline=None)
+def test_node_plabel_round_trips_through_decode(path):
+    s = scheme()
+    assert s.decode_plabel(s.node_plabel(path)) == path
+
+
+@given(path=tags_strategy, query=tags_strategy, rooted=rooted_strategy)
+@settings(max_examples=300, deadline=None)
+def test_membership_matches_suffix_semantics(path, query, rooted):
+    s = scheme()
+    plabel = s.node_plabel(path)
+    if rooted:
+        expected = list(query) == list(path)
+    else:
+        expected = len(query) <= len(path) and list(path[len(path) - len(query):]) == list(query)
+    assert s.plabel_matches(plabel, query, rooted=rooted) == expected
+
+
+@given(first=tags_strategy, second=tags_strategy)
+@settings(max_examples=200, deadline=None)
+def test_interval_containment_is_suffix_containment(first, second):
+    s = scheme()
+    one = s.suffix_path_interval(first)
+    two = s.suffix_path_interval(second)
+    # //first ⊆ //second iff second is a suffix of first.
+    second_is_suffix = len(second) <= len(first) and first[len(first) - len(second):] == second
+    assert two.contains_interval(one) == second_is_suffix
+
+
+@given(first=tags_strategy, second=tags_strategy)
+@settings(max_examples=200, deadline=None)
+def test_suffix_paths_nest_or_are_disjoint(first, second):
+    # The paper's observation: two suffix paths either contain one another or
+    # do not overlap at all.
+    s = scheme()
+    one = s.suffix_path_interval(first)
+    two = s.suffix_path_interval(second)
+    nested = one.contains_interval(two) or two.contains_interval(one)
+    assert nested or not one.overlaps(two)
+
+
+@given(path=tags_strategy)
+@settings(max_examples=100, deadline=None)
+def test_node_plabels_fall_inside_every_suffix_interval(path):
+    s = scheme()
+    plabel = s.node_plabel(path)
+    for suffix_length in range(1, len(path) + 1):
+        suffix = path[len(path) - suffix_length:]
+        interval = s.suffix_path_interval(suffix)
+        assert interval.contains_point(plabel)

@@ -1,0 +1,149 @@
+"""Tests for the logical plan IR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.translate.plan import (
+    ConjunctivePlan,
+    JoinSpec,
+    QueryPlan,
+    SelectionKind,
+    SelectionSpec,
+    single_branch_plan,
+)
+
+
+def selection(alias, kind=SelectionKind.TAG, **kwargs):
+    defaults = {"tag": "x"} if kind is SelectionKind.TAG else {}
+    defaults.update(kwargs)
+    return SelectionSpec(alias=alias, kind=kind, **defaults)
+
+
+def test_plabel_selections_require_bounds():
+    with pytest.raises(PlanError):
+        SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_EQ)
+    with pytest.raises(PlanError):
+        SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_RANGE, plabel_low=3)
+
+
+def test_selection_kind_flags():
+    eq = SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_EQ, plabel_low=5)
+    rng = SelectionSpec(alias="T2", kind=SelectionKind.PLABEL_RANGE, plabel_low=1, plabel_high=9)
+    assert eq.is_equality and not eq.is_range
+    assert rng.is_range and not rng.is_equality
+
+
+def test_join_gap_validation():
+    with pytest.raises(PlanError):
+        JoinSpec(ancestor="T1", descendant="T2", level_gap=0)
+    with pytest.raises(PlanError):
+        JoinSpec(ancestor="T1", descendant="T2", min_level_gap=0)
+
+
+def test_duplicate_aliases_are_rejected():
+    with pytest.raises(PlanError):
+        ConjunctivePlan(
+            selections=[selection("T1"), selection("T1")],
+            joins=[],
+            return_alias="T1",
+        )
+
+
+def test_return_alias_must_have_a_selection():
+    with pytest.raises(PlanError):
+        ConjunctivePlan(selections=[selection("T1")], joins=[], return_alias="T9")
+
+
+def test_joins_must_reference_known_aliases():
+    with pytest.raises(PlanError):
+        ConjunctivePlan(
+            selections=[selection("T1"), selection("T2")],
+            joins=[JoinSpec(ancestor="T1", descendant="T5")],
+            return_alias="T1",
+        )
+
+
+def test_join_order_connects_the_graph():
+    branch = ConjunctivePlan(
+        selections=[selection("T1"), selection("T2"), selection("T3")],
+        joins=[
+            JoinSpec(ancestor="T2", descendant="T3"),
+            JoinSpec(ancestor="T1", descendant="T2"),
+        ],
+        return_alias="T3",
+    )
+    ordered = branch.join_order()
+    assert len(ordered) == 2
+    seen = {ordered[0].ancestor, ordered[0].descendant}
+    assert ordered[1].ancestor in seen or ordered[1].descendant in seen
+
+
+def test_disconnected_join_graph_is_detected():
+    branch = ConjunctivePlan(
+        selections=[selection(alias) for alias in ("T1", "T2", "T3", "T4")],
+        joins=[
+            JoinSpec(ancestor="T1", descendant="T2"),
+            JoinSpec(ancestor="T3", descendant="T4"),
+        ],
+        return_alias="T1",
+    )
+    with pytest.raises(PlanError):
+        branch.join_order()
+
+
+def test_empty_detection():
+    branch = ConjunctivePlan(
+        selections=[selection("T1", SelectionKind.EMPTY)], joins=[], return_alias="T1"
+    )
+    plan = QueryPlan(branches=[branch], translator="split")
+    assert branch.is_empty
+    assert plan.is_empty
+    assert plan.non_empty_branches() == []
+    assert plan.metrics().d_joins == 0
+
+
+def test_metrics_count_selection_kinds():
+    branch = ConjunctivePlan(
+        selections=[
+            SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_EQ, plabel_low=1),
+            SelectionSpec(alias="T2", kind=SelectionKind.PLABEL_RANGE, plabel_low=1, plabel_high=5),
+            selection("T3"),
+        ],
+        joins=[JoinSpec(ancestor="T1", descendant="T2"), JoinSpec(ancestor="T2", descendant="T3")],
+        return_alias="T3",
+    )
+    metrics = QueryPlan(branches=[branch], translator="x").metrics()
+    assert metrics.d_joins == 2
+    assert metrics.equality_selections == 1
+    assert metrics.range_selections == 1
+    assert metrics.tag_selections == 1
+    assert metrics.union_branches == 1
+    assert set(metrics.as_dict()) == {
+        "d_joins", "equality_selections", "range_selections", "tag_selections", "union_branches",
+    }
+
+
+def test_describe_mentions_every_alias_and_join():
+    plan = single_branch_plan(
+        selections=[
+            SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_EQ, plabel_low=7, description="/a"),
+            selection("T2", data_eq="v"),
+        ],
+        joins=[JoinSpec(ancestor="T1", descendant="T2", level_gap=2)],
+        return_alias="T2",
+        translator="pushup",
+        query_text="/a/b",
+    )
+    text = plan.describe()
+    assert "T1" in text and "T2" in text
+    assert "level gap 2" in text
+    assert "pushup" in text
+    assert "data = 'v'" in text
+
+
+def test_alias_map(protein_system):
+    plan = protein_system.translate("/ProteinDatabase/ProteinEntry", "pushup").plan
+    branch = plan.branches[0]
+    assert set(branch.alias_map) == {s.alias for s in branch.selections}

@@ -1,0 +1,101 @@
+"""Tests for the paper's query workloads (Figure 10 and XMark benchmark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.queries import (
+    AUCTION_QUERIES,
+    BENCHMARK_QUERIES,
+    EXAMPLE_QUERY,
+    PROTEIN_QUERIES,
+    QUERY_SETS,
+    SHAKESPEARE_QUERIES,
+    all_figure10_queries,
+    benchmark_queries,
+    queries_for_dataset,
+    strip_value_predicates,
+)
+from repro.xpath.ast import Axis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+
+
+def test_each_dataset_has_three_queries():
+    for queries in (SHAKESPEARE_QUERIES, PROTEIN_QUERIES, AUCTION_QUERIES):
+        assert len(queries) == 3
+
+
+def test_query_type_1_is_a_suffix_path():
+    for name in ("QS1", "QP1", "QA1"):
+        dataset = {"S": "shakespeare", "P": "protein", "A": "auction"}[name[1]]
+        tree = build_query_tree(queries_for_dataset(dataset)[name])
+        assert tree.is_suffix_path_query(), name
+
+
+def test_query_type_2_is_a_path_with_interior_descendant():
+    for name, dataset in (("QS2", "shakespeare"), ("QP2", "protein"), ("QA2", "auction")):
+        path = queries_for_dataset(dataset)[name]
+        tree = build_query_tree(path)
+        assert tree.is_path_query(), name
+        assert not tree.is_suffix_path_query(), name
+
+
+def test_query_type_3_is_a_tree_query():
+    for name, dataset in (("QS3", "shakespeare"), ("QP3", "protein"), ("QA3", "auction")):
+        tree = build_query_tree(queries_for_dataset(dataset)[name])
+        assert not tree.is_path_query(), name
+        assert tree.branching_points, name
+
+
+def test_queries_for_dataset_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        queries_for_dataset("wikipedia")
+
+
+def test_all_figure10_queries_covers_nine_rows():
+    rows = all_figure10_queries()
+    assert len(rows) == 9
+    assert {row[0] for row in rows} == set(QUERY_SETS)
+
+
+def test_benchmark_queries_parse_and_use_only_the_subset():
+    parsed = benchmark_queries()
+    assert set(parsed) == set(BENCHMARK_QUERIES)
+    for name, path in parsed.items():
+        tree = build_query_tree(path)
+        assert tree.node_count >= 2, name
+
+
+def test_example_query_matches_the_paper_figure():
+    tree = build_query_tree(parse_xpath(EXAMPLE_QUERY))
+    assert tree.node_count == 9
+    assert tree.return_node.tag == "title"
+
+
+def test_strip_value_predicates_removes_only_values():
+    stripped = strip_value_predicates(parse_xpath('/a/b[c = "1" and d]//e = "x"'))
+    assert stripped.value is None
+    predicates = stripped.steps[1].predicates
+    assert len(predicates) == 2
+    assert all(p.value is None for p in predicates)
+    # Structure (tags and axes) is untouched.
+    assert [s.node_test for s in stripped.steps] == ["a", "b", "e"]
+    assert stripped.steps[2].axis is Axis.DESCENDANT
+
+
+def test_strip_value_predicates_is_idempotent():
+    once = strip_value_predicates(parse_xpath(EXAMPLE_QUERY))
+    twice = strip_value_predicates(once)
+    assert once == twice
+
+
+def test_stripped_queries_return_supersets(protein_system, protein_document):
+    from repro.xpath.evaluator import evaluate
+
+    original = parse_xpath('/ProteinDatabase/ProteinEntry//author = "Evans, M.J."')
+    stripped = strip_value_predicates(original)
+    with_values = {id(node) for node in evaluate(protein_document, original)}
+    without_values = {id(node) for node in evaluate(protein_document, stripped)}
+    assert with_values.issubset(without_values)
+    assert len(without_values) > len(with_values)

@@ -1,0 +1,78 @@
+"""Tests for the SQLite RDBMS engine wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.rdbms import RdbmsEngine
+from tests.conftest import EXAMPLE_QUERY
+
+
+@pytest.fixture()
+def engine(protein_indexed):
+    instance = RdbmsEngine.from_indexed_document(protein_indexed)
+    yield instance
+    instance.close()
+
+
+@pytest.mark.parametrize("translator", ["dlabel", "split", "pushup", "unfold"])
+def test_rdbms_matches_memory_engine(protein_system, translator):
+    for text in (EXAMPLE_QUERY, "//protein/name", "/ProteinDatabase/ProteinEntry//author"):
+        sqlite_result = protein_system.query(text, translator=translator, engine="sqlite")
+        memory_result = protein_system.query(text, translator=translator, engine="memory")
+        assert sqlite_result.starts == memory_result.starts, (translator, text)
+
+
+def test_result_records_are_resolved(engine, protein_system):
+    plan = protein_system.translate("//protein/name", "pushup").plan
+    result = engine.execute(plan)
+    assert result.count == 3
+    assert sorted(record.data for record in result.records) == [
+        "cytochrome c [validated]", "cytochrome c2", "hemoglobin beta",
+    ]
+    assert result.engine == "sqlite"
+    assert result.sql is not None and "SELECT" in result.sql
+
+
+def test_elapsed_time_is_recorded(engine, protein_system):
+    plan = protein_system.translate(EXAMPLE_QUERY, "split").plan
+    result = engine.execute(plan)
+    assert result.elapsed_seconds >= 0
+
+
+def test_explain_reports_index_usage(engine, protein_system):
+    plan = protein_system.translate("//protein/name", "pushup").plan
+    lines = engine.explain(plan)
+    assert lines
+    # The suffix-path selection should be answered by an index/primary-key
+    # search on plabel, not a full scan.
+    assert any("SEARCH" in line and "plabel" in line for line in lines)
+
+
+def test_engine_without_records_still_returns_starts(protein_indexed, protein_system):
+    from repro.storage.sqlite_backend import SqliteBackend
+
+    backend = SqliteBackend.from_indexed_document(protein_indexed)
+    engine = RdbmsEngine(backend)  # no record map supplied
+    plan = protein_system.translate("//author", "split").plan
+    result = engine.execute(plan)
+    assert result.count == 4
+    assert result.records == []
+    engine.close()
+
+
+def test_empty_plan_returns_no_rows(engine, protein_system):
+    plan = protein_system.translate("/ProteinDatabase/doesnotexist", "split").plan
+    result = engine.execute(plan)
+    assert result.starts == []
+
+
+def test_query_result_summary_fields(protein_system):
+    result = protein_system.query("//author", translator="split", engine="sqlite")
+    summary = result.summary()
+    assert summary["engine"] == "sqlite"
+    assert summary["translator"] == "split"
+    assert summary["results"] == 4
+    assert set(summary) == {
+        "engine", "translator", "results", "elapsed_seconds", "elements_read", "pages_read", "djoins",
+    }

@@ -1,0 +1,110 @@
+"""Tests for SQL generation from logical plans."""
+
+from __future__ import annotations
+
+from repro.core.plabel import encode_plabel_text
+from repro.translate.plan import (
+    ConjunctivePlan,
+    JoinSpec,
+    QueryPlan,
+    SelectionKind,
+    SelectionSpec,
+)
+from repro.translate.sql import branch_to_sql, join_conditions, plan_to_sql, selection_conditions
+from tests.conftest import EXAMPLE_QUERY
+
+
+def test_equality_selection_uses_encoded_literal():
+    selection = SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_EQ, plabel_low=42)
+    conditions = selection_conditions(selection)
+    assert conditions == [f"T1.plabel = '{encode_plabel_text(42)}'"]
+
+
+def test_range_selection_produces_two_bounds():
+    selection = SelectionSpec(
+        alias="T1", kind=SelectionKind.PLABEL_RANGE, plabel_low=10, plabel_high=20
+    )
+    conditions = selection_conditions(selection)
+    assert len(conditions) == 2
+    assert any(">=" in condition for condition in conditions)
+    assert any("<=" in condition for condition in conditions)
+
+
+def test_tag_selection_with_data_and_level():
+    selection = SelectionSpec(
+        alias="T2", kind=SelectionKind.TAG, source="sd", tag="PLAY", data_eq="x'y", level_eq=1
+    )
+    conditions = selection_conditions(selection)
+    assert "T2.tag = 'PLAY'" in conditions
+    assert "T2.data = 'x''y'" in conditions
+    assert "T2.level = 1" in conditions
+
+
+def test_empty_selection_is_unsatisfiable():
+    selection = SelectionSpec(alias="T1", kind=SelectionKind.EMPTY)
+    assert selection_conditions(selection) == ["1 = 0"]
+
+
+def test_join_conditions_with_exact_gap():
+    join = JoinSpec(ancestor="T1", descendant="T2", level_gap=2)
+    conditions = join_conditions(join)
+    assert "T1.start_pos < T2.start_pos" in conditions
+    assert "T1.end_pos > T2.end_pos" in conditions
+    assert "T1.level = T2.level - 2" in conditions
+
+
+def test_join_conditions_with_minimum_gap():
+    join = JoinSpec(ancestor="T1", descendant="T2", min_level_gap=3)
+    assert "T1.level <= T2.level - 3" in join_conditions(join)
+    plain = JoinSpec(ancestor="T1", descendant="T2", min_level_gap=1)
+    assert len(join_conditions(plain)) == 2  # gap of one adds nothing
+
+
+def test_branch_sql_lists_every_alias():
+    branch = ConjunctivePlan(
+        selections=[
+            SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_EQ, plabel_low=1),
+            SelectionSpec(alias="T2", kind=SelectionKind.TAG, source="sd", tag="b"),
+        ],
+        joins=[JoinSpec(ancestor="T1", descendant="T2")],
+        return_alias="T2",
+    )
+    sql = branch_to_sql(branch)
+    assert sql.startswith("SELECT DISTINCT T2.start_pos")
+    assert "sp T1" in sql and "sd T2" in sql
+    assert "WHERE" in sql
+
+
+def test_union_plans_are_joined_with_union():
+    def branch(plabel):
+        return ConjunctivePlan(
+            selections=[SelectionSpec(alias="T1", kind=SelectionKind.PLABEL_EQ, plabel_low=plabel)],
+            joins=[],
+            return_alias="T1",
+        )
+
+    plan = QueryPlan(branches=[branch(1), branch(2)], translator="unfold")
+    sql = plan_to_sql(plan)
+    assert sql.count("SELECT DISTINCT") == 2
+    assert " UNION " in sql
+
+
+def test_empty_plan_is_still_runnable(protein_system):
+    plan = QueryPlan(branches=[], translator="unfold")
+    sql = plan_to_sql(plan)
+    assert protein_system.rdbms.backend.execute(sql) == []
+
+
+def test_generated_sql_executes_and_matches_other_engines(protein_system):
+    for translator in ("dlabel", "split", "pushup", "unfold"):
+        outcome = protein_system.translate(EXAMPLE_QUERY, translator)
+        rows = protein_system.rdbms.backend.execute(outcome.sql)
+        starts = sorted(row[0] for row in rows)
+        memory = protein_system.query(EXAMPLE_QUERY, translator=translator, engine="memory")
+        assert starts == memory.starts, translator
+
+
+def test_sql_has_no_bare_plabel_integers(protein_system):
+    # Large plabels must always be emitted in the text encoding.
+    sql = protein_system.translate("//author", "split").sql
+    assert "plabel >= '" in sql and "plabel <= '" in sql

@@ -1,0 +1,96 @@
+"""Tests for the SQLite (RDBMS) backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plabel import encode_plabel_text
+from repro.exceptions import StorageError
+from repro.storage.sqlite_backend import SqliteBackend
+
+
+@pytest.fixture()
+def backend(protein_indexed):
+    instance = SqliteBackend.from_indexed_document(protein_indexed)
+    yield instance
+    instance.close()
+
+
+def test_both_relations_are_loaded(backend, protein_indexed):
+    assert backend.count("sp") == protein_indexed.node_count
+    assert backend.count("sd") == protein_indexed.node_count
+
+
+def test_unknown_table_is_rejected(backend):
+    with pytest.raises(StorageError):
+        backend.count("users")
+
+
+def test_empty_sql_is_rejected(backend):
+    with pytest.raises(StorageError):
+        backend.execute("  ")
+
+
+def test_tag_lookup_via_sd(backend):
+    rows = backend.execute("SELECT data FROM sd WHERE tag = 'author' ORDER BY start_pos")
+    assert len(rows) == 4
+    assert rows[0][0] == "Evans, M.J."
+
+
+def test_plabel_equality_via_sp(backend, protein_indexed):
+    scheme = protein_indexed.scheme
+    plabel = scheme.node_plabel(["ProteinDatabase", "ProteinEntry", "protein", "name"])
+    rows = backend.execute(
+        "SELECT data FROM sp WHERE plabel = ? ORDER BY start_pos",
+        [encode_plabel_text(plabel)],
+    )
+    assert [row[0] for row in rows] == [
+        "cytochrome c [validated]", "hemoglobin beta", "cytochrome c2",
+    ]
+
+
+def test_plabel_range_via_sp(backend, protein_indexed):
+    scheme = protein_indexed.scheme
+    interval = scheme.suffix_path_interval(["refinfo", "year"])
+    rows = backend.execute(
+        "SELECT data FROM sp WHERE plabel >= ? AND plabel <= ?",
+        [encode_plabel_text(interval.p1), encode_plabel_text(interval.p2)],
+    )
+    assert sorted(row[0] for row in rows) == ["1999", "2001", "2001"]
+
+
+def test_d_join_in_sql(backend):
+    # //ProteinEntry//author via a containment join on D-labels.
+    rows = backend.execute(
+        """
+        SELECT COUNT(*) FROM sd entry, sd author
+        WHERE entry.tag = 'ProteinEntry' AND author.tag = 'author'
+          AND entry.start_pos < author.start_pos AND entry.end_pos > author.end_pos
+        """
+    )
+    assert rows[0][0] == 4
+
+
+def test_plabel_text_encoding_preserves_order(backend):
+    rows = backend.execute("SELECT plabel FROM sp ORDER BY plabel")
+    decoded = [int(row[0]) for row in rows]
+    assert decoded == sorted(decoded)
+
+
+def test_explain_returns_plan_lines(backend):
+    lines = backend.explain("SELECT * FROM sp WHERE plabel = '0'")
+    assert lines
+    assert any("sp" in line for line in lines)
+
+
+def test_context_manager_closes_the_connection(protein_indexed):
+    with SqliteBackend.from_indexed_document(protein_indexed) as backend:
+        assert backend.count("sp") > 0
+    with pytest.raises(Exception):
+        backend.execute("SELECT 1")
+
+
+def test_indexes_exist_for_query_attributes(backend):
+    rows = backend.execute("SELECT name FROM sqlite_master WHERE type = 'index'")
+    names = {row[0] for row in rows}
+    assert {"sp_start", "sp_data", "sd_start", "sd_data"}.issubset(names)

@@ -1,0 +1,165 @@
+"""Tests for the instrumented clustered tables and access statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.pages import PageLayout
+from repro.storage.stats import AccessStatistics
+from repro.storage.table import ClusterKind, NodeTable, StorageCatalog
+
+
+@pytest.fixture()
+def catalog(protein_indexed):
+    return StorageCatalog(protein_indexed, page_layout=PageLayout(records_per_page=10))
+
+
+def test_catalog_builds_both_layouts(catalog, protein_indexed):
+    assert len(catalog.sp) == protein_indexed.node_count
+    assert len(catalog.sd) == protein_indexed.node_count
+    assert catalog.table_for("sp") is catalog.sp
+    assert catalog.table_for("sd") is catalog.sd
+    with pytest.raises(StorageError):
+        catalog.table_for("nope")
+
+
+def test_sp_table_is_clustered_by_plabel(catalog):
+    plabels = [record.plabel for record in catalog.sp.records]
+    assert plabels == sorted(plabels)
+
+
+def test_sd_table_is_clustered_by_tag(catalog):
+    tags = [record.tag for record in catalog.sd.records]
+    assert tags == sorted(tags)
+
+
+def test_plabel_range_selection_matches_brute_force(catalog, protein_indexed):
+    scheme = protein_indexed.scheme
+    interval = scheme.suffix_path_interval(["refinfo", "year"])
+    stats = AccessStatistics()
+    records = catalog.sp.select_plabel_range(interval.p1, interval.p2, stats=stats, alias="T1")
+    expected = [r for r in protein_indexed.records if interval.p1 <= r.plabel <= interval.p2]
+    assert {r.start for r in records} == {r.start for r in expected}
+    assert stats.elements_read == len(expected)
+    assert stats.selections_executed == 1
+    assert stats.index_lookups == 1
+
+
+def test_plabel_equality_selection(catalog, protein_indexed):
+    scheme = protein_indexed.scheme
+    plabel = scheme.node_plabel(["ProteinDatabase", "ProteinEntry", "protein", "name"])
+    records = catalog.sp.select_plabel_eq(plabel)
+    assert sorted(r.data for r in records) == [
+        "cytochrome c [validated]", "cytochrome c2", "hemoglobin beta",
+    ]
+
+
+def test_residual_predicates_filter_after_the_scan(catalog, protein_indexed):
+    scheme = protein_indexed.scheme
+    interval = scheme.suffix_path_interval(["author"])
+    stats = AccessStatistics()
+    records = catalog.sp.select_plabel_range(
+        interval.p1, interval.p2, stats=stats, alias="T1", data_eq="Evans, M.J."
+    )
+    assert len(records) == 2
+    # All four author nodes were read even though only two survive the filter.
+    assert stats.elements_read == 4
+
+
+def test_tag_selection_on_sd_is_a_contiguous_cluster(catalog):
+    stats = AccessStatistics()
+    records = catalog.sd.select_tag("author", stats=stats, alias="T1")
+    assert len(records) == 4
+    assert stats.elements_read == 4
+    assert stats.pages_read <= 2
+
+
+def test_tag_selection_for_unknown_tag_is_empty(catalog):
+    assert catalog.sd.select_tag("nonexistent") == []
+
+
+def test_tag_selection_with_wildcard_reads_everything(catalog, protein_indexed):
+    stats = AccessStatistics()
+    records = catalog.sd.select_tag(None, stats=stats, alias="T1")
+    assert len(records) == protein_indexed.node_count
+    assert stats.elements_read == protein_indexed.node_count
+
+
+def test_level_filter(catalog):
+    roots = catalog.sd.select_tag("ProteinDatabase", level_eq=1)
+    assert len(roots) == 1
+    not_roots = catalog.sd.select_tag("ProteinDatabase", level_eq=2)
+    assert not_roots == []
+
+
+def test_streams_are_sorted_by_start(catalog, protein_indexed):
+    stream = catalog.sd.stream_for_tag("author")
+    starts = [record.start for record in stream]
+    assert starts == sorted(starts)
+    scheme = protein_indexed.scheme
+    interval = scheme.suffix_path_interval(["author"])
+    plabel_stream = catalog.sp.stream_for_plabel_range(interval.p1, interval.p2)
+    assert [r.start for r in plabel_stream] == starts
+
+
+def test_lookup_start_is_a_primary_key_access(catalog, protein_indexed):
+    record = protein_indexed.records[5]
+    assert catalog.sp.lookup_start(record.start) == record
+    assert catalog.sp.lookup_start(10 ** 9) is None
+
+
+def test_select_data_eq_uses_the_data_index(catalog):
+    records = catalog.sp.select_data_eq("2001")
+    assert {record.tag for record in records} == {"year"}
+    assert len(records) == 2
+
+
+def test_page_accounting_differs_between_layouts(protein_indexed):
+    layout = PageLayout(records_per_page=5)
+    sp = NodeTable(protein_indexed.records, ClusterKind.SP, layout)
+    sd = NodeTable(protein_indexed.records, ClusterKind.SD, layout)
+    scheme = protein_indexed.scheme
+    interval = scheme.suffix_path_interval(["author"])
+    sp_stats, sd_stats = AccessStatistics(), AccessStatistics()
+    sp.select_plabel_range(interval.p1, interval.p2, stats=sp_stats, alias="a")
+    sd.select_plabel_range(interval.p1, interval.p2, stats=sd_stats, alias="a")
+    # The clustered layout touches a contiguous page range; the unclustered
+    # probe pays one page per record.
+    assert sp_stats.pages_read <= sd_stats.pages_read
+
+
+def test_stats_merge_and_reset():
+    first, second = AccessStatistics(), AccessStatistics()
+    first.record_scan("a", 10, 2)
+    second.record_scan("b", 5, 1)
+    second.record_join(comparisons=7, outputs=3)
+    first.merge(second)
+    assert first.elements_read == 15
+    assert first.djoins_executed == 1
+    assert first.per_alias_elements == {"a": 10, "b": 5}
+    first.reset()
+    assert first.elements_read == 0
+    assert first.as_dict()["djoins_executed"] == 0
+
+
+def test_empty_catalog_is_rejected(protein_indexed):
+    from dataclasses import replace
+
+    empty = replace(protein_indexed, records=[]) if hasattr(protein_indexed, "__dataclass_fields__") else None
+    if empty is None:
+        pytest.skip("IndexedDocument is not a dataclass")
+    with pytest.raises(StorageError):
+        StorageCatalog(empty)
+
+
+def test_page_layout_maths():
+    layout = PageLayout(records_per_page=10)
+    assert layout.page_of(0) == 0
+    assert layout.page_of(9) == 0
+    assert layout.page_of(10) == 1
+    assert layout.pages_for_range(5, 25) == 3
+    assert layout.pages_for_range(8, 3) == 0
+    assert layout.total_pages(0) == 0
+    assert layout.total_pages(11) == 2
+    assert layout.pages_for_scattered(7) == 7

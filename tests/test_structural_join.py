@@ -1,0 +1,101 @@
+"""Tests for the binary structural D-join."""
+
+from __future__ import annotations
+
+from repro.core.indexer import NodeRecord
+from repro.engine.structural_join import join_records, structural_join
+from repro.storage.stats import AccessStatistics
+
+
+def record(tag, start, end, level, doc_id=0):
+    return NodeRecord(plabel=0, start=start, end=end, level=level, tag=tag, doc_id=doc_id)
+
+
+# A small document: a(1,12) [ b(2,7) [ c(3,4) d(5,6) ] b(8,11) [ c(9,10) ] ]
+A = record("a", 1, 12, 1)
+B1 = record("b", 2, 7, 2)
+C1 = record("c", 3, 4, 3)
+D1 = record("d", 5, 6, 3)
+B2 = record("b", 8, 11, 2)
+C2 = record("c", 9, 10, 3)
+
+
+def test_ancestor_descendant_pairs():
+    pairs = join_records([B1, B2], [C1, C2, D1])
+    assert set((a.start, d.start) for a, d in pairs) == {(2, 3), (2, 5), (8, 9)}
+
+
+def test_level_gap_restricts_to_children():
+    pairs = join_records([A], [C1, C2, B1, B2], level_gap=1)
+    assert set(d.start for _, d in pairs) == {2, 8}
+
+
+def test_min_level_gap_excludes_near_descendants():
+    pairs = join_records([A], [B1, C1], min_level_gap=2)
+    assert set(d.start for _, d in pairs) == {3}
+
+
+def test_no_pairs_across_documents():
+    other = record("c", 3, 4, 3, doc_id=1)
+    assert join_records([B1], [other]) == []
+    same = record("c", 3, 4, 3, doc_id=0)
+    assert len(join_records([B1], [same])) == 1
+
+
+def test_unsorted_inputs_are_handled():
+    pairs = join_records([B2, B1], [D1, C2, C1])
+    assert len(pairs) == 3
+
+
+def test_empty_inputs():
+    assert structural_join([], [C1]) == []
+    assert structural_join([B1], []) == []
+
+
+def test_self_containment_is_not_reported():
+    assert join_records([B1], [B1]) == []
+
+
+def test_indexes_refer_to_input_positions():
+    ancestors = [B2, B1]
+    descendants = [C2, C1]
+    pairs = structural_join(ancestors, descendants)
+    for a_index, d_index in pairs:
+        ancestor, descendant = ancestors[a_index], descendants[d_index]
+        assert ancestor.start < descendant.start and ancestor.end > descendant.end
+
+
+def test_stats_record_join_work():
+    stats = AccessStatistics()
+    structural_join([A, B1, B2], [C1, C2, D1], stats=stats)
+    assert stats.djoins_executed == 1
+    assert stats.tuples_output == 6  # each c/d node pairs with a and its b
+    assert stats.comparisons >= stats.tuples_output
+
+
+def test_large_join_matches_nested_loop(protein_indexed):
+    records = protein_indexed.records
+    entries = [r for r in records if r.tag == "ProteinEntry"]
+    authors = [r for r in records if r.tag == "author"]
+    fast = {(a.start, d.start) for a, d in join_records(entries, authors)}
+    slow = {
+        (a.start, d.start)
+        for a in entries
+        for d in authors
+        if a.start < d.start and a.end > d.end
+    }
+    assert fast == slow
+
+
+def test_level_gap_join_matches_nested_loop(protein_indexed):
+    records = protein_indexed.records
+    refinfos = [r for r in records if r.tag == "refinfo"]
+    authors = [r for r in records if r.tag == "author"]
+    fast = {(a.start, d.start) for a, d in join_records(refinfos, authors, level_gap=2)}
+    slow = {
+        (a.start, d.start)
+        for a in refinfos
+        for d in authors
+        if a.start < d.start and a.end > d.end and d.level - a.level == 2
+    }
+    assert fast == slow

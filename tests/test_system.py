@@ -1,0 +1,106 @@
+"""Tests for the BLAS system facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EngineError, SchemaError
+from repro.system import BLAS
+from repro.xpath.parser import parse_xpath
+from tests.conftest import EXAMPLE_QUERY, PROTEIN_SAMPLE
+
+
+def test_from_xml_and_from_document_agree(protein_document):
+    from_xml = BLAS.from_xml(PROTEIN_SAMPLE)
+    from_document = BLAS.from_document(protein_document)
+    assert from_xml.summary()["nodes"] == from_document.summary()["nodes"]
+    q = "//protein/name"
+    assert from_xml.query(q).count == from_document.query(q).count
+
+
+def test_from_file(tmp_path):
+    path = tmp_path / "sample.xml"
+    path.write_text(PROTEIN_SAMPLE, encoding="utf-8")
+    system = BLAS.from_file(str(path))
+    assert system.query("//author").count == 4
+
+
+def test_default_translator_and_engine(protein_system):
+    result = protein_system.query(EXAMPLE_QUERY)
+    assert result.translator == "pushup"
+    assert result.engine == "memory"
+    assert result.values() == ["The human somatic cytochrome c gene"]
+
+
+def test_query_accepts_parsed_paths(protein_system):
+    parsed = parse_xpath("//author")
+    assert protein_system.query(parsed).count == 4
+
+
+def test_unknown_translator_is_rejected(protein_system):
+    with pytest.raises(EngineError):
+        protein_system.query("//author", translator="magic")
+
+
+def test_unknown_engine_is_rejected(protein_system):
+    with pytest.raises(EngineError):
+        protein_system.query("//author", engine="hadoop")
+
+
+def test_unfold_without_schema_raises():
+    from repro.core.indexer import index_text
+
+    indexed = index_text(PROTEIN_SAMPLE, extract_schema_graph=False)
+    system = BLAS(indexed)
+    with pytest.raises(SchemaError):
+        system.query("//author", translator="unfold")
+
+
+def test_translate_reports_time_and_sql(protein_system):
+    outcome = protein_system.translate(EXAMPLE_QUERY, "split")
+    assert outcome.translation_seconds >= 0
+    assert outcome.sql.startswith("SELECT")
+    assert outcome.plan.translator == "split"
+
+
+def test_explain_is_readable(protein_system):
+    text = protein_system.explain(EXAMPLE_QUERY, "pushup")
+    assert "QueryPlan[pushup]" in text
+    assert "join" in text
+
+
+def test_query_all_translators(protein_system):
+    results = protein_system.query_all_translators("//protein/name")
+    assert set(results) == {"dlabel", "split", "pushup", "unfold"}
+    counts = {result.count for result in results.values()}
+    assert counts == {3}
+
+
+def test_query_all_translators_skips_unfold_without_schema():
+    from repro.core.indexer import index_text
+
+    indexed = index_text(PROTEIN_SAMPLE, extract_schema_graph=False)
+    system = BLAS(indexed)
+    results = system.query_all_translators("//author")
+    assert set(results) == {"dlabel", "split", "pushup"}
+
+
+def test_rdbms_engine_is_built_lazily():
+    system = BLAS.from_xml(PROTEIN_SAMPLE)
+    assert system._rdbms is None
+    system.query("//author", engine="sqlite")
+    assert system._rdbms is not None
+
+
+def test_build_sqlite_upfront():
+    system = BLAS.from_xml(PROTEIN_SAMPLE, build_sqlite=True)
+    assert system._rdbms is not None
+
+
+def test_summary_matches_indexed_document(protein_system, protein_indexed):
+    assert protein_system.summary()["nodes"] == protein_indexed.node_count
+
+
+def test_results_carry_sql_for_non_sql_engines(protein_system):
+    result = protein_system.query("//author", translator="split", engine="memory")
+    assert result.sql is not None and "plabel" in result.sql

@@ -1,0 +1,74 @@
+"""Tests for the D-labeling baseline translator."""
+
+from __future__ import annotations
+
+from repro.translate.plan import SelectionKind
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+from repro.translate.dlabel_baseline import translate_dlabel
+from tests.conftest import EXAMPLE_QUERY
+
+
+def plan_for(system, text):
+    return system.translate(text, "dlabel").plan
+
+
+def test_one_selection_per_query_tag(protein_system):
+    plan = plan_for(protein_system, EXAMPLE_QUERY)
+    branch = plan.branches[0]
+    assert len(branch.selections) == 9  # Figure 3 has 9 query nodes
+    assert all(s.kind is SelectionKind.TAG for s in branch.selections)
+    assert all(s.source == "sd" for s in branch.selections)
+
+
+def test_one_join_per_edge(protein_system):
+    plan = plan_for(protein_system, EXAMPLE_QUERY)
+    assert len(plan.branches[0].joins) == 8  # l - 1 with l = 9
+
+
+def test_child_edges_use_level_gap_one(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/ProteinEntry/protein")
+    joins = plan.branches[0].joins
+    assert all(join.level_gap == 1 for join in joins)
+
+
+def test_descendant_edges_use_plain_containment(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase//author")
+    joins = plan.branches[0].joins
+    assert joins[0].level_gap is None
+    assert joins[0].min_level_gap == 1
+
+
+def test_rooted_query_pins_the_root_level(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/ProteinEntry")
+    root_selection = plan.branches[0].selections[0]
+    assert root_selection.level_eq == 1
+    unrooted = plan_for(protein_system, "//ProteinEntry")
+    assert unrooted.branches[0].selections[0].level_eq is None
+
+
+def test_value_predicates_become_data_conditions(protein_system):
+    plan = plan_for(protein_system, '/ProteinDatabase/ProteinEntry//author = "Evans, M.J."')
+    data = {s.tag: s.data_eq for s in plan.branches[0].selections}
+    assert data["author"] == "Evans, M.J."
+
+
+def test_wildcards_select_all_tags():
+    tree = build_query_tree(parse_xpath("/a/*/c"))
+    plan = translate_dlabel(tree)
+    wildcard_selection = plan.branches[0].selections[1]
+    assert wildcard_selection.tag is None
+
+
+def test_return_alias_points_at_the_return_node(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/ProteinEntry/protein/name")
+    branch = plan.branches[0]
+    assert branch.return_alias == "T4"
+    assert branch.alias_map["T4"].tag == "name"
+
+
+def test_scheme_argument_is_optional():
+    tree = build_query_tree(parse_xpath("/a/b"))
+    plan = translate_dlabel(tree)
+    assert plan.translator == "dlabel"
+    assert len(plan.branches[0].selections) == 2

@@ -1,0 +1,113 @@
+"""Tests for the Push-Up translator (paper §4.1.2)."""
+
+from __future__ import annotations
+
+from repro.translate.plan import SelectionKind
+from repro.translate.pushup import pushed_up_path, translate_pushup
+from repro.translate.decompose import decompose
+from repro.xpath.ast import Axis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+from tests.conftest import EXAMPLE_QUERY
+
+
+def plan_for(system, text):
+    return system.translate(text, "pushup").plan
+
+
+def test_identical_to_split_on_suffix_path_queries(protein_system):
+    for text in ("//protein/name", "/ProteinDatabase/ProteinEntry/protein/name", "//author"):
+        split_sql = protein_system.translate(text, "split").sql
+        pushup_sql = protein_system.translate(text, "pushup").sql
+        assert split_sql == pushup_sql, text
+
+
+def test_branch_pieces_are_prefixed_with_the_full_path(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/ProteinEntry[protein]/reference/refinfo")
+    descriptions = {s.alias: s.description for s in plan.branches[0].selections}
+    assert descriptions["T2"] == "/ProteinDatabase/ProteinEntry/protein"
+    assert descriptions["T3"] == "/ProteinDatabase/ProteinEntry/reference/refinfo"
+
+
+def test_pushed_pieces_become_equality_selections(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/ProteinEntry[protein]/reference/refinfo")
+    kinds = {s.alias: s.kind for s in plan.branches[0].selections}
+    assert kinds["T1"] is SelectionKind.PLABEL_EQ
+    assert kinds["T2"] is SelectionKind.PLABEL_EQ
+    assert kinds["T3"] is SelectionKind.PLABEL_EQ
+
+
+def test_descendant_cut_resets_the_prefix(protein_system):
+    plan = plan_for(protein_system, EXAMPLE_QUERY)
+    descriptions = {s.description for s in plan.branches[0].selections}
+    # The //superfamily and //author pieces stay un-prefixed (range selections),
+    # exactly as in Example 4.2's Q''2 / Q''3 before unfolding.
+    assert "//superfamily" in descriptions
+    assert "//author" in descriptions
+    # The branch pieces that were connected by child axes are pushed up.
+    assert "/ProteinDatabase/ProteinEntry/reference/refinfo/year" in descriptions
+    assert "/ProteinDatabase/ProteinEntry/reference/refinfo/title" in descriptions
+
+
+def test_example_query_selection_mix_matches_the_paper(protein_system):
+    plan = plan_for(protein_system, EXAMPLE_QUERY)
+    metrics = plan.metrics()
+    assert metrics.d_joins == 6
+    assert metrics.equality_selections == 5
+    assert metrics.range_selections == 2
+
+
+def test_figure9_pushed_subqueries(protein_system):
+    # Q1 of Figure 7 (the example query without the descendant branches).
+    query = (
+        '/ProteinDatabase/ProteinEntry[protein]/reference/refinfo[year = "2001"]/title'
+    )
+    plan = plan_for(protein_system, query)
+    descriptions = sorted(s.description for s in plan.branches[0].selections)
+    assert descriptions == [
+        "/ProteinDatabase/ProteinEntry",
+        "/ProteinDatabase/ProteinEntry/protein",
+        "/ProteinDatabase/ProteinEntry/reference/refinfo",
+        "/ProteinDatabase/ProteinEntry/reference/refinfo/title",
+        "/ProteinDatabase/ProteinEntry/reference/refinfo/year",
+    ]
+
+
+def test_level_gaps_match_chain_lengths(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/ProteinEntry[protein]/reference/refinfo")
+    gaps = {(j.ancestor, j.descendant): j.level_gap for j in plan.branches[0].joins}
+    assert gaps == {("T1", "T2"): 1, ("T1", "T3"): 2}
+
+
+def test_pushed_up_path_helper():
+    tree = build_query_tree(parse_xpath("/a/b[c]//d/e"))
+    decomposition = decompose(tree, break_at_descendant=True)
+    by_tags = {tuple(piece.tags): piece for piece in decomposition.pieces}
+    root_piece = by_tags[("a", "b")]
+    branch_piece = by_tags[("c",)]
+    descendant_piece = by_tags[("d", "e")]
+    assert pushed_up_path(root_piece, Axis.CHILD) == (["a", "b"], True)
+    assert pushed_up_path(branch_piece, Axis.CHILD) == (["a", "b", "c"], True)
+    assert pushed_up_path(descendant_piece, Axis.CHILD) == (["d", "e"], False)
+
+
+def test_leading_descendant_query_is_not_rooted(protein_system):
+    plan = plan_for(protein_system, "//ProteinEntry[protein]/reference")
+    kinds = {s.alias: s.kind for s in plan.branches[0].selections}
+    # The anchor itself starts with //, so even pushed pieces stay ranges.
+    assert kinds["T1"] is SelectionKind.PLABEL_RANGE
+    assert kinds["T2"] is SelectionKind.PLABEL_RANGE
+    assert kinds["T3"] is SelectionKind.PLABEL_RANGE
+
+
+def test_results_match_split_on_every_sample_query(protein_system):
+    queries = [
+        EXAMPLE_QUERY,
+        "/ProteinDatabase/ProteinEntry//author",
+        '//refinfo[year = "2001"]/title',
+        "/ProteinDatabase/ProteinEntry[protein]/reference/refinfo",
+    ]
+    for text in queries:
+        split_result = protein_system.query(text, translator="split").starts
+        pushup_result = protein_system.query(text, translator="pushup").starts
+        assert split_result == pushup_result, text

@@ -1,0 +1,113 @@
+"""Tests for the Split translator (paper §4.1.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnsupportedQueryError
+from repro.translate.decompose import decompose
+from repro.translate.plan import SelectionKind
+from repro.translate.split import translate_split
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+from tests.conftest import EXAMPLE_QUERY
+
+
+def plan_for(system, text):
+    return system.translate(text, "split").plan
+
+
+def test_suffix_path_query_is_one_selection_no_joins(protein_system):
+    plan = plan_for(protein_system, "//protein/name")
+    branch = plan.branches[0]
+    assert len(branch.selections) == 1
+    assert branch.joins == []
+    assert branch.selections[0].kind is SelectionKind.PLABEL_RANGE
+
+
+def test_rooted_simple_path_is_an_equality_selection(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/ProteinEntry/protein/name")
+    selection = plan.branches[0].selections[0]
+    assert selection.kind is SelectionKind.PLABEL_EQ
+    scheme = protein_system.scheme
+    assert selection.plabel_low == scheme.node_plabel(
+        ["ProteinDatabase", "ProteinEntry", "protein", "name"]
+    )
+
+
+def test_descendant_axis_splits_into_two_pieces(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/ProteinEntry//author")
+    branch = plan.branches[0]
+    assert len(branch.selections) == 2
+    assert len(branch.joins) == 1
+    join = branch.joins[0]
+    assert join.level_gap is None
+    assert join.min_level_gap == 1
+
+
+def test_branch_splits_at_the_branching_point(protein_system):
+    plan = plan_for(protein_system, '/ProteinDatabase/ProteinEntry[protein]/reference/refinfo')
+    branch = plan.branches[0]
+    # Pieces: /ProteinDatabase/ProteinEntry, //protein, //reference/refinfo.
+    assert len(branch.selections) == 3
+    descriptions = {s.alias: s.description for s in branch.selections}
+    assert descriptions["T1"].startswith("/ProteinDatabase")
+    assert descriptions["T2"] == "//protein"
+    assert descriptions["T3"] == "//reference/refinfo"
+    gaps = {(j.ancestor, j.descendant): (j.level_gap, j.min_level_gap) for j in branch.joins}
+    assert gaps[("T1", "T2")] == (1, None)
+    assert gaps[("T1", "T3")] == (2, None)
+
+
+def test_example_query_piece_count_matches_paper(protein_system):
+    # Figures 7-8: Q decomposes into 7 suffix-path subqueries
+    # (Q4, Q5, Q7, Q8, Q9 plus the cut Q2 and Q3), joined by 6 D-joins.
+    plan = plan_for(protein_system, EXAMPLE_QUERY)
+    branch = plan.branches[0]
+    assert len(branch.selections) == 7
+    assert len(branch.joins) == 6
+    assert plan.metrics().d_joins == 6
+
+
+def test_value_predicates_attach_to_the_right_piece(protein_system):
+    plan = plan_for(protein_system, EXAMPLE_QUERY)
+    by_description = {s.description: s for s in plan.branches[0].selections}
+    assert by_description["//superfamily"].data_eq == "cytochrome c"
+    assert by_description["//author"].data_eq == "Evans, M.J."
+    assert by_description["//year"].data_eq == "2001"
+
+
+def test_unknown_tag_yields_an_empty_plan(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/nonexistent")
+    assert plan.is_empty
+
+
+def test_wildcards_are_rejected(protein_system):
+    with pytest.raises(UnsupportedQueryError):
+        plan_for(protein_system, "/ProteinDatabase/*/protein")
+
+
+def test_return_alias_is_the_piece_containing_the_return_node(protein_system):
+    plan = plan_for(protein_system, '/ProteinDatabase/ProteinEntry[protein]/reference/refinfo')
+    assert plan.branches[0].return_alias == "T3"
+
+
+def test_decompose_breaks_at_descendant_and_branches():
+    tree = build_query_tree(parse_xpath("/a/b[c]/d//e/f"))
+    decomposition = decompose(tree, break_at_descendant=True)
+    chains = [tuple(piece.tags) for piece in decomposition.pieces]
+    assert chains == [("a", "b"), ("c",), ("d",), ("e", "f")]
+    assert decomposition.return_piece.tags == ["e", "f"]
+
+
+def test_decompose_without_descendant_breaks():
+    tree = build_query_tree(parse_xpath("/a/b[c]/d//e/f"))
+    decomposition = decompose(tree, break_at_descendant=False)
+    chains = [tuple(piece.tags) for piece in decomposition.pieces]
+    assert chains == [("a", "b"), ("c",), ("d", "e", "f")]
+
+
+def test_translator_name_and_query_text(protein_system):
+    plan = plan_for(protein_system, "//author")
+    assert plan.translator == "split"
+    assert "author" in plan.query_text

@@ -1,0 +1,133 @@
+"""Tests for the Unfold translator (paper §4.1.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError, UnsupportedQueryError
+from repro.translate.plan import SelectionKind
+from repro.translate.unfold import translate_unfold
+from repro.xmlkit.schema import SchemaGraph
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+from tests.conftest import EXAMPLE_QUERY
+
+
+def plan_for(system, text):
+    return system.translate(text, "unfold").plan
+
+
+def test_requires_a_schema(protein_indexed):
+    tree = build_query_tree(parse_xpath("/a/b"))
+    with pytest.raises(SchemaError):
+        translate_unfold(tree, protein_indexed.scheme, None)
+
+
+def test_every_selection_is_an_equality(protein_system):
+    for text in (EXAMPLE_QUERY, "//author", "/ProteinDatabase//title", "//refinfo[citation]/title"):
+        plan = plan_for(protein_system, text)
+        for branch in plan.non_empty_branches():
+            for selection in branch.selections:
+                assert selection.kind is SelectionKind.PLABEL_EQ, (text, selection)
+
+
+def test_interior_descendant_step_unfolds_to_the_schema_path(protein_system):
+    plan = plan_for(protein_system, '/ProteinDatabase/ProteinEntry/protein//superfamily')
+    assert len(plan.branches) == 1
+    selection = plan.branches[0].selections[0]
+    assert selection.description == (
+        "/ProteinDatabase/ProteinEntry/protein/classification/superfamily"
+    )
+    assert plan.branches[0].joins == []
+
+
+def test_pure_path_query_has_no_joins(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/ProteinEntry//author")
+    assert all(branch.joins == [] for branch in plan.branches)
+    assert len(plan.branches) == 1
+
+
+def test_leading_descendant_query_unfolds_from_the_root(protein_system):
+    plan = plan_for(protein_system, "//superfamily")
+    descriptions = [branch.selections[0].description for branch in plan.branches]
+    assert descriptions == [
+        "/ProteinDatabase/ProteinEntry/protein/classification/superfamily"
+    ]
+
+
+def test_branch_joins_carry_exact_level_gaps(protein_system):
+    plan = plan_for(protein_system, '/ProteinDatabase/ProteinEntry[protein//superfamily]/reference')
+    branch = plan.branches[0]
+    gaps = {(j.ancestor, j.descendant): j.level_gap for j in branch.joins}
+    # superfamily sits 3 levels below ProteinEntry along the unfolded path.
+    assert gaps[("T1", "T2")] == 3
+    assert gaps[("T1", "T3")] == 1
+
+
+def test_example_query_produces_simple_path_subqueries(protein_system):
+    plan = plan_for(protein_system, EXAMPLE_QUERY)
+    assert len(plan.branches) >= 1
+    branch = plan.branches[0]
+    descriptions = {s.description for s in branch.selections}
+    # Example 4.2's unfolded Q'''2 and Q'''3.
+    assert "/ProteinDatabase/ProteinEntry/protein/classification/superfamily" in descriptions
+    assert "/ProteinDatabase/ProteinEntry/reference/refinfo/authors/author" in descriptions
+    # One D-join per branch edge (5 for Figure 3's two branching points);
+    # the interior descendant steps were unfolded away.
+    assert plan.metrics().d_joins == 5
+
+
+def test_recursive_schema_unfolds_to_the_instance_depth(auction_document):
+    from repro.system import BLAS
+
+    system = BLAS.from_document(auction_document)
+    plan = system.translate("//category/description//text", "unfold").plan
+    # The recursive parlist/listitem nesting yields one union branch per
+    # unfolding depth permitted by the observed document depth.
+    assert len(plan.branches) > 1
+    lengths = {len(branch.selections[0].description.split("/")) for branch in plan.branches}
+    assert len(lengths) > 1
+
+
+def test_schema_impossible_query_is_statically_empty(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/author")
+    assert plan.is_empty
+    assert plan.branches == []
+
+
+def test_wildcard_child_steps_expand_against_the_schema(protein_system):
+    plan = plan_for(protein_system, "/ProteinDatabase/ProteinEntry/protein/*")
+    descriptions = sorted(branch.selections[0].description for branch in plan.branches)
+    assert "/ProteinDatabase/ProteinEntry/protein/classification" in descriptions
+    assert "/ProteinDatabase/ProteinEntry/protein/name" in descriptions
+
+
+def test_wildcard_descendant_steps_are_rejected(protein_system):
+    with pytest.raises(UnsupportedQueryError):
+        plan_for(protein_system, "/ProteinDatabase//*")
+
+
+def test_branch_limit_guard():
+    graph = SchemaGraph()
+    graph.add_root("a")
+    graph.add_edge("a", "a")
+    graph.observe_depth(12)
+    from repro.core.plabel import PLabelScheme
+
+    scheme = PLabelScheme(["a"], height=12)
+    tree = build_query_tree(parse_xpath("//a//a//a"))
+    with pytest.raises(SchemaError):
+        translate_unfold(tree, scheme, graph, branch_limit=5)
+
+
+def test_results_match_pushup_on_every_sample_query(protein_system):
+    queries = [
+        EXAMPLE_QUERY,
+        "/ProteinDatabase/ProteinEntry//author",
+        '//refinfo[year = "2001"]/title',
+        "//superfamily",
+    ]
+    for text in queries:
+        pushup_result = protein_system.query(text, translator="pushup").starts
+        unfold_result = protein_system.query(text, translator="unfold").starts
+        assert pushup_result == unfold_result, text

@@ -1,0 +1,145 @@
+"""Tests for the holistic twig join (TwigStack) engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexer import NodeRecord
+from repro.engine.twigstack import TwigJoinEngine, TwigPattern, TwigPatternNode, TwigStack
+from repro.storage.table import StorageCatalog
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+from tests.conftest import EXAMPLE_QUERY
+
+
+def record(tag, start, end, level):
+    return NodeRecord(plabel=0, start=start, end=end, level=level, tag=tag)
+
+
+def build_pattern(streams, edges, return_name):
+    """streams: name -> records; edges: (parent, child, gap)."""
+    nodes = {name: TwigPatternNode(name=name, stream=sorted(stream, key=lambda r: r.start))
+             for name, stream in streams.items()}
+    children = set()
+    for parent, child, gap in edges:
+        nodes[child].level_gap = gap
+        nodes[parent].add_child(nodes[child])
+        children.add(child)
+    root = next(name for name in nodes if name not in children)
+    return TwigPattern(root=nodes[root], return_name=return_name)
+
+
+# Document: a(1,14,1)[ b(2,7,2)[ c(3,4,3) d(5,6,3) ]  b(8,13,2)[ c(9,10,3) ] ]
+DOC = {
+    "a": [record("a", 1, 14, 1)],
+    "b": [record("b", 2, 7, 2), record("b", 8, 13, 2)],
+    "c": [record("c", 3, 4, 3), record("c", 9, 10, 3)],
+    "d": [record("d", 5, 6, 3)],
+}
+
+
+def test_path_pattern_produces_path_solutions():
+    pattern = build_pattern(
+        {"A": DOC["a"], "B": DOC["b"], "C": DOC["c"]},
+        [("A", "B", None), ("B", "C", None)],
+        return_name="C",
+    )
+    matches = TwigStack(pattern).matches()
+    returned = sorted(match["C"].start for match in matches)
+    assert returned == [3, 9]
+
+
+def test_twig_pattern_joins_both_branches():
+    pattern = build_pattern(
+        {"B": DOC["b"], "C": DOC["c"], "D": DOC["d"]},
+        [("B", "C", None), ("B", "D", None)],
+        return_name="B",
+    )
+    matches = TwigStack(pattern).matches()
+    # Only the first b has both a c and a d below it.
+    assert sorted({match["B"].start for match in matches}) == [2]
+
+
+def test_level_gap_filters_grandchildren():
+    pattern = build_pattern(
+        {"A": DOC["a"], "C": DOC["c"]},
+        [("A", "C", 1)],
+        return_name="C",
+    )
+    assert TwigStack(pattern).matches() == []
+    pattern2 = build_pattern(
+        {"A": DOC["a"], "C": DOC["c"]},
+        [("A", "C", 2)],
+        return_name="C",
+    )
+    assert len(TwigStack(pattern2).matches()) == 2
+
+
+def test_empty_stream_produces_no_matches():
+    pattern = build_pattern(
+        {"A": DOC["a"], "X": []},
+        [("A", "X", None)],
+        return_name="A",
+    )
+    assert TwigStack(pattern).matches() == []
+
+
+def test_skewed_streams_where_one_branch_exhausts_early():
+    # The d stream has a single early element; c elements keep arriving under
+    # later b elements and must still produce (a, c) path solutions.
+    pattern = build_pattern(
+        {"A": DOC["a"], "B": DOC["b"], "C": DOC["c"]},
+        [("A", "B", None), ("A", "C", None)],
+        return_name="C",
+    )
+    matches = TwigStack(pattern).matches()
+    assert sorted({match["C"].start for match in matches}) == [3, 9]
+
+
+def test_pattern_node_helpers():
+    node = TwigPatternNode(name="X", stream=DOC["c"])
+    assert not node.exhausted()
+    assert node.head().start == 3
+    node.advance()
+    node.advance()
+    assert node.exhausted()
+    assert node.is_leaf()
+
+
+@pytest.mark.parametrize("translator", ["dlabel", "split", "pushup"])
+def test_twig_engine_matches_naive_evaluator(
+    protein_system, protein_document, translator
+):
+    from repro.core.dlabel import dlabels_for_document
+
+    labels = dlabels_for_document(protein_document)
+    for text in (
+        "//protein/name",
+        "/ProteinDatabase/ProteinEntry//author",
+        "/ProteinDatabase/ProteinEntry[protein]/reference/refinfo",
+        EXAMPLE_QUERY,
+    ):
+        expected = sorted(
+            labels[id(node)].start for node in evaluate(protein_document, parse_xpath(text))
+        )
+        result = protein_system.query(text, translator=translator, engine="twig")
+        assert result.starts == expected, (translator, text)
+
+
+def test_twig_engine_counts_stream_elements(protein_system):
+    result = protein_system.query("//protein/name", translator="dlabel", engine="twig")
+    blas = protein_system.query("//protein/name", translator="pushup", engine="twig")
+    assert result.stats.elements_read > blas.stats.elements_read
+    assert result.starts == blas.starts
+
+
+def test_selection_only_plan_bypasses_the_twig_join(protein_system):
+    result = protein_system.query("//author", translator="pushup", engine="twig")
+    assert result.count == 4
+    assert result.stats.djoins_executed == 0
+
+
+def test_unfold_union_plans_also_run_on_the_twig_engine(protein_system):
+    result = protein_system.query(EXAMPLE_QUERY, translator="unfold", engine="twig")
+    baseline = protein_system.query(EXAMPLE_QUERY, translator="dlabel", engine="twig")
+    assert result.starts == baseline.starts

@@ -1,0 +1,96 @@
+"""Tests for the element tree model."""
+
+from __future__ import annotations
+
+from repro.xmlkit.model import Document, Element, attach_attribute_nodes
+from repro.xmlkit.parser import parse_string
+
+
+def build_sample():
+    root = Element("a")
+    b = root.make_child("b", text="one")
+    b.make_child("c", text="deep")
+    root.make_child("b", text="two")
+    root.make_child("d")
+    return Document(root, name="sample")
+
+
+def test_make_child_sets_parent_and_order():
+    document = build_sample()
+    assert [child.tag for child in document.root.children] == ["b", "b", "d"]
+    assert document.root.children[0].parent is document.root
+
+
+def test_iter_is_document_order():
+    document = build_sample()
+    assert [node.tag for node in document.iter()] == ["a", "b", "c", "b", "d"]
+
+
+def test_iter_descendants_excludes_self():
+    document = build_sample()
+    tags = [node.tag for node in document.root.iter_descendants()]
+    assert "a" not in tags
+    assert tags == ["b", "c", "b", "d"]
+
+
+def test_find_children_and_descendants():
+    document = build_sample()
+    assert len(document.root.find_children("b")) == 2
+    assert len(document.root.find_children("c")) == 0
+    assert len(document.root.find_descendants("c")) == 1
+
+
+def test_depth_and_path():
+    document = build_sample()
+    c = document.root.children[0].children[0]
+    assert c.depth == 3
+    assert c.path_tags() == ["a", "b", "c"]
+    assert c.source_path() == "/a/b/c"
+
+
+def test_document_statistics():
+    document = build_sample()
+    assert document.count_nodes() == 5
+    assert document.max_depth() == 3
+    assert document.distinct_tags() == ["a", "b", "c", "d"]
+
+
+def test_set_attribute_creates_and_updates_attribute_node():
+    element = Element("item")
+    element.set_attribute("id", "1")
+    assert element.attributes == {"id": "1"}
+    assert element.children[0].tag == "@id"
+    assert element.children[0].text == "1"
+    element.set_attribute("id", "2")
+    assert element.attributes["id"] == "2"
+    assert len([child for child in element.children if child.tag == "@id"]) == 1
+    assert element.children[0].text == "2"
+
+
+def test_constructor_attributes_are_materialised():
+    element = Element("item", attributes={"id": "9", "lang": "en"})
+    tags = {child.tag for child in element.children}
+    assert tags == {"@id", "@lang"}
+
+
+def test_attribute_nodes_come_before_element_children():
+    element = Element("item")
+    element.make_child("name", text="x")
+    element.set_attribute("id", "1")
+    assert element.children[0].tag == "@id"
+    assert element.children[1].tag == "name"
+
+
+def test_attach_attribute_nodes_is_idempotent():
+    document = parse_string('<a id="1"><b ref="2"/></a>')
+    added_first = attach_attribute_nodes(document)
+    added_second = attach_attribute_nodes(document)
+    assert added_first == 0  # the parser already materialised them
+    assert added_second == 0
+    assert len(document.root.find_descendants("@ref")) == 1
+
+
+def test_value_returns_text():
+    element = Element("x", text="hello")
+    assert element.value() == "hello"
+    assert Element("y").value() is None

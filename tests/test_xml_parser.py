@@ -1,0 +1,155 @@
+"""Tests for the event parser (iterparse) and the tree builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import XMLSyntaxError
+from repro.xmlkit.events import (
+    CharactersEvent,
+    EndDocumentEvent,
+    EndElementEvent,
+    EventCollector,
+    StartDocumentEvent,
+    StartElementEvent,
+)
+from repro.xmlkit.parser import drive, iterparse, parse_string
+
+
+def events_of(text, **kwargs):
+    return [
+        event
+        for event in iterparse(text, **kwargs)
+        if not isinstance(event, (StartDocumentEvent, EndDocumentEvent))
+    ]
+
+
+def test_positions_count_start_end_and_text_units():
+    # The paper's convention: each start tag, end tag and text is one unit.
+    text = "<a><b>hi</b><c/></a>"
+    events = events_of(text)
+    positions = [event.position for event in events]
+    assert positions == [1, 2, 3, 4, 5, 6, 7]
+
+
+def test_paper_figure1_classification_position():
+    # In Figure 1 the first `classification` start tag sits at position 7.
+    text = (
+        "<ProteinDatabase><ProteinEntry><protein><name>cytochrome c</name>"
+        "<classification><superfamily>cytochrome c</superfamily>"
+        "</classification></protein></ProteinEntry></ProteinDatabase>"
+    )
+    starts = {
+        event.tag: event.position
+        for event in events_of(text)
+        if isinstance(event, StartElementEvent)
+    }
+    assert starts["classification"] == 7
+
+
+def test_whitespace_only_text_is_dropped_by_default():
+    events = events_of("<a>\n  <b>x</b>\n</a>")
+    assert not any(
+        isinstance(event, CharactersEvent) and event.text.strip() == "" for event in events
+    )
+
+
+def test_whitespace_can_be_preserved():
+    events = events_of("<a> <b>x</b></a>", keep_whitespace=True)
+    assert any(isinstance(event, CharactersEvent) and event.text == " " for event in events)
+
+
+def test_empty_element_expands_to_start_and_end():
+    events = events_of("<a><b/></a>")
+    tags = [type(event).__name__ for event in events]
+    assert tags == [
+        "StartElementEvent",
+        "StartElementEvent",
+        "EndElementEvent",
+        "EndElementEvent",
+    ]
+
+
+def test_attributes_become_synthetic_attribute_nodes():
+    events = events_of('<a id="1"><b/></a>')
+    attribute_starts = [
+        event for event in events if isinstance(event, StartElementEvent) and event.tag == "@id"
+    ]
+    assert len(attribute_starts) == 1
+    # The synthetic node consumes positions: @id start, its text, its end.
+    index = events.index(attribute_starts[0])
+    assert isinstance(events[index + 1], CharactersEvent)
+    assert events[index + 1].text == "1"
+    assert isinstance(events[index + 2], EndElementEvent)
+
+
+def test_attribute_expansion_can_be_disabled():
+    events = events_of('<a id="1"/>', expand_attributes=False)
+    assert all(
+        not (isinstance(event, StartElementEvent) and event.tag.startswith("@"))
+        for event in events
+    )
+
+
+def test_mismatched_tags_raise():
+    with pytest.raises(XMLSyntaxError):
+        list(iterparse("<a><b></a></b>"))
+
+
+def test_unclosed_element_raises():
+    with pytest.raises(XMLSyntaxError):
+        list(iterparse("<a><b>"))
+
+
+def test_text_outside_root_raises():
+    with pytest.raises(XMLSyntaxError):
+        list(iterparse("hello<a/>"))
+
+
+def test_multiple_roots_raise():
+    with pytest.raises(XMLSyntaxError):
+        list(iterparse("<a/><b/>"))
+
+
+def test_empty_document_raises():
+    with pytest.raises(XMLSyntaxError):
+        list(iterparse("<!-- nothing here -->"))
+
+
+def test_drive_dispatches_to_handler_callbacks():
+    collector = EventCollector()
+    drive(iterparse("<a><b>x</b></a>"), collector)
+    kinds = [type(event).__name__ for event in collector.events]
+    assert kinds[0] == "StartDocumentEvent"
+    assert kinds[-1] == "EndDocumentEvent"
+    assert "CharactersEvent" in kinds
+
+
+def test_parse_string_builds_a_tree():
+    document = parse_string("<a><b>x</b><b>y</b><c/></a>")
+    assert document.root.tag == "a"
+    assert [child.tag for child in document.root.children] == ["b", "b", "c"]
+    assert document.root.children[0].text == "x"
+
+
+def test_parse_string_materialises_attribute_nodes():
+    document = parse_string('<a><b id="7">x</b></a>')
+    b = document.root.children[0]
+    assert b.attributes == {"id": "7"}
+    attribute_children = [child for child in b.children if child.tag == "@id"]
+    assert len(attribute_children) == 1
+    assert attribute_children[0].text == "7"
+
+
+def test_parse_string_merges_split_text():
+    document = parse_string("<a>one<b/>two</a>")
+    assert document.root.text == "onetwo"
+
+
+def test_parse_document_reads_files(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text("<a><b>x</b></a>", encoding="utf-8")
+    from repro.xmlkit.parser import parse_document
+
+    document = parse_document(str(path))
+    assert document.root.children[0].text == "x"

@@ -1,0 +1,124 @@
+"""Tests for the schema graph (DTD summary) used by Unfold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.xmlkit.parser import parse_string
+from repro.xmlkit.schema import SchemaGraph, extract_schema
+
+
+@pytest.fixture()
+def simple_schema():
+    graph = SchemaGraph()
+    graph.add_root("db")
+    graph.add_edge("db", "entry")
+    graph.add_edge("entry", "protein")
+    graph.add_edge("entry", "reference")
+    graph.add_edge("protein", "name")
+    graph.add_edge("protein", "classification")
+    graph.add_edge("classification", "superfamily")
+    graph.add_edge("reference", "refinfo")
+    graph.add_edge("refinfo", "author")
+    graph.observe_depth(6)
+    return graph
+
+
+def test_children_and_parents(simple_schema):
+    assert simple_schema.children("entry") == {"protein", "reference"}
+    assert simple_schema.parents("refinfo") == {"reference"}
+    assert simple_schema.children("unknown") == set()
+
+
+def test_has_edge(simple_schema):
+    assert simple_schema.has_edge("protein", "name")
+    assert not simple_schema.has_edge("name", "protein")
+
+
+def test_validate_path(simple_schema):
+    assert simple_schema.validate_path(["db", "entry", "protein", "name"])
+    assert not simple_schema.validate_path(["entry", "protein"])
+    assert not simple_schema.validate_path(["db", "protein"])
+    assert not simple_schema.validate_path([])
+
+
+def test_non_recursive_schema_detection(simple_schema):
+    assert not simple_schema.is_recursive()
+
+
+def test_recursive_schema_detection():
+    graph = SchemaGraph()
+    graph.add_root("description")
+    graph.add_edge("description", "parlist")
+    graph.add_edge("parlist", "listitem")
+    graph.add_edge("listitem", "parlist")
+    assert graph.is_recursive()
+
+
+def test_enumerate_connecting_paths_between_tags(simple_schema):
+    paths = simple_schema.enumerate_connecting_paths("entry", "superfamily")
+    assert paths == [("protein", "classification", "superfamily")]
+
+
+def test_enumerate_direct_child_path(simple_schema):
+    paths = simple_schema.enumerate_connecting_paths("protein", "name")
+    assert paths == [("name",)]
+
+
+def test_enumerate_from_roots(simple_schema):
+    paths = simple_schema.simple_paths_to("author")
+    assert paths == [("db", "entry", "reference", "refinfo", "author")]
+
+
+def test_enumeration_respects_max_length():
+    graph = SchemaGraph()
+    graph.add_root("a")
+    graph.add_edge("a", "a")  # recursive
+    graph.observe_depth(4)
+    paths = graph.enumerate_connecting_paths("a", "a", max_length=3)
+    assert paths == [("a",), ("a", "a"), ("a", "a", "a")]
+
+
+def test_enumeration_limit_guard():
+    graph = SchemaGraph()
+    graph.add_root("a")
+    graph.add_edge("a", "a")
+    graph.observe_depth(50)
+    with pytest.raises(SchemaError):
+        graph.enumerate_connecting_paths("a", "a", max_length=40, limit=10)
+
+
+def test_zero_max_length_is_rejected(simple_schema):
+    with pytest.raises(SchemaError):
+        simple_schema.enumerate_connecting_paths("entry", "name", max_length=0)
+
+
+def test_extract_schema_from_document():
+    document = parse_string("<db><entry><protein><name>x</name></protein></entry><entry/></db>")
+    graph = extract_schema(document)
+    assert graph.roots == {"db"}
+    assert graph.has_edge("db", "entry")
+    assert graph.has_edge("protein", "name")
+    assert graph.max_depth == 4
+
+
+def test_extract_schema_includes_attribute_nodes():
+    document = parse_string('<db><entry id="1"/></db>')
+    graph = extract_schema(document)
+    assert graph.has_edge("entry", "@id")
+
+
+def test_extract_schema_from_multiple_documents():
+    first = parse_string("<db><a/></db>")
+    second = parse_string("<db><b><c/></b></db>")
+    graph = extract_schema([first, second])
+    assert graph.children("db") == {"a", "b"}
+    assert graph.max_depth == 3
+
+
+def test_extracted_auction_schema_is_recursive(auction_document):
+    graph = extract_schema(auction_document)
+    assert graph.is_recursive()
+    assert graph.has_edge("parlist", "listitem")
+    assert graph.has_edge("listitem", "parlist")

@@ -1,0 +1,124 @@
+"""Tests for the XML tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import XMLSyntaxError
+from repro.xmlkit.tokenizer import Token, TokenType, decode_entities, tokenize
+
+
+def kinds(text):
+    return [token.type for token in tokenize(text)]
+
+
+def test_simple_element_produces_start_text_end():
+    assert kinds("<a>hello</a>") == [TokenType.START_TAG, TokenType.TEXT, TokenType.END_TAG]
+
+
+def test_empty_element_token():
+    tokens = list(tokenize("<a/>"))
+    assert tokens[0].type is TokenType.EMPTY_TAG
+    assert tokens[0].value == "a"
+
+
+def test_attributes_are_parsed_into_a_dict():
+    tokens = list(tokenize('<item id="i1" lang="en">x</item>'))
+    assert tokens[0].attributes == {"id": "i1", "lang": "en"}
+
+
+def test_single_quoted_attributes():
+    tokens = list(tokenize("<item id='i1'/>"))
+    assert tokens[0].attributes == {"id": "i1"}
+
+
+def test_attribute_entities_are_decoded():
+    tokens = list(tokenize('<item name="a &amp; b"/>'))
+    assert tokens[0].attributes["name"] == "a & b"
+
+
+def test_text_entities_are_decoded():
+    tokens = list(tokenize("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>"))
+    assert tokens[1].value == "1 < 2 && 3 > 2"
+
+
+def test_numeric_character_references():
+    assert decode_entities("&#65;&#x42;") == "AB"
+
+
+def test_unknown_entity_is_preserved_verbatim():
+    assert decode_entities("&unknown;") == "&unknown;"
+
+
+def test_unterminated_entity_raises():
+    with pytest.raises(XMLSyntaxError):
+        decode_entities("&amp")
+
+
+def test_comments_are_tokenised_separately():
+    tokens = list(tokenize("<a><!-- note --></a>"))
+    assert tokens[1].type is TokenType.COMMENT
+    assert tokens[1].value.strip() == "note"
+
+
+def test_processing_instruction_and_xml_declaration():
+    tokens = list(tokenize('<?xml version="1.0"?><?php echo ?><a/>'))
+    assert tokens[0].type is TokenType.XML_DECLARATION
+    assert tokens[1].type is TokenType.PROCESSING_INSTRUCTION
+
+
+def test_cdata_section_content_is_preserved():
+    tokens = list(tokenize("<a><![CDATA[<not & markup>]]></a>"))
+    assert tokens[1].type is TokenType.CDATA
+    assert tokens[1].value == "<not & markup>"
+
+
+def test_doctype_with_internal_subset_is_skipped():
+    text = '<!DOCTYPE plays [<!ELEMENT PLAY (TITLE)>]><plays/>'
+    tokens = list(tokenize(text))
+    assert tokens[0].type is TokenType.DOCTYPE
+    assert tokens[1].type is TokenType.EMPTY_TAG
+
+
+def test_names_with_namespaces_dashes_and_dots():
+    tokens = list(tokenize("<ns:a-b.c/>"))
+    assert tokens[0].value == "ns:a-b.c"
+
+
+def test_offsets_point_into_the_source():
+    text = "<a>text</a>"
+    tokens = list(tokenize(text))
+    assert tokens[0].offset == 0
+    assert text[tokens[1].offset] == "t"
+    assert text[tokens[2].offset] == "<"
+
+
+def test_unterminated_comment_raises():
+    with pytest.raises(XMLSyntaxError):
+        list(tokenize("<a><!-- oops</a>"))
+
+
+def test_unterminated_cdata_raises():
+    with pytest.raises(XMLSyntaxError):
+        list(tokenize("<a><![CDATA[oops</a>"))
+
+
+def test_missing_attribute_value_raises():
+    with pytest.raises(XMLSyntaxError):
+        list(tokenize("<a id></a>"))
+
+
+def test_unquoted_attribute_value_raises():
+    with pytest.raises(XMLSyntaxError):
+        list(tokenize("<a id=3></a>"))
+
+
+def test_malformed_end_tag_raises():
+    with pytest.raises(XMLSyntaxError):
+        list(tokenize("<a></a b>"))
+
+
+def test_token_dataclass_is_frozen():
+    token = Token(TokenType.TEXT, "x", 0)
+    with pytest.raises(AttributeError):
+        token.value = "y"

@@ -1,0 +1,80 @@
+"""Tests for XML serialisation (round-trips through the parser)."""
+
+from __future__ import annotations
+
+from repro.xmlkit.model import Document, Element
+from repro.xmlkit.parser import parse_string
+from repro.xmlkit.writer import (
+    document_to_string,
+    element_to_string,
+    escape_attribute,
+    escape_text,
+    write_document,
+)
+
+
+def test_escape_text_handles_markup_characters():
+    assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+
+def test_escape_attribute_also_escapes_quotes():
+    assert escape_attribute('say "hi" & bye') == "say &quot;hi&quot; &amp; bye"
+
+
+def test_empty_element_serialises_as_self_closing():
+    assert element_to_string(Element("a"), pretty=False) == "<a/>"
+
+
+def test_attributes_are_serialised_from_the_mapping_once():
+    element = Element("item")
+    element.set_attribute("id", "1")
+    text = element_to_string(element, pretty=False)
+    assert text.count("id=") == 1
+    assert "@id" not in text
+
+
+def test_document_declaration_is_optional():
+    document = Document(Element("a"))
+    with_decl = document_to_string(document)
+    without_decl = document_to_string(document, declaration=False)
+    assert with_decl.startswith("<?xml")
+    assert not without_decl.startswith("<?xml")
+
+
+def test_round_trip_preserves_structure_and_text():
+    source = '<a id="1"><b>one &amp; two</b><c/><d lang="en">x</d></a>'
+    document = parse_string(source)
+    rewritten = document_to_string(document, pretty=False, declaration=False)
+    reparsed = parse_string(rewritten)
+    assert [node.tag for node in reparsed.iter()] == [node.tag for node in document.iter()]
+    assert reparsed.root.children[0].text == "one & two" or reparsed.root.find_descendants("b")[0].text == "one & two"
+
+
+def test_round_trip_preserves_attribute_values():
+    source = '<a><b ref="x &amp; y"/></a>'
+    reparsed = parse_string(document_to_string(parse_string(source), pretty=False))
+    b = reparsed.root.find_descendants("b")[0]
+    assert b.attributes["ref"] == "x & y"
+
+
+def test_pretty_output_is_indented():
+    document = parse_string("<a><b><c>x</c></b></a>")
+    text = document_to_string(document, pretty=True)
+    assert "\n" in text
+    assert "    <c>" in text
+
+
+def test_write_document_returns_byte_count(tmp_path):
+    document = parse_string("<a><b>x</b></a>")
+    path = tmp_path / "out.xml"
+    written = write_document(document, str(path))
+    assert written == len(path.read_bytes())
+    assert parse_string(path.read_text()).root.tag == "a"
+
+
+def test_generated_dataset_round_trips(shakespeare_document):
+    text = document_to_string(shakespeare_document)
+    reparsed = parse_string(text)
+    assert reparsed.count_nodes() == shakespeare_document.count_nodes()
+    assert reparsed.max_depth() == shakespeare_document.max_depth()
+    assert reparsed.distinct_tags() == shakespeare_document.distinct_tags()

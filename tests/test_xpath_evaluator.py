@@ -1,0 +1,114 @@
+"""Tests for the naive XPath evaluator (the correctness oracle)."""
+
+from __future__ import annotations
+
+from repro.xpath.evaluator import evaluate, evaluate_query_tree
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+from tests.conftest import EXAMPLE_QUERY
+
+
+def run(document, text):
+    return evaluate(document, parse_xpath(text))
+
+
+def test_root_child_step(protein_document):
+    assert [node.tag for node in run(protein_document, "/ProteinDatabase")] == ["ProteinDatabase"]
+    assert run(protein_document, "/WrongRoot") == []
+
+
+def test_child_chain(protein_document):
+    names = [node.text for node in run(protein_document, "/ProteinDatabase/ProteinEntry/protein/name")]
+    assert names == ["cytochrome c [validated]", "hemoglobin beta", "cytochrome c2"]
+
+
+def test_descendant_axis_finds_all_matches(protein_document):
+    authors = run(protein_document, "//author")
+    assert len(authors) == 4
+
+
+def test_descendant_axis_can_match_the_root(tiny_document):
+    assert [node.tag for node in run(tiny_document, "//a")] == ["a"]
+
+
+def test_interior_descendant_axis(protein_document):
+    titles = run(protein_document, "/ProteinDatabase//title")
+    assert len(titles) == 3
+
+
+def test_value_predicate_on_trailing_path(protein_document):
+    result = run(protein_document, '/ProteinDatabase/ProteinEntry//author = "Evans, M.J."')
+    assert len(result) == 2
+    assert all(node.text == "Evans, M.J." for node in result)
+
+
+def test_existence_branch(tiny_document):
+    result = run(tiny_document, "/a/b[c]")
+    assert [node.attributes.get("id") for node in result] == ["1"]
+
+
+def test_branch_with_value(protein_document):
+    result = run(
+        protein_document,
+        '/ProteinDatabase/ProteinEntry[protein/classification/superfamily = "globin"]/protein/name',
+    )
+    assert [node.text for node in result] == ["hemoglobin beta"]
+
+
+def test_conjunctive_branch(protein_document):
+    result = run(
+        protein_document,
+        '/ProteinDatabase/ProteinEntry/reference/refinfo[year = "2001" and title]/authors/author',
+    )
+    assert len(result) == 3
+
+
+def test_attribute_predicate(tiny_document):
+    result = run(tiny_document, '/a/b[@id = "2"]/d/c')
+    assert [node.text for node in result] == ["z"]
+
+
+def test_wildcard_step(tiny_document):
+    result = run(tiny_document, "/a/*")
+    assert [node.tag for node in result] == ["b", "b", "e"]
+
+
+def test_results_are_in_document_order_without_duplicates(tiny_document):
+    result = run(tiny_document, "//c")
+    texts = [node.text for node in result]
+    assert texts == ["x", "y", "z"]
+    assert len(set(map(id, result))) == len(result)
+
+
+def test_paper_example_query(protein_document):
+    result = run(protein_document, EXAMPLE_QUERY)
+    assert [node.text for node in result] == ["The human somatic cytochrome c gene"]
+
+
+def test_query_tree_evaluation_matches_path_evaluation(protein_document):
+    for text in (
+        "/ProteinDatabase/ProteinEntry/protein/name",
+        "//refinfo[citation]/title" if False else "//refinfo[authors]/title",
+        '/ProteinDatabase/ProteinEntry[protein//superfamily = "cytochrome c"]/reference/refinfo/title',
+        EXAMPLE_QUERY,
+    ):
+        path = parse_xpath(text)
+        from_path = evaluate(protein_document, path)
+        from_tree = evaluate_query_tree(protein_document, build_query_tree(path))
+        assert [id(node) for node in from_path] == [id(node) for node in from_tree], text
+
+
+def test_branch_requires_all_conjuncts(protein_document):
+    result = run(
+        protein_document,
+        '/ProteinDatabase/ProteinEntry/reference/refinfo[year = "1999" and title = "missing"]/title',
+    )
+    assert result == []
+
+
+def test_descendant_branch(protein_document):
+    result = run(
+        protein_document,
+        '/ProteinDatabase/ProteinEntry[//superfamily = "cytochrome c"]/protein/name',
+    )
+    assert [node.text for node in result] == ["cytochrome c [validated]", "cytochrome c2"]

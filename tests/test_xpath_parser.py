@@ -1,0 +1,185 @@
+"""Tests for the XPath subset parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnsupportedQueryError, XPathSyntaxError
+from repro.xpath.ast import Axis, count_axis_steps
+from repro.xpath.parser import parse_many, parse_xpath
+
+
+def test_simple_child_path():
+    path = parse_xpath("/a/b/c")
+    assert path.absolute
+    assert [step.node_test for step in path.steps] == ["a", "b", "c"]
+    assert all(step.axis is Axis.CHILD for step in path.steps)
+    assert path.is_simple_path()
+
+
+def test_leading_descendant_axis():
+    path = parse_xpath("//protein/name")
+    assert path.steps[0].axis is Axis.DESCENDANT
+    assert path.steps[1].axis is Axis.CHILD
+    assert path.is_suffix_path()
+    assert not path.is_simple_path()
+
+
+def test_interior_descendant_axis():
+    path = parse_xpath("/a//b/c")
+    assert path.steps[1].axis is Axis.DESCENDANT
+    assert path.has_interior_descendant_axis
+    assert not path.is_suffix_path()
+
+
+def test_trailing_value_comparison():
+    path = parse_xpath('/a/b = "hello world"')
+    assert path.value == "hello world"
+    assert path.steps[-1].node_test == "b"
+
+
+def test_single_quoted_literals():
+    path = parse_xpath("/a/b = 'x'")
+    assert path.value == "x"
+
+
+def test_branch_predicate_with_path_only():
+    path = parse_xpath("/a/b[c/d]/e")
+    predicates = path.steps[1].predicates
+    assert len(predicates) == 1
+    assert predicates[0].value is None
+    assert [s.node_test for s in predicates[0].path.steps] == ["c", "d"]
+
+
+def test_branch_predicate_with_value():
+    path = parse_xpath('/a/b[c = "5"]/d')
+    assert path.steps[1].predicates[0].value == "5"
+
+
+def test_predicate_with_descendant_axis():
+    path = parse_xpath('/a/b[//c = "x"]/d')
+    predicate_path = path.steps[1].predicates[0].path
+    assert predicate_path.steps[0].axis is Axis.DESCENDANT
+
+
+def test_conjunction_inside_one_predicate():
+    path = parse_xpath('/a/b[c = "1" and d]/e')
+    assert len(path.steps[1].predicates) == 2
+    assert path.steps[1].predicates[0].value == "1"
+    assert path.steps[1].predicates[1].value is None
+
+
+def test_multiple_bracketed_predicates():
+    path = parse_xpath("/a/b[c][d]/e")
+    assert len(path.steps[1].predicates) == 2
+
+
+def test_nested_predicates():
+    path = parse_xpath("/a/b[c[d and e]]/f")
+    outer = path.steps[1].predicates[0]
+    assert len(outer.path.steps[0].predicates) == 2
+
+
+def test_attribute_tests():
+    path = parse_xpath('/site/people/person[@id = "person0"]/name')
+    predicate = path.steps[2].predicates[0]
+    assert predicate.path.steps[0].node_test == "@id"
+    assert predicate.value == "person0"
+
+
+def test_wildcard_step():
+    path = parse_xpath("/a/*/c")
+    assert path.steps[1].is_wildcard
+    assert path.has_wildcards
+
+
+def test_the_paper_example_query_parses():
+    from tests.conftest import EXAMPLE_QUERY
+
+    path = parse_xpath(EXAMPLE_QUERY)
+    assert [step.node_test for step in path.steps] == [
+        "proteinDatabase" if False else "ProteinDatabase",
+        "ProteinEntry",
+        "reference",
+        "refinfo",
+        "title",
+    ]
+    assert len(path.steps[1].predicates) == 1
+    assert len(path.steps[3].predicates) == 2
+
+
+def test_whitespace_is_tolerated():
+    path = parse_xpath('  /a / b [ c = "v" ] / d  ')
+    assert [step.node_test for step in path.steps] == ["a", "b", "d"]
+
+
+def test_round_trip_through_to_xpath():
+    texts = [
+        "/a/b/c",
+        "//a/b",
+        "/a//b",
+        '/a/b[c = "1"][d]/e',
+        '/a/b//c = "v"',
+    ]
+    for text in texts:
+        path = parse_xpath(text)
+        assert parse_xpath(path.to_xpath()) == path
+
+
+def test_count_axis_steps_spans_predicates():
+    path = parse_xpath("/a/b[c//d]/e")
+    child, descendant = count_axis_steps(path)
+    assert child == 4
+    assert descendant == 1
+
+
+def test_parse_many():
+    paths = parse_many(("/a", "//b"))
+    assert len(paths) == 2
+
+
+def test_relative_query_is_rejected():
+    with pytest.raises(UnsupportedQueryError):
+        parse_xpath("a/b")
+
+
+def test_or_is_rejected():
+    with pytest.raises(UnsupportedQueryError):
+        parse_xpath("/a/b[c or d]")
+
+
+def test_positional_predicates_are_rejected():
+    with pytest.raises(UnsupportedQueryError):
+        parse_xpath("/a/b[1]")
+
+
+def test_explicit_axis_syntax_is_rejected():
+    with pytest.raises(UnsupportedQueryError):
+        parse_xpath("/a/child::b")
+    with pytest.raises(UnsupportedQueryError):
+        parse_xpath("/a/ancestor::b")
+
+
+def test_empty_expression_raises():
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("   ")
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("/a/b)")
+
+
+def test_unterminated_literal_raises():
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath('/a/b = "oops')
+
+
+def test_unterminated_predicate_raises():
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("/a/b[c")
+
+
+def test_missing_name_raises():
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("/a//")

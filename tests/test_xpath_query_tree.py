@@ -1,0 +1,123 @@
+"""Tests for the query-tree representation (paper Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xpath.ast import Axis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+from tests.conftest import EXAMPLE_QUERY
+
+
+def tree_for(text):
+    return build_query_tree(parse_xpath(text))
+
+
+def test_trunk_becomes_a_chain():
+    tree = tree_for("/a/b/c")
+    assert tree.root.tag == "a"
+    assert tree.root.children[0].tag == "b"
+    assert tree.root.children[0].children[0].tag == "c"
+    assert tree.node_count == 3
+
+
+def test_return_node_is_the_last_trunk_step():
+    tree = tree_for("/a/b/c")
+    assert tree.return_node.tag == "c"
+    assert not tree.root.is_return
+
+
+def test_predicates_become_branches():
+    tree = tree_for('/a/b[c = "1"]/d')
+    b = tree.root.children[0]
+    tags = sorted(child.tag for child in b.children)
+    assert tags == ["c", "d"]
+    c = next(child for child in b.children if child.tag == "c")
+    assert c.value == "1"
+    assert tree.return_node.tag == "d"
+
+
+def test_axes_are_preserved_on_edges():
+    tree = tree_for("/a//b[//c]/d")
+    b = tree.root.children[0]
+    assert b.axis is Axis.DESCENDANT
+    c = next(child for child in b.children if child.tag == "c")
+    assert c.axis is Axis.DESCENDANT
+    d = next(child for child in b.children if child.tag == "d")
+    assert d.axis is Axis.CHILD
+
+
+def test_trailing_value_lands_on_the_return_node():
+    tree = tree_for('/a/b//author = "Evans"')
+    assert tree.return_node.tag == "author"
+    assert tree.return_node.value == "Evans"
+
+
+def test_branching_points_follow_the_paper_definition():
+    tree = tree_for("/a/b[c]/d")
+    branching_tags = {node.tag for node in tree.branching_points}
+    assert branching_tags == {"b"}
+    # A return node with children is also a branching point.
+    tree2 = tree_for("/a/b[c]")
+    assert {node.tag for node in tree2.branching_points} == {"b"}
+
+
+def test_paper_example_query_tree_shape():
+    tree = tree_for(EXAMPLE_QUERY)
+    # Figure 3: 9 query nodes, branching at ProteinEntry and refinfo.
+    assert tree.node_count == 9
+    assert {node.tag for node in tree.branching_points} == {"ProteinEntry", "refinfo"}
+    assert tree.return_node.tag == "title"
+    assert tree.descendant_edge_count == 2
+
+
+def test_path_and_suffix_path_classification():
+    assert tree_for("/a/b/c").is_suffix_path_query()
+    assert tree_for("//a/b").is_suffix_path_query()
+    assert not tree_for("/a//b").is_suffix_path_query()
+    assert tree_for("/a//b").is_path_query()
+    assert not tree_for("/a/b[c]/d").is_path_query()
+
+
+def test_edge_counts_used_by_section_42():
+    tree = tree_for("/a/b[c]//d")
+    assert tree.descendant_edge_count == 1
+    assert tree.non_descendant_branch_edges == 1
+
+
+def test_clone_is_deep():
+    tree = tree_for("/a/b[c]/d")
+    clone = tree.clone()
+    clone.root.children[0].children[0].tag = "changed"
+    assert tree.root.children[0].children[0].tag != "changed"
+
+
+def test_nested_predicates_build_nested_branches():
+    tree = tree_for("/a/b[c[d and e]]/f")
+    b = tree.root.children[0]
+    c = next(child for child in b.children if child.tag == "c")
+    assert sorted(child.tag for child in c.children) == ["d", "e"]
+
+
+def test_to_xpath_reparses_to_an_equivalent_tree(protein_document):
+    from repro.xpath.evaluator import evaluate_query_tree
+
+    for text in ("/ProteinDatabase/ProteinEntry/protein/name",
+                 '/ProteinDatabase/ProteinEntry[protein/classification/superfamily = "globin"]/protein/name',
+                 "//refinfo[authors/author]/title"):
+        tree = tree_for(text)
+        rendered = tree.to_xpath()
+        reparsed = build_query_tree(parse_xpath(rendered))
+        original_result = [node.text for node in evaluate_query_tree(protein_document, tree)]
+        reparsed_result = [node.text for node in evaluate_query_tree(protein_document, reparsed)]
+        assert original_result == reparsed_result
+
+
+def test_relative_path_cannot_build_a_tree():
+    from repro.exceptions import UnsupportedQueryError
+    from repro.xpath.ast import LocationPath, Step
+
+    relative = LocationPath(steps=(Step(Axis.CHILD, "a"),), absolute=False)
+    with pytest.raises(UnsupportedQueryError):
+        build_query_tree(relative)

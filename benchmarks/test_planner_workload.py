@@ -1,0 +1,65 @@
+"""Planner acceptance benchmark: auto never regresses, and measurably wins.
+
+Runs every Figure 10 query (all three datasets) plus the XMark benchmark
+queries through the cost-based planner and through the seed's default
+(Push-Up over the memory engine), asserting that
+
+* the planner's answers are identical,
+* the planner never visits more elements than the seed default, and
+* at least one query is measurably improved — by translator choice
+  (fewer visited elements) and by engine choice (the holistic twig join
+  removing binary-join comparisons).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import planner_explain_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return planner_explain_report(scale=1, repeats=1)
+
+
+def test_covers_the_whole_workload(report):
+    names = {(row["dataset"], row["query"]) for row in report}
+    assert {"QS1", "QS2", "QS3"} <= {q for d, q in names if d == "shakespeare"}
+    assert {"QP1", "QP2", "QP3"} <= {q for d, q in names if d == "protein"}
+    assert {"QA1", "QA2", "QA3", "Q1", "Q2", "Q4", "Q5", "Q6"} <= {
+        q for d, q in names if d == "auction"
+    }
+
+
+def test_auto_always_matches_the_seed_answers(report):
+    assert all(row["matches_seed"] for row in report)
+
+
+def test_auto_never_visits_more_elements_than_the_seed(report):
+    for row in report:
+        assert row["auto_elements"] <= row["seed_elements"], row
+
+
+def test_element_estimates_are_exact(report):
+    """The cost model's element estimates equal the actual visited counts."""
+    for row in report:
+        assert row["estimated_elements"] == row["auto_elements"], row
+
+
+def test_translator_choice_measurably_improves_some_queries(report):
+    improved = [row for row in report if row["auto_elements"] < row["seed_elements"]]
+    assert improved, "expected at least one query improved by plan choice"
+    # QS2's unfolded plan replaces the pushed-up range scans with exact
+    # simple-path lookups and is the workload's clearest win.
+    qs2 = next(row for row in report if row["query"] == "QS2")
+    assert qs2["auto_elements"] < qs2["seed_elements"]
+
+
+def test_engine_choice_measurably_improves_some_queries(report):
+    """On at least one branchy query the planner's pick eliminates binary
+    D-join comparison work relative to the seed pipeline."""
+    improved = [
+        row for row in report if row["auto_comparisons"] < row["seed_comparisons"]
+    ]
+    assert improved, "expected at least one query improved by engine/join-order choice"

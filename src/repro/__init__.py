@@ -4,7 +4,10 @@ A full reproduction of *BLAS: An Efficient XPath Processing System*
 (Chen, Davidson, Zheng -- SIGMOD 2004): P-labeling and D-labeling of XML
 documents, the Split / Push-Up / Unfold query translators, a D-labeling
 baseline, and three query engines (instrumented structural joins, holistic
-twig joins, and SQL on SQLite).
+twig joins, and SQL on SQLite) — plus, beyond the paper, a cost-based query
+planner that picks the translator, join order and engine per query
+(``translator="auto"`` / ``engine="auto"``, the defaults) and executes
+through a pipelined physical-operator layer with an LRU plan cache.
 
 Quickstart::
 
@@ -31,6 +34,7 @@ from repro.exceptions import (
     XMLSyntaxError,
     XPathSyntaxError,
 )
+from repro.planner import Cost, PlanCache, PlannedQuery, PhysicalPlan, QueryPlanner
 from repro.system import BLAS
 from repro.xmlkit.model import Document, Element
 from repro.xmlkit.parser import parse_document, parse_string

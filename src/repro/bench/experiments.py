@@ -198,3 +198,45 @@ def sec42_join_counts(scale: int = 1) -> List[Dict[str, object]]:
                 row[f"djoins_{translator}"] = plan.metrics().d_joins
             rows.append(row)
     return rows
+
+
+# -- Planner EXPLAIN report (the cost-based optimizer's choices) ------------------------
+
+
+def planner_explain_report(scale: int = 1, repeats: int = 1) -> List[Dict[str, object]]:
+    """One row per workload query: the planner's choice vs the seed default.
+
+    Runs every Figure 10 query (all three datasets) plus the XMark benchmark
+    queries through ``translator="auto"``/``engine="auto"`` and through the
+    seed's Push-Up + memory pair, reporting chosen translator/engine,
+    estimated and actual visited elements, and join comparisons.  This is
+    the data behind the ``experiment explain`` CLI table and the planner
+    benchmark assertions.
+    """
+    from repro.bench.harness import run_planner_comparison
+
+    rows: List[Dict[str, object]] = []
+    for dataset, query_names in FIGURE10_QUERIES.items():
+        bench = build_bench_system(dataset, scale=scale)
+        names = list(query_names)
+        if dataset == "auction":
+            names += BENCHMARK_NAMES
+        for query_name in names:
+            comparison = run_planner_comparison(
+                bench, bench.query_named(query_name), repeats=repeats
+            )
+            auto, seed = comparison["auto"], comparison["seed"]
+            rows.append({
+                "dataset": dataset,
+                "query": query_name,
+                "chosen_translator": auto["translator"],
+                "chosen_engine": auto["engine"],
+                "estimated_elements": auto["estimated_elements"],
+                "auto_elements": auto["elements_read"],
+                "seed_elements": seed["elements_read"],
+                "auto_comparisons": auto["comparisons"],
+                "seed_comparisons": seed["comparisons"],
+                "results": auto["results"],
+                "matches_seed": auto["starts"] == seed["starts"],
+            })
+    return rows

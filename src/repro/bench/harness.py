@@ -130,3 +130,42 @@ def run_translator_comparison(
             "djoins": result.stats.djoins_executed,
         }
     return rows
+
+
+def run_planner_comparison(
+    bench: BenchSystem, query: LocationPath, repeats: int = 3
+) -> Dict[str, Dict[str, object]]:
+    """Run one query under the cost-based planner and under the seed default.
+
+    Returns two rows — ``"auto"`` (the planner's pick, with the chosen
+    translator/engine and estimated cost attached) and ``"seed"`` (the
+    paper's Push-Up over the memory engine) — so benchmark assertions can
+    check the planner never regresses visited elements.
+    """
+    planned = bench.system.plan_query(query)
+    auto_elapsed, auto = time_call(lambda: bench.system.query(query), repeats=repeats)
+    seed_elapsed, seed = time_call(
+        lambda: bench.system.query(query, translator="pushup", engine="memory"),
+        repeats=repeats,
+    )
+    return {
+        "auto": {
+            "elapsed_seconds": auto_elapsed,
+            "results": auto.count,
+            "elements_read": auto.stats.elements_read,
+            "comparisons": auto.stats.comparisons,
+            "translator": auto.translator,
+            "engine": auto.engine,
+            "estimated_elements": planned.estimated.elements,
+            "starts": auto.starts,
+        },
+        "seed": {
+            "elapsed_seconds": seed_elapsed,
+            "results": seed.count,
+            "elements_read": seed.stats.elements_read,
+            "comparisons": seed.stats.comparisons,
+            "translator": "pushup",
+            "engine": "memory",
+            "starts": seed.starts,
+        },
+    }

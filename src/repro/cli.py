@@ -13,7 +13,12 @@ Three subcommands cover the everyday uses of the library:
 ``experiment``
     Run one of the paper-figure experiment drivers on the synthetic datasets
     and print its table (fig11, fig12, fig13, fig14, fig15, fig16, fig17,
-    fig18, sec42).
+    fig18, sec42), or ``explain`` for the cost-based planner's choices on
+    the whole workload.
+
+Queries default to ``--translator auto --engine auto`` (the cost-based
+planner); ``--explain`` prints the planner's EXPLAIN — candidates, the
+chosen physical plan, and estimated vs. actual cost.
 """
 
 from __future__ import annotations
@@ -24,10 +29,11 @@ from typing import List, Optional
 
 from repro.bench import experiments
 from repro.bench.reporting import format_table
-from repro.system import BLAS, ENGINE_NAMES, TRANSLATOR_NAMES
+from repro.system import BLAS, ENGINE_CHOICES, TRANSLATOR_CHOICES, TRANSLATOR_NAMES
 
 EXPERIMENT_NAMES = (
     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "sec42",
+    "explain",
 )
 
 
@@ -42,10 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
     query = subparsers.add_parser("query", help="index an XML file and run an XPath query")
     query.add_argument("file", help="path to the XML document")
     query.add_argument("xpath", help="the XPath query (supported subset: /, //, [..], =)")
-    query.add_argument("--translator", choices=TRANSLATOR_NAMES, default="pushup")
-    query.add_argument("--engine", choices=ENGINE_NAMES, default="memory")
+    query.add_argument("--translator", choices=TRANSLATOR_CHOICES, default="auto")
+    query.add_argument("--engine", choices=ENGINE_CHOICES, default="auto")
     query.add_argument("--show-plan", action="store_true", help="print the logical plan")
     query.add_argument("--show-sql", action="store_true", help="print the generated SQL")
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print the planner's EXPLAIN (candidates, physical plan, estimated vs actual cost)",
+    )
     query.add_argument("--limit", type=int, default=20, help="maximum result rows to print")
 
     plan = subparsers.add_parser("plan", help="show every translator's plan for a query")
@@ -66,16 +76,41 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_query(args: argparse.Namespace) -> int:
     system = BLAS.from_file(args.file)
-    outcome = system.translate(args.xpath, args.translator)
-    if args.show_plan:
-        print(outcome.plan.describe())
-        print()
-    if args.show_sql:
-        print(outcome.sql)
-        print()
+    # Translation is only needed for the plan/SQL printouts; the query call
+    # below plans for itself (and a second translate would double the
+    # optimizer work on the planner-routed path).
+    if args.show_plan or args.show_sql:
+        outcome = system.translate(args.xpath, args.translator)
+        if args.show_plan:
+            print(outcome.plan.describe())
+            print()
+        if args.show_sql:
+            print(outcome.sql)
+            print()
     result = system.query(args.xpath, translator=args.translator, engine=args.engine)
+    if args.explain:
+        if result.planned is not None:
+            print(result.planned.explain(actual=result))
+        else:
+            # Fully explicit pair: the planner was bypassed, so show the
+            # faithful plan that actually ran, not an optimizer candidate.
+            executed = system.translate(args.xpath, args.translator)
+            if args.engine in ("memory", "twig"):
+                from repro.planner.cost import CostModel
+                from repro.planner.physical import lower_plan
+
+                model = CostModel(system.catalog.statistics())
+                print(lower_plan(executed.plan, mode="faithful",
+                                 engine=args.engine, model=model).describe())
+            else:
+                print(executed.sql)
+            print(f"actual: elements_read={result.stats.elements_read} "
+                  f"comparisons={result.stats.comparisons} "
+                  f"djoins={result.stats.djoins_executed} results={result.count}")
+        print()
     print(f"{result.count} result node(s) "
-          f"[translator={args.translator}, engine={args.engine}, "
+          f"[translator={result.translator or args.translator}, "
+          f"engine={result.engine or args.engine}, "
           f"{result.elapsed_seconds * 1000:.2f} ms, "
           f"{result.stats.elements_read} elements read]")
     rows = [
@@ -174,6 +209,18 @@ def _run_experiment(args: argparse.Namespace) -> int:
         print(format_table(
             ["replication", "dlabel (ms/elems)", "split", "pushup"], rows,
             title=f"Figure {name[3:]} — scalability of {query_name}",
+        ))
+    elif name == "explain":
+        rows = [
+            [r["dataset"], r["query"], f"{r['chosen_translator']}/{r['chosen_engine']}",
+             r["estimated_elements"], r["auto_elements"], r["seed_elements"],
+             r["auto_comparisons"], r["seed_comparisons"]]
+            for r in experiments.planner_explain_report(scale=args.scale)
+        ]
+        print(format_table(
+            ["dataset", "query", "chosen plan", "est elems", "auto elems",
+             "seed elems", "auto cmp", "seed cmp"],
+            rows, title="Cost-based planner — chosen plans vs the seed default",
         ))
     else:  # sec42
         rows = [

@@ -1,181 +1,60 @@
 """Plan executor over the instrumented storage engine.
 
-Runs a :class:`~repro.translate.plan.QueryPlan` against a
-:class:`~repro.storage.table.StorageCatalog`: selections use the clustered
-tables and B+ tree indexes (counting every record touched), D-joins use the
-stack-based binary structural join, and union branches are concatenated and
-de-duplicated.  This is the engine behind every "visited elements"
-measurement and also the pure-Python reference execution used in the
-correctness tests.
+Runs plans against a :class:`~repro.storage.table.StorageCatalog` through
+the pipelined physical-operator layer (:mod:`repro.planner.physical`):
+selections stream into stack-based binary structural joins, union branches
+are concatenated, and a final dedup emits results in document order.
+
+Logical :class:`~repro.translate.plan.QueryPlan` inputs are lowered in
+*faithful* mode, which reproduces the seed executor exactly — selections
+evaluated eagerly in declaration order (counting every record touched, with
+the short-circuit on an empty selection), D-joins in the translator's
+declared order — so every "visited elements" measurement of the paper
+reproduction is unchanged.  The cost-based planner hands
+:meth:`PlanExecutor.execute_physical` already-optimized
+:class:`~repro.planner.physical.PhysicalPlan` trees instead.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.core.indexer import NodeRecord
 from repro.engine.results import QueryResult
-from repro.engine.structural_join import structural_join
-from repro.exceptions import PlanError
+from repro.planner.physical import ExecutionContext, PhysicalPlan, lower_plan
 from repro.storage.stats import AccessStatistics
 from repro.storage.table import StorageCatalog
-from repro.translate.plan import ConjunctivePlan, QueryPlan, SelectionKind, SelectionSpec
-
-Row = Dict[str, NodeRecord]
+from repro.translate.plan import QueryPlan
 
 
 class PlanExecutor:
-    """Executes logical plans on the instrumented storage."""
+    """Executes logical and physical plans on the instrumented storage."""
 
     def __init__(self, catalog: StorageCatalog):
         self.catalog = catalog
 
-    # -- selections ----------------------------------------------------------
-
-    def run_selection(self, selection: SelectionSpec, stats: AccessStatistics) -> List[NodeRecord]:
-        """Evaluate one selection via the appropriate access path."""
-        if selection.kind is SelectionKind.EMPTY:
-            return []
-        table = self.catalog.table_for(selection.source)
-        if selection.kind is SelectionKind.PLABEL_EQ:
-            return table.select_plabel_eq(
-                selection.plabel_low,
-                stats=stats,
-                alias=selection.alias,
-                data_eq=selection.data_eq,
-                level_eq=selection.level_eq,
-            )
-        if selection.kind is SelectionKind.PLABEL_RANGE:
-            return table.select_plabel_range(
-                selection.plabel_low,
-                selection.plabel_high,
-                stats=stats,
-                alias=selection.alias,
-                data_eq=selection.data_eq,
-                level_eq=selection.level_eq,
-            )
-        if selection.kind is SelectionKind.TAG:
-            return table.select_tag(
-                selection.tag,
-                stats=stats,
-                alias=selection.alias,
-                data_eq=selection.data_eq,
-                level_eq=selection.level_eq,
-            )
-        raise PlanError(f"unsupported selection kind {selection.kind}")  # pragma: no cover
-
-    # -- conjunctive branches ---------------------------------------------------
-
-    def run_branch(self, branch: ConjunctivePlan, stats: AccessStatistics) -> List[Row]:
-        """Evaluate one conjunctive branch; returns bound rows."""
-        if branch.is_empty:
-            return []
-        bindings: Dict[str, List[NodeRecord]] = {}
-        for selection in branch.selections:
-            records = self.run_selection(selection, stats)
-            if not records:
-                return []
-            bindings[selection.alias] = records
-
-        if not branch.joins:
-            return [{branch.return_alias: record} for record in bindings[branch.return_alias]]
-
-        rows: Optional[List[Row]] = None
-        for join in branch.join_order():
-            if rows is None:
-                pairs = structural_join(
-                    bindings[join.ancestor],
-                    bindings[join.descendant],
-                    level_gap=join.level_gap,
-                    min_level_gap=join.min_level_gap,
-                    stats=stats,
-                )
-                rows = [
-                    {
-                        join.ancestor: bindings[join.ancestor][a],
-                        join.descendant: bindings[join.descendant][d],
-                    }
-                    for a, d in pairs
-                ]
-            else:
-                rows = self._extend_rows(rows, bindings, join, stats)
-            if not rows:
-                return []
-        return rows or []
-
-    def _extend_rows(
-        self,
-        rows: List[Row],
-        bindings: Dict[str, List[NodeRecord]],
-        join,
-        stats: AccessStatistics,
-    ) -> List[Row]:
-        ancestor_bound = join.ancestor in rows[0]
-        descendant_bound = join.descendant in rows[0]
-        if ancestor_bound and descendant_bound:
-            return [
-                row
-                for row in rows
-                if _containment_holds(row[join.ancestor], row[join.descendant], join)
-            ]
-        if ancestor_bound:
-            bound_alias, new_alias, rows_are_ancestors = join.ancestor, join.descendant, True
-        elif descendant_bound:
-            bound_alias, new_alias, rows_are_ancestors = join.descendant, join.ancestor, False
-        else:
-            raise PlanError(f"join {join} is disconnected from previously joined aliases")
-
-        bound_records = [row[bound_alias] for row in rows]
-        new_records = bindings[new_alias]
-        if rows_are_ancestors:
-            pairs = structural_join(
-                bound_records, new_records, join.level_gap, join.min_level_gap, stats
-            )
-            return [dict(rows[a], **{new_alias: new_records[d]}) for a, d in pairs]
-        pairs = structural_join(
-            new_records, bound_records, join.level_gap, join.min_level_gap, stats
-        )
-        return [dict(rows[d], **{new_alias: new_records[a]}) for a, d in pairs]
-
-    # -- whole plans --------------------------------------------------------------
-
     def execute(self, plan: QueryPlan) -> QueryResult:
-        """Execute a plan; returns result records in document order."""
+        """Execute a logical plan (faithful, seed-identical lowering)."""
+        physical = lower_plan(plan, mode="faithful", engine="memory")
+        return self.execute_physical(physical)
+
+    def execute_physical(self, physical: PhysicalPlan) -> QueryResult:
+        """Drive a physical operator tree; results arrive in document order."""
         stats = AccessStatistics()
+        ctx = ExecutionContext(catalog=self.catalog, stats=stats)
         started = time.perf_counter()
-        seen: Dict[int, NodeRecord] = {}
-        for branch in plan.non_empty_branches():
-            for row in self.run_branch(branch, stats):
-                record = row[branch.return_alias]
-                seen[record.start] = record
+        records = list(physical.execute_records(ctx))
         elapsed = time.perf_counter() - started
-        starts = sorted(seen)
-        records = [seen[start] for start in starts]
+        starts = [record.start for record in records]
         stats.record_output(len(starts))
         return QueryResult(
             starts=starts,
             records=records,
             stats=stats,
             elapsed_seconds=elapsed,
-            engine="memory",
-            translator=plan.translator,
+            engine=physical.engine,
+            translator=physical.translator,
         )
-
-
-def _containment_holds(ancestor: NodeRecord, descendant: NodeRecord, join) -> bool:
-    if not (
-        ancestor.doc_id == descendant.doc_id
-        and ancestor.start < descendant.start
-        and ancestor.end > descendant.end
-    ):
-        return False
-    difference = descendant.level - ancestor.level
-    if join.level_gap is not None:
-        return difference == join.level_gap
-    if join.min_level_gap is not None:
-        return difference >= join.min_level_gap
-    return True
 
 
 def execute_plans(

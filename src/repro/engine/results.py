@@ -28,6 +28,9 @@ class QueryResult:
     engine: str = ""
     translator: str = ""
     sql: Optional[str] = None
+    #: The planner's PlannedQuery when the query routed through it
+    #: (``translator="auto"`` / ``engine="auto"``); ``None`` otherwise.
+    planned: Optional[object] = None
 
     @property
     def count(self) -> int:

@@ -25,13 +25,12 @@ single leaf's path solutions, which is the PathStack special case.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.indexer import NodeRecord
 from repro.engine.results import QueryResult
-from repro.exceptions import EngineError, PlanError
+from repro.exceptions import PlanError
 from repro.storage.stats import AccessStatistics
 from repro.storage.table import StorageCatalog
 from repro.translate.plan import ConjunctivePlan, QueryPlan, SelectionKind, SelectionSpec
@@ -228,41 +227,66 @@ class TwigStack:
 
     def merge_solutions(self) -> List[Dict[str, NodeRecord]]:
         """Natural-join the per-leaf path solutions into twig matches."""
+        return list(self._iter_merged_solutions())
+
+    def _iter_merged_solutions(self):
+        """The phase-two merge as a generator: all but the last join are
+        materialized (a hash join needs its build side complete), the final
+        one streams matches out one at a time."""
         leaves = self.pattern.leaves()
         if not leaves:
-            return []
+            return
         merged = self.path_solutions[leaves[0].name]
-        for leaf in leaves[1:]:
-            right = self.path_solutions[leaf.name]
-            merged = _natural_join(merged, right)
+        for leaf in leaves[1:-1]:
+            merged = _natural_join(merged, self.path_solutions[leaf.name])
             if not merged:
-                return []
-        return merged
+                return
+        if len(leaves) == 1:
+            yield from merged
+        else:
+            yield from _iter_natural_join(merged, self.path_solutions[leaves[-1].name])
 
     def matches(self) -> List[Dict[str, NodeRecord]]:
         """Run both phases and return the full twig matches."""
+        return list(self.iter_matches())
+
+    def iter_matches(self):
+        """Run both phases, yielding twig matches through a generator.
+
+        Phase one is inherently blocking (every path solution must exist
+        before the merge), but the final merge step streams: matches are
+        yielded one at a time, so a downstream pipelined operator starts
+        consuming before the full match list is materialized.
+        """
         self.run_phase_one()
-        return self.merge_solutions()
+        yield from self._iter_merged_solutions()
 
 
 def _natural_join(
     left: List[Dict[str, NodeRecord]], right: List[Dict[str, NodeRecord]]
 ) -> List[Dict[str, NodeRecord]]:
+    return list(_iter_natural_join(left, right))
+
+
+def _iter_natural_join(left, right):
+    """Hash-join two path-solution lists on their shared pattern names,
+    yielding combined solutions one at a time."""
     if not left or not right:
-        return []
+        return
     shared = sorted(set(left[0]) & set(right[0]))
     if not shared:
-        return [dict(l, **r) for l in left for r in right]
+        for l in left:
+            for r in right:
+                yield dict(l, **r)
+        return
     index: Dict[Tuple, List[Dict[str, NodeRecord]]] = {}
     for row in left:
         key = tuple(row[name].start for name in shared)
         index.setdefault(key, []).append(row)
-    joined: List[Dict[str, NodeRecord]] = []
     for row in right:
         key = tuple(row[name].start for name in shared)
         for match in index.get(key, ()):  # pragma: no branch - simple loop
-            joined.append(dict(match, **row))
-    return joined
+            yield dict(match, **row)
 
 
 class TwigJoinEngine:
@@ -316,32 +340,19 @@ class TwigJoinEngine:
         return TwigPattern(root=nodes[roots[0]], return_name=branch.return_alias)
 
     def execute(self, plan: QueryPlan) -> QueryResult:
-        """Execute a plan holistically; returns result nodes in document order."""
-        stats = AccessStatistics()
-        started = time.perf_counter()
-        seen: Dict[int, NodeRecord] = {}
-        for branch in plan.non_empty_branches():
-            if len(branch.selections) == 1 and not branch.joins:
-                for record in self._stream_for_selection(branch.selections[0], stats):
-                    seen[record.start] = record
-                continue
-            pattern = self.build_pattern(branch, stats)
-            if any(not node.stream for node in pattern.nodes()):
-                continue
-            twig = TwigStack(pattern)
-            for match in twig.matches():
-                record = match.get(branch.return_alias)
-                if record is None:
-                    raise EngineError("twig match is missing the return binding")
-                seen[record.start] = record
-        elapsed = time.perf_counter() - started
-        starts = sorted(seen)
-        stats.record_output(len(starts))
-        return QueryResult(
-            starts=starts,
-            records=[seen[start] for start in starts],
-            stats=stats,
-            elapsed_seconds=elapsed,
-            engine="twig",
-            translator=plan.translator,
-        )
+        """Execute a plan holistically; returns result nodes in document order.
+
+        Lowers the logical plan through the shared physical-operator layer
+        (faithful mode, so every stream is scanned exactly as the seed engine
+        did) and drives the resulting pipeline: each branch becomes a
+        :class:`~repro.planner.physical.TwigJoin` operator — or a bare scan
+        for a selection-only branch — under Union and Dedup.
+        """
+        # Imported here, not at module level: the physical layer's TwigJoin
+        # operator runs this module's TwigStack, so the modules reference
+        # each other lazily.
+        from repro.engine.executor import PlanExecutor
+        from repro.planner.physical import lower_plan
+
+        physical = lower_plan(plan, mode="faithful", engine="twig")
+        return PlanExecutor(self.catalog).execute_physical(physical)

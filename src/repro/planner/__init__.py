@@ -1,0 +1,84 @@
+"""Cost-based planning and the pipelined physical-operator layer.
+
+The seed reproduced the paper's stack faithfully but left plan choice to the
+caller: four translators emit the same logical
+:class:`~repro.translate.plan.QueryPlan` IR and three engines evaluate it,
+each with its own strategy.  This package adds the classic next layer:
+
+* :mod:`repro.planner.cost` — a cost model over the catalog's exact
+  histograms (:class:`~repro.storage.stats.CatalogStatistics`) that prices
+  every access path, D-join order and engine;
+* :mod:`repro.planner.physical` — the physical IR: generator-based
+  pipelined operators (IndexScan, RangeScan, TagScan, StructuralJoin,
+  TwigJoin, Union, Dedup, ...) behind one ``PhysicalOperator`` protocol;
+* :mod:`repro.planner.planner` — the optimizer: enumerate
+  ``translator x join-order x engine`` candidates, cost them, lower the
+  cheapest;
+* :mod:`repro.planner.cache` — the LRU plan cache keyed on
+  ``(query, document fingerprint)``.
+
+:class:`~repro.system.BLAS` routes ``translator="auto"`` /
+``engine="auto"`` (the defaults) through this package; explicit
+translator/engine names bypass it and behave exactly as the seed did.
+"""
+
+from repro.planner.cache import PlanCache, plan_key
+from repro.planner.cost import Cost, CostModel, BranchPlan
+from repro.planner.physical import (
+    ContainmentFilter,
+    Dedup,
+    EmptyScan,
+    ExecutionContext,
+    IndexScan,
+    PhysicalOperator,
+    PhysicalPlan,
+    Project,
+    RangeScan,
+    RecordOperator,
+    RowOperator,
+    ScanOperator,
+    StructuralJoin,
+    TagScan,
+    TwigJoin,
+    Union,
+    lower_branch,
+    lower_plan,
+    scan_for_selection,
+)
+from repro.planner.planner import (
+    AUTO_ENGINES,
+    PlanCandidate,
+    PlannedQuery,
+    QueryPlanner,
+)
+
+__all__ = [
+    "AUTO_ENGINES",
+    "BranchPlan",
+    "ContainmentFilter",
+    "Cost",
+    "CostModel",
+    "Dedup",
+    "EmptyScan",
+    "ExecutionContext",
+    "IndexScan",
+    "PhysicalOperator",
+    "PhysicalPlan",
+    "PlanCache",
+    "PlanCandidate",
+    "PlannedQuery",
+    "Project",
+    "QueryPlanner",
+    "RangeScan",
+    "RecordOperator",
+    "RowOperator",
+    "ScanOperator",
+    "StructuralJoin",
+    "TagScan",
+    "TwigJoin",
+    "Union",
+    "lower_branch",
+    "lower_plan",
+    "plan_key",
+    "scan_for_selection",
+]

@@ -1,0 +1,74 @@
+"""A small LRU cache for planned queries.
+
+Planning a query costs several translations plus candidate enumeration;
+workloads re-run the same queries constantly (every benchmark sweep does),
+so :class:`~repro.system.BLAS` keeps a :class:`PlanCache` keyed on
+``(query text, requested translator, requested engine, document
+fingerprint)``.  The fingerprint ties a cached plan to the indexed content:
+a system over different data can never be served another document's plan,
+and tests exercise exactly that invalidation property.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+
+class PlanCache:
+    """Least-recently-used mapping from plan keys to planned queries."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value, refreshed as most recently used, or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) a value, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def info(self) -> Dict[str, int]:
+        """Counters snapshot (for tests and reports)."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+def plan_key(
+    query_text: str, translator: str, engine: str, fingerprint: str
+) -> Tuple[str, str, str, str]:
+    """The canonical cache key for one planned query."""
+    return (query_text, translator, engine, fingerprint)

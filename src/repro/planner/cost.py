@@ -1,0 +1,283 @@
+"""The planner's cost model.
+
+Prices the two decisions the optimizer makes for a logical
+:class:`~repro.translate.plan.QueryPlan`:
+
+* **Access paths** — how many records each :class:`SelectionKind` scan will
+  touch.  The clustered tables are immutable after indexing and the catalog
+  keeps exact tag and plabel histograms plus residual-value locations
+  (:class:`~repro.storage.stats.TableStatistics`), so both scan sizes and
+  post-predicate outputs are *exact*, not estimates.  That exactness is
+  load-bearing for the planner's guarantee of never visiting more elements
+  than the seed default (Push-Up over the memory engine): the seed is
+  itself a candidate, every non-empty candidate's element cost is its true
+  "visited elements" count, and a branch containing a provably empty
+  selection — the one case where the seed scans *less* than the full sum by
+  short-circuiting — is pruned to zero scans outright.
+
+* **D-join orders and engines** — estimated CPU work.  Join outputs are
+  estimated from the residual-filtered selection outputs (a structural join
+  cannot produce more rows than its smaller filtered input, per-document
+  nesting keeps ancestors of one node on a single path), and the memory
+  engine's left-deep pipeline is compared against the holistic twig join's
+  stream-once evaluation.
+
+Costs compare lexicographically: exact elements first, estimated CPU as the
+tie-breaker.  Ties beyond that fall back to the seed's preference order
+(Push-Up before Split/Unfold/DLabel, memory before twig) so the planner is
+deterministic and degrades to the paper's defaults when costing cannot
+separate the candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.stats import CatalogStatistics
+from repro.translate.plan import ConjunctivePlan, JoinSpec, QueryPlan, SelectionKind, SelectionSpec
+
+#: Seed-compatible preference orders used as final tie-breakers.
+TRANSLATOR_PREFERENCE = ("pushup", "split", "unfold", "dlabel")
+ENGINE_PREFERENCE = ("memory", "twig", "sqlite")
+
+
+@dataclass(frozen=True)
+class Cost:
+    """A candidate's price: exact elements scanned + estimated CPU work."""
+
+    elements: int
+    cpu: float
+
+    def key(self) -> Tuple[int, float]:
+        """Lexicographic comparison key (elements dominate)."""
+        return (self.elements, self.cpu)
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.elements + other.elements, self.cpu + other.cpu)
+
+    def describe(self) -> str:
+        """Short human-readable rendering for EXPLAIN output."""
+        return f"elements={self.elements} cpu={self.cpu:.1f}"
+
+
+ZERO_COST = Cost(0, 0.0)
+
+
+@dataclass
+class BranchPlan:
+    """The costed shape of one conjunctive branch.
+
+    ``join_order`` is the optimizer's chosen order (greedy smallest
+    intermediate first); ``statically_empty`` marks branches the histograms
+    prove can produce no rows, which the lowering replaces with an empty
+    operator so not a single record is scanned for them.
+    """
+
+    branch: ConjunctivePlan
+    join_order: List[JoinSpec]
+    scan_elements: int
+    statically_empty: bool
+    output_estimates: Dict[str, float]
+    result_estimate: float
+
+
+class CostModel:
+    """Costs selections, join orders and engines against one catalog."""
+
+    def __init__(self, statistics: CatalogStatistics):
+        self.statistics = statistics
+
+    # -- selections -------------------------------------------------------------
+
+    def selection_cardinality(self, selection: SelectionSpec) -> int:
+        """Exact number of records the selection's access path will scan."""
+        if selection.kind is SelectionKind.EMPTY:
+            return 0
+        table = self.statistics.table(selection.source)
+        if selection.kind is SelectionKind.PLABEL_EQ:
+            return table.plabel_eq_count(selection.plabel_low)
+        if selection.kind is SelectionKind.PLABEL_RANGE:
+            return table.plabel_range_count(selection.plabel_low, selection.plabel_high)
+        return table.tag_count(selection.tag)
+
+    def selection_output(self, selection: SelectionSpec) -> float:
+        """Exact rows the selection emits after residual predicates.
+
+        Like the cardinalities, these are exact — the histograms keep
+        residual-value locations — which lets the planner prove a selection
+        empty *after* its ``data``/``level`` predicates and prune the whole
+        branch.  The seed executor short-circuits on exactly that runtime
+        condition, so exactness here is what keeps the "never more elements
+        than the seed" guarantee airtight.
+        """
+        rows = self.selection_cardinality(selection)
+        if rows == 0:
+            return 0.0
+        table = self.statistics.table(selection.source)
+        in_plabel_cluster = selection.kind in (
+            SelectionKind.PLABEL_EQ, SelectionKind.PLABEL_RANGE
+        )
+        low = selection.plabel_low if in_plabel_cluster else None
+        high = (
+            (selection.plabel_high if selection.plabel_high is not None
+             else selection.plabel_low)
+            if in_plabel_cluster else None
+        )
+        tag = selection.tag if not in_plabel_cluster else None
+        if selection.data_eq is not None:
+            return float(table.data_eq_count(
+                selection.data_eq, low, high, tag, selection.level_eq
+            ))
+        if selection.level_eq is not None:
+            return float(table.level_eq_count(selection.level_eq, low, high, tag))
+        return float(rows)
+
+    # -- join orders -----------------------------------------------------------
+
+    @staticmethod
+    def join_output_estimate(left_rows: float, right_rows: float) -> float:
+        """Estimated output of one structural join.
+
+        Within one well-formed document the ancestors of any node sit on a
+        single root-to-node path, so the join output is bounded by the
+        smaller filtered input (up to a small path-length factor the model
+        ignores — it prices *relative* orders, not absolute work).
+        """
+        return min(left_rows, right_rows)
+
+    def order_joins(self, branch: ConjunctivePlan) -> BranchPlan:
+        """Pick a join order greedily, smallest estimated intermediate first.
+
+        Starts from the cheapest single join and repeatedly attaches the
+        connected join whose step (probe both inputs, emit the estimated
+        output) is cheapest.  The produced order always satisfies the
+        executor's invariant that every join touches an already-bound alias.
+        """
+        outputs = {s.alias: self.selection_output(s) for s in branch.selections}
+        scan_elements = sum(self.selection_cardinality(s) for s in branch.selections)
+        # A selection that is provably empty *after* residual predicates
+        # empties the branch — the seed would scan up to it and stop; the
+        # optimized plan skips every scan.
+        statically_empty = branch.is_empty or any(
+            outputs[s.alias] == 0.0 for s in branch.selections
+        )
+        if not branch.joins:
+            return BranchPlan(
+                branch=branch,
+                join_order=[],
+                scan_elements=scan_elements,
+                statically_empty=statically_empty,
+                output_estimates=outputs,
+                result_estimate=outputs.get(branch.return_alias, 0.0),
+            )
+
+        remaining = list(branch.joins)
+        ordered: List[JoinSpec] = []
+        bound: set = set()
+        component_rows = 0.0
+
+        def step_cost(join: JoinSpec) -> Tuple[float, float]:
+            if bound and join.ancestor in bound and join.descendant in bound:
+                # A pure containment filter: cheap, and cannot grow the rows.
+                return (component_rows, component_rows)
+            if not bound:
+                left = outputs[join.ancestor]
+                right = outputs[join.descendant]
+            else:
+                left = component_rows
+                new_alias = join.descendant if join.ancestor in bound else join.ancestor
+                right = outputs[new_alias]
+            out = self.join_output_estimate(left, right)
+            return (left + right + out, out)
+
+        while remaining:
+            candidates = [
+                (index, join)
+                for index, join in enumerate(remaining)
+                if not bound or join.ancestor in bound or join.descendant in bound
+            ]
+            if not candidates:
+                # Disconnected join graph: fall back to the declared order and
+                # let execution raise the seed's PlanError.
+                ordered.extend(remaining)
+                remaining = []
+                break
+            best_index, best_join = min(
+                candidates, key=lambda pair: (step_cost(pair[1])[0], pair[0])
+            )
+            cost, out = step_cost(best_join)
+            if best_join.ancestor in bound and best_join.descendant in bound:
+                component_rows = min(component_rows, out)
+            else:
+                component_rows = out
+            bound.add(best_join.ancestor)
+            bound.add(best_join.descendant)
+            ordered.append(best_join)
+            remaining.pop(best_index)
+
+        return BranchPlan(
+            branch=branch,
+            join_order=ordered,
+            scan_elements=scan_elements,
+            statically_empty=statically_empty,
+            output_estimates=outputs,
+            result_estimate=component_rows,
+        )
+
+    # -- engines ----------------------------------------------------------------
+
+    def branch_cost(self, shape: BranchPlan, engine: str) -> Cost:
+        """Cost of executing one branch shape on one engine."""
+        if shape.statically_empty:
+            return ZERO_COST
+        cpu = float(shape.scan_elements)
+        if engine == "twig":
+            # Streams are sorted and consumed once; the merge of path
+            # solutions is linear in the estimated result.
+            cpu += sum(shape.output_estimates.values()) + shape.result_estimate
+            return Cost(shape.scan_elements, cpu)
+        # Memory (and SQLite, priced alike): left-deep join pipeline whose
+        # intermediates can grow.
+        outputs = dict(shape.output_estimates)
+        bound: set = set()
+        component_rows = 0.0
+        for join in shape.join_order:
+            if bound and join.ancestor in bound and join.descendant in bound:
+                # Both sides already bound: a containment filter pass.
+                cpu += component_rows
+                bound.add(join.ancestor)
+                bound.add(join.descendant)
+                continue
+            if not bound:
+                left = outputs[join.ancestor]
+                right = outputs[join.descendant]
+            else:
+                new_alias = join.descendant if join.ancestor in bound else join.ancestor
+                left = component_rows
+                right = outputs[new_alias]
+            out = self.join_output_estimate(left, right)
+            cpu += left + right + out
+            component_rows = out
+            bound.add(join.ancestor)
+            bound.add(join.descendant)
+        return Cost(shape.scan_elements, cpu)
+
+    def plan_shapes(self, plan: QueryPlan) -> List[BranchPlan]:
+        """Costed shapes (with chosen join orders) for every branch."""
+        return [self.order_joins(branch) for branch in plan.branches]
+
+    def plan_cost(self, shapes: List[BranchPlan], engine: str) -> Cost:
+        """Total cost of a plan's branches on one engine."""
+        total = ZERO_COST
+        for shape in shapes:
+            total = total + self.branch_cost(shape, engine)
+        return total
+
+
+def preference_rank(name: str, order: Tuple[str, ...]) -> int:
+    """Tie-break rank of a translator/engine name (unknown names last)."""
+    try:
+        return order.index(name)
+    except ValueError:
+        return len(order)

@@ -1,0 +1,630 @@
+"""The physical plan IR: pipelined iterator operators.
+
+The logical :class:`~repro.translate.plan.QueryPlan` says *what* to compute;
+a :class:`PhysicalPlan` says *how*: which access path feeds each alias, in
+which order the D-joins run, and which join algorithm (binary structural
+join pipeline or holistic twig join) combines them.  Operators follow a
+generator-based iterator protocol — each ``rows()`` / ``records()`` call
+yields results one at a time — so selections stream into joins instead of
+materializing every intermediate node set, and an empty upstream stops the
+pipeline before downstream scans touch a single record.
+
+Two lowering modes produce operator trees from a logical plan:
+
+* ``faithful`` — reproduces the seed executors bit-for-bit (selections
+  scanned eagerly in declaration order with the seed's short-circuit, joins
+  in the translator's declared order).  The explicit ``engine="memory"`` /
+  ``engine="twig"`` paths use this so every instrumented measurement of the
+  paper reproduction is unchanged.
+* ``optimized`` — the cost-based planner's mode: scans run lazily on first
+  demand, joins follow the optimizer's order, and branches the histograms
+  prove empty lower to :class:`EmptyScan` without scanning anything.
+
+Operator vocabulary: :class:`IndexScan` (plabel equality),
+:class:`RangeScan` (plabel range), :class:`TagScan` (tag cluster),
+:class:`EmptyScan`, :class:`StructuralJoin`, :class:`ContainmentFilter`,
+:class:`TwigJoin`, :class:`Project`, :class:`Union`, :class:`Dedup`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.indexer import NodeRecord
+from repro.engine.structural_join import structural_join
+from repro.exceptions import EngineError, PlanError
+from repro.planner.cost import BranchPlan, Cost, CostModel, ZERO_COST
+from repro.storage.stats import AccessStatistics
+from repro.storage.table import StorageCatalog
+from repro.translate.plan import (
+    ConjunctivePlan,
+    JoinSpec,
+    QueryPlan,
+    SelectionKind,
+    SelectionSpec,
+)
+
+Row = Dict[str, NodeRecord]
+
+
+@dataclass
+class ExecutionContext:
+    """Per-execution state shared by the operators of one plan run.
+
+    ``buffers`` caches each scan's output for the duration of one execution
+    (several joins may probe the same alias); it is keyed per run, never on
+    the operator, so a cached plan re-executes with fresh statistics.
+    """
+
+    catalog: StorageCatalog
+    stats: AccessStatistics
+    buffers: Dict[int, List[NodeRecord]] = field(default_factory=dict)
+
+
+class PhysicalOperator:
+    """Base of every physical operator: a labelled node of the plan tree."""
+
+    #: Estimated rows the operator emits (filled in by the lowering).
+    est_rows: float = 0.0
+
+    def children(self) -> Sequence["PhysicalOperator"]:
+        """Child operators (for EXPLAIN rendering)."""
+        return ()
+
+    def label(self) -> str:
+        """One-line description used in EXPLAIN output."""
+        raise NotImplementedError
+
+    def explain_lines(self, indent: int = 0) -> List[str]:
+        """Indented EXPLAIN rendering of this subtree."""
+        lines = [("  " * indent) + self.label()]
+        for child in self.children():
+            lines.extend(child.explain_lines(indent + 1))
+        return lines
+
+
+class RowOperator(PhysicalOperator):
+    """An operator producing alias-bound rows."""
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        """Yield bound rows one at a time."""
+        raise NotImplementedError
+
+
+class RecordOperator(PhysicalOperator):
+    """An operator producing bare result records."""
+
+    def records(self, ctx: ExecutionContext) -> Iterator[NodeRecord]:
+        """Yield result records one at a time."""
+        raise NotImplementedError
+
+
+# -- scans ---------------------------------------------------------------------
+
+
+class ScanOperator(RowOperator):
+    """Base scan: evaluates one selection through its table access path."""
+
+    def __init__(self, selection: SelectionSpec, est_elements: int = 0, est_rows: float = 0.0):
+        self.selection = selection
+        self.est_elements = est_elements
+        self.est_rows = est_rows
+
+    def materialize(self, ctx: ExecutionContext) -> List[NodeRecord]:
+        """Run the access path once per execution and cache its output."""
+        key = id(self)
+        cached = ctx.buffers.get(key)
+        if cached is None:
+            cached = self._scan(ctx)
+            ctx.buffers[key] = cached
+        return cached
+
+    def _scan(self, ctx: ExecutionContext) -> List[NodeRecord]:
+        selection = self.selection
+        table = ctx.catalog.table_for(selection.source)
+        if selection.kind is SelectionKind.PLABEL_EQ:
+            return table.select_plabel_eq(
+                selection.plabel_low,
+                stats=ctx.stats,
+                alias=selection.alias,
+                data_eq=selection.data_eq,
+                level_eq=selection.level_eq,
+            )
+        if selection.kind is SelectionKind.PLABEL_RANGE:
+            return table.select_plabel_range(
+                selection.plabel_low,
+                selection.plabel_high,
+                stats=ctx.stats,
+                alias=selection.alias,
+                data_eq=selection.data_eq,
+                level_eq=selection.level_eq,
+            )
+        if selection.kind is SelectionKind.TAG:
+            return table.select_tag(
+                selection.tag,
+                stats=ctx.stats,
+                alias=selection.alias,
+                data_eq=selection.data_eq,
+                level_eq=selection.level_eq,
+            )
+        raise PlanError(f"unsupported selection kind {selection.kind}")  # pragma: no cover
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        alias = self.selection.alias
+        for record in self.materialize(ctx):
+            yield {alias: record}
+
+    def _predicate_suffix(self) -> str:
+        parts = []
+        if self.selection.data_eq is not None:
+            parts.append(f" where data = {self.selection.data_eq!r}")
+        if self.selection.level_eq is not None:
+            parts.append(f" where level = {self.selection.level_eq}")
+        return "".join(parts)
+
+
+class IndexScan(ScanOperator):
+    """Plabel-equality probe of the clustered SP table."""
+
+    def label(self) -> str:
+        s = self.selection
+        return (
+            f"IndexScan({s.alias}: {s.source} plabel = {s.plabel_low}"
+            f"{self._predicate_suffix()}) ~{self.est_elements} elems"
+        )
+
+
+class RangeScan(ScanOperator):
+    """Plabel-range scan of the clustered SP table (suffix-path selection)."""
+
+    def label(self) -> str:
+        s = self.selection
+        return (
+            f"RangeScan({s.alias}: {s.source} plabel in [{s.plabel_low}, {s.plabel_high}]"
+            f"{self._predicate_suffix()}) ~{self.est_elements} elems"
+        )
+
+
+class TagScan(ScanOperator):
+    """Tag-cluster scan of the SD table (the D-labeling access path)."""
+
+    def label(self) -> str:
+        s = self.selection
+        return (
+            f"TagScan({s.alias}: {s.source} tag = {s.tag!r}"
+            f"{self._predicate_suffix()}) ~{self.est_elements} elems"
+        )
+
+
+class EmptyScan(ScanOperator):
+    """A statically empty selection — never touches storage."""
+
+    def materialize(self, ctx: ExecutionContext) -> List[NodeRecord]:
+        return []
+
+    def label(self) -> str:
+        return f"EmptyScan({self.selection.alias})"
+
+
+def scan_for_selection(
+    selection: SelectionSpec,
+    model: Optional[CostModel] = None,
+    prune_empty: bool = True,
+) -> ScanOperator:
+    """Build the scan operator matching a selection's access path.
+
+    ``prune_empty`` lets the optimizer replace provably-empty scans with
+    :class:`EmptyScan`; faithful lowering passes ``False`` so a zero-row
+    access path still executes (and counts) exactly as the seed did.
+    """
+    est_elements = model.selection_cardinality(selection) if model else 0
+    est_rows = model.selection_output(selection) if model else 0.0
+    if selection.kind is SelectionKind.EMPTY or (
+        prune_empty and model is not None and est_elements == 0
+    ):
+        return EmptyScan(selection, 0, 0.0)
+    if selection.kind is SelectionKind.PLABEL_EQ:
+        return IndexScan(selection, est_elements, est_rows)
+    if selection.kind is SelectionKind.PLABEL_RANGE:
+        return RangeScan(selection, est_elements, est_rows)
+    return TagScan(selection, est_elements, est_rows)
+
+
+# -- joins ---------------------------------------------------------------------
+
+
+def _level_satisfied(ancestor: NodeRecord, descendant: NodeRecord, join: JoinSpec) -> bool:
+    if not (
+        ancestor.doc_id == descendant.doc_id
+        and ancestor.start < descendant.start
+        and ancestor.end > descendant.end
+    ):
+        return False
+    difference = descendant.level - ancestor.level
+    if join.level_gap is not None:
+        return difference == join.level_gap
+    if join.min_level_gap is not None:
+        return difference >= join.min_level_gap
+    return True
+
+
+class StructuralJoin(RowOperator):
+    """Stack-based binary D-join extending a row pipeline by one alias.
+
+    Pulls the bound side first; when it is empty the new side's scan is never
+    executed (the pipelined saving over the seed's scan-everything loop).
+    """
+
+    def __init__(
+        self,
+        source: RowOperator,
+        new_scan: ScanOperator,
+        join: JoinSpec,
+        new_role: str,
+        est_rows: float = 0.0,
+    ):
+        if new_role not in ("ancestor", "descendant"):
+            raise PlanError(f"invalid join role {new_role!r}")
+        self.source = source
+        self.new_scan = new_scan
+        self.join = join
+        self.new_role = new_role
+        self.est_rows = est_rows
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.source, self.new_scan)
+
+    def label(self) -> str:
+        join = self.join
+        gap = ""
+        if join.level_gap is not None:
+            gap = f", gap = {join.level_gap}"
+        elif join.min_level_gap is not None and join.min_level_gap > 1:
+            gap = f", gap >= {join.min_level_gap}"
+        return (
+            f"StructuralJoin({join.ancestor} contains {join.descendant}{gap}) "
+            f"~{self.est_rows:.0f} rows"
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        source_rows = list(self.source.rows(ctx))
+        if not source_rows:
+            return
+        join = self.join
+        new_records = self.new_scan.materialize(ctx)
+        if self.new_role == "descendant":
+            bound = [row[join.ancestor] for row in source_rows]
+            pairs = structural_join(
+                bound, new_records, join.level_gap, join.min_level_gap, ctx.stats
+            )
+            for a, d in pairs:
+                yield dict(source_rows[a], **{join.descendant: new_records[d]})
+        else:
+            bound = [row[join.descendant] for row in source_rows]
+            pairs = structural_join(
+                new_records, bound, join.level_gap, join.min_level_gap, ctx.stats
+            )
+            for a, d in pairs:
+                yield dict(source_rows[d], **{join.ancestor: new_records[a]})
+
+
+class ContainmentFilter(RowOperator):
+    """A D-join whose aliases are both already bound: a pure filter pass."""
+
+    def __init__(self, source: RowOperator, join: JoinSpec, est_rows: float = 0.0):
+        self.source = source
+        self.join = join
+        self.est_rows = est_rows
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.source,)
+
+    def label(self) -> str:
+        join = self.join
+        return f"ContainmentFilter({join.ancestor} contains {join.descendant})"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        join = self.join
+        for row in self.source.rows(ctx):
+            if _level_satisfied(row[join.ancestor], row[join.descendant], join):
+                yield row
+
+
+class TwigJoin(RowOperator):
+    """Holistic twig join over one branch (the TwigStack algorithm).
+
+    Streams every alias once (sorted by start), keeps one stack per pattern
+    node, and yields full twig matches through the generator protocol.
+    """
+
+    def __init__(self, branch: ConjunctivePlan, est_rows: float = 0.0, est_elements: int = 0):
+        self.branch = branch
+        self.est_rows = est_rows
+        self.est_elements = est_elements
+
+    def label(self) -> str:
+        aliases = ", ".join(s.alias for s in self.branch.selections)
+        return f"TwigJoin({aliases}) ~{self.est_elements} elems"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        # Imported here: twigstack consumes this module's protocol for its
+        # engine facade, so the modules reference each other lazily.
+        from repro.engine.twigstack import TwigJoinEngine, TwigStack
+
+        engine = TwigJoinEngine(ctx.catalog)
+        pattern = engine.build_pattern(self.branch, ctx.stats)
+        if any(not node.stream for node in pattern.nodes()):
+            return
+        yield from TwigStack(pattern).iter_matches()
+
+
+# -- branch assembly, projection, union, dedup ---------------------------------
+
+
+class BranchPipeline(RowOperator):
+    """One conjunctive branch: optional eager prefetch + a join pipeline.
+
+    ``prefetch`` (faithful mode) lists the branch's scans in declaration
+    order; they are materialized up front with the seed's short-circuit —
+    the first empty scan stops the branch before later scans or any join
+    runs.  Optimized plans pass no prefetch, so scans run lazily when a join
+    first probes them.
+    """
+
+    def __init__(
+        self,
+        root: RowOperator,
+        return_alias: str,
+        prefetch: Sequence[ScanOperator] = (),
+        est_rows: float = 0.0,
+    ):
+        self.root = root
+        self.return_alias = return_alias
+        self.prefetch = list(prefetch)
+        self.est_rows = est_rows
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.root,)
+
+    def label(self) -> str:
+        mode = "eager" if self.prefetch else "pipelined"
+        return f"Branch(return {self.return_alias}, {mode})"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for scan in self.prefetch:
+            if not scan.materialize(ctx):
+                return
+        yield from self.root.rows(ctx)
+
+
+class Project(RecordOperator):
+    """Projects a row pipeline onto one alias's records."""
+
+    def __init__(self, source: RowOperator, alias: str):
+        self.source = source
+        self.alias = alias
+        self.est_rows = source.est_rows
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.source,)
+
+    def label(self) -> str:
+        return f"Project({self.alias})"
+
+    def records(self, ctx: ExecutionContext) -> Iterator[NodeRecord]:
+        for row in self.source.rows(ctx):
+            record = row.get(self.alias)
+            if record is None:
+                raise EngineError(
+                    f"row is missing the return binding {self.alias!r}"
+                )
+            yield record
+
+
+class Union(RecordOperator):
+    """Concatenates the record streams of several branches."""
+
+    def __init__(self, sources: Sequence[RecordOperator]):
+        self.sources = list(sources)
+        self.est_rows = sum(source.est_rows for source in self.sources)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return tuple(self.sources)
+
+    def label(self) -> str:
+        return f"Union({len(self.sources)} branches)"
+
+    def records(self, ctx: ExecutionContext) -> Iterator[NodeRecord]:
+        for source in self.sources:
+            yield from source.records(ctx)
+
+
+class Dedup(RecordOperator):
+    """Final blocking operator: unique records in document order."""
+
+    def __init__(self, source: RecordOperator):
+        self.source = source
+        self.est_rows = source.est_rows
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.source,)
+
+    def label(self) -> str:
+        return "Dedup(by start, document order)"
+
+    def records(self, ctx: ExecutionContext) -> Iterator[NodeRecord]:
+        seen: Dict[int, NodeRecord] = {}
+        for record in self.source.records(ctx):
+            seen[record.start] = record
+        for start in sorted(seen):
+            yield seen[start]
+
+
+# -- lowering -------------------------------------------------------------------
+
+
+@dataclass
+class PhysicalPlan:
+    """An executable operator tree plus its provenance and estimates."""
+
+    root: RecordOperator
+    logical: QueryPlan
+    translator: str
+    engine: str
+    mode: str
+    estimated: Cost = ZERO_COST
+
+    def execute_records(self, ctx: ExecutionContext) -> Iterator[NodeRecord]:
+        """Drive the root operator (records arrive deduplicated, in order)."""
+        return self.root.records(ctx)
+
+    def describe(self) -> str:
+        """EXPLAIN rendering: header plus the indented operator tree."""
+        header = (
+            f"PhysicalPlan[translator={self.translator}, engine={self.engine}, "
+            f"mode={self.mode}, est {self.estimated.describe()}]"
+        )
+        return "\n".join([header] + self.root.explain_lines(1))
+
+
+def _lower_join_pipeline(
+    branch: ConjunctivePlan,
+    join_order: Sequence[JoinSpec],
+    scans: Dict[str, ScanOperator],
+    output_estimates: Optional[Dict[str, float]] = None,
+) -> RowOperator:
+    """Build the left-deep join pipeline of one branch.
+
+    Mirrors the seed executor's binding discipline exactly: the first join
+    pairs two scans, every later join either extends the bound rows with a
+    new alias's scan or degenerates to a containment filter, and a join
+    touching no bound alias is the seed's "disconnected" error (raised at
+    execution time by :meth:`ConjunctivePlan.join_order` in faithful mode,
+    or here when an optimizer order is malformed).
+    """
+    estimates = output_estimates or {}
+
+    def est(alias: str) -> float:
+        return estimates.get(alias, 0.0)
+
+    if not join_order:
+        return scans[branch.return_alias]
+    current: Optional[RowOperator] = None
+    bound: set = set()
+    current_rows = 0.0
+    for join in join_order:
+        if current is None:
+            left = scans[join.ancestor]
+            current_rows = min(est(join.ancestor), est(join.descendant))
+            current = StructuralJoin(
+                left, scans[join.descendant], join, "descendant", current_rows
+            )
+        elif join.ancestor in bound and join.descendant in bound:
+            current = ContainmentFilter(current, join, current_rows)
+        elif join.ancestor in bound:
+            current_rows = min(current_rows, est(join.descendant))
+            current = StructuralJoin(
+                current, scans[join.descendant], join, "descendant", current_rows
+            )
+        elif join.descendant in bound:
+            current_rows = min(current_rows, est(join.ancestor))
+            current = StructuralJoin(
+                current, scans[join.ancestor], join, "ancestor", current_rows
+            )
+        else:
+            raise PlanError(f"join {join} is disconnected from previously joined aliases")
+        bound.add(join.ancestor)
+        bound.add(join.descendant)
+    return current
+
+
+def lower_branch(
+    branch: ConjunctivePlan,
+    mode: str = "faithful",
+    engine: str = "memory",
+    model: Optional[CostModel] = None,
+    shape: Optional[BranchPlan] = None,
+) -> Optional[BranchPipeline]:
+    """Lower one conjunctive branch to a pipeline, or ``None`` when empty.
+
+    Faithful mode reproduces the seed engines exactly; optimized mode uses
+    the cost model's join order, lazy scans, and static-emptiness pruning.
+    """
+    if branch.is_empty:
+        return None
+    if mode == "optimized" and shape is not None and shape.statically_empty:
+        return None
+    estimates = shape.output_estimates if shape is not None else None
+    est_rows = shape.result_estimate if shape is not None else 0.0
+
+    prune_empty = mode == "optimized"
+    if engine == "twig":
+        est_elements = shape.scan_elements if shape is not None else 0
+        if len(branch.selections) == 1 and not branch.joins:
+            scan = scan_for_selection(branch.selections[0], model, prune_empty)
+            return BranchPipeline(scan, branch.return_alias, (), scan.est_rows)
+        twig = TwigJoin(branch, est_rows, est_elements)
+        return BranchPipeline(twig, branch.return_alias, (), est_rows)
+
+    scans = {s.alias: scan_for_selection(s, model, prune_empty) for s in branch.selections}
+    if mode == "faithful":
+        join_order = branch.join_order()
+        prefetch = [scans[s.alias] for s in branch.selections]
+    else:
+        join_order = shape.join_order if shape is not None else branch.join_order()
+        # Selections no join ever probes still act as existence filters on
+        # the branch in the seed's semantics (post-residual emptiness empties
+        # the whole branch), so they must be materialized eagerly.
+        join_aliases = {
+            alias for join in join_order for alias in (join.ancestor, join.descendant)
+        }
+        prefetch = [
+            scans[s.alias]
+            for s in branch.selections
+            if s.alias not in join_aliases and s.alias != branch.return_alias
+        ]
+    root = _lower_join_pipeline(branch, join_order, scans, estimates)
+    return BranchPipeline(root, branch.return_alias, prefetch, est_rows)
+
+
+def lower_plan(
+    plan: QueryPlan,
+    mode: str = "faithful",
+    engine: str = "memory",
+    model: Optional[CostModel] = None,
+    shapes: Optional[Sequence[BranchPlan]] = None,
+) -> PhysicalPlan:
+    """Lower a whole logical plan to an executable physical plan."""
+    shape_by_branch = {}
+    if shapes is not None:
+        shape_by_branch = {id(shape.branch): shape for shape in shapes}
+    projections: List[RecordOperator] = []
+    for branch in plan.branches:
+        shape = shape_by_branch.get(id(branch))
+        if mode == "optimized" and shape is None and model is not None:
+            shape = model.order_joins(branch)
+        pipeline = lower_branch(branch, mode, engine, model, shape)
+        if pipeline is None:
+            continue
+        projections.append(Project(pipeline, pipeline.return_alias))
+    if len(projections) == 1:
+        root: RecordOperator = Dedup(projections[0])
+    else:
+        root = Dedup(Union(projections))
+    estimated = ZERO_COST
+    if model is not None:
+        branch_shapes = (
+            list(shapes)
+            if shapes is not None
+            else [model.order_joins(branch) for branch in plan.branches]
+        )
+        estimated = model.plan_cost(branch_shapes, engine)
+    return PhysicalPlan(
+        root=root,
+        logical=plan,
+        translator=plan.translator,
+        engine=engine,
+        mode=mode,
+        estimated=estimated,
+    )

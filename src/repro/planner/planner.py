@@ -1,0 +1,219 @@
+"""The cost-based query planner.
+
+Given a query tree, the planner enumerates every viable
+``translator x join-order x engine`` combination, prices each with the
+:class:`~repro.planner.cost.CostModel`, and lowers the cheapest to a
+pipelined :class:`~repro.planner.physical.PhysicalPlan`:
+
+1. every available translator produces its logical plan (Unfold is skipped
+   when the system has no schema graph);
+2. the cost model chooses a join order per conjunctive branch (greedy
+   smallest-intermediate-first) and computes the exact element cost plus the
+   estimated CPU cost of running that shape on each engine candidate;
+3. candidates compare lexicographically — exact elements first, estimated
+   CPU second, then the seed's preference order as a deterministic
+   tie-break — so the planner can only ever match or beat the seed default
+   (Push-Up over the memory engine) on visited elements.
+
+The :class:`PlannedQuery` result keeps the full candidate table so EXPLAIN
+output can show estimated against actual cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import PlanError, SchemaError, UnsupportedQueryError
+from repro.planner.cost import (
+    BranchPlan,
+    Cost,
+    CostModel,
+    ENGINE_PREFERENCE,
+    TRANSLATOR_PREFERENCE,
+    preference_rank,
+)
+from repro.planner.physical import PhysicalPlan, lower_plan
+from repro.storage.table import StorageCatalog
+from repro.translate import translate
+from repro.translate.plan import QueryPlan
+from repro.translate.sql import plan_to_sql
+
+#: Engines the planner may pick on its own.  SQLite stays opt-in: choosing it
+#: silently would build a whole relational store behind the caller's back.
+AUTO_ENGINES = ("memory", "twig")
+
+
+@dataclass
+class PlanCandidate:
+    """One priced (translator, engine) combination."""
+
+    translator: str
+    engine: str
+    cost: Cost
+    shapes: List[BranchPlan] = field(default_factory=list)
+    logical: Optional[QueryPlan] = None
+    chosen: bool = False
+
+    def rank_key(self) -> Tuple[int, float, int, int]:
+        """Lexicographic comparison key used to pick the winner."""
+        return (
+            self.cost.elements,
+            self.cost.cpu,
+            preference_rank(self.engine, ENGINE_PREFERENCE),
+            preference_rank(self.translator, TRANSLATOR_PREFERENCE),
+        )
+
+
+@dataclass
+class PlannedQuery:
+    """The planner's answer: an executable plan plus its provenance."""
+
+    query_text: str
+    translator: str
+    engine: str
+    logical: QueryPlan
+    physical: Optional[PhysicalPlan]
+    sql: str
+    candidates: List[PlanCandidate]
+    estimated: Cost
+    planning_seconds: float
+    requested_translator: str = "auto"
+    requested_engine: str = "auto"
+    cache_hit: bool = False
+
+    def explain(self, actual=None) -> str:
+        """EXPLAIN text: candidates, the chosen physical plan, and — when a
+        :class:`~repro.engine.results.QueryResult` is supplied — the actual
+        execution counters next to the estimates."""
+        lines = [f"EXPLAIN {self.query_text}"]
+        lines.append(
+            f"  chosen: translator={self.translator} engine={self.engine} "
+            f"(est {self.estimated.describe()})"
+        )
+        lines.append("  candidates considered:")
+        for candidate in sorted(self.candidates, key=PlanCandidate.rank_key):
+            marker = " <- chosen" if candidate.chosen else ""
+            lines.append(
+                f"    {candidate.translator:>7s} / {candidate.engine:<6s} "
+                f"est {candidate.cost.describe()}{marker}"
+            )
+        if self.physical is not None:
+            lines.append("  physical plan:")
+            lines.extend("  " + line for line in self.physical.describe().splitlines())
+        if actual is not None:
+            stats = actual.stats
+            lines.append(
+                f"  actual: elements_read={stats.elements_read} "
+                f"comparisons={stats.comparisons} djoins={stats.djoins_executed} "
+                f"results={actual.count} "
+                f"({actual.elapsed_seconds * 1000:.2f} ms)"
+            )
+            lines.append(
+                f"  estimate accuracy: est elements={self.estimated.elements} "
+                f"vs actual={stats.elements_read}"
+            )
+        return "\n".join(lines)
+
+
+class QueryPlanner:
+    """Enumerates, prices and lowers candidate plans for one catalog."""
+
+    def __init__(self, catalog: StorageCatalog):
+        self.catalog = catalog
+        self._model: Optional[CostModel] = None
+
+    @property
+    def model(self) -> CostModel:
+        """The cost model (statistics are built lazily on first planning)."""
+        if self._model is None:
+            self._model = CostModel(self.catalog.statistics())
+        return self._model
+
+    def available_translators(self) -> List[str]:
+        """Translators usable on this catalog, in preference order."""
+        names = [name for name in TRANSLATOR_PREFERENCE if name != "unfold"]
+        if self.catalog.schema is not None:
+            names.insert(names.index("split") + 1, "unfold")
+        return names
+
+    def _translate_candidates(
+        self, query_tree, translator: str
+    ) -> List[Tuple[str, QueryPlan]]:
+        names = (
+            self.available_translators() if translator == "auto" else [translator]
+        )
+        plans: List[Tuple[str, QueryPlan]] = []
+        first_error: Optional[Exception] = None
+        for name in names:
+            try:
+                if name == "unfold":
+                    if self.catalog.schema is None:
+                        raise SchemaError("this system was built without a schema graph")
+                    plan = translate(query_tree, self.catalog.scheme, "unfold",
+                                     schema=self.catalog.schema)
+                else:
+                    plan = translate(query_tree, self.catalog.scheme, name)
+            except (SchemaError, UnsupportedQueryError, PlanError) as error:
+                # Expected "this translator cannot handle this query" cases;
+                # anything else is a translator bug and must propagate.
+                if first_error is None:
+                    first_error = error
+                continue
+            plans.append((name, plan))
+        if not plans:
+            if first_error is not None:
+                raise first_error
+            raise PlanError(f"no translator available for {query_tree!r}")
+        return plans
+
+    def plan(
+        self,
+        query_tree,
+        query_text: str,
+        translator: str = "auto",
+        engine: str = "auto",
+    ) -> PlannedQuery:
+        """Pick and lower the cheapest (translator, join order, engine)."""
+        started = time.perf_counter()
+        engines: Sequence[str] = AUTO_ENGINES if engine == "auto" else (engine,)
+        model = self.model
+        candidates: List[PlanCandidate] = []
+        for name, logical in self._translate_candidates(query_tree, translator):
+            shapes = model.plan_shapes(logical)
+            for engine_name in engines:
+                candidates.append(
+                    PlanCandidate(
+                        translator=name,
+                        engine=engine_name,
+                        cost=model.plan_cost(shapes, engine_name),
+                        shapes=shapes,
+                        logical=logical,
+                    )
+                )
+        winner = min(candidates, key=PlanCandidate.rank_key)
+        winner.chosen = True
+        physical: Optional[PhysicalPlan] = None
+        if winner.engine in ("memory", "twig"):
+            physical = lower_plan(
+                winner.logical,
+                mode="optimized",
+                engine=winner.engine,
+                model=model,
+                shapes=winner.shapes,
+            )
+        elapsed = time.perf_counter() - started
+        return PlannedQuery(
+            query_text=query_text,
+            translator=winner.translator,
+            engine=winner.engine,
+            logical=winner.logical,
+            physical=physical,
+            sql=plan_to_sql(winner.logical),
+            candidates=candidates,
+            estimated=winner.cost,
+            planning_seconds=elapsed,
+            requested_translator=translator,
+            requested_engine=engine,
+        )

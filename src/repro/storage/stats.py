@@ -1,17 +1,31 @@
-"""Access accounting for the instrumented storage engine.
+"""Access accounting and catalog statistics for the storage engine.
 
-The paper's second experimental metric (Figures 14–18, right-hand panels) is
-the number of *visited elements*: how many node records an algorithm reads to
-answer a query.  Every read path of :class:`~repro.storage.table.NodeTable`
-reports into an :class:`AccessStatistics` object so the benchmark harness can
-regenerate those panels exactly, alongside page-level counts that stand in
-for the paper's "disk accesses" discussion (§4.2).
+Two kinds of numbers live here:
+
+* :class:`AccessStatistics` — *runtime* counters.  The paper's second
+  experimental metric (Figures 14–18, right-hand panels) is the number of
+  *visited elements*: how many node records an algorithm reads to answer a
+  query.  Every read path of :class:`~repro.storage.table.NodeTable` reports
+  into an :class:`AccessStatistics` object so the benchmark harness can
+  regenerate those panels exactly, alongside page-level counts that stand in
+  for the paper's "disk accesses" discussion (§4.2).
+
+* :class:`TableStatistics` / :class:`CatalogStatistics` — *compile-time*
+  summaries the cost-based planner consults.  The clustered tables are
+  immutable once built, so the histograms are exact: a plabel-range count is
+  the true number of records a ``PLABEL_RANGE`` scan will touch, a tag
+  count the true size of a ``TAG`` cluster, and the residual-value
+  locations make post-predicate (``data``/``level`` equality) counts exact
+  too — which is what lets the planner prove a branch empty and skip its
+  scans entirely.
 """
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -82,3 +96,186 @@ class AccessStatistics:
             "selections_executed": self.selections_executed,
             "comparisons": self.comparisons,
         }
+
+
+# -- catalog statistics (planner input) ------------------------------------------
+
+
+class TableStatistics:
+    """Exact summaries of one clustered node table.
+
+    Built once per table from its records; the planner asks it how many
+    records an access path will scan (exact, because the tables never change
+    after indexing) and how selective a residual predicate is (estimated
+    under a uniform-distribution assumption).
+    """
+
+    def __init__(self, records: Sequence) -> None:
+        self.row_count = len(records)
+        tag_counts: Dict[str, int] = {}
+        level_counts: Dict[int, int] = {}
+        plabel_counts: Dict[int, int] = {}
+        tag_level_counts: Dict[str, Dict[int, int]] = {}
+        plabel_level_counts: Dict[int, Dict[int, int]] = {}
+        data_locations: Dict[str, List[Tuple[int, str, int]]] = {}
+        data_rows = 0
+        max_level = 0
+        for record in records:
+            tag_counts[record.tag] = tag_counts.get(record.tag, 0) + 1
+            level_counts[record.level] = level_counts.get(record.level, 0) + 1
+            plabel_counts[record.plabel] = plabel_counts.get(record.plabel, 0) + 1
+            by_level = tag_level_counts.setdefault(record.tag, {})
+            by_level[record.level] = by_level.get(record.level, 0) + 1
+            by_level = plabel_level_counts.setdefault(record.plabel, {})
+            by_level[record.level] = by_level.get(record.level, 0) + 1
+            if record.data is not None:
+                data_rows += 1
+                data_locations.setdefault(record.data, []).append(
+                    (record.plabel, record.tag, record.level)
+                )
+            max_level = max(max_level, record.level)
+        self.tag_counts = tag_counts
+        self.level_counts = level_counts
+        self.tag_level_counts = tag_level_counts
+        self.plabel_level_counts = plabel_level_counts
+        self.data_locations = data_locations
+        self.distinct_data_values = len(data_locations)
+        self.data_rows = data_rows
+        self.max_level = max_level
+        # Exact plabel histogram stored as sorted keys + cumulative counts so
+        # a range count is two bisections and one subtraction.
+        self._plabel_keys: List[int] = sorted(plabel_counts)
+        self._plabel_cumulative: List[int] = []
+        running = 0
+        for key in self._plabel_keys:
+            running += plabel_counts[key]
+            self._plabel_cumulative.append(running)
+
+    # -- exact cardinalities ---------------------------------------------------
+
+    def plabel_range_count(self, low: int, high: int) -> int:
+        """Exact number of records with ``low <= plabel <= high``."""
+        if high < low or not self._plabel_keys:
+            return 0
+        first = bisect.bisect_left(self._plabel_keys, low)
+        last = bisect.bisect_right(self._plabel_keys, high) - 1
+        if last < first:
+            return 0
+        upper = self._plabel_cumulative[last]
+        lower = self._plabel_cumulative[first - 1] if first > 0 else 0
+        return upper - lower
+
+    def plabel_eq_count(self, plabel: int) -> int:
+        """Exact number of records with this plabel."""
+        return self.plabel_range_count(plabel, plabel)
+
+    def tag_count(self, tag: Optional[str]) -> int:
+        """Exact size of a tag cluster (``None``/``"*"`` means every record)."""
+        if tag is None or tag == "*":
+            return self.row_count
+        return self.tag_counts.get(tag, 0)
+
+    # -- exact residual counts ---------------------------------------------------
+
+    def data_eq_count(
+        self,
+        value: str,
+        plabel_low: Optional[int] = None,
+        plabel_high: Optional[int] = None,
+        tag: Optional[str] = None,
+        level: Optional[int] = None,
+    ) -> int:
+        """Exact number of records matching ``data = value`` inside a scan.
+
+        The optional arguments restrict to the scan's cluster (a plabel
+        range or a tag), mirroring how residual predicates apply after an
+        access path.  Exactness matters: the planner prunes a branch to
+        nothing only when a selection is *provably* empty, which is how it
+        guarantees never visiting more elements than the seed default.
+        """
+        if plabel_high is None:
+            plabel_high = plabel_low
+        matches = 0
+        for plabel, record_tag, record_level in self.data_locations.get(value, ()):
+            if plabel_low is not None and not (plabel_low <= plabel <= plabel_high):
+                continue
+            if tag is not None and tag != "*" and record_tag != tag:
+                continue
+            if level is not None and record_level != level:
+                continue
+            matches += 1
+        return matches
+
+    def level_eq_count(
+        self,
+        level: int,
+        plabel_low: Optional[int] = None,
+        plabel_high: Optional[int] = None,
+        tag: Optional[str] = None,
+    ) -> int:
+        """Exact number of records at ``level`` inside a scan's cluster."""
+        if plabel_low is not None:
+            first = bisect.bisect_left(self._plabel_keys, plabel_low)
+            last = bisect.bisect_right(self._plabel_keys, plabel_high)
+            return sum(
+                self.plabel_level_counts[key].get(level, 0)
+                for key in self._plabel_keys[first:last]
+            )
+        if tag is not None and tag != "*":
+            return self.tag_level_counts.get(tag, {}).get(level, 0)
+        return self.level_counts.get(level, 0)
+
+    # -- residual selectivities (estimates) ------------------------------------
+
+    def data_eq_selectivity(self) -> float:
+        """Estimated fraction of records matching one ``data = value``."""
+        if self.row_count == 0 or self.distinct_data_values == 0:
+            return 0.0
+        matches_per_value = self.data_rows / self.distinct_data_values
+        return min(1.0, matches_per_value / self.row_count)
+
+    def level_eq_selectivity(self, level: int) -> float:
+        """Exact fraction of records sitting at one tree level."""
+        if self.row_count == 0:
+            return 0.0
+        return self.level_counts.get(level, 0) / self.row_count
+
+
+@dataclass
+class CatalogStatistics:
+    """Statistics for both layouts of one indexed document.
+
+    ``fingerprint`` identifies the indexed content; the planner's plan cache
+    keys on it so plans never leak between documents.
+    """
+
+    sp: TableStatistics
+    sd: TableStatistics
+    node_count: int
+    fingerprint: str
+
+    def table(self, source: str) -> TableStatistics:
+        """Statistics of the table named ``"sp"`` or ``"sd"``."""
+        return self.sp if source == "sp" else self.sd
+
+
+def fingerprint_records(records: Sequence, name: str = "") -> str:
+    """A cheap, deterministic digest of an indexed document's records.
+
+    Hashes the record count, the document name and a bounded sample of
+    record tuples (all of them for small documents, an evenly-spaced sample
+    plus both ends for large ones) — enough to distinguish any two documents
+    the test suites and benchmarks build.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{name}|{len(records)}".encode("utf-8"))
+    step = max(1, len(records) // 256)
+    sample = list(records[::step])
+    if records:
+        sample.append(records[-1])
+    for record in sample:
+        digest.update(
+            f"{record.plabel},{record.start},{record.end},{record.level},"
+            f"{record.tag},{record.doc_id},{record.data!r}".encode("utf-8")
+        )
+    return digest.hexdigest()

@@ -22,7 +22,12 @@ from repro.core.indexer import IndexedDocument, NodeRecord
 from repro.exceptions import StorageError
 from repro.storage.btree import BPlusTree
 from repro.storage.pages import PageLayout
-from repro.storage.stats import AccessStatistics
+from repro.storage.stats import (
+    AccessStatistics,
+    CatalogStatistics,
+    TableStatistics,
+    fingerprint_records,
+)
 
 
 class ClusterKind(Enum):
@@ -76,6 +81,14 @@ class NodeTable:
 
     def __len__(self) -> int:
         return len(self.records)
+
+    def statistics(self) -> TableStatistics:
+        """Exact table statistics for the cost-based planner (built lazily)."""
+        cached = getattr(self, "_statistics", None)
+        if cached is None:
+            cached = TableStatistics(self.records)
+            self._statistics = cached
+        return cached
 
     @property
     def total_pages(self) -> int:
@@ -249,6 +262,34 @@ class StorageCatalog:
     def node_count(self) -> int:
         """Number of node records."""
         return len(self.sp)
+
+    def statistics(self) -> CatalogStatistics:
+        """Catalog statistics for the planner (built lazily, then cached).
+
+        Both layouts hold the same records, so they share one
+        :class:`TableStatistics` instance.
+        """
+        cached = getattr(self, "_statistics", None)
+        if cached is None:
+            shared = self.sp.statistics()
+            self.sd._statistics = shared
+            cached = CatalogStatistics(
+                sp=shared,
+                sd=shared,
+                node_count=self.node_count,
+                fingerprint=self.fingerprint(),
+            )
+            self._statistics = cached
+        return cached
+
+    def fingerprint(self) -> str:
+        """A digest identifying the indexed content (plan-cache key part)."""
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            name = getattr(self.indexed, "name", "") or ""
+            cached = fingerprint_records(self.sp.records, name=str(name))
+            self._fingerprint = cached
+        return cached
 
     def table_for(self, source: str) -> NodeTable:
         """Return the table named ``"sp"`` or ``"sd"``."""

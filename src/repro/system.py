@@ -2,27 +2,36 @@
 
 :class:`BLAS` ties the pieces of Figure 6 together: it indexes a document
 (P-labels + D-labels + values), holds the storage catalog and the optional
-SQLite backend, and answers XPath queries through any translator/engine
-combination.  This is the class most users of the library interact with::
+SQLite backend, and answers XPath queries.  By default queries route through
+the cost-based planner, which picks the translator, join order and engine
+per query and caches the plan::
 
     from repro import BLAS
 
     system = BLAS.from_xml(xml_text)
-    result = system.query("//protein/name")            # Push-Up + memory engine
-    result = system.query(query, translator="unfold")  # schema-aware plan
+    result = system.query("//protein/name")            # planner-chosen plan
+    result = system.query(query, translator="unfold")  # explicit schema-aware plan
     print(result.values())
+    print(system.explain(query))                       # EXPLAIN with candidates
 
-Translators: ``"dlabel"`` (the baseline), ``"split"``, ``"pushup"``
-(default; the paper's choice without schema information) and ``"unfold"``
-(default when a schema is available and the caller asks for it).
+Translators: ``"auto"`` (default; cost-based choice), ``"dlabel"`` (the
+baseline), ``"split"``, ``"pushup"`` (the paper's choice without schema
+information) and ``"unfold"`` (needs a schema graph).
 
-Engines: ``"memory"`` (instrumented storage + structural joins; reports
+Engines: ``"auto"`` (default; cost-based choice between the instrumented
+engines), ``"memory"`` (instrumented storage + structural joins; reports
 elements read), ``"twig"`` (holistic twig join over the same storage) and
-``"sqlite"`` (the RDBMS engine).
+``"sqlite"`` (the RDBMS engine; explicit only — the planner never builds a
+relational store behind the caller's back).
+
+Naming an explicit translator *and* engine bypasses the planner entirely and
+reproduces the seed behavior bit-for-bit, which is what the paper-figure
+experiments rely on.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
@@ -34,6 +43,8 @@ from repro.engine.rdbms import RdbmsEngine
 from repro.engine.results import QueryResult
 from repro.engine.twigstack import TwigJoinEngine
 from repro.exceptions import EngineError, SchemaError
+from repro.planner.cache import PlanCache, plan_key
+from repro.planner.planner import PlannedQuery, QueryPlanner
 from repro.storage.table import StorageCatalog
 from repro.translate import translate
 from repro.translate.plan import QueryPlan
@@ -44,11 +55,16 @@ from repro.xpath.ast import LocationPath
 from repro.xpath.parser import parse_xpath
 from repro.xpath.query_tree import build_query_tree
 
-DEFAULT_TRANSLATOR = "pushup"
-DEFAULT_ENGINE = "memory"
+DEFAULT_TRANSLATOR = "auto"
+DEFAULT_ENGINE = "auto"
 
+#: Concrete (non-auto) names, as in the seed.
 TRANSLATOR_NAMES = ("dlabel", "split", "pushup", "unfold")
 ENGINE_NAMES = ("memory", "twig", "sqlite")
+
+#: Everything ``query()`` accepts, including the planner.
+TRANSLATOR_CHOICES = ("auto",) + TRANSLATOR_NAMES
+ENGINE_CHOICES = ("auto",) + ENGINE_NAMES
 
 
 @dataclass
@@ -67,6 +83,7 @@ class BLAS:
         self,
         indexed: IndexedDocument,
         build_sqlite: bool = False,
+        plan_cache_size: int = 128,
     ):
         self.indexed = indexed
         self.scheme: PLabelScheme = indexed.scheme
@@ -75,6 +92,8 @@ class BLAS:
         self._executor = PlanExecutor(self.catalog)
         self._twig = TwigJoinEngine(self.catalog)
         self._rdbms: Optional[RdbmsEngine] = None
+        self.planner = QueryPlanner(self.catalog)
+        self.plan_cache = PlanCache(capacity=plan_cache_size)
         if build_sqlite:
             self._rdbms = RdbmsEngine.from_indexed_document(indexed)
 
@@ -107,19 +126,71 @@ class BLAS:
             self._rdbms = RdbmsEngine.from_indexed_document(self.indexed)
         return self._rdbms
 
-    # -- translation -----------------------------------------------------------------
+    # -- validation -------------------------------------------------------------------
+
+    @staticmethod
+    def _check_translator(translator: str) -> None:
+        if translator not in TRANSLATOR_CHOICES:
+            raise EngineError(
+                f"unknown translator {translator!r}; "
+                f"valid choices are {', '.join(TRANSLATOR_CHOICES)}"
+            )
+
+    @staticmethod
+    def _check_engine(engine: str) -> None:
+        if engine not in ENGINE_CHOICES:
+            raise EngineError(
+                f"unknown engine {engine!r}; "
+                f"valid choices are {', '.join(ENGINE_CHOICES)}"
+            )
+
+    # -- planning & translation --------------------------------------------------------
 
     def _query_tree(self, query: Union[str, LocationPath]):
         path = parse_xpath(query) if isinstance(query, str) else query
         return build_query_tree(path)
 
+    def plan_query(
+        self,
+        query: Union[str, LocationPath],
+        translator: str = DEFAULT_TRANSLATOR,
+        engine: str = DEFAULT_ENGINE,
+    ) -> PlannedQuery:
+        """Plan a query through the cost-based optimizer (with caching).
+
+        The LRU plan cache is keyed on the query text, the requested
+        translator/engine, and the document fingerprint, so a system over
+        different data never reuses another document's plan.  Cache hits are
+        returned as copies flagged ``cache_hit=True``.
+        """
+        self._check_translator(translator)
+        self._check_engine(engine)
+        if translator == "unfold" and self.schema is None:
+            raise SchemaError("this system was built without a schema graph")
+        tree = self._query_tree(query)
+        text = tree.to_xpath()
+        key = plan_key(text, translator, engine, self.catalog.fingerprint())
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            return dataclasses.replace(cached, cache_hit=True)
+        planned = self.planner.plan(tree, text, translator=translator, engine=engine)
+        self.plan_cache.put(key, planned)
+        return planned
+
     def translate(
         self, query: Union[str, LocationPath], translator: str = DEFAULT_TRANSLATOR
     ) -> TranslationOutcome:
-        """Translate a query and return the plan, timing and generated SQL."""
-        if translator not in TRANSLATOR_NAMES:
-            raise EngineError(
-                f"unknown translator {translator!r}; expected one of {TRANSLATOR_NAMES}"
+        """Translate a query and return the plan, timing and generated SQL.
+
+        With ``translator="auto"`` the returned plan is the planner's pick.
+        """
+        self._check_translator(translator)
+        if translator == "auto":
+            planned = self.plan_query(query, translator="auto", engine="auto")
+            return TranslationOutcome(
+                plan=planned.logical,
+                translation_seconds=planned.planning_seconds,
+                sql=planned.sql,
             )
         tree = self._query_tree(query)
         started = time.perf_counter()
@@ -133,9 +204,22 @@ class BLAS:
         return TranslationOutcome(plan=plan, translation_seconds=elapsed, sql=plan_to_sql(plan))
 
     def explain(
-        self, query: Union[str, LocationPath], translator: str = DEFAULT_TRANSLATOR
+        self,
+        query: Union[str, LocationPath],
+        translator: str = DEFAULT_TRANSLATOR,
+        engine: str = DEFAULT_ENGINE,
     ) -> str:
-        """A readable description of the plan a translator produces."""
+        """A readable plan description, matching what ``query()`` would run.
+
+        With an explicit translator *and* engine this is the translator's
+        logical plan (the seed behavior); whenever the planner is involved
+        (``"auto"`` translator or engine) it is the planner's full EXPLAIN —
+        candidates, chosen physical plan and estimated cost.
+        """
+        self._check_translator(translator)
+        self._check_engine(engine)
+        if translator == "auto" or engine == "auto":
+            return self.plan_query(query, translator, engine).explain()
         return self.translate(query, translator).plan.describe()
 
     # -- querying ---------------------------------------------------------------------
@@ -148,13 +232,23 @@ class BLAS:
     ) -> QueryResult:
         """Answer an XPath query.
 
+        With the default ``translator="auto"`` / ``engine="auto"`` the
+        cost-based planner picks the cheapest (translator, join order,
+        engine) combination; the result's ``translator``/``engine`` fields
+        report what it chose and ``result.planned`` carries the full
+        :class:`~repro.planner.planner.PlannedQuery` for EXPLAIN.  Explicit
+        names reproduce the seed behavior exactly.
+
         Returns a :class:`QueryResult` whose ``records`` are the matching
         nodes in document order; ``stats`` carries access counters for the
         ``memory`` and ``twig`` engines and ``elapsed_seconds`` the execution
         time (translation excluded, as in the paper's measurements).
         """
-        if engine not in ENGINE_NAMES:
-            raise EngineError(f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}")
+        self._check_translator(translator)
+        self._check_engine(engine)
+        if translator == "auto" or engine == "auto":
+            planned = self.plan_query(query, translator, engine)
+            return self._execute_planned(planned)
         outcome = self.translate(query, translator)
         if engine == "memory":
             result = self._executor.execute(outcome.plan)
@@ -165,8 +259,18 @@ class BLAS:
         result.sql = outcome.sql
         return result
 
+    def _execute_planned(self, planned: PlannedQuery) -> QueryResult:
+        """Run a planner-produced plan on its chosen engine."""
+        if planned.engine == "sqlite":
+            result = self.rdbms.execute(planned.logical)
+        else:
+            result = self._executor.execute_physical(planned.physical)
+        result.sql = planned.sql
+        result.planned = planned
+        return result
+
     def query_all_translators(
-        self, query: Union[str, LocationPath], engine: str = DEFAULT_ENGINE,
+        self, query: Union[str, LocationPath], engine: str = "memory",
         translators: Optional[List[str]] = None,
     ) -> Dict[str, QueryResult]:
         """Run the query under every translator (the paper's comparisons)."""

@@ -18,6 +18,7 @@ the SQL generator (:mod:`repro.translate.sql`) and the instrumented plan
 executor (:mod:`repro.engine.executor`) consume.
 """
 
+from repro.exceptions import PlanError
 from repro.translate.dlabel_baseline import translate_dlabel
 from repro.translate.plan import (
     ConjunctivePlan,
@@ -47,9 +48,8 @@ def translate(query_tree, scheme, algorithm: str, schema=None):
     ``"unfold"``; the last requires ``schema``.
     """
     if algorithm not in TRANSLATORS:
-        raise ValueError(
-            f"unknown translator {algorithm!r}; expected one of {sorted(TRANSLATORS)}"
-        )
+        valid = ", ".join(sorted(TRANSLATORS) + ["auto (via repro.system.BLAS)"])
+        raise PlanError(f"unknown translator {algorithm!r}; valid choices are {valid}")
     if algorithm == "unfold":
         return translate_unfold(query_tree, scheme, schema)
     if algorithm == "dlabel":

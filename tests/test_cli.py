@@ -85,3 +85,48 @@ def test_experiment_fig16_small(capsys):
 def test_unknown_experiment_is_rejected():
     with pytest.raises(SystemExit):
         main(["experiment", "fig99"])
+
+
+def test_query_defaults_to_the_planner(xml_file, capsys):
+    code = main(["query", xml_file, "//protein/name"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    # The planner reports the concrete translator/engine it chose.
+    assert "translator=auto" not in captured and "engine=auto" not in captured
+
+
+def test_query_plans_exactly_once(xml_file, capsys, monkeypatch):
+    """A plain planner-routed query must run one optimizer pass, not two."""
+    from repro import cli as cli_module
+    from repro.system import BLAS as RealBLAS
+
+    created = []
+    original = RealBLAS.from_file.__func__
+
+    def capture(cls, path, build_sqlite=False):
+        system = original(cls, path, build_sqlite)
+        created.append(system)
+        return system
+
+    monkeypatch.setattr(cli_module.BLAS, "from_file", classmethod(capture))
+    main(["query", xml_file, "//protein/name"])
+    (system,) = created
+    info = system.plan_cache.info()
+    assert info["misses"] == 1 and info["hits"] == 0
+
+
+def test_query_explain_prints_the_plan_and_costs(xml_file, capsys):
+    code = main(["query", xml_file, "//protein/name", "--explain"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "EXPLAIN" in captured
+    assert "candidates considered" in captured
+    assert "actual: elements_read=" in captured
+
+
+def test_experiment_explain(capsys):
+    code = main(["experiment", "explain"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "Cost-based planner" in captured
+    assert "QS2" in captured and "Q6" in captured

@@ -1,0 +1,114 @@
+"""Plan-cache behavior: LRU mechanics, hits, and fingerprint invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.planner.cache import PlanCache, plan_key
+from repro.system import BLAS
+from tests.conftest import PROTEIN_SAMPLE
+
+
+# -- the cache itself ---------------------------------------------------------------
+
+
+def test_lru_eviction_order():
+    cache = PlanCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes "a"
+    cache.put("c", 3)  # evicts "b", the least recently used
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.info()["evictions"] == 1
+
+
+def test_hit_and_miss_counters():
+    cache = PlanCache(capacity=4)
+    assert cache.get("missing") is None
+    cache.put("k", "v")
+    assert cache.get("k") == "v"
+    info = cache.info()
+    assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+def test_clear_resets_everything():
+    cache = PlanCache()
+    cache.put("k", "v")
+    cache.get("k")
+    cache.clear()
+    info = cache.info()
+    assert info == {"size": 0, "capacity": 128, "hits": 0, "misses": 0, "evictions": 0}
+
+
+# -- system integration -------------------------------------------------------------
+
+
+def test_second_plan_is_a_cache_hit(protein_system):
+    protein_system.plan_cache.clear()
+    first = protein_system.plan_query("//author")
+    second = protein_system.plan_query("//author")
+    assert not first.cache_hit
+    assert second.cache_hit
+    assert second.translator == first.translator and second.engine == first.engine
+    assert protein_system.plan_cache.hits == 1
+
+
+def test_cached_plans_reexecute_with_fresh_statistics(protein_system):
+    protein_system.plan_cache.clear()
+    first = protein_system.query("//protein/name")
+    second = protein_system.query("//protein/name")
+    assert second.planned.cache_hit
+    assert second.starts == first.starts
+    # A cache hit must not skip (or double-count) the storage instrumentation.
+    assert second.stats.elements_read == first.stats.elements_read
+
+
+def test_requested_pair_is_part_of_the_key(protein_system):
+    protein_system.plan_cache.clear()
+    protein_system.plan_query("//author")
+    explicit = protein_system.plan_query("//author", translator="split")
+    assert not explicit.cache_hit  # different requested translator, different key
+
+
+def test_fingerprint_invalidates_across_documents():
+    """The same query on different data can never share a plan-cache entry."""
+    one = BLAS.from_xml(PROTEIN_SAMPLE)
+    other = BLAS.from_xml("<ProteinDatabase><ProteinEntry><protein><name>x</name>"
+                          "</protein></ProteinEntry></ProteinDatabase>")
+    fp_one = one.catalog.fingerprint()
+    fp_other = other.catalog.fingerprint()
+    assert fp_one != fp_other
+    assert plan_key("//author", "auto", "auto", fp_one) != plan_key(
+        "//author", "auto", "auto", fp_other
+    )
+
+
+def test_fingerprint_is_stable_for_identical_content():
+    one = BLAS.from_xml(PROTEIN_SAMPLE)
+    two = BLAS.from_xml(PROTEIN_SAMPLE)
+    assert one.catalog.fingerprint() == two.catalog.fingerprint()
+
+
+def test_fingerprint_covers_text_values():
+    """Structure-identical documents with different text must differ: the
+    planner's statically-empty pruning depends on data values, so a plan
+    cached for one must never be served to the other."""
+    x = BLAS.from_xml("<r><a><b>x</b></a></r>")
+    y = BLAS.from_xml("<r><a><b>y</b></a></r>")
+    assert x.catalog.fingerprint() != y.catalog.fingerprint()
+
+
+def test_cache_capacity_bounds_entries():
+    from repro.core.indexer import index_text
+
+    small = BLAS(index_text(PROTEIN_SAMPLE), plan_cache_size=2)
+    for query in ("//author", "//year", "//title", "//name"):
+        small.plan_query(query)
+    assert len(small.plan_cache) == 2

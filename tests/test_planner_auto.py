@@ -1,0 +1,193 @@
+"""Planner integration: auto plans agree with every explicit pair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EngineError, PlanError, SchemaError
+from repro.planner.physical import lower_plan
+from repro.system import BLAS, ENGINE_NAMES, TRANSLATOR_NAMES
+from repro.translate import translate
+from tests.conftest import EXAMPLE_QUERY, PROTEIN_SAMPLE
+
+WORKLOAD = (
+    "//protein/name",
+    "/ProteinDatabase/ProteinEntry//author",
+    '//refinfo[year = "2001"]/title',
+    "/ProteinDatabase/ProteinEntry[protein]/reference/refinfo",
+    EXAMPLE_QUERY,
+)
+
+
+@pytest.mark.parametrize("query", WORKLOAD)
+def test_auto_matches_every_explicit_pair(protein_system, query):
+    """Property: the planner never changes answers, only plans."""
+    auto = protein_system.query(query)
+    for translator in TRANSLATOR_NAMES:
+        for engine in ENGINE_NAMES:
+            explicit = protein_system.query(query, translator=translator, engine=engine)
+            assert auto.starts == explicit.starts, (translator, engine)
+
+
+@pytest.mark.parametrize("query", WORKLOAD)
+def test_auto_never_reads_more_than_the_seed_default(protein_system, query):
+    auto = protein_system.query(query)
+    seed = protein_system.query(query, translator="pushup", engine="memory")
+    assert auto.stats.elements_read <= seed.stats.elements_read
+
+
+def test_auto_reports_concrete_choices(protein_system):
+    result = protein_system.query("//author")
+    assert result.translator in TRANSLATOR_NAMES
+    assert result.engine in ("memory", "twig")
+    planned = result.planned
+    assert planned is not None
+    assert planned.requested_translator == "auto"
+    assert planned.requested_engine == "auto"
+    assert any(candidate.chosen for candidate in planned.candidates)
+
+
+def test_explicit_translator_with_auto_engine(protein_system):
+    result = protein_system.query("//author", translator="split")
+    assert result.translator == "split"
+    assert result.engine in ("memory", "twig")
+    assert {c.translator for c in result.planned.candidates} == {"split"}
+
+
+def test_auto_translator_with_explicit_engine(protein_system):
+    result = protein_system.query("//author", engine="memory")
+    assert result.engine == "memory"
+    assert {c.engine for c in result.planned.candidates} == {"memory"}
+
+
+def test_auto_never_picks_sqlite():
+    system = BLAS.from_xml(PROTEIN_SAMPLE)
+    for query in WORKLOAD:
+        result = system.query(query)
+        assert result.engine in ("memory", "twig")
+    assert system._rdbms is None  # the planner never built it
+
+
+def test_planner_skips_unfold_without_schema():
+    from repro.core.indexer import index_text
+
+    indexed = index_text(PROTEIN_SAMPLE, extract_schema_graph=False)
+    system = BLAS(indexed)
+    result = system.query("//author")
+    assert result.translator in ("dlabel", "split", "pushup")
+    assert result.count == 4
+
+
+def test_explain_text_shows_candidates_and_actuals(protein_system):
+    result = protein_system.query(EXAMPLE_QUERY)
+    text = result.planned.explain(actual=result)
+    assert "EXPLAIN" in text
+    assert "candidates considered" in text
+    assert "<- chosen" in text
+    assert "physical plan" in text
+    assert f"actual: elements_read={result.stats.elements_read}" in text
+
+
+def test_system_explain_defaults_to_planner_output(protein_system):
+    text = protein_system.explain("//protein/name")
+    assert "EXPLAIN" in text and "PhysicalPlan" in text
+    # A fully explicit pair keeps the seed's logical description.
+    assert "QueryPlan[pushup]" in protein_system.explain(
+        "//protein/name", "pushup", "memory"
+    )
+
+
+# -- error reporting ---------------------------------------------------------------
+
+
+def test_unknown_translator_lists_choices(protein_system):
+    with pytest.raises(EngineError) as excinfo:
+        protein_system.query("//author", translator="magic")
+    message = str(excinfo.value)
+    assert "auto" in message and "pushup" in message and "unfold" in message
+
+
+def test_unknown_engine_lists_choices(protein_system):
+    with pytest.raises(EngineError) as excinfo:
+        protein_system.query("//author", engine="hadoop")
+    message = str(excinfo.value)
+    assert "auto" in message and "memory" in message and "sqlite" in message
+
+
+def test_translate_function_raises_plan_error(protein_system):
+    tree = protein_system._query_tree("//author")
+    with pytest.raises(PlanError) as excinfo:
+        translate(tree, protein_system.scheme, "bogus")
+    assert "pushup" in str(excinfo.value)
+
+
+def test_unfold_without_schema_still_raises_schema_error():
+    from repro.core.indexer import index_text
+
+    indexed = index_text(PROTEIN_SAMPLE, extract_schema_graph=False)
+    system = BLAS(indexed)
+    with pytest.raises(SchemaError):
+        system.query("//author", translator="unfold")
+
+
+# -- physical lowering -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["faithful", "optimized"])
+@pytest.mark.parametrize("engine", ["memory", "twig"])
+def test_lowering_modes_agree_on_results(protein_system, mode, engine):
+    from repro.planner.cost import CostModel
+
+    model = CostModel(protein_system.catalog.statistics())
+    for query in WORKLOAD:
+        plan = protein_system.translate(query, "pushup").plan
+        physical = lower_plan(plan, mode=mode, engine=engine, model=model)
+        result = protein_system._executor.execute_physical(physical)
+        seed = protein_system.query(query, translator="pushup", engine="memory")
+        assert result.starts == seed.starts, (mode, engine, query)
+
+
+def test_residual_empty_predicate_never_regresses_the_seed():
+    """Regression: a value predicate matching nothing must not make auto
+    read more than the seed.  The seed short-circuits at the first
+    post-residual-empty selection; the planner proves the emptiness from
+    the exact residual counts and prunes the branch to zero scans."""
+    xml = "<root>" + "<a><b>v</b><b>w</b><b>x</b><c>k</c></a>" * 50 + "</root>"
+    system = BLAS.from_xml(xml)
+    query = '//a[b = "nomatch"]//c'
+    auto = system.query(query)
+    seed = system.query(query, translator="pushup", engine="memory")
+    assert auto.starts == seed.starts == []
+    assert seed.stats.elements_read > 0  # the seed scans up to the empty selection
+    assert auto.stats.elements_read == 0  # the planner skips every scan
+
+
+def test_residual_value_elsewhere_in_document_is_still_exact():
+    """The emptiness proof intersects the value with the selection's own
+    cluster: a value that exists under a *different* path must not trip it."""
+    xml = ("<root>" + "<a><b>v</b><c>k</c></a>" * 20
+           + "<other><b>needle</b></other>" + "</root>")
+    system = BLAS.from_xml(xml)
+    for query in ('//a[b = "needle"]//c', '//a[b = "v"]//c'):
+        auto = system.query(query)
+        seed = system.query(query, translator="pushup", engine="memory")
+        assert auto.starts == seed.starts, query
+        assert auto.stats.elements_read <= seed.stats.elements_read, query
+
+
+def test_optimized_lowering_prunes_statically_empty_branches(protein_system):
+    from repro.planner.cost import CostModel
+
+    model = CostModel(protein_system.catalog.statistics())
+    plan = protein_system.translate("//ghost/author", "dlabel").plan
+    physical = lower_plan(plan, mode="optimized", engine="memory", model=model)
+    result = protein_system._executor.execute_physical(physical)
+    assert result.starts == []
+    assert result.stats.elements_read == 0  # not a single record scanned
+
+
+def test_physical_plan_describe_names_the_operators(protein_system):
+    planned = protein_system.plan_query(EXAMPLE_QUERY)
+    text = planned.physical.describe()
+    assert "Dedup" in text and "Project" in text
+    assert "Scan" in text or "TwigJoin" in text

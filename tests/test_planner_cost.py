@@ -1,0 +1,164 @@
+"""Unit tests for the planner's statistics and cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.planner.cost import Cost, CostModel, preference_rank, TRANSLATOR_PREFERENCE
+from repro.storage.stats import TableStatistics
+from repro.translate.plan import (
+    ConjunctivePlan,
+    JoinSpec,
+    SelectionKind,
+    SelectionSpec,
+)
+
+
+@pytest.fixture()
+def model(protein_system):
+    return CostModel(protein_system.catalog.statistics())
+
+
+@pytest.fixture()
+def table_stats(protein_indexed):
+    return TableStatistics(protein_indexed.records)
+
+
+# -- TableStatistics: exact histograms --------------------------------------------
+
+
+def test_tag_counts_are_exact(table_stats, protein_indexed):
+    for tag in ("author", "protein", "name", "year"):
+        expected = sum(1 for r in protein_indexed.records if r.tag == tag)
+        assert table_stats.tag_count(tag) == expected
+    assert table_stats.tag_count(None) == len(protein_indexed.records)
+    assert table_stats.tag_count("*") == len(protein_indexed.records)
+    assert table_stats.tag_count("no-such-tag") == 0
+
+
+def test_plabel_range_counts_are_exact(table_stats, protein_indexed):
+    plabels = sorted(r.plabel for r in protein_indexed.records)
+    lows_highs = [
+        (plabels[0], plabels[-1]),
+        (plabels[0], plabels[0]),
+        (plabels[len(plabels) // 2], plabels[-1]),
+        (plabels[-1] + 1, plabels[-1] + 10),  # empty range above the domain
+        (5, 4),  # inverted range
+    ]
+    for low, high in lows_highs:
+        expected = sum(1 for p in plabels if low <= p <= high)
+        assert table_stats.plabel_range_count(low, high) == expected, (low, high)
+
+
+def test_level_selectivity_is_exact(table_stats, protein_indexed):
+    records = protein_indexed.records
+    for level in {r.level for r in records}:
+        expected = sum(1 for r in records if r.level == level) / len(records)
+        assert table_stats.level_eq_selectivity(level) == pytest.approx(expected)
+    assert table_stats.level_eq_selectivity(999) == 0.0
+
+
+def test_data_eq_selectivity_is_a_fraction(table_stats):
+    selectivity = table_stats.data_eq_selectivity()
+    assert 0.0 < selectivity <= 1.0
+
+
+# -- CostModel: selection costs match the real scans -------------------------------
+
+
+@pytest.mark.parametrize("translator", ["dlabel", "split", "pushup", "unfold"])
+def test_selection_cardinality_matches_actual_scan(protein_system, model, translator):
+    """The element cost of every selection is the true scan size."""
+    from repro.storage.stats import AccessStatistics
+
+    outcome = protein_system.translate(
+        "/ProteinDatabase/ProteinEntry//author", translator
+    )
+    for branch in outcome.plan.non_empty_branches():
+        for selection in branch.selections:
+            stats = AccessStatistics()
+            table = protein_system.catalog.table_for(selection.source)
+            if selection.kind is SelectionKind.PLABEL_EQ:
+                table.select_plabel_eq(selection.plabel_low, stats=stats)
+            elif selection.kind is SelectionKind.PLABEL_RANGE:
+                table.select_plabel_range(
+                    selection.plabel_low, selection.plabel_high, stats=stats
+                )
+            else:
+                table.select_tag(selection.tag, stats=stats)
+            assert model.selection_cardinality(selection) == stats.elements_read
+
+
+def test_empty_selection_costs_nothing(model):
+    empty = SelectionSpec(alias="T1", kind=SelectionKind.EMPTY)
+    assert model.selection_cardinality(empty) == 0
+    assert model.selection_output(empty) == 0.0
+
+
+def test_residuals_shrink_output_but_not_cardinality(model):
+    plain = SelectionSpec(alias="T1", kind=SelectionKind.TAG, source="sd", tag="author")
+    filtered = SelectionSpec(
+        alias="T1", kind=SelectionKind.TAG, source="sd", tag="author",
+        data_eq="Evans, M.J.",
+    )
+    assert model.selection_cardinality(plain) == model.selection_cardinality(filtered)
+    assert model.selection_output(filtered) < model.selection_output(plain)
+
+
+# -- join ordering ----------------------------------------------------------------
+
+
+def _branch_with_three_aliases():
+    selections = [
+        SelectionSpec(alias="A", kind=SelectionKind.TAG, source="sd", tag="ProteinEntry"),
+        SelectionSpec(alias="B", kind=SelectionKind.TAG, source="sd", tag="author"),
+        SelectionSpec(
+            alias="C", kind=SelectionKind.TAG, source="sd", tag="year", data_eq="2001"
+        ),
+    ]
+    joins = [JoinSpec(ancestor="A", descendant="B"), JoinSpec(ancestor="A", descendant="C")]
+    return ConjunctivePlan(selections=selections, joins=joins, return_alias="B")
+
+
+def test_join_order_is_connected(model):
+    branch = _branch_with_three_aliases()
+    shape = model.order_joins(branch)
+    assert len(shape.join_order) == len(branch.joins)
+    bound = set()
+    for join in shape.join_order:
+        if bound:
+            assert join.ancestor in bound or join.descendant in bound
+        bound.update((join.ancestor, join.descendant))
+
+
+def test_join_order_prefers_the_filtered_side_first(model):
+    """The residual-filtered (tiny) selection joins before the big one."""
+    branch = _branch_with_three_aliases()
+    shape = model.order_joins(branch)
+    first = shape.join_order[0]
+    assert {first.ancestor, first.descendant} == {"A", "C"}
+
+
+def test_statically_empty_branch_is_detected(model):
+    branch = ConjunctivePlan(
+        selections=[
+            SelectionSpec(alias="A", kind=SelectionKind.TAG, source="sd", tag="author"),
+            SelectionSpec(alias="B", kind=SelectionKind.TAG, source="sd", tag="ghost-tag"),
+        ],
+        joins=[JoinSpec(ancestor="A", descendant="B")],
+        return_alias="B",
+    )
+    shape = model.order_joins(branch)
+    assert shape.statically_empty
+    assert model.branch_cost(shape, "memory").elements == 0
+    assert model.branch_cost(shape, "twig").elements == 0
+
+
+def test_plan_cost_elements_dominate_cpu():
+    assert Cost(1, 1e9).key() < Cost(2, 0.0).key()
+    assert Cost(1, 2.0).key() > Cost(1, 1.0).key()
+
+
+def test_preference_rank_falls_back_for_unknown_names():
+    assert preference_rank("pushup", TRANSLATOR_PREFERENCE) == 0
+    assert preference_rank("mystery", TRANSLATOR_PREFERENCE) == len(TRANSLATOR_PREFERENCE)

@@ -25,11 +25,17 @@ def test_from_file(tmp_path):
     assert system.query("//author").count == 4
 
 
-def test_default_translator_and_engine(protein_system):
+def test_default_routes_through_the_planner(protein_system):
     result = protein_system.query(EXAMPLE_QUERY)
-    assert result.translator == "pushup"
-    assert result.engine == "memory"
+    # The planner reports the concrete translator/engine it chose.
+    assert result.translator in ("dlabel", "split", "pushup", "unfold")
+    assert result.engine in ("memory", "twig")
+    assert result.planned is not None and result.planned.requested_translator == "auto"
     assert result.values() == ["The human somatic cytochrome c gene"]
+    # The chosen plan never visits more elements than the seed default.
+    seed = protein_system.query(EXAMPLE_QUERY, translator="pushup", engine="memory")
+    assert result.starts == seed.starts
+    assert result.stats.elements_read <= seed.stats.elements_read
 
 
 def test_query_accepts_parsed_paths(protein_system):
@@ -64,9 +70,16 @@ def test_translate_reports_time_and_sql(protein_system):
 
 
 def test_explain_is_readable(protein_system):
-    text = protein_system.explain(EXAMPLE_QUERY, "pushup")
+    text = protein_system.explain(EXAMPLE_QUERY, "pushup", "memory")
     assert "QueryPlan[pushup]" in text
     assert "join" in text
+
+
+def test_explain_matches_what_query_runs(protein_system):
+    # With the engine left on "auto", query() routes through the planner, so
+    # explain() must describe the planner's plan, not the logical one.
+    text = protein_system.explain(EXAMPLE_QUERY, "pushup")
+    assert "EXPLAIN" in text and "PhysicalPlan" in text
 
 
 def test_query_all_translators(protein_system):

@@ -9,21 +9,40 @@ planner that picks the translator, join order and engine per query
 (``translator="auto"`` / ``engine="auto"``, the defaults) and executes
 through a pipelined physical-operator layer with an LRU plan cache.
 
+A :class:`BLASCollection` scales the same machinery to many documents:
+streaming ingestion into a doc_id-partitioned store, one plan per (query,
+scheme group) and parallel cross-document fan-out with per-document result
+attribution.
+
 Quickstart::
 
-    from repro import BLAS
+    from repro import BLAS, BLASCollection
 
-    system = BLAS.from_xml(open("proteins.xml").read())
+    system = BLAS.from_file("proteins.xml")       # streaming ingestion
     result = system.query("//protein/name")
     for record in result.records:
         print(record.data)
+
+    collection = BLASCollection()
+    collection.add_file("proteins.xml")
+    collection.add_file("plays.xml")
+    merged = collection.query("//name")           # fan-out over every document
+    print(merged.counts_by_document())
 """
 
-from repro.core.indexer import IndexedDocument, NodeRecord, index_document, index_text
+from repro.collection import BLASCollection, CollectionResult, DocumentResult
+from repro.core.indexer import (
+    IndexedDocument,
+    NodeRecord,
+    index_document,
+    index_file,
+    index_text,
+)
 from repro.core.dlabel import DLabel
 from repro.core.plabel import PLabelInterval, PLabelScheme
 from repro.engine.results import QueryResult
 from repro.exceptions import (
+    CollectionError,
     EngineError,
     LabelingError,
     PlanError,
@@ -45,8 +64,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BLAS",
+    "BLASCollection",
+    "CollectionError",
+    "CollectionResult",
     "DLabel",
     "Document",
+    "DocumentResult",
     "Element",
     "EngineError",
     "IndexedDocument",
@@ -65,6 +88,7 @@ __all__ = [
     "XPathSyntaxError",
     "extract_schema",
     "index_document",
+    "index_file",
     "index_text",
     "parse_document",
     "parse_string",

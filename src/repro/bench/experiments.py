@@ -236,6 +236,8 @@ def planner_explain_report(scale: int = 1, repeats: int = 1) -> List[Dict[str, o
                 "seed_elements": seed["elements_read"],
                 "auto_comparisons": auto["comparisons"],
                 "seed_comparisons": seed["comparisons"],
+                "auto_seconds": auto["elapsed_seconds"],
+                "seed_seconds": seed["elapsed_seconds"],
                 "results": auto["results"],
                 "matches_seed": auto["starts"] == seed["starts"],
             })

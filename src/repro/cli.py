@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands cover the everyday uses of the library:
+Four subcommands cover the everyday uses of the library:
 
 ``query``
     Index an XML file and evaluate one XPath query, printing the matching
@@ -9,6 +9,13 @@ Three subcommands cover the everyday uses of the library:
 ``plan``
     Show the plan every translator produces for a query (Figure 11 style),
     without executing anything.
+
+``collection``
+    Treat a directory of XML files as one collection:
+    ``add``/``remove``/``list`` manage the members, ``query`` fans one XPath
+    query out across every document (``--serial`` / ``--workers`` control
+    the fan-out), ``explain`` prints the per-scheme-group plans, and
+    ``stats`` shows collection and plan-cache counters.
 
 ``experiment``
     Run one of the paper-figure experiment drivers on the synthetic datasets
@@ -24,12 +31,19 @@ chosen physical plan, and estimated vs. actual cost.
 from __future__ import annotations
 
 import argparse
+import glob
+import os
+import shutil
 import sys
 from typing import List, Optional
 
 from repro.bench import experiments
 from repro.bench.reporting import format_table
+from repro.collection import BLASCollection
+from repro.core.indexer import discover_vocabulary
+from repro.exceptions import ReproError
 from repro.system import BLAS, ENGINE_CHOICES, TRANSLATOR_CHOICES, TRANSLATOR_NAMES
+from repro.xmlkit.parser import iterparse_file
 
 EXPERIMENT_NAMES = (
     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "sec42",
@@ -61,6 +75,44 @@ def build_parser() -> argparse.ArgumentParser:
     plan = subparsers.add_parser("plan", help="show every translator's plan for a query")
     plan.add_argument("file", help="path to the XML document")
     plan.add_argument("xpath", help="the XPath query")
+
+    collection = subparsers.add_parser(
+        "collection", help="manage and query a directory of XML documents as one collection"
+    )
+    collection_sub = collection.add_subparsers(dest="collection_command", required=True)
+
+    c_add = collection_sub.add_parser("add", help="validate XML files and add them to the collection directory")
+    c_add.add_argument("directory", help="the collection directory")
+    c_add.add_argument("files", nargs="+", help="XML files to add")
+
+    c_remove = collection_sub.add_parser("remove", help="remove a document (by file name) from the collection")
+    c_remove.add_argument("directory", help="the collection directory")
+    c_remove.add_argument("name", help="file name of the document to remove")
+
+    c_list = collection_sub.add_parser("list", help="list the collection's documents")
+    c_list.add_argument("directory", help="the collection directory")
+
+    c_query = collection_sub.add_parser("query", help="fan one XPath query out across every document")
+    c_query.add_argument("directory", help="the collection directory")
+    c_query.add_argument("xpath", help="the XPath query")
+    c_query.add_argument("--translator", choices=TRANSLATOR_CHOICES, default="auto")
+    c_query.add_argument("--engine", choices=ENGINE_CHOICES, default="auto")
+    c_query.add_argument("--serial", action="store_true", help="run the fan-out serially")
+    c_query.add_argument("--workers", type=int, default=0, help="thread-pool width (0 = auto)")
+    c_query.add_argument("--limit", type=int, default=20, help="maximum result rows to print")
+
+    c_explain = collection_sub.add_parser("explain", help="show the per-scheme-group plans for a query")
+    c_explain.add_argument("directory", help="the collection directory")
+    c_explain.add_argument("xpath", help="the XPath query")
+    c_explain.add_argument("--translator", choices=TRANSLATOR_CHOICES, default="auto")
+    c_explain.add_argument("--engine", choices=ENGINE_CHOICES, default="auto")
+
+    c_stats = collection_sub.add_parser("stats", help="show collection and plan-cache statistics")
+    c_stats.add_argument("directory", help="the collection directory")
+    c_stats.add_argument(
+        "--query", action="append", default=[],
+        help="plan this query first (repeatable; repeats show cache hits)",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper-figure experiments on the synthetic datasets"
@@ -144,6 +196,112 @@ def _run_plan(args: argparse.Namespace) -> int:
         ["translator", "D-joins", "eq selections", "range selections", "tag selections", "union branches"],
         rows,
     ))
+    return 0
+
+
+def _collection_files(directory: str) -> List[str]:
+    """The collection members: every ``*.xml`` in the directory, sorted.
+
+    Sorting makes doc_id assignment deterministic across invocations."""
+    return sorted(glob.glob(os.path.join(directory, "*.xml")))
+
+
+def _load_collection(directory: str) -> BLASCollection:
+    """Stream-ingest every member file of the collection directory."""
+    files = _collection_files(directory)
+    if not files:
+        raise ReproError(f"no *.xml documents in {directory!r}")
+    collection = BLASCollection()
+    for path in files:
+        collection.add_file(path, name=os.path.basename(path))
+    return collection
+
+
+def _run_collection(args: argparse.Namespace) -> int:
+    command = args.collection_command
+    if command == "add":
+        # Validate the whole batch before copying anything, so a bad or
+        # duplicate file never leaves the collection half-modified.
+        seen = set()
+        for source in args.files:
+            name = os.path.basename(source)
+            target = os.path.join(args.directory, name)
+            if name in seen or os.path.exists(target):
+                print(f"error: {name} is already in the collection")
+                return 1
+            seen.add(name)
+            try:
+                # Stream-validation; discovery raises on malformed XML or an
+                # element-free document.
+                discover_vocabulary(iterparse_file(source))
+            except (ReproError, OSError) as error:
+                print(f"error: cannot add {name}: {error}")
+                return 1
+        os.makedirs(args.directory, exist_ok=True)
+        for source in args.files:
+            shutil.copyfile(source, os.path.join(args.directory, os.path.basename(source)))
+            print(f"added {os.path.basename(source)}")
+        return 0
+    if command == "remove":
+        target = os.path.join(args.directory, os.path.basename(args.name))
+        if not os.path.exists(target):
+            print(f"error: no document named {os.path.basename(args.name)!r} in the collection")
+            return 1
+        os.remove(target)
+        print(f"removed {os.path.basename(args.name)}")
+        return 0
+
+    collection = _load_collection(args.directory)
+    if command == "list":
+        rows = [
+            [row["doc_id"], row["name"], row["nodes"], row["tags"], row["depth"],
+             row["size_bytes"], row["scheme_group"]]
+            for row in collection.documents()
+        ]
+        print(format_table(
+            ["doc", "name", "nodes", "tags", "depth", "size (bytes)", "scheme group"],
+            rows, title=f"Collection {args.directory} — {len(collection)} document(s)",
+        ))
+        return 0
+    if command == "query":
+        result = collection.query(
+            args.xpath,
+            translator=args.translator,
+            engine=args.engine,
+            parallel=not args.serial,
+            workers=args.workers,
+        )
+        names = {entry.doc_id: entry.name for entry in
+                 (collection.entry(doc_id) for doc_id in collection.doc_ids())}
+        mode = f"parallel x{result.workers}" if result.parallel else "serial"
+        print(f"{result.count} result node(s) across {len(result.per_document)} document(s) "
+              f"[translator={result.translator}, engine={result.engine}, {mode}, "
+              f"{result.elapsed_seconds * 1000:.2f} ms, "
+              f"{result.stats.elements_read} elements read]")
+        per_doc = ", ".join(
+            f"{names[doc_id]}={count}" for doc_id, count in result.counts_by_document().items()
+        )
+        print(f"per document: {per_doc}")
+        rows = [
+            [record.doc_id, names[record.doc_id], record.tag, record.start,
+             (record.data or "")[:50]]
+            for record in result.records[: args.limit]
+        ]
+        if rows:
+            print(format_table(["doc", "document", "tag", "start", "data"], rows))
+        if result.count > args.limit:
+            print(f"... and {result.count - args.limit} more")
+        return 0
+    if command == "explain":
+        print(collection.explain(args.xpath, translator=args.translator, engine=args.engine))
+        return 0
+    # stats
+    for query in args.query:
+        collection.query(query)
+    stats = collection.stats()
+    print(f"documents: {stats['documents']}  nodes: {stats['nodes']}  "
+          f"scheme groups: {stats['scheme_groups']}")
+    print(collection.plan_cache.describe())
     return 0
 
 
@@ -243,6 +401,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_query(args)
     if args.command == "plan":
         return _run_plan(args)
+    if args.command == "collection":
+        return _run_collection(args)
     return _run_experiment(args)
 
 

@@ -1,0 +1,26 @@
+"""Multi-document collection layer: doc_id-partitioned storage, streaming
+ingestion and parallel cross-document query fan-out.
+
+:class:`BLASCollection` is the entry point; :class:`CollectionResult`
+carries merged, per-document-attributed answers.  The single-document
+:class:`~repro.system.BLAS` facade is a thin view over this layer.
+"""
+
+from repro.collection.collection import (
+    BLASCollection,
+    CollectionDocument,
+    SchemeGroup,
+)
+from repro.collection.fanout import default_workers, merge_document_streams, run_jobs
+from repro.collection.result import CollectionResult, DocumentResult
+
+__all__ = [
+    "BLASCollection",
+    "CollectionDocument",
+    "CollectionResult",
+    "DocumentResult",
+    "SchemeGroup",
+    "default_workers",
+    "merge_document_streams",
+    "run_jobs",
+]

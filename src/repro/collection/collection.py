@@ -1,0 +1,502 @@
+"""The multi-document collection system.
+
+:class:`BLASCollection` ingests many XML documents into one
+doc_id-partitioned store and answers XPath over the whole collection:
+
+* **Ingestion streams.**  ``add_file`` runs the two-pass index generator
+  over :func:`~repro.xmlkit.parser.iterparse_file`, never materialising the
+  text; ``add_xml``/``add_document`` share the same streaming core.
+* **Schemes are shared.**  Documents are grouped by compatible P-label
+  scheme: a new document whose tag vocabulary fits an existing scheme (tags
+  a subset, depth within the height bound) is labelled with that scheme —
+  reusing the discovery machinery, and making every plabel interval
+  directly comparable across the group's documents.
+* **Planning happens once per (query, scheme group).**  The cost-based
+  planner prices candidates against collection-merged exact histograms and
+  lowers one physical plan per group; the LRU plan cache is keyed on the
+  group's collection fingerprint, so adding or removing a document
+  invalidates exactly the plans it must.
+* **Execution fans out.**  The chosen plan runs against every document's
+  storage slice — serially or across a thread pool — and the per-document
+  streams merge into ``(doc_id, document order)``.  Parallel and serial
+  execution are byte-identical by construction.
+
+:class:`~repro.system.BLAS` is a thin one-document view of this machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.collection.fanout import default_workers, merge_document_streams, run_jobs
+from repro.collection.result import CollectionResult, DocumentResult
+from repro.core.indexer import (
+    IndexedDocument,
+    discover_vocabulary,
+    index_document,
+    index_file,
+    index_text,
+)
+from repro.core.plabel import PLabelScheme
+from repro.engine.executor import PlanExecutor
+from repro.engine.rdbms import RdbmsEngine
+from repro.engine.results import QueryResult
+from repro.exceptions import CollectionError, SchemaError
+from repro.planner.cache import PlanCache, plan_key
+from repro.planner.cost import CostModel
+from repro.planner.planner import PlannedQuery, QueryPlanner
+from repro.storage.table import PartitionedCatalog, StorageCatalog
+from repro.storage.stats import CatalogStatistics
+from repro.xmlkit.model import Document
+from repro.xmlkit.parser import iterparse, iterparse_file
+from repro.xmlkit.schema import SchemaGraph, merge_schema_graphs
+from repro.xpath.ast import LocationPath
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+
+_UNSET = object()
+
+
+@dataclass
+class CollectionDocument:
+    """One member document: its index, storage slice and group membership."""
+
+    doc_id: int
+    name: str
+    indexed: IndexedDocument
+    catalog: StorageCatalog
+    group_id: int
+    _rdbms: Optional[RdbmsEngine] = field(default=None, repr=False)
+
+    @property
+    def rdbms(self) -> RdbmsEngine:
+        """The document's SQLite engine (built lazily, explicit opt-in only)."""
+        if self._rdbms is None:
+            self._rdbms = RdbmsEngine.from_indexed_document(self.indexed)
+        return self._rdbms
+
+    def summary(self) -> Dict[str, object]:
+        """One row of ``BLASCollection.documents()``."""
+        row = dict(self.indexed.summary())
+        row["doc_id"] = self.doc_id
+        row["name"] = self.name
+        row["scheme_group"] = self.group_id
+        return row
+
+
+class SchemeGroup:
+    """Documents sharing one P-label scheme.
+
+    The group is what the planner sees: it quacks like a
+    :class:`~repro.storage.table.StorageCatalog` for planning purposes —
+    ``scheme``, ``schema`` and ``statistics()`` — but its statistics are the
+    collection-merged histograms of every member partition, and its
+    fingerprint changes with membership.
+    """
+
+    def __init__(self, group_id: int, scheme: PLabelScheme, store: PartitionedCatalog):
+        self.group_id = group_id
+        self.scheme = scheme
+        self._store = store
+        self.doc_ids: List[int] = []
+        self._schemas: Dict[int, Optional[SchemaGraph]] = {}
+        self._schema_cache: object = _UNSET
+        self._planner: Optional[QueryPlanner] = None
+
+    # -- membership -------------------------------------------------------------
+
+    def add(self, doc_id: int, schema: Optional[SchemaGraph]) -> None:
+        self.doc_ids.append(doc_id)
+        self.doc_ids.sort()
+        self._schemas[doc_id] = schema
+        self._invalidate()
+
+    def remove(self, doc_id: int) -> None:
+        self.doc_ids.remove(doc_id)
+        del self._schemas[doc_id]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        # Merged schema and cost model both depend on membership.
+        self._schema_cache = _UNSET
+        self._planner = None
+
+    def accepts(self, tags: Sequence[str], max_depth: int) -> bool:
+        """True when a document with these tags/depth can use this scheme."""
+        return max_depth <= self.scheme.height and all(
+            self.scheme.knows_tag(tag) for tag in tags
+        )
+
+    def matches_scheme(self, scheme: PLabelScheme) -> bool:
+        """True when ``scheme`` assigns exactly the same labels as ours."""
+        return scheme.height == self.scheme.height and scheme.tags == self.scheme.tags
+
+    # -- what the planner consumes ----------------------------------------------
+
+    @property
+    def schema(self) -> Optional[SchemaGraph]:
+        """The union schema of every member, or ``None``.
+
+        ``None`` when any member was indexed without schema extraction —
+        Unfold can only be trusted when the schema covers every document it
+        will run against.
+        """
+        if self._schema_cache is _UNSET:
+            graphs = [self._schemas[doc_id] for doc_id in self.doc_ids]
+            if graphs and all(graph is not None for graph in graphs):
+                self._schema_cache = merge_schema_graphs(graphs)
+            else:
+                self._schema_cache = None
+        return self._schema_cache  # type: ignore[return-value]
+
+    def statistics(self) -> CatalogStatistics:
+        """Collection-merged exact statistics over the member partitions."""
+        return self._store.statistics_for(self.doc_ids)
+
+    def fingerprint(self) -> str:
+        """The group's collection fingerprint (plan-cache key part)."""
+        return self._store.fingerprint_for(self.doc_ids)
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The group's planner (rebuilt whenever membership changes)."""
+        if self._planner is None:
+            self._planner = QueryPlanner(self)
+        return self._planner
+
+
+class BLASCollection:
+    """A queryable, mutable set of indexed XML documents."""
+
+    def __init__(self, plan_cache_size: int = 128, workers: int = 0):
+        self.store = PartitionedCatalog()
+        self.plan_cache = PlanCache(capacity=plan_cache_size)
+        #: Default worker count for parallel fan-out; 0 means auto-size.
+        self.workers = workers
+        self._documents: Dict[int, CollectionDocument] = {}
+        self._groups: List[SchemeGroup] = []
+        self._next_doc_id = 0
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def doc_ids(self) -> List[int]:
+        """Member doc_ids in ascending order."""
+        return sorted(self._documents)
+
+    def entry(self, doc_id: int) -> CollectionDocument:
+        """The member record for ``doc_id``."""
+        entry = self._documents.get(doc_id)
+        if entry is None:
+            raise CollectionError(f"doc_id {doc_id} is not part of this collection")
+        return entry
+
+    def documents(self) -> List[Dict[str, object]]:
+        """Per-document summary rows (Figure 12 columns plus membership)."""
+        return [self._documents[doc_id].summary() for doc_id in self.doc_ids()]
+
+    def scheme_groups(self) -> List[SchemeGroup]:
+        """The non-empty scheme groups, in creation order."""
+        return [group for group in self._groups if group.doc_ids]
+
+    def stats(self) -> Dict[str, object]:
+        """Collection-level observability: sizes plus plan-cache counters."""
+        return {
+            "documents": len(self._documents),
+            "nodes": self.store.node_count,
+            "scheme_groups": len(self.scheme_groups()),
+            "plan_cache": self.plan_cache.stats(),
+        }
+
+    def document_view(self, doc_id: int):
+        """A single-document :class:`~repro.system.BLAS` view of one member.
+
+        The view shares this collection's storage slice and plan cache; its
+        behavior (counters included) is identical to a standalone system
+        built over the same document.
+        """
+        from repro.system import BLAS  # facade sits above this layer
+
+        entry = self.entry(doc_id)
+        return BLAS(entry.indexed, _collection=self, _doc_id=doc_id)
+
+    # -- ingestion (streaming) ---------------------------------------------------
+
+    def add_xml(self, text: str, name: Optional[str] = None) -> int:
+        """Index an XML string into the collection; returns its doc_id."""
+        doc_id = self._next_doc_id
+        name = name or f"document-{doc_id}"
+        discovery = discover_vocabulary(iterparse(text))
+        group = self._compatible_group(list(discovery.tags), discovery.max_depth)
+        indexed = index_text(
+            text,
+            scheme=group.scheme if group is not None else None,
+            name=name,
+            doc_id=doc_id,
+        )
+        return self._register(indexed, group)
+
+    def add_file(self, path: str, name: Optional[str] = None) -> int:
+        """Stream-index the XML file at ``path``; returns its doc_id.
+
+        Both the discovery and the labeling pass read the file in chunks —
+        the document text is never materialised.
+        """
+        doc_id = self._next_doc_id
+        discovery = discover_vocabulary(iterparse_file(path))
+        group = self._compatible_group(list(discovery.tags), discovery.max_depth)
+        indexed = index_file(
+            path,
+            scheme=group.scheme if group is not None else None,
+            name=name or path,
+            doc_id=doc_id,
+        )
+        return self._register(indexed, group)
+
+    def add_document(self, document: Document, name: Optional[str] = None) -> int:
+        """Index an in-memory document into the collection; returns its doc_id."""
+        doc_id = self._next_doc_id
+        group = self._compatible_group(document.distinct_tags(), document.max_depth())
+        indexed = index_document(
+            document,
+            scheme=group.scheme if group is not None else None,
+            name=name or document.name,
+            doc_id=doc_id,
+        )
+        return self._register(indexed, group)
+
+    def add_indexed(self, indexed: IndexedDocument) -> int:
+        """Adopt a pre-built index (records are re-stamped with a new doc_id).
+
+        The index keeps its own labels, so it can only join a group whose
+        scheme assigns *identical* labels; otherwise it founds a new group.
+        """
+        group = next(
+            (g for g in self.scheme_groups() if g.matches_scheme(indexed.scheme)), None
+        )
+        return self._register(indexed.with_doc_id(self._next_doc_id), group)
+
+    def _compatible_group(
+        self, tags: Sequence[str], max_depth: int
+    ) -> Optional[SchemeGroup]:
+        return next(
+            (g for g in self.scheme_groups() if g.accepts(tags, max_depth)), None
+        )
+
+    def _register(self, indexed: IndexedDocument, group: Optional[SchemeGroup]) -> int:
+        doc_id = self._next_doc_id
+        if group is None:
+            group = SchemeGroup(len(self._groups), indexed.scheme, self.store)
+            self._groups.append(group)
+        catalog = self.store.add_partition(indexed, doc_id)
+        group.add(doc_id, indexed.schema)
+        self._documents[doc_id] = CollectionDocument(
+            doc_id=doc_id,
+            name=indexed.name,
+            indexed=indexed,
+            catalog=catalog,
+            group_id=group.group_id,
+        )
+        self._next_doc_id += 1
+        return doc_id
+
+    def remove(self, ref: Union[int, str]) -> int:
+        """Remove a document by doc_id or by name; returns the doc_id removed.
+
+        Membership change flows through the store and the scheme group, so
+        merged statistics, fingerprints — and therefore every cached plan
+        over the old membership — are invalidated.
+        """
+        doc_id = self._resolve(ref)
+        entry = self._documents.pop(doc_id)
+        self.store.remove_partition(doc_id)
+        self._group_by_id(entry.group_id).remove(doc_id)
+        return doc_id
+
+    def _resolve(self, ref: Union[int, str]) -> int:
+        if isinstance(ref, int):
+            if ref not in self._documents:
+                raise CollectionError(f"doc_id {ref} is not part of this collection")
+            return ref
+        matches = [d for d, entry in self._documents.items() if entry.name == ref]
+        if not matches:
+            raise CollectionError(f"no document named {ref!r} in this collection")
+        if len(matches) > 1:
+            raise CollectionError(
+                f"document name {ref!r} is ambiguous (doc_ids {sorted(matches)})"
+            )
+        return matches[0]
+
+    def _group_by_id(self, group_id: int) -> SchemeGroup:
+        return self._groups[group_id]
+
+    # -- planning ---------------------------------------------------------------
+
+    @staticmethod
+    def _check_names(translator: str, engine: str) -> None:
+        from repro.system import BLAS  # the facade owns the canonical name lists
+
+        BLAS._check_translator(translator)
+        BLAS._check_engine(engine)
+
+    def _query_tree(self, query: Union[str, LocationPath]):
+        path = parse_xpath(query) if isinstance(query, str) else query
+        return build_query_tree(path)
+
+    def plan_for_group(
+        self,
+        group: SchemeGroup,
+        query: Union[str, LocationPath],
+        translator: str = "auto",
+        engine: str = "auto",
+    ) -> PlannedQuery:
+        """Plan a query once for one scheme group (with caching)."""
+        tree = self._query_tree(query)
+        return self._plan_group(group, tree, tree.to_xpath(), translator, engine)
+
+    def _plan_group(
+        self, group: SchemeGroup, tree, text: str, translator: str, engine: str
+    ) -> PlannedQuery:
+        if translator == "unfold" and group.schema is None:
+            raise SchemaError(
+                "translator 'unfold' needs a schema graph covering every "
+                f"document of scheme group {group.group_id}"
+            )
+        key = plan_key(text, translator, engine, group.fingerprint())
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            return dataclasses.replace(cached, cache_hit=True)
+        planned = group.planner.plan(tree, text, translator=translator, engine=engine)
+        self.plan_cache.put(key, planned)
+        return planned
+
+    def specialize_cost(self, entry: CollectionDocument, planned: PlannedQuery):
+        """Re-price a group plan against one document's own exact statistics.
+
+        The group plans once against merged histograms; this prices the
+        chosen logical shape per document (EXPLAIN shows both, so skew
+        between documents is visible).
+        """
+        model = CostModel(entry.catalog.statistics())
+        shapes = model.plan_shapes(planned.logical)
+        return model.plan_cost(shapes, planned.engine)
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(
+        self,
+        query: Union[str, LocationPath],
+        translator: str = "auto",
+        engine: str = "auto",
+        parallel: bool = True,
+        workers: int = 0,
+    ) -> CollectionResult:
+        """Answer an XPath query over every document of the collection.
+
+        Plans once per scheme group, fans the chosen physical plan out
+        across the member documents (``parallel=True`` uses a thread pool of
+        ``workers``; 0 auto-sizes), and merges the per-document streams into
+        ``(doc_id, document order)``.  Parallel and serial execution return
+        byte-identical results.
+        """
+        self._check_names(translator, engine)
+        if not self._documents:
+            raise CollectionError("the collection holds no documents")
+        tree = self._query_tree(query)
+        text = tree.to_xpath()
+        started = time.perf_counter()
+        plans: Dict[int, PlannedQuery] = {
+            group.group_id: self._plan_group(group, tree, text, translator, engine)
+            for group in self.scheme_groups()
+        }
+        entries = [self._documents[doc_id] for doc_id in self.doc_ids()]
+        jobs = [
+            (lambda entry=entry: self._execute_on(entry, plans[entry.group_id]))
+            for entry in entries
+        ]
+        # SQLite connections are bound to their creating thread, so the
+        # explicit sqlite engine always fans out serially.
+        sqlite_involved = any(planned.engine == "sqlite" for planned in plans.values())
+        if workers < 1:
+            workers = self.workers or default_workers(len(jobs))
+        use_parallel = parallel and not sqlite_involved and len(jobs) > 1 and workers > 1
+        outputs = run_jobs(jobs, parallel=use_parallel, workers=workers)
+        elapsed = time.perf_counter() - started
+        per_document = [
+            DocumentResult(doc_id=entry.doc_id, name=entry.name, result=result)
+            for entry, result in zip(entries, outputs)
+        ]
+        result = CollectionResult(
+            query_text=text,
+            translator=self._uniform(plans, "translator"),
+            engine=self._uniform(plans, "engine"),
+            per_document=per_document,
+            records=merge_document_streams(per_document),
+            elapsed_seconds=elapsed,
+            parallel=use_parallel,
+            workers=workers if use_parallel else 1,
+        )
+        for document_result in per_document:
+            result.stats.merge(document_result.result.stats)
+        return result
+
+    @staticmethod
+    def _uniform(plans: Dict[int, PlannedQuery], attribute: str) -> str:
+        names = {getattr(planned, attribute) for planned in plans.values()}
+        return names.pop() if len(names) == 1 else "mixed"
+
+    def _execute_on(
+        self, entry: CollectionDocument, planned: PlannedQuery
+    ) -> QueryResult:
+        if planned.engine == "sqlite":
+            result = entry.rdbms.execute(planned.logical)
+        else:
+            result = PlanExecutor(entry.catalog).execute_physical(planned.physical)
+        result.sql = planned.sql
+        result.planned = planned
+        return result
+
+    # -- EXPLAIN ----------------------------------------------------------------
+
+    def explain(
+        self,
+        query: Union[str, LocationPath],
+        translator: str = "auto",
+        engine: str = "auto",
+    ) -> str:
+        """Readable cross-document EXPLAIN.
+
+        Shows, per scheme group, the planner's candidate table and chosen
+        physical plan (priced on merged statistics) plus the plan re-priced
+        against each member document — and the plan-cache counters."""
+        self._check_names(translator, engine)
+        if not self._documents:
+            raise CollectionError("the collection holds no documents")
+        tree = self._query_tree(query)
+        text = tree.to_xpath()
+        lines = [f"COLLECTION EXPLAIN {text}"]
+        lines.append(
+            f"  documents={len(self._documents)} "
+            f"scheme_groups={len(self.scheme_groups())}"
+        )
+        for group in self.scheme_groups():
+            planned = self._plan_group(group, tree, text, translator, engine)
+            lines.append(
+                f"  group {group.group_id}: docs {group.doc_ids} "
+                f"(scheme: {len(group.scheme.tags)} tags, height {group.scheme.height})"
+            )
+            lines.extend("  " + line for line in planned.explain().splitlines())
+            lines.append("    per-document cost estimates:")
+            for doc_id in group.doc_ids:
+                entry = self._documents[doc_id]
+                cost = self.specialize_cost(entry, planned)
+                lines.append(
+                    f"      doc {doc_id} ({entry.name}): est {cost.describe()}"
+                )
+        lines.append("  " + self.plan_cache.describe())
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""The cross-document fan-out driver.
+
+One planned physical plan is executed against every document partition; the
+per-document runs are independent (operators keep their state in a
+per-execution context, storage slices are read-only), so they parallelise
+across a :class:`~concurrent.futures.ThreadPoolExecutor` without any
+coordination.  Results come back in deterministic ``(doc_id, document
+order)`` regardless of worker count or completion order: the merge is a
+k-way stream merge over per-document streams that are each already sorted,
+so serial and parallel execution produce byte-identical output.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.core.indexer import NodeRecord
+from repro.collection.result import DocumentResult
+
+T = TypeVar("T")
+
+#: Upper bound on the default worker count — fan-out work is CPU-bound
+#: Python, so very wide pools only add scheduling overhead.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_workers(jobs: int) -> int:
+    """A sensible worker count for ``jobs`` independent document runs."""
+    return max(1, min(jobs, os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+
+
+def run_jobs(
+    jobs: Sequence[Callable[[], T]], parallel: bool = True, workers: int = 0
+) -> List[T]:
+    """Run independent per-document jobs, preserving input order.
+
+    ``parallel=False`` (or a single job / single worker) runs the jobs
+    serially on the calling thread; otherwise they are submitted to a thread
+    pool.  Output order is always the input order — never completion order —
+    which is one half of the serial/parallel determinism guarantee.
+    """
+    if workers < 1:
+        workers = default_workers(len(jobs))
+    if not parallel or workers == 1 or len(jobs) <= 1:
+        return [job() for job in jobs]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(job) for job in jobs]
+        return [future.result() for future in futures]
+
+
+def merge_document_streams(per_document: Sequence[DocumentResult]) -> List[NodeRecord]:
+    """K-way merge of per-document result streams into global order.
+
+    Each document's records are already in document order (ascending
+    ``start``); keying the merge on ``(doc_id, start)`` yields the
+    collection-global order.  This is the other half of the determinism
+    guarantee: the merge depends only on the per-document outputs, not on
+    when they were produced.
+    """
+    streams = (
+        iter(document_result.result.records) for document_result in per_document
+    )
+    return list(heapq.merge(*streams, key=lambda record: (record.doc_id, record.start)))

@@ -1,0 +1,78 @@
+"""Result containers for cross-document queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.indexer import NodeRecord
+from repro.engine.results import QueryResult
+from repro.storage.stats import AccessStatistics
+
+
+@dataclass
+class DocumentResult:
+    """One document's share of a collection query."""
+
+    doc_id: int
+    name: str
+    result: QueryResult
+
+    @property
+    def count(self) -> int:
+        """Result nodes contributed by this document."""
+        return self.result.count
+
+
+@dataclass
+class CollectionResult:
+    """The outcome of one query fanned out across a collection.
+
+    ``records`` holds the merged result stream in ``(doc_id, document
+    order)`` — every :class:`NodeRecord` carries its ``doc_id``, so
+    per-document attribution survives the merge.  ``per_document`` keeps the
+    individual :class:`~repro.engine.results.QueryResult` objects (ordered
+    by doc_id) with their own counters, and ``stats`` accumulates them.
+    """
+
+    query_text: str
+    translator: str
+    engine: str
+    per_document: List[DocumentResult] = field(default_factory=list)
+    records: List[NodeRecord] = field(default_factory=list)
+    stats: AccessStatistics = field(default_factory=AccessStatistics)
+    elapsed_seconds: float = 0.0
+    parallel: bool = False
+    workers: int = 1
+
+    @property
+    def count(self) -> int:
+        """Total result nodes across every document."""
+        return len(self.records)
+
+    @property
+    def starts(self) -> List[Tuple[int, int]]:
+        """Result identity pairs ``(doc_id, start)`` in merge order."""
+        return [(record.doc_id, record.start) for record in self.records]
+
+    def values(self) -> List[Optional[str]]:
+        """Data values of the merged result nodes."""
+        return [record.data for record in self.records]
+
+    def counts_by_document(self) -> Dict[int, int]:
+        """Result count per doc_id (including zero-hit documents)."""
+        return {dr.doc_id: dr.count for dr in self.per_document}
+
+    def summary(self) -> Dict[str, object]:
+        """A flat summary row for reports and tests."""
+        return {
+            "query": self.query_text,
+            "translator": self.translator,
+            "engine": self.engine,
+            "documents": len(self.per_document),
+            "results": self.count,
+            "elements_read": self.stats.elements_read,
+            "elapsed_seconds": self.elapsed_seconds,
+            "parallel": self.parallel,
+            "workers": self.workers,
+        }

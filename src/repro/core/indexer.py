@@ -18,8 +18,10 @@ replicated datasets of the scalability experiments) only one pass is needed.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.dlabel import DLabel
 from repro.core.plabel import PLabelScheme, build_scheme_for_tags
@@ -27,11 +29,12 @@ from repro.exceptions import LabelingError
 from repro.xmlkit.events import (
     CharactersEvent,
     EndElementEvent,
+    ParseEvent,
     SaxHandler,
     StartElementEvent,
 )
 from repro.xmlkit.model import Document
-from repro.xmlkit.parser import drive, iterparse
+from repro.xmlkit.parser import drive, iterparse, iterparse_file
 from repro.xmlkit.schema import SchemaGraph, extract_schema
 from repro.xmlkit.writer import document_to_string
 
@@ -77,6 +80,61 @@ class _DiscoveryPass(SaxHandler):
 
     def end_element(self, event: EndElementEvent) -> None:
         self._depth -= 1
+
+
+class _SchemaPass(SaxHandler):
+    """Streaming schema-graph extraction.
+
+    Builds the same :class:`~repro.xmlkit.schema.SchemaGraph` as
+    :func:`~repro.xmlkit.schema.extract_schema` on the materialised tree —
+    roots, parent→child tag edges and the depth bound — but from the event
+    stream, so it can ride along an indexing pass without ever holding the
+    document.  Synthetic ``@attribute`` nodes are included, exactly as the
+    tree extractor sees them (the model materialises attribute nodes).
+    """
+
+    def __init__(self) -> None:
+        self.graph = SchemaGraph()
+        self._stack: List[str] = []
+
+    def start_element(self, event: StartElementEvent) -> None:
+        tag = event.tag
+        if self._stack:
+            self.graph.add_edge(self._stack[-1], tag)
+        else:
+            self.graph.add_root(tag)
+        self._stack.append(tag)
+        self.graph.observe_depth(len(self._stack))
+
+    def end_element(self, event: EndElementEvent) -> None:
+        self._stack.pop()
+
+
+class _TeeHandler(SaxHandler):
+    """Dispatch one event stream to several handlers (one pass, many ears)."""
+
+    def __init__(self, *handlers: SaxHandler):
+        self.handlers = [handler for handler in handlers if handler is not None]
+
+    def start_document(self) -> None:
+        for handler in self.handlers:
+            handler.start_document()
+
+    def end_document(self) -> None:
+        for handler in self.handlers:
+            handler.end_document()
+
+    def start_element(self, event: StartElementEvent) -> None:
+        for handler in self.handlers:
+            handler.start_element(event)
+
+    def end_element(self, event: EndElementEvent) -> None:
+        for handler in self.handlers:
+            handler.end_element(event)
+
+    def characters(self, event: CharactersEvent) -> None:
+        for handler in self.handlers:
+            handler.characters(event)
 
 
 class BiLabelIndexer(SaxHandler):
@@ -192,6 +250,60 @@ class IndexedDocument:
             "depth": self.max_depth,
         }
 
+    def with_doc_id(self, doc_id: int) -> "IndexedDocument":
+        """This index re-stamped with ``doc_id`` on every record.
+
+        Used when a pre-built single-document index joins a collection and
+        must take the collection's document identifier.  Returns ``self``
+        when every record already carries ``doc_id``.
+        """
+        if all(record.doc_id == doc_id for record in self.records):
+            return self
+        return dataclasses.replace(
+            self,
+            records=[dataclasses.replace(record, doc_id=doc_id) for record in self.records],
+        )
+
+
+def discover_vocabulary(events: Iterable[ParseEvent]) -> _DiscoveryPass:
+    """Run the discovery pass (tag vocabulary + max depth) over an event stream."""
+    discovery = _DiscoveryPass()
+    drive(events, discovery)
+    if not discovery.tags:
+        raise LabelingError("document contains no elements")
+    return discovery
+
+
+def _index_stream(
+    events_factory: Callable[[], Iterator[ParseEvent]],
+    scheme: Optional[PLabelScheme],
+    name: str,
+    doc_id: int,
+    extract_schema_graph: bool,
+    source_size_bytes: int,
+) -> IndexedDocument:
+    """The shared streaming indexing core.
+
+    ``events_factory`` re-opens the event stream for each pass: a discovery
+    pass when no ``scheme`` is supplied, then the labeling pass, with the
+    streaming schema extractor riding along the labeling pass.  Nothing here
+    ever materialises the document, so the same core serves text and
+    larger-than-memory file input.
+    """
+    if scheme is None:
+        discovery = discover_vocabulary(events_factory())
+        scheme = build_scheme_for_tags(discovery.tags, discovery.max_depth)
+    indexer = BiLabelIndexer(scheme, doc_id=doc_id)
+    schema_pass = _SchemaPass() if extract_schema_graph else None
+    drive(events_factory(), _TeeHandler(indexer, schema_pass))
+    return IndexedDocument(
+        records=indexer.records_in_document_order(),
+        scheme=scheme,
+        schema=schema_pass.graph if schema_pass is not None else None,
+        name=name,
+        source_size_bytes=source_size_bytes,
+    )
+
 
 def index_text(
     text: str,
@@ -205,27 +317,41 @@ def index_text(
     When ``scheme`` is omitted a discovery pass determines the tag vocabulary
     and depth bound first.  When ``extract_schema_graph`` is true the schema
     graph needed by the Unfold translator is also built (from the document
-    itself, standing in for a DTD).
+    itself, standing in for a DTD) — streamed alongside the labeling pass.
     """
-    if scheme is None:
-        discovery = _DiscoveryPass()
-        drive(iterparse(text), discovery)
-        if not discovery.tags:
-            raise LabelingError("document contains no elements")
-        scheme = build_scheme_for_tags(discovery.tags, discovery.max_depth)
-    indexer = BiLabelIndexer(scheme, doc_id=doc_id)
-    drive(iterparse(text), indexer)
-    schema = None
-    if extract_schema_graph:
-        from repro.xmlkit.parser import parse_string
-
-        schema = extract_schema(parse_string(text, name=name))
-    return IndexedDocument(
-        records=indexer.records_in_document_order(),
+    return _index_stream(
+        lambda: iterparse(text),
         scheme=scheme,
-        schema=schema,
         name=name,
+        doc_id=doc_id,
+        extract_schema_graph=extract_schema_graph,
         source_size_bytes=len(text.encode("utf-8")),
+    )
+
+
+def index_file(
+    path: str,
+    scheme: Optional[PLabelScheme] = None,
+    name: Optional[str] = None,
+    doc_id: int = 0,
+    extract_schema_graph: bool = True,
+    chunk_size: Optional[int] = None,
+) -> IndexedDocument:
+    """Index the XML file at ``path`` with streaming passes.
+
+    The file is read in chunks through :func:`~repro.xmlkit.parser.iterparse_file`
+    for every pass, so the whole text is never held in memory — this is the
+    collection ingestion path and what :meth:`repro.system.BLAS.from_file`
+    routes through.
+    """
+    kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+    return _index_stream(
+        lambda: iterparse_file(path, **kwargs),
+        scheme=scheme,
+        name=name or path,
+        doc_id=doc_id,
+        extract_schema_graph=extract_schema_graph,
+        source_size_bytes=os.stat(path).st_size,
     )
 
 

@@ -63,3 +63,7 @@ class PlanError(ReproError):
 
 class EngineError(ReproError):
     """Raised by query engines during execution."""
+
+
+class CollectionError(ReproError):
+    """Raised by the multi-document collection layer (membership, fan-out)."""

@@ -66,6 +66,21 @@ class PlanCache:
             "evictions": self.evictions,
         }
 
+    def stats(self) -> Dict[str, int]:
+        """Observability snapshot: alias of :meth:`info`.
+
+        Surfaced in ``explain()`` output and the ``repro collection stats``
+        command so cache effectiveness is visible without a debugger.
+        """
+        return self.info()
+
+    def describe(self) -> str:
+        """One-line rendering used by EXPLAIN output and the CLI."""
+        return (
+            f"plan cache: size={len(self._entries)}/{self.capacity} "
+            f"hits={self.hits} misses={self.misses} evictions={self.evictions}"
+        )
+
 
 def plan_key(
     query_text: str, translator: str, engine: str, fingerprint: str

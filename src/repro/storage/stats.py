@@ -142,14 +142,67 @@ class TableStatistics:
         self.distinct_data_values = len(data_locations)
         self.data_rows = data_rows
         self.max_level = max_level
+        self._finalize_plabel_histogram(plabel_counts)
+
+    def _finalize_plabel_histogram(self, plabel_counts: Dict[int, int]) -> None:
         # Exact plabel histogram stored as sorted keys + cumulative counts so
-        # a range count is two bisections and one subtraction.
+        # a range count is two bisections and one subtraction.  The raw
+        # counts are kept so per-document statistics can merge into
+        # collection-level histograms.
+        self.plabel_counts = plabel_counts
         self._plabel_keys: List[int] = sorted(plabel_counts)
         self._plabel_cumulative: List[int] = []
         running = 0
         for key in self._plabel_keys:
             running += plabel_counts[key]
             self._plabel_cumulative.append(running)
+
+    @classmethod
+    def merged(cls, parts: Sequence["TableStatistics"]) -> "TableStatistics":
+        """Collection-merged statistics: the exact histograms of the union.
+
+        Documents sharing one P-label scheme draw plabels from the same
+        domain, so summing per-document histograms gives the exact
+        collection histogram — what the planner prices cross-document
+        fan-out plans with.
+        """
+        if not parts:
+            raise ValueError("cannot merge an empty list of table statistics")
+        merged = cls.__new__(cls)
+        merged.row_count = sum(part.row_count for part in parts)
+        tag_counts: Dict[str, int] = {}
+        level_counts: Dict[int, int] = {}
+        plabel_counts: Dict[int, int] = {}
+        tag_level_counts: Dict[str, Dict[int, int]] = {}
+        plabel_level_counts: Dict[int, Dict[int, int]] = {}
+        data_locations: Dict[str, List[Tuple[int, str, int]]] = {}
+        for part in parts:
+            for tag, count in part.tag_counts.items():
+                tag_counts[tag] = tag_counts.get(tag, 0) + count
+            for level, count in part.level_counts.items():
+                level_counts[level] = level_counts.get(level, 0) + count
+            for plabel, count in part.plabel_counts.items():
+                plabel_counts[plabel] = plabel_counts.get(plabel, 0) + count
+            for tag, by_level in part.tag_level_counts.items():
+                target = tag_level_counts.setdefault(tag, {})
+                for level, count in by_level.items():
+                    target[level] = target.get(level, 0) + count
+            for plabel, by_level in part.plabel_level_counts.items():
+                target = plabel_level_counts.setdefault(plabel, {})
+                for level, count in by_level.items():
+                    target[level] = target.get(level, 0) + count
+            for value, locations in part.data_locations.items():
+                data_locations.setdefault(value, []).extend(locations)
+        merged.tag_counts = tag_counts
+        merged.level_counts = level_counts
+        merged.tag_level_counts = tag_level_counts
+        merged.plabel_level_counts = plabel_level_counts
+        merged.data_locations = data_locations
+        merged.distinct_data_values = len(data_locations)
+        merged.data_rows = sum(part.data_rows for part in parts)
+        merged.max_level = max(part.max_level for part in parts)
+        merged._finalize_plabel_histogram(plabel_counts)
+        return merged
 
     # -- exact cardinalities ---------------------------------------------------
 
@@ -278,4 +331,18 @@ def fingerprint_records(records: Sequence, name: str = "") -> str:
             f"{record.plabel},{record.start},{record.end},{record.level},"
             f"{record.tag},{record.doc_id},{record.data!r}".encode("utf-8")
         )
+    return digest.hexdigest()
+
+
+def fingerprint_collection(parts: Sequence[Tuple[int, str]]) -> str:
+    """A digest identifying a set of documents by (doc_id, fingerprint).
+
+    Adding, removing or replacing any member changes the digest, which is
+    what keys the plan cache at the collection level: membership changes
+    invalidate every cached cross-document plan automatically.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"collection|{len(parts)}".encode("utf-8"))
+    for doc_id, fingerprint in parts:
+        digest.update(f"|{doc_id}:{fingerprint}".encode("utf-8"))
     return digest.hexdigest()

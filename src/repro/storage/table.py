@@ -26,6 +26,7 @@ from repro.storage.stats import (
     AccessStatistics,
     CatalogStatistics,
     TableStatistics,
+    fingerprint_collection,
     fingerprint_records,
 )
 
@@ -298,3 +299,122 @@ class StorageCatalog:
         if source == "sd":
             return self.sd
         raise StorageError(f"unknown table source {source!r}")
+
+
+class PartitionedCatalog:
+    """A doc_id-partitioned store over many indexed documents.
+
+    Both physical layouts (SP and SD) are partitioned by ``doc_id``: every
+    document's records live in their own pair of clustered tables, wrapped
+    in a plain per-document :class:`StorageCatalog` slice — which is exactly
+    what the existing engines consume, so partitioning is invisible to them.
+    On top of the slices the partition set provides collection-merged
+    statistics (for cross-document cost estimation) and a collection
+    fingerprint that changes whenever membership does (plan-cache
+    invalidation on add/remove).
+    """
+
+    def __init__(
+        self,
+        page_layout: Optional[PageLayout] = None,
+        btree_order: int = 64,
+    ):
+        self._layout = page_layout or PageLayout()
+        self._btree_order = btree_order
+        self._partitions: Dict[int, StorageCatalog] = {}
+        self._statistics_cache: Dict[Tuple[int, ...], CatalogStatistics] = {}
+        self._fingerprint_cache: Dict[Tuple[int, ...], str] = {}
+
+    # -- membership -------------------------------------------------------------
+
+    def add_partition(self, indexed: IndexedDocument, doc_id: int) -> StorageCatalog:
+        """Build (and register) the per-document slice for ``indexed``.
+
+        Every record must already carry ``doc_id`` — the indexer stamps it —
+        so results coming out of any engine attribute themselves to the
+        right document for free.
+        """
+        if doc_id in self._partitions:
+            raise StorageError(f"doc_id {doc_id} is already part of this store")
+        if any(record.doc_id != doc_id for record in indexed.records):
+            raise StorageError(
+                f"records must be stamped with doc_id {doc_id} before partitioning"
+            )
+        catalog = StorageCatalog(indexed, self._layout, self._btree_order)
+        self._partitions[doc_id] = catalog
+        self._invalidate()
+        return catalog
+
+    def remove_partition(self, doc_id: int) -> None:
+        """Drop a document's partition (both layouts at once)."""
+        if doc_id not in self._partitions:
+            raise StorageError(f"doc_id {doc_id} is not part of this store")
+        del self._partitions[doc_id]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._statistics_cache.clear()
+        self._fingerprint_cache.clear()
+
+    # -- slices -----------------------------------------------------------------
+
+    def catalog_for(self, doc_id: int) -> StorageCatalog:
+        """The per-document :class:`StorageCatalog` slice for ``doc_id``."""
+        catalog = self._partitions.get(doc_id)
+        if catalog is None:
+            raise StorageError(f"doc_id {doc_id} is not part of this store")
+        return catalog
+
+    def doc_ids(self) -> List[int]:
+        """Member doc_ids in ascending order."""
+        return sorted(self._partitions)
+
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+    @property
+    def node_count(self) -> int:
+        """Total records across every partition."""
+        return sum(len(catalog.sp) for catalog in self._partitions.values())
+
+    # -- collection-level summaries ---------------------------------------------
+
+    def fingerprint_for(self, doc_ids: Sequence[int]) -> str:
+        """Digest identifying the content of a subset of partitions."""
+        key = tuple(sorted(doc_ids))
+        cached = self._fingerprint_cache.get(key)
+        if cached is None:
+            cached = fingerprint_collection(
+                [(doc_id, self.catalog_for(doc_id).fingerprint()) for doc_id in key]
+            )
+            self._fingerprint_cache[key] = cached
+        return cached
+
+    def statistics_for(self, doc_ids: Sequence[int]) -> CatalogStatistics:
+        """Merged exact statistics over a subset of partitions.
+
+        Valid only for documents sharing one P-label scheme (merged plabel
+        histograms are meaningless across schemes); the collection layer
+        guarantees that by grouping documents per scheme.
+        """
+        key = tuple(sorted(doc_ids))
+        cached = self._statistics_cache.get(key)
+        if cached is None:
+            parts = [self.catalog_for(doc_id).statistics().sp for doc_id in key]
+            shared = TableStatistics.merged(parts)
+            cached = CatalogStatistics(
+                sp=shared,
+                sd=shared,
+                node_count=shared.row_count,
+                fingerprint=self.fingerprint_for(key),
+            )
+            self._statistics_cache[key] = cached
+        return cached
+
+    def fingerprint(self) -> str:
+        """Digest of the whole partition set."""
+        return self.fingerprint_for(self.doc_ids())
+
+    def statistics(self) -> CatalogStatistics:
+        """Merged statistics over the whole partition set."""
+        return self.statistics_for(self.doc_ids())

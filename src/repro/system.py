@@ -36,16 +36,16 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
-from repro.core.indexer import IndexedDocument, index_document, index_text
+from repro.collection.collection import BLASCollection
+from repro.core.indexer import IndexedDocument, index_document, index_file, index_text
 from repro.core.plabel import PLabelScheme
 from repro.engine.executor import PlanExecutor
 from repro.engine.rdbms import RdbmsEngine
 from repro.engine.results import QueryResult
 from repro.engine.twigstack import TwigJoinEngine
 from repro.exceptions import EngineError, SchemaError
-from repro.planner.cache import PlanCache, plan_key
+from repro.planner.cache import plan_key
 from repro.planner.planner import PlannedQuery, QueryPlanner
-from repro.storage.table import StorageCatalog
 from repro.translate import translate
 from repro.translate.plan import QueryPlan
 from repro.translate.sql import plan_to_sql
@@ -77,25 +77,41 @@ class TranslationOutcome:
 
 
 class BLAS:
-    """The bi-labeling based XPath processing system."""
+    """The bi-labeling based XPath processing system.
+
+    Since the collection layer landed, a ``BLAS`` instance is a thin
+    one-document view of a :class:`~repro.collection.BLASCollection`: the
+    document lives in the collection's doc_id-partitioned store and the plan
+    cache is the collection's.  Every seed behavior — access counters
+    included — is preserved, because the per-document storage slice is
+    exactly the catalog a standalone system would build.
+    """
 
     def __init__(
         self,
         indexed: IndexedDocument,
         build_sqlite: bool = False,
         plan_cache_size: int = 128,
+        _collection: Optional[BLASCollection] = None,
+        _doc_id: Optional[int] = None,
     ):
-        self.indexed = indexed
-        self.scheme: PLabelScheme = indexed.scheme
-        self.schema: Optional[SchemaGraph] = indexed.schema
-        self.catalog = StorageCatalog(indexed)
+        if _collection is None:
+            _collection = BLASCollection(plan_cache_size=plan_cache_size)
+            _doc_id = _collection.add_indexed(indexed)
+        self.collection = _collection
+        self.doc_id = _doc_id
+        entry = _collection.entry(_doc_id)
+        self.indexed = entry.indexed
+        self.scheme: PLabelScheme = self.indexed.scheme
+        self.schema: Optional[SchemaGraph] = self.indexed.schema
+        self.catalog = entry.catalog
         self._executor = PlanExecutor(self.catalog)
         self._twig = TwigJoinEngine(self.catalog)
         self._rdbms: Optional[RdbmsEngine] = None
         self.planner = QueryPlanner(self.catalog)
-        self.plan_cache = PlanCache(capacity=plan_cache_size)
+        self.plan_cache = _collection.plan_cache
         if build_sqlite:
-            self._rdbms = RdbmsEngine.from_indexed_document(indexed)
+            self._rdbms = RdbmsEngine.from_indexed_document(self.indexed)
 
     # -- constructors -------------------------------------------------------------
 
@@ -113,9 +129,13 @@ class BLAS:
 
     @classmethod
     def from_file(cls, path: str, build_sqlite: bool = False) -> "BLAS":
-        """Index an XML file and build a system over it."""
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_xml(handle.read(), name=path, build_sqlite=build_sqlite)
+        """Index an XML file and build a system over it.
+
+        The file is read in chunks through the streaming indexer — the
+        document text is never materialised, so files larger than memory
+        index fine.
+        """
+        return cls(index_file(path), build_sqlite=build_sqlite)
 
     # -- engines --------------------------------------------------------------------
 
@@ -214,12 +234,14 @@ class BLAS:
         With an explicit translator *and* engine this is the translator's
         logical plan (the seed behavior); whenever the planner is involved
         (``"auto"`` translator or engine) it is the planner's full EXPLAIN —
-        candidates, chosen physical plan and estimated cost.
+        candidates, chosen physical plan, estimated cost, and the plan-cache
+        counters.
         """
         self._check_translator(translator)
         self._check_engine(engine)
         if translator == "auto" or engine == "auto":
-            return self.plan_query(query, translator, engine).explain()
+            explained = self.plan_query(query, translator, engine).explain()
+            return explained + "\n  " + self.plan_cache.describe()
         return self.translate(query, translator).plan.describe()
 
     # -- querying ---------------------------------------------------------------------
@@ -273,11 +295,23 @@ class BLAS:
         self, query: Union[str, LocationPath], engine: str = "memory",
         translators: Optional[List[str]] = None,
     ) -> Dict[str, QueryResult]:
-        """Run the query under every translator (the paper's comparisons)."""
-        names = translators or list(TRANSLATOR_NAMES)
+        """Run the query under every translator (the paper's comparisons).
+
+        With the default translator list, Unfold is skipped quietly on a
+        schema-less system.  When the caller names the translators
+        explicitly, every requested name must run — asking for ``"unfold"``
+        without a schema graph raises :class:`SchemaError` rather than
+        returning a dict that is silently missing a key.
+        """
+        names = list(translators) if translators is not None else list(TRANSLATOR_NAMES)
         results: Dict[str, QueryResult] = {}
         for name in names:
             if name == "unfold" and self.schema is None:
+                if translators is not None:
+                    raise SchemaError(
+                        "translator 'unfold' was requested explicitly but this "
+                        "system was built without a schema graph"
+                    )
                 continue
             results[name] = self.query(query, translator=name, engine=engine)
         return results

@@ -6,7 +6,9 @@ non-whitespace text node occupies one position, counted from 1.  Empty
 element tags (``<a/>``) are expanded into a start event and an end event and
 therefore consume two positions, exactly as if written ``<a></a>``.
 
-:func:`parse_string` / :func:`parse_document` build an in-memory
+:func:`iterparse_file` produces the same events straight from a file read in
+chunks — the streaming ingestion path, which never materialises the whole
+text.  :func:`parse_string` / :func:`parse_document` build an in-memory
 :class:`~repro.xmlkit.model.Document` from the events; :func:`drive` feeds an
 event iterator into a :class:`~repro.xmlkit.events.SaxHandler`, which is how
 the BLAS index generator consumes documents.
@@ -27,7 +29,10 @@ from repro.xmlkit.events import (
     StartElementEvent,
 )
 from repro.xmlkit.model import Document, Element
-from repro.xmlkit.tokenizer import Token, TokenType, tokenize
+from repro.xmlkit.tokenizer import Token, TokenType, tokenize, tokenize_chunks
+
+#: Default read size for the streaming file parser.
+DEFAULT_CHUNK_SIZE = 64 * 1024
 
 
 def iterparse(
@@ -51,6 +56,44 @@ def iterparse(
         (e.g. ``person[@id = "person0"]``) — so the index generator and the
         tree builder both rely on these events.
     """
+    return iterparse_tokens(
+        tokenize(text), keep_whitespace=keep_whitespace, expand_attributes=expand_attributes
+    )
+
+
+def iter_file_chunks(path: str, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[str]:
+    """Yield the text of the file at ``path`` in ``chunk_size`` pieces."""
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+
+
+def iterparse_file(
+    path: str,
+    keep_whitespace: bool = False,
+    expand_attributes: bool = True,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[ParseEvent]:
+    """Yield SAX-style events for the file at ``path``, reading it in chunks.
+
+    The whole document is never materialised: the tokenizer holds at most one
+    incomplete token, so this is the ingestion path for documents larger than
+    memory.  Events are identical to ``iterparse(open(path).read())``.
+    """
+    return iterparse_tokens(
+        tokenize_chunks(iter_file_chunks(path, chunk_size)),
+        keep_whitespace=keep_whitespace,
+        expand_attributes=expand_attributes,
+    )
+
+
+def iterparse_tokens(
+    tokens: Iterable[Token], keep_whitespace: bool = False, expand_attributes: bool = True
+) -> Iterator[ParseEvent]:
+    """Convert a token stream into parse events (shared by the entry points)."""
     yield StartDocumentEvent()
     position = 0
     open_tags: list[str] = []
@@ -66,7 +109,7 @@ def iterparse(
             position += 1
             yield EndElementEvent("@" + name, position)
 
-    for token in tokenize(text):
+    for token in tokens:
         if token.type in (
             TokenType.COMMENT,
             TokenType.PROCESSING_INSTRUCTION,
@@ -182,7 +225,11 @@ def parse_string(text: str, name: str = "document") -> Document:
 
 
 def parse_document(path: str, name: Optional[str] = None) -> Document:
-    """Parse the XML file at ``path`` into a :class:`Document`."""
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    return parse_string(text, name=name or path)
+    """Parse the XML file at ``path`` into a :class:`Document`.
+
+    Reads through the streaming event parser, so only the tree itself is
+    materialised — never a second copy of the raw text.
+    """
+    builder = _TreeBuilder(name or path)
+    drive(iterparse_file(path), builder)
+    return builder.document()

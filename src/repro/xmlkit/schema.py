@@ -178,6 +178,28 @@ class SchemaGraph:
         )
 
 
+def merge_schema_graphs(graphs: Sequence[SchemaGraph]) -> SchemaGraph:
+    """The union of several schema graphs (edges, roots, depth bound).
+
+    A collection scheme group answers Unfold queries over documents with
+    different (compatible) structures; the union graph permits every simple
+    path any member document exhibits, so unfolding against it is complete
+    for the whole group.
+    """
+    if not graphs:
+        raise SchemaError("cannot merge an empty list of schema graphs")
+    merged = SchemaGraph()
+    for graph in graphs:
+        for root in graph.roots:
+            merged.add_root(root)
+        for parent in graph.tags:
+            merged._edges.setdefault(parent, set())
+            for child in graph.children(parent):
+                merged.add_edge(parent, child)
+        merged.observe_depth(graph.max_depth)
+    return merged
+
+
 def extract_schema(documents: Iterable[Document] | Document) -> SchemaGraph:
     """Build a :class:`SchemaGraph` by observing one or more documents."""
     if isinstance(documents, Document):

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.exceptions import XMLSyntaxError
 
@@ -144,6 +144,141 @@ def _parse_attributes(text: str, pos: int, stop_chars: str) -> Tuple[Dict[str, s
         pos = end + 1
 
 
+#: Markup openers that need more than two characters of lookahead before the
+#: scanner can tell which token class it is looking at.
+_MARKER_PREFIXES = ("<?", "<!--", "<![CDATA[", "<!DOCTYPE", "<!doctype", "</")
+_MAX_MARKER_LENGTH = max(len(prefix) for prefix in _MARKER_PREFIXES)
+
+
+def _awaits_marker(fragment: str) -> bool:
+    """True when ``fragment`` (the buffer tail from a ``<``, truncated to the
+    longest marker length) could still grow into one of the multi-character
+    markup openers."""
+    return any(
+        prefix.startswith(fragment)
+        for prefix in _MARKER_PREFIXES
+        if len(fragment) < len(prefix)
+    )
+
+
+def _find_tag_end(text: str, pos: int) -> int:
+    """Index of the ``>`` closing a tag opened just before ``pos``, skipping
+    quoted attribute values; ``-1`` when the buffer ends first."""
+    quote = None
+    for i in range(pos, len(text)):
+        ch = text[i]
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+        elif ch == ">":
+            return i
+    return -1
+
+
+def _scan_token(
+    text: str, pos: int, final: bool, hint: int = 0
+) -> Optional[Tuple[Token, int]]:
+    """Scan one token at ``pos``; return ``(token, next_pos)``.
+
+    With ``final=False`` (incremental mode) a token that may be cut off by
+    the end of the buffer yields ``None`` — the caller must supply more input
+    and retry.  With ``final=True`` the behaviour (including errors on
+    unterminated constructs) is that of whole-document tokenization.
+
+    ``hint`` is the incremental caller's promise that a previous scan of the
+    *same* token already searched ``text[pos:hint]`` without finding its
+    terminator; the delimiter searches resume just before it (backing off by
+    one less than the delimiter length for straddles) instead of re-scanning
+    a token that grows across many chunks from its start.  DOCTYPE and tag
+    tokens keep full rescans — their scans carry state (bracket depth, quote
+    context) — which is fine: they are small in practice, unlike text, CDATA
+    and comment runs.
+    """
+    length = len(text)
+    if text[pos] != "<":
+        end = text.find("<", max(pos, hint))
+        if end == -1:
+            if not final:
+                return None
+            end = length
+        return Token(TokenType.TEXT, decode_entities(text[pos:end], pos), pos), end
+
+    if not final and _awaits_marker(text[pos : pos + _MAX_MARKER_LENGTH]):
+        return None
+
+    if text.startswith("<?", pos):
+        end = text.find("?>", max(pos + 2, hint - 1))
+        if end == -1:
+            if not final:
+                return None
+            raise XMLSyntaxError("unterminated processing instruction", pos)
+        content = text[pos + 2 : end]
+        token_type = (
+            TokenType.XML_DECLARATION
+            if content.lower().startswith("xml")
+            else TokenType.PROCESSING_INSTRUCTION
+        )
+        return Token(token_type, content, pos), end + 2
+
+    if text.startswith("<!--", pos):
+        end = text.find("-->", max(pos + 4, hint - 2))
+        if end == -1:
+            if not final:
+                return None
+            raise XMLSyntaxError("unterminated comment", pos)
+        return Token(TokenType.COMMENT, text[pos + 4 : end], pos), end + 3
+
+    if text.startswith("<![CDATA[", pos):
+        end = text.find("]]>", max(pos + 9, hint - 2))
+        if end == -1:
+            if not final:
+                return None
+            raise XMLSyntaxError("unterminated CDATA section", pos)
+        return Token(TokenType.CDATA, text[pos + 9 : end], pos), end + 3
+
+    if text.startswith("<!DOCTYPE", pos) or text.startswith("<!doctype", pos):
+        # Skip to the matching '>' accounting for an optional internal
+        # subset delimited by [ ... ].
+        depth = 0
+        cursor = pos + 9
+        while cursor < length:
+            ch = text[cursor]
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                break
+            cursor += 1
+        if cursor >= length:
+            if not final:
+                return None
+            raise XMLSyntaxError("unterminated DOCTYPE declaration", pos)
+        return Token(TokenType.DOCTYPE, text[pos + 9 : cursor].strip(), pos), cursor + 1
+
+    if text.startswith("</", pos):
+        if not final and _find_tag_end(text, pos + 2) == -1:
+            return None
+        name, cursor = _parse_name(text, pos + 2)
+        cursor = _skip_whitespace(text, cursor)
+        if cursor >= length or text[cursor] != ">":
+            raise XMLSyntaxError(f"malformed end tag </{name}", pos)
+        return Token(TokenType.END_TAG, name, pos), cursor + 1
+
+    # Ordinary start tag or empty-element tag.
+    if not final and _find_tag_end(text, pos + 1) == -1:
+        return None
+    name, cursor = _parse_name(text, pos + 1)
+    attributes, cursor = _parse_attributes(text, cursor, "/>")
+    if text.startswith("/>", cursor):
+        return Token(TokenType.EMPTY_TAG, name, pos, attributes), cursor + 2
+    if text[cursor] == ">":
+        return Token(TokenType.START_TAG, name, pos, attributes), cursor + 1
+    raise XMLSyntaxError(f"malformed start tag <{name}", pos)  # pragma: no cover - defensive
+
+
 def tokenize(text: str) -> Iterator[Token]:
     """Yield the :class:`Token` stream for ``text``.
 
@@ -152,82 +287,61 @@ def tokenize(text: str) -> Iterator[Token]:
     pos = 0
     length = len(text)
     while pos < length:
-        if text[pos] != "<":
-            end = text.find("<", pos)
-            if end == -1:
-                end = length
-            raw = text[pos:end]
-            yield Token(TokenType.TEXT, decode_entities(raw, pos), pos)
-            pos = end
-            continue
+        token, pos = _scan_token(text, pos, final=True)
+        yield token
 
-        if text.startswith("<?", pos):
-            end = text.find("?>", pos + 2)
-            if end == -1:
-                raise XMLSyntaxError("unterminated processing instruction", pos)
-            content = text[pos + 2 : end]
-            token_type = (
-                TokenType.XML_DECLARATION
-                if content.lower().startswith("xml")
-                else TokenType.PROCESSING_INSTRUCTION
-            )
-            yield Token(token_type, content, pos)
-            pos = end + 2
-            continue
 
-        if text.startswith("<!--", pos):
-            end = text.find("-->", pos + 4)
-            if end == -1:
-                raise XMLSyntaxError("unterminated comment", pos)
-            yield Token(TokenType.COMMENT, text[pos + 4 : end], pos)
-            pos = end + 3
-            continue
+def _rebase(token: Token, base: int) -> Token:
+    if base == 0:
+        return token
+    return Token(token.type, token.value, token.offset + base, token.attributes)
 
-        if text.startswith("<![CDATA[", pos):
-            end = text.find("]]>", pos + 9)
-            if end == -1:
-                raise XMLSyntaxError("unterminated CDATA section", pos)
-            yield Token(TokenType.CDATA, text[pos + 9 : end], pos)
-            pos = end + 3
-            continue
 
-        if text.startswith("<!DOCTYPE", pos) or text.startswith("<!doctype", pos):
-            # Skip to the matching '>' accounting for an optional internal
-            # subset delimited by [ ... ].
-            depth = 0
-            cursor = pos + 9
-            while cursor < length:
-                ch = text[cursor]
-                if ch == "[":
-                    depth += 1
-                elif ch == "]":
-                    depth -= 1
-                elif ch == ">" and depth <= 0:
-                    break
-                cursor += 1
-            if cursor >= length:
-                raise XMLSyntaxError("unterminated DOCTYPE declaration", pos)
-            yield Token(TokenType.DOCTYPE, text[pos + 9 : cursor].strip(), pos)
-            pos = cursor + 1
-            continue
+def _rebase_error(error: XMLSyntaxError, base: int) -> XMLSyntaxError:
+    if base == 0 or error.position is None:
+        return error
+    return XMLSyntaxError(error.args[0], error.position + base)
 
-        if text.startswith("</", pos):
-            name, cursor = _parse_name(text, pos + 2)
-            cursor = _skip_whitespace(text, cursor)
-            if cursor >= length or text[cursor] != ">":
-                raise XMLSyntaxError(f"malformed end tag </{name}", pos)
-            yield Token(TokenType.END_TAG, name, pos)
-            pos = cursor + 1
-            continue
 
-        # Ordinary start tag or empty-element tag.
-        name, cursor = _parse_name(text, pos + 1)
-        attributes, cursor = _parse_attributes(text, cursor, "/>")
-        if text.startswith("/>", cursor):
-            yield Token(TokenType.EMPTY_TAG, name, pos, attributes)
-            pos = cursor + 2
-        elif text[cursor] == ">":
-            yield Token(TokenType.START_TAG, name, pos, attributes)
-            pos = cursor + 1
-        else:  # pragma: no cover - defensive
-            raise XMLSyntaxError(f"malformed start tag <{name}", pos)
+def tokenize_chunks(chunks: Iterable[str]) -> Iterator[Token]:
+    """Yield tokens from an iterable of text chunks without joining them.
+
+    Only the unconsumed tail of the input — at most one incomplete token — is
+    buffered, so arbitrarily large documents tokenize in memory proportional
+    to the chunk size plus the largest single token.  Token (and error)
+    offsets are document-absolute, matching :func:`tokenize` on the
+    concatenated text.
+    """
+    buffer = ""
+    base = 0
+    # Offset up to which the pending incomplete token has already been
+    # scanned for its terminator; keeps a token spanning many chunks linear.
+    hint = 0
+    for chunk in chunks:
+        if not chunk:
+            continue
+        buffer += chunk
+        pos = 0
+        while pos < len(buffer):
+            try:
+                scanned = _scan_token(buffer, pos, final=False, hint=hint)
+            except XMLSyntaxError as error:
+                raise _rebase_error(error, base) from None
+            if scanned is None:
+                break
+            token, pos = scanned
+            hint = 0
+            yield _rebase(token, base)
+        hint = len(buffer) - pos
+        if pos:
+            buffer = buffer[pos:]
+            base += pos
+    pos = 0
+    while pos < len(buffer):
+        try:
+            token, next_pos = _scan_token(buffer, pos, final=True, hint=hint)
+        except XMLSyntaxError as error:
+            raise _rebase_error(error, base) from None
+        hint = 0
+        yield _rebase(token, base)
+        pos = next_pos

@@ -53,6 +53,109 @@ def test_plan_command_lists_every_translator(xml_file, capsys):
         assert translator in captured
 
 
+SECOND_SAMPLE = """
+<ProteinDatabase>
+  <ProteinEntry id="PX1">
+    <protein><name>myoglobin</name></protein>
+    <reference><refinfo><authors><author>Doe, J.</author></authors></refinfo></reference>
+  </ProteinEntry>
+</ProteinDatabase>
+"""
+
+
+@pytest.fixture()
+def collection_dir(tmp_path):
+    source = tmp_path / "incoming"
+    source.mkdir()
+    (source / "one.xml").write_text(PROTEIN_SAMPLE, encoding="utf-8")
+    (source / "two.xml").write_text(SECOND_SAMPLE, encoding="utf-8")
+    directory = tmp_path / "collection"
+    code = main([
+        "collection", "add", str(directory),
+        str(source / "one.xml"), str(source / "two.xml"),
+    ])
+    assert code == 0
+    return str(directory)
+
+
+def test_collection_add_rejects_duplicates(collection_dir, tmp_path, capsys):
+    duplicate = tmp_path / "incoming" / "one.xml"
+    code = main(["collection", "add", collection_dir, str(duplicate)])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert "already in the collection" in captured
+
+
+def test_collection_add_batch_is_atomic(collection_dir, tmp_path, capsys):
+    """A bad file anywhere in the batch must admit nothing."""
+    import os
+
+    good = tmp_path / "good.xml"
+    good.write_text("<r><a>ok</a></r>", encoding="utf-8")
+    bad = tmp_path / "bad.xml"
+    bad.write_text("<r><unclosed></r>", encoding="utf-8")
+    code = main(["collection", "add", collection_dir, str(good), str(bad)])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert "cannot add bad.xml" in captured
+    assert not os.path.exists(os.path.join(collection_dir, "good.xml"))
+
+
+def test_collection_list(collection_dir, capsys):
+    code = main(["collection", "list", collection_dir])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "one.xml" in captured and "two.xml" in captured
+    assert "scheme group" in captured
+
+
+def test_collection_query_attributes_results_per_document(collection_dir, capsys):
+    code = main(["collection", "query", collection_dir, "//author"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "5 result node(s) across 2 document(s)" in captured
+    assert "one.xml=4" in captured and "two.xml=1" in captured
+
+
+def test_collection_query_serial_flag(collection_dir, capsys):
+    code = main(["collection", "query", collection_dir, "//author", "--serial"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "serial" in captured
+
+
+def test_collection_explain(collection_dir, capsys):
+    code = main(["collection", "explain", collection_dir, "//protein/name"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "COLLECTION EXPLAIN" in captured
+    assert "per-document cost estimates:" in captured
+    assert "plan cache:" in captured
+
+
+def test_collection_stats_shows_plan_cache_counters(collection_dir, capsys):
+    code = main([
+        "collection", "stats", collection_dir,
+        "--query", "//author", "--query", "//author",
+    ])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "documents: 2" in captured
+    assert "plan cache:" in captured
+    assert "hits=1" in captured
+
+
+def test_collection_remove(collection_dir, capsys):
+    code = main(["collection", "remove", collection_dir, "two.xml"])
+    assert code == 0
+    code = main(["collection", "query", collection_dir, "//author"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "4 result node(s) across 1 document(s)" in captured
+    code = main(["collection", "remove", collection_dir, "two.xml"])
+    assert code == 1
+
+
 def test_experiment_fig12(capsys):
     code = main(["experiment", "fig12"])
     captured = capsys.readouterr().out

@@ -1,0 +1,311 @@
+"""Tests for the multi-document collection layer.
+
+Covers the acceptance criteria of the collection tentpole: doc_id plumbing
+end to end, collection answers identical to independent single-document
+systems, byte-identical parallel vs serial fan-out, scheme sharing, plan
+caching keyed on collection fingerprints, and the thin BLAS view.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection import BLASCollection
+from repro.datasets import build_dataset
+from repro.exceptions import CollectionError, SchemaError, StorageError
+from repro.storage.table import PartitionedCatalog
+from repro.system import BLAS
+from repro.xmlkit.writer import document_to_string
+from tests.conftest import PROTEIN_SAMPLE
+
+DOC_A = """
+<lib>
+  <shelf id="s1">
+    <book><title>Alpha</title><author>Ann</author></book>
+    <book><title>Beta</title><author>Bob</author></book>
+  </shelf>
+</lib>
+"""
+
+DOC_B = """
+<lib>
+  <shelf id="s2">
+    <book><title>Gamma</title><author>Ann</author></book>
+  </shelf>
+  <book><title>Delta</title><author>Dee</author></book>
+</lib>
+"""
+
+DOC_C = """
+<lib>
+  <book><title>Epsilon</title><author>Eve</author></book>
+  <shelf id="s3">
+    <book><title>Zeta</title><author>Zed</author></book>
+    <book><title>Eta</title><author>Eve</author></book>
+  </shelf>
+</lib>
+"""
+
+LIBRARY = {"a": DOC_A, "b": DOC_B, "c": DOC_C}
+
+#: ``//a//b``-style and friends, exercised across the whole suite.
+LIBRARY_QUERIES = (
+    "//book/title",
+    "//shelf//author",
+    "//lib//book[author]/title",
+    '//book[author = "Ann"]/title',
+    "//shelf[@id]//title",
+)
+
+
+@pytest.fixture()
+def library():
+    collection = BLASCollection()
+    for name, text in LIBRARY.items():
+        collection.add_xml(text, name=name)
+    return collection
+
+
+# -- membership & doc_id plumbing ---------------------------------------------------
+
+
+def test_doc_ids_are_assigned_in_add_order(library):
+    assert library.doc_ids() == [0, 1, 2]
+    assert [entry["name"] for entry in library.documents()] == ["a", "b", "c"]
+
+
+def test_doc_id_round_trips_through_indexing_and_storage(library):
+    for doc_id in library.doc_ids():
+        entry = library.entry(doc_id)
+        # every indexed record is stamped ...
+        assert {record.doc_id for record in entry.indexed.records} == {doc_id}
+        # ... and both clustered layouts preserve the stamp.
+        assert {record.doc_id for record in entry.catalog.sp.records} == {doc_id}
+        assert {record.doc_id for record in entry.catalog.sd.records} == {doc_id}
+
+
+def test_doc_id_round_trips_into_query_results(library):
+    result = library.query("//book/title")
+    assert {record.doc_id for record in result.records} == {0, 1, 2}
+    for document_result in result.per_document:
+        assert {
+            record.doc_id for record in document_result.result.records
+        } == {document_result.doc_id}
+
+
+def test_results_merge_in_doc_id_then_document_order(library):
+    result = library.query("//book/title")
+    assert result.starts == sorted(result.starts)
+    # Document order within each doc: Alpha, Beta | Gamma, Delta | Epsilon, Zeta, Eta.
+    assert result.values() == [
+        "Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta", "Eta",
+    ]
+
+
+def test_counts_by_document_includes_zero_hit_documents(library):
+    result = library.query('//book[author = "Dee"]/title')
+    assert result.counts_by_document() == {0: 0, 1: 1, 2: 0}
+
+
+def test_remove_by_name_and_by_doc_id(library):
+    assert library.remove("b") == 1
+    assert library.doc_ids() == [0, 2]
+    assert library.remove(0) == 0
+    assert library.doc_ids() == [2]
+    with pytest.raises(CollectionError):
+        library.remove("b")
+    with pytest.raises(CollectionError):
+        library.remove(0)
+
+
+def test_query_on_empty_collection_raises():
+    with pytest.raises(CollectionError):
+        BLASCollection().query("//a")
+
+
+# -- equivalence with independent single-document systems ---------------------------
+
+
+def test_collection_matches_independent_systems_per_document(library):
+    """Property-style check over every library query and document."""
+    solos = {name: BLAS.from_xml(text, name=name) for name, text in LIBRARY.items()}
+    for query in LIBRARY_QUERIES:
+        result = library.query(query)
+        by_name = {dr.name: dr for dr in result.per_document}
+        for name, solo in solos.items():
+            expected = solo.query(query)
+            got = by_name[name].result
+            assert got.starts == expected.starts, (query, name)
+            assert [r.data for r in got.records] == [r.data for r in expected.records]
+
+
+def test_collection_matches_independent_systems_on_datasets():
+    """The bundled datasets: three documents per corpus, one scheme group."""
+    for corpus in ("shakespeare", "protein"):
+        texts = {
+            f"{corpus}-{seed}": document_to_string(build_dataset(corpus, seed=seed))
+            for seed in (1, 2, 3)
+        }
+        collection = BLASCollection()
+        for name, text in texts.items():
+            collection.add_xml(text, name=name)
+        assert len(collection.scheme_groups()) == 1
+        queries = {
+            "shakespeare": ("//ACT//SPEAKER", "//PLAY/TITLE", "//SPEECH[SPEAKER]/LINE"),
+            "protein": ("//protein/name", "//refinfo//author", "//ProteinEntry[protein]/reference"),
+        }[corpus]
+        for query in queries:
+            result = collection.query(query)
+            for document_result in result.per_document:
+                solo = BLAS.from_xml(texts[document_result.name], name=document_result.name)
+                assert document_result.result.starts == solo.query(query).starts, (corpus, query)
+
+
+# -- parallel fan-out ----------------------------------------------------------------
+
+
+def test_parallel_and_serial_execution_are_byte_identical(library):
+    for query in LIBRARY_QUERIES:
+        serial = library.query(query, parallel=False)
+        parallel = library.query(query, parallel=True, workers=4)
+        assert parallel.parallel and not serial.parallel
+        assert [(r.doc_id, r.start, r.end, r.tag, r.data) for r in serial.records] == [
+            (r.doc_id, r.start, r.end, r.tag, r.data) for r in parallel.records
+        ]
+        assert serial.stats.as_dict() == parallel.stats.as_dict()
+        assert serial.stats.per_alias_elements == parallel.stats.per_alias_elements
+
+
+def test_explicit_translator_engine_pairs_fan_out_identically(library):
+    auto = library.query("//book/title")
+    for translator in ("dlabel", "split", "pushup", "unfold"):
+        for engine in ("memory", "twig"):
+            explicit = library.query("//book/title", translator=translator, engine=engine)
+            assert explicit.starts == auto.starts, (translator, engine)
+
+
+def test_sqlite_engine_fans_out_serially(library):
+    result = library.query("//book/title", engine="sqlite", parallel=True, workers=4)
+    assert not result.parallel
+    assert result.values() == ["Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta", "Eta"]
+
+
+# -- scheme sharing ------------------------------------------------------------------
+
+
+def test_same_vocabulary_documents_share_a_scheme(library):
+    groups = library.scheme_groups()
+    assert len(groups) == 1
+    assert groups[0].doc_ids == [0, 1, 2]
+    schemes = {id(library.entry(d).indexed.scheme) for d in library.doc_ids()}
+    assert len(schemes) == 1
+
+
+def test_disjoint_vocabularies_get_separate_groups(library):
+    library.add_xml(PROTEIN_SAMPLE, name="protein")
+    assert len(library.scheme_groups()) == 2
+    # Queries still span every group.
+    result = library.query("//author")
+    assert result.counts_by_document()[3] == 4
+
+
+def test_unfold_requires_schema_across_the_group(library):
+    result = library.query("//book/title", translator="unfold", engine="memory")
+    assert result.count == 7
+    from repro.core.indexer import index_text
+
+    schemaless = BLASCollection()
+    schemaless.add_indexed(index_text(DOC_A, extract_schema_graph=False))
+    with pytest.raises(SchemaError):
+        schemaless.query("//book/title", translator="unfold", engine="memory")
+
+
+# -- plan caching & invalidation -----------------------------------------------------
+
+
+def test_plans_are_cached_per_scheme_group(library):
+    library.query("//book/title")
+    before = library.plan_cache.stats()
+    library.query("//book/title")
+    after = library.plan_cache.stats()
+    assert after["hits"] == before["hits"] + 1
+    assert after["misses"] == before["misses"]
+
+
+def test_add_and_remove_invalidate_cached_plans(library):
+    library.query("//book/title")
+    group = library.scheme_groups()[0]
+    fingerprint = group.fingerprint()
+    doc_id = library.add_xml(DOC_A, name="a2")
+    assert group.fingerprint() != fingerprint
+    result = library.query("//book/title")  # a fresh plan, not the cached one
+    assert library.plan_cache.stats()["misses"] >= 2
+    assert result.counts_by_document()[doc_id] == 2
+    library.remove(doc_id)
+    assert group.fingerprint() == fingerprint
+    assert library.query("//book/title").count == 7
+
+
+def test_partitioned_catalog_rejects_unstamped_records():
+    from repro.core.indexer import index_text
+
+    store = PartitionedCatalog()
+    indexed = index_text(DOC_A)  # records stamped doc_id=0
+    with pytest.raises(StorageError):
+        store.add_partition(indexed, 5)
+    store.add_partition(indexed.with_doc_id(5), 5)
+    assert store.doc_ids() == [5]
+    with pytest.raises(StorageError):
+        store.add_partition(indexed.with_doc_id(5), 5)
+
+
+def test_merged_statistics_sum_per_document_histograms(library):
+    merged = library.scheme_groups()[0].statistics()
+    per_doc = [library.entry(d).catalog.statistics() for d in library.doc_ids()]
+    assert merged.node_count == sum(stats.node_count for stats in per_doc)
+    assert merged.sp.tag_count("book") == sum(s.sp.tag_count("book") for s in per_doc)
+    assert merged.sp.plabel_range_count(0, 10**40) == merged.node_count
+
+
+# -- EXPLAIN & stats ----------------------------------------------------------------
+
+
+def test_collection_explain_shows_groups_documents_and_cache(library):
+    library.add_xml(PROTEIN_SAMPLE, name="protein")
+    text = library.explain("//author")
+    assert "COLLECTION EXPLAIN //author" in text
+    assert "scheme_groups=2" in text
+    assert "per-document cost estimates:" in text
+    assert "doc 3 (protein)" in text
+    assert "plan cache:" in text
+
+
+def test_collection_stats_exposes_plan_cache_counters(library):
+    library.query("//book/title")
+    library.query("//book/title")
+    stats = library.stats()
+    assert stats["documents"] == 3
+    assert stats["scheme_groups"] == 1
+    assert stats["plan_cache"]["hits"] == 1
+    assert stats["plan_cache"]["misses"] == 1
+
+
+# -- the thin BLAS view --------------------------------------------------------------
+
+
+def test_blas_is_a_one_document_collection_view():
+    system = BLAS.from_xml(PROTEIN_SAMPLE)
+    assert len(system.collection) == 1
+    assert system.doc_id == 0
+    assert system.catalog is system.collection.entry(0).catalog
+    assert system.plan_cache is system.collection.plan_cache
+
+
+def test_document_view_reproduces_standalone_counters(library):
+    solo = BLAS.from_xml(DOC_B, name="b")
+    view = library.document_view(1)
+    for translator in ("dlabel", "split", "pushup"):
+        expected = solo.query("//book/title", translator=translator, engine="memory")
+        got = view.query("//book/title", translator=translator, engine="memory")
+        assert got.starts == expected.starts
+        assert got.stats.as_dict() == expected.stats.as_dict()

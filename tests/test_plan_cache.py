@@ -33,6 +33,32 @@ def test_hit_and_miss_counters():
     assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
 
 
+def test_stats_snapshot_reports_hits_misses_evictions():
+    cache = PlanCache(capacity=1)
+    cache.get("missing")
+    cache.put("a", 1)
+    cache.get("a")
+    cache.put("b", 2)  # evicts "a"
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["evictions"] == 1
+    assert stats["size"] == 1 and stats["capacity"] == 1
+    line = cache.describe()
+    assert "hits=1" in line and "misses=1" in line and "evictions=1" in line
+
+
+def test_explain_surfaces_plan_cache_stats(protein_system):
+    protein_system.plan_cache.clear()
+    protein_system.explain("//author")  # planner path: miss, then ...
+    text = protein_system.explain("//author")  # ... hit
+    assert "plan cache:" in text
+    assert "hits=1" in text
+    # The seed path (explicit translator and engine) stays the logical plan.
+    seed = protein_system.explain("//author", "pushup", "memory")
+    assert "plan cache:" not in seed
+
+
 def test_capacity_must_be_positive():
     with pytest.raises(ValueError):
         PlanCache(capacity=0)

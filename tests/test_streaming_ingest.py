@@ -1,0 +1,139 @@
+"""Streaming ingestion: chunked tokenizer, file event parser, file indexer.
+
+The invariant throughout: chunked/streaming input produces exactly the same
+tokens, events, records and schema as whole-text processing, for any chunk
+size — including pathological one-character chunks that split every token.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexer import index_file, index_text
+from repro.datasets import build_dataset
+from repro.system import BLAS
+from repro.xmlkit.parser import iterparse, iterparse_file, iterparse_tokens, parse_document
+from repro.xmlkit.tokenizer import tokenize, tokenize_chunks
+from repro.xmlkit.writer import document_to_string
+from tests.conftest import PROTEIN_SAMPLE
+
+TRICKY = (
+    '<?xml version="1.0"?><!DOCTYPE r [ <!ELEMENT r ANY> ]>'
+    '<r a="x>y"><!-- gt > inside --><![CDATA[cd]]>t&amp;u<e/>'
+    "<deep><deeper>text</deeper></deep></r>"
+)
+
+
+def _chunks(text: str, size: int):
+    return [text[i : i + size] for i in range(0, len(text), size)]
+
+
+@pytest.mark.parametrize("size", [1, 2, 7, 64, 4096])
+def test_chunked_tokenizer_matches_whole_text(size):
+    expected = list(tokenize(TRICKY))
+    assert list(tokenize_chunks(_chunks(TRICKY, size))) == expected
+
+
+@pytest.mark.parametrize("dataset", ["shakespeare", "protein", "auction"])
+def test_chunked_tokenizer_on_datasets(dataset):
+    text = document_to_string(build_dataset(dataset))
+    expected = list(tokenize(text))
+    for size in (13, 1024):
+        assert list(tokenize_chunks(_chunks(text, size))) == expected
+
+
+def test_chunked_errors_report_document_absolute_offsets():
+    from repro.exceptions import XMLSyntaxError
+
+    bad = "<root>" + "x" * 50 + "<broken"
+    with pytest.raises(XMLSyntaxError) as whole:
+        list(tokenize(bad))
+    with pytest.raises(XMLSyntaxError) as chunked:
+        list(tokenize_chunks(_chunks(bad, 7)))
+    assert chunked.value.position == whole.value.position
+
+
+def test_huge_text_node_tokenizes_in_linear_passes():
+    """A single token spanning many chunks must not be rescanned from its
+    start on every chunk (the hint keeps the scan linear)."""
+    text = "<r>" + "y" * 200_000 + "</r>"
+    expected = list(tokenize(text))
+    assert list(tokenize_chunks(_chunks(text, 1000))) == expected
+
+
+def test_chunked_events_match_whole_text_events():
+    expected = list(iterparse(PROTEIN_SAMPLE))
+    chunked = list(iterparse_tokens(tokenize_chunks(_chunks(PROTEIN_SAMPLE, 5))))
+    assert chunked == expected
+
+
+def test_iterparse_file_matches_iterparse(tmp_path):
+    path = tmp_path / "sample.xml"
+    path.write_text(PROTEIN_SAMPLE, encoding="utf-8")
+    assert list(iterparse_file(str(path), chunk_size=11)) == list(iterparse(PROTEIN_SAMPLE))
+
+
+def test_index_file_matches_index_text(tmp_path):
+    text = document_to_string(build_dataset("protein"))
+    path = tmp_path / "protein.xml"
+    path.write_text(text, encoding="utf-8")
+    from_text = index_text(text, name="protein")
+    from_file = index_file(str(path), name="protein", chunk_size=333)
+    assert from_file.records == from_text.records
+    assert from_file.source_size_bytes == from_text.source_size_bytes
+    assert from_file.schema is not None and from_text.schema is not None
+    assert from_file.schema.tags == from_text.schema.tags
+    assert from_file.schema.roots == from_text.schema.roots
+    assert from_file.schema.max_depth == from_text.schema.max_depth
+
+
+def test_index_file_stamps_doc_ids(tmp_path):
+    path = tmp_path / "sample.xml"
+    path.write_text(PROTEIN_SAMPLE, encoding="utf-8")
+    indexed = index_file(str(path), doc_id=7)
+    assert {record.doc_id for record in indexed.records} == {7}
+
+
+def test_streaming_schema_matches_tree_extraction():
+    from repro.xmlkit.parser import parse_string
+    from repro.xmlkit.schema import extract_schema
+
+    streamed = index_text(PROTEIN_SAMPLE).schema
+    from_tree = extract_schema(parse_string(PROTEIN_SAMPLE))
+    assert streamed.tags == from_tree.tags
+    assert streamed.roots == from_tree.roots
+    assert streamed.max_depth == from_tree.max_depth
+    for tag in from_tree.tags:
+        assert streamed.children(tag) == from_tree.children(tag)
+
+
+def test_from_file_routes_through_the_streaming_indexer(tmp_path, monkeypatch):
+    """``BLAS.from_file`` must not slurp the file with ``read()``."""
+    path = tmp_path / "sample.xml"
+    path.write_text(PROTEIN_SAMPLE, encoding="utf-8")
+
+    import repro.xmlkit.parser as parser_module
+
+    real = parser_module.iter_file_chunks
+    max_request = []
+
+    def spy(path_arg, chunk_size=parser_module.DEFAULT_CHUNK_SIZE):
+        max_request.append(chunk_size)
+        return real(path_arg, chunk_size)
+
+    monkeypatch.setattr(parser_module, "iter_file_chunks", spy)
+    system = BLAS.from_file(str(path))
+    assert max_request, "from_file did not use the chunked file reader"
+    assert all(size <= parser_module.DEFAULT_CHUNK_SIZE for size in max_request)
+    assert system.query("//author").count == 4
+
+
+def test_parse_document_still_builds_the_same_tree(tmp_path):
+    from repro.xmlkit.parser import parse_string
+
+    path = tmp_path / "sample.xml"
+    path.write_text(PROTEIN_SAMPLE, encoding="utf-8")
+    streamed = parse_document(str(path))
+    in_memory = parse_string(PROTEIN_SAMPLE)
+    assert streamed.count_nodes() == in_memory.count_nodes()
+    assert streamed.distinct_tags() == in_memory.distinct_tags()

@@ -98,6 +98,24 @@ def test_query_all_translators_skips_unfold_without_schema():
     assert set(results) == {"dlabel", "split", "pushup"}
 
 
+def test_query_all_translators_rejects_explicit_unfold_without_schema():
+    """An explicitly requested translator must run or raise — never be
+    silently dropped from the result dict."""
+    from repro.core.indexer import index_text
+
+    indexed = index_text(PROTEIN_SAMPLE, extract_schema_graph=False)
+    system = BLAS(indexed)
+    with pytest.raises(SchemaError):
+        system.query_all_translators("//author", translators=["pushup", "unfold"])
+    # Explicit lists without unfold still work ...
+    results = system.query_all_translators("//author", translators=["pushup", "dlabel"])
+    assert set(results) == {"pushup", "dlabel"}
+    # ... and explicit unfold works when a schema is present.
+    with_schema = BLAS.from_xml(PROTEIN_SAMPLE)
+    results = with_schema.query_all_translators("//author", translators=["unfold"])
+    assert set(results) == {"unfold"}
+
+
 def test_rdbms_engine_is_built_lazily():
     system = BLAS.from_xml(PROTEIN_SAMPLE)
     assert system._rdbms is None

@@ -1,0 +1,111 @@
+"""Cold-open benchmark: opening a saved store vs re-indexing the corpus.
+
+The durability acceptance criterion: on the bundled datasets, opening a
+persisted collection store must be at least 5× faster than re-tokenizing,
+re-labeling and re-indexing the same XML files — because open reads only
+the manifest and defers record loading per partition.  The benchmark also
+times open-plus-first-query (every partition materialised) and asserts the
+opened collection answers byte-identically.
+
+CI sets ``COLD_OPEN_JSON`` and uploads the timing rows next to the planner
+workload artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.collection import BLASCollection
+from repro.datasets import build_dataset
+from repro.xmlkit.writer import document_to_string
+
+DATASET_NAMES = ("shakespeare", "protein", "auction")
+
+#: Acceptance floor for cold open vs re-index.
+MIN_SPEEDUP = 5.0
+
+PROBE_QUERY = "//name"
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    """The bundled datasets written out as XML files."""
+    root = tmp_path_factory.mktemp("corpus")
+    for name in DATASET_NAMES:
+        text = document_to_string(build_dataset(name, scale=1))
+        (root / f"{name}.xml").write_text(text, encoding="utf-8")
+    return root
+
+
+def reindex(corpus_dir) -> BLASCollection:
+    collection = BLASCollection()
+    for name in DATASET_NAMES:
+        collection.add_file(str(corpus_dir / f"{name}.xml"), name=name)
+    return collection
+
+
+@pytest.fixture(scope="module")
+def timings(corpus_dir, tmp_path_factory):
+    store = str(tmp_path_factory.mktemp("persist") / "store")
+
+    started = time.perf_counter()
+    fresh = reindex(corpus_dir)
+    reindex_seconds = time.perf_counter() - started
+
+    fresh.save(store)
+    baseline = fresh.query(PROBE_QUERY)
+
+    open_seconds = min(
+        _timed(lambda: BLASCollection.open(store))[1] for _ in range(3)
+    )
+    opened, open_and_query_seconds = _timed(
+        lambda: _open_and_query(store)
+    )
+    rows = {
+        "datasets": list(DATASET_NAMES),
+        "documents": len(fresh),
+        "nodes": fresh.store.node_count,
+        "reindex_seconds": reindex_seconds,
+        "open_seconds": open_seconds,
+        "open_and_query_seconds": open_and_query_seconds,
+        "speedup_open": reindex_seconds / open_seconds if open_seconds else float("inf"),
+        "probe_query": PROBE_QUERY,
+        "probe_results": baseline.count,
+        "matches_fresh": opened.query(PROBE_QUERY).starts == baseline.starts,
+    }
+    target = os.environ.get("COLD_OPEN_JSON")
+    if target:
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, sort_keys=True)
+    return rows
+
+
+def _timed(thunk):
+    started = time.perf_counter()
+    value = thunk()
+    return value, time.perf_counter() - started
+
+
+def _open_and_query(store):
+    collection = BLASCollection.open(store)
+    collection.query(PROBE_QUERY)
+    return collection
+
+
+def test_cold_open_is_at_least_5x_faster_than_reindexing(timings):
+    assert timings["speedup_open"] >= MIN_SPEEDUP, timings
+
+
+def test_opened_collection_answers_identically(timings):
+    assert timings["matches_fresh"]
+
+
+def test_timings_are_positive_and_complete(timings):
+    assert timings["documents"] == len(DATASET_NAMES)
+    assert timings["reindex_seconds"] > 0
+    assert timings["open_seconds"] > 0
+    assert timings["open_and_query_seconds"] > 0

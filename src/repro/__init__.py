@@ -45,6 +45,7 @@ from repro.exceptions import (
     CollectionError,
     EngineError,
     LabelingError,
+    PersistError,
     PlanError,
     ReproError,
     SchemaError,
@@ -77,6 +78,7 @@ __all__ = [
     "NodeRecord",
     "PLabelInterval",
     "PLabelScheme",
+    "PersistError",
     "PlanError",
     "QueryResult",
     "ReproError",

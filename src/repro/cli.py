@@ -11,11 +11,15 @@ Four subcommands cover the everyday uses of the library:
     without executing anything.
 
 ``collection``
-    Treat a directory of XML files as one collection:
-    ``add``/``remove``/``list`` manage the members, ``query`` fans one XPath
-    query out across every document (``--serial`` / ``--workers`` control
-    the fan-out), ``explain`` prints the per-scheme-group plans, and
-    ``stats`` shows collection and plan-cache counters.
+    Treat a directory of XML files — or a persistent collection store — as
+    one collection: ``add``/``remove``/``list`` manage the members,
+    ``query`` fans one XPath query out across every document (``--serial``
+    / ``--workers`` control the fan-out), ``explain`` prints the
+    per-scheme-group plans, and ``stats`` shows collection and plan-cache
+    counters.  ``save`` writes the indexed collection to an on-disk store,
+    ``open`` lists a store O(manifest), and ``add --store`` ingests files
+    straight into a store.  Directories holding a ``MANIFEST.json`` are
+    detected as stores automatically.
 
 ``experiment``
     Run one of the paper-figure experiment drivers on the synthetic datasets
@@ -42,6 +46,7 @@ from repro.bench.reporting import format_table
 from repro.collection import BLASCollection
 from repro.core.indexer import discover_vocabulary
 from repro.exceptions import ReproError
+from repro.storage.persist import CollectionStore
 from repro.system import BLAS, ENGINE_CHOICES, TRANSLATOR_CHOICES, TRANSLATOR_NAMES
 from repro.xmlkit.parser import iterparse_file
 
@@ -81,13 +86,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     collection_sub = collection.add_subparsers(dest="collection_command", required=True)
 
-    c_add = collection_sub.add_parser("add", help="validate XML files and add them to the collection directory")
-    c_add.add_argument("directory", help="the collection directory")
+    c_add = collection_sub.add_parser(
+        "add", help="add XML files to the collection (directory copy, or store ingest)"
+    )
+    c_add.add_argument("directory", help="the collection directory or store")
     c_add.add_argument("files", nargs="+", help="XML files to add")
+    c_add.add_argument(
+        "--store", action="store_true",
+        help="treat DIRECTORY as a persistent store and ingest the files into "
+             "it (created if missing); stores are auto-detected when they exist",
+    )
 
     c_remove = collection_sub.add_parser("remove", help="remove a document (by file name) from the collection")
-    c_remove.add_argument("directory", help="the collection directory")
+    c_remove.add_argument("directory", help="the collection directory or store")
     c_remove.add_argument("name", help="file name of the document to remove")
+
+    c_save = collection_sub.add_parser(
+        "save", help="index a collection directory and save it to a persistent store"
+    )
+    c_save.add_argument("directory", help="the collection directory (or an existing store)")
+    c_save.add_argument("store", help="target store directory")
+
+    c_open = collection_sub.add_parser(
+        "open", help="open a persistent store and list its documents (O(manifest))"
+    )
+    c_open.add_argument("store", help="the store directory")
 
     c_list = collection_sub.add_parser("list", help="list the collection's documents")
     c_list.add_argument("directory", help="the collection directory")
@@ -207,7 +230,14 @@ def _collection_files(directory: str) -> List[str]:
 
 
 def _load_collection(directory: str) -> BLASCollection:
-    """Stream-ingest every member file of the collection directory."""
+    """Open a persistent store, or stream-ingest a directory of XML files.
+
+    A directory holding a ``MANIFEST.json`` is opened as a store —
+    O(manifest), records load lazily.  Anything else is treated as a plain
+    directory whose ``*.xml`` members are indexed from scratch.
+    """
+    if CollectionStore.is_store(directory):
+        return BLASCollection.open(directory)
     files = _collection_files(directory)
     if not files:
         raise ReproError(f"no *.xml documents in {directory!r}")
@@ -217,38 +247,114 @@ def _load_collection(directory: str) -> BLASCollection:
     return collection
 
 
+def _validate_batch(files: List[str], taken: set) -> Optional[str]:
+    """Validate an add batch; returns an error message or ``None``.
+
+    The whole batch is checked before anything is copied, ingested — or any
+    store created on disk — so a bad or duplicate file never leaves the
+    collection half-modified.
+    """
+    seen = set(taken)
+    for source in files:
+        name = os.path.basename(source)
+        if name in seen:
+            return f"{name} is already in the collection"
+        seen.add(name)
+        try:
+            # Stream-validation; discovery raises on malformed XML or an
+            # element-free document.
+            discover_vocabulary(iterparse_file(source))
+        except (ReproError, OSError) as error:
+            return f"cannot add {name}: {error}"
+    return None
+
+
+def _run_collection_add(args: argparse.Namespace) -> int:
+    """``repro collection add``: copy into a directory, or ingest into a store."""
+    store_exists = CollectionStore.is_store(args.directory)
+    if args.store and not store_exists and _collection_files(args.directory):
+        # Creating a store inside a directory-mode collection would shadow
+        # its *.xml members from every later (auto-detecting) command.
+        print(f"error: {args.directory} already holds a directory-mode collection; "
+              f"use 'repro collection save' to convert it into a store")
+        return 1
+    if args.store or store_exists:
+        collection = BLASCollection.open(args.directory) if store_exists else None
+        taken = (
+            {entry["name"] for entry in collection.documents()}
+            if collection is not None
+            else set()
+        )
+        error = _validate_batch(args.files, taken)
+        if error is not None:
+            print(f"error: {error}")
+            return 1
+        if collection is None:
+            collection = BLASCollection()
+            collection.save(args.directory)
+        for source in args.files:
+            doc_id = collection.add_file(source, name=os.path.basename(source))
+            print(f"added {os.path.basename(source)} (doc {doc_id})")
+        return 0
+    taken = set(os.listdir(args.directory)) if os.path.isdir(args.directory) else set()
+    error = _validate_batch(args.files, taken)
+    if error is not None:
+        print(f"error: {error}")
+        return 1
+    os.makedirs(args.directory, exist_ok=True)
+    for source in args.files:
+        shutil.copyfile(source, os.path.join(args.directory, os.path.basename(source)))
+        print(f"added {os.path.basename(source)}")
+    return 0
+
+
+def _run_collection_remove(args: argparse.Namespace) -> int:
+    """``repro collection remove``: drop a member from a directory or a store.
+
+    Removing the last document of a store leaves a valid empty store — the
+    next ``query`` answers with zero results instead of erroring.
+    """
+    name = os.path.basename(args.name)
+    if CollectionStore.is_store(args.directory):
+        collection = BLASCollection.open(args.directory)
+        try:
+            collection.remove(name)
+        except ReproError as error:
+            print(f"error: {error}")
+            return 1
+        print(f"removed {name}")
+        return 0
+    target = os.path.join(args.directory, name)
+    if not os.path.exists(target):
+        print(f"error: no document named {name!r} in the collection")
+        return 1
+    os.remove(target)
+    print(f"removed {name}")
+    return 0
+
+
 def _run_collection(args: argparse.Namespace) -> int:
     command = args.collection_command
     if command == "add":
-        # Validate the whole batch before copying anything, so a bad or
-        # duplicate file never leaves the collection half-modified.
-        seen = set()
-        for source in args.files:
-            name = os.path.basename(source)
-            target = os.path.join(args.directory, name)
-            if name in seen or os.path.exists(target):
-                print(f"error: {name} is already in the collection")
-                return 1
-            seen.add(name)
-            try:
-                # Stream-validation; discovery raises on malformed XML or an
-                # element-free document.
-                discover_vocabulary(iterparse_file(source))
-            except (ReproError, OSError) as error:
-                print(f"error: cannot add {name}: {error}")
-                return 1
-        os.makedirs(args.directory, exist_ok=True)
-        for source in args.files:
-            shutil.copyfile(source, os.path.join(args.directory, os.path.basename(source)))
-            print(f"added {os.path.basename(source)}")
-        return 0
+        return _run_collection_add(args)
     if command == "remove":
-        target = os.path.join(args.directory, os.path.basename(args.name))
-        if not os.path.exists(target):
-            print(f"error: no document named {os.path.basename(args.name)!r} in the collection")
-            return 1
-        os.remove(target)
-        print(f"removed {os.path.basename(args.name)}")
+        return _run_collection_remove(args)
+    if command == "save":
+        collection = _load_collection(args.directory)
+        collection.save(args.store)
+        print(f"saved {len(collection)} document(s) to {args.store}")
+        return 0
+    if command == "open":
+        collection = BLASCollection.open(args.store)
+        rows = [
+            [row["doc_id"], row["name"], row["nodes"], row["tags"], row["depth"],
+             row["size_bytes"], row["scheme_group"]]
+            for row in collection.documents()
+        ]
+        print(format_table(
+            ["doc", "name", "nodes", "tags", "depth", "size (bytes)", "scheme group"],
+            rows, title=f"Store {args.store} — {len(collection)} document(s)",
+        ))
         return 0
 
     collection = _load_collection(args.directory)
@@ -301,6 +407,9 @@ def _run_collection(args: argparse.Namespace) -> int:
     stats = collection.stats()
     print(f"documents: {stats['documents']}  nodes: {stats['nodes']}  "
           f"scheme groups: {stats['scheme_groups']}")
+    if stats["store"] is not None:
+        print(f"store: {stats['store']}  "
+              f"loaded: {stats['loaded_documents']}/{stats['documents']} partition(s)")
     print(collection.plan_cache.describe())
     return 0
 

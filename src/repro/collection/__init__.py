@@ -1,9 +1,12 @@
 """Multi-document collection layer: doc_id-partitioned storage, streaming
-ingestion and parallel cross-document query fan-out.
+ingestion, parallel cross-document query fan-out and on-disk persistence.
 
 :class:`BLASCollection` is the entry point; :class:`CollectionResult`
-carries merged, per-document-attributed answers.  The single-document
-:class:`~repro.system.BLAS` facade is a thin view over this layer.
+carries merged, per-document-attributed answers.  ``save(path)`` /
+``open(path)`` round-trip a collection through the versioned store in
+:mod:`repro.storage.persist` (open is O(manifest); partitions load
+lazily).  The single-document :class:`~repro.system.BLAS` facade is a thin
+view over this layer.
 """
 
 from repro.collection.collection import (

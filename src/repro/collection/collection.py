@@ -20,6 +20,12 @@ doc_id-partitioned store and answers XPath over the whole collection:
   storage slice — serially or across a thread pool — and the per-document
   streams merge into ``(doc_id, document order)``.  Parallel and serial
   execution are byte-identical by construction.
+* **Collections persist.**  ``save(path)`` writes the whole collection to a
+  versioned on-disk store and ``open(path)`` loads one back lazily — the
+  open itself reads only the manifest; record data loads per document on
+  first touch.  A store-bound collection persists every ``add_*`` (append)
+  and ``remove`` by rewriting just the touched partition file and atomically
+  swapping the manifest.
 
 :class:`~repro.system.BLAS` is a thin one-document view of this machinery.
 """
@@ -28,8 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.collection.fanout import default_workers, merge_document_streams, run_jobs
 from repro.collection.result import CollectionResult, DocumentResult
@@ -44,10 +49,22 @@ from repro.core.plabel import PLabelScheme
 from repro.engine.executor import PlanExecutor
 from repro.engine.rdbms import RdbmsEngine
 from repro.engine.results import QueryResult
-from repro.exceptions import CollectionError, SchemaError
+from repro.exceptions import (
+    CollectionError,
+    LabelingError,
+    PersistError,
+    SchemaError,
+)
 from repro.planner.cache import PlanCache, plan_key
 from repro.planner.cost import CostModel
 from repro.planner.planner import PlannedQuery, QueryPlanner
+from repro.storage.persist import (
+    CollectionStore,
+    Manifest,
+    ManifestDocument,
+    scheme_from_dict,
+    scheme_to_dict,
+)
 from repro.storage.table import PartitionedCatalog, StorageCatalog
 from repro.storage.stats import CatalogStatistics
 from repro.xmlkit.model import Document
@@ -60,16 +77,46 @@ from repro.xpath.query_tree import build_query_tree
 _UNSET = object()
 
 
-@dataclass
 class CollectionDocument:
-    """One member document: its index, storage slice and group membership."""
+    """One member document: its index, storage slice and group membership.
 
-    doc_id: int
-    name: str
-    indexed: IndexedDocument
-    catalog: StorageCatalog
-    group_id: int
-    _rdbms: Optional[RdbmsEngine] = field(default=None, repr=False)
+    The record is a *view* over the collection's partitioned store:
+    ``catalog`` and ``indexed`` resolve through the store, so a document
+    registered lazily (from an on-disk collection store) loads its tables
+    only when one of them is first touched.  ``summary()`` always answers
+    from the metadata captured at registration time, so listing a collection
+    never forces a load.
+    """
+
+    def __init__(
+        self,
+        doc_id: int,
+        name: str,
+        group_id: int,
+        partitions: PartitionedCatalog,
+        summary_row: Dict[str, object],
+    ):
+        self.doc_id = doc_id
+        self.name = name
+        self.group_id = group_id
+        self._partitions = partitions
+        self.summary_row = dict(summary_row)
+        self._rdbms: Optional[RdbmsEngine] = None
+
+    @property
+    def loaded(self) -> bool:
+        """True when the document's storage tables are resident in memory."""
+        return self._partitions.is_loaded(self.doc_id)
+
+    @property
+    def catalog(self) -> StorageCatalog:
+        """The document's storage slice (loads a lazy partition on first use)."""
+        return self._partitions.catalog_for(self.doc_id)
+
+    @property
+    def indexed(self) -> IndexedDocument:
+        """The document's index (loads a lazy partition on first use)."""
+        return self.catalog.indexed
 
     @property
     def rdbms(self) -> RdbmsEngine:
@@ -79,12 +126,19 @@ class CollectionDocument:
         return self._rdbms
 
     def summary(self) -> Dict[str, object]:
-        """One row of ``BLASCollection.documents()``."""
-        row = dict(self.indexed.summary())
+        """One row of ``BLASCollection.documents()`` (never forces a load)."""
+        row = dict(self.summary_row)
         row["doc_id"] = self.doc_id
         row["name"] = self.name
         row["scheme_group"] = self.group_id
         return row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "loaded" if self.loaded else "lazy"
+        return (
+            f"CollectionDocument(doc_id={self.doc_id}, name={self.name!r}, "
+            f"group_id={self.group_id}, {state})"
+        )
 
 
 class SchemeGroup:
@@ -102,19 +156,36 @@ class SchemeGroup:
         self.scheme = scheme
         self._store = store
         self.doc_ids: List[int] = []
-        self._schemas: Dict[int, Optional[SchemaGraph]] = {}
+        self._schemas: Dict[int, object] = {}
         self._schema_cache: object = _UNSET
         self._planner: Optional[QueryPlanner] = None
 
     # -- membership -------------------------------------------------------------
 
-    def add(self, doc_id: int, schema: Optional[SchemaGraph]) -> None:
+    def add(
+        self,
+        doc_id: int,
+        schema: Union[Optional[SchemaGraph], Callable[[], Optional[SchemaGraph]]],
+    ) -> None:
+        """Add a member document and its schema graph.
+
+        Parameters
+        ----------
+        doc_id:
+            The document joining the group.
+        schema:
+            The document's schema graph, ``None`` when it was indexed
+            without one, or a zero-argument callable producing either —
+            lazily-opened documents pass a callable so that group membership
+            never forces a partition load.
+        """
         self.doc_ids.append(doc_id)
         self.doc_ids.sort()
         self._schemas[doc_id] = schema
         self._invalidate()
 
     def remove(self, doc_id: int) -> None:
+        """Remove a member document (invalidates merged schema and planner)."""
         self.doc_ids.remove(doc_id)
         del self._schemas[doc_id]
         self._invalidate()
@@ -142,10 +213,17 @@ class SchemeGroup:
 
         ``None`` when any member was indexed without schema extraction —
         Unfold can only be trusted when the schema covers every document it
-        will run against.
+        will run against.  Resolving the union may load lazily-opened
+        members (their schema graphs live in their partition files).
         """
         if self._schema_cache is _UNSET:
-            graphs = [self._schemas[doc_id] for doc_id in self.doc_ids]
+            graphs = []
+            for doc_id in self.doc_ids:
+                value = self._schemas[doc_id]
+                if callable(value):
+                    value = value()
+                    self._schemas[doc_id] = value
+                graphs.append(value)
             if graphs and all(graph is not None for graph in graphs):
                 self._schema_cache = merge_schema_graphs(graphs)
             else:
@@ -169,7 +247,22 @@ class SchemeGroup:
 
 
 class BLASCollection:
-    """A queryable, mutable set of indexed XML documents."""
+    """A queryable, mutable, persistable set of indexed XML documents.
+
+    Parameters
+    ----------
+    plan_cache_size:
+        Capacity of the collection's LRU plan cache.
+    workers:
+        Default thread-pool width for parallel query fan-out (0 auto-sizes).
+
+    Notes
+    -----
+    A collection becomes *store-bound* after :meth:`save` or :meth:`open`:
+    from then on every ``add_*`` call appends to the on-disk store (writing
+    only the new partition file and atomically swapping the manifest) and
+    :meth:`remove` persists the removal the same way.
+    """
 
     def __init__(self, plan_cache_size: int = 128, workers: int = 0):
         self.store = PartitionedCatalog()
@@ -179,8 +272,14 @@ class BLASCollection:
         self._documents: Dict[int, CollectionDocument] = {}
         self._groups: List[SchemeGroup] = []
         self._next_doc_id = 0
+        self._persist: Optional[CollectionStore] = None
 
     # -- introspection ----------------------------------------------------------
+
+    @property
+    def store_path(self) -> Optional[str]:
+        """Root directory of the bound on-disk store, or ``None``."""
+        return self._persist.root if self._persist is not None else None
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -205,12 +304,25 @@ class BLASCollection:
         return [group for group in self._groups if group.doc_ids]
 
     def stats(self) -> Dict[str, object]:
-        """Collection-level observability: sizes plus plan-cache counters."""
+        """Collection-level observability: sizes plus plan-cache counters.
+
+        Returns
+        -------
+        dict
+            ``documents``, ``nodes``, ``scheme_groups``, ``plan_cache``
+            counters, plus ``store`` (bound store path or ``None``) and
+            ``loaded_documents`` (how many partitions are resident — less
+            than ``documents`` right after a lazy :meth:`open`).
+        """
         return {
             "documents": len(self._documents),
             "nodes": self.store.node_count,
             "scheme_groups": len(self.scheme_groups()),
             "plan_cache": self.plan_cache.stats(),
+            "store": self.store_path,
+            "loaded_documents": sum(
+                1 for doc_id in self._documents if self.store.is_loaded(doc_id)
+            ),
         }
 
     def document_view(self, doc_id: int):
@@ -293,16 +405,34 @@ class BLASCollection:
         if group is None:
             group = SchemeGroup(len(self._groups), indexed.scheme, self.store)
             self._groups.append(group)
-        catalog = self.store.add_partition(indexed, doc_id)
+        self.store.add_partition(indexed, doc_id)
         group.add(doc_id, indexed.schema)
         self._documents[doc_id] = CollectionDocument(
             doc_id=doc_id,
             name=indexed.name,
-            indexed=indexed,
-            catalog=catalog,
             group_id=group.group_id,
+            partitions=self.store,
+            summary_row=indexed.summary(),
         )
         self._next_doc_id += 1
+        if self._persist is not None:
+            # Append to the bound store: write only the new partition file,
+            # then commit it with an atomic manifest swap.  A crash between
+            # the two leaves the previous manifest readable (the new file is
+            # an ignorable orphan).  A *failed* write rolls the in-memory
+            # registration back too — otherwise a later successful mutation
+            # would commit a manifest referencing the never-written file.
+            try:
+                self._persist.write_partition(
+                    indexed, doc_id, self.store.partition_fingerprint(doc_id)
+                )
+                self._persist.write_manifest(self._manifest())
+            except BaseException:
+                del self._documents[doc_id]
+                self.store.remove_partition(doc_id)
+                group.remove(doc_id)
+                self._next_doc_id = doc_id
+                raise
         return doc_id
 
     def remove(self, ref: Union[int, str]) -> int:
@@ -310,13 +440,178 @@ class BLASCollection:
 
         Membership change flows through the store and the scheme group, so
         merged statistics, fingerprints — and therefore every cached plan
-        over the old membership — are invalidated.
+        over the old membership — are invalidated.  On a store-bound
+        collection the removal is persisted: the manifest is swapped first
+        (the commit point) and the partition file deleted afterwards.
+        Removing the last document leaves a valid, queryable empty
+        collection — and a valid empty store.
+
+        Parameters
+        ----------
+        ref:
+            A member doc_id, or a document name (must be unambiguous).
+
+        Returns
+        -------
+        int
+            The doc_id that was removed.
         """
         doc_id = self._resolve(ref)
+        victim_file = (
+            CollectionStore.partition_name(
+                doc_id, self.store.partition_fingerprint(doc_id)
+            )
+            if self._persist is not None
+            else None
+        )
         entry = self._documents.pop(doc_id)
         self.store.remove_partition(doc_id)
         self._group_by_id(entry.group_id).remove(doc_id)
+        if self._persist is not None:
+            self._persist.write_manifest(self._manifest())
+            self._persist.remove_partition_file(victim_file)
         return doc_id
+
+    # -- persistence ------------------------------------------------------------
+
+    def _manifest(self) -> Manifest:
+        """The manifest describing the current membership.
+
+        Built entirely from registration-time metadata — fingerprints, node
+        counts and summary rows are available without loading any lazy
+        partition, which keeps append/remove on a lazily-opened store
+        O(touched partition).
+        """
+        groups = self.scheme_groups()
+        positions = {group.group_id: position for position, group in enumerate(groups)}
+        documents = [
+            ManifestDocument(
+                doc_id=doc_id,
+                name=self._documents[doc_id].name,
+                group_id=positions[self._documents[doc_id].group_id],
+                partition=CollectionStore.partition_name(
+                    doc_id, self.store.partition_fingerprint(doc_id)
+                ),
+                fingerprint=self.store.partition_fingerprint(doc_id),
+                node_count=self.store.partition_node_count(doc_id),
+                summary=self._documents[doc_id].summary_row,
+            )
+            for doc_id in self.doc_ids()
+        ]
+        return Manifest(
+            next_doc_id=self._next_doc_id,
+            scheme_groups=[scheme_to_dict(group.scheme) for group in groups],
+            documents=documents,
+        )
+
+    def save(self, path: str) -> None:
+        """Write the whole collection to an on-disk store at ``path``.
+
+        Every partition file is written first; the manifest swap at the end
+        is the atomic commit.  Afterwards the collection is bound to the
+        store, so subsequent ``add_*``/``remove`` calls persist
+        incrementally.
+
+        Parameters
+        ----------
+        path:
+            The store directory (created if missing).  Saving over an
+            existing store replaces its membership entirely.
+
+        Notes
+        -----
+        Saving materialises every lazy partition (the records must be read
+        to be rewritten).  Partition file names embed a content fingerprint,
+        so re-saving over an existing store never mutates a file its current
+        manifest references — a crash before the final swap leaves the old
+        store fully readable; files orphaned by the re-save are garbage
+        collected after the swap.
+        """
+        store = CollectionStore(path)
+        for doc_id in self.doc_ids():
+            store.write_partition(
+                self._documents[doc_id].indexed,
+                doc_id,
+                self.store.partition_fingerprint(doc_id),
+            )
+        manifest = self._manifest()
+        store.write_manifest(manifest)
+        store.collect_garbage(manifest)
+        self._persist = store
+
+    @classmethod
+    def open(
+        cls, path: str, plan_cache_size: int = 128, workers: int = 0
+    ) -> "BLASCollection":
+        """Open a saved collection store — in O(manifest), not O(corpus).
+
+        Membership, scheme groups, per-document summaries and content
+        fingerprints come from the manifest alone; each document's records
+        load lazily on first touch (typically the first query that must scan
+        its partition).  Because fingerprints are stable across
+        save/open, plan-cache keys — and therefore cached plans — remain
+        valid across restarts.
+
+        Parameters
+        ----------
+        path:
+            A directory previously written by :meth:`save`.
+        plan_cache_size:
+            Capacity of the new collection's plan cache.
+        workers:
+            Default fan-out width (0 auto-sizes), as in the constructor.
+
+        Returns
+        -------
+        BLASCollection
+            A store-bound collection answering queries byte-identically to
+            the collection that was saved.
+
+        Raises
+        ------
+        PersistError
+            When ``path`` holds no manifest, or one with an unsupported
+            format version.
+        """
+        store = CollectionStore(path)
+        manifest = store.read_manifest()
+        collection = cls(plan_cache_size=plan_cache_size, workers=workers)
+        collection._persist = store
+        for position, payload in enumerate(manifest.scheme_groups):
+            try:
+                scheme = scheme_from_dict(payload)
+            except (KeyError, TypeError, ValueError, LabelingError) as error:
+                raise PersistError(
+                    f"malformed scheme group {position} in store manifest: {error!r}"
+                )
+            collection._groups.append(SchemeGroup(position, scheme, collection.store))
+        for entry in manifest.documents:
+            if not 0 <= entry.group_id < len(collection._groups):
+                raise PersistError(
+                    f"document {entry.doc_id} references scheme group "
+                    f"{entry.group_id}, but the manifest defines "
+                    f"{len(collection._groups)}"
+                )
+            group = collection._groups[entry.group_id]
+            collection.store.add_lazy_partition(
+                entry.doc_id,
+                loader=lambda e=entry, s=group.scheme: store.read_partition(e, s),
+                fingerprint=entry.fingerprint,
+                node_count=entry.node_count,
+            )
+            group.add(
+                entry.doc_id,
+                lambda doc_id=entry.doc_id: collection.store.catalog_for(doc_id).schema,
+            )
+            collection._documents[entry.doc_id] = CollectionDocument(
+                doc_id=entry.doc_id,
+                name=entry.name,
+                group_id=entry.group_id,
+                partitions=collection.store,
+                summary_row=entry.summary,
+            )
+        collection._next_doc_id = manifest.next_doc_id
+        return collection
 
     def _resolve(self, ref: Union[int, str]) -> int:
         if isinstance(ref, int):
@@ -403,12 +698,38 @@ class BLASCollection:
         ``workers``; 0 auto-sizes), and merges the per-document streams into
         ``(doc_id, document order)``.  Parallel and serial execution return
         byte-identical results.
+
+        Parameters
+        ----------
+        query:
+            XPath text or a pre-parsed :class:`LocationPath`.
+        translator, engine:
+            ``"auto"`` (cost-based choice, the default) or an explicit name;
+            unknown names raise :class:`~repro.exceptions.EngineError`.
+        parallel:
+            Fan out across a thread pool (``False`` forces serial).
+        workers:
+            Pool width; 0 uses the collection default / auto-sizing.
+
+        Returns
+        -------
+        CollectionResult
+            Merged records in ``(doc_id, document order)`` with per-document
+            attribution.  An *empty* collection (e.g. after removing the
+            last document) is valid and returns an empty result rather than
+            raising.
         """
         self._check_names(translator, engine)
-        if not self._documents:
-            raise CollectionError("the collection holds no documents")
         tree = self._query_tree(query)
         text = tree.to_xpath()
+        if not self._documents:
+            return CollectionResult(
+                query_text=text,
+                translator=translator,
+                engine=engine,
+                parallel=False,
+                workers=0,
+            )
         started = time.perf_counter()
         plans: Dict[int, PlannedQuery] = {
             group.group_id: self._plan_group(group, tree, text, translator, engine)
@@ -473,10 +794,23 @@ class BLASCollection:
 
         Shows, per scheme group, the planner's candidate table and chosen
         physical plan (priced on merged statistics) plus the plan re-priced
-        against each member document — and the plan-cache counters."""
+        against each member document — and the plan-cache counters.  An
+        empty collection explains to a zero-document header rather than
+        raising.
+
+        Parameters
+        ----------
+        query:
+            XPath text or a pre-parsed :class:`LocationPath`.
+        translator, engine:
+            Requested names, as in :meth:`query`.
+
+        Returns
+        -------
+        str
+            The multi-line EXPLAIN text.
+        """
         self._check_names(translator, engine)
-        if not self._documents:
-            raise CollectionError("the collection holds no documents")
         tree = self._query_tree(query)
         text = tree.to_xpath()
         lines = [f"COLLECTION EXPLAIN {text}"]

@@ -67,3 +67,8 @@ class EngineError(ReproError):
 
 class CollectionError(ReproError):
     """Raised by the multi-document collection layer (membership, fan-out)."""
+
+
+class PersistError(StorageError):
+    """Raised by the on-disk collection store (missing/corrupt manifest or
+    partition files, format-version mismatches)."""

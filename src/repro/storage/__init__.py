@@ -15,20 +15,26 @@ This package provides both layouts over two engines:
   this is the engine used for the "visited elements" measurements.
 * :mod:`repro.storage.sqlite_backend` — the same two relations loaded into
   SQLite (standing in for the paper's DB2), used by the RDBMS experiments.
+* :mod:`repro.storage.persist` — the versioned on-disk collection store
+  (atomic manifest swaps, lazily-loaded partition files).
 """
 
 from repro.storage.btree import BPlusTree
 from repro.storage.pages import PageLayout
+from repro.storage.persist import FORMAT_VERSION, CollectionStore
 from repro.storage.sqlite_backend import SqliteBackend
 from repro.storage.stats import AccessStatistics
-from repro.storage.table import ClusterKind, NodeTable, StorageCatalog
+from repro.storage.table import ClusterKind, NodeTable, PartitionedCatalog, StorageCatalog
 
 __all__ = [
     "AccessStatistics",
     "BPlusTree",
     "ClusterKind",
+    "CollectionStore",
+    "FORMAT_VERSION",
     "NodeTable",
     "PageLayout",
+    "PartitionedCatalog",
     "SqliteBackend",
     "StorageCatalog",
 ]

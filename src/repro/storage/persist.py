@@ -1,0 +1,462 @@
+"""The persistent on-disk collection store (the durability subsystem).
+
+A saved :class:`~repro.collection.collection.BLASCollection` is a directory:
+
+.. code-block:: text
+
+    store/
+      MANIFEST.json             # version, membership, scheme groups, digests
+      partitions/
+        doc-00000.json          # one document's records + schema graph
+        doc-00002.json
+
+Design rules (see ``docs/file-format.md`` for the full specification):
+
+* **The manifest is the store.**  A document exists iff the manifest lists
+  it.  Every mutation writes new partition files first and then swaps the
+  manifest atomically (temp file + ``os.replace``), so a reader — or a crash
+  — always observes either the old store or the new one, never a mix.
+  Partition files not referenced by the manifest are orphans from an
+  interrupted append; they are ignored and rewritten on reuse.
+* **Open is O(manifest).**  The manifest carries everything the collection
+  needs to enumerate, fingerprint and plan-cache-key its members (name,
+  scheme group, node count, summary row, content fingerprint); record data
+  loads lazily per partition on first touch.
+* **Byte-identical round trips.**  A partition file stores the exact
+  ``NodeRecord`` tuples and the schema graph the indexer produced, and the
+  manifest stores each scheme's tag vocabulary *in partition order* — so an
+  opened collection answers queries with the same results, the same access
+  counters and the same chosen plans as the collection that was saved.
+
+The module sits in the storage layer on purpose: it knows about indexes,
+schemes and schema graphs but not about collections.  The collection layer
+(:meth:`BLASCollection.save` / :meth:`BLASCollection.open`) orchestrates it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.indexer import IndexedDocument, NodeRecord
+from repro.core.plabel import PLabelScheme
+from repro.exceptions import PersistError
+from repro.storage.stats import fingerprint_records
+from repro.xmlkit.schema import SchemaGraph
+
+#: On-disk format version.  Bumped whenever the manifest or partition layout
+#: changes incompatibly; :func:`read_manifest` refuses versions it does not
+#: understand instead of guessing.
+FORMAT_VERSION = 1
+
+#: Identifying ``format`` tag of a manifest file.
+MANIFEST_FORMAT = "blas-collection-store"
+
+#: Identifying ``format`` tag of a partition file.
+PARTITION_FORMAT = "blas-partition"
+
+#: File name of the manifest inside a store directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Sub-directory holding the per-document partition files.
+PARTITIONS_DIR = "partitions"
+
+
+# -- serialization helpers ---------------------------------------------------------
+
+
+def scheme_to_dict(scheme: PLabelScheme) -> Dict[str, object]:
+    """Serialize a P-label scheme (tags in partition order + height)."""
+    return {"tags": scheme.tags, "height": scheme.height}
+
+
+def scheme_from_dict(payload: Dict[str, object]) -> PLabelScheme:
+    """Rebuild a P-label scheme saved by :func:`scheme_to_dict`.
+
+    Tag order is preserved, so the rebuilt scheme assigns exactly the same
+    labels as the one that was saved.
+    """
+    return PLabelScheme(list(payload["tags"]), height=int(payload["height"]))
+
+
+def schema_to_dict(schema: Optional[SchemaGraph]) -> Optional[Dict[str, object]]:
+    """Serialize a schema graph (or ``None`` for schema-less documents)."""
+    if schema is None:
+        return None
+    return {
+        "roots": sorted(schema.roots),
+        "edges": {tag: sorted(schema.children(tag)) for tag in sorted(schema.tags)},
+        "max_depth": schema.max_depth,
+    }
+
+
+def schema_from_dict(payload: Optional[Dict[str, object]]) -> Optional[SchemaGraph]:
+    """Rebuild a schema graph saved by :func:`schema_to_dict`."""
+    if payload is None:
+        return None
+    return SchemaGraph(
+        edges={tag: set(children) for tag, children in payload["edges"].items()},
+        roots=payload["roots"],
+        max_depth=int(payload["max_depth"]),
+    )
+
+
+def records_to_rows(records: Sequence[NodeRecord]) -> List[List[object]]:
+    """Flatten node records into compact JSON rows (``doc_id`` is implicit)."""
+    return [
+        [record.plabel, record.start, record.end, record.level, record.tag, record.data]
+        for record in records
+    ]
+
+
+def rows_to_records(rows: Sequence[Sequence[object]], doc_id: int) -> List[NodeRecord]:
+    """Rebuild node records from :func:`records_to_rows` output."""
+    return [
+        NodeRecord(
+            plabel=row[0],
+            start=row[1],
+            end=row[2],
+            level=row[3],
+            tag=row[4],
+            data=row[5],
+            doc_id=doc_id,
+        )
+        for row in rows
+    ]
+
+
+# -- manifest model ----------------------------------------------------------------
+
+
+@dataclass
+class ManifestDocument:
+    """One document's row in the manifest (everything open needs, sans records)."""
+
+    doc_id: int
+    name: str
+    group_id: int
+    partition: str
+    fingerprint: str
+    node_count: int
+    summary: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The manifest JSON object for this document."""
+        return {
+            "doc_id": self.doc_id,
+            "name": self.name,
+            "group_id": self.group_id,
+            "partition": self.partition,
+            "fingerprint": self.fingerprint,
+            "node_count": self.node_count,
+            "summary": self.summary,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ManifestDocument":
+        """Rebuild a document row from its manifest JSON object."""
+        return cls(
+            doc_id=int(payload["doc_id"]),
+            name=str(payload["name"]),
+            group_id=int(payload["group_id"]),
+            partition=str(payload["partition"]),
+            fingerprint=str(payload["fingerprint"]),
+            node_count=int(payload["node_count"]),
+            summary=dict(payload["summary"]),
+        )
+
+
+@dataclass
+class Manifest:
+    """The parsed manifest of a collection store."""
+
+    version: int = FORMAT_VERSION
+    next_doc_id: int = 0
+    scheme_groups: List[Dict[str, object]] = field(default_factory=list)
+    documents: List[ManifestDocument] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The complete manifest JSON object."""
+        return {
+            "format": MANIFEST_FORMAT,
+            "version": self.version,
+            "next_doc_id": self.next_doc_id,
+            "scheme_groups": self.scheme_groups,
+            "documents": [document.to_dict() for document in self.documents],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Manifest":
+        """Parse (and version-check) a manifest JSON object."""
+        if payload.get("format") != MANIFEST_FORMAT:
+            raise PersistError(
+                f"not a collection store manifest (format={payload.get('format')!r})"
+            )
+        version = int(payload.get("version", -1))
+        if version != FORMAT_VERSION:
+            raise PersistError(
+                f"unsupported store format version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        try:
+            return cls(
+                version=version,
+                next_doc_id=int(payload["next_doc_id"]),
+                scheme_groups=list(payload["scheme_groups"]),
+                documents=[
+                    ManifestDocument.from_dict(document)
+                    for document in payload["documents"]
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            # Right format tag but missing/mistyped fields (hand edits,
+            # partial restores): surface the store-error path, not a raw
+            # KeyError the documented contract never mentions.
+            raise PersistError(f"malformed store manifest: {error!r}")
+
+
+# -- the store ---------------------------------------------------------------------
+
+
+class CollectionStore:
+    """Reads and writes one on-disk collection store directory.
+
+    The store is deliberately dumb: it moves bytes between disk and
+    :class:`~repro.core.indexer.IndexedDocument` / :class:`Manifest` values
+    and guarantees atomic manifest swaps.  Membership logic, scheme grouping
+    and plan caching stay in the collection layer.
+
+    Parameters
+    ----------
+    root:
+        The store directory (created on first write).
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+
+    # -- predicates ----------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        """Absolute path of the store's manifest file."""
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    @staticmethod
+    def is_store(path: str) -> bool:
+        """True when ``path`` is (or contains) a collection store manifest."""
+        return os.path.isfile(os.path.join(path, MANIFEST_NAME))
+
+    # -- manifest I/O --------------------------------------------------------------
+
+    def read_manifest(self) -> Manifest:
+        """Parse the manifest; raises :class:`PersistError` when unreadable."""
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise PersistError(f"no collection store at {self.root!r} (missing manifest)")
+        except (OSError, json.JSONDecodeError) as error:
+            raise PersistError(f"cannot read store manifest {self.manifest_path!r}: {error}")
+        return Manifest.from_dict(payload)
+
+    def write_manifest(self, manifest: Manifest) -> None:
+        """Atomically replace the manifest (temp file + ``os.replace``).
+
+        This is the commit point of every store mutation: partition files
+        are written *before* this call, so a crash anywhere up to the
+        ``os.replace`` leaves the previous manifest — and therefore the
+        previous store contents — fully readable.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        payload = json.dumps(manifest.to_dict(), indent=1, sort_keys=True)
+        self._write_atomic(self.manifest_path, payload)
+
+    def _write_atomic(self, target: str, payload: str) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=os.path.dirname(target),
+            prefix=os.path.basename(target) + ".",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, target)
+            self._fsync_dir(os.path.dirname(target))
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _fsync_dir(path: str) -> None:
+        """Flush a directory entry so a rename survives power loss.
+
+        Without this, the journal may persist a later write (e.g. remove's
+        partition unlink) while the manifest rename itself is lost — leaving
+        a manifest that references a deleted file.  Best-effort on platforms
+        that cannot fsync directories.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # -- partition I/O -------------------------------------------------------------
+
+    @staticmethod
+    def partition_name(doc_id: int, fingerprint: str) -> str:
+        """Relative path of the partition file for ``doc_id``.
+
+        The name embeds a fingerprint prefix, making it a function of the
+        partition's *content*: re-saving a changed document writes a new
+        file instead of mutating the one the current manifest references —
+        which is what keeps the old store readable if a whole-collection
+        re-save crashes before its manifest swap.  Rewriting unchanged
+        content lands on the same name with identical bytes (harmless).
+        """
+        return f"{PARTITIONS_DIR}/doc-{doc_id:05d}-{fingerprint[:12]}.json"
+
+    def write_partition(
+        self, indexed: IndexedDocument, doc_id: int, fingerprint: str
+    ) -> str:
+        """Write one document's partition file; returns its relative path.
+
+        The write is atomic (temp file + rename), so a reader following the
+        *old* manifest never observes a half-written partition even while an
+        append is overwriting an orphan of the same name.
+        """
+        relative = self.partition_name(doc_id, fingerprint)
+        target = os.path.join(self.root, relative)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        payload = json.dumps(
+            {
+                "format": PARTITION_FORMAT,
+                "version": FORMAT_VERSION,
+                "doc_id": doc_id,
+                "name": indexed.name,
+                "source_size_bytes": indexed.source_size_bytes,
+                "schema": schema_to_dict(indexed.schema),
+                "records": records_to_rows(indexed.records),
+            },
+            separators=(",", ":"),
+        )
+        self._write_atomic(target, payload)
+        return relative
+
+    def read_partition(
+        self, entry: ManifestDocument, scheme: PLabelScheme
+    ) -> IndexedDocument:
+        """Load one partition file back into an :class:`IndexedDocument`.
+
+        Parameters
+        ----------
+        entry:
+            The document's manifest row (names the partition file).
+        scheme:
+            The *shared* scheme of the document's group — the rebuilt index
+            references the group's scheme instance rather than a private
+            copy, mirroring how ingestion shares schemes.
+        """
+        path = os.path.join(self.root, entry.partition)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise PersistError(f"cannot read partition {path!r}: {error}")
+        if payload.get("format") != PARTITION_FORMAT:
+            raise PersistError(f"{path!r} is not a partition file")
+        try:
+            if int(payload.get("version", -1)) != FORMAT_VERSION:
+                raise PersistError(f"unsupported partition version in {path!r}")
+            if int(payload["doc_id"]) != entry.doc_id:
+                raise PersistError(
+                    f"partition {path!r} belongs to doc_id {payload['doc_id']}, "
+                    f"manifest expects {entry.doc_id}"
+                )
+            records = rows_to_records(payload["records"], doc_id=entry.doc_id)
+            if len(records) != entry.node_count:
+                raise PersistError(
+                    f"partition {path!r} holds {len(records)} records, "
+                    f"manifest expects {entry.node_count}"
+                )
+            # Recompute the content digest exactly as a built StorageCatalog
+            # would (SP order + name) and hold it against the manifest: a
+            # tampered or bit-rotted partition must fail loudly here, never
+            # silently serve records that contradict the plan-cache keys.
+            actual = fingerprint_records(
+                sorted(records, key=NodeRecord.sort_key_sp),
+                name=str(payload["name"] or ""),
+            )
+            if actual != entry.fingerprint:
+                raise PersistError(
+                    f"partition {path!r} content digest {actual} does not match "
+                    f"the manifest fingerprint {entry.fingerprint}"
+                )
+            return IndexedDocument(
+                records=records,
+                scheme=scheme,
+                schema=schema_from_dict(payload["schema"]),
+                name=payload["name"],
+                source_size_bytes=int(payload["source_size_bytes"]),
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as error:
+            raise PersistError(f"malformed partition file {path!r}: {error!r}")
+
+    def remove_partition_file(self, relative: str) -> None:
+        """Best-effort removal of an unreferenced partition file.
+
+        Called *after* the manifest swap that dropped the document, so a
+        failure here merely leaves an orphan file that open ignores.
+        """
+        try:
+            os.unlink(os.path.join(self.root, relative))
+        except OSError:
+            pass
+
+    def collect_garbage(self, manifest: Manifest) -> List[str]:
+        """Delete partition files the manifest does not reference.
+
+        Orphans accumulate from crashed appends and from re-saves that
+        changed a document's content (and therefore its file name).  Called
+        after a successful full save; a reader never looks at unreferenced
+        files, so this is pure housekeeping and best-effort by design.
+
+        Returns
+        -------
+        list of str
+            Relative paths of the files that were removed.
+        """
+        directory = os.path.join(self.root, PARTITIONS_DIR)
+        try:
+            present = os.listdir(directory)
+        except OSError:
+            return []
+        referenced = {entry.partition for entry in manifest.documents}
+        removed = []
+        for name in present:
+            relative = f"{PARTITIONS_DIR}/{name}"
+            if relative in referenced:
+                continue
+            try:
+                os.unlink(os.path.join(directory, name))
+                removed.append(relative)
+            except OSError:
+                pass
+        return removed

@@ -15,8 +15,9 @@ the benchmark harness regenerates the paper's "visited elements" panels.
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.indexer import IndexedDocument, NodeRecord
 from repro.exceptions import StorageError
@@ -301,6 +302,20 @@ class StorageCatalog:
         raise StorageError(f"unknown table source {source!r}")
 
 
+@dataclass
+class _LazyPartition:
+    """A partition known to the store but not yet loaded from disk.
+
+    ``loader`` rebuilds the :class:`IndexedDocument`; ``fingerprint`` and
+    ``node_count`` come from the store manifest so planning keys and size
+    summaries never force a load.
+    """
+
+    loader: Callable[[], IndexedDocument]
+    fingerprint: str
+    node_count: int
+
+
 class PartitionedCatalog:
     """A doc_id-partitioned store over many indexed documents.
 
@@ -312,6 +327,12 @@ class PartitionedCatalog:
     statistics (for cross-document cost estimation) and a collection
     fingerprint that changes whenever membership does (plan-cache
     invalidation on add/remove).
+
+    Partitions may be registered *lazily* (:meth:`add_lazy_partition`): the
+    partition contributes its manifest-recorded fingerprint and node count
+    immediately, but its tables are built only when :meth:`catalog_for`
+    first touches it.  This is what makes opening an on-disk collection
+    store O(manifest) instead of O(corpus).
     """
 
     def __init__(
@@ -322,6 +343,7 @@ class PartitionedCatalog:
         self._layout = page_layout or PageLayout()
         self._btree_order = btree_order
         self._partitions: Dict[int, StorageCatalog] = {}
+        self._lazy: Dict[int, _LazyPartition] = {}
         self._statistics_cache: Dict[Tuple[int, ...], CatalogStatistics] = {}
         self._fingerprint_cache: Dict[Tuple[int, ...], str] = {}
 
@@ -334,22 +356,55 @@ class PartitionedCatalog:
         so results coming out of any engine attribute themselves to the
         right document for free.
         """
-        if doc_id in self._partitions:
+        if doc_id in self._partitions or doc_id in self._lazy:
             raise StorageError(f"doc_id {doc_id} is already part of this store")
-        if any(record.doc_id != doc_id for record in indexed.records):
-            raise StorageError(
-                f"records must be stamped with doc_id {doc_id} before partitioning"
-            )
-        catalog = StorageCatalog(indexed, self._layout, self._btree_order)
+        catalog = self._build_catalog(indexed, doc_id)
         self._partitions[doc_id] = catalog
         self._invalidate()
         return catalog
 
+    def add_lazy_partition(
+        self,
+        doc_id: int,
+        loader: Callable[[], IndexedDocument],
+        fingerprint: str,
+        node_count: int,
+    ) -> None:
+        """Register a partition whose tables are built on first touch.
+
+        Parameters
+        ----------
+        doc_id:
+            The partition's document identifier.
+        loader:
+            Zero-argument callable producing the :class:`IndexedDocument`
+            (typically a partition-file read).  Called at most once.
+        fingerprint:
+            The partition content digest recorded when it was saved; serves
+            plan-cache keying without loading any records.
+        node_count:
+            The partition's record count, for size summaries.
+        """
+        if doc_id in self._partitions or doc_id in self._lazy:
+            raise StorageError(f"doc_id {doc_id} is already part of this store")
+        self._lazy[doc_id] = _LazyPartition(loader, fingerprint, node_count)
+        self._invalidate()
+
+    def _build_catalog(self, indexed: IndexedDocument, doc_id: int) -> StorageCatalog:
+        if any(record.doc_id != doc_id for record in indexed.records):
+            raise StorageError(
+                f"records must be stamped with doc_id {doc_id} before partitioning"
+            )
+        return StorageCatalog(indexed, self._layout, self._btree_order)
+
     def remove_partition(self, doc_id: int) -> None:
         """Drop a document's partition (both layouts at once)."""
-        if doc_id not in self._partitions:
+        if doc_id in self._partitions:
+            del self._partitions[doc_id]
+        elif doc_id in self._lazy:
+            del self._lazy[doc_id]
+        else:
             raise StorageError(f"doc_id {doc_id} is not part of this store")
-        del self._partitions[doc_id]
         self._invalidate()
 
     def _invalidate(self) -> None:
@@ -359,25 +414,59 @@ class PartitionedCatalog:
     # -- slices -----------------------------------------------------------------
 
     def catalog_for(self, doc_id: int) -> StorageCatalog:
-        """The per-document :class:`StorageCatalog` slice for ``doc_id``."""
+        """The per-document :class:`StorageCatalog` slice for ``doc_id``.
+
+        Materialises a lazy partition on first touch; summary caches are
+        *not* invalidated by materialisation because the loaded content is
+        exactly what the manifest described.
+        """
         catalog = self._partitions.get(doc_id)
         if catalog is None:
-            raise StorageError(f"doc_id {doc_id} is not part of this store")
+            lazy = self._lazy.get(doc_id)
+            if lazy is None:
+                raise StorageError(f"doc_id {doc_id} is not part of this store")
+            catalog = self._build_catalog(lazy.loader(), doc_id)
+            self._partitions[doc_id] = catalog
+            del self._lazy[doc_id]
         return catalog
+
+    def is_loaded(self, doc_id: int) -> bool:
+        """True when the partition's tables are resident (not pending a load)."""
+        if doc_id in self._partitions:
+            return True
+        if doc_id in self._lazy:
+            return False
+        raise StorageError(f"doc_id {doc_id} is not part of this store")
 
     def doc_ids(self) -> List[int]:
         """Member doc_ids in ascending order."""
-        return sorted(self._partitions)
+        return sorted(self._partitions.keys() | self._lazy.keys())
 
     def __len__(self) -> int:
-        return len(self._partitions)
+        return len(self._partitions) + len(self._lazy)
 
     @property
     def node_count(self) -> int:
-        """Total records across every partition."""
-        return sum(len(catalog.sp) for catalog in self._partitions.values())
+        """Total records across every partition (lazy ones included)."""
+        return sum(len(catalog.sp) for catalog in self._partitions.values()) + sum(
+            lazy.node_count for lazy in self._lazy.values()
+        )
 
     # -- collection-level summaries ---------------------------------------------
+
+    def partition_fingerprint(self, doc_id: int) -> str:
+        """One partition's content digest — without forcing a load."""
+        lazy = self._lazy.get(doc_id)
+        if lazy is not None:
+            return lazy.fingerprint
+        return self.catalog_for(doc_id).fingerprint()
+
+    def partition_node_count(self, doc_id: int) -> int:
+        """One partition's record count — without forcing a load."""
+        lazy = self._lazy.get(doc_id)
+        if lazy is not None:
+            return lazy.node_count
+        return len(self.catalog_for(doc_id).sp)
 
     def fingerprint_for(self, doc_ids: Sequence[int]) -> str:
         """Digest identifying the content of a subset of partitions."""
@@ -385,7 +474,7 @@ class PartitionedCatalog:
         cached = self._fingerprint_cache.get(key)
         if cached is None:
             cached = fingerprint_collection(
-                [(doc_id, self.catalog_for(doc_id).fingerprint()) for doc_id in key]
+                [(doc_id, self.partition_fingerprint(doc_id)) for doc_id in key]
             )
             self._fingerprint_cache[key] = cached
         return cached

@@ -134,8 +134,87 @@ class BLAS:
         The file is read in chunks through the streaming indexer — the
         document text is never materialised, so files larger than memory
         index fine.
+
+        Parameters
+        ----------
+        path:
+            Path to the XML document.
+        build_sqlite:
+            Eagerly build the SQLite engine (it is otherwise built lazily on
+            first explicit ``engine="sqlite"`` use).
+
+        Returns
+        -------
+        BLAS
+            A system over the freshly indexed document.
         """
         return cls(index_file(path), build_sqlite=build_sqlite)
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Save this document to an on-disk collection store at ``path``.
+
+        One-document convenience over
+        :meth:`~repro.collection.collection.BLASCollection.save`: the store
+        holds a single-member collection that :meth:`open` (or
+        :meth:`BLASCollection.open`) loads back byte-identically — same
+        query results, same access counters, same chosen plans.
+
+        Parameters
+        ----------
+        path:
+            The store directory (created if missing).
+
+        Raises
+        ------
+        CollectionError
+            When this system is a :meth:`BLASCollection.document_view` of a
+            collection holding other documents too — saving would persist
+            all of them; save through the collection instead.
+        """
+        from repro.exceptions import CollectionError
+
+        if len(self.collection) != 1:
+            raise CollectionError(
+                f"this system views document {self.doc_id} of a collection "
+                f"holding {len(self.collection)} documents; BLAS.save would "
+                "persist them all — use the collection's own save instead"
+            )
+        self.collection.save(path)
+
+    @classmethod
+    def open(cls, path: str) -> "BLAS":
+        """Open a single-document store saved by :meth:`save`.
+
+        Parameters
+        ----------
+        path:
+            A store directory holding exactly one document.
+
+        Returns
+        -------
+        BLAS
+            The one-document view over the opened collection.
+
+        Raises
+        ------
+        CollectionError
+            When the store holds zero or several documents (use
+            :meth:`BLASCollection.open` for those).
+        PersistError
+            When ``path`` is not a readable store.
+        """
+        from repro.exceptions import CollectionError
+
+        collection = BLASCollection.open(path)
+        doc_ids = collection.doc_ids()
+        if len(doc_ids) != 1:
+            raise CollectionError(
+                f"store at {path!r} holds {len(doc_ids)} documents; "
+                "BLAS.open expects exactly one — use BLASCollection.open instead"
+            )
+        return collection.document_view(doc_ids[0])
 
     # -- engines --------------------------------------------------------------------
 
@@ -182,6 +261,20 @@ class BLAS:
         translator/engine, and the document fingerprint, so a system over
         different data never reuses another document's plan.  Cache hits are
         returned as copies flagged ``cache_hit=True``.
+
+        Parameters
+        ----------
+        query:
+            XPath text or a pre-parsed :class:`LocationPath`.
+        translator, engine:
+            ``"auto"`` or an explicit name; unknown names raise
+            :class:`~repro.exceptions.EngineError`.
+
+        Returns
+        -------
+        PlannedQuery
+            The chosen candidate with its lowered physical plan, estimated
+            cost and planning metadata.
         """
         self._check_translator(translator)
         self._check_engine(engine)
@@ -236,6 +329,18 @@ class BLAS:
         (``"auto"`` translator or engine) it is the planner's full EXPLAIN —
         candidates, chosen physical plan, estimated cost, and the plan-cache
         counters.
+
+        Parameters
+        ----------
+        query:
+            XPath text or a pre-parsed :class:`LocationPath`.
+        translator, engine:
+            Requested names, as in :meth:`query`.
+
+        Returns
+        -------
+        str
+            The multi-line plan description.
         """
         self._check_translator(translator)
         self._check_engine(engine)
@@ -261,10 +366,23 @@ class BLAS:
         :class:`~repro.planner.planner.PlannedQuery` for EXPLAIN.  Explicit
         names reproduce the seed behavior exactly.
 
-        Returns a :class:`QueryResult` whose ``records`` are the matching
-        nodes in document order; ``stats`` carries access counters for the
-        ``memory`` and ``twig`` engines and ``elapsed_seconds`` the execution
-        time (translation excluded, as in the paper's measurements).
+        Parameters
+        ----------
+        query:
+            XPath text or a pre-parsed :class:`LocationPath`.
+        translator:
+            ``"auto"`` (default), ``"dlabel"``, ``"split"``, ``"pushup"``
+            or ``"unfold"`` (needs a schema graph).
+        engine:
+            ``"auto"`` (default), ``"memory"``, ``"twig"`` or ``"sqlite"``.
+
+        Returns
+        -------
+        QueryResult
+            ``records`` are the matching nodes in document order; ``stats``
+            carries access counters for the ``memory`` and ``twig`` engines
+            and ``elapsed_seconds`` the execution time (translation
+            excluded, as in the paper's measurements).
         """
         self._check_translator(translator)
         self._check_engine(engine)

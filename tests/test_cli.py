@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -154,6 +156,113 @@ def test_collection_remove(collection_dir, capsys):
     assert "4 result node(s) across 1 document(s)" in captured
     code = main(["collection", "remove", collection_dir, "two.xml"])
     assert code == 1
+
+
+# -- persistent stores ---------------------------------------------------------------
+
+
+@pytest.fixture()
+def store_dir(collection_dir, tmp_path, capsys):
+    store = str(tmp_path / "collection.store")
+    code = main(["collection", "save", collection_dir, store])
+    assert code == 0
+    capsys.readouterr()
+    return store
+
+
+def test_collection_save_and_open(store_dir, capsys):
+    code = main(["collection", "open", store_dir])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "2 document(s)" in captured
+    assert "one.xml" in captured and "two.xml" in captured
+
+
+def test_collection_query_detects_a_store(store_dir, capsys):
+    code = main(["collection", "query", store_dir, "//author"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "result node(s) across 2 document(s)" in captured
+
+
+def test_collection_stats_reports_lazy_loading(store_dir, capsys):
+    code = main(["collection", "stats", store_dir])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "loaded: 0/2 partition(s)" in captured
+    code = main(["collection", "stats", store_dir, "--query", "//author"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "loaded: 2/2 partition(s)" in captured
+
+
+def test_collection_add_ingests_into_a_store(tmp_path, capsys):
+    source = tmp_path / "three.xml"
+    source.write_text(PROTEIN_SAMPLE, encoding="utf-8")
+    store = str(tmp_path / "fresh.store")
+    code = main(["collection", "add", store, str(source), "--store"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "added three.xml (doc 0)" in captured
+    # The store now exists; a second add auto-detects it and rejects dupes.
+    code = main(["collection", "add", store, str(source)])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert "already in the collection" in captured
+
+
+def test_failed_store_add_does_not_create_the_store(tmp_path, capsys):
+    bad = tmp_path / "bad.xml"
+    bad.write_text("<unclosed>", encoding="utf-8")
+    store = str(tmp_path / "never.store")
+    code = main(["collection", "add", store, str(bad), "--store"])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert "cannot add bad.xml" in captured
+    # Validation failed before anything touched disk: no half-created store
+    # that would silently flip the path's semantics to store mode.
+    assert not os.path.exists(store)
+
+
+def test_store_flag_refuses_to_shadow_a_directory_collection(
+    collection_dir, tmp_path, capsys
+):
+    source = tmp_path / "three.xml"
+    source.write_text(PROTEIN_SAMPLE, encoding="utf-8")
+    code = main(["collection", "add", collection_dir, str(source), "--store"])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert "directory-mode collection" in captured
+    # The existing members are still served (no MANIFEST.json was written).
+    code = main(["collection", "query", collection_dir, "//author"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "across 2 document(s)" in captured
+
+
+def test_directory_add_rejects_duplicates_of_any_extension(tmp_path, capsys):
+    source = tmp_path / "notes.txt"  # valid XML despite the extension
+    source.write_text(PROTEIN_SAMPLE, encoding="utf-8")
+    directory = str(tmp_path / "dir")
+    assert main(["collection", "add", directory, str(source)]) == 0
+    capsys.readouterr()
+    code = main(["collection", "add", directory, str(source)])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert "already in the collection" in captured
+
+
+def test_collection_remove_last_document_leaves_a_valid_store(store_dir, capsys):
+    assert main(["collection", "remove", store_dir, "one.xml"]) == 0
+    assert main(["collection", "remove", store_dir, "two.xml"]) == 0
+    code = main(["collection", "query", store_dir, "//author"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "0 result node(s) across 0 document(s)" in captured
+    code = main(["collection", "open", store_dir])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "0 document(s)" in captured
 
 
 def test_experiment_fig12(capsys):

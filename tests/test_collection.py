@@ -118,9 +118,21 @@ def test_remove_by_name_and_by_doc_id(library):
         library.remove(0)
 
 
-def test_query_on_empty_collection_raises():
-    with pytest.raises(CollectionError):
-        BLASCollection().query("//a")
+def test_query_on_empty_collection_returns_empty_result():
+    """An empty collection is valid: queries answer with zero results."""
+    result = BLASCollection().query("//a")
+    assert result.count == 0
+    assert result.records == []
+    assert result.counts_by_document() == {}
+
+
+def test_removing_the_last_document_leaves_a_queryable_collection(library):
+    for doc_id in list(library.doc_ids()):
+        library.remove(doc_id)
+    assert len(library) == 0
+    result = library.query("//book/title")
+    assert result.count == 0
+    assert "documents=0" in library.explain("//book/title")
 
 
 # -- equivalence with independent single-document systems ---------------------------

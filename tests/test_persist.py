@@ -1,0 +1,484 @@
+"""Tests for the persistent on-disk collection store.
+
+Covers the durability tentpole's acceptance criteria: byte-identical
+round trips (index → save → open ≡ never-saved) across every bundled
+dataset, O(manifest) lazy opening, incremental append/remove with atomic
+manifest swaps, crash safety (a killed append leaves the old manifest
+readable), format-version checking, and the ``BLAS.save``/``BLAS.open``
+one-document convenience.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.collection import BLASCollection
+from repro.datasets import QUERY_SETS, build_dataset
+from repro.exceptions import CollectionError, PersistError
+from repro.storage.persist import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    CollectionStore,
+)
+from repro.system import BLAS
+from repro.xmlkit.writer import document_to_string
+from tests.conftest import PROTEIN_SAMPLE
+
+DATASET_NAMES = ("shakespeare", "protein", "auction")
+
+
+def dataset_text(name: str) -> str:
+    return document_to_string(build_dataset(name, scale=1))
+
+
+@pytest.fixture(scope="module")
+def dataset_texts():
+    return {name: dataset_text(name) for name in DATASET_NAMES}
+
+
+def build_collection(texts) -> BLASCollection:
+    collection = BLASCollection()
+    for name, text in texts.items():
+        collection.add_xml(text, name=name)
+    return collection
+
+
+# -- round trips across every bundled dataset ---------------------------------------
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_round_trip_is_byte_identical_per_dataset(dataset, dataset_texts, tmp_path):
+    """index → save → open answers every workload query ≡ never-saved."""
+    fresh = BLASCollection()
+    fresh.add_xml(dataset_texts[dataset], name=dataset)
+    store = str(tmp_path / "store")
+    fresh.save(store)
+    opened = BLASCollection.open(store)
+    for query_name, query_text in QUERY_SETS[dataset].items():
+        a = fresh.query(query_text)
+        b = opened.query(query_text)
+        assert a.starts == b.starts, query_name
+        assert a.values() == b.values(), query_name
+        assert a.stats.as_dict() == b.stats.as_dict(), query_name
+        assert a.translator == b.translator and a.engine == b.engine, query_name
+
+
+def test_round_trip_preserves_plans_and_fingerprints(dataset_texts, tmp_path):
+    fresh = build_collection(dataset_texts)
+    store = str(tmp_path / "store")
+    fresh.save(store)
+    opened = BLASCollection.open(store)
+    assert opened.store.fingerprint() == fresh.store.fingerprint()
+    for doc_id in fresh.doc_ids():
+        assert opened.store.partition_fingerprint(
+            doc_id
+        ) == fresh.store.partition_fingerprint(doc_id)
+    for dataset in DATASET_NAMES:
+        for query_text in QUERY_SETS[dataset].values():
+            assert opened.explain(query_text) == fresh.explain(query_text)
+
+
+def test_round_trip_preserves_membership_metadata(dataset_texts, tmp_path):
+    fresh = build_collection(dataset_texts)
+    store = str(tmp_path / "store")
+    fresh.save(store)
+    opened = BLASCollection.open(store)
+    assert opened.doc_ids() == fresh.doc_ids()
+    assert opened.documents() == fresh.documents()
+    assert len(opened.scheme_groups()) == len(fresh.scheme_groups())
+    for fresh_group, opened_group in zip(fresh.scheme_groups(), opened.scheme_groups()):
+        assert opened_group.scheme.tags == fresh_group.scheme.tags
+        assert opened_group.scheme.height == fresh_group.scheme.height
+        assert opened_group.doc_ids == fresh_group.doc_ids
+
+
+def test_unfold_translator_survives_a_round_trip(tmp_path):
+    """Schema graphs persist, so explicitly-requested Unfold still plans."""
+    fresh = BLASCollection()
+    fresh.add_xml(PROTEIN_SAMPLE, name="protein")
+    store = str(tmp_path / "store")
+    fresh.save(store)
+    opened = BLASCollection.open(store)
+    query = "//ProteinEntry//name"
+    a = fresh.query(query, translator="unfold", engine="memory")
+    b = opened.query(query, translator="unfold", engine="memory")
+    assert a.starts == b.starts
+    assert a.stats.as_dict() == b.stats.as_dict()
+
+
+# -- lazy open ----------------------------------------------------------------------
+
+
+def test_open_is_lazy_until_first_query(dataset_texts, tmp_path):
+    store = str(tmp_path / "store")
+    build_collection(dataset_texts).save(store)
+    opened = BLASCollection.open(store)
+    assert all(not opened.store.is_loaded(doc_id) for doc_id in opened.doc_ids())
+    # Listing, stats and fingerprints answer from the manifest alone.
+    assert len(opened.documents()) == len(DATASET_NAMES)
+    assert opened.stats()["loaded_documents"] == 0
+    opened.store.fingerprint()
+    assert opened.stats()["loaded_documents"] == 0
+    # The first query materialises the partitions it scans.
+    opened.query("//name")
+    assert opened.stats()["loaded_documents"] > 0
+
+
+def test_open_does_not_read_partition_files(dataset_texts, tmp_path, monkeypatch):
+    store = str(tmp_path / "store")
+    build_collection(dataset_texts).save(store)
+    monkeypatch.setattr(
+        CollectionStore,
+        "read_partition",
+        lambda self, entry, scheme: pytest.fail("open must not touch partition files"),
+    )
+    opened = BLASCollection.open(store)
+    assert len(opened) == len(DATASET_NAMES)
+    assert opened.stats()["nodes"] > 0
+
+
+# -- append / remove persistence ----------------------------------------------------
+
+
+def test_append_persists_incrementally(dataset_texts, tmp_path):
+    store = str(tmp_path / "store")
+    first = BLASCollection()
+    first.add_xml(dataset_texts["protein"], name="protein")
+    first.save(store)
+    opened = BLASCollection.open(store)
+    opened.add_xml(dataset_texts["shakespeare"], name="shakespeare")
+    reopened = BLASCollection.open(store)
+    assert reopened.doc_ids() == [0, 1]
+    assert reopened.query("//TITLE").count == opened.query("//TITLE").count
+
+
+def test_append_rewrites_only_the_new_partition(dataset_texts, tmp_path, monkeypatch):
+    store = str(tmp_path / "store")
+    first = BLASCollection()
+    first.add_xml(dataset_texts["protein"], name="protein")
+    first.save(store)
+    opened = BLASCollection.open(store)
+    written = []
+    original = CollectionStore.write_partition
+
+    def tracking(self, indexed, doc_id, fingerprint):
+        written.append(doc_id)
+        return original(self, indexed, doc_id, fingerprint)
+
+    monkeypatch.setattr(CollectionStore, "write_partition", tracking)
+    opened.add_xml(dataset_texts["shakespeare"], name="shakespeare")
+    assert written == [1]
+
+
+def _manifest_partitions(store: str):
+    """Map document name → referenced partition path, from the manifest."""
+    with open(os.path.join(store, MANIFEST_NAME), "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {entry["name"]: entry["partition"] for entry in payload["documents"]}
+
+
+def test_remove_persists_and_deletes_the_partition_file(dataset_texts, tmp_path):
+    store = str(tmp_path / "store")
+    build_collection(dataset_texts).save(store)
+    victim_file = _manifest_partitions(store)["protein"]
+    opened = BLASCollection.open(store)
+    opened.remove("protein")
+    assert not os.path.exists(os.path.join(store, victim_file))
+    reopened = BLASCollection.open(store)
+    assert len(reopened) == len(DATASET_NAMES) - 1
+    assert "protein" not in {entry["name"] for entry in reopened.documents()}
+
+
+def test_removing_every_document_leaves_a_valid_empty_store(dataset_texts, tmp_path):
+    store = str(tmp_path / "store")
+    build_collection(dataset_texts).save(store)
+    opened = BLASCollection.open(store)
+    for doc_id in list(opened.doc_ids()):
+        opened.remove(doc_id)
+    assert opened.query("//name").count == 0
+    reopened = BLASCollection.open(store)
+    assert len(reopened) == 0
+    assert reopened.query("//name").count == 0
+    # And the empty store still accepts appends.
+    reopened.add_xml(dataset_texts["protein"], name="protein")
+    assert BLASCollection.open(store).query("//name").count > 0
+
+
+# -- crash safety -------------------------------------------------------------------
+
+
+def test_killed_append_leaves_the_old_manifest_readable(
+    dataset_texts, tmp_path, monkeypatch
+):
+    """Crash between partition write and manifest swap → old store intact."""
+    store = str(tmp_path / "store")
+    first = BLASCollection()
+    first.add_xml(dataset_texts["protein"], name="protein")
+    first.save(store)
+    baseline = first.query("//name").starts
+
+    opened = BLASCollection.open(store)
+
+    def crash(self, manifest):
+        raise OSError("simulated crash before the manifest swap")
+
+    monkeypatch.setattr(CollectionStore, "write_manifest", crash)
+    with pytest.raises(OSError):
+        opened.add_xml(dataset_texts["shakespeare"], name="shakespeare")
+    monkeypatch.undo()
+
+    # The orphan partition file exists but the manifest never moved ...
+    partitions_dir = os.path.join(store, "partitions")
+    referenced = set(_manifest_partitions(store).values())
+    present = {f"partitions/{name}" for name in os.listdir(partitions_dir)}
+    assert len(present - referenced) == 1  # the orphan from the killed append
+    reopened = BLASCollection.open(store)
+    assert reopened.doc_ids() == [0]
+    assert reopened.query("//name").starts == baseline
+    # ... and a later successful append reuses the orphan's slot cleanly.
+    reopened.add_xml(dataset_texts["shakespeare"], name="shakespeare")
+    assert BLASCollection.open(store).doc_ids() == [0, 1]
+
+
+def test_killed_resave_leaves_the_old_store_readable(dataset_texts, tmp_path):
+    """Partition names embed content fingerprints: a re-save with changed
+    content writes new files, so crashing before its manifest swap leaves
+    every file the old manifest references untouched."""
+    store = str(tmp_path / "store")
+    first = BLASCollection()
+    first.add_xml(dataset_texts["protein"], name="doc")
+    first.save(store)
+    old_files = set(_manifest_partitions(store).values())
+    baseline = BLASCollection.open(store).query("//name").starts
+
+    changed = BLASCollection()
+    changed.add_xml(dataset_texts["shakespeare"], name="doc")
+    # Simulate the crash: partitions written, manifest swap never happens.
+    interim = CollectionStore(store)
+    for doc_id in changed.doc_ids():
+        interim.write_partition(
+            changed._documents[doc_id].indexed,
+            doc_id,
+            changed.store.partition_fingerprint(doc_id),
+        )
+    # The old manifest still references only intact, unmodified files.
+    assert set(_manifest_partitions(store).values()) == old_files
+    reopened = BLASCollection.open(store)
+    assert reopened.query("//name").starts == baseline
+    # Completing the save commits the new content and collects the orphans.
+    changed.save(store)
+    after = BLASCollection.open(store)
+    assert after.query("//TITLE").count > 0
+    leftover = set(os.listdir(os.path.join(store, "partitions")))
+    assert leftover == {
+        os.path.basename(path) for path in _manifest_partitions(store).values()
+    }
+
+
+def test_failed_append_rolls_back_the_in_memory_registration(
+    dataset_texts, tmp_path, monkeypatch
+):
+    """A failed (not crashed) append must not leave memory ahead of disk:
+    a later successful mutation would otherwise commit a manifest
+    referencing a partition file that was never written."""
+    store = str(tmp_path / "store")
+    first = BLASCollection()
+    first.add_xml(dataset_texts["protein"], name="protein")
+    first.save(store)
+
+    def fail(self, indexed, doc_id, fingerprint):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(CollectionStore, "write_partition", fail)
+    with pytest.raises(OSError):
+        first.add_xml(dataset_texts["shakespeare"], name="shakespeare")
+    monkeypatch.undo()
+
+    assert first.doc_ids() == [0]
+    # The next mutation succeeds and the store stays fully consistent.
+    doc_id = first.add_xml(dataset_texts["shakespeare"], name="shakespeare")
+    assert doc_id == 1
+    reopened = BLASCollection.open(store)
+    assert reopened.doc_ids() == [0, 1]
+    assert reopened.query("//TITLE").count == first.query("//TITLE").count
+
+
+def test_open_raises_persist_error_on_a_truncated_manifest(tmp_path):
+    """Right format tag, missing fields → PersistError, not a raw KeyError."""
+    store = tmp_path / "store"
+    store.mkdir()
+    (store / MANIFEST_NAME).write_text(
+        '{"format": "blas-collection-store", "version": 1}', encoding="utf-8"
+    )
+    with pytest.raises(PersistError):
+        BLASCollection.open(str(store))
+
+
+def test_query_raises_persist_error_on_a_mistyped_partition(
+    dataset_texts, tmp_path
+):
+    store = str(tmp_path / "store")
+    fresh = BLASCollection()
+    fresh.add_xml(dataset_texts["protein"], name="protein")
+    fresh.save(store)
+    partition = os.path.join(store, _manifest_partitions(store)["protein"])
+    with open(partition, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    del payload["records"]
+    with open(partition, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    opened = BLASCollection.open(store)
+    with pytest.raises(PersistError):
+        opened.query("//name")
+
+
+def test_interrupted_manifest_write_never_corrupts_the_manifest(
+    dataset_texts, tmp_path
+):
+    """The manifest swap goes through a temp file; the target is never partial."""
+    store = str(tmp_path / "store")
+    build_collection(dataset_texts).save(store)
+    with open(os.path.join(store, MANIFEST_NAME), "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["version"] == FORMAT_VERSION
+    leftovers = [
+        name for name in os.listdir(store) if name.startswith(MANIFEST_NAME + ".")
+    ]
+    assert leftovers == []
+
+
+# -- format validation --------------------------------------------------------------
+
+
+def test_open_rejects_a_missing_store(tmp_path):
+    with pytest.raises(PersistError):
+        BLASCollection.open(str(tmp_path / "nowhere"))
+
+
+def test_open_rejects_an_unsupported_version(dataset_texts, tmp_path):
+    store = str(tmp_path / "store")
+    build_collection(dataset_texts).save(store)
+    manifest_path = os.path.join(store, MANIFEST_NAME)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["version"] = FORMAT_VERSION + 1
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    with pytest.raises(PersistError):
+        BLASCollection.open(store)
+
+
+def test_open_rejects_a_foreign_json_file(tmp_path):
+    store = tmp_path / "store"
+    store.mkdir()
+    (store / MANIFEST_NAME).write_text('{"format": "something-else"}', encoding="utf-8")
+    with pytest.raises(PersistError):
+        BLASCollection.open(str(store))
+
+
+def test_read_partition_rejects_a_record_count_mismatch(dataset_texts, tmp_path):
+    store = str(tmp_path / "store")
+    fresh = BLASCollection()
+    fresh.add_xml(dataset_texts["protein"], name="protein")
+    fresh.save(store)
+    partition = os.path.join(store, _manifest_partitions(store)["protein"])
+    with open(partition, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["records"] = payload["records"][:-1]
+    with open(partition, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    opened = BLASCollection.open(store)
+    with pytest.raises(PersistError):
+        opened.query("//name")
+
+
+# -- the one-document convenience ---------------------------------------------------
+
+
+def test_blas_save_open_round_trip(tmp_path):
+    store = str(tmp_path / "one")
+    system = BLAS.from_xml(PROTEIN_SAMPLE, name="protein-sample")
+    system.save(store)
+    reopened = BLAS.open(store)
+    query = "//protein/name"
+    a = system.query(query)
+    b = reopened.query(query)
+    assert a.starts == b.starts
+    assert a.values() == b.values()
+    assert a.stats.as_dict() == b.stats.as_dict()
+    assert system.explain(query) == reopened.explain(query)
+
+
+def test_blas_open_refuses_a_multi_document_store(dataset_texts, tmp_path):
+    store = str(tmp_path / "many")
+    build_collection(dataset_texts).save(store)
+    with pytest.raises(CollectionError):
+        BLAS.open(store)
+
+
+def test_blas_save_refuses_a_multi_document_view(dataset_texts, tmp_path):
+    """A document_view of a shared collection must not persist its siblings."""
+    collection = build_collection(dataset_texts)
+    view = collection.document_view(0)
+    with pytest.raises(CollectionError):
+        view.save(str(tmp_path / "leak"))
+    assert not os.path.exists(str(tmp_path / "leak"))
+
+
+# -- corruption detection -----------------------------------------------------------
+
+
+def test_tampered_partition_content_is_rejected_on_load(tmp_path):
+    """Same record count, different bytes → the fingerprint check fires.
+
+    Uses a small document: under 256 records the content digest samples
+    every record, so any single-field edit is guaranteed detectable (for
+    large documents the digest is sampled — a probabilistic, not
+    cryptographic, integrity check)."""
+    store = str(tmp_path / "store")
+    fresh = BLASCollection()
+    fresh.add_xml(PROTEIN_SAMPLE, name="protein")
+    fresh.save(store)
+    partition = os.path.join(store, _manifest_partitions(store)["protein"])
+    with open(partition, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["records"][0][5] = "TAMPERED"
+    with open(partition, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    opened = BLASCollection.open(store)
+    with pytest.raises(PersistError, match="fingerprint"):
+        opened.query("//name")
+
+
+def test_out_of_range_group_id_is_rejected_on_open(dataset_texts, tmp_path):
+    store = str(tmp_path / "store")
+    fresh = BLASCollection()
+    fresh.add_xml(dataset_texts["protein"], name="protein")
+    fresh.save(store)
+    manifest_path = os.path.join(store, MANIFEST_NAME)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    for bad in (7, -1):
+        payload["documents"][0]["group_id"] = bad
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(PersistError):
+            BLASCollection.open(store)
+
+
+def test_malformed_scheme_group_is_rejected_on_open(dataset_texts, tmp_path):
+    store = str(tmp_path / "store")
+    fresh = BLASCollection()
+    fresh.add_xml(dataset_texts["protein"], name="protein")
+    fresh.save(store)
+    manifest_path = os.path.join(store, MANIFEST_NAME)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["scheme_groups"][0] = {"tags": []}  # no height, empty vocabulary
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    with pytest.raises(PersistError):
+        BLASCollection.open(store)

@@ -1,0 +1,144 @@
+"""Store-format benchmark: v2 binary columnar vs v1 JSON partitions.
+
+The tentpole acceptance criteria for the v2 format, asserted on the
+bundled datasets:
+
+* **≥3× smaller on disk** — v1 serializes every node record as a JSON
+  tuple, so partition size scales with text framing overhead; v2 packs
+  fixed-width columns and compresses each section.
+* **≥2× faster to cold-open** — "cold open" here is store → fully
+  resident: ``BLASCollection.open`` (manifest only) plus materializing
+  every partition's storage catalog.  The v1 loader parses JSON rows into
+  per-record Python objects and re-sorts them to verify the content
+  digest; the v2 loader checksums the bytes and wires packed arrays
+  straight into the tables.
+* **Identical answers** — the opened v2 collection answers the probe
+  queries with the same results and access counters as v1 and as the
+  never-saved collection.
+
+CI sets ``STORE_FORMAT_JSON`` and uploads the comparison rows
+(bytes on disk, cold-open seconds, speedups) as an artifact next to the
+planner-workload timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.collection import BLASCollection
+from repro.datasets import build_dataset
+from repro.xmlkit.writer import document_to_string
+
+DATASET_NAMES = ("shakespeare", "protein", "auction")
+
+#: Dataset scale — large enough that per-partition work dominates the
+#: fixed per-open overhead (manifest parse, object setup) being compared.
+SCALE = 2
+
+#: Acceptance floors from the tentpole.
+MIN_SIZE_RATIO = 3.0
+MIN_COLD_OPEN_SPEEDUP = 2.0
+
+PROBE_QUERIES = ("//name", "//TITLE")
+
+FORMATS = ("v1", "v2")
+
+
+def _store_bytes(store: str) -> int:
+    total = 0
+    for root, _, files in os.walk(store):
+        total += sum(os.path.getsize(os.path.join(root, name)) for name in files)
+    return total
+
+
+def _cold_open_seconds(store: str, repeats: int = 5) -> float:
+    """Best-of-N time for open + materializing every partition catalog."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        collection = BLASCollection.open(store)
+        for doc_id in collection.doc_ids():
+            collection.store.catalog_for(doc_id)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def comparison(tmp_path_factory):
+    texts = {
+        name: document_to_string(build_dataset(name, scale=SCALE))
+        for name in DATASET_NAMES
+    }
+    fresh = BLASCollection()
+    for name, text in texts.items():
+        fresh.add_xml(text, name=name)
+    baselines = {query: fresh.query(query) for query in PROBE_QUERIES}
+
+    rows = {
+        "datasets": list(DATASET_NAMES),
+        "scale": SCALE,
+        "documents": len(fresh),
+        "nodes": fresh.store.node_count,
+        "formats": {},
+    }
+    matches = {}
+    for partition_format in FORMATS:
+        store = str(tmp_path_factory.mktemp("stores") / f"{partition_format}.store")
+        saver = BLASCollection()
+        for name, text in texts.items():
+            saver.add_xml(text, name=name)
+        started = time.perf_counter()
+        saver.save(store, partition_format=partition_format)
+        save_seconds = time.perf_counter() - started
+        opened = BLASCollection.open(store)
+        matches[partition_format] = all(
+            opened.query(query).starts == baselines[query].starts
+            and opened.query(query).stats.as_dict() == baselines[query].stats.as_dict()
+            for query in PROBE_QUERIES
+        )
+        rows["formats"][partition_format] = {
+            "bytes_on_disk": _store_bytes(store),
+            "cold_open_seconds": _cold_open_seconds(store),
+            "save_seconds": save_seconds,
+        }
+
+    v1, v2 = rows["formats"]["v1"], rows["formats"]["v2"]
+    rows["size_ratio_v1_over_v2"] = v1["bytes_on_disk"] / v2["bytes_on_disk"]
+    rows["cold_open_speedup_v2_over_v1"] = (
+        v1["cold_open_seconds"] / v2["cold_open_seconds"]
+        if v2["cold_open_seconds"]
+        else float("inf")
+    )
+    rows["answers_match_fresh"] = matches
+
+    target = os.environ.get("STORE_FORMAT_JSON")
+    if target:
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, sort_keys=True)
+    return rows
+
+
+def test_v2_store_is_at_least_3x_smaller(comparison):
+    assert comparison["size_ratio_v1_over_v2"] >= MIN_SIZE_RATIO, comparison
+
+
+def test_v2_cold_open_is_at_least_2x_faster(comparison):
+    assert (
+        comparison["cold_open_speedup_v2_over_v1"] >= MIN_COLD_OPEN_SPEEDUP
+    ), comparison
+
+
+def test_both_formats_answer_identically_to_fresh(comparison):
+    assert all(comparison["answers_match_fresh"].values()), comparison
+
+
+def test_comparison_rows_are_complete(comparison):
+    for partition_format in FORMATS:
+        row = comparison["formats"][partition_format]
+        assert row["bytes_on_disk"] > 0
+        assert row["cold_open_seconds"] > 0
+        assert row["save_seconds"] > 0

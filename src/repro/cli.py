@@ -46,7 +46,12 @@ from repro.bench.reporting import format_table
 from repro.collection import BLASCollection
 from repro.core.indexer import discover_vocabulary
 from repro.exceptions import ReproError
-from repro.storage.persist import CollectionStore
+from repro.storage.pages import DEFAULT_PAGE_BYTES, pages_for_bytes
+from repro.storage.persist import (
+    DEFAULT_PARTITION_FORMAT,
+    PARTITION_FORMATS,
+    CollectionStore,
+)
 from repro.system import BLAS, ENGINE_CHOICES, TRANSLATOR_CHOICES, TRANSLATOR_NAMES
 from repro.xmlkit.parser import iterparse_file
 
@@ -106,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     c_save.add_argument("directory", help="the collection directory (or an existing store)")
     c_save.add_argument("store", help="target store directory")
+    c_save.add_argument(
+        "--format", choices=PARTITION_FORMATS, default=DEFAULT_PARTITION_FORMAT,
+        dest="partition_format",
+        help="partition file format: v2 = binary columnar (default, smaller "
+             "and faster to open), v1 = JSON rows",
+    )
 
     c_open = collection_sub.add_parser(
         "open", help="open a persistent store and list its documents (O(manifest))"
@@ -341,8 +352,10 @@ def _run_collection(args: argparse.Namespace) -> int:
         return _run_collection_remove(args)
     if command == "save":
         collection = _load_collection(args.directory)
-        collection.save(args.store)
-        print(f"saved {len(collection)} document(s) to {args.store}")
+        collection.save(args.store, partition_format=args.partition_format)
+        stats = collection.stats()
+        print(f"saved {len(collection)} document(s) to {args.store} "
+              f"[format {args.partition_format}, {stats['store_bytes']} bytes]")
         return 0
     if command == "open":
         collection = BLASCollection.open(args.store)
@@ -410,6 +423,12 @@ def _run_collection(args: argparse.Namespace) -> int:
     if stats["store"] is not None:
         print(f"store: {stats['store']}  "
               f"loaded: {stats['loaded_documents']}/{stats['documents']} partition(s)")
+        total = stats["store_bytes"]
+        documents = stats["documents"]
+        average = total / documents if documents else 0.0
+        print(f"store size: {total} bytes on disk "
+              f"(~{pages_for_bytes(total)} pages of {DEFAULT_PAGE_BYTES} B, "
+              f"{average:.0f} bytes/doc)")
     print(collection.plan_cache.describe())
     return 0
 
@@ -503,16 +522,27 @@ def _run_experiment(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every library error (:class:`~repro.exceptions.ReproError` — which
+    includes :class:`~repro.exceptions.PersistError` for missing stores and
+    corrupt manifests/partitions) exits with a one-line ``error: …``
+    message and status 1 instead of a traceback; tracebacks are reserved
+    for actual bugs.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "query":
-        return _run_query(args)
-    if args.command == "plan":
-        return _run_plan(args)
-    if args.command == "collection":
-        return _run_collection(args)
-    return _run_experiment(args)
+    try:
+        if args.command == "query":
+            return _run_query(args)
+        if args.command == "plan":
+            return _run_plan(args)
+        if args.command == "collection":
+            return _run_collection(args)
+        return _run_experiment(args)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -59,6 +59,7 @@ from repro.planner.cache import PlanCache, plan_key
 from repro.planner.cost import CostModel
 from repro.planner.planner import PlannedQuery, QueryPlanner
 from repro.storage.persist import (
+    DEFAULT_PARTITION_FORMAT,
     CollectionStore,
     Manifest,
     ManifestDocument,
@@ -273,6 +274,11 @@ class BLASCollection:
         self._groups: List[SchemeGroup] = []
         self._next_doc_id = 0
         self._persist: Optional[CollectionStore] = None
+        #: doc_id -> relative partition path inside the bound store.  The
+        #: path (extension included) depends on the partition format the
+        #: file was written in, so it is recorded at write/open time rather
+        #: than recomputed.
+        self._partition_paths: Dict[int, str] = {}
 
     # -- introspection ----------------------------------------------------------
 
@@ -310,11 +316,13 @@ class BLASCollection:
         -------
         dict
             ``documents``, ``nodes``, ``scheme_groups``, ``plan_cache``
-            counters, plus ``store`` (bound store path or ``None``) and
+            counters, plus ``store`` (bound store path or ``None``),
             ``loaded_documents`` (how many partitions are resident — less
-            than ``documents`` right after a lazy :meth:`open`).
+            than ``documents`` right after a lazy :meth:`open`) and, on a
+            store-bound collection, ``store_bytes`` (total partition bytes
+            on disk) with per-document sizes in ``store_bytes_by_doc``.
         """
-        return {
+        stats: Dict[str, object] = {
             "documents": len(self._documents),
             "nodes": self.store.node_count,
             "scheme_groups": len(self.scheme_groups()),
@@ -324,6 +332,14 @@ class BLASCollection:
                 1 for doc_id in self._documents if self.store.is_loaded(doc_id)
             ),
         }
+        if self._persist is not None:
+            by_doc = {
+                doc_id: self._persist.partition_bytes(path)
+                for doc_id, path in sorted(self._partition_paths.items())
+            }
+            stats["store_bytes"] = sum(by_doc.values())
+            stats["store_bytes_by_doc"] = by_doc
+        return stats
 
     def document_view(self, doc_id: int):
         """A single-document :class:`~repro.system.BLAS` view of one member.
@@ -423,12 +439,13 @@ class BLASCollection:
             # registration back too — otherwise a later successful mutation
             # would commit a manifest referencing the never-written file.
             try:
-                self._persist.write_partition(
+                self._partition_paths[doc_id] = self._persist.write_partition(
                     indexed, doc_id, self.store.partition_fingerprint(doc_id)
                 )
                 self._persist.write_manifest(self._manifest())
             except BaseException:
                 del self._documents[doc_id]
+                self._partition_paths.pop(doc_id, None)
                 self.store.remove_partition(doc_id)
                 group.remove(doc_id)
                 self._next_doc_id = doc_id
@@ -458,30 +475,32 @@ class BLASCollection:
         """
         doc_id = self._resolve(ref)
         victim_file = (
-            CollectionStore.partition_name(
-                doc_id, self.store.partition_fingerprint(doc_id)
-            )
-            if self._persist is not None
-            else None
+            self._partition_paths.get(doc_id) if self._persist is not None else None
         )
         entry = self._documents.pop(doc_id)
+        self._partition_paths.pop(doc_id, None)
         self.store.remove_partition(doc_id)
         self._group_by_id(entry.group_id).remove(doc_id)
         if self._persist is not None:
             self._persist.write_manifest(self._manifest())
-            self._persist.remove_partition_file(victim_file)
+            if victim_file is not None:
+                self._persist.remove_partition_file(victim_file)
         return doc_id
 
     # -- persistence ------------------------------------------------------------
 
-    def _manifest(self) -> Manifest:
+    def _manifest(self, paths: Optional[Dict[int, str]] = None) -> Manifest:
         """The manifest describing the current membership.
 
         Built entirely from registration-time metadata — fingerprints, node
         counts and summary rows are available without loading any lazy
         partition, which keeps append/remove on a lazily-opened store
-        O(touched partition).
+        O(touched partition).  ``paths`` overrides the tracked partition
+        paths (used by :meth:`save`, whose paths only become current once
+        the save commits).
         """
+        if paths is None:
+            paths = self._partition_paths
         groups = self.scheme_groups()
         positions = {group.group_id: position for position, group in enumerate(groups)}
         documents = [
@@ -489,9 +508,7 @@ class BLASCollection:
                 doc_id=doc_id,
                 name=self._documents[doc_id].name,
                 group_id=positions[self._documents[doc_id].group_id],
-                partition=CollectionStore.partition_name(
-                    doc_id, self.store.partition_fingerprint(doc_id)
-                ),
+                partition=paths[doc_id],
                 fingerprint=self.store.partition_fingerprint(doc_id),
                 node_count=self.store.partition_node_count(doc_id),
                 summary=self._documents[doc_id].summary_row,
@@ -504,19 +521,25 @@ class BLASCollection:
             documents=documents,
         )
 
-    def save(self, path: str) -> None:
+    def save(
+        self, path: str, partition_format: str = DEFAULT_PARTITION_FORMAT
+    ) -> None:
         """Write the whole collection to an on-disk store at ``path``.
 
         Every partition file is written first; the manifest swap at the end
         is the atomic commit.  Afterwards the collection is bound to the
         store, so subsequent ``add_*``/``remove`` calls persist
-        incrementally.
+        incrementally (in the same partition format).
 
         Parameters
         ----------
         path:
             The store directory (created if missing).  Saving over an
             existing store replaces its membership entirely.
+        partition_format:
+            ``"v2"`` (binary columnar, the default — several times smaller
+            and faster to open) or ``"v1"`` (JSON rows).  Opening
+            auto-detects the format per file either way.
 
         Notes
         -----
@@ -527,16 +550,21 @@ class BLASCollection:
         store fully readable; files orphaned by the re-save are garbage
         collected after the swap.
         """
-        store = CollectionStore(path)
-        for doc_id in self.doc_ids():
-            store.write_partition(
+        store = CollectionStore(path, partition_format=partition_format)
+        paths = {
+            doc_id: store.write_partition(
                 self._documents[doc_id].indexed,
                 doc_id,
                 self.store.partition_fingerprint(doc_id),
             )
-        manifest = self._manifest()
+            for doc_id in self.doc_ids()
+        }
+        manifest = self._manifest(paths)
         store.write_manifest(manifest)
         store.collect_garbage(manifest)
+        # Only now — after the manifest swap committed — does this
+        # collection switch its binding to the freshly written store.
+        self._partition_paths = paths
         self._persist = store
 
     @classmethod
@@ -610,6 +638,7 @@ class BLASCollection:
                 partitions=collection.store,
                 summary_row=entry.summary,
             )
+            collection._partition_paths[entry.doc_id] = entry.partition
         collection._next_doc_id = manifest.next_doc_id
         return collection
 

@@ -1,4 +1,4 @@
-"""A small LRU cache for planned queries.
+"""A small, thread-safe LRU cache for planned queries.
 
 Planning a query costs several translations plus candidate enumeration;
 workloads re-run the same queries constantly (every benchmark sweep does),
@@ -7,64 +7,86 @@ so :class:`~repro.system.BLAS` keeps a :class:`PlanCache` keyed on
 fingerprint)``.  The fingerprint ties a cached plan to the indexed content:
 a system over different data can never be served another document's plan,
 and tests exercise exactly that invalidation property.
+
+The cache is shared: one :class:`PlanCache` serves a whole
+:class:`~repro.collection.BLASCollection`, including every
+``document_view`` system over it — and collection queries fan out across a
+:class:`~concurrent.futures.ThreadPoolExecutor`
+(:mod:`repro.collection.fanout`).  ``OrderedDict`` mutation
+(``move_to_end`` during ``get``, eviction during ``put``) is not atomic
+under that kind of concurrency, so every public operation takes an
+``RLock``; the counters are maintained under the same lock, keeping
+``hits + misses`` equal to the number of ``get`` calls even under a
+multi-threaded stampede.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
 
 class PlanCache:
-    """Least-recently-used mapping from plan keys to planned queries."""
+    """Least-recently-used mapping from plan keys to planned queries.
+
+    Safe for concurrent use from multiple threads; see the module
+    docstring for why that matters.
+    """
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
             raise ValueError("plan cache capacity must be at least 1")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Hashable) -> Optional[object]:
         """The cached value, refreshed as most recently used, or ``None``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, value: object) -> None:
         """Insert (or refresh) a value, evicting the LRU entry when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry and zero the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def info(self) -> Dict[str, int]:
         """Counters snapshot (for tests and reports)."""
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def stats(self) -> Dict[str, int]:
         """Observability snapshot: alias of :meth:`info`.
@@ -76,9 +98,11 @@ class PlanCache:
 
     def describe(self) -> str:
         """One-line rendering used by EXPLAIN output and the CLI."""
+        snapshot = self.info()
         return (
-            f"plan cache: size={len(self._entries)}/{self.capacity} "
-            f"hits={self.hits} misses={self.misses} evictions={self.evictions}"
+            f"plan cache: size={snapshot['size']}/{snapshot['capacity']} "
+            f"hits={snapshot['hits']} misses={snapshot['misses']} "
+            f"evictions={snapshot['evictions']}"
         )
 
 

@@ -1,0 +1,454 @@
+"""Packed columnar record storage (the array-backed table representation).
+
+A :class:`ColumnarRecords` holds one partition's node records as fixed-width
+columns in **SP order** (``(plabel, start)``), the clustering order of the
+BLAS relation:
+
+* ``plabel``/``start``/``end``/``level`` — unsigned integer columns packed
+  into :mod:`array` buffers (1/2/4/8-byte little-endian items, chosen per
+  column from the actual value range).  P-labels can exceed 64 bits — the
+  label domain is ``(tags+1) ** (height+1)`` and the bundled auction dataset
+  already needs 87 bits — so the plabel column falls back to a fixed-width
+  big-endian byte encoding (:class:`WideIntColumn`) that still supports
+  ``bisect`` without decoding the whole column.
+* ``tag`` — dictionary-encoded: the sorted distinct tags plus a small
+  integer id per record.  Sorting the dictionary makes tag-id order equal
+  tag-string order, which is what lets the SD permutation below be a
+  permutation by ``(tag_id, start)``.
+* ``data`` — a shared UTF-8 blob plus cumulative end offsets and a null
+  bitmap (``None`` and ``""`` are distinct).
+* ``sd_order`` — the permutation mapping SD positions (``(tag, start)``
+  order, the D-labeling clustering) to SP slots, so neither table layout
+  ever needs to sort records at load time.
+
+Records materialize **lazily**: :meth:`ColumnarRecords.record` builds (and
+caches) one :class:`~repro.core.indexer.NodeRecord` per touched slot, so a
+selective plabel-range scan over a cold partition touches only the rows it
+returns.  The byte-level encode/decode helpers at the bottom are what the
+v2 binary partition format (:mod:`repro.storage.persist`) is built from.
+"""
+
+from __future__ import annotations
+
+import sys
+import zlib
+from array import array
+from collections.abc import Sequence as SequenceABC
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.indexer import NodeRecord
+from repro.core.plabel import PLabelScheme
+from repro.exceptions import PersistError
+from repro.xmlkit.schema import SchemaGraph
+
+#: Map item width in bytes -> array typecode.  Probed at import because C
+#: type sizes differ between platforms ('I' and 'L' especially).
+_CODE_BY_WIDTH: Dict[int, str] = {}
+for _code in "BHILQ":
+    _CODE_BY_WIDTH.setdefault(array(_code).itemsize, _code)
+
+#: Fixed order of the column sections inside an encoded payload.
+COLUMN_ORDER = (
+    "plabel", "start", "end", "level", "tag_id",
+    "data_null", "data_ends", "data_blob", "sd_order",
+)
+
+_BIG_ENDIAN_HOST = sys.byteorder == "big"
+
+
+class WideIntColumn(SequenceABC):
+    """Fixed-width big-endian unsigned integers wider than 8 bytes.
+
+    Items decode on access (``int.from_bytes`` over a slice of the raw
+    buffer), so ``bisect`` over the column costs ``O(log n)`` decodes and
+    never materializes a Python list of big integers.
+    """
+
+    __slots__ = ("_raw", "width", "_n")
+
+    def __init__(self, raw: bytes, width: int):
+        if width < 1 or len(raw) % width:
+            raise PersistError(
+                f"wide integer column of {len(raw)} bytes does not divide "
+                f"into items of {width} bytes"
+            )
+        self._raw = raw
+        self.width = width
+        self._n = len(raw) // width
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, item: Union[int, slice]):
+        if isinstance(item, slice):
+            return [self[index] for index in range(*item.indices(self._n))]
+        if item < 0:
+            item += self._n
+        if not 0 <= item < self._n:
+            raise IndexError(item)
+        offset = item * self.width
+        return int.from_bytes(self._raw[offset : offset + self.width], "big")
+
+
+#: Anything an integer column decodes to: a packed array, or the wide view.
+IntColumn = Union[array, WideIntColumn]
+
+
+class SPRecordView(SequenceABC):
+    """Sequence view of a partition's records in SP order.
+
+    Supports exactly the access pattern of
+    :func:`repro.storage.stats.fingerprint_records` — ``len``, strided
+    slicing and negative indexing — while materializing only the sampled
+    slots, so content-digest verification of a cold partition stays cheap.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(self, columns: "ColumnarRecords"):
+        self._columns = columns
+
+    def __len__(self) -> int:
+        return self._columns.n
+
+    def __getitem__(self, item: Union[int, slice]):
+        if isinstance(item, slice):
+            return [
+                self._columns.record(index)
+                for index in range(*item.indices(self._columns.n))
+            ]
+        if item < 0:
+            item += self._columns.n
+        if not 0 <= item < self._columns.n:
+            raise IndexError(item)
+        return self._columns.record(item)
+
+
+class ColumnarRecords:
+    """One partition's records as packed, lazily-materialized columns."""
+
+    __slots__ = (
+        "doc_id", "n", "tags", "plabels", "starts", "ends", "levels",
+        "tag_ids", "data_nulls", "data_ends", "data_blob", "sd_order",
+        "_record_cache", "_all_records", "_doc_order",
+    )
+
+    def __init__(
+        self,
+        doc_id: int,
+        tags: Sequence[str],
+        plabels: IntColumn,
+        starts: IntColumn,
+        ends: IntColumn,
+        levels: IntColumn,
+        tag_ids: IntColumn,
+        data_nulls: bytes,
+        data_ends: IntColumn,
+        data_blob: bytes,
+        sd_order: IntColumn,
+    ):
+        self.doc_id = doc_id
+        self.n = len(starts)
+        self.tags = list(tags)
+        self.plabels = plabels
+        self.starts = starts
+        self.ends = ends
+        self.levels = levels
+        self.tag_ids = tag_ids
+        self.data_nulls = data_nulls
+        self.data_ends = data_ends
+        self.data_blob = data_blob
+        self.sd_order = sd_order
+        self._record_cache: List[Optional[NodeRecord]] = [None] * self.n
+        self._all_records: Optional[List[NodeRecord]] = None
+        self._doc_order: Optional[List[int]] = None
+        self._validate()
+
+    def _validate(self) -> None:
+        n = self.n
+        for name in ("plabels", "ends", "levels", "tag_ids", "data_ends", "sd_order"):
+            if len(getattr(self, name)) != n:
+                raise PersistError(
+                    f"column {name!r} holds {len(getattr(self, name))} items, "
+                    f"expected {n}"
+                )
+        if len(self.data_nulls) != (n + 7) // 8:
+            raise PersistError("data null bitmap does not match the record count")
+        if n and self.data_ends[n - 1] != len(self.data_blob):
+            raise PersistError("data offsets do not cover the data blob")
+        if n:
+            if max(self.tag_ids) >= len(self.tags):
+                raise PersistError("tag id column references outside the dictionary")
+            # Bounds only (a full permutation proof would cost a sort per
+            # load); the file checksum rules out corruption, this rules out
+            # writer bugs wiring the wrong column in.
+            if max(self.sd_order) >= n:
+                raise PersistError("sd_order references slots outside the partition")
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[NodeRecord], doc_id: int
+    ) -> "ColumnarRecords":
+        """Pack records (any order) into SP-ordered columns."""
+        ordered = sorted(records, key=NodeRecord.sort_key_sp)
+        n = len(ordered)
+        tags = sorted({record.tag for record in ordered})
+        tag_id_of = {tag: index for index, tag in enumerate(tags)}
+        plabels: List[int] = []
+        starts: List[int] = []
+        ends: List[int] = []
+        levels: List[int] = []
+        tag_ids: List[int] = []
+        data_nulls = bytearray((n + 7) // 8)
+        data_ends: List[int] = []
+        blob = bytearray()
+        for slot, record in enumerate(ordered):
+            plabels.append(record.plabel)
+            starts.append(record.start)
+            ends.append(record.end)
+            levels.append(record.level)
+            tag_ids.append(tag_id_of[record.tag])
+            if record.data is None:
+                data_nulls[slot >> 3] |= 1 << (slot & 7)
+            else:
+                blob.extend(record.data.encode("utf-8"))
+            data_ends.append(len(blob))
+        sd_order = sorted(range(n), key=lambda slot: (tag_ids[slot], starts[slot]))
+        return cls(
+            doc_id=doc_id,
+            tags=tags,
+            plabels=_int_column(plabels),
+            starts=_int_column(starts),
+            ends=_int_column(ends),
+            levels=_int_column(levels),
+            tag_ids=_int_column(tag_ids),
+            data_nulls=bytes(data_nulls),
+            data_ends=_int_column(data_ends),
+            data_blob=bytes(blob),
+            sd_order=_int_column(sd_order),
+        )
+
+    # -- row access --------------------------------------------------------------
+
+    def data(self, slot: int) -> Optional[str]:
+        """The data value at SP slot ``slot`` (``None`` for value-less nodes)."""
+        if self.data_nulls[slot >> 3] & (1 << (slot & 7)):
+            return None
+        begin = self.data_ends[slot - 1] if slot else 0
+        return self.data_blob[begin : self.data_ends[slot]].decode("utf-8")
+
+    def iter_data(self) -> Iterator[Optional[str]]:
+        """Every data value in SP order (no record materialization)."""
+        for slot in range(self.n):
+            yield self.data(slot)
+
+    def record(self, slot: int) -> NodeRecord:
+        """Materialize (and cache) the record at SP slot ``slot``."""
+        record = self._record_cache[slot]
+        if record is None:
+            record = NodeRecord(
+                plabel=self.plabels[slot],
+                start=self.starts[slot],
+                end=self.ends[slot],
+                level=self.levels[slot],
+                tag=self.tags[self.tag_ids[slot]],
+                data=self.data(slot),
+                doc_id=self.doc_id,
+            )
+            self._record_cache[slot] = record
+        return record
+
+    def records_sp(self) -> List[NodeRecord]:
+        """Every record, materialized, in SP order (cached)."""
+        if self._all_records is None:
+            self._all_records = [self.record(slot) for slot in range(self.n)]
+        return self._all_records
+
+    @property
+    def doc_order(self) -> List[int]:
+        """SP slots in document order (ascending ``start``)."""
+        if self._doc_order is None:
+            starts = self.starts
+            self._doc_order = sorted(range(self.n), key=starts.__getitem__)
+        return self._doc_order
+
+    def records_doc_order(self) -> List[NodeRecord]:
+        """Every record, materialized, in document order."""
+        return [self.record(slot) for slot in self.doc_order]
+
+    def sp_view(self) -> SPRecordView:
+        """A lazily-materializing SP-order sequence view (for fingerprints)."""
+        return SPRecordView(self)
+
+
+@dataclass
+class ColumnarPartition:
+    """A partition loaded from a v2 store file — everything but the tables.
+
+    The storage layer wraps this in a lazy
+    :class:`~repro.storage.table.StorageCatalog`; ``fingerprint`` is the
+    manifest digest the reader already verified, so the catalog never has
+    to recompute it.
+    """
+
+    columns: ColumnarRecords
+    scheme: PLabelScheme
+    schema: Optional[SchemaGraph]
+    name: str
+    source_size_bytes: int
+    fingerprint: str
+
+
+# -- byte-level encoding -----------------------------------------------------------
+
+
+def _int_column(values: Sequence[int]) -> IntColumn:
+    """Pick the narrowest in-memory representation for non-negative ints."""
+    maximum = max(values) if values else 0
+    for width in (1, 2, 4, 8):
+        code = _CODE_BY_WIDTH.get(width)
+        if code is not None and maximum < 1 << (8 * width):
+            return array(code, values)
+    width = max(1, (maximum.bit_length() + 7) // 8)
+    return WideIntColumn(
+        b"".join(value.to_bytes(width, "big") for value in values), width
+    )
+
+
+def _encode_ints(column: IntColumn) -> Tuple[str, bytes]:
+    """Serialize an integer column; returns ``(dtype, raw_bytes)``.
+
+    ``dtype`` is ``"u{width}"`` for little-endian array items or
+    ``"be{width}"`` for the big-endian wide encoding.
+    """
+    if isinstance(column, WideIntColumn):
+        return f"be{column.width}", column._raw
+    packed = column
+    if _BIG_ENDIAN_HOST:  # pragma: no cover - exotic platform
+        packed = array(column.typecode, column)
+        packed.byteswap()
+    return f"u{column.itemsize}", packed.tobytes()
+
+
+def _decode_ints(dtype: str, raw: bytes, expected: int) -> IntColumn:
+    """Rebuild an integer column written by :func:`_encode_ints`."""
+    if dtype.startswith("be"):
+        column: IntColumn = WideIntColumn(raw, int(dtype[2:]))
+    elif dtype.startswith("u"):
+        width = int(dtype[1:])
+        code = _CODE_BY_WIDTH.get(width)
+        if code is None or len(raw) % width:
+            raise PersistError(f"cannot decode integer column of dtype {dtype!r}")
+        column = array(code)
+        column.frombytes(raw)
+        if _BIG_ENDIAN_HOST:  # pragma: no cover - exotic platform
+            column.byteswap()
+    else:
+        raise PersistError(f"unknown column dtype {dtype!r}")
+    if len(column) != expected:
+        raise PersistError(
+            f"integer column holds {len(column)} items, expected {expected}"
+        )
+    return column
+
+
+def encode_columns(
+    columns: ColumnarRecords, compress: bool = True
+) -> Tuple[List[Dict[str, object]], bytes]:
+    """Serialize every column section; returns ``(directory, payload)``.
+
+    The directory lists, per column and in :data:`COLUMN_ORDER`, the dtype,
+    the codec (``raw`` or ``zlib`` — chosen per column by whichever is
+    smaller) and the raw/stored byte counts; sections are concatenated in
+    directory order, so offsets are implicit.
+    """
+    raw_sections: Dict[str, Tuple[str, bytes]] = {
+        "plabel": _encode_ints(columns.plabels),
+        "start": _encode_ints(columns.starts),
+        "end": _encode_ints(columns.ends),
+        "level": _encode_ints(columns.levels),
+        "tag_id": _encode_ints(columns.tag_ids),
+        "data_null": ("bytes", columns.data_nulls),
+        "data_ends": _encode_ints(columns.data_ends),
+        "data_blob": ("bytes", columns.data_blob),
+        "sd_order": _encode_ints(columns.sd_order),
+    }
+    directory: List[Dict[str, object]] = []
+    payload = bytearray()
+    for name in COLUMN_ORDER:
+        dtype, raw = raw_sections[name]
+        stored, codec = raw, "raw"
+        if compress:
+            squeezed = zlib.compress(raw, 6)
+            if len(squeezed) < len(raw):
+                stored, codec = squeezed, "zlib"
+        directory.append(
+            {
+                "name": name,
+                "dtype": dtype,
+                "codec": codec,
+                "raw": len(raw),
+                "stored": len(stored),
+            }
+        )
+        payload.extend(stored)
+    return directory, bytes(payload)
+
+
+def decode_columns(
+    directory: Sequence[Dict[str, object]],
+    payload: bytes,
+    doc_id: int,
+    tags: Sequence[str],
+    n: int,
+) -> ColumnarRecords:
+    """Rebuild a :class:`ColumnarRecords` from an encoded column payload."""
+    sections: Dict[str, Tuple[str, bytes]] = {}
+    offset = 0
+    names = [str(entry.get("name")) for entry in directory]
+    if names != list(COLUMN_ORDER):
+        raise PersistError(f"unexpected column directory {names}")
+    for entry in directory:
+        stored = int(entry["stored"])
+        raw_length = int(entry["raw"])
+        chunk = payload[offset : offset + stored]
+        if len(chunk) != stored:
+            raise PersistError("column payload is shorter than its directory")
+        offset += stored
+        codec = entry.get("codec")
+        if codec == "zlib":
+            try:
+                chunk = zlib.decompress(chunk)
+            except zlib.error as error:
+                raise PersistError(f"corrupt column {entry['name']!r}: {error}")
+        elif codec != "raw":
+            raise PersistError(f"unknown column codec {codec!r}")
+        if len(chunk) != raw_length:
+            raise PersistError(
+                f"column {entry['name']!r} decodes to {len(chunk)} bytes, "
+                f"expected {raw_length}"
+            )
+        sections[str(entry["name"])] = (str(entry["dtype"]), chunk)
+    if offset != len(payload):
+        raise PersistError("column payload holds trailing bytes")
+
+    def ints(name: str) -> IntColumn:
+        dtype, raw = sections[name]
+        return _decode_ints(dtype, raw, n)
+
+    return ColumnarRecords(
+        doc_id=doc_id,
+        tags=tags,
+        plabels=ints("plabel"),
+        starts=ints("start"),
+        ends=ints("end"),
+        levels=ints("level"),
+        tag_ids=ints("tag_id"),
+        data_nulls=sections["data_null"][1],
+        data_ends=ints("data_ends"),
+        data_blob=sections["data_blob"][1],
+        sd_order=ints("sd_order"),
+    )

@@ -15,6 +15,22 @@ from dataclasses import dataclass
 
 DEFAULT_RECORDS_PER_PAGE = 50
 
+#: Simulated page size used when translating *on-disk byte* sizes (store
+#: partition files) into page counts for reporting.
+DEFAULT_PAGE_BYTES = 4096
+
+
+def pages_for_bytes(nbytes: int, page_bytes: int = DEFAULT_PAGE_BYTES) -> int:
+    """Number of ``page_bytes``-sized pages needed to hold ``nbytes``.
+
+    Used by ``repro collection stats`` to report how many simulated disk
+    pages a store's partition files occupy — the byte-level counterpart of
+    :meth:`PageLayout.total_pages`, which counts records.
+    """
+    if nbytes <= 0:
+        return 0
+    return (nbytes + page_bytes - 1) // page_bytes
+
 
 @dataclass(frozen=True)
 class PageLayout:

@@ -7,8 +7,21 @@ A saved :class:`~repro.collection.collection.BLASCollection` is a directory:
     store/
       MANIFEST.json             # version, membership, scheme groups, digests
       partitions/
-        doc-00000.json          # one document's records + schema graph
-        doc-00002.json
+        doc-00000-<fp>.blas     # v2 (default): binary columnar partition
+        doc-00002-<fp>.json     # v1: JSON record tuples (still readable)
+
+Two partition formats coexist (negotiated per file by magic bytes):
+
+* **v2** (``.blas``, written by default) — a binary columnar layout: a
+  small JSON header (name, schema graph, tag dictionary, column
+  directory), packed fixed-width column sections (plabel/start/end/level,
+  tag ids, data blob + offsets, the SD permutation) and a BLAKE2b
+  checksum trailer.  Loads decode straight into
+  :class:`~repro.storage.columns.ColumnarRecords` — no per-record Python
+  objects — and are several times smaller and faster to open than v1.
+* **v1** (``.json``) — one JSON row per record.  Still fully readable (and
+  writable via ``partition_format="v1"``) so stores written before the
+  columnar format keep working.
 
 Design rules (see ``docs/file-format.md`` for the full specification):
 
@@ -35,27 +48,49 @@ schemes and schema graphs but not about collections.  The collection layer
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.indexer import IndexedDocument, NodeRecord
 from repro.core.plabel import PLabelScheme
 from repro.exceptions import PersistError
+from repro.storage.columns import (
+    ColumnarPartition,
+    ColumnarRecords,
+    decode_columns,
+    encode_columns,
+)
 from repro.storage.stats import fingerprint_records
 from repro.xmlkit.schema import SchemaGraph
 
-#: On-disk format version.  Bumped whenever the manifest or partition layout
-#: changes incompatibly; :func:`read_manifest` refuses versions it does not
-#: understand instead of guessing.
+#: Manifest (and v1 partition) format version.  Bumped whenever the JSON
+#: layout changes incompatibly; :func:`read_manifest` refuses versions it
+#: does not understand instead of guessing.
 FORMAT_VERSION = 1
+
+#: Version carried by v2 binary partition files.
+PARTITION_VERSION = 2
+
+#: Magic bytes opening every v2 binary partition file.
+PARTITION_MAGIC = b"BLASCP02"
+
+#: Length of the BLAKE2b checksum trailer of a v2 partition file.
+CHECKSUM_BYTES = 16
+
+#: The partition formats a store can write; reads auto-detect per file.
+PARTITION_FORMATS = ("v1", "v2")
+
+#: The partition format new writes use unless told otherwise.
+DEFAULT_PARTITION_FORMAT = "v2"
 
 #: Identifying ``format`` tag of a manifest file.
 MANIFEST_FORMAT = "blas-collection-store"
 
-#: Identifying ``format`` tag of a partition file.
+#: Identifying ``format`` tag of a partition file (both versions).
 PARTITION_FORMAT = "blas-partition"
 
 #: File name of the manifest inside a store directory.
@@ -63,6 +98,9 @@ MANIFEST_NAME = "MANIFEST.json"
 
 #: Sub-directory holding the per-document partition files.
 PARTITIONS_DIR = "partitions"
+
+#: Partition file extension per format.
+_EXTENSION = {"v1": "json", "v2": "blas"}
 
 
 # -- serialization helpers ---------------------------------------------------------
@@ -126,6 +164,39 @@ def rows_to_records(rows: Sequence[Sequence[object]], doc_id: int) -> List[NodeR
         )
         for row in rows
     ]
+
+
+def _encode_partition_v2(indexed: IndexedDocument, doc_id: int) -> bytes:
+    """Serialize one document as a v2 binary columnar partition file.
+
+    Layout: 8 magic bytes, a little-endian ``u32`` header length, the JSON
+    header (metadata + tag dictionary + column directory), the packed
+    column sections in directory order, and a BLAKE2b-128 checksum of
+    everything before it.
+    """
+    columns = ColumnarRecords.from_records(indexed.records, doc_id)
+    directory, payload = encode_columns(columns)
+    header = {
+        "format": PARTITION_FORMAT,
+        "version": PARTITION_VERSION,
+        "doc_id": doc_id,
+        "name": indexed.name,
+        "source_size_bytes": indexed.source_size_bytes,
+        "records": columns.n,
+        "tags": columns.tags,
+        "schema": schema_to_dict(indexed.schema),
+        "columns": directory,
+    }
+    header_bytes = json.dumps(
+        header, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    body = (
+        PARTITION_MAGIC
+        + len(header_bytes).to_bytes(4, "little")
+        + header_bytes
+        + payload
+    )
+    return body + hashlib.blake2b(body, digest_size=CHECKSUM_BYTES).digest()
 
 
 # -- manifest model ----------------------------------------------------------------
@@ -233,10 +304,20 @@ class CollectionStore:
     ----------
     root:
         The store directory (created on first write).
+    partition_format:
+        The format new partition writes use — ``"v2"`` (binary columnar,
+        the default) or ``"v1"`` (JSON rows).  Reads auto-detect per file,
+        so a store may hold a mix of both.
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, partition_format: str = DEFAULT_PARTITION_FORMAT):
+        if partition_format not in PARTITION_FORMATS:
+            raise PersistError(
+                f"unknown partition format {partition_format!r}; "
+                f"valid choices are {', '.join(PARTITION_FORMATS)}"
+            )
         self.root = root
+        self.partition_format = partition_format
 
     # -- predicates ----------------------------------------------------------------
 
@@ -275,10 +356,11 @@ class CollectionStore:
         payload = json.dumps(manifest.to_dict(), indent=1, sort_keys=True)
         self._write_atomic(self.manifest_path, payload)
 
-    def _write_atomic(self, target: str, payload: str) -> None:
+    def _write_atomic(self, target: str, payload: Union[str, bytes]) -> None:
+        binary = isinstance(payload, bytes)
         handle = tempfile.NamedTemporaryFile(
-            "w",
-            encoding="utf-8",
+            "wb" if binary else "w",
+            encoding=None if binary else "utf-8",
             dir=os.path.dirname(target),
             prefix=os.path.basename(target) + ".",
             suffix=".tmp",
@@ -321,7 +403,9 @@ class CollectionStore:
     # -- partition I/O -------------------------------------------------------------
 
     @staticmethod
-    def partition_name(doc_id: int, fingerprint: str) -> str:
+    def partition_name(
+        doc_id: int, fingerprint: str, partition_format: str = DEFAULT_PARTITION_FORMAT
+    ) -> str:
         """Relative path of the partition file for ``doc_id``.
 
         The name embeds a fingerprint prefix, making it a function of the
@@ -330,40 +414,58 @@ class CollectionStore:
         which is what keeps the old store readable if a whole-collection
         re-save crashes before its manifest swap.  Rewriting unchanged
         content lands on the same name with identical bytes (harmless).
+        The extension names the format (``.blas`` for v2, ``.json`` for
+        v1), purely as a human courtesy — readers go by magic bytes.
         """
-        return f"{PARTITIONS_DIR}/doc-{doc_id:05d}-{fingerprint[:12]}.json"
+        extension = _EXTENSION[partition_format]
+        return f"{PARTITIONS_DIR}/doc-{doc_id:05d}-{fingerprint[:12]}.{extension}"
 
     def write_partition(
         self, indexed: IndexedDocument, doc_id: int, fingerprint: str
     ) -> str:
         """Write one document's partition file; returns its relative path.
 
-        The write is atomic (temp file + rename), so a reader following the
-        *old* manifest never observes a half-written partition even while an
+        The file format is the store's ``partition_format``.  The write is
+        atomic (temp file + rename), so a reader following the *old*
+        manifest never observes a half-written partition even while an
         append is overwriting an orphan of the same name.
         """
-        relative = self.partition_name(doc_id, fingerprint)
+        relative = self.partition_name(doc_id, fingerprint, self.partition_format)
         target = os.path.join(self.root, relative)
         os.makedirs(os.path.dirname(target), exist_ok=True)
-        payload = json.dumps(
-            {
-                "format": PARTITION_FORMAT,
-                "version": FORMAT_VERSION,
-                "doc_id": doc_id,
-                "name": indexed.name,
-                "source_size_bytes": indexed.source_size_bytes,
-                "schema": schema_to_dict(indexed.schema),
-                "records": records_to_rows(indexed.records),
-            },
-            separators=(",", ":"),
-        )
+        if self.partition_format == "v2":
+            payload: Union[str, bytes] = _encode_partition_v2(indexed, doc_id)
+        else:
+            payload = json.dumps(
+                {
+                    "format": PARTITION_FORMAT,
+                    "version": FORMAT_VERSION,
+                    "doc_id": doc_id,
+                    "name": indexed.name,
+                    "source_size_bytes": indexed.source_size_bytes,
+                    "schema": schema_to_dict(indexed.schema),
+                    "records": records_to_rows(indexed.records),
+                },
+                separators=(",", ":"),
+            )
         self._write_atomic(target, payload)
         return relative
 
+    def partition_bytes(self, relative: str) -> int:
+        """On-disk size of a partition file (0 when it cannot be stat'ed)."""
+        try:
+            return os.stat(os.path.join(self.root, relative)).st_size
+        except OSError:
+            return 0
+
     def read_partition(
         self, entry: ManifestDocument, scheme: PLabelScheme
-    ) -> IndexedDocument:
-        """Load one partition file back into an :class:`IndexedDocument`.
+    ):
+        """Load one partition file (either format, detected by magic bytes).
+
+        Returns an :class:`IndexedDocument` for a v1 file or a
+        :class:`~repro.storage.columns.ColumnarPartition` for a v2 file;
+        :meth:`PartitionedCatalog._build_catalog` accepts both.
 
         Parameters
         ----------
@@ -376,11 +478,22 @@ class CollectionStore:
         """
         path = os.path.join(self.root, entry.partition)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError) as error:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as error:
             raise PersistError(f"cannot read partition {path!r}: {error}")
-        if payload.get("format") != PARTITION_FORMAT:
+        if blob.startswith(PARTITION_MAGIC):
+            return self._parse_partition_v2(blob, path, entry, scheme)
+        return self._parse_partition_v1(blob, path, entry, scheme)
+
+    def _parse_partition_v1(
+        self, blob: bytes, path: str, entry: ManifestDocument, scheme: PLabelScheme
+    ) -> IndexedDocument:
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise PersistError(f"cannot read partition {path!r}: {error}")
+        if not isinstance(payload, dict) or payload.get("format") != PARTITION_FORMAT:
             raise PersistError(f"{path!r} is not a partition file")
         try:
             if int(payload.get("version", -1)) != FORMAT_VERSION:
@@ -417,6 +530,74 @@ class CollectionStore:
                 source_size_bytes=int(payload["source_size_bytes"]),
             )
         except (KeyError, TypeError, ValueError, IndexError) as error:
+            raise PersistError(f"malformed partition file {path!r}: {error!r}")
+
+    def _parse_partition_v2(
+        self, blob: bytes, path: str, entry: ManifestDocument, scheme: PLabelScheme
+    ) -> ColumnarPartition:
+        """Parse a binary columnar partition (checksum, header, columns).
+
+        The BLAKE2b trailer covers every byte before it, so truncation and
+        bit flips anywhere in the file fail here before any decoding; the
+        manifest fingerprint is then re-checked over a sample of lazily
+        materialized records, guarding against a consistent-but-wrong file
+        being wired to the wrong manifest row.
+        """
+        minimum = len(PARTITION_MAGIC) + 4 + CHECKSUM_BYTES
+        if len(blob) < minimum:
+            raise PersistError(f"partition {path!r} is truncated")
+        body, checksum = blob[:-CHECKSUM_BYTES], blob[-CHECKSUM_BYTES:]
+        digest = hashlib.blake2b(body, digest_size=CHECKSUM_BYTES).digest()
+        if digest != checksum:
+            raise PersistError(
+                f"partition {path!r} fails its checksum (truncated or corrupt)"
+            )
+        try:
+            header_len = int.from_bytes(blob[8:12], "little")
+            header_end = 12 + header_len
+            if header_end > len(body):
+                raise PersistError(f"partition {path!r} header is out of bounds")
+            header = json.loads(body[12:header_end].decode("utf-8"))
+            payload = body[header_end:]
+            if header.get("format") != PARTITION_FORMAT:
+                raise PersistError(f"{path!r} is not a partition file")
+            if int(header.get("version", -1)) != PARTITION_VERSION:
+                raise PersistError(f"unsupported partition version in {path!r}")
+            if int(header["doc_id"]) != entry.doc_id:
+                raise PersistError(
+                    f"partition {path!r} belongs to doc_id {header['doc_id']}, "
+                    f"manifest expects {entry.doc_id}"
+                )
+            if int(header["records"]) != entry.node_count:
+                raise PersistError(
+                    f"partition {path!r} holds {header['records']} records, "
+                    f"manifest expects {entry.node_count}"
+                )
+            columns = decode_columns(
+                header["columns"],
+                payload,
+                doc_id=entry.doc_id,
+                tags=[str(tag) for tag in header["tags"]],
+                n=int(header["records"]),
+            )
+            name = str(header["name"] or "")
+            actual = fingerprint_records(columns.sp_view(), name=name)
+            if actual != entry.fingerprint:
+                raise PersistError(
+                    f"partition {path!r} content digest {actual} does not match "
+                    f"the manifest fingerprint {entry.fingerprint}"
+                )
+            return ColumnarPartition(
+                columns=columns,
+                scheme=scheme,
+                schema=schema_from_dict(header["schema"]),
+                name=header["name"],
+                source_size_bytes=int(header["source_size_bytes"]),
+                fingerprint=entry.fingerprint,
+            )
+        except PersistError:
+            raise
+        except (KeyError, TypeError, ValueError, IndexError, UnicodeDecodeError) as error:
             raise PersistError(f"malformed partition file {path!r}: {error!r}")
 
     def remove_partition_file(self, relative: str) -> None:

@@ -111,7 +111,37 @@ class TableStatistics:
     """
 
     def __init__(self, records: Sequence) -> None:
-        self.row_count = len(records)
+        self._build(
+            len(records),
+            ((r.plabel, r.level, r.tag, r.data) for r in records),
+        )
+
+    @classmethod
+    def from_columns(cls, columns) -> "TableStatistics":
+        """Exact statistics straight from packed columns.
+
+        Iterates the column arrays of a
+        :class:`~repro.storage.columns.ColumnarRecords` without ever
+        materializing :class:`NodeRecord` objects; the histograms are
+        identical to ``TableStatistics(records)`` over the same partition
+        because both iterate the records in SP order.
+        """
+        stats = cls.__new__(cls)
+        tags = columns.tags
+        stats._build(
+            columns.n,
+            zip(
+                columns.plabels,
+                columns.levels,
+                (tags[tag_id] for tag_id in columns.tag_ids),
+                columns.iter_data(),
+            ),
+        )
+        return stats
+
+    def _build(self, row_count: int, rows) -> None:
+        """Shared histogram construction over ``(plabel, level, tag, data)``."""
+        self.row_count = row_count
         tag_counts: Dict[str, int] = {}
         level_counts: Dict[int, int] = {}
         plabel_counts: Dict[int, int] = {}
@@ -120,20 +150,18 @@ class TableStatistics:
         data_locations: Dict[str, List[Tuple[int, str, int]]] = {}
         data_rows = 0
         max_level = 0
-        for record in records:
-            tag_counts[record.tag] = tag_counts.get(record.tag, 0) + 1
-            level_counts[record.level] = level_counts.get(record.level, 0) + 1
-            plabel_counts[record.plabel] = plabel_counts.get(record.plabel, 0) + 1
-            by_level = tag_level_counts.setdefault(record.tag, {})
-            by_level[record.level] = by_level.get(record.level, 0) + 1
-            by_level = plabel_level_counts.setdefault(record.plabel, {})
-            by_level[record.level] = by_level.get(record.level, 0) + 1
-            if record.data is not None:
+        for plabel, level, tag, data in rows:
+            tag_counts[tag] = tag_counts.get(tag, 0) + 1
+            level_counts[level] = level_counts.get(level, 0) + 1
+            plabel_counts[plabel] = plabel_counts.get(plabel, 0) + 1
+            by_level = tag_level_counts.setdefault(tag, {})
+            by_level[level] = by_level.get(level, 0) + 1
+            by_level = plabel_level_counts.setdefault(plabel, {})
+            by_level[level] = by_level.get(level, 0) + 1
+            if data is not None:
                 data_rows += 1
-                data_locations.setdefault(record.data, []).append(
-                    (record.plabel, record.tag, record.level)
-                )
-            max_level = max(max_level, record.level)
+                data_locations.setdefault(data, []).append((plabel, tag, level))
+            max_level = max(max_level, level)
         self.tag_counts = tag_counts
         self.level_counts = level_counts
         self.tag_level_counts = tag_level_counts

@@ -152,7 +152,7 @@ class BLAS:
 
     # -- persistence --------------------------------------------------------------
 
-    def save(self, path: str) -> None:
+    def save(self, path: str, partition_format: str = "v2") -> None:
         """Save this document to an on-disk collection store at ``path``.
 
         One-document convenience over
@@ -165,6 +165,9 @@ class BLAS:
         ----------
         path:
             The store directory (created if missing).
+        partition_format:
+            ``"v2"`` (binary columnar, the default) or ``"v1"`` (JSON
+            rows); see :mod:`repro.storage.persist`.
 
         Raises
         ------
@@ -181,7 +184,7 @@ class BLAS:
                 f"holding {len(self.collection)} documents; BLAS.save would "
                 "persist them all — use the collection's own save instead"
             )
-        self.collection.save(path)
+        self.collection.save(path, partition_format=partition_format)
 
     @classmethod
     def open(cls, path: str) -> "BLAS":

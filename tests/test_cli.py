@@ -342,3 +342,87 @@ def test_experiment_explain(capsys):
     assert code == 0
     assert "Cost-based planner" in captured
     assert "QS2" in captured and "Q6" in captured
+
+
+# -- store error handling & formats --------------------------------------------------
+
+
+def test_open_missing_store_prints_one_line_error(tmp_path, capsys):
+    code = main(["collection", "open", str(tmp_path / "nowhere")])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert captured.startswith("error:")
+    assert "missing manifest" in captured
+
+
+def test_corrupt_manifest_prints_one_line_error(store_dir, capsys):
+    with open(os.path.join(store_dir, "MANIFEST.json"), "w", encoding="utf-8") as f:
+        f.write("{ not json")
+    for command in (["collection", "open", store_dir],
+                    ["collection", "query", store_dir, "//author"],
+                    ["collection", "stats", store_dir]):
+        code = main(command)
+        captured = capsys.readouterr().out
+        assert code == 1, command
+        assert captured.startswith("error:"), command
+
+
+def test_truncated_partition_prints_one_line_error(store_dir, capsys):
+    import glob
+
+    (partition, *_) = sorted(glob.glob(os.path.join(store_dir, "partitions", "*")))
+    with open(partition, "rb") as handle:
+        blob = handle.read()
+    with open(partition, "wb") as handle:
+        handle.write(blob[: len(blob) // 3])
+    code = main(["collection", "query", store_dir, "//author"])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert captured.startswith("error:")
+    assert "checksum" in captured or "truncated" in captured
+
+
+def test_list_on_an_empty_directory_prints_one_line_error(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    code = main(["collection", "list", str(empty)])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert captured.startswith("error:")
+
+
+def test_remove_from_a_missing_store_prints_one_line_error(tmp_path, capsys):
+    code = main(["collection", "query", str(tmp_path / "gone"), "//x"])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert captured.startswith("error:")
+
+
+def test_save_format_flag_writes_v1_json_partitions(collection_dir, tmp_path, capsys):
+    import glob
+    import json
+
+    store = str(tmp_path / "v1.store")
+    code = main(["collection", "save", collection_dir, store, "--format", "v1"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "format v1" in captured
+    partitions = glob.glob(os.path.join(store, "partitions", "*"))
+    assert partitions and all(path.endswith(".json") for path in partitions)
+    with open(partitions[0], encoding="utf-8") as handle:
+        assert json.load(handle)["format"] == "blas-partition"
+
+
+def test_save_defaults_to_v2_binary_partitions(store_dir):
+    import glob
+
+    partitions = glob.glob(os.path.join(store_dir, "partitions", "*"))
+    assert partitions and all(path.endswith(".blas") for path in partitions)
+
+
+def test_stats_reports_store_bytes_per_document(store_dir, capsys):
+    code = main(["collection", "stats", store_dir])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "store size:" in captured
+    assert "bytes/doc" in captured

@@ -1,0 +1,157 @@
+"""Unit tests for the packed columnar record storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexer import NodeRecord
+from repro.exceptions import PersistError
+from repro.storage.columns import (
+    ColumnarRecords,
+    WideIntColumn,
+    decode_columns,
+    encode_columns,
+)
+from repro.storage.stats import TableStatistics, fingerprint_records
+
+
+def make_records(doc_id=3):
+    return [
+        NodeRecord(plabel=900, start=1, end=80, level=1, tag="root",
+                   data=None, doc_id=doc_id),
+        NodeRecord(plabel=25, start=2, end=40, level=2, tag="b",
+                   data="héllo wörld", doc_id=doc_id),
+        NodeRecord(plabel=7, start=3, end=10, level=3, tag="a",
+                   data="", doc_id=doc_id),
+        NodeRecord(plabel=25, start=41, end=79, level=2, tag="b",
+                   data="x" * 300, doc_id=doc_id),
+        NodeRecord(plabel=1 << 90, start=11, end=39, level=3, tag="a",
+                   data=None, doc_id=doc_id),
+    ]
+
+
+@pytest.fixture()
+def columns():
+    return ColumnarRecords.from_records(make_records(), doc_id=3)
+
+
+def test_records_come_back_in_sp_order(columns):
+    expected = sorted(make_records(), key=NodeRecord.sort_key_sp)
+    assert columns.records_sp() == expected
+    assert list(columns.plabels) == [r.plabel for r in expected]
+
+
+def test_records_doc_order_matches_start_order(columns):
+    expected = sorted(make_records(), key=lambda r: r.start)
+    assert columns.records_doc_order() == expected
+
+
+def test_sd_order_is_tag_then_start(columns):
+    expected = sorted(make_records(), key=NodeRecord.sort_key_sd)
+    assert [columns.record(slot) for slot in columns.sd_order] == expected
+
+
+def test_none_and_empty_data_are_distinct(columns):
+    by_start = {r.start: r for r in columns.records_sp()}
+    assert by_start[1].data is None
+    assert by_start[3].data == ""
+    assert by_start[2].data == "héllo wörld"
+
+
+def test_wide_plabel_column_is_big_endian_fixed_width(columns):
+    assert isinstance(columns.plabels, WideIntColumn)
+    assert (1 << 90) in list(columns.plabels)
+    # Lexicographic byte order == numeric order for fixed-width big-endian,
+    # so the packed column bisects correctly.
+    assert list(columns.plabels) == sorted(columns.plabels)
+
+
+def test_wide_int_column_rejects_ragged_buffers():
+    with pytest.raises(PersistError):
+        WideIntColumn(b"12345", 2)
+
+
+def test_encode_decode_round_trip(columns):
+    directory, payload = encode_columns(columns)
+    rebuilt = decode_columns(
+        directory, payload, doc_id=3, tags=columns.tags, n=columns.n
+    )
+    assert rebuilt.records_sp() == columns.records_sp()
+
+
+def test_encode_without_compression_round_trips(columns):
+    directory, payload = encode_columns(columns, compress=False)
+    assert {entry["codec"] for entry in directory} == {"raw"}
+    rebuilt = decode_columns(
+        directory, payload, doc_id=3, tags=columns.tags, n=columns.n
+    )
+    assert rebuilt.records_sp() == columns.records_sp()
+
+
+def test_decode_rejects_short_payload(columns):
+    directory, payload = encode_columns(columns)
+    with pytest.raises(PersistError):
+        decode_columns(directory, payload[:-1], doc_id=3, tags=columns.tags,
+                       n=columns.n)
+
+
+def test_decode_rejects_trailing_bytes(columns):
+    directory, payload = encode_columns(columns)
+    with pytest.raises(PersistError):
+        decode_columns(directory, payload + b"x", doc_id=3, tags=columns.tags,
+                       n=columns.n)
+
+
+def test_decode_rejects_reordered_directory(columns):
+    directory, payload = encode_columns(columns)
+    with pytest.raises(PersistError):
+        decode_columns(list(reversed(directory)), payload, doc_id=3,
+                       tags=columns.tags, n=columns.n)
+
+
+def test_sample_view_fingerprints_like_the_record_list(columns):
+    view = columns.sp_view()
+    assert fingerprint_records(view, name="doc") == fingerprint_records(
+        columns.records_sp(), name="doc"
+    )
+
+
+def test_statistics_from_columns_match_record_statistics(columns):
+    from_records = TableStatistics(columns.records_sp())
+    from_columns = TableStatistics.from_columns(columns)
+    assert from_columns.row_count == from_records.row_count
+    assert from_columns.tag_counts == from_records.tag_counts
+    assert from_columns.level_counts == from_records.level_counts
+    assert from_columns.plabel_counts == from_records.plabel_counts
+    assert from_columns.tag_level_counts == from_records.tag_level_counts
+    assert from_columns.data_locations == from_records.data_locations
+    assert from_columns.max_level == from_records.max_level
+    assert from_columns.data_rows == from_records.data_rows
+
+
+def test_column_length_mismatch_is_rejected():
+    records = make_records()
+    good = ColumnarRecords.from_records(records, doc_id=3)
+    with pytest.raises(PersistError):
+        ColumnarRecords(
+            doc_id=3,
+            tags=good.tags,
+            plabels=good.plabels,
+            starts=good.starts,
+            ends=good.ends,
+            levels=good.levels,
+            tag_ids=good.tag_ids,
+            data_nulls=good.data_nulls,
+            data_ends=good.data_ends,
+            data_blob=good.data_blob,
+            sd_order=good.sd_order[:-1],
+        )
+
+
+def test_sample_view_bounds_checks_negative_indexes(columns):
+    view = columns.sp_view()
+    assert view[-1] == columns.record(columns.n - 1)
+    with pytest.raises(IndexError):
+        view[columns.n]
+    with pytest.raises(IndexError):
+        view[-(columns.n + 1)]

@@ -49,13 +49,20 @@ def build_collection(texts) -> BLASCollection:
 # -- round trips across every bundled dataset ---------------------------------------
 
 
+@pytest.mark.parametrize("partition_format", ["v1", "v2"])
 @pytest.mark.parametrize("dataset", DATASET_NAMES)
-def test_round_trip_is_byte_identical_per_dataset(dataset, dataset_texts, tmp_path):
-    """index → save → open answers every workload query ≡ never-saved."""
+def test_round_trip_is_byte_identical_per_dataset(
+    dataset, partition_format, dataset_texts, tmp_path
+):
+    """index → save → open answers every workload query ≡ never-saved.
+
+    Holds for both partition formats — the binary columnar v2 layout and
+    the JSON v1 layout persist exactly the same information.
+    """
     fresh = BLASCollection()
     fresh.add_xml(dataset_texts[dataset], name=dataset)
     store = str(tmp_path / "store")
-    fresh.save(store)
+    fresh.save(store, partition_format=partition_format)
     opened = BLASCollection.open(store)
     for query_name, query_text in QUERY_SETS[dataset].items():
         a = fresh.query(query_text)
@@ -323,7 +330,7 @@ def test_query_raises_persist_error_on_a_mistyped_partition(
     store = str(tmp_path / "store")
     fresh = BLASCollection()
     fresh.add_xml(dataset_texts["protein"], name="protein")
-    fresh.save(store)
+    fresh.save(store, partition_format="v1")
     partition = os.path.join(store, _manifest_partitions(store)["protein"])
     with open(partition, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -383,7 +390,7 @@ def test_read_partition_rejects_a_record_count_mismatch(dataset_texts, tmp_path)
     store = str(tmp_path / "store")
     fresh = BLASCollection()
     fresh.add_xml(dataset_texts["protein"], name="protein")
-    fresh.save(store)
+    fresh.save(store, partition_format="v1")
     partition = os.path.join(store, _manifest_partitions(store)["protein"])
     with open(partition, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -441,7 +448,7 @@ def test_tampered_partition_content_is_rejected_on_load(tmp_path):
     store = str(tmp_path / "store")
     fresh = BLASCollection()
     fresh.add_xml(PROTEIN_SAMPLE, name="protein")
-    fresh.save(store)
+    fresh.save(store, partition_format="v1")
     partition = os.path.join(store, _manifest_partitions(store)["protein"])
     with open(partition, "r", encoding="utf-8") as handle:
         payload = json.load(handle)

@@ -138,3 +138,83 @@ def test_cache_capacity_bounds_entries():
     for query in ("//author", "//year", "//title", "//name"):
         small.plan_query(query)
     assert len(small.plan_cache) == 2
+
+
+# -- thread safety ------------------------------------------------------------------
+
+
+def test_concurrent_get_put_clear_is_safe():
+    """Hammer one small cache from many threads; counters must stay sane.
+
+    The cache is shared across the collection fan-out thread pool, so
+    get/put/clear race by design; the RLock keeps the OrderedDict intact
+    and ``hits + misses`` equal to the number of ``get`` calls.
+    """
+    import threading
+
+    from repro.planner.cache import PlanCache
+
+    cache = PlanCache(capacity=8)
+    gets_per_thread = 400
+    thread_count = 8
+    errors = []
+    barrier = threading.Barrier(thread_count)
+
+    def worker(seed: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(gets_per_thread):
+                key = ("q%d" % ((seed * 31 + i) % 24), "auto", "auto", "fp")
+                if cache.get(key) is None:
+                    cache.put(key, ("plan", seed, i))
+                if i % 97 == 0:
+                    cache.stats()
+                if seed == 0 and i == gets_per_thread // 2:
+                    cache.clear()
+        except Exception as error:  # pragma: no cover - only on regression
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(seed,)) for seed in range(thread_count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    snapshot = cache.info()
+    assert snapshot["size"] <= cache.capacity
+    # clear() zeroes the counters mid-run, so only the post-clear calls are
+    # accounted — but hits+misses can never exceed the total gets issued.
+    assert snapshot["hits"] + snapshot["misses"] <= gets_per_thread * thread_count
+
+
+def test_concurrent_collection_queries_share_the_cache_safely(tmp_path):
+    """Many threads querying one collection: no lost updates, no exceptions."""
+    import threading
+
+    from repro.collection import BLASCollection
+    from tests.conftest import PROTEIN_SAMPLE
+
+    collection = BLASCollection(plan_cache_size=4)
+    for copy in range(3):
+        collection.add_xml(PROTEIN_SAMPLE, name=f"copy-{copy}")
+    queries = ("//author", "//year", "//protein/name", "//refinfo", "//title")
+    errors = []
+
+    def worker() -> None:
+        try:
+            for query in queries:
+                assert collection.query(query).count >= 0
+        except Exception as error:  # pragma: no cover - only on regression
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    snapshot = collection.plan_cache.info()
+    assert snapshot["hits"] + snapshot["misses"] >= len(queries)
+    assert len(collection.plan_cache) <= 4

@@ -163,3 +163,49 @@ def test_page_layout_maths():
     assert layout.total_pages(0) == 0
     assert layout.total_pages(11) == 2
     assert layout.pages_for_scattered(7) == 7
+
+
+# -- stream memoization --------------------------------------------------------------
+
+
+def test_memoized_tag_stream_replays_identical_counters(catalog):
+    """Repeat stream calls serve the memo but report the same scan counts."""
+    first_stats, second_stats = AccessStatistics(), AccessStatistics()
+    first = catalog.sd.stream_for_tag("author", stats=first_stats, alias="T1")
+    second = catalog.sd.stream_for_tag("author", stats=second_stats, alias="T1")
+    assert first == second
+    assert first is not second  # callers own their copy
+    assert first_stats.as_dict() == second_stats.as_dict()
+    assert first_stats.per_alias_elements == second_stats.per_alias_elements
+
+
+def test_memoized_plabel_stream_replays_identical_counters(catalog, protein_indexed):
+    interval = protein_indexed.scheme.suffix_path_interval(["author"])
+    first_stats, second_stats = AccessStatistics(), AccessStatistics()
+    first = catalog.sp.stream_for_plabel_range(
+        interval.p1, interval.p2, stats=first_stats, alias="T1"
+    )
+    second = catalog.sp.stream_for_plabel_range(
+        interval.p1, interval.p2, stats=second_stats, alias="T1"
+    )
+    assert first == second
+    assert first_stats.as_dict() == second_stats.as_dict()
+
+
+def test_stream_memo_copies_are_mutation_safe(catalog):
+    stream = catalog.sd.stream_for_tag("author")
+    stream.clear()  # a misbehaving caller cannot poison the memo
+    assert len(catalog.sd.stream_for_tag("author")) == 4
+
+
+def test_node_table_requires_exactly_one_backing():
+    with pytest.raises(StorageError):
+        NodeTable(records=None, cluster=ClusterKind.SP, columns=None)
+
+
+def test_stream_memo_is_bounded(catalog):
+    from repro.storage.table import MAX_MEMOIZED_STREAMS
+
+    for offset in range(MAX_MEMOIZED_STREAMS + 20):
+        catalog.sp.stream_for_plabel_range(offset, offset + 1)
+    assert len(catalog.sp._stream_cache) <= MAX_MEMOIZED_STREAMS

@@ -1,0 +1,285 @@
+"""Tests for the v2 binary columnar partition format.
+
+Covers the format-negotiation matrix (v1 and v2 stores answer every
+workload query — results, counters, chosen plans — byte-identically to a
+never-saved collection and to each other), corruption detection
+(truncation and bit flips anywhere in a v2 file raise ``PersistError`` via
+the checksum trailer), mixed-format stores (a v1 store keeps working after
+v2 appends), the >64-bit plabel encoding the auction dataset needs, and
+the laziness property the columnar tables exist for: a selective query
+materializes only the records it scans.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.collection import BLASCollection
+from repro.datasets import QUERY_SETS, build_dataset
+from repro.exceptions import PersistError
+from repro.storage.persist import (
+    DEFAULT_PARTITION_FORMAT,
+    PARTITION_MAGIC,
+    CollectionStore,
+)
+from repro.xmlkit.writer import document_to_string
+
+DATASET_NAMES = ("shakespeare", "protein", "auction")
+
+
+@pytest.fixture(scope="module")
+def dataset_texts():
+    return {
+        name: document_to_string(build_dataset(name, scale=1))
+        for name in DATASET_NAMES
+    }
+
+
+def build_collection(texts) -> BLASCollection:
+    collection = BLASCollection()
+    for name, text in texts.items():
+        collection.add_xml(text, name=name)
+    return collection
+
+
+def _partition_files(store: str):
+    return sorted(glob.glob(os.path.join(store, "partitions", "*")))
+
+
+# -- format negotiation & cross-format equivalence ----------------------------------
+
+
+def test_v2_is_the_default_write_format(dataset_texts, tmp_path):
+    store = str(tmp_path / "store")
+    build_collection(dataset_texts).save(store)
+    assert DEFAULT_PARTITION_FORMAT == "v2"
+    for path in _partition_files(store):
+        assert path.endswith(".blas")
+        with open(path, "rb") as handle:
+            assert handle.read(8) == PARTITION_MAGIC
+
+
+def test_v1_and_v2_stores_answer_identically(dataset_texts, tmp_path):
+    """The format is invisible: same results, counters and chosen plans."""
+    fresh = build_collection(dataset_texts)
+    stores = {}
+    for partition_format in ("v1", "v2"):
+        saver = build_collection(dataset_texts)
+        store = str(tmp_path / f"store-{partition_format}")
+        saver.save(store, partition_format=partition_format)
+        stores[partition_format] = BLASCollection.open(store)
+    for dataset in DATASET_NAMES:
+        for query_name, query_text in QUERY_SETS[dataset].items():
+            baseline = fresh.query(query_text)
+            for partition_format, opened in stores.items():
+                answer = opened.query(query_text)
+                context = (dataset, query_name, partition_format)
+                assert answer.starts == baseline.starts, context
+                assert answer.values() == baseline.values(), context
+                assert answer.stats.as_dict() == baseline.stats.as_dict(), context
+                assert answer.translator == baseline.translator, context
+                assert answer.engine == baseline.engine, context
+    # EXPLAIN output (candidates, chosen plans, per-document costs) matches
+    # across formats too — the plans, not just the answers, are identical.
+    for dataset in DATASET_NAMES:
+        for query_text in QUERY_SETS[dataset].values():
+            assert (
+                stores["v1"].explain(query_text) == stores["v2"].explain(query_text)
+            )
+
+
+def test_v2_partitions_are_smaller_than_v1(dataset_texts, tmp_path):
+    for partition_format in ("v1", "v2"):
+        build_collection(dataset_texts).save(
+            str(tmp_path / partition_format), partition_format=partition_format
+        )
+    sizes = {
+        partition_format: sum(
+            os.path.getsize(path)
+            for path in _partition_files(str(tmp_path / partition_format))
+        )
+        for partition_format in ("v1", "v2")
+    }
+    assert sizes["v2"] < sizes["v1"]
+
+
+def test_mixed_format_store_reads_fine(dataset_texts, tmp_path):
+    """An opened v1 store appends v2 partitions; both load side by side."""
+    store = str(tmp_path / "store")
+    first = BLASCollection()
+    first.add_xml(dataset_texts["protein"], name="protein")
+    first.save(store, partition_format="v1")
+    opened = BLASCollection.open(store)
+    opened.add_xml(dataset_texts["shakespeare"], name="shakespeare")
+    extensions = {path.rsplit(".", 1)[1] for path in _partition_files(store)}
+    assert extensions == {"json", "blas"}
+    reopened = BLASCollection.open(store)
+    assert reopened.doc_ids() == [0, 1]
+    assert reopened.query("//name").count == opened.query("//name").count
+    assert reopened.query("//TITLE").count > 0
+
+
+def test_unknown_partition_format_is_rejected(tmp_path):
+    with pytest.raises(PersistError, match="v1, v2"):
+        CollectionStore(str(tmp_path), partition_format="v3")
+    with pytest.raises(PersistError):
+        BLASCollection().save(str(tmp_path / "s"), partition_format="json")
+
+
+def test_wide_plabels_survive_the_binary_round_trip(dataset_texts, tmp_path):
+    """Auction plabels exceed 64 bits; the be-N column encoding carries them."""
+    fresh = BLASCollection()
+    fresh.add_xml(dataset_texts["auction"], name="auction")
+    catalog = fresh.store.catalog_for(0)
+    assert max(r.plabel for r in catalog.sp.records).bit_length() > 64
+    store = str(tmp_path / "store")
+    fresh.save(store)
+    opened = BLASCollection.open(store)
+    reread = opened.store.catalog_for(0)
+    assert [r.plabel for r in reread.sp.records] == [
+        r.plabel for r in catalog.sp.records
+    ]
+    for query_text in QUERY_SETS["auction"].values():
+        assert opened.query(query_text).starts == fresh.query(query_text).starts
+
+
+# -- corruption detection -----------------------------------------------------------
+
+
+def _single_doc_store(dataset_texts, tmp_path) -> str:
+    store = str(tmp_path / "store")
+    fresh = BLASCollection()
+    fresh.add_xml(dataset_texts["protein"], name="protein")
+    fresh.save(store)
+    return store
+
+
+def test_truncated_v2_partition_is_rejected(dataset_texts, tmp_path):
+    store = _single_doc_store(dataset_texts, tmp_path)
+    (partition,) = _partition_files(store)
+    with open(partition, "rb") as handle:
+        blob = handle.read()
+    with open(partition, "wb") as handle:
+        handle.write(blob[: len(blob) // 2])
+    with pytest.raises(PersistError, match="checksum|truncated"):
+        BLASCollection.open(store).query("//name")
+
+
+@pytest.mark.parametrize("where", ["header", "payload", "trailer"])
+def test_bit_flipped_v2_partition_is_rejected(dataset_texts, tmp_path, where):
+    """A single flipped bit anywhere in the file trips the checksum."""
+    store = _single_doc_store(dataset_texts, tmp_path)
+    (partition,) = _partition_files(store)
+    with open(partition, "rb") as handle:
+        blob = bytearray(handle.read())
+    offset = {"header": 20, "payload": len(blob) // 2, "trailer": len(blob) - 1}[where]
+    blob[offset] ^= 0x40
+    with open(partition, "wb") as handle:
+        handle.write(bytes(blob))
+    with pytest.raises(PersistError, match="checksum"):
+        BLASCollection.open(store).query("//name")
+
+
+def test_garbage_partition_file_is_rejected(dataset_texts, tmp_path):
+    store = _single_doc_store(dataset_texts, tmp_path)
+    (partition,) = _partition_files(store)
+    with open(partition, "wb") as handle:
+        handle.write(b"this is neither JSON nor a BLASCP02 file")
+    with pytest.raises(PersistError):
+        BLASCollection.open(store).query("//name")
+
+
+def test_empty_partition_file_is_rejected(dataset_texts, tmp_path):
+    store = _single_doc_store(dataset_texts, tmp_path)
+    (partition,) = _partition_files(store)
+    open(partition, "wb").close()
+    with pytest.raises(PersistError):
+        BLASCollection.open(store).query("//name")
+
+
+def test_wrong_doc_partition_is_rejected_by_fingerprint(dataset_texts, tmp_path):
+    """A checksum-valid v2 file wired to the wrong manifest row must fail.
+
+    Copying another document's (intact) partition over this one defeats the
+    checksum — only the manifest fingerprint cross-check catches it.
+    """
+    store = str(tmp_path / "store")
+    both = BLASCollection()
+    both.add_xml(dataset_texts["protein"], name="protein")
+    both.add_xml(dataset_texts["protein"].replace("protein>", "enzyme>"),
+                 name="variant")
+    both.save(store)
+    first, second = _partition_files(store)
+    with open(second, "rb") as handle:
+        blob = handle.read()
+    # Rewrite doc 1's bytes so they claim doc 0's identity is impossible —
+    # instead copy doc 0's file body over doc 1's path: same doc_id check
+    # would fire; so instead swap contents wholesale and expect *either*
+    # the doc_id or fingerprint guard, both PersistError.
+    with open(first, "rb") as handle:
+        other = handle.read()
+    with open(second, "wb") as handle:
+        handle.write(other)
+    opened = BLASCollection.open(store)
+    with pytest.raises(PersistError):
+        opened.store.catalog_for(1)
+
+
+# -- laziness -----------------------------------------------------------------------
+
+
+def test_selective_scan_materializes_only_matched_records(dataset_texts, tmp_path):
+    """The columnar table bisects packed columns; untouched rows stay packed."""
+    store = str(tmp_path / "store")
+    fresh = BLASCollection()
+    fresh.add_xml(dataset_texts["shakespeare"], name="shakespeare")
+    fresh.save(store)
+    opened = BLASCollection.open(store)
+    result = opened.query("//PLAY/TITLE")
+    assert 0 < result.count < 100
+    catalog = opened.store.catalog_for(0)
+    columns = catalog.sp._columns
+    assert columns is not None
+    materialized = sum(1 for r in columns._record_cache if r is not None)
+    # Planning samples a few hundred records at most (statistics build from
+    # the packed columns, the fingerprint check from a bounded sample); the
+    # scan itself adds only the rows it returned.
+    assert materialized < columns.n
+
+
+# -- concurrency --------------------------------------------------------------------
+
+
+def test_concurrent_queries_on_a_lazily_opened_store(dataset_texts, tmp_path):
+    """Many threads forcing the same lazy partitions must not race.
+
+    Before the partition set took a lock, two threads materializing the
+    same partition both ran the loader and the loser crashed deleting the
+    already-deleted lazy entry.
+    """
+    import threading
+
+    store = str(tmp_path / "store")
+    build_collection(dataset_texts).save(store)
+    opened = BLASCollection.open(store)
+    baseline = build_collection(dataset_texts).query("//name").starts
+    errors = []
+    barrier = threading.Barrier(6)
+
+    def worker() -> None:
+        try:
+            barrier.wait()
+            for _ in range(3):
+                assert opened.query("//name").starts == baseline
+        except Exception as error:  # pragma: no cover - only on regression
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []

@@ -44,6 +44,7 @@ from typing import List, Optional
 from repro.bench import experiments
 from repro.bench.reporting import format_table
 from repro.collection import BLASCollection
+from repro.planner.planner import AUTO_ENGINES
 from repro.core.indexer import discover_vocabulary
 from repro.exceptions import ReproError
 from repro.storage.pages import DEFAULT_PAGE_BYTES, pages_for_bytes
@@ -80,7 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="print the planner's EXPLAIN (candidates, physical plan, estimated vs actual cost)",
     )
-    query.add_argument("--limit", type=int, default=20, help="maximum result rows to print")
+    query.add_argument(
+        "--limit", type=int, default=20,
+        help="materialize and print at most this many result rows "
+             "(the reported count still covers the full answer)",
+    )
+    query.add_argument(
+        "--count", action="store_true",
+        help="print only the result count; skips value materialization entirely",
+    )
 
     plan = subparsers.add_parser("plan", help="show every translator's plan for a query")
     plan.add_argument("file", help="path to the XML document")
@@ -133,7 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
     c_query.add_argument("--engine", choices=ENGINE_CHOICES, default="auto")
     c_query.add_argument("--serial", action="store_true", help="run the fan-out serially")
     c_query.add_argument("--workers", type=int, default=0, help="thread-pool width (0 = auto)")
-    c_query.add_argument("--limit", type=int, default=20, help="maximum result rows to print")
+    c_query.add_argument(
+        "--limit", type=int, default=20,
+        help="materialize and print at most this many result rows "
+             "(the reported count still covers the full answer)",
+    )
+    c_query.add_argument(
+        "--count", action="store_true",
+        help="print only the per-document counts; skips value materialization",
+    )
 
     c_explain = collection_sub.add_parser("explain", help="show the per-scheme-group plans for a query")
     c_explain.add_argument("directory", help="the collection directory")
@@ -173,7 +190,13 @@ def _run_query(args: argparse.Namespace) -> int:
         if args.show_sql:
             print(outcome.sql)
             print()
-    result = system.query(args.xpath, translator=args.translator, engine=args.engine)
+    result = system.query(
+        args.xpath,
+        translator=args.translator,
+        engine=args.engine,
+        limit=None if args.count else args.limit,
+        count_only=args.count,
+    )
     if args.explain:
         if result.planned is not None:
             print(result.planned.explain(actual=result))
@@ -181,7 +204,7 @@ def _run_query(args: argparse.Namespace) -> int:
             # Fully explicit pair: the planner was bypassed, so show the
             # faithful plan that actually ran, not an optimizer candidate.
             executed = system.translate(args.xpath, args.translator)
-            if args.engine in ("memory", "twig"):
+            if args.engine in AUTO_ENGINES:
                 from repro.planner.cost import CostModel
                 from repro.planner.physical import lower_plan
 
@@ -199,6 +222,8 @@ def _run_query(args: argparse.Namespace) -> int:
           f"engine={result.engine or args.engine}, "
           f"{result.elapsed_seconds * 1000:.2f} ms, "
           f"{result.stats.elements_read} elements read]")
+    if args.count:
+        return 0
     rows = [
         [record.tag, record.start, record.level, (record.data or "")[:60]]
         for record in result.records[: args.limit]
@@ -389,6 +414,8 @@ def _run_collection(args: argparse.Namespace) -> int:
             engine=args.engine,
             parallel=not args.serial,
             workers=args.workers,
+            limit=None if args.count else args.limit,
+            count_only=args.count,
         )
         names = {entry.doc_id: entry.name for entry in
                  (collection.entry(doc_id) for doc_id in collection.doc_ids())}
@@ -401,6 +428,8 @@ def _run_collection(args: argparse.Namespace) -> int:
             f"{names[doc_id]}={count}" for doc_id, count in result.counts_by_document().items()
         )
         print(f"per document: {per_doc}")
+        if args.count:
+            return 0
         rows = [
             [record.doc_id, names[record.doc_id], record.tag, record.start,
              (record.data or "")[:50]]

@@ -719,14 +719,16 @@ class BLASCollection:
         engine: str = "auto",
         parallel: bool = True,
         workers: int = 0,
+        limit: Optional[int] = None,
+        count_only: bool = False,
     ) -> CollectionResult:
         """Answer an XPath query over every document of the collection.
 
         Plans once per scheme group, fans the chosen physical plan out
         across the member documents (``parallel=True`` uses a thread pool of
-        ``workers``; 0 auto-sizes), and merges the per-document streams into
-        ``(doc_id, document order)``.  Parallel and serial execution return
-        byte-identical results.
+        ``workers``; 0 auto-sizes), and concatenates the per-document
+        batches into ``(doc_id, document order)``.  Parallel and serial
+        execution return byte-identical results.
 
         Parameters
         ----------
@@ -739,6 +741,13 @@ class BLASCollection:
             Fan out across a thread pool (``False`` forces serial).
         workers:
             Pool width; 0 uses the collection default / auto-sizing.
+        limit:
+            Materialize at most this many merged result records (pushed
+            down into every per-document execution).  ``count`` still
+            reports the full answer size.
+        count_only:
+            Skip record materialization entirely; the result carries
+            counts and counters but an empty ``records`` list.
 
         Returns
         -------
@@ -766,7 +775,11 @@ class BLASCollection:
         }
         entries = [self._documents[doc_id] for doc_id in self.doc_ids()]
         jobs = [
-            (lambda entry=entry: self._execute_on(entry, plans[entry.group_id]))
+            (
+                lambda entry=entry: self._execute_on(
+                    entry, plans[entry.group_id], limit=limit, count_only=count_only
+                )
+            )
             for entry in entries
         ]
         # SQLite connections are bound to their creating thread, so the
@@ -786,10 +799,11 @@ class BLASCollection:
             translator=self._uniform(plans, "translator"),
             engine=self._uniform(plans, "engine"),
             per_document=per_document,
-            records=merge_document_streams(per_document),
+            records=merge_document_streams(per_document, limit=limit),
             elapsed_seconds=elapsed,
             parallel=use_parallel,
             workers=workers if use_parallel else 1,
+            total_count=sum(dr.count for dr in per_document),
         )
         for document_result in per_document:
             result.stats.merge(document_result.result.stats)
@@ -801,12 +815,19 @@ class BLASCollection:
         return names.pop() if len(names) == 1 else "mixed"
 
     def _execute_on(
-        self, entry: CollectionDocument, planned: PlannedQuery
+        self,
+        entry: CollectionDocument,
+        planned: PlannedQuery,
+        limit: Optional[int] = None,
+        count_only: bool = False,
     ) -> QueryResult:
         if planned.engine == "sqlite":
             result = entry.rdbms.execute(planned.logical)
+            result.bound_records(limit, count_only)
         else:
-            result = PlanExecutor(entry.catalog).execute_physical(planned.physical)
+            result = PlanExecutor(entry.catalog).execute_physical(
+                planned.physical, limit=limit, count_only=count_only
+            )
         result.sql = planned.sql
         result.planned = planned
         return result

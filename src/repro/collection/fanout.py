@@ -5,17 +5,17 @@ per-document runs are independent (operators keep their state in a
 per-execution context, storage slices are read-only), so they parallelise
 across a :class:`~concurrent.futures.ThreadPoolExecutor` without any
 coordination.  Results come back in deterministic ``(doc_id, document
-order)`` regardless of worker count or completion order: the merge is a
-k-way stream merge over per-document streams that are each already sorted,
-so serial and parallel execution produce byte-identical output.
+order)`` regardless of worker count or completion order: each document
+contributes one already-ordered *batch*, and batches concatenate in doc_id
+order — so serial and parallel execution produce byte-identical output
+without any per-record merge work.
 """
 
 from __future__ import annotations
 
-import heapq
 import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.core.indexer import NodeRecord
 from repro.collection.result import DocumentResult
@@ -51,16 +51,25 @@ def run_jobs(
         return [future.result() for future in futures]
 
 
-def merge_document_streams(per_document: Sequence[DocumentResult]) -> List[NodeRecord]:
-    """K-way merge of per-document result streams into global order.
+def merge_document_streams(
+    per_document: Sequence[DocumentResult], limit: Optional[int] = None
+) -> List[NodeRecord]:
+    """Merge per-document result batches into collection-global order.
 
     Each document's records are already in document order (ascending
-    ``start``); keying the merge on ``(doc_id, start)`` yields the
-    collection-global order.  This is the other half of the determinism
+    ``start``) and every record of one document sorts before every record
+    of a higher doc_id, so the ``(doc_id, start)`` merge is a *batch
+    concatenation* in doc_id order — one list-extend per document instead
+    of a per-record heap merge.  This is the other half of the determinism
     guarantee: the merge depends only on the per-document outputs, not on
-    when they were produced.
+    when they were produced.  ``limit`` truncates the merged batch (the
+    per-document batches are themselves already bounded by the engines'
+    limit pushdown).
     """
-    streams = (
-        iter(document_result.result.records) for document_result in per_document
-    )
-    return list(heapq.merge(*streams, key=lambda record: (record.doc_id, record.start)))
+    ordered = sorted(per_document, key=lambda document_result: document_result.doc_id)
+    records: List[NodeRecord] = []
+    for document_result in ordered:
+        records.extend(document_result.result.records)
+        if limit is not None and len(records) >= limit:
+            return records[:limit]
+    return records

@@ -44,19 +44,48 @@ class CollectionResult:
     elapsed_seconds: float = 0.0
     parallel: bool = False
     workers: int = 1
+    #: Total result count when ``records`` was bounded (``limit=`` /
+    #: ``count_only=``); ``None`` means ``records`` is complete.
+    total_count: Optional[int] = None
 
     @property
     def count(self) -> int:
-        """Total result nodes across every document."""
+        """Total result nodes across every document.
+
+        Reports the full answer size even when ``limit=`` or
+        ``count_only=`` bounded how many records were materialized.
+        """
+        if self.total_count is not None:
+            return self.total_count
         return len(self.records)
 
     @property
     def starts(self) -> List[Tuple[int, int]]:
-        """Result identity pairs ``(doc_id, start)`` in merge order."""
-        return [(record.doc_id, record.start) for record in self.records]
+        """Result identity pairs ``(doc_id, start)`` in merge order.
+
+        Always covers the *full* answer — like ``QueryResult.starts``, it
+        is derived from the per-document result identities, which stay
+        complete even when ``limit=`` / ``count_only=`` bounded how many
+        records were materialized.
+        """
+        # Sorted by doc_id exactly like merge_document_streams orders the
+        # record batches, so starts and records always agree on merge order
+        # even for a hand-built result.
+        ordered = sorted(self.per_document, key=lambda dr: dr.doc_id)
+        return [
+            (document_result.doc_id, start)
+            for document_result in ordered
+            for start in document_result.result.starts
+        ]
 
     def values(self) -> List[Optional[str]]:
-        """Data values of the merged result nodes."""
+        """Data values of the *materialized* result nodes.
+
+        Under ``limit=`` this is the first ``limit`` values and under
+        ``count_only=`` it is empty — values exist only for records that
+        were built (use :attr:`starts` / :attr:`count` for full-answer
+        identity).
+        """
         return [record.data for record in self.records]
 
     def counts_by_document(self) -> Dict[int, int]:

@@ -18,10 +18,15 @@ reproduction is unchanged.  The cost-based planner hands
 from __future__ import annotations
 
 import time
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.engine.results import QueryResult
-from repro.planner.physical import ExecutionContext, PhysicalPlan, lower_plan
+from repro.planner.physical import (
+    ExecutionContext,
+    PhysicalPlan,
+    VectorDedup,
+    lower_plan,
+)
 from repro.storage.stats import AccessStatistics
 from repro.storage.table import StorageCatalog
 from repro.translate.plan import QueryPlan
@@ -33,19 +38,47 @@ class PlanExecutor:
     def __init__(self, catalog: StorageCatalog):
         self.catalog = catalog
 
-    def execute(self, plan: QueryPlan) -> QueryResult:
+    def execute(
+        self,
+        plan: QueryPlan,
+        limit: Optional[int] = None,
+        count_only: bool = False,
+    ) -> QueryResult:
         """Execute a logical plan (faithful, seed-identical lowering)."""
         physical = lower_plan(plan, mode="faithful", engine="memory")
-        return self.execute_physical(physical)
+        return self.execute_physical(physical, limit=limit, count_only=count_only)
 
-    def execute_physical(self, physical: PhysicalPlan) -> QueryResult:
-        """Drive a physical operator tree; results arrive in document order."""
+    def execute_physical(
+        self,
+        physical: PhysicalPlan,
+        limit: Optional[int] = None,
+        count_only: bool = False,
+    ) -> QueryResult:
+        """Drive a physical operator tree; results arrive in document order.
+
+        ``limit`` bounds how many result *records* are materialized (the
+        result's ``starts`` — and therefore ``count`` and every access
+        counter — always cover the full answer); ``count_only`` skips
+        record materialization entirely.  On a vector plan both short-cut
+        before any record object is built; on a row plan they truncate
+        after the pipeline ran.
+        """
         stats = AccessStatistics()
         ctx = ExecutionContext(catalog=self.catalog, stats=stats)
         started = time.perf_counter()
-        records = list(physical.execute_records(ctx))
+        root = physical.root
+        if isinstance(root, VectorDedup):
+            output = root.vector_output(ctx)
+            starts = output.starts
+            records = [] if count_only else output.materialize(limit)
+        else:
+            records = list(physical.execute_records(ctx))
+            starts = [record.start for record in records]
+            if count_only:
+                records = []
+            elif limit is not None and len(records) > limit:
+                records = records[:limit]
         elapsed = time.perf_counter() - started
-        starts = [record.start for record in records]
         stats.record_output(len(starts))
         return QueryResult(
             starts=starts,

@@ -41,6 +41,19 @@ class QueryResult:
         """Data values of the result nodes (when records are available)."""
         return [record.data for record in self.records]
 
+    def bound_records(self, limit: Optional[int], count_only: bool) -> None:
+        """Apply ``limit=`` / ``count_only=`` bounds to the record list.
+
+        Used by engines without their own materialization pushdown (the
+        SQLite backend): ``starts``/``count``/``stats`` keep covering the
+        full answer, only the materialized ``records`` are bounded —
+        matching the pushdown semantics of the instrumented engines.
+        """
+        if count_only:
+            self.records = []
+        elif limit is not None and len(self.records) > limit:
+            self.records = self.records[:limit]
+
     def summary(self) -> Dict[str, object]:
         """A flat summary row for benchmark reports."""
         return {

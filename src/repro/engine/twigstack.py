@@ -339,14 +339,21 @@ class TwigJoinEngine:
             )
         return TwigPattern(root=nodes[roots[0]], return_name=branch.return_alias)
 
-    def execute(self, plan: QueryPlan) -> QueryResult:
+    def execute(
+        self,
+        plan: QueryPlan,
+        limit: Optional[int] = None,
+        count_only: bool = False,
+    ) -> QueryResult:
         """Execute a plan holistically; returns result nodes in document order.
 
         Lowers the logical plan through the shared physical-operator layer
         (faithful mode, so every stream is scanned exactly as the seed engine
         did) and drives the resulting pipeline: each branch becomes a
         :class:`~repro.planner.physical.TwigJoin` operator — or a bare scan
-        for a selection-only branch — under Union and Dedup.
+        for a selection-only branch — under Union and Dedup.  ``limit`` /
+        ``count_only`` bound record materialization as in
+        :meth:`~repro.engine.executor.PlanExecutor.execute_physical`.
         """
         # Imported here, not at module level: the physical layer's TwigJoin
         # operator runs this module's TwigStack, so the modules reference
@@ -355,4 +362,6 @@ class TwigJoinEngine:
         from repro.planner.physical import lower_plan
 
         physical = lower_plan(plan, mode="faithful", engine="twig")
-        return PlanExecutor(self.catalog).execute_physical(physical)
+        return PlanExecutor(self.catalog).execute_physical(
+            physical, limit=limit, count_only=count_only
+        )

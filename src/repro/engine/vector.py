@@ -1,0 +1,431 @@
+"""Column-at-a-time kernels for the vectorized execution engine.
+
+The third engine (``engine="vector"``) executes plans over the packed
+columnar store (:mod:`repro.storage.columns`) without building a
+:class:`~repro.core.indexer.NodeRecord` or a per-row binding dict until the
+final projection.  This module holds the data representation and the two
+join kernels:
+
+* :class:`VectorRows` — an intermediate result batch: one slot vector per
+  bound alias, all indexing the same partition's packed columns.  The row
+  engines' ``Dict[str, NodeRecord]``-per-row becomes one integer array per
+  alias.
+* :func:`structural_join_slots` — the slot-vector mirror of
+  :func:`repro.engine.structural_join.structural_join`: the same
+  stack-based interval merge, walked over the packed ``start``/``end``/
+  ``level`` columns.  It performs — and therefore *counts* — exactly the
+  same comparisons as the record kernel, which is what keeps
+  ``QueryResult.stats`` byte-identical between the vector and row engines.
+* :class:`SlotTwigStack` — the slot-vector mirror of
+  :class:`repro.engine.twigstack.TwigStack`: the holistic twig join walked
+  over per-pattern-node slot streams, with path solutions held as
+  ``alias -> slot`` maps instead of record dicts.
+
+Every kernel assumes its inputs come from **one** partition (one document):
+the collection layer fans out per document, so a kernel never sees two
+``doc_id`` values and the document-identity checks of the record kernels
+reduce to nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.indexer import NodeRecord
+from repro.exceptions import PlanError
+from repro.storage.columns import ColumnarRecords
+from repro.storage.stats import AccessStatistics
+
+
+class VectorRows:
+    """A batch of alias bindings held as parallel slot vectors.
+
+    ``aliases`` maps each bound alias to a sequence of SP slots; position
+    ``i`` across all the vectors is one logical row.  ``columns`` may be
+    ``None`` only for an empty batch (a short-circuited branch has no
+    partition to point at).
+    """
+
+    __slots__ = ("columns", "aliases", "n")
+
+    def __init__(
+        self,
+        columns: Optional[ColumnarRecords],
+        aliases: Dict[str, Sequence[int]],
+    ):
+        self.columns = columns
+        self.aliases = aliases
+        self.n = len(next(iter(aliases.values()))) if aliases else 0
+
+    @classmethod
+    def empty(cls, columns: Optional[ColumnarRecords] = None) -> "VectorRows":
+        """A zero-row batch."""
+        return cls(columns, {})
+
+
+@dataclass
+class VectorOutput:
+    """The final output of a vector plan, before any record is built.
+
+    ``starts`` identify the results in document order (what
+    :class:`~repro.engine.results.QueryResult` reports); ``slots`` are the
+    matching SP slots; :meth:`materialize` builds records only for the
+    prefix a caller actually wants — the whole point of late
+    materialization, and what ``limit=`` / ``count_only=`` lean on.
+    """
+
+    starts: List[int]
+    slots: List[int]
+    columns: Optional[ColumnarRecords]
+
+    def materialize(self, limit: Optional[int] = None) -> List[NodeRecord]:
+        """Build the records of (the first ``limit``) results, in order."""
+        if self.columns is None:
+            return []
+        slots = self.slots if limit is None else self.slots[:limit]
+        record = self.columns.record
+        return [record(slot) for slot in slots]
+
+
+def structural_join_slots(
+    columns: ColumnarRecords,
+    ancestors: Sequence[int],
+    descendants: Sequence[int],
+    level_gap: Optional[int] = None,
+    min_level_gap: Optional[int] = None,
+    stats: Optional[AccessStatistics] = None,
+) -> List[Tuple[int, int]]:
+    """All (ancestor index, descendant index) pairs where containment holds.
+
+    The slot-vector mirror of
+    :func:`repro.engine.structural_join.structural_join`: indexes refer to
+    positions in the *input sequences* (which may repeat slots — a bound
+    alias appears once per intermediate row), the merge keeps a stack of
+    currently open ancestors, and the ``comparisons`` counter increments on
+    exactly the same candidate pairs as the record kernel, so the reported
+    statistics are identical.
+    """
+    if columns is None or not ancestors or not descendants:
+        # The record kernel still records a (zero-comparison) join execution
+        # when either input is empty; mirror that.
+        if stats is not None:
+            stats.record_join(comparisons=0, outputs=0)
+        return []
+    starts = columns.starts
+    ends = columns.ends
+    levels = columns.levels
+    a_start = [starts[slot] for slot in ancestors]
+    a_end = [ends[slot] for slot in ancestors]
+    d_start = [starts[slot] for slot in descendants]
+    d_end = [ends[slot] for slot in descendants]
+    anc_order = sorted(range(len(ancestors)), key=a_start.__getitem__)
+    desc_order = sorted(range(len(descendants)), key=d_start.__getitem__)
+    check_levels = level_gap is not None or min_level_gap is not None
+    a_level = [levels[slot] for slot in ancestors] if check_levels else []
+    d_level = [levels[slot] for slot in descendants] if check_levels else []
+    pairs: List[Tuple[int, int]] = []
+    comparisons = 0
+    stack: List[int] = []  # ancestor indexes whose intervals are currently open
+    a_pos = 0
+    total_ancestors = len(anc_order)
+    for d_index in desc_order:
+        next_start = d_start[d_index]
+        # Push every ancestor that starts before this descendant.
+        while a_pos < total_ancestors:
+            a_index = anc_order[a_pos]
+            if a_start[a_index] >= next_start:
+                break
+            # Drop closed ancestors before pushing (keeps the stack nested).
+            while stack and a_end[stack[-1]] < a_start[a_index]:
+                stack.pop()
+            stack.append(a_index)
+            a_pos += 1
+        # Drop ancestors that closed before this descendant starts.
+        while stack and a_end[stack[-1]] < next_start:
+            stack.pop()
+        # Every remaining stacked ancestor contains the descendant.
+        next_end = d_end[d_index]
+        for a_index in stack:
+            comparisons += 1
+            if a_end[a_index] <= next_end:
+                continue
+            if level_gap is not None:
+                if d_level[d_index] - a_level[a_index] != level_gap:
+                    continue
+            elif min_level_gap is not None:
+                if d_level[d_index] - a_level[a_index] < min_level_gap:
+                    continue
+            pairs.append((a_index, d_index))
+    if stats is not None:
+        stats.record_join(comparisons=comparisons, outputs=len(pairs))
+    return pairs
+
+
+def containment_keep(
+    columns: ColumnarRecords,
+    ancestors: Sequence[int],
+    descendants: Sequence[int],
+    level_gap: Optional[int] = None,
+    min_level_gap: Optional[int] = None,
+) -> List[int]:
+    """Row positions where the bound ancestor slot contains the bound
+    descendant slot (the vectorized containment-filter pass)."""
+    starts = columns.starts
+    ends = columns.ends
+    levels = columns.levels
+    keep: List[int] = []
+    for index, (a_slot, d_slot) in enumerate(zip(ancestors, descendants)):
+        if not (starts[a_slot] < starts[d_slot] and ends[a_slot] > ends[d_slot]):
+            continue
+        difference = levels[d_slot] - levels[a_slot]
+        if level_gap is not None:
+            if difference != level_gap:
+                continue
+        elif min_level_gap is not None and difference < min_level_gap:
+            continue
+        keep.append(index)
+    return keep
+
+
+# -- the holistic twig join over slot streams --------------------------------------
+
+
+class SlotStream:
+    """One twig-pattern node: a start-sorted slot stream plus runtime state.
+
+    The slot-vector mirror of
+    :class:`repro.engine.twigstack.TwigPatternNode`: the stream is a slot
+    vector with its ``start``/``end`` values gathered once, the stack holds
+    ``(stream position, parent stack top)`` pairs.
+    """
+
+    __slots__ = (
+        "name", "slots", "starts", "ends", "parent", "children",
+        "level_gap", "min_level_gap", "cursor", "stack",
+    )
+
+    def __init__(self, name: str, columns: Optional[ColumnarRecords], slots: Sequence[int]):
+        self.name = name
+        self.slots = list(slots)
+        if columns is not None:
+            start_column = columns.starts
+            end_column = columns.ends
+            self.starts = [start_column[slot] for slot in self.slots]
+            self.ends = [end_column[slot] for slot in self.slots]
+        else:
+            self.starts = []
+            self.ends = []
+        self.parent: Optional["SlotStream"] = None
+        self.children: List["SlotStream"] = []
+        self.level_gap: Optional[int] = None
+        self.min_level_gap: Optional[int] = None
+        self.cursor = 0
+        self.stack: List[Tuple[int, int]] = []
+
+    def add_child(self, child: "SlotStream") -> "SlotStream":
+        """Attach ``child`` below this node and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def exhausted(self) -> bool:
+        """True when the stream has been fully consumed."""
+        return self.cursor >= len(self.slots)
+
+    def advance(self) -> None:
+        """Move the stream cursor forward by one slot."""
+        self.cursor += 1
+
+    def is_leaf(self) -> bool:
+        """True when the pattern node has no children."""
+        return not self.children
+
+    def subtree(self) -> List["SlotStream"]:
+        """This node and all pattern descendants (pre-order)."""
+        nodes = [self]
+        for child in self.children:
+            nodes.extend(child.subtree())
+        return nodes
+
+
+def wire_slot_pattern(
+    streams: Dict[str, SlotStream], joins
+) -> SlotStream:
+    """Wire per-alias streams into a twig pattern; returns the root node.
+
+    Mirrors :meth:`repro.engine.twigstack.TwigJoinEngine.build_pattern`:
+    each join edge attaches the descendant stream below the ancestor stream
+    (carrying the edge's level constraint), and exactly one stream must
+    remain parentless.
+    """
+    children = set()
+    for join in joins:
+        parent = streams[join.ancestor]
+        child = streams[join.descendant]
+        child.level_gap = join.level_gap
+        child.min_level_gap = join.min_level_gap
+        parent.add_child(child)
+        children.add(join.descendant)
+    roots = [alias for alias in streams if alias not in children]
+    if len(roots) != 1:
+        raise PlanError(
+            f"a twig pattern needs exactly one root; found {sorted(roots)}"
+        )
+    return streams[roots[0]]
+
+
+class SlotTwigStack:
+    """The TwigStack algorithm over slot streams (the vectorized twig join).
+
+    A line-for-line port of :class:`repro.engine.twigstack.TwigStack` that
+    binds pattern names to SP *slots* instead of records: identical stream
+    consumption, identical path solutions, identical matches — without a
+    single record or per-solution record dict being built.
+    """
+
+    _INFINITY = float("inf")
+
+    def __init__(self, root: SlotStream, columns: ColumnarRecords):
+        self.root = root
+        self.columns = columns
+        self.leaves = [node for node in root.subtree() if node.is_leaf()]
+        # Path solutions per leaf: a list of {pattern name: slot} dicts.
+        self.path_solutions: Dict[str, List[Dict[str, int]]] = {
+            leaf.name: [] for leaf in self.leaves
+        }
+
+    # -- phase one: streaming ----------------------------------------------------
+
+    def _head_start(self, node: SlotStream) -> float:
+        return node.starts[node.cursor] if not node.exhausted() else self._INFINITY
+
+    def _end(self) -> bool:
+        return all(leaf.exhausted() for leaf in self.leaves)
+
+    def _get_next(self, node: SlotStream) -> SlotStream:
+        if node.is_leaf():
+            return node
+        live_children: List[SlotStream] = []
+        max_child_start = 0.0
+        for child in node.children:
+            result = self._get_next(child)
+            if result is not child and not result.exhausted():
+                return result
+            max_child_start = max(max_child_start, self._head_start(child))
+            if not child.exhausted():
+                live_children.append(child)
+        if not live_children:
+            return node.children[0]
+        n_min = min(live_children, key=self._head_start)
+        while not node.exhausted() and node.ends[node.cursor] < max_child_start:
+            node.advance()
+        if not node.exhausted() and node.starts[node.cursor] < self._head_start(n_min):
+            return node
+        return n_min
+
+    def _clean_stack(self, node: SlotStream, next_start: int) -> None:
+        while node.stack and node.ends[node.stack[-1][0]] < next_start:
+            node.stack.pop()
+
+    def _move_stream_to_stack(self, node: SlotStream) -> None:
+        parent_top = len(node.parent.stack) - 1 if node.parent is not None else -1
+        node.stack.append((node.cursor, parent_top))
+        node.advance()
+
+    def _record_path_solutions(self, leaf: SlotStream) -> None:
+        def expand(node: SlotStream, stack_index: int, partial: Dict[str, int]) -> None:
+            if stack_index < 0:
+                return
+            position, parent_pointer = node.stack[stack_index]
+            bound = dict(partial)
+            bound[node.name] = node.slots[position]
+            if node.parent is None:
+                if self._edges_satisfied(bound, leaf):
+                    self.path_solutions[leaf.name].append(bound)
+                return
+            for ancestor_index in range(parent_pointer, -1, -1):
+                expand(node.parent, ancestor_index, bound)
+
+        expand(leaf, len(leaf.stack) - 1, {})
+
+    def _edges_satisfied(self, bound: Dict[str, int], leaf: SlotStream) -> bool:
+        starts = self.columns.starts
+        ends = self.columns.ends
+        levels = self.columns.levels
+        node = leaf
+        while node.parent is not None:
+            child_slot = bound.get(node.name)
+            parent_slot = bound.get(node.parent.name)
+            if child_slot is None or parent_slot is None:
+                return False
+            if not (
+                starts[parent_slot] < starts[child_slot]
+                and ends[parent_slot] > ends[child_slot]
+            ):
+                return False
+            difference = levels[child_slot] - levels[parent_slot]
+            if node.level_gap is not None and difference != node.level_gap:
+                return False
+            if node.min_level_gap is not None and difference < node.min_level_gap:
+                return False
+            node = node.parent
+        return True
+
+    def run_phase_one(self) -> None:
+        """Stream every input once, producing path solutions per leaf."""
+        root = self.root
+        while not self._end():
+            node = self._get_next(root)
+            if node.exhausted():
+                break
+            if node.parent is not None:
+                self._clean_stack(node.parent, node.starts[node.cursor])
+            if node.parent is None or node.parent.stack:
+                self._clean_stack(node, node.starts[node.cursor])
+                self._move_stream_to_stack(node)
+                if node.is_leaf():
+                    self._record_path_solutions(node)
+                    node.stack.pop()
+            else:
+                node.advance()
+
+    # -- phase two: merging path solutions ---------------------------------------
+
+    def _iter_merged_solutions(self) -> Iterator[Dict[str, int]]:
+        leaves = self.leaves
+        if not leaves:
+            return
+        merged = self.path_solutions[leaves[0].name]
+        for leaf in leaves[1:-1]:
+            merged = list(self._iter_natural_join(merged, self.path_solutions[leaf.name]))
+            if not merged:
+                return
+        if len(leaves) == 1:
+            yield from merged
+        else:
+            yield from self._iter_natural_join(merged, self.path_solutions[leaves[-1].name])
+
+    def _iter_natural_join(self, left, right):
+        if not left or not right:
+            return
+        starts = self.columns.starts
+        shared = sorted(set(left[0]) & set(right[0]))
+        if not shared:
+            for left_row in left:
+                for right_row in right:
+                    yield dict(left_row, **right_row)
+            return
+        index: Dict[Tuple, List[Dict[str, int]]] = {}
+        for row in left:
+            key = tuple(starts[row[name]] for name in shared)
+            index.setdefault(key, []).append(row)
+        for row in right:
+            key = tuple(starts[row[name]] for name in shared)
+            for match in index.get(key, ()):  # pragma: no branch - simple loop
+                yield dict(match, **row)
+
+    def matches(self) -> List[Dict[str, int]]:
+        """Run both phases and return the full twig matches (name -> slot)."""
+        self.run_phase_one()
+        return list(self._iter_merged_solutions())

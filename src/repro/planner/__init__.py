@@ -41,9 +41,17 @@ from repro.planner.physical import (
     TagScan,
     TwigJoin,
     Union,
+    VectorContainmentFilter,
+    VectorDedup,
+    VectorProject,
+    VectorScan,
+    VectorStructuralJoin,
+    VectorTwigJoin,
+    VectorUnion,
     lower_branch,
     lower_plan,
     scan_for_selection,
+    vector_scan_for_selection,
 )
 from repro.planner.planner import (
     AUTO_ENGINES,
@@ -77,8 +85,16 @@ __all__ = [
     "TagScan",
     "TwigJoin",
     "Union",
+    "VectorContainmentFilter",
+    "VectorDedup",
+    "VectorProject",
+    "VectorScan",
+    "VectorStructuralJoin",
+    "VectorTwigJoin",
+    "VectorUnion",
     "lower_branch",
     "lower_plan",
     "plan_key",
     "scan_for_selection",
+    "vector_scan_for_selection",
 ]

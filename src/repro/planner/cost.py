@@ -37,9 +37,18 @@ from typing import Dict, List, Optional, Tuple
 from repro.storage.stats import CatalogStatistics
 from repro.translate.plan import ConjunctivePlan, JoinSpec, QueryPlan, SelectionKind, SelectionSpec
 
-#: Seed-compatible preference orders used as final tie-breakers.
+#: Seed-compatible preference orders used as final tie-breakers.  The
+#: vector engine ranks *after* the row engines so zero-cost ties (trivial
+#: or statically-empty plans) keep resolving to the seed's defaults.
 TRANSLATOR_PREFERENCE = ("pushup", "split", "unfold", "dlabel")
-ENGINE_PREFERENCE = ("memory", "twig", "sqlite")
+ENGINE_PREFERENCE = ("memory", "twig", "vector", "sqlite")
+
+#: CPU discount of column-at-a-time execution over tuple-at-a-time
+#: interpretation: a vector plan touches the same elements but spends
+#: per-batch kernel work instead of per-row Python object churn.  The
+#: factor prices the chosen row strategy's CPU down, so the vector engine
+#: wins exactly when there is real per-row work to save.
+VECTOR_BATCH_FACTOR = 0.25
 
 
 @dataclass(frozen=True)
@@ -228,7 +237,17 @@ class CostModel:
     # -- engines ----------------------------------------------------------------
 
     def branch_cost(self, shape: BranchPlan, engine: str) -> Cost:
-        """Cost of executing one branch shape on one engine."""
+        """Cost of executing one branch shape on one engine.
+
+        The vector engine is priced at *plan* level only (the mirrored row
+        strategy is one choice for the whole plan, so a per-branch price
+        could silently disagree with what the lowering executes); asking
+        for it here raises instead of answering inconsistently.
+        """
+        if engine == "vector":
+            raise ValueError(
+                "the vector engine is priced at plan level; use plan_cost"
+            )
         if shape.statically_empty:
             return ZERO_COST
         cpu = float(shape.scan_elements)
@@ -267,8 +286,36 @@ class CostModel:
         """Costed shapes (with chosen join orders) for every branch."""
         return [self.order_joins(branch) for branch in plan.branches]
 
+    def _row_strategy_costs(self, shapes: List[BranchPlan]) -> Tuple[str, Cost]:
+        """The cheaper row strategy for a whole plan and its cost.
+
+        Compares the plan's memory-pipeline cost against its twig cost;
+        ties resolve to ``"memory"`` (the seed's preference order).  The
+        comparison is deterministic, so the planner's pricing and the
+        lowering always agree on the strategy.
+        """
+        memory = self.plan_cost(shapes, "memory")
+        twig = self.plan_cost(shapes, "twig")
+        if twig.key() < memory.key():
+            return "twig", twig
+        return "memory", memory
+
+    def vector_strategy(self, shapes: List[BranchPlan]) -> str:
+        """The row-engine shape a vector plan should mirror."""
+        return self._row_strategy_costs(shapes)[0]
+
     def plan_cost(self, shapes: List[BranchPlan], engine: str) -> Cost:
-        """Total cost of a plan's branches on one engine."""
+        """Total cost of a plan's branches on one engine.
+
+        The vector engine is priced at plan level: the chosen row
+        strategy's cost with its CPU scaled by
+        :data:`VECTOR_BATCH_FACTOR` — elements are untouched, so the
+        planner's never-more-elements-than-the-seed guarantee carries over
+        unchanged.
+        """
+        if engine == "vector":
+            _, row = self._row_strategy_costs(shapes)
+            return Cost(row.elements, row.cpu * VECTOR_BATCH_FACTOR)
         total = ZERO_COST
         for shape in shapes:
             total = total + self.branch_cost(shape, engine)

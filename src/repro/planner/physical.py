@@ -24,19 +24,45 @@ Operator vocabulary: :class:`IndexScan` (plabel equality),
 :class:`RangeScan` (plabel range), :class:`TagScan` (tag cluster),
 :class:`EmptyScan`, :class:`StructuralJoin`, :class:`ContainmentFilter`,
 :class:`TwigJoin`, :class:`Project`, :class:`Union`, :class:`Dedup`.
+
+A third, *vectorized* vocabulary executes the same plan shapes
+column-at-a-time over the packed columnar store (``engine="vector"``):
+:class:`VectorScan` evaluates a selection to a slot selection vector
+(bisecting the packed plabel column, tag-dictionary ranges for tag
+clusters — no record is built), :class:`VectorStructuralJoin` /
+:class:`VectorContainmentFilter` run the merge kernels of
+:mod:`repro.engine.vector` over slot vectors, :class:`VectorTwigJoin` is
+the slot-stream holistic twig join, and :class:`VectorProject` /
+:class:`VectorUnion` / :class:`VectorDedup` carry slot vectors to the end,
+where records materialize only for the results actually returned.  The
+vector operators implement the same ``records()`` protocol and report
+byte-identical :class:`~repro.storage.stats.AccessStatistics` counters to
+their row twins, so faithful mode — and every instrumented paper
+measurement — is untouched.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.indexer import NodeRecord
 from repro.engine.structural_join import structural_join
+from repro.engine.vector import (
+    SlotStream,
+    SlotTwigStack,
+    VectorOutput,
+    VectorRows,
+    containment_keep,
+    structural_join_slots,
+    wire_slot_pattern,
+)
 from repro.exceptions import EngineError, PlanError
 from repro.planner.cost import BranchPlan, Cost, CostModel, ZERO_COST
+from repro.storage.columns import ColumnSlice
 from repro.storage.stats import AccessStatistics
-from repro.storage.table import StorageCatalog
+from repro.storage.table import ClusterKind, StorageCatalog
 from repro.translate.plan import (
     ConjunctivePlan,
     JoinSpec,
@@ -54,12 +80,14 @@ class ExecutionContext:
 
     ``buffers`` caches each scan's output for the duration of one execution
     (several joins may probe the same alias); it is keyed per run, never on
-    the operator, so a cached plan re-executes with fresh statistics.
+    the operator, so a cached plan re-executes with fresh statistics.  Row
+    scans buffer record lists, vector scans buffer
+    :class:`~repro.storage.columns.ColumnSlice` selection vectors.
     """
 
     catalog: StorageCatalog
     stats: AccessStatistics
-    buffers: Dict[int, List[NodeRecord]] = field(default_factory=dict)
+    buffers: Dict[int, object] = field(default_factory=dict)
 
 
 class PhysicalOperator:
@@ -441,7 +469,13 @@ class Union(RecordOperator):
 
 
 class Dedup(RecordOperator):
-    """Final blocking operator: unique records in document order."""
+    """Final blocking operator: unique records in document order.
+
+    Keys on the integer ``start`` (a record's D-label start is unique
+    within its document, and executions are per-document), keeping one
+    integer set plus a list of first occurrences — large unions no longer
+    hold a record mapping per distinct result.
+    """
 
     def __init__(self, source: RecordOperator):
         self.source = source
@@ -454,11 +488,456 @@ class Dedup(RecordOperator):
         return "Dedup(by start, document order)"
 
     def records(self, ctx: ExecutionContext) -> Iterator[NodeRecord]:
-        seen: Dict[int, NodeRecord] = {}
+        seen: set = set()
+        unique: List[NodeRecord] = []
         for record in self.source.records(ctx):
-            seen[record.start] = record
-        for start in sorted(seen):
-            yield seen[start]
+            start = record.start
+            if start not in seen:
+                seen.add(start)
+                unique.append(record)
+        unique.sort(key=lambda record: record.start)
+        yield from unique
+
+
+# -- the vectorized operator vocabulary -----------------------------------------
+
+
+def vector_select(selection: SelectionSpec, ctx: ExecutionContext) -> ColumnSlice:
+    """Evaluate one selection to a slot selection vector, counting reads.
+
+    The column-at-a-time twin of the :class:`NodeTable` access paths:
+    plabel probes bisect the packed SP plabel column, tag probes resolve
+    through the tag-dictionary SD ranges, and residual ``data``/``level``
+    predicates filter the selection vector afterwards.  The
+    :class:`~repro.storage.stats.AccessStatistics` calls are identical —
+    same element counts, same page math, same index-lookup count — to the
+    record scan over the same table, so a vector execution's counters
+    cannot drift from the row engines'.
+
+    MAINTENANCE INVARIANT: this function mirrors the accounting of
+    ``NodeTable.select_plabel_range`` / ``select_tag`` branch for branch.
+    Any change to the row scans' element/page/lookup accounting must be
+    mirrored here (and vice versa); the cross-engine property tests in
+    ``tests/test_vector_execution.py`` enforce the parity after the fact.
+    """
+    columns = ctx.catalog.columns()
+    if selection.kind is SelectionKind.EMPTY:
+        return ColumnSlice(columns, ())
+    table = ctx.catalog.table_for(selection.source)
+    if selection.kind in (SelectionKind.PLABEL_EQ, SelectionKind.PLABEL_RANGE):
+        low = selection.plabel_low
+        high = (
+            selection.plabel_high
+            if selection.kind is SelectionKind.PLABEL_RANGE
+            else low
+        )
+        first = bisect.bisect_left(columns.plabels, low)
+        last = bisect.bisect_right(columns.plabels, high) - 1
+        if table.cluster is ClusterKind.SP:
+            scanned = ColumnSlice.contiguous(columns, first, last)
+            pages = table.pages.pages_for_range(first, last)
+        else:
+            # The row engine probes the SD table's plabel B+ tree and pays
+            # one scattered page per match; same matches, same page count.
+            scanned = ColumnSlice(
+                columns, [slot for slot in columns.sd_order if first <= slot <= last]
+            )
+            pages = table.pages.pages_for_scattered(len(scanned))
+    elif selection.tag is None or selection.tag == "*":
+        if table.cluster is ClusterKind.SD:
+            scanned = ColumnSlice(columns, columns.sd_order)
+        else:
+            scanned = ColumnSlice(columns, range(columns.n))
+        pages = table.total_pages
+    elif table.cluster is ClusterKind.SD:
+        sd_range = columns.tag_sd_ranges().get(selection.tag)
+        if sd_range is None:
+            scanned = ColumnSlice(columns, ())
+            pages = 0
+        else:
+            first, last = sd_range
+            scanned = ColumnSlice(columns, columns.sd_order[first : last + 1])
+            pages = table.pages.pages_for_range(first, last)
+    else:
+        try:
+            tag_id = columns.tags.index(selection.tag)
+        except ValueError:
+            tag_id = -1
+        scanned = ColumnSlice(
+            columns,
+            [slot for slot, value in enumerate(columns.tag_ids) if value == tag_id],
+        )
+        pages = table.pages.pages_for_scattered(len(scanned))
+    ctx.stats.record_index_lookup()
+    ctx.stats.record_scan(selection.alias, len(scanned), pages)
+    return scanned.filtered(selection.data_eq, selection.level_eq)
+
+
+class VectorRowsOperator(PhysicalOperator):
+    """An operator producing slot-vector row batches (the vector pipeline)."""
+
+    def vrows(self, ctx: ExecutionContext) -> VectorRows:
+        """Produce the operator's output batch."""
+        raise NotImplementedError
+
+
+class VectorScan(VectorRowsOperator):
+    """Vectorized scan: one selection evaluated to a selection vector.
+
+    The vector is cached in the execution context's buffers exactly like a
+    row scan's record buffer, so a scan probed by several joins is counted
+    once per execution.  ``empty`` marks statically empty selections (the
+    :class:`EmptyScan` twin): they touch no storage and count nothing.
+    """
+
+    def __init__(
+        self,
+        selection: SelectionSpec,
+        est_elements: int = 0,
+        est_rows: float = 0.0,
+        empty: bool = False,
+    ):
+        self.selection = selection
+        self.est_elements = est_elements
+        self.est_rows = est_rows
+        self.empty = empty or selection.kind is SelectionKind.EMPTY
+
+    def vmaterialize(self, ctx: ExecutionContext) -> ColumnSlice:
+        """Run the access path once per execution and cache its vector."""
+        key = id(self)
+        cached = ctx.buffers.get(key)
+        if cached is None:
+            if self.empty:
+                # Like EmptyScan: no storage touched, not even column packing.
+                cached = ColumnSlice(None, ())
+            else:
+                cached = vector_select(self.selection, ctx)
+            ctx.buffers[key] = cached
+        return cached
+
+    def vrows(self, ctx: ExecutionContext) -> VectorRows:
+        scanned = self.vmaterialize(ctx)
+        return VectorRows(scanned.columns, {self.selection.alias: scanned.slots})
+
+    def label(self) -> str:
+        s = self.selection
+        if self.empty:
+            return f"VectorScan({s.alias}: empty)"
+        if s.kind is SelectionKind.PLABEL_EQ:
+            probe = f"plabel = {s.plabel_low}"
+        elif s.kind is SelectionKind.PLABEL_RANGE:
+            probe = f"plabel in [{s.plabel_low}, {s.plabel_high}]"
+        else:
+            probe = f"tag = {s.tag!r}"
+        return (
+            f"VectorScan({s.alias}: {s.source} {probe}) ~{self.est_elements} elems"
+        )
+
+
+def vector_scan_for_selection(
+    selection: SelectionSpec,
+    model: Optional[CostModel] = None,
+    prune_empty: bool = True,
+) -> VectorScan:
+    """Build the vector scan matching a selection's access path.
+
+    The vector twin of :func:`scan_for_selection`, with the same
+    static-emptiness pruning rule.
+    """
+    est_elements = model.selection_cardinality(selection) if model else 0
+    est_rows = model.selection_output(selection) if model else 0.0
+    if selection.kind is SelectionKind.EMPTY or (
+        prune_empty and model is not None and est_elements == 0
+    ):
+        return VectorScan(selection, 0, 0.0, empty=True)
+    return VectorScan(selection, est_elements, est_rows)
+
+
+class VectorStructuralJoin(VectorRowsOperator):
+    """Slot-vector D-join extending a batch pipeline by one alias.
+
+    Same binding discipline — and, through
+    :func:`repro.engine.vector.structural_join_slots`, the same comparison
+    counting — as :class:`StructuralJoin`, but intermediate rows are slot
+    vectors gathered per alias instead of per-row record dicts.
+    """
+
+    def __init__(
+        self,
+        source: VectorRowsOperator,
+        new_scan: VectorScan,
+        join: JoinSpec,
+        new_role: str,
+        est_rows: float = 0.0,
+    ):
+        if new_role not in ("ancestor", "descendant"):
+            raise PlanError(f"invalid join role {new_role!r}")
+        self.source = source
+        self.new_scan = new_scan
+        self.join = join
+        self.new_role = new_role
+        self.est_rows = est_rows
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.source, self.new_scan)
+
+    def label(self) -> str:
+        join = self.join
+        gap = ""
+        if join.level_gap is not None:
+            gap = f", gap = {join.level_gap}"
+        elif join.min_level_gap is not None and join.min_level_gap > 1:
+            gap = f", gap >= {join.min_level_gap}"
+        return (
+            f"VectorStructuralJoin({join.ancestor} contains {join.descendant}{gap}) "
+            f"~{self.est_rows:.0f} rows"
+        )
+
+    def vrows(self, ctx: ExecutionContext) -> VectorRows:
+        source_rows = self.source.vrows(ctx)
+        join = self.join
+        if source_rows.n == 0:
+            # The new side's scan is never executed (the pipelined saving).
+            aliases = {alias: () for alias in source_rows.aliases}
+            aliases.setdefault(
+                join.descendant if self.new_role == "descendant" else join.ancestor, ()
+            )
+            return VectorRows(source_rows.columns, aliases)
+        new_slice = self.new_scan.vmaterialize(ctx)
+        columns = new_slice.columns
+        new_slots = new_slice.slots
+        if self.new_role == "descendant":
+            bound = source_rows.aliases[join.ancestor]
+            pairs = structural_join_slots(
+                columns, bound, new_slots,
+                join.level_gap, join.min_level_gap, ctx.stats,
+            )
+            gather = [pair[0] for pair in pairs]
+            new_alias = join.descendant
+            new_column = [new_slots[pair[1]] for pair in pairs]
+        else:
+            bound = source_rows.aliases[join.descendant]
+            pairs = structural_join_slots(
+                columns, new_slots, bound,
+                join.level_gap, join.min_level_gap, ctx.stats,
+            )
+            gather = [pair[1] for pair in pairs]
+            new_alias = join.ancestor
+            new_column = [new_slots[pair[0]] for pair in pairs]
+        aliases: Dict[str, Sequence[int]] = {
+            alias: [vector[index] for index in gather]
+            for alias, vector in source_rows.aliases.items()
+        }
+        aliases[new_alias] = new_column
+        return VectorRows(columns, aliases)
+
+
+class VectorContainmentFilter(VectorRowsOperator):
+    """A D-join whose aliases are both bound: a vectorized filter pass."""
+
+    def __init__(self, source: VectorRowsOperator, join: JoinSpec, est_rows: float = 0.0):
+        self.source = source
+        self.join = join
+        self.est_rows = est_rows
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.source,)
+
+    def label(self) -> str:
+        join = self.join
+        return f"VectorContainmentFilter({join.ancestor} contains {join.descendant})"
+
+    def vrows(self, ctx: ExecutionContext) -> VectorRows:
+        source_rows = self.source.vrows(ctx)
+        if source_rows.n == 0:
+            return source_rows
+        join = self.join
+        keep = containment_keep(
+            source_rows.columns,
+            source_rows.aliases[join.ancestor],
+            source_rows.aliases[join.descendant],
+            join.level_gap,
+            join.min_level_gap,
+        )
+        aliases = {
+            alias: [vector[index] for index in keep]
+            for alias, vector in source_rows.aliases.items()
+        }
+        return VectorRows(source_rows.columns, aliases)
+
+
+class VectorTwigJoin(VectorRowsOperator):
+    """Holistic twig join over slot streams (the vectorized TwigStack).
+
+    Streams every alias once as a start-sorted selection vector — scan
+    counters identical to the twig engine's memoized record streams — and
+    runs :class:`~repro.engine.vector.SlotTwigStack` to produce matches as
+    ``alias -> slot`` batches.
+    """
+
+    def __init__(self, branch: ConjunctivePlan, est_rows: float = 0.0, est_elements: int = 0):
+        self.branch = branch
+        self.est_rows = est_rows
+        self.est_elements = est_elements
+
+    def label(self) -> str:
+        aliases = ", ".join(s.alias for s in self.branch.selections)
+        return f"VectorTwigJoin({aliases}) ~{self.est_elements} elems"
+
+    def vrows(self, ctx: ExecutionContext) -> VectorRows:
+        branch = self.branch
+        columns = ctx.catalog.columns()
+        streams: Dict[str, SlotStream] = {}
+        for alias, spec in branch.alias_map.items():
+            if spec.kind is SelectionKind.EMPTY:
+                streams[alias] = SlotStream(alias, None, ())
+            else:
+                vector = vector_select(spec, ctx).sorted_by_start()
+                streams[alias] = SlotStream(alias, columns, vector.slots)
+        root = wire_slot_pattern(streams, branch.joins)
+        if any(not node.slots for node in root.subtree()):
+            return VectorRows(columns, {alias: () for alias in streams})
+        matches = SlotTwigStack(root, columns).matches()
+        aliases: Dict[str, Sequence[int]] = {
+            alias: [match[alias] for match in matches] for alias in streams
+        }
+        return VectorRows(columns, aliases)
+
+
+class VectorBranchPipeline(VectorRowsOperator):
+    """One conjunctive branch of the vector engine.
+
+    Mirrors :class:`BranchPipeline`: the eager prefetch evaluates (and
+    counts) the branch's selection vectors in declaration order with the
+    seed's first-empty short-circuit; optimized plans pass no prefetch.
+    """
+
+    def __init__(
+        self,
+        root: VectorRowsOperator,
+        return_alias: str,
+        prefetch: Sequence[VectorScan] = (),
+        est_rows: float = 0.0,
+    ):
+        self.root = root
+        self.return_alias = return_alias
+        self.prefetch = list(prefetch)
+        self.est_rows = est_rows
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.root,)
+
+    def label(self) -> str:
+        mode = "eager" if self.prefetch else "pipelined"
+        return f"VectorBranch(return {self.return_alias}, {mode})"
+
+    def vrows(self, ctx: ExecutionContext) -> VectorRows:
+        for scan in self.prefetch:
+            if not len(scan.vmaterialize(ctx)):
+                return VectorRows.empty()
+        return self.root.vrows(ctx)
+
+
+class VectorProject(RecordOperator):
+    """Projects a batch pipeline onto one alias's slot vector.
+
+    Still a :class:`RecordOperator` — ``records()`` materializes — but the
+    vector executor path consumes :meth:`vslots` and defers record building
+    to the plan's very end.
+    """
+
+    def __init__(self, source: VectorRowsOperator, alias: str):
+        self.source = source
+        self.alias = alias
+        self.est_rows = source.est_rows
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.source,)
+
+    def label(self) -> str:
+        return f"VectorProject({self.alias})"
+
+    def vslots(self, ctx: ExecutionContext) -> Tuple[Optional[object], Sequence[int]]:
+        """The return alias's slot vector (with its backing columns)."""
+        rows = self.source.vrows(ctx)
+        if rows.n == 0:
+            return rows.columns, ()
+        slots = rows.aliases.get(self.alias)
+        if slots is None:
+            raise EngineError(f"row is missing the return binding {self.alias!r}")
+        return rows.columns, slots
+
+    def records(self, ctx: ExecutionContext) -> Iterator[NodeRecord]:
+        columns, slots = self.vslots(ctx)
+        for slot in slots:
+            yield columns.record(slot)
+
+
+class VectorUnion(RecordOperator):
+    """Concatenates the slot-vector outputs of several vector branches."""
+
+    def __init__(self, sources: Sequence[VectorProject]):
+        self.sources = list(sources)
+        self.est_rows = sum(source.est_rows for source in self.sources)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return tuple(self.sources)
+
+    def label(self) -> str:
+        return f"VectorUnion({len(self.sources)} branches)"
+
+    def vslots(self, ctx: ExecutionContext) -> Tuple[Optional[object], Sequence[int]]:
+        """Concatenated slot vectors (with the shared backing columns)."""
+        columns = None
+        slots: List[int] = []
+        for source in self.sources:
+            branch_columns, branch_slots = source.vslots(ctx)
+            if branch_columns is not None:
+                columns = branch_columns
+            slots.extend(branch_slots)
+        return columns, slots
+
+    def records(self, ctx: ExecutionContext) -> Iterator[NodeRecord]:
+        columns, slots = self.vslots(ctx)
+        for slot in slots:
+            yield columns.record(slot)
+
+
+class VectorDedup(RecordOperator):
+    """Final vector operator: unique result slots in document order.
+
+    Deduplicates and sorts on integers (slots map 1:1 to D-label starts
+    within a partition) and exposes :meth:`vector_output`, through which
+    the executor materializes only the records a caller asked for.
+    """
+
+    def __init__(self, source: RecordOperator):
+        self.source = source
+        self.est_rows = source.est_rows
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.source,)
+
+    def label(self) -> str:
+        return "VectorDedup(by start, document order)"
+
+    def vector_output(self, ctx: ExecutionContext) -> VectorOutput:
+        """The deduplicated, document-ordered result as a slot vector."""
+        columns, slots = self.source.vslots(ctx)
+        if columns is None or not slots:
+            return VectorOutput([], [], columns)
+        seen: set = set()
+        unique: List[int] = []
+        for slot in slots:
+            if slot not in seen:
+                seen.add(slot)
+                unique.append(slot)
+        starts = columns.starts
+        unique.sort(key=starts.__getitem__)
+        return VectorOutput([starts[slot] for slot in unique], unique, columns)
+
+    def records(self, ctx: ExecutionContext) -> Iterator[NodeRecord]:
+        yield from self.vector_output(ctx).materialize()
 
 
 # -- lowering -------------------------------------------------------------------
@@ -466,7 +945,14 @@ class Dedup(RecordOperator):
 
 @dataclass
 class PhysicalPlan:
-    """An executable operator tree plus its provenance and estimates."""
+    """An executable operator tree plus its provenance and estimates.
+
+    ``vector_strategy`` is set only for ``engine="vector"`` plans and names
+    the row-engine shape the vector plan mirrors (``"memory"`` for the
+    structural-join pipeline, ``"twig"`` for the holistic twig join) —
+    which is also the engine whose access counters the vector execution
+    reproduces byte-for-byte.
+    """
 
     root: RecordOperator
     logical: QueryPlan
@@ -474,6 +960,7 @@ class PhysicalPlan:
     engine: str
     mode: str
     estimated: Cost = ZERO_COST
+    vector_strategy: Optional[str] = None
 
     def execute_records(self, ctx: ExecutionContext) -> Iterator[NodeRecord]:
         """Drive the root operator (records arrive deduplicated, in order)."""
@@ -493,7 +980,9 @@ def _lower_join_pipeline(
     join_order: Sequence[JoinSpec],
     scans: Dict[str, ScanOperator],
     output_estimates: Optional[Dict[str, float]] = None,
-) -> RowOperator:
+    join_cls=StructuralJoin,
+    filter_cls=ContainmentFilter,
+):
     """Build the left-deep join pipeline of one branch.
 
     Mirrors the seed executor's binding discipline exactly: the first join
@@ -501,7 +990,9 @@ def _lower_join_pipeline(
     new alias's scan or degenerates to a containment filter, and a join
     touching no bound alias is the seed's "disconnected" error (raised at
     execution time by :meth:`ConjunctivePlan.join_order` in faithful mode,
-    or here when an optimizer order is malformed).
+    or here when an optimizer order is malformed).  ``join_cls`` /
+    ``filter_cls`` select the vocabulary: the row operators (the default)
+    or their vector twins — the pipeline *shape* is identical either way.
     """
     estimates = output_estimates or {}
 
@@ -510,26 +1001,26 @@ def _lower_join_pipeline(
 
     if not join_order:
         return scans[branch.return_alias]
-    current: Optional[RowOperator] = None
+    current = None
     bound: set = set()
     current_rows = 0.0
     for join in join_order:
         if current is None:
             left = scans[join.ancestor]
             current_rows = min(est(join.ancestor), est(join.descendant))
-            current = StructuralJoin(
+            current = join_cls(
                 left, scans[join.descendant], join, "descendant", current_rows
             )
         elif join.ancestor in bound and join.descendant in bound:
-            current = ContainmentFilter(current, join, current_rows)
+            current = filter_cls(current, join, current_rows)
         elif join.ancestor in bound:
             current_rows = min(current_rows, est(join.descendant))
-            current = StructuralJoin(
+            current = join_cls(
                 current, scans[join.descendant], join, "descendant", current_rows
             )
         elif join.descendant in bound:
             current_rows = min(current_rows, est(join.ancestor))
-            current = StructuralJoin(
+            current = join_cls(
                 current, scans[join.ancestor], join, "ancestor", current_rows
             )
         else:
@@ -545,11 +1036,15 @@ def lower_branch(
     engine: str = "memory",
     model: Optional[CostModel] = None,
     shape: Optional[BranchPlan] = None,
-) -> Optional[BranchPipeline]:
+    vector_strategy: str = "memory",
+) -> Optional[PhysicalOperator]:
     """Lower one conjunctive branch to a pipeline, or ``None`` when empty.
 
     Faithful mode reproduces the seed engines exactly; optimized mode uses
     the cost model's join order, lazy scans, and static-emptiness pruning.
+    ``engine="vector"`` lowers the same shape onto the vector vocabulary;
+    ``vector_strategy`` names the row-engine shape it mirrors (``"memory"``
+    or ``"twig"``).
     """
     if branch.is_empty:
         return None
@@ -558,16 +1053,20 @@ def lower_branch(
     estimates = shape.output_estimates if shape is not None else None
     est_rows = shape.result_estimate if shape is not None else 0.0
 
+    vector = engine == "vector"
     prune_empty = mode == "optimized"
-    if engine == "twig":
+    scan_factory = vector_scan_for_selection if vector else scan_for_selection
+    pipeline_cls = VectorBranchPipeline if vector else BranchPipeline
+    if engine == "twig" or (vector and vector_strategy == "twig"):
         est_elements = shape.scan_elements if shape is not None else 0
         if len(branch.selections) == 1 and not branch.joins:
-            scan = scan_for_selection(branch.selections[0], model, prune_empty)
-            return BranchPipeline(scan, branch.return_alias, (), scan.est_rows)
-        twig = TwigJoin(branch, est_rows, est_elements)
-        return BranchPipeline(twig, branch.return_alias, (), est_rows)
+            scan = scan_factory(branch.selections[0], model, prune_empty)
+            return pipeline_cls(scan, branch.return_alias, (), scan.est_rows)
+        twig_cls = VectorTwigJoin if vector else TwigJoin
+        twig = twig_cls(branch, est_rows, est_elements)
+        return pipeline_cls(twig, branch.return_alias, (), est_rows)
 
-    scans = {s.alias: scan_for_selection(s, model, prune_empty) for s in branch.selections}
+    scans = {s.alias: scan_factory(s, model, prune_empty) for s in branch.selections}
     if mode == "faithful":
         join_order = branch.join_order()
         prefetch = [scans[s.alias] for s in branch.selections]
@@ -584,8 +1083,12 @@ def lower_branch(
             for s in branch.selections
             if s.alias not in join_aliases and s.alias != branch.return_alias
         ]
-    root = _lower_join_pipeline(branch, join_order, scans, estimates)
-    return BranchPipeline(root, branch.return_alias, prefetch, est_rows)
+    root = _lower_join_pipeline(
+        branch, join_order, scans, estimates,
+        join_cls=VectorStructuralJoin if vector else StructuralJoin,
+        filter_cls=VectorContainmentFilter if vector else ContainmentFilter,
+    )
+    return pipeline_cls(root, branch.return_alias, prefetch, est_rows)
 
 
 def lower_plan(
@@ -595,30 +1098,65 @@ def lower_plan(
     model: Optional[CostModel] = None,
     shapes: Optional[Sequence[BranchPlan]] = None,
 ) -> PhysicalPlan:
-    """Lower a whole logical plan to an executable physical plan."""
+    """Lower a whole logical plan to an executable physical plan.
+
+    For ``engine="vector"`` the plan is lowered onto the vector operator
+    vocabulary: in optimized mode the cost model chooses which row-engine
+    shape to mirror (structural-join pipeline or holistic twig join —
+    whichever it prices cheaper for this plan); faithful mode always
+    mirrors the memory engine, so an explicit
+    ``translator=..., engine="vector"`` call is counter-identical to the
+    seed's ``engine="memory"`` execution.
+    """
     shape_by_branch = {}
     if shapes is not None:
         shape_by_branch = {id(shape.branch): shape for shape in shapes}
-    projections: List[RecordOperator] = []
-    for branch in plan.branches:
+
+    def shape_for(branch: ConjunctivePlan) -> Optional[BranchPlan]:
         shape = shape_by_branch.get(id(branch))
         if mode == "optimized" and shape is None and model is not None:
             shape = model.order_joins(branch)
-        pipeline = lower_branch(branch, mode, engine, model, shape)
-        if pipeline is None:
-            continue
-        projections.append(Project(pipeline, pipeline.return_alias))
-    if len(projections) == 1:
-        root: RecordOperator = Dedup(projections[0])
-    else:
-        root = Dedup(Union(projections))
-    estimated = ZERO_COST
+            shape_by_branch[id(branch)] = shape
+        return shape
+
+    vector = engine == "vector"
+    vector_strategy: Optional[str] = None
+    branch_shapes: Optional[List[BranchPlan]] = None
     if model is not None:
         branch_shapes = (
             list(shapes)
             if shapes is not None
-            else [model.order_joins(branch) for branch in plan.branches]
+            else [
+                shape_for(branch) or model.order_joins(branch)
+                for branch in plan.branches
+            ]
         )
+    if vector:
+        vector_strategy = "memory"
+        if mode == "optimized" and model is not None and branch_shapes is not None:
+            vector_strategy = model.vector_strategy(branch_shapes)
+
+    projections: List[RecordOperator] = []
+    for branch in plan.branches:
+        pipeline = lower_branch(
+            branch, mode, engine, model, shape_for(branch),
+            vector_strategy=vector_strategy or "memory",
+        )
+        if pipeline is None:
+            continue
+        project_cls = VectorProject if vector else Project
+        projections.append(project_cls(pipeline, pipeline.return_alias))
+    if vector:
+        if len(projections) == 1:
+            root: RecordOperator = VectorDedup(projections[0])
+        else:
+            root = VectorDedup(VectorUnion(projections))
+    elif len(projections) == 1:
+        root = Dedup(projections[0])
+    else:
+        root = Dedup(Union(projections))
+    estimated = ZERO_COST
+    if model is not None and branch_shapes is not None:
         estimated = model.plan_cost(branch_shapes, engine)
     return PhysicalPlan(
         root=root,
@@ -627,4 +1165,5 @@ def lower_plan(
         engine=engine,
         mode=mode,
         estimated=estimated,
+        vector_strategy=vector_strategy,
     )

@@ -42,7 +42,7 @@ from repro.translate.sql import plan_to_sql
 
 #: Engines the planner may pick on its own.  SQLite stays opt-in: choosing it
 #: silently would build a whole relational store behind the caller's back.
-AUTO_ENGINES = ("memory", "twig")
+AUTO_ENGINES = ("memory", "twig", "vector")
 
 
 @dataclass
@@ -195,7 +195,7 @@ class QueryPlanner:
         winner = min(candidates, key=PlanCandidate.rank_key)
         winner.chosen = True
         physical: Optional[PhysicalPlan] = None
-        if winner.engine in ("memory", "twig"):
+        if winner.engine in AUTO_ENGINES:
             physical = lower_plan(
                 winner.logical,
                 mode="optimized",

@@ -131,7 +131,7 @@ class ColumnarRecords:
     __slots__ = (
         "doc_id", "n", "tags", "plabels", "starts", "ends", "levels",
         "tag_ids", "data_nulls", "data_ends", "data_blob", "sd_order",
-        "_record_cache", "_all_records", "_doc_order",
+        "_record_cache", "_all_records", "_doc_order", "_tag_sd_ranges",
     )
 
     def __init__(
@@ -163,6 +163,7 @@ class ColumnarRecords:
         self._record_cache: List[Optional[NodeRecord]] = [None] * self.n
         self._all_records: Optional[List[NodeRecord]] = None
         self._doc_order: Optional[List[int]] = None
+        self._tag_sd_ranges: Optional[Dict[str, Tuple[int, int]]] = None
         self._validate()
 
     def _validate(self) -> None:
@@ -234,7 +235,15 @@ class ColumnarRecords:
     # -- row access --------------------------------------------------------------
 
     def data(self, slot: int) -> Optional[str]:
-        """The data value at SP slot ``slot`` (``None`` for value-less nodes)."""
+        """The data value at SP slot ``slot`` (``None`` for value-less nodes).
+
+        Served from the record cache when the slot is already materialized
+        (an adopted in-memory partition, or a previously-touched row), so
+        residual value predicates never re-decode a string that exists.
+        """
+        record = self._record_cache[slot]
+        if record is not None:
+            return record.data
         if self.data_nulls[slot >> 3] & (1 << (slot & 7)):
             return None
         begin = self.data_ends[slot - 1] if slot else 0
@@ -282,6 +291,136 @@ class ColumnarRecords:
     def sp_view(self) -> SPRecordView:
         """A lazily-materializing SP-order sequence view (for fingerprints)."""
         return SPRecordView(self)
+
+    def adopt_records(self, ordered: Sequence[NodeRecord]) -> None:
+        """Seed the record cache with pre-built SP-ordered records.
+
+        Used when columns are packed *from* an in-memory table: late
+        materialization then hands back the very record objects the row
+        engines already hold, so packing never duplicates a partition's
+        records.  ``ordered`` must be the same records in SP order.
+        """
+        if len(ordered) != self.n:
+            raise PersistError(
+                f"cannot adopt {len(ordered)} records into a partition of {self.n}"
+            )
+        self._record_cache = list(ordered)
+        self._all_records = self._record_cache
+
+    def tag_sd_ranges(self) -> Dict[str, Tuple[int, int]]:
+        """First/last SD position per tag (the tag-dictionary cluster ranges).
+
+        SD positions index :attr:`sd_order` (the ``(tag, start)`` clustering
+        of the D-labeling relation); because the tag dictionary is sorted,
+        each tag occupies one contiguous SD range.  Built lazily once and
+        cached — the columns are immutable.
+        """
+        if self._tag_sd_ranges is None:
+            ranges: Dict[str, Tuple[int, int]] = {}
+            tags = self.tags
+            tag_ids = self.tag_ids
+            for position, sp_slot in enumerate(self.sd_order):
+                tag = tags[tag_ids[sp_slot]]
+                if tag not in ranges:
+                    ranges[tag] = (position, position)
+                else:
+                    ranges[tag] = (ranges[tag][0], position)
+            self._tag_sd_ranges = ranges
+        return self._tag_sd_ranges
+
+
+class ColumnSlice(SequenceABC):
+    """A selection vector over one partition's packed columns.
+
+    This is the unit of data the vectorized execution engine passes between
+    operators: a sequence of SP slots (``range`` for a contiguous clustered
+    scan — zero-copy — or an explicit slot list after filtering) over one
+    :class:`ColumnarRecords`, and :meth:`materialize` builds (cached)
+    :class:`~repro.core.indexer.NodeRecord` objects only when a caller
+    actually needs rows — the engine's late-materialization point.  The
+    per-column gather accessors serve external consumers of the view (the
+    kernels themselves index the packed columns directly by slot).
+    """
+
+    __slots__ = ("columns", "slots")
+
+    def __init__(self, columns: Optional[ColumnarRecords], slots: Sequence[int]):
+        # ``columns`` may be None only for the statically-empty vector (a
+        # pruned scan), which never gathers or materializes anything.
+        self.columns = columns
+        self.slots = slots
+
+    @classmethod
+    def contiguous(cls, columns: ColumnarRecords, first: int, last: int) -> "ColumnSlice":
+        """The zero-copy slice of the inclusive SP slot range ``[first, last]``."""
+        if last < first:
+            return cls(columns, range(0))
+        return cls(columns, range(first, last + 1))
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __getitem__(self, item: Union[int, slice]):
+        if isinstance(item, slice):
+            return ColumnSlice(self.columns, self.slots[item])
+        return self.slots[item]
+
+    def starts(self) -> List[int]:
+        """The D-label ``start`` of every selected slot, in slice order."""
+        column = self.columns.starts
+        return [column[slot] for slot in self.slots]
+
+    def ends(self) -> List[int]:
+        """The D-label ``end`` of every selected slot, in slice order."""
+        column = self.columns.ends
+        return [column[slot] for slot in self.slots]
+
+    def levels(self) -> List[int]:
+        """The tree level of every selected slot, in slice order."""
+        column = self.columns.levels
+        return [column[slot] for slot in self.slots]
+
+    def plabels(self) -> List[int]:
+        """The P-label of every selected slot, in slice order."""
+        column = self.columns.plabels
+        return [column[slot] for slot in self.slots]
+
+    def tag_names(self) -> List[str]:
+        """The tag of every selected slot (through the dictionary)."""
+        tags = self.columns.tags
+        tag_ids = self.columns.tag_ids
+        return [tags[tag_ids[slot]] for slot in self.slots]
+
+    def data_values(self) -> List[Optional[str]]:
+        """The data value of every selected slot, decoded from the blob."""
+        return [self.columns.data(slot) for slot in self.slots]
+
+    def filtered(
+        self, data_eq: Optional[str] = None, level_eq: Optional[int] = None
+    ) -> "ColumnSlice":
+        """The sub-slice satisfying the residual predicates (self if none)."""
+        if data_eq is None and level_eq is None:
+            return self
+        columns = self.columns
+        slots: Sequence[int] = self.slots
+        if data_eq is not None:
+            slots = [slot for slot in slots if columns.data(slot) == data_eq]
+        if level_eq is not None:
+            levels = columns.levels
+            slots = [slot for slot in slots if levels[slot] == level_eq]
+        return ColumnSlice(columns, slots)
+
+    def sorted_by_start(self) -> "ColumnSlice":
+        """The same slots reordered by document position (ascending start)."""
+        return ColumnSlice(
+            self.columns, sorted(self.slots, key=self.columns.starts.__getitem__)
+        )
+
+    def materialize(self, limit: Optional[int] = None) -> List[NodeRecord]:
+        """Build the records of (the first ``limit``) selected slots."""
+        slots = self.slots if limit is None else self.slots[:limit]
+        record = self.columns.record
+        return [record(slot) for slot in slots]
 
 
 @dataclass

@@ -19,6 +19,8 @@ partition replaces its tables wholesale).
 Every read path reports the number of records (and simulated pages) it
 touched into an :class:`~repro.storage.stats.AccessStatistics`, which is how
 the benchmark harness regenerates the paper's "visited elements" panels.
+(The vectorized engine mirrors this accounting branch-for-branch in
+``repro.planner.physical.vector_select`` — keep the two in sync.)
 Laziness and memoization are invisible to those counters: a memoized stream
 replays exactly the scan counts its first construction recorded.
 """
@@ -181,14 +183,7 @@ class NodeTable:
         if self._tag_slots_cache is None:
             ranges: Dict[str, Tuple[int, int]] = {}
             if self._records_cache is None:
-                tags = self._columns.tags
-                tag_ids = self._columns.tag_ids
-                for slot, sp_slot in enumerate(self._columns.sd_order):
-                    tag = tags[tag_ids[sp_slot]]
-                    if tag not in ranges:
-                        ranges[tag] = (slot, slot)
-                    else:
-                        ranges[tag] = (ranges[tag][0], slot)
+                ranges = self._columns.tag_sd_ranges()
             else:
                 for slot, record in enumerate(self.records):
                     if record.tag not in ranges:
@@ -442,6 +437,7 @@ class StorageCatalog:
             raise StorageError("cannot build storage over an empty document index")
         self._indexed: Optional[IndexedDocument] = indexed
         self._partition: Optional[ColumnarPartition] = None
+        self._columns_lock = threading.Lock()
         self.scheme = indexed.scheme
         self.schema = indexed.schema
         self._name = str(getattr(indexed, "name", "") or "")
@@ -468,6 +464,7 @@ class StorageCatalog:
         catalog = cls.__new__(cls)
         catalog._indexed = None
         catalog._partition = partition
+        catalog._columns_lock = threading.Lock()
         catalog.scheme = partition.scheme
         catalog.schema = partition.schema
         catalog._name = str(partition.name or "")
@@ -482,6 +479,31 @@ class StorageCatalog:
             btree_order=btree_order, columns=partition.columns,
         )
         return catalog
+
+    def columns(self) -> ColumnarRecords:
+        """The catalog's packed columnar view (the vector engine's input).
+
+        A column-backed catalog returns its partition columns directly; a
+        record-backed catalog packs its SP records into columns on first
+        demand and caches the result, seeding the record cache with the
+        existing record objects so late materialization hands back the very
+        objects the row engines already share.  Packing is O(records), so —
+        unlike the cheap lazy memos — it is lock-guarded: concurrent
+        fan-out queries pack a shared document once, not once per thread.
+        """
+        if self._partition is not None:
+            return self._partition.columns
+        with self._columns_lock:
+            cached = getattr(self, "_columns_cache", None)
+            if cached is None:
+                records = self.sp.records
+                cached = ColumnarRecords.from_records(records, records[0].doc_id)
+                # from_records sorts by the SP key the sp table is already
+                # clustered on, and SP keys are unique per record, so the
+                # packed slot order is exactly the sp table's slot order.
+                cached.adopt_records(records)
+                self._columns_cache = cached
+            return cached
 
     @property
     def indexed(self) -> IndexedDocument:

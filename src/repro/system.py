@@ -20,9 +20,12 @@ information) and ``"unfold"`` (needs a schema graph).
 
 Engines: ``"auto"`` (default; cost-based choice between the instrumented
 engines), ``"memory"`` (instrumented storage + structural joins; reports
-elements read), ``"twig"`` (holistic twig join over the same storage) and
-``"sqlite"`` (the RDBMS engine; explicit only — the planner never builds a
-relational store behind the caller's back).
+elements read), ``"twig"`` (holistic twig join over the same storage),
+``"vector"`` (column-at-a-time execution over the packed columnar store —
+byte-identical answers and counters to the row engine it mirrors, with
+records materialized only for the final output) and ``"sqlite"`` (the
+RDBMS engine; explicit only — the planner never builds a relational store
+behind the caller's back).
 
 Naming an explicit translator *and* engine bypasses the planner entirely and
 reproduces the seed behavior bit-for-bit, which is what the paper-figure
@@ -45,6 +48,7 @@ from repro.engine.results import QueryResult
 from repro.engine.twigstack import TwigJoinEngine
 from repro.exceptions import EngineError, SchemaError
 from repro.planner.cache import plan_key
+from repro.planner.physical import lower_plan
 from repro.planner.planner import PlannedQuery, QueryPlanner
 from repro.translate import translate
 from repro.translate.plan import QueryPlan
@@ -58,9 +62,10 @@ from repro.xpath.query_tree import build_query_tree
 DEFAULT_TRANSLATOR = "auto"
 DEFAULT_ENGINE = "auto"
 
-#: Concrete (non-auto) names, as in the seed.
+#: Concrete (non-auto) names (the seed's three engines plus the vectorized
+#: column-at-a-time engine).
 TRANSLATOR_NAMES = ("dlabel", "split", "pushup", "unfold")
-ENGINE_NAMES = ("memory", "twig", "sqlite")
+ENGINE_NAMES = ("memory", "twig", "vector", "sqlite")
 
 #: Everything ``query()`` accepts, including the planner.
 TRANSLATOR_CHOICES = ("auto",) + TRANSLATOR_NAMES
@@ -101,10 +106,12 @@ class BLAS:
         self.collection = _collection
         self.doc_id = _doc_id
         entry = _collection.entry(_doc_id)
-        self.indexed = entry.indexed
-        self.scheme: PLabelScheme = self.indexed.scheme
-        self.schema: Optional[SchemaGraph] = self.indexed.schema
+        # The scheme/schema come straight off the storage catalog, so a
+        # store-opened system never materializes its records just to be
+        # constructed — ``indexed`` stays a lazy property.
         self.catalog = entry.catalog
+        self.scheme: PLabelScheme = self.catalog.scheme
+        self.schema: Optional[SchemaGraph] = self.catalog.schema
         self._executor = PlanExecutor(self.catalog)
         self._twig = TwigJoinEngine(self.catalog)
         self._rdbms: Optional[RdbmsEngine] = None
@@ -112,6 +119,16 @@ class BLAS:
         self.plan_cache = _collection.plan_cache
         if build_sqlite:
             self._rdbms = RdbmsEngine.from_indexed_document(self.indexed)
+
+    @property
+    def indexed(self) -> IndexedDocument:
+        """The indexed document (materialized from storage on first use).
+
+        On a store-opened system this forces record materialization for the
+        document, so engines, summaries and the SQLite backend only pay
+        that cost when they actually need whole-document records.
+        """
+        return self.collection.entry(self.doc_id).indexed
 
     # -- constructors -------------------------------------------------------------
 
@@ -359,6 +376,8 @@ class BLAS:
         query: Union[str, LocationPath],
         translator: str = DEFAULT_TRANSLATOR,
         engine: str = DEFAULT_ENGINE,
+        limit: Optional[int] = None,
+        count_only: bool = False,
     ) -> QueryResult:
         """Answer an XPath query.
 
@@ -367,7 +386,9 @@ class BLAS:
         engine) combination; the result's ``translator``/``engine`` fields
         report what it chose and ``result.planned`` carries the full
         :class:`~repro.planner.planner.PlannedQuery` for EXPLAIN.  Explicit
-        names reproduce the seed behavior exactly.
+        names reproduce the seed behavior exactly (``engine="vector"``
+        mirrors the memory engine's counters bit-for-bit while executing
+        column-at-a-time).
 
         Parameters
         ----------
@@ -377,37 +398,60 @@ class BLAS:
             ``"auto"`` (default), ``"dlabel"``, ``"split"``, ``"pushup"``
             or ``"unfold"`` (needs a schema graph).
         engine:
-            ``"auto"`` (default), ``"memory"``, ``"twig"`` or ``"sqlite"``.
+            ``"auto"`` (default), ``"memory"``, ``"twig"``, ``"vector"``
+            or ``"sqlite"``.
+        limit:
+            Materialize at most this many result records.  ``starts`` (and
+            therefore ``count`` and every access counter) still cover the
+            full answer; on the vector engine records beyond the limit are
+            never built at all.
+        count_only:
+            Skip record materialization entirely — the result carries
+            ``starts``/``count``/``stats`` but an empty ``records`` list.
 
         Returns
         -------
         QueryResult
             ``records`` are the matching nodes in document order; ``stats``
-            carries access counters for the ``memory`` and ``twig`` engines
-            and ``elapsed_seconds`` the execution time (translation
-            excluded, as in the paper's measurements).
+            carries access counters for the instrumented engines and
+            ``elapsed_seconds`` the execution time (translation excluded,
+            as in the paper's measurements).
         """
         self._check_translator(translator)
         self._check_engine(engine)
         if translator == "auto" or engine == "auto":
             planned = self.plan_query(query, translator, engine)
-            return self._execute_planned(planned)
+            return self._execute_planned(planned, limit=limit, count_only=count_only)
         outcome = self.translate(query, translator)
         if engine == "memory":
-            result = self._executor.execute(outcome.plan)
+            result = self._executor.execute(outcome.plan, limit=limit, count_only=count_only)
         elif engine == "twig":
-            result = self._twig.execute(outcome.plan)
+            result = self._twig.execute(outcome.plan, limit=limit, count_only=count_only)
+        elif engine == "vector":
+            physical = lower_plan(outcome.plan, mode="faithful", engine="vector")
+            result = self._executor.execute_physical(
+                physical, limit=limit, count_only=count_only
+            )
         else:
             result = self.rdbms.execute(outcome.plan)
+            result.bound_records(limit, count_only)
         result.sql = outcome.sql
         return result
 
-    def _execute_planned(self, planned: PlannedQuery) -> QueryResult:
+    def _execute_planned(
+        self,
+        planned: PlannedQuery,
+        limit: Optional[int] = None,
+        count_only: bool = False,
+    ) -> QueryResult:
         """Run a planner-produced plan on its chosen engine."""
         if planned.engine == "sqlite":
             result = self.rdbms.execute(planned.logical)
+            result.bound_records(limit, count_only)
         else:
-            result = self._executor.execute_physical(planned.physical)
+            result = self._executor.execute_physical(
+                planned.physical, limit=limit, count_only=count_only
+            )
         result.sql = planned.sql
         result.planned = planned
         return result

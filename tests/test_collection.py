@@ -191,7 +191,7 @@ def test_parallel_and_serial_execution_are_byte_identical(library):
 def test_explicit_translator_engine_pairs_fan_out_identically(library):
     auto = library.query("//book/title")
     for translator in ("dlabel", "split", "pushup", "unfold"):
-        for engine in ("memory", "twig"):
+        for engine in ("memory", "twig", "vector"):
             explicit = library.query("//book/title", translator=translator, engine=engine)
             assert explicit.starts == auto.starts, (translator, engine)
 

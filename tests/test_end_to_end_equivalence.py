@@ -18,7 +18,7 @@ from repro.xpath.evaluator import evaluate
 from repro.xpath.parser import parse_xpath
 
 TRANSLATORS = ["dlabel", "split", "pushup", "unfold"]
-ENGINES = ["memory", "twig", "sqlite"]
+ENGINES = ["memory", "twig", "vector", "sqlite"]
 
 EXTRA_QUERIES = {
     "shakespeare": [

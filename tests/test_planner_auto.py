@@ -39,7 +39,7 @@ def test_auto_never_reads_more_than_the_seed_default(protein_system, query):
 def test_auto_reports_concrete_choices(protein_system):
     result = protein_system.query("//author")
     assert result.translator in TRANSLATOR_NAMES
-    assert result.engine in ("memory", "twig")
+    assert result.engine in ("memory", "twig", "vector")
     planned = result.planned
     assert planned is not None
     assert planned.requested_translator == "auto"
@@ -50,7 +50,7 @@ def test_auto_reports_concrete_choices(protein_system):
 def test_explicit_translator_with_auto_engine(protein_system):
     result = protein_system.query("//author", translator="split")
     assert result.translator == "split"
-    assert result.engine in ("memory", "twig")
+    assert result.engine in ("memory", "twig", "vector")
     assert {c.translator for c in result.planned.candidates} == {"split"}
 
 
@@ -64,7 +64,7 @@ def test_auto_never_picks_sqlite():
     system = BLAS.from_xml(PROTEIN_SAMPLE)
     for query in WORKLOAD:
         result = system.query(query)
-        assert result.engine in ("memory", "twig")
+        assert result.engine in ("memory", "twig", "vector")
     assert system._rdbms is None  # the planner never built it
 
 
@@ -134,7 +134,7 @@ def test_unfold_without_schema_still_raises_schema_error():
 
 
 @pytest.mark.parametrize("mode", ["faithful", "optimized"])
-@pytest.mark.parametrize("engine", ["memory", "twig"])
+@pytest.mark.parametrize("engine", ["memory", "twig", "vector"])
 def test_lowering_modes_agree_on_results(protein_system, mode, engine):
     from repro.planner.cost import CostModel
 

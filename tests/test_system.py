@@ -29,7 +29,7 @@ def test_default_routes_through_the_planner(protein_system):
     result = protein_system.query(EXAMPLE_QUERY)
     # The planner reports the concrete translator/engine it chose.
     assert result.translator in ("dlabel", "split", "pushup", "unfold")
-    assert result.engine in ("memory", "twig")
+    assert result.engine in ("memory", "twig", "vector")
     assert result.planned is not None and result.planned.requested_translator == "auto"
     assert result.values() == ["The human somatic cytochrome c gene"]
     # The chosen plan never visits more elements than the seed default.

@@ -1,0 +1,332 @@
+"""The vectorized engine cannot drift from the row engines.
+
+Property tests for ``engine="vector"``: on every bundled dataset × workload
+query it must return byte-identical records, values, document order *and*
+access counters to the row engine whose shape it mirrors — explicitly
+(faithful mode mirrors the memory engine) and through the planner
+(optimized mode mirrors whichever row strategy the cost model priced
+cheaper), serially and under parallel collection fan-out, and across
+cached-plan re-execution.  Plus unit tests for the slot kernels'
+empty/singleton/duplicate-plabel edge cases and the ``limit=`` /
+``count_only=`` materialization bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indexer import NodeRecord
+from repro.collection import BLASCollection
+from repro.datasets import build_dataset, queries_for_dataset
+from repro.engine.structural_join import structural_join
+from repro.engine.vector import structural_join_slots
+from repro.planner.physical import lower_plan
+from repro.planner.cost import CostModel
+from repro.storage.columns import ColumnarRecords, ColumnSlice
+from repro.storage.stats import AccessStatistics
+from repro.system import BLAS, TRANSLATOR_NAMES
+from repro.xmlkit.writer import document_to_string
+
+DATASETS = ("shakespeare", "protein", "auction")
+
+
+def _stats_tuple(result):
+    return (result.stats.as_dict(), dict(result.stats.per_alias_elements))
+
+
+@pytest.fixture(scope="module", params=DATASETS)
+def workload(request):
+    """(dataset name, indexed system, its Figure 10 queries)."""
+    name = request.param
+    system = BLAS.from_document(build_dataset(name, scale=1), name=name)
+    return name, system, queries_for_dataset(name)
+
+
+# -- explicit pairs: faithful vector == faithful memory -----------------------------
+
+
+def test_explicit_vector_is_bit_identical_to_memory(workload):
+    """records, values, order and every counter match the seed memory run."""
+    name, system, queries = workload
+    for translator in TRANSLATOR_NAMES:
+        for query_name, query in queries.items():
+            try:
+                memory = system.query(query, translator=translator, engine="memory")
+            except Exception as error:
+                with pytest.raises(type(error)):
+                    system.query(query, translator=translator, engine="vector")
+                continue
+            vector = system.query(query, translator=translator, engine="vector")
+            label = (name, translator, query_name)
+            assert vector.starts == memory.starts, label
+            assert vector.records == memory.records, label
+            assert vector.values() == memory.values(), label
+            assert _stats_tuple(vector) == _stats_tuple(memory), label
+
+
+# -- planner-routed: optimized vector == its mirrored row strategy ------------------
+
+
+def test_planned_vector_matches_its_mirrored_row_engine(workload):
+    name, system, queries = workload
+    for query_name, query in queries.items():
+        planned = system.plan_query(query, translator="auto", engine="vector")
+        strategy = planned.physical.vector_strategy
+        assert strategy in ("memory", "twig"), (name, query_name)
+        row_physical = lower_plan(
+            planned.logical,
+            mode="optimized",
+            engine=strategy,
+            model=system.planner.model,
+        )
+        vector = system._executor.execute_physical(planned.physical)
+        row = system._executor.execute_physical(row_physical)
+        label = (name, query_name, strategy)
+        assert vector.starts == row.starts, label
+        assert vector.records == row.records, label
+        assert _stats_tuple(vector) == _stats_tuple(row), label
+
+
+def test_auto_with_vector_keeps_answers_identical(workload):
+    name, system, queries = workload
+    for query_name, query in queries.items():
+        auto = system.query(query)
+        seed = system.query(query, translator="pushup", engine="memory")
+        assert auto.starts == seed.starts, (name, query_name)
+        assert auto.stats.elements_read <= seed.stats.elements_read, (name, query_name)
+
+
+def test_auto_picks_vector_only_when_costed_cheaper(workload):
+    name, system, queries = workload
+    for query_name, query in queries.items():
+        planned = system.plan_query(query)
+        chosen = next(c for c in planned.candidates if c.chosen)
+        if chosen.engine != "vector":
+            continue
+        rivals = [
+            c for c in planned.candidates
+            if c.translator == chosen.translator and c.engine in ("memory", "twig")
+        ]
+        assert rivals, (name, query_name)
+        assert all(
+            chosen.cost.key() <= rival.cost.key() for rival in rivals
+        ), (name, query_name)
+
+
+def test_cached_plan_reexecution_is_stable(workload):
+    name, system, queries = workload
+    query = next(iter(queries.values()))
+    system.plan_cache.clear()
+    first = system.query(query, engine="vector")
+    second = system.query(query, engine="vector")
+    assert second.planned.cache_hit and not first.planned.cache_hit
+    assert second.starts == first.starts
+    assert second.records == first.records
+    assert _stats_tuple(second) == _stats_tuple(first)
+
+
+# -- collection fan-out -------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """One collection holding all three bundled datasets."""
+    collection = BLASCollection()
+    for name in DATASETS:
+        collection.add_xml(document_to_string(build_dataset(name, scale=1)), name=name)
+    return collection
+
+COLLECTION_QUERIES = ("//name", "//SPEECH/LINE", "//category/description/parlist/listitem")
+
+
+@pytest.mark.parametrize("query", COLLECTION_QUERIES)
+def test_collection_vector_fanout_matches_memory(corpus, query):
+    """Vector fan-out: per-document order, counters and merge all identical."""
+    memory = corpus.query(query, engine="memory", parallel=False)
+    serial = corpus.query(query, engine="vector", parallel=False)
+    parallel = corpus.query(query, engine="vector", parallel=True, workers=4)
+    for vector in (serial, parallel):
+        assert vector.starts == memory.starts
+        assert vector.records == memory.records
+        assert vector.stats.as_dict() == memory.stats.as_dict()
+        assert [dr.result.starts for dr in vector.per_document] == [
+            dr.result.starts for dr in memory.per_document
+        ]
+        assert [dr.result.records for dr in vector.per_document] == [
+            dr.result.records for dr in memory.per_document
+        ]
+
+
+# -- limit pushdown and count-only --------------------------------------------------
+
+
+def test_limit_bounds_materialization_not_the_answer(workload):
+    name, system, queries = workload
+    for query_name, query in queries.items():
+        full = system.query(query, engine="vector")
+        limited = system.query(query, engine="vector", limit=3)
+        assert limited.starts == full.starts, (name, query_name)
+        assert limited.count == full.count, (name, query_name)
+        assert limited.records == full.records[:3], (name, query_name)
+        assert limited.stats.as_dict() == full.stats.as_dict(), (name, query_name)
+
+
+def test_count_only_skips_record_materialization(workload):
+    name, system, queries = workload
+    for query_name, query in queries.items():
+        full = system.query(query, engine="vector")
+        counted = system.query(query, engine="vector", count_only=True)
+        assert counted.records == [] and counted.values() == []
+        assert counted.starts == full.starts, (name, query_name)
+        assert counted.count == full.count, (name, query_name)
+        assert counted.stats.as_dict() == full.stats.as_dict(), (name, query_name)
+
+
+def test_limit_applies_to_row_engines_too(workload):
+    name, system, queries = workload
+    query = next(iter(queries.values()))
+    for engine in ("memory", "twig"):
+        full = system.query(query, translator="pushup", engine=engine)
+        limited = system.query(query, translator="pushup", engine=engine, limit=2)
+        assert limited.records == full.records[:2]
+        assert limited.count == full.count
+
+
+def test_collection_limit_and_count_only(corpus):
+    full = corpus.query("//name", engine="vector")
+    limited = corpus.query("//name", engine="vector", limit=4)
+    counted = corpus.query("//name", engine="vector", count_only=True)
+    assert limited.records == full.records[:4]
+    assert limited.count == full.count == counted.count
+    assert counted.records == []
+    assert counted.stats.as_dict() == full.stats.as_dict()
+    # starts always identify the full answer, bounded records or not.
+    assert limited.starts == full.starts == counted.starts
+    assert len(full.starts) == full.count
+
+
+# -- kernel unit tests --------------------------------------------------------------
+
+
+def _record(plabel, start, end, level, tag="t", data=None):
+    return NodeRecord(plabel=plabel, start=start, end=end, level=level, tag=tag, data=data)
+
+
+def _pack(records):
+    """Pack records and return (columns, slot-by-start lookup)."""
+    columns = ColumnarRecords.from_records(records, doc_id=0)
+    by_start = {columns.starts[slot]: slot for slot in range(columns.n)}
+    return columns, by_start
+
+
+#: A small interval tree with duplicate plabels: two `a` chains (same
+#: plabel) at different positions, nested descendants, and a sibling leaf.
+KERNEL_RECORDS = [
+    _record(7, 0, 99, 1),          # root
+    _record(3, 1, 40, 2),          # a (first)
+    _record(5, 2, 10, 3),          # b inside first a
+    _record(5, 12, 30, 3),         # b' inside first a (duplicate plabel of b)
+    _record(3, 50, 90, 2),         # a' (duplicate plabel of a)
+    _record(5, 55, 60, 3),         # b'' inside a'
+    _record(11, 95, 97, 2),        # sibling leaf outside both
+]
+
+
+def _compare_kernels(ancestors, descendants, level_gap=None, min_level_gap=None):
+    records = KERNEL_RECORDS
+    columns, by_start = _pack(records)
+    row_stats = AccessStatistics()
+    slot_stats = AccessStatistics()
+    expected = structural_join(
+        ancestors, descendants, level_gap, min_level_gap, row_stats
+    )
+    actual = structural_join_slots(
+        columns,
+        [by_start[record.start] for record in ancestors],
+        [by_start[record.start] for record in descendants],
+        level_gap,
+        min_level_gap,
+        slot_stats,
+    )
+    assert actual == expected
+    assert slot_stats.as_dict() == row_stats.as_dict()
+
+
+def test_kernel_matches_record_join_on_duplicate_plabels():
+    records = KERNEL_RECORDS
+    _compare_kernels([records[1], records[4]], [records[2], records[3], records[5]])
+
+
+def test_kernel_matches_record_join_with_duplicated_inputs():
+    """Bound aliases repeat the same record once per intermediate row."""
+    records = KERNEL_RECORDS
+    _compare_kernels(
+        [records[1], records[1], records[0], records[4]],
+        [records[2], records[2], records[5], records[6]],
+    )
+
+
+def test_kernel_matches_record_join_with_level_constraints():
+    records = KERNEL_RECORDS
+    _compare_kernels([records[0]], [records[2], records[5]], level_gap=2)
+    _compare_kernels([records[0]], [records[2], records[5]], min_level_gap=2)
+    _compare_kernels([records[0]], [records[2], records[5]], min_level_gap=3)
+
+
+def test_kernel_empty_and_singleton_inputs():
+    records = KERNEL_RECORDS
+    _compare_kernels([], [])
+    _compare_kernels([], [records[2]])
+    _compare_kernels([records[1]], [])
+    _compare_kernels([records[1]], [records[2]])
+    _compare_kernels([records[6]], [records[2]])  # disjoint intervals
+
+
+def test_column_slice_accessors_and_materialize():
+    records = [
+        _record(7, 0, 99, 1, tag="root"),
+        _record(3, 1, 40, 2, tag="a", data="x"),
+        _record(5, 2, 10, 3, tag="b"),
+    ]
+    columns, by_start = _pack(records)
+    whole = ColumnSlice.contiguous(columns, 0, columns.n - 1)
+    assert len(whole) == len(records)
+    ordered = whole.sorted_by_start()
+    # Every gather accessor agrees with the record view, in slice order.
+    materialized = ordered.materialize()
+    assert ordered.starts() == [r.start for r in materialized]
+    assert ordered.ends() == [r.end for r in materialized]
+    assert ordered.levels() == [r.level for r in materialized]
+    assert ordered.plabels() == [r.plabel for r in materialized]
+    assert ordered.tag_names() == [r.tag for r in materialized]
+    assert ordered.data_values() == [r.data for r in materialized]
+    assert ordered.tag_names() == ["root", "a", "b"]
+    assert ordered.data_values() == [None, "x", None]
+    assert [r.start for r in ordered.materialize(2)] == [0, 1]
+    empty = ColumnSlice.contiguous(columns, 2, 1)
+    assert len(empty) == 0 and empty.materialize() == []
+    sliced = ordered[1:3]
+    assert isinstance(sliced, ColumnSlice) and len(sliced) == 2
+
+
+def test_vector_scan_handles_missing_tag_and_value():
+    system = BLAS.from_xml("<root><a>x</a><a>y</a><b/></root>")
+    for query in ("//ghost", '//a = "nope"', "//a", '//a = "x"'):
+        memory = system.query(query, translator="dlabel", engine="memory")
+        vector = system.query(query, translator="dlabel", engine="vector")
+        assert vector.starts == memory.starts, query
+        assert _stats_tuple(vector) == _stats_tuple(memory), query
+
+
+def test_store_opened_system_answers_identically_with_vector(tmp_path, workload):
+    """Vector over the *packed* store: cold-opened answers match in-memory."""
+    name, system, queries = workload
+    store = tmp_path / f"{name}.store"
+    system.save(str(store))
+    opened = BLAS.open(str(store))
+    for query_name, query in queries.items():
+        fresh = system.query(query, translator="pushup", engine="memory")
+        vector = opened.query(query, translator="pushup", engine="vector")
+        assert vector.starts == fresh.starts, (name, query_name)
+        assert vector.values() == fresh.values(), (name, query_name)
+        assert _stats_tuple(vector) == _stats_tuple(fresh), (name, query_name)

@@ -1,0 +1,166 @@
+"""Beyond-RAM benchmark: a corpus more than twice the partition-cache budget.
+
+The tentpole acceptance criterion for the bounded mmap-backed store: a
+DBLP-shaped corpus is replicated until its resident (decoded) footprint
+exceeds 2× the configured ``cache_bytes``; ingest and the query workload
+must complete with the cache's peak tracked bytes under the cap, answering
+byte-identically to an uncapped open — eviction and re-faulting are
+invisible except in the counters.
+
+CI sets ``BEYOND_RAM_JSON`` and uploads cold-start and steady-state
+timings (plus the cache counters) next to the other benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.collection import BLASCollection
+
+#: Documents saved into the store up front + appended while capped.
+SAVED_DOCS = 10
+APPENDED_DOCS = 2
+
+#: Entries per document (each entry is one <article>, ~16 nodes).
+ENTRIES_PER_DOC = 60
+
+WORKLOAD = (
+    "//author",
+    "//article[year]/title",
+    "/dblp/bib/article/journal",
+    "//article[journal]//author",
+)
+
+
+def dblp_document(doc_index: int) -> str:
+    """A DBLP-shaped document: /dblp/bib/article with bibliographic fields."""
+    entries = []
+    for index in range(ENTRIES_PER_DOC):
+        key = f"journals/pvldb/Doc{doc_index}Entry{index}"
+        entries.append(
+            f'<article mdate="2024-02-{index % 28 + 1:02d}" key="{key}">'
+            f"<author>Author {doc_index}-{index}</author>"
+            f"<author>Author {doc_index}-{index}-bis</author>"
+            f"<title>Paper {index} of document {doc_index} on bounded caches.</title>"
+            f"<pages>{index * 13}-{index * 13 + 12}</pages>"
+            f"<year>{2000 + index % 25}</year>"
+            f"<volume>{index % 17}</volume>"
+            f"<journal>Proc. VLDB Endow.</journal>"
+            f"<ee>https://example.org/vol{index}/p{doc_index}.pdf</ee>"
+            f"<url>db/journals/pvldb/pvldb{index}.html</url>"
+            f"</article>"
+        )
+    return f"<dblp><bib>{''.join(entries)}</bib></dblp>"
+
+
+def _timed(thunk):
+    started = time.perf_counter()
+    value = thunk()
+    return value, time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def run(tmp_path_factory):
+    store = str(tmp_path_factory.mktemp("beyond-ram") / "store")
+    collection = BLASCollection()
+    for index in range(SAVED_DOCS):
+        collection.add_xml(dblp_document(index), name=f"dblp-{index:02d}.xml")
+    collection.save(store, shards=2, compression="hot-raw")
+
+    # Size the budget from the *measured* resident footprint: touch every
+    # partition on an uncapped open, then cap at 40% of the total — the
+    # corpus is then guaranteed to be more than 2× the budget.
+    uncapped = BLASCollection.open(store)
+    corpus_resident = sum(
+        uncapped.store.catalog_for(doc_id).resident_bytes()
+        for doc_id in uncapped.doc_ids()
+    )
+    cache_bytes = corpus_resident * 2 // 5
+
+    # Ingest while capped: appends route to the emptiest shard and must
+    # finish without the tracked footprint ever exceeding the cap.
+    ingester = BLASCollection.open(store, cache_bytes=cache_bytes)
+    _, ingest_seconds = _timed(
+        lambda: [
+            ingester.add_xml(
+                dblp_document(SAVED_DOCS + index),
+                name=f"dblp-{SAVED_DOCS + index:02d}.xml",
+            )
+            for index in range(APPENDED_DOCS)
+        ]
+    )
+    ingest_peak = ingester.store.cache_stats()["peak_cached_bytes"]
+
+    # Uncapped reference answers over the final membership.
+    reference = BLASCollection.open(store)
+    baselines = {query: reference.query(query) for query in WORKLOAD}
+
+    capped = BLASCollection.open(store, cache_bytes=cache_bytes)
+    cold_results, cold_seconds = _timed(
+        lambda: {query: capped.query(query) for query in WORKLOAD}
+    )
+    steady_seconds = min(
+        _timed(lambda: [capped.query(query) for query in WORKLOAD])[1]
+        for _ in range(3)
+    )
+    stats = capped.store.cache_stats()
+
+    rows = {
+        "documents": len(capped),
+        "nodes": capped.store.node_count,
+        "queries": list(WORKLOAD),
+        "corpus_resident_bytes": corpus_resident,
+        "corpus_disk_bytes": capped.stats()["store_bytes"],
+        "cache_bytes": cache_bytes,
+        "peak_cached_bytes": stats["peak_cached_bytes"],
+        "ingest_peak_cached_bytes": ingest_peak,
+        "evictions": stats["evictions"],
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "ingest_seconds": ingest_seconds,
+        "cold_start_seconds": cold_seconds,
+        "steady_state_seconds": steady_seconds,
+        "answers_match": all(
+            cold_results[query].starts == baselines[query].starts
+            and cold_results[query].values() == baselines[query].values()
+            and cold_results[query].counts_by_document()
+            == baselines[query].counts_by_document()
+            for query in WORKLOAD
+        ),
+    }
+    target = os.environ.get("BEYOND_RAM_JSON")
+    if target:
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, sort_keys=True)
+    return rows
+
+
+def test_corpus_exceeds_twice_the_cache_budget(run):
+    assert run["corpus_resident_bytes"] > 2 * run["cache_bytes"]
+
+
+def test_peak_tracked_bytes_stay_under_the_cap(run):
+    assert 0 < run["peak_cached_bytes"] <= run["cache_bytes"], run
+    # Appending never faults other partitions in (the manifest is built
+    # from registration-time metadata), so ingest barely touches the cache.
+    assert run["ingest_peak_cached_bytes"] <= run["cache_bytes"], run
+
+
+def test_cache_was_actually_under_pressure(run):
+    assert run["evictions"] > 0
+    assert run["misses"] > run["documents"]  # re-faults happened
+
+
+def test_capped_answers_are_byte_identical_to_uncapped(run):
+    assert run["answers_match"]
+
+
+def test_timings_are_positive_and_complete(run):
+    assert run["documents"] == SAVED_DOCS + APPENDED_DOCS
+    assert run["ingest_seconds"] > 0
+    assert run["cold_start_seconds"] > 0
+    assert run["steady_state_seconds"] > 0

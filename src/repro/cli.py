@@ -126,11 +126,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition file format: v2 = binary columnar (default, smaller "
              "and faster to open), v1 = JSON rows",
     )
+    c_save.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the store over N shard directories; appends route to the "
+             "emptiest shard and rewrite only that shard's manifest",
+    )
+    c_save.add_argument(
+        "--raw-columns", action="store_true",
+        help="store hot label columns (plabel/start/end/level/tag id) raw so "
+             "scans read straight off the mmap; cold payloads stay deflated",
+    )
 
     c_open = collection_sub.add_parser(
         "open", help="open a persistent store and list its documents (O(manifest))"
     )
     c_open.add_argument("store", help="the store directory")
+    c_open.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="BYTES",
+        help="bound the partition cache to this many resident bytes "
+             "(least-recently-used partitions evict and re-fault on demand)",
+    )
 
     c_list = collection_sub.add_parser("list", help="list the collection's documents")
     c_list.add_argument("directory", help="the collection directory")
@@ -151,6 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--count", action="store_true",
         help="print only the per-document counts; skips value materialization",
     )
+    c_query.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="BYTES",
+        help="bound the partition cache to this many resident bytes "
+             "(store-backed collections only)",
+    )
 
     c_explain = collection_sub.add_parser("explain", help="show the per-scheme-group plans for a query")
     c_explain.add_argument("directory", help="the collection directory")
@@ -163,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
     c_stats.add_argument(
         "--query", action="append", default=[],
         help="plan this query first (repeatable; repeats show cache hits)",
+    )
+    c_stats.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="BYTES",
+        help="bound the partition cache to this many resident bytes "
+             "(store-backed collections only)",
     )
 
     experiment = subparsers.add_parser(
@@ -265,15 +290,19 @@ def _collection_files(directory: str) -> List[str]:
     return sorted(glob.glob(os.path.join(directory, "*.xml")))
 
 
-def _load_collection(directory: str) -> BLASCollection:
+def _load_collection(
+    directory: str, cache_bytes: Optional[int] = None
+) -> BLASCollection:
     """Open a persistent store, or stream-ingest a directory of XML files.
 
     A directory holding a ``MANIFEST.json`` is opened as a store —
-    O(manifest), records load lazily.  Anything else is treated as a plain
-    directory whose ``*.xml`` members are indexed from scratch.
+    O(manifest), records load lazily, optionally under a ``cache_bytes``
+    budget.  Anything else is treated as a plain directory whose ``*.xml``
+    members are indexed from scratch (the budget does not apply: only
+    store-backed partitions can be re-faulted after eviction).
     """
     if CollectionStore.is_store(directory):
-        return BLASCollection.open(directory)
+        return BLASCollection.open(directory, cache_bytes=cache_bytes)
     files = _collection_files(directory)
     if not files:
         raise ReproError(f"no *.xml documents in {directory!r}")
@@ -377,13 +406,19 @@ def _run_collection(args: argparse.Namespace) -> int:
         return _run_collection_remove(args)
     if command == "save":
         collection = _load_collection(args.directory)
-        collection.save(args.store, partition_format=args.partition_format)
+        collection.save(
+            args.store,
+            partition_format=args.partition_format,
+            compression="hot-raw" if args.raw_columns else None,
+            shards=args.shards,
+        )
         stats = collection.stats()
+        layout = f", {args.shards} shard(s)" if args.shards else ""
         print(f"saved {len(collection)} document(s) to {args.store} "
-              f"[format {args.partition_format}, {stats['store_bytes']} bytes]")
+              f"[format {args.partition_format}{layout}, {stats['store_bytes']} bytes]")
         return 0
     if command == "open":
-        collection = BLASCollection.open(args.store)
+        collection = BLASCollection.open(args.store, cache_bytes=args.cache_bytes)
         rows = [
             [row["doc_id"], row["name"], row["nodes"], row["tags"], row["depth"],
              row["size_bytes"], row["scheme_group"]]
@@ -395,7 +430,9 @@ def _run_collection(args: argparse.Namespace) -> int:
         ))
         return 0
 
-    collection = _load_collection(args.directory)
+    collection = _load_collection(
+        args.directory, cache_bytes=getattr(args, "cache_bytes", None)
+    )
     if command == "list":
         rows = [
             [row["doc_id"], row["name"], row["nodes"], row["tags"], row["depth"],
@@ -458,6 +495,16 @@ def _run_collection(args: argparse.Namespace) -> int:
         print(f"store size: {total} bytes on disk "
               f"(~{pages_for_bytes(total)} pages of {DEFAULT_PAGE_BYTES} B, "
               f"{average:.0f} bytes/doc)")
+        for shard, size in sorted(stats.get("store_shards", {}).items()):
+            print(f"  {shard}: {size} bytes")
+    cache = stats["partition_cache"]
+    budget = cache["budget_bytes"]
+    budget_text = f"{budget} byte budget" if budget is not None else "unbounded"
+    print(f"partition cache: {cache['cached_bytes']} bytes cached "
+          f"({budget_text}, peak {cache['peak_cached_bytes']}), "
+          f"{cache['cached_partitions']} partition(s), "
+          f"{cache['hits']} hit(s), {cache['misses']} miss(es), "
+          f"{cache['evictions']} eviction(s)")
     print(collection.plan_cache.describe())
     return 0
 

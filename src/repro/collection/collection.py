@@ -256,6 +256,13 @@ class BLASCollection:
         Capacity of the collection's LRU plan cache.
     workers:
         Default thread-pool width for parallel query fan-out (0 auto-sizes).
+    cache_bytes:
+        Byte budget of the bounded partition cache (``None`` = unbounded).
+        When set, least-recently-used loaded partitions are evicted — and
+        transparently re-faulted on next touch — so resident heap bytes
+        stay under the budget no matter how large the corpus is.  Queries
+        pin the partitions they are executing on, so eviction never
+        invalidates a running query.
 
     Notes
     -----
@@ -265,8 +272,13 @@ class BLASCollection:
     :meth:`remove` persists the removal the same way.
     """
 
-    def __init__(self, plan_cache_size: int = 128, workers: int = 0):
-        self.store = PartitionedCatalog()
+    def __init__(
+        self,
+        plan_cache_size: int = 128,
+        workers: int = 0,
+        cache_bytes: Optional[int] = None,
+    ):
+        self.store = PartitionedCatalog(cache_bytes=cache_bytes)
         self.plan_cache = PlanCache(capacity=plan_cache_size)
         #: Default worker count for parallel fan-out; 0 means auto-size.
         self.workers = workers
@@ -316,17 +328,21 @@ class BLASCollection:
         -------
         dict
             ``documents``, ``nodes``, ``scheme_groups``, ``plan_cache``
-            counters, plus ``store`` (bound store path or ``None``),
-            ``loaded_documents`` (how many partitions are resident — less
-            than ``documents`` right after a lazy :meth:`open`) and, on a
-            store-bound collection, ``store_bytes`` (total partition bytes
-            on disk) with per-document sizes in ``store_bytes_by_doc``.
+            counters, ``partition_cache`` (bounded-cache byte accounting
+            and hit/miss/eviction counters), plus ``store`` (bound store
+            path or ``None``), ``loaded_documents`` (how many partitions
+            are resident — less than ``documents`` right after a lazy
+            :meth:`open`, or under cache pressure) and, on a store-bound
+            collection, ``store_bytes`` (total partition bytes on disk)
+            with per-document sizes in ``store_bytes_by_doc`` — plus
+            per-shard disk bytes in ``store_shards`` when sharded.
         """
         stats: Dict[str, object] = {
             "documents": len(self._documents),
             "nodes": self.store.node_count,
             "scheme_groups": len(self.scheme_groups()),
             "plan_cache": self.plan_cache.stats(),
+            "partition_cache": self.store.cache_stats(),
             "store": self.store_path,
             "loaded_documents": sum(
                 1 for doc_id in self._documents if self.store.is_loaded(doc_id)
@@ -339,6 +355,8 @@ class BLASCollection:
             }
             stats["store_bytes"] = sum(by_doc.values())
             stats["store_bytes_by_doc"] = by_doc
+            if self._persist.is_sharded:
+                stats["store_shards"] = self._persist.shard_sizes()
         return stats
 
     def document_view(self, doc_id: int):
@@ -442,7 +460,9 @@ class BLASCollection:
                 self._partition_paths[doc_id] = self._persist.write_partition(
                     indexed, doc_id, self.store.partition_fingerprint(doc_id)
                 )
-                self._persist.write_manifest(self._manifest())
+                self._persist.write_manifest(
+                    self._manifest(stable_groups=self._persist.is_sharded)
+                )
             except BaseException:
                 del self._documents[doc_id]
                 self._partition_paths.pop(doc_id, None)
@@ -482,14 +502,20 @@ class BLASCollection:
         self.store.remove_partition(doc_id)
         self._group_by_id(entry.group_id).remove(doc_id)
         if self._persist is not None:
-            self._persist.write_manifest(self._manifest())
+            self._persist.write_manifest(
+                self._manifest(stable_groups=self._persist.is_sharded)
+            )
             if victim_file is not None:
                 self._persist.remove_partition_file(victim_file)
         return doc_id
 
     # -- persistence ------------------------------------------------------------
 
-    def _manifest(self, paths: Optional[Dict[int, str]] = None) -> Manifest:
+    def _manifest(
+        self,
+        paths: Optional[Dict[int, str]] = None,
+        stable_groups: bool = False,
+    ) -> Manifest:
         """The manifest describing the current membership.
 
         Built entirely from registration-time metadata — fingerprints, node
@@ -497,12 +523,22 @@ class BLASCollection:
         partition, which keeps append/remove on a lazily-opened store
         O(touched partition).  ``paths`` overrides the tracked partition
         paths (used by :meth:`save`, whose paths only become current once
-        the save commits).
+        the save commits).  ``stable_groups`` keeps every scheme group —
+        empty ones included — at its creation position instead of
+        compacting; sharded stores require it, because shard manifests that
+        are skipped on a write still reference groups by their old
+        positions (the groups list must only ever grow).
         """
         if paths is None:
             paths = self._partition_paths
-        groups = self.scheme_groups()
-        positions = {group.group_id: position for position, group in enumerate(groups)}
+        if stable_groups:
+            groups = list(self._groups)
+            positions = {group.group_id: group.group_id for group in groups}
+        else:
+            groups = self.scheme_groups()
+            positions = {
+                group.group_id: position for position, group in enumerate(groups)
+            }
         documents = [
             ManifestDocument(
                 doc_id=doc_id,
@@ -522,7 +558,11 @@ class BLASCollection:
         )
 
     def save(
-        self, path: str, partition_format: str = DEFAULT_PARTITION_FORMAT
+        self,
+        path: str,
+        partition_format: str = DEFAULT_PARTITION_FORMAT,
+        compression: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> None:
         """Write the whole collection to an on-disk store at ``path``.
 
@@ -540,6 +580,15 @@ class BLASCollection:
             ``"v2"`` (binary columnar, the default — several times smaller
             and faster to open) or ``"v1"`` (JSON rows).  Opening
             auto-detects the format per file either way.
+        compression:
+            Per-column write policy for v2 partitions: ``"zlib"`` (the
+            default — smallest), ``"hot-raw"`` (hot label columns stored
+            raw for zero-copy mmap scans, cold payloads still deflated) or
+            ``"raw"`` (everything raw).
+        shards:
+            Split the store over this many shard directories (``None`` =
+            single-directory layout).  Each append routes to the emptiest
+            shard and rewrites only that shard's manifest.
 
         Notes
         -----
@@ -550,7 +599,12 @@ class BLASCollection:
         store fully readable; files orphaned by the re-save are garbage
         collected after the swap.
         """
-        store = CollectionStore(path, partition_format=partition_format)
+        store = CollectionStore(
+            path,
+            partition_format=partition_format,
+            compression=compression,
+            shards=shards,
+        )
         paths = {
             doc_id: store.write_partition(
                 self._documents[doc_id].indexed,
@@ -559,7 +613,7 @@ class BLASCollection:
             )
             for doc_id in self.doc_ids()
         }
-        manifest = self._manifest(paths)
+        manifest = self._manifest(paths, stable_groups=store.is_sharded)
         store.write_manifest(manifest)
         store.collect_garbage(manifest)
         # Only now — after the manifest swap committed — does this
@@ -569,7 +623,11 @@ class BLASCollection:
 
     @classmethod
     def open(
-        cls, path: str, plan_cache_size: int = 128, workers: int = 0
+        cls,
+        path: str,
+        plan_cache_size: int = 128,
+        workers: int = 0,
+        cache_bytes: Optional[int] = None,
     ) -> "BLASCollection":
         """Open a saved collection store — in O(manifest), not O(corpus).
 
@@ -588,6 +646,12 @@ class BLASCollection:
             Capacity of the new collection's plan cache.
         workers:
             Default fan-out width (0 auto-sizes), as in the constructor.
+        cache_bytes:
+            Byte budget for the bounded partition cache (``None`` =
+            unbounded), as in the constructor.  With a budget, a corpus
+            larger than RAM streams through the cache: partitions fault in
+            on first touch and evict in LRU order, answers stay
+            byte-identical to an unbounded open.
 
         Returns
         -------
@@ -603,7 +667,9 @@ class BLASCollection:
         """
         store = CollectionStore(path)
         manifest = store.read_manifest()
-        collection = cls(plan_cache_size=plan_cache_size, workers=workers)
+        collection = cls(
+            plan_cache_size=plan_cache_size, workers=workers, cache_bytes=cache_bytes
+        )
         collection._persist = store
         for position, payload in enumerate(manifest.scheme_groups):
             try:
@@ -821,13 +887,18 @@ class BLASCollection:
         limit: Optional[int] = None,
         count_only: bool = False,
     ) -> QueryResult:
-        if planned.engine == "sqlite":
-            result = entry.rdbms.execute(planned.logical)
-            result.bound_records(limit, count_only)
-        else:
-            result = PlanExecutor(entry.catalog).execute_physical(
-                planned.physical, limit=limit, count_only=count_only
-            )
+        # Pin the partition for the whole execution: with a bounded cache
+        # another worker's fault-in may trigger eviction concurrently, and a
+        # pinned partition is never a victim — so the catalog (and any mmap
+        # views the kernels scan) stays valid until the result is built.
+        with self.store.pinned(entry.doc_id) as catalog:
+            if planned.engine == "sqlite":
+                result = entry.rdbms.execute(planned.logical)
+                result.bound_records(limit, count_only)
+            else:
+                result = PlanExecutor(catalog).execute_physical(
+                    planned.physical, limit=limit, count_only=count_only
+                )
         result.sql = planned.sql
         result.planned = planned
         return result

@@ -9,6 +9,15 @@ order)`` regardless of worker count or completion order: each document
 contributes one already-ordered *batch*, and batches concatenate in doc_id
 order — so serial and parallel execution produce byte-identical output
 without any per-record merge work.
+
+Under a bounded partition cache the per-document jobs stay safe without any
+coordination here: each job *pins* its partition for the duration of its
+run (see :meth:`repro.storage.table.PartitionedCatalog.pinned`), so a
+concurrent job faulting its own partition in — and thereby evicting a
+least-recently-used victim — can never unmap or drop a partition another
+worker is mid-scan on.  Serial and parallel fan-out therefore stay
+byte-identical even when ``cache_bytes`` is smaller than a single
+partition.
 """
 
 from __future__ import annotations

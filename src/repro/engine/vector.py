@@ -25,6 +25,13 @@ Every kernel assumes its inputs come from **one** partition (one document):
 the collection layer fans out per document, so a kernel never sees two
 ``doc_id`` values and the document-identity checks of the record kernels
 reduce to nothing.
+
+The kernels are storage-agnostic about where the packed columns live: on a
+memory-mapped v2 store with raw column sections the ``start``/``end``/
+``level``/``tag_id`` sequences indexed here are ``memoryview.cast`` windows
+straight into the OS page cache — the interval merges and selection scans
+below read file bytes with zero copies in between (see
+:mod:`repro.storage.mapped`).
 """
 
 from __future__ import annotations

@@ -39,6 +39,14 @@ vector operators implement the same ``records()`` protocol and report
 byte-identical :class:`~repro.storage.stats.AccessStatistics` counters to
 their row twins, so faithful mode — and every instrumented paper
 measurement — is untouched.
+
+On a memory-mapped store the vector operators are the zero-copy fast path
+end to end: :class:`VectorScan` bisects plabel columns that may be
+``memoryview`` windows over the mmap, and the slot vectors it produces
+index those same windows all the way to :class:`VectorProject` — no column
+bytes are copied onto the heap between the partition file and the final
+projected records (:mod:`repro.storage.mapped` documents the lifetime
+rules that make this safe under cache eviction).
 """
 
 from __future__ import annotations

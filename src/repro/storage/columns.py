@@ -26,6 +26,20 @@ caches) one :class:`~repro.core.indexer.NodeRecord` per touched slot, so a
 selective plabel-range scan over a cold partition touches only the rows it
 returns.  The byte-level encode/decode helpers at the bottom are what the
 v2 binary partition format (:mod:`repro.storage.persist`) is built from.
+
+Two levels of laziness stack on top of the record cache:
+
+* **Sections** may be *unresolved*: :func:`decode_columns` in ``lazy``
+  mode stores a zero-argument thunk per column section instead of decoded
+  bytes, and the section decodes (and validates) on first touch.  Raw
+  sections over a memory-mapped payload resolve to ``memoryview`` windows
+  — zero heap copies from file to vector kernel — while zlib'd sections
+  decompress one column at a time, so a query that never reads ``data``
+  never pays for inflating the data blob.
+* **Write policy** is per column: :func:`encode_columns` takes a
+  ``compression`` policy (``"zlib"``, ``"hot-raw"``, ``"raw"``) so hot
+  columns (plabel, start/end/level, tag ids) can stay raw on disk for the
+  mmap fast path while cold payloads stay compressed.
 """
 
 from __future__ import annotations
@@ -35,11 +49,12 @@ import zlib
 from array import array
 from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.indexer import NodeRecord
 from repro.core.plabel import PLabelScheme
 from repro.exceptions import PersistError
+from repro.storage.mapped import MappedPartition
 from repro.xmlkit.schema import SchemaGraph
 
 #: Map item width in bytes -> array typecode.  Probed at import because C
@@ -54,6 +69,14 @@ COLUMN_ORDER = (
     "data_null", "data_ends", "data_blob", "sd_order",
 )
 
+#: Write-time compression policies accepted by :func:`encode_columns`.
+COMPRESSION_POLICIES = ("zlib", "hot-raw", "raw")
+
+#: Sections the query engine bisects/scans on nearly every query.  Under
+#: the ``"hot-raw"`` policy these stay uncompressed on disk so a mapped
+#: open serves them as zero-copy ``memoryview`` casts.
+HOT_COLUMNS = frozenset({"plabel", "start", "end", "level", "tag_id"})
+
 _BIG_ENDIAN_HOST = sys.byteorder == "big"
 
 
@@ -67,7 +90,7 @@ class WideIntColumn(SequenceABC):
 
     __slots__ = ("_raw", "width", "_n")
 
-    def __init__(self, raw: bytes, width: int):
+    def __init__(self, raw: Union[bytes, memoryview], width: int):
         if width < 1 or len(raw) % width:
             raise PersistError(
                 f"wide integer column of {len(raw)} bytes does not divide "
@@ -91,8 +114,13 @@ class WideIntColumn(SequenceABC):
         return int.from_bytes(self._raw[offset : offset + self.width], "big")
 
 
-#: Anything an integer column decodes to: a packed array, or the wide view.
-IntColumn = Union[array, WideIntColumn]
+#: Anything an integer column decodes to: a packed array, a zero-copy
+#: ``memoryview`` cast over a mapped file, or the wide big-endian view.
+IntColumn = Union[array, WideIntColumn, memoryview]
+
+#: A column section as stored in :class:`ColumnarRecords`: either the
+#: decoded value, or a zero-argument thunk that decodes it on first touch.
+LazySection = Union[bytes, memoryview, IntColumn, Callable[[], object]]
 
 
 class SPRecordView(SequenceABC):
@@ -125,67 +153,200 @@ class SPRecordView(SequenceABC):
         return self._columns.record(item)
 
 
+#: Section attribute names in constructor order (not the payload order).
+_SECTION_NAMES = (
+    "plabels", "starts", "ends", "levels", "tag_ids",
+    "data_nulls", "data_ends", "data_blob", "sd_order",
+)
+
+_INT_SECTIONS = frozenset(
+    {"plabels", "starts", "ends", "levels", "tag_ids", "data_ends", "sd_order"}
+)
+
+
 class ColumnarRecords:
-    """One partition's records as packed, lazily-materialized columns."""
+    """One partition's records as packed, lazily-materialized columns.
+
+    Each column section is stored behind a property and may be either the
+    decoded value or an unresolved thunk (see :data:`LazySection`); a
+    thunk resolves — and validates — on first access, then sticks.  All
+    consumers therefore see plain sequences, while a mapped partition that
+    only ever bisects ``plabel`` never inflates its data blob.
+    """
 
     __slots__ = (
-        "doc_id", "n", "tags", "plabels", "starts", "ends", "levels",
-        "tag_ids", "data_nulls", "data_ends", "data_blob", "sd_order",
+        "doc_id", "n", "tags",
+        "_plabels", "_starts", "_ends", "_levels", "_tag_ids",
+        "_data_nulls", "_data_ends", "_data_blob", "_sd_order",
         "_record_cache", "_all_records", "_doc_order", "_tag_sd_ranges",
+        "_materialized",
     )
 
     def __init__(
         self,
         doc_id: int,
         tags: Sequence[str],
-        plabels: IntColumn,
-        starts: IntColumn,
-        ends: IntColumn,
-        levels: IntColumn,
-        tag_ids: IntColumn,
-        data_nulls: bytes,
-        data_ends: IntColumn,
-        data_blob: bytes,
-        sd_order: IntColumn,
+        plabels: LazySection,
+        starts: LazySection,
+        ends: LazySection,
+        levels: LazySection,
+        tag_ids: LazySection,
+        data_nulls: LazySection,
+        data_ends: LazySection,
+        data_blob: LazySection,
+        sd_order: LazySection,
+        n: Optional[int] = None,
     ):
+        if n is None:
+            if callable(starts):
+                raise PersistError(
+                    "a lazily-sectioned partition needs an explicit record count"
+                )
+            n = len(starts)
         self.doc_id = doc_id
-        self.n = len(starts)
+        self.n = n
         self.tags = list(tags)
-        self.plabels = plabels
-        self.starts = starts
-        self.ends = ends
-        self.levels = levels
-        self.tag_ids = tag_ids
-        self.data_nulls = data_nulls
-        self.data_ends = data_ends
-        self.data_blob = data_blob
-        self.sd_order = sd_order
+        self._plabels = plabels
+        self._starts = starts
+        self._ends = ends
+        self._levels = levels
+        self._tag_ids = tag_ids
+        self._data_nulls = data_nulls
+        self._data_ends = data_ends
+        self._data_blob = data_blob
+        self._sd_order = sd_order
         self._record_cache: List[Optional[NodeRecord]] = [None] * self.n
         self._all_records: Optional[List[NodeRecord]] = None
         self._doc_order: Optional[List[int]] = None
         self._tag_sd_ranges: Optional[Dict[str, Tuple[int, int]]] = None
-        self._validate()
+        self._materialized = 0
+        for name in _SECTION_NAMES:
+            value = getattr(self, "_" + name)
+            if not callable(value):
+                self._check_section(name, value)
 
-    def _validate(self) -> None:
+    def _resolve(self, name: str):
+        """Decode section ``name`` from its thunk (idempotent, validated)."""
+        slot = "_" + name
+        value = getattr(self, slot)
+        if not callable(value):
+            return value
+        value = value()
+        self._check_section(name, value)
+        # Benign race: concurrent resolvers decode the same immutable
+        # bytes; last store wins and every caller returns a valid value.
+        setattr(self, slot, value)
+        return value
+
+    def _check_section(self, name: str, value) -> None:
+        """Validate one decoded section against the partition invariants."""
         n = self.n
-        for name in ("plabels", "ends", "levels", "tag_ids", "data_ends", "sd_order"):
-            if len(getattr(self, name)) != n:
-                raise PersistError(
-                    f"column {name!r} holds {len(getattr(self, name))} items, "
-                    f"expected {n}"
-                )
-        if len(self.data_nulls) != (n + 7) // 8:
+        if name in _INT_SECTIONS and len(value) != n:
+            raise PersistError(
+                f"column {name!r} holds {len(value)} items, expected {n}"
+            )
+        if name == "data_nulls" and len(value) != (n + 7) // 8:
             raise PersistError("data null bitmap does not match the record count")
-        if n and self.data_ends[n - 1] != len(self.data_blob):
-            raise PersistError("data offsets do not cover the data blob")
-        if n:
-            if max(self.tag_ids) >= len(self.tags):
-                raise PersistError("tag id column references outside the dictionary")
-            # Bounds only (a full permutation proof would cost a sort per
-            # load); the file checksum rules out corruption, this rules out
-            # writer bugs wiring the wrong column in.
-            if max(self.sd_order) >= n:
-                raise PersistError("sd_order references slots outside the partition")
+        if not n:
+            return
+        if name == "tag_ids" and max(value) >= len(self.tags):
+            raise PersistError("tag id column references outside the dictionary")
+        # Bounds only (a full permutation proof would cost a sort per
+        # load); the file checksum rules out corruption, this rules out
+        # writer bugs wiring the wrong column in.
+        if name == "sd_order" and max(value) >= n:
+            raise PersistError("sd_order references slots outside the partition")
+        if name in ("data_ends", "data_blob"):
+            # Cross-check offsets against the blob once both sides exist;
+            # with lazy sections this fires when the second one resolves.
+            ends = value if name == "data_ends" else self._data_ends
+            blob = value if name == "data_blob" else self._data_blob
+            if not callable(ends) and not callable(blob):
+                if ends[n - 1] != len(blob):
+                    raise PersistError("data offsets do not cover the data blob")
+
+    # -- lazily-resolved sections ------------------------------------------------
+
+    @property
+    def plabels(self) -> IntColumn:
+        """The P-label column (SP order)."""
+        value = self._plabels
+        return value if not callable(value) else self._resolve("plabels")
+
+    @property
+    def starts(self) -> IntColumn:
+        """The D-label ``start`` column (SP order)."""
+        value = self._starts
+        return value if not callable(value) else self._resolve("starts")
+
+    @property
+    def ends(self) -> IntColumn:
+        """The D-label ``end`` column (SP order)."""
+        value = self._ends
+        return value if not callable(value) else self._resolve("ends")
+
+    @property
+    def levels(self) -> IntColumn:
+        """The tree-level column (SP order)."""
+        value = self._levels
+        return value if not callable(value) else self._resolve("levels")
+
+    @property
+    def tag_ids(self) -> IntColumn:
+        """The dictionary-encoded tag-id column (SP order)."""
+        value = self._tag_ids
+        return value if not callable(value) else self._resolve("tag_ids")
+
+    @property
+    def data_nulls(self) -> Union[bytes, memoryview]:
+        """The data null bitmap (bit set == value is ``None``)."""
+        value = self._data_nulls
+        return value if not callable(value) else self._resolve("data_nulls")
+
+    @property
+    def data_ends(self) -> IntColumn:
+        """Cumulative end offsets of each slot's data in the blob."""
+        value = self._data_ends
+        return value if not callable(value) else self._resolve("data_ends")
+
+    @property
+    def data_blob(self) -> Union[bytes, memoryview]:
+        """The shared UTF-8 data blob."""
+        value = self._data_blob
+        return value if not callable(value) else self._resolve("data_blob")
+
+    @property
+    def sd_order(self) -> IntColumn:
+        """The SD-position → SP-slot permutation."""
+        value = self._sd_order
+        return value if not callable(value) else self._resolve("sd_order")
+
+    def section_resolved(self, name: str) -> bool:
+        """Whether section ``name`` (attribute name) is already decoded."""
+        if name not in _SECTION_NAMES:
+            raise PersistError(f"unknown column section {name!r}")
+        return not callable(getattr(self, "_" + name))
+
+    def resident_bytes(self) -> int:
+        """Estimated *heap* bytes this partition holds resident.
+
+        Mapped (``memoryview``) sections count zero — their bytes live in
+        the OS page cache, which the kernel reclaims under pressure — so
+        this is the number the bounded partition cache accounts against
+        its budget: decoded arrays, decompressed blobs, and materialized
+        record objects.
+        """
+        total = 8 * self.n  # the record-cache pointer list
+        for name in _SECTION_NAMES:
+            value = getattr(self, "_" + name)
+            if not callable(value):
+                total += _section_heap_bytes(value)
+        if self._doc_order is not None:
+            total += 8 * self.n
+        # A NodeRecord plus its cache slot costs ~150 heap bytes
+        # (slots-based object, ints, shared tag strings).
+        total += 150 * self._materialized
+        return total
 
     # -- construction ------------------------------------------------------------
 
@@ -244,10 +405,20 @@ class ColumnarRecords:
         record = self._record_cache[slot]
         if record is not None:
             return record.data
-        if self.data_nulls[slot >> 3] & (1 << (slot & 7)):
+        nulls = self._data_nulls
+        if callable(nulls):
+            nulls = self._resolve("data_nulls")
+        if nulls[slot >> 3] & (1 << (slot & 7)):
             return None
-        begin = self.data_ends[slot - 1] if slot else 0
-        return self.data_blob[begin : self.data_ends[slot]].decode("utf-8")
+        ends = self._data_ends
+        if callable(ends):
+            ends = self._resolve("data_ends")
+        blob = self._data_blob
+        if callable(blob):
+            blob = self._resolve("data_blob")
+        begin = ends[slot - 1] if slot else 0
+        # ``str(buffer, "utf-8")`` decodes bytes and memoryview alike.
+        return str(blob[begin : ends[slot]], "utf-8")
 
     def iter_data(self) -> Iterator[Optional[str]]:
         """Every data value in SP order (no record materialization)."""
@@ -268,6 +439,7 @@ class ColumnarRecords:
                 doc_id=self.doc_id,
             )
             self._record_cache[slot] = record
+            self._materialized += 1
         return record
 
     def records_sp(self) -> List[NodeRecord]:
@@ -306,6 +478,7 @@ class ColumnarRecords:
             )
         self._record_cache = list(ordered)
         self._all_records = self._record_cache
+        self._materialized = self.n
 
     def tag_sd_ranges(self) -> Dict[str, Tuple[int, int]]:
         """First/last SD position per tag (the tag-dictionary cluster ranges).
@@ -430,7 +603,10 @@ class ColumnarPartition:
     The storage layer wraps this in a lazy
     :class:`~repro.storage.table.StorageCatalog`; ``fingerprint`` is the
     manifest digest the reader already verified, so the catalog never has
-    to recompute it.
+    to recompute it.  ``mapped`` (when set) is the
+    :class:`~repro.storage.mapped.MappedPartition` whose pages back the
+    raw column sections; whoever evicts or removes the partition closes it
+    so the file can be deleted.
     """
 
     columns: ColumnarRecords
@@ -439,9 +615,22 @@ class ColumnarPartition:
     name: str
     source_size_bytes: int
     fingerprint: str
+    mapped: Optional["MappedPartition"] = None
 
 
 # -- byte-level encoding -----------------------------------------------------------
+
+
+def _section_heap_bytes(value) -> int:
+    """Heap bytes one decoded section occupies (0 for mapped views)."""
+    if isinstance(value, memoryview):
+        return 0
+    if isinstance(value, WideIntColumn):
+        raw = value._raw
+        return 0 if isinstance(raw, memoryview) else len(raw)
+    if isinstance(value, array):
+        return len(value) * value.itemsize
+    return len(value)  # bytes / bytearray
 
 
 def _int_column(values: Sequence[int]) -> IntColumn:
@@ -464,7 +653,12 @@ def _encode_ints(column: IntColumn) -> Tuple[str, bytes]:
     ``"be{width}"`` for the big-endian wide encoding.
     """
     if isinstance(column, WideIntColumn):
-        return f"be{column.width}", column._raw
+        raw = column._raw
+        return f"be{column.width}", raw if isinstance(raw, bytes) else bytes(raw)
+    if isinstance(column, memoryview):
+        # A mapped little-endian cast view; copy out (writers own their
+        # bytes, and little-endian casts only exist on little-endian hosts).
+        return f"u{column.itemsize}", column.tobytes()
     packed = column
     if _BIG_ENDIAN_HOST:  # pragma: no cover - exotic platform
         packed = array(column.typecode, column)
@@ -472,8 +666,16 @@ def _encode_ints(column: IntColumn) -> Tuple[str, bytes]:
     return f"u{column.itemsize}", packed.tobytes()
 
 
-def _decode_ints(dtype: str, raw: bytes, expected: int) -> IntColumn:
-    """Rebuild an integer column written by :func:`_encode_ints`."""
+def _decode_ints(
+    dtype: str, raw: Union[bytes, memoryview], expected: int
+) -> IntColumn:
+    """Rebuild an integer column written by :func:`_encode_ints`.
+
+    When ``raw`` is a ``memoryview`` (a window into a mapped partition
+    file) little-endian columns come back as a zero-copy cast of that very
+    view — no bytes leave the page cache — and wide columns wrap the view
+    directly.  ``bytes`` input copies into an :mod:`array` as before.
+    """
     if dtype.startswith("be"):
         column: IntColumn = WideIntColumn(raw, int(dtype[2:]))
     elif dtype.startswith("u"):
@@ -481,10 +683,13 @@ def _decode_ints(dtype: str, raw: bytes, expected: int) -> IntColumn:
         code = _CODE_BY_WIDTH.get(width)
         if code is None or len(raw) % width:
             raise PersistError(f"cannot decode integer column of dtype {dtype!r}")
-        column = array(code)
-        column.frombytes(raw)
-        if _BIG_ENDIAN_HOST:  # pragma: no cover - exotic platform
-            column.byteswap()
+        if isinstance(raw, memoryview) and not _BIG_ENDIAN_HOST:
+            column = raw.cast(code)
+        else:
+            column = array(code)
+            column.frombytes(raw)
+            if _BIG_ENDIAN_HOST:  # pragma: no cover - exotic platform
+                column.byteswap()
     else:
         raise PersistError(f"unknown column dtype {dtype!r}")
     if len(column) != expected:
@@ -495,15 +700,28 @@ def _decode_ints(dtype: str, raw: bytes, expected: int) -> IntColumn:
 
 
 def encode_columns(
-    columns: ColumnarRecords, compress: bool = True
+    columns: ColumnarRecords,
+    compress: bool = True,
+    compression: Optional[str] = None,
 ) -> Tuple[List[Dict[str, object]], bytes]:
     """Serialize every column section; returns ``(directory, payload)``.
 
     The directory lists, per column and in :data:`COLUMN_ORDER`, the dtype,
-    the codec (``raw`` or ``zlib`` — chosen per column by whichever is
-    smaller) and the raw/stored byte counts; sections are concatenated in
-    directory order, so offsets are implicit.
+    the codec (``raw`` or ``zlib``) and the raw/stored byte counts;
+    sections are concatenated in directory order, so offsets are implicit.
+
+    ``compression`` picks the per-column policy (overriding the legacy
+    ``compress`` flag when given):
+
+    * ``"zlib"`` — every column best-of compressed (smallest store);
+    * ``"hot-raw"`` — the prefer-raw mode: :data:`HOT_COLUMNS` stay raw so
+      a mapped open serves them zero-copy, cold payloads stay zlib'd;
+    * ``"raw"`` — nothing compressed (every section mappable).
     """
+    if compression is None:
+        compression = "zlib" if compress else "raw"
+    if compression not in COMPRESSION_POLICIES:
+        raise PersistError(f"unknown compression policy {compression!r}")
     raw_sections: Dict[str, Tuple[str, bytes]] = {
         "plabel": _encode_ints(columns.plabels),
         "start": _encode_ints(columns.starts),
@@ -519,8 +737,12 @@ def encode_columns(
     payload = bytearray()
     for name in COLUMN_ORDER:
         dtype, raw = raw_sections[name]
+        if isinstance(raw, memoryview):  # writers own their bytes
+            raw = bytes(raw)
         stored, codec = raw, "raw"
-        if compress:
+        if compression == "zlib" or (
+            compression == "hot-raw" and name not in HOT_COLUMNS
+        ):
             squeezed = zlib.compress(raw, 6)
             if len(squeezed) < len(raw):
                 stored, codec = squeezed, "zlib"
@@ -537,57 +759,93 @@ def encode_columns(
     return directory, bytes(payload)
 
 
+def _decode_chunk(
+    name: str,
+    codec: object,
+    chunk: Union[bytes, memoryview],
+    raw_length: int,
+) -> Union[bytes, memoryview]:
+    """Inflate (if zlib'd) and length-check one stored section."""
+    if codec == "zlib":
+        try:
+            chunk = zlib.decompress(chunk)
+        except zlib.error as error:
+            raise PersistError(f"corrupt column {name!r}: {error}")
+    elif codec != "raw":
+        raise PersistError(f"unknown column codec {codec!r}")
+    if len(chunk) != raw_length:
+        raise PersistError(
+            f"column {name!r} decodes to {len(chunk)} bytes, "
+            f"expected {raw_length}"
+        )
+    return chunk
+
+
 def decode_columns(
     directory: Sequence[Dict[str, object]],
-    payload: bytes,
+    payload: Union[bytes, memoryview],
     doc_id: int,
     tags: Sequence[str],
     n: int,
+    lazy: bool = False,
 ) -> ColumnarRecords:
-    """Rebuild a :class:`ColumnarRecords` from an encoded column payload."""
-    sections: Dict[str, Tuple[str, bytes]] = {}
+    """Rebuild a :class:`ColumnarRecords` from an encoded column payload.
+
+    Eager mode (the default) decodes every section up front and keeps the
+    historical behavior: corrupt sections fail here.
+
+    ``lazy`` mode defers *all* per-section work: each section becomes a
+    thunk over its window of ``payload`` that inflates/validates on first
+    touch.  Pass a ``memoryview`` over a mapped file as ``payload`` and
+    raw sections resolve to zero-copy casts of the map itself.  The
+    trade-off is deliberate: corruption in a section that eager decode
+    would have caught at open time surfaces as a :class:`PersistError`
+    on first access instead (the file checksum still guards whole-file
+    integrity up front).
+    """
     offset = 0
     names = [str(entry.get("name")) for entry in directory]
     if names != list(COLUMN_ORDER):
         raise PersistError(f"unexpected column directory {names}")
+    sections: Dict[str, LazySection] = {}
     for entry in directory:
+        name = str(entry["name"])
+        dtype = str(entry["dtype"])
+        codec = entry.get("codec")
         stored = int(entry["stored"])
         raw_length = int(entry["raw"])
         chunk = payload[offset : offset + stored]
         if len(chunk) != stored:
             raise PersistError("column payload is shorter than its directory")
         offset += stored
-        codec = entry.get("codec")
-        if codec == "zlib":
-            try:
-                chunk = zlib.decompress(chunk)
-            except zlib.error as error:
-                raise PersistError(f"corrupt column {entry['name']!r}: {error}")
-        elif codec != "raw":
-            raise PersistError(f"unknown column codec {codec!r}")
-        if len(chunk) != raw_length:
-            raise PersistError(
-                f"column {entry['name']!r} decodes to {len(chunk)} bytes, "
-                f"expected {raw_length}"
-            )
-        sections[str(entry["name"])] = (str(entry["dtype"]), chunk)
+        integer = name not in ("data_null", "data_blob")
+        if lazy:
+            def thunk(
+                name=name, dtype=dtype, codec=codec, chunk=chunk,
+                raw_length=raw_length, integer=integer,
+            ):
+                raw = _decode_chunk(name, codec, chunk, raw_length)
+                return _decode_ints(dtype, raw, n) if integer else raw
+            sections[name] = thunk
+        else:
+            raw = _decode_chunk(name, codec, chunk, raw_length)
+            if isinstance(raw, memoryview):
+                raw = bytes(raw)
+            sections[name] = _decode_ints(dtype, raw, n) if integer else raw
     if offset != len(payload):
         raise PersistError("column payload holds trailing bytes")
-
-    def ints(name: str) -> IntColumn:
-        dtype, raw = sections[name]
-        return _decode_ints(dtype, raw, n)
 
     return ColumnarRecords(
         doc_id=doc_id,
         tags=tags,
-        plabels=ints("plabel"),
-        starts=ints("start"),
-        ends=ints("end"),
-        levels=ints("level"),
-        tag_ids=ints("tag_id"),
-        data_nulls=sections["data_null"][1],
-        data_ends=ints("data_ends"),
-        data_blob=sections["data_blob"][1],
-        sd_order=ints("sd_order"),
+        plabels=sections["plabel"],
+        starts=sections["start"],
+        ends=sections["end"],
+        levels=sections["level"],
+        tag_ids=sections["tag_id"],
+        data_nulls=sections["data_null"],
+        data_ends=sections["data_ends"],
+        data_blob=sections["data_blob"],
+        sd_order=sections["sd_order"],
+        n=n,
     )

@@ -1,0 +1,84 @@
+"""Memory-mapped partition files (the zero-copy read path).
+
+A :class:`MappedPartition` owns one read-only :class:`mmap.mmap` over a v2
+partition file and hands out :class:`memoryview` windows into it.  Raw
+column sections decoded from the map are ``memoryview.cast`` views — the
+bytes live in the OS page cache, never on the Python heap — so opening a
+partition costs a handful of pages (header + checksum + fingerprint
+samples) no matter how large the file is.
+
+Lifetime rules:
+
+* The file descriptor is released immediately after mapping (``mmap``
+  duplicates it), so a mapped partition holds no open *file* — only the
+  mapping itself.
+* :meth:`close` releases the mapping.  If column views are still exported
+  (a caller kept a ``memoryview`` alive), CPython refuses to unmap under
+  them; :meth:`close` then drops its own references and lets the mapping
+  unlink when the last view dies.  Either way the caller may delete the
+  underlying file right after ``close()`` returns: POSIX keeps mapped
+  pages valid after ``unlink``, so live snapshots are never torn.
+"""
+
+from __future__ import annotations
+
+import mmap
+from typing import Optional
+
+from repro.exceptions import PersistError
+
+
+class MappedPartition:
+    """A read-only memory map of one partition file."""
+
+    __slots__ = ("path", "_map", "_view")
+
+    def __init__(self, path: str):
+        try:
+            with open(path, "rb") as handle:
+                self._map: Optional[mmap.mmap] = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except (ValueError, OSError) as error:
+            raise PersistError(f"cannot map partition file {path}: {error}")
+        self.path = path
+        self._view: Optional[memoryview] = memoryview(self._map)
+
+    @property
+    def view(self) -> memoryview:
+        """The full-file window (raises once the partition is closed)."""
+        if self._view is None:
+            raise PersistError(f"partition file {self.path} is no longer mapped")
+        return self._view
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` already ran."""
+        return self._view is None
+
+    def size(self) -> int:
+        """The mapped file size in bytes (0 once closed)."""
+        return len(self._map) if self._map is not None else 0
+
+    def close(self) -> bool:
+        """Release the mapping; returns ``True`` if it unmapped eagerly.
+
+        ``False`` means derived views are still exported somewhere: the
+        mapping stays alive behind them and is reclaimed by the garbage
+        collector when the last view drops.  In both cases this object is
+        closed and the underlying file may be deleted safely.
+        """
+        view, self._view = self._view, None
+        backing, self._map = self._map, None
+        if view is not None:
+            view.release()
+        if backing is None:
+            return True
+        try:
+            backing.close()
+        except BufferError:
+            # Exported cast views pin the buffer; the map lives until they
+            # die.  Dropping our reference is enough — deleting the file is
+            # still safe (POSIX mappings survive unlink).
+            return False
+        return True

@@ -10,6 +10,26 @@ A saved :class:`~repro.collection.collection.BLASCollection` is a directory:
         doc-00000-<fp>.blas     # v2 (default): binary columnar partition
         doc-00002-<fp>.json     # v1: JSON record tuples (still readable)
 
+or, for a **sharded** store (``save(..., shards=N)``), a directory of
+self-contained shard stores behind a small root manifest:
+
+.. code-block:: text
+
+    store/
+      MANIFEST.json             # {"format": ...-sharded, "shards": [...]}
+      shard-00/
+        MANIFEST.json           # a complete per-shard manifest
+        partitions/…
+      shard-01/
+        MANIFEST.json
+        partitions/…
+
+Each shard keeps the full scheme-group list and the global ``next_doc_id``
+as of its last rewrite, so every single-document mutation commits through
+exactly *one* shard-manifest swap (append routes to the emptiest shard);
+the merged view on open takes the union of documents, the longest
+scheme-group list (groups are append-only) and the maximum ``next_doc_id``.
+
 Two partition formats coexist (negotiated per file by magic bytes):
 
 * **v2** (``.blas``, written by default) — a binary columnar layout: a
@@ -59,11 +79,13 @@ from repro.core.indexer import IndexedDocument, NodeRecord
 from repro.core.plabel import PLabelScheme
 from repro.exceptions import PersistError
 from repro.storage.columns import (
+    COMPRESSION_POLICIES,
     ColumnarPartition,
     ColumnarRecords,
     decode_columns,
     encode_columns,
 )
+from repro.storage.mapped import MappedPartition
 from repro.storage.stats import fingerprint_records
 from repro.xmlkit.schema import SchemaGraph
 
@@ -87,8 +109,15 @@ PARTITION_FORMATS = ("v1", "v2")
 #: The partition format new writes use unless told otherwise.
 DEFAULT_PARTITION_FORMAT = "v2"
 
+#: The compression policy new v2 writes use unless told otherwise (see
+#: :data:`repro.storage.columns.COMPRESSION_POLICIES`).
+DEFAULT_COMPRESSION = "zlib"
+
 #: Identifying ``format`` tag of a manifest file.
 MANIFEST_FORMAT = "blas-collection-store"
+
+#: Identifying ``format`` tag of the root manifest of a sharded store.
+MANIFEST_SHARDED_FORMAT = "blas-collection-store-sharded"
 
 #: Identifying ``format`` tag of a partition file (both versions).
 PARTITION_FORMAT = "blas-partition"
@@ -166,16 +195,21 @@ def rows_to_records(rows: Sequence[Sequence[object]], doc_id: int) -> List[NodeR
     ]
 
 
-def _encode_partition_v2(indexed: IndexedDocument, doc_id: int) -> bytes:
+def _encode_partition_v2(
+    indexed: IndexedDocument, doc_id: int, compression: str = DEFAULT_COMPRESSION
+) -> bytes:
     """Serialize one document as a v2 binary columnar partition file.
 
     Layout: 8 magic bytes, a little-endian ``u32`` header length, the JSON
     header (metadata + tag dictionary + column directory), the packed
     column sections in directory order, and a BLAKE2b-128 checksum of
-    everything before it.
+    everything before it.  ``compression`` is the per-column write policy
+    (:data:`~repro.storage.columns.COMPRESSION_POLICIES`); the chosen
+    codec is recorded per section in the directory, so readers never need
+    to know the policy.
     """
     columns = ColumnarRecords.from_records(indexed.records, doc_id)
-    directory, payload = encode_columns(columns)
+    directory, payload = encode_columns(columns, compression=compression)
     header = {
         "format": PARTITION_FORMAT,
         "version": PARTITION_VERSION,
@@ -308,16 +342,44 @@ class CollectionStore:
         The format new partition writes use — ``"v2"`` (binary columnar,
         the default) or ``"v1"`` (JSON rows).  Reads auto-detect per file,
         so a store may hold a mix of both.
+    compression:
+        Per-column compression policy for new v2 writes — ``"zlib"``
+        (default, smallest), ``"hot-raw"`` (hot columns raw for the
+        zero-copy mmap path) or ``"raw"``.  Reads go by the per-section
+        codecs recorded in each file.
+    shards:
+        When creating a *new* store: the number of shard directories to
+        spread partitions over.  Opening an existing store discovers its
+        layout from the root manifest; asking for a different shard count
+        than an existing store has is an error (resharding in place is
+        not supported).
     """
 
-    def __init__(self, root: str, partition_format: str = DEFAULT_PARTITION_FORMAT):
+    def __init__(
+        self,
+        root: str,
+        partition_format: str = DEFAULT_PARTITION_FORMAT,
+        compression: Optional[str] = None,
+        shards: Optional[int] = None,
+    ):
         if partition_format not in PARTITION_FORMATS:
             raise PersistError(
                 f"unknown partition format {partition_format!r}; "
                 f"valid choices are {', '.join(PARTITION_FORMATS)}"
             )
+        if compression is not None and compression not in COMPRESSION_POLICIES:
+            raise PersistError(
+                f"unknown compression policy {compression!r}; "
+                f"valid choices are {', '.join(COMPRESSION_POLICIES)}"
+            )
+        if shards is not None and shards < 1:
+            raise PersistError("a sharded store needs at least one shard")
         self.root = root
         self.partition_format = partition_format
+        self.compression = compression or DEFAULT_COMPRESSION
+        self._requested_shards = shards
+        self._shard_names: Optional[List[str]] = None
+        self._layout_known = False
 
     # -- predicates ----------------------------------------------------------------
 
@@ -331,18 +393,149 @@ class CollectionStore:
         """True when ``path`` is (or contains) a collection store manifest."""
         return os.path.isfile(os.path.join(path, MANIFEST_NAME))
 
+    # -- shard layout --------------------------------------------------------------
+
+    def _read_root_json(self) -> Optional[Dict[str, object]]:
+        """The raw root manifest JSON, or ``None`` when the file is absent."""
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as error:
+            raise PersistError(
+                f"cannot read store manifest {self.manifest_path!r}: {error}"
+            )
+
+    def shard_names(self) -> Optional[List[str]]:
+        """The store's shard directories, or ``None`` for an unsharded store.
+
+        The layout comes from the root manifest when one exists; for a
+        store that has not been written yet, the constructor's ``shards``
+        request decides.  The answer is cached — a store never changes
+        layout underneath an open handle.
+        """
+        if self._layout_known:
+            return self._shard_names
+        payload = self._read_root_json()
+        if payload is None:
+            if self._requested_shards:
+                self._shard_names = [
+                    f"shard-{index:02d}" for index in range(self._requested_shards)
+                ]
+            else:
+                self._shard_names = None
+        elif isinstance(payload, dict) and payload.get("format") == MANIFEST_SHARDED_FORMAT:
+            names = [str(name) for name in payload.get("shards", [])]
+            if not names:
+                raise PersistError(f"sharded store at {self.root!r} lists no shards")
+            if self._requested_shards not in (None, len(names)):
+                raise PersistError(
+                    f"store at {self.root!r} already has {len(names)} shards; "
+                    f"resharding in place is not supported"
+                )
+            self._shard_names = names
+        else:
+            if self._requested_shards:
+                raise PersistError(
+                    f"store at {self.root!r} is not sharded; sharding an "
+                    f"existing store in place is not supported"
+                )
+            self._shard_names = None
+        self._layout_known = True
+        return self._shard_names
+
+    @property
+    def is_sharded(self) -> bool:
+        """Whether this store spreads partitions over shard directories."""
+        return self.shard_names() is not None
+
+    def shard_sizes(self) -> Dict[str, int]:
+        """Total on-disk partition bytes per shard (empty when unsharded)."""
+        shards = self.shard_names()
+        if shards is None:
+            return {}
+        sizes: Dict[str, int] = {}
+        for shard in shards:
+            total = 0
+            directory = os.path.join(self.root, shard, PARTITIONS_DIR)
+            try:
+                with os.scandir(directory) as entries:
+                    for entry in entries:
+                        try:
+                            total += entry.stat().st_size
+                        except OSError:
+                            pass
+            except OSError:
+                pass
+            sizes[shard] = total
+        return sizes
+
     # -- manifest I/O --------------------------------------------------------------
 
     def read_manifest(self) -> Manifest:
-        """Parse the manifest; raises :class:`PersistError` when unreadable."""
-        try:
-            with open(self.manifest_path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except FileNotFoundError:
+        """Parse the manifest; raises :class:`PersistError` when unreadable.
+
+        For a sharded store this merges the per-shard manifests into one
+        logical view: documents carry shard-prefixed partition paths,
+        ``next_doc_id`` is the maximum over shards (it only ever grows)
+        and the scheme-group list is the longest one (groups are
+        append-only with immutable content, which the merge verifies).
+        A listed-but-missing shard manifest is a damaged store and fails
+        with an error naming the shard.
+        """
+        payload = self._read_root_json()
+        if payload is None:
             raise PersistError(f"no collection store at {self.root!r} (missing manifest)")
-        except (OSError, json.JSONDecodeError) as error:
-            raise PersistError(f"cannot read store manifest {self.manifest_path!r}: {error}")
+        if isinstance(payload, dict) and payload.get("format") == MANIFEST_SHARDED_FORMAT:
+            return self._read_sharded_manifest(payload)
         return Manifest.from_dict(payload)
+
+    def _read_sharded_manifest(self, payload: Dict[str, object]) -> Manifest:
+        version = int(payload.get("version", -1))
+        if version != FORMAT_VERSION:
+            raise PersistError(
+                f"unsupported store format version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        shards = [str(name) for name in payload.get("shards", [])]
+        if not shards:
+            raise PersistError(f"sharded store at {self.root!r} lists no shards")
+        merged = Manifest(version=version)
+        for shard in shards:
+            shard_path = os.path.join(self.root, shard, MANIFEST_NAME)
+            try:
+                with open(shard_path, "r", encoding="utf-8") as handle:
+                    shard_payload = json.load(handle)
+            except FileNotFoundError:
+                raise PersistError(
+                    f"store at {self.root!r} is missing shard {shard!r} "
+                    f"(expected {shard}/{MANIFEST_NAME})"
+                )
+            except (OSError, json.JSONDecodeError) as error:
+                raise PersistError(
+                    f"cannot read shard manifest {shard_path!r}: {error}"
+                )
+            shard_manifest = Manifest.from_dict(shard_payload)
+            merged.next_doc_id = max(merged.next_doc_id, shard_manifest.next_doc_id)
+            ours, theirs = merged.scheme_groups, shard_manifest.scheme_groups
+            if len(theirs) >= len(ours):
+                if theirs[: len(ours)] != ours:
+                    raise PersistError(
+                        f"shard {shard!r} disagrees with the store's scheme groups"
+                    )
+                merged.scheme_groups = theirs
+            elif ours[: len(theirs)] != theirs:
+                raise PersistError(
+                    f"shard {shard!r} disagrees with the store's scheme groups"
+                )
+            for document in shard_manifest.documents:
+                document.partition = f"{shard}/{document.partition}"
+                merged.documents.append(document)
+        merged.documents.sort(key=lambda document: document.doc_id)
+        self._shard_names = shards
+        self._layout_known = True
+        return merged
 
     def write_manifest(self, manifest: Manifest) -> None:
         """Atomically replace the manifest (temp file + ``os.replace``).
@@ -351,10 +544,75 @@ class CollectionStore:
         are written *before* this call, so a crash anywhere up to the
         ``os.replace`` leaves the previous manifest — and therefore the
         previous store contents — fully readable.
+
+        A sharded store splits ``manifest`` by the shard prefix of each
+        document's partition path and rewrites **only the shards whose
+        document rows changed** — a single-document append or remove
+        commits through exactly one shard-manifest swap, preserving the
+        single-file atomicity argument per shard.  The root manifest (the
+        static shard list) is written once, last, when the store is first
+        created.
         """
-        os.makedirs(self.root, exist_ok=True)
-        payload = json.dumps(manifest.to_dict(), indent=1, sort_keys=True)
-        self._write_atomic(self.manifest_path, payload)
+        shards = self.shard_names()
+        if shards is None:
+            os.makedirs(self.root, exist_ok=True)
+            payload = json.dumps(manifest.to_dict(), indent=1, sort_keys=True)
+            self._write_atomic(self.manifest_path, payload)
+            return
+        by_shard: Dict[str, List[ManifestDocument]] = {shard: [] for shard in shards}
+        for document in manifest.documents:
+            shard, _, relative = document.partition.partition("/")
+            if shard not in by_shard or not relative:
+                raise PersistError(
+                    f"document {document.doc_id} partition "
+                    f"{document.partition!r} does not live in a shard of this store"
+                )
+            row = ManifestDocument.from_dict(document.to_dict())
+            row.partition = relative
+            by_shard[shard].append(row)
+        for shard in shards:
+            target = os.path.join(self.root, shard, MANIFEST_NAME)
+            if self._shard_rows_unchanged(target, by_shard[shard]):
+                continue
+            shard_manifest = Manifest(
+                version=manifest.version,
+                next_doc_id=manifest.next_doc_id,
+                scheme_groups=manifest.scheme_groups,
+                documents=by_shard[shard],
+            )
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            payload = json.dumps(shard_manifest.to_dict(), indent=1, sort_keys=True)
+            self._write_atomic(target, payload)
+        if self._read_root_json() is None:
+            os.makedirs(self.root, exist_ok=True)
+            root_payload = json.dumps(
+                {
+                    "format": MANIFEST_SHARDED_FORMAT,
+                    "version": FORMAT_VERSION,
+                    "shards": list(shards),
+                },
+                indent=1,
+                sort_keys=True,
+            )
+            self._write_atomic(self.manifest_path, root_payload)
+
+    @staticmethod
+    def _shard_rows_unchanged(target: str, rows: Sequence[ManifestDocument]) -> bool:
+        """Whether a shard manifest on disk already lists exactly ``rows``.
+
+        Only the document rows matter: ``next_doc_id`` and the scheme-group
+        list are allowed to go stale in untouched shards (the merged read
+        reconciles them), which is what keeps single-document mutations a
+        single-shard swap.
+        """
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                existing = Manifest.from_dict(json.load(handle))
+        except (OSError, json.JSONDecodeError, PersistError):
+            return False
+        return [document.to_dict() for document in existing.documents] == [
+            document.to_dict() for document in rows
+        ]
 
     def _write_atomic(self, target: str, payload: Union[str, bytes]) -> None:
         binary = isinstance(payload, bytes)
@@ -429,12 +687,23 @@ class CollectionStore:
         atomic (temp file + rename), so a reader following the *old*
         manifest never observes a half-written partition even while an
         append is overwriting an orphan of the same name.
+
+        In a sharded store the file lands in the shard whose partition
+        directory currently holds the fewest bytes (ties go to the first
+        shard), and the returned path carries the shard prefix.
         """
         relative = self.partition_name(doc_id, fingerprint, self.partition_format)
+        shards = self.shard_names()
+        if shards is not None:
+            sizes = self.shard_sizes()
+            emptiest = min(shards, key=lambda shard: sizes.get(shard, 0))
+            relative = f"{emptiest}/{relative}"
         target = os.path.join(self.root, relative)
         os.makedirs(os.path.dirname(target), exist_ok=True)
         if self.partition_format == "v2":
-            payload: Union[str, bytes] = _encode_partition_v2(indexed, doc_id)
+            payload: Union[str, bytes] = _encode_partition_v2(
+                indexed, doc_id, self.compression
+            )
         else:
             payload = json.dumps(
                 {
@@ -475,16 +744,29 @@ class CollectionStore:
             The *shared* scheme of the document's group — the rebuilt index
             references the group's scheme instance rather than a private
             copy, mirroring how ingestion shares schemes.
+
+        A v2 file is **memory-mapped**, not read: the checksum streams over
+        the map, the column sections decode lazily, and raw sections come
+        back as zero-copy views of the page cache.  The returned
+        :class:`ColumnarPartition` carries its
+        :class:`~repro.storage.mapped.MappedPartition` so the cache/remove
+        paths can release the mapping before deleting the file.
         """
         path = os.path.join(self.root, entry.partition)
         try:
             with open(path, "rb") as handle:
-                blob = handle.read()
+                magic = handle.read(len(PARTITION_MAGIC))
+                if magic != PARTITION_MAGIC:
+                    blob = magic + handle.read()
+                    return self._parse_partition_v1(blob, path, entry, scheme)
         except OSError as error:
             raise PersistError(f"cannot read partition {path!r}: {error}")
-        if blob.startswith(PARTITION_MAGIC):
-            return self._parse_partition_v2(blob, path, entry, scheme)
-        return self._parse_partition_v1(blob, path, entry, scheme)
+        mapped = MappedPartition(path)
+        try:
+            return self._parse_partition_v2(mapped.view, path, entry, scheme, mapped)
+        except BaseException:
+            mapped.close()
+            raise
 
     def _parse_partition_v1(
         self, blob: bytes, path: str, entry: ManifestDocument, scheme: PLabelScheme
@@ -533,7 +815,12 @@ class CollectionStore:
             raise PersistError(f"malformed partition file {path!r}: {error!r}")
 
     def _parse_partition_v2(
-        self, blob: bytes, path: str, entry: ManifestDocument, scheme: PLabelScheme
+        self,
+        blob: Union[bytes, memoryview],
+        path: str,
+        entry: ManifestDocument,
+        scheme: PLabelScheme,
+        mapped: Optional[MappedPartition] = None,
     ) -> ColumnarPartition:
         """Parse a binary columnar partition (checksum, header, columns).
 
@@ -542,6 +829,11 @@ class CollectionStore:
         manifest fingerprint is then re-checked over a sample of lazily
         materialized records, guarding against a consistent-but-wrong file
         being wired to the wrong manifest row.
+
+        When ``blob`` is the ``memoryview`` of a mapped file (``mapped``
+        set), the checksum digests the map without copying it, the columns
+        decode lazily (the fingerprint sample touches only the sampled
+        slots' sections) and raw sections stay zero-copy views of the map.
         """
         minimum = len(PARTITION_MAGIC) + 4 + CHECKSUM_BYTES
         if len(blob) < minimum:
@@ -557,7 +849,7 @@ class CollectionStore:
             header_end = 12 + header_len
             if header_end > len(body):
                 raise PersistError(f"partition {path!r} header is out of bounds")
-            header = json.loads(body[12:header_end].decode("utf-8"))
+            header = json.loads(bytes(body[12:header_end]).decode("utf-8"))
             payload = body[header_end:]
             if header.get("format") != PARTITION_FORMAT:
                 raise PersistError(f"{path!r} is not a partition file")
@@ -579,6 +871,7 @@ class CollectionStore:
                 doc_id=entry.doc_id,
                 tags=[str(tag) for tag in header["tags"]],
                 n=int(header["records"]),
+                lazy=mapped is not None,
             )
             name = str(header["name"] or "")
             actual = fingerprint_records(columns.sp_view(), name=name)
@@ -594,6 +887,7 @@ class CollectionStore:
                 name=header["name"],
                 source_size_bytes=int(header["source_size_bytes"]),
                 fingerprint=entry.fingerprint,
+                mapped=mapped,
             )
         except PersistError:
             raise
@@ -624,20 +918,26 @@ class CollectionStore:
         list of str
             Relative paths of the files that were removed.
         """
-        directory = os.path.join(self.root, PARTITIONS_DIR)
-        try:
-            present = os.listdir(directory)
-        except OSError:
-            return []
+        shards = self.shard_names()
+        if shards is None:
+            prefixes = [PARTITIONS_DIR]
+        else:
+            prefixes = [f"{shard}/{PARTITIONS_DIR}" for shard in shards]
         referenced = {entry.partition for entry in manifest.documents}
         removed = []
-        for name in present:
-            relative = f"{PARTITIONS_DIR}/{name}"
-            if relative in referenced:
-                continue
+        for prefix in prefixes:
+            directory = os.path.join(self.root, prefix)
             try:
-                os.unlink(os.path.join(directory, name))
-                removed.append(relative)
+                present = os.listdir(directory)
             except OSError:
-                pass
+                continue
+            for name in present:
+                relative = f"{prefix}/{name}"
+                if relative in referenced:
+                    continue
+                try:
+                    os.unlink(os.path.join(directory, name))
+                    removed.append(relative)
+                except OSError:
+                    pass
         return removed

@@ -30,9 +30,10 @@ from __future__ import annotations
 import bisect
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.indexer import IndexedDocument, NodeRecord
 from repro.exceptions import StorageError
@@ -564,6 +565,32 @@ class StorageCatalog:
             return self.sd
         raise StorageError(f"unknown table source {source!r}")
 
+    def resident_bytes(self) -> Optional[int]:
+        """Estimated heap bytes of the partition's decoded column data.
+
+        ``None`` for a record-backed catalog (its records are owned by the
+        caller, not by any cache budget).  The estimate covers decoded
+        sections, decompressed blobs and materialized record objects — the
+        state eviction can actually release; mapped sections count zero
+        because their pages belong to the OS page cache.
+        """
+        if self._partition is None:
+            return None
+        return self._partition.columns.resident_bytes()
+
+    def release_mapping(self) -> None:
+        """Close the partition's file mapping, if it has one.
+
+        Called by the partition cache when this catalog is evicted or its
+        document removed, *before* the store deletes partition files.  A
+        still-running reader that exported column views keeps the mapping
+        alive until it drops them (POSIX keeps mapped pages valid past
+        ``unlink``), so live snapshots are never torn.
+        """
+        partition = self._partition
+        if partition is not None and partition.mapped is not None:
+            partition.mapped.close()
+
 
 #: What a lazy-partition loader may produce: exact records (v1 stores) or
 #: packed columns (v2 stores).
@@ -602,17 +629,42 @@ class PartitionedCatalog:
     immediately, but its tables are built only when :meth:`catalog_for`
     first touches it.  This is what makes opening an on-disk collection
     store O(manifest) instead of O(corpus).
+
+    Lazily-registered **columnar** partitions additionally live under a
+    bounded cache: their decoded heap bytes are accounted, and when
+    ``cache_bytes`` is set, least-recently-used partitions are demoted back
+    to lazy (mapping closed, record caches dropped) until the total fits
+    the budget.  A demoted partition transparently re-faults from its
+    retained loader on next touch — eviction is invisible to correctness,
+    only to latency.  :meth:`pinned` marks a partition in use so an
+    in-flight query can never have its partition evicted under it.
+    Record-backed partitions (v1 stores, direct :meth:`add_partition`) are
+    never accounted or evicted: mixed-format stores simply cache less.
     """
 
     def __init__(
         self,
         page_layout: Optional[PageLayout] = None,
         btree_order: int = 64,
+        cache_bytes: Optional[int] = None,
     ):
+        if cache_bytes is not None and cache_bytes < 0:
+            raise StorageError("cache_bytes must be non-negative")
         self._layout = page_layout or PageLayout()
         self._btree_order = btree_order
+        self.cache_bytes = cache_bytes
         self._partitions: Dict[int, StorageCatalog] = {}
         self._lazy: Dict[int, _LazyPartition] = {}
+        #: Loaders of evictable partitions, retained across evictions so a
+        #: demoted partition can always re-fault.
+        self._sources: Dict[int, _LazyPartition] = {}
+        #: doc_id -> accounted heap bytes, in LRU order (oldest first).
+        self._resident: "OrderedDict[int, int]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        self._peak_cached = 0
         self._statistics_cache: Dict[Tuple[int, ...], CatalogStatistics] = {}
         self._fingerprint_cache: Dict[Tuple[int, ...], str] = {}
         # Concurrent queries share one partition set (the collection's
@@ -688,16 +740,25 @@ class PartitionedCatalog:
         return StorageCatalog(loaded, self._layout, self._btree_order)
 
     def remove_partition(self, doc_id: int) -> None:
-        """Drop a document's partition (both layouts at once)."""
+        """Drop a document's partition (both layouts at once).
+
+        Releases the partition's file mapping on the way out, so callers
+        may delete the partition file immediately after this returns.
+        """
         with self._lock:
-            if doc_id in self._partitions:
-                del self._partitions[doc_id]
-            elif doc_id in self._lazy:
-                del self._lazy[doc_id]
-            else:
-                raise StorageError(f"doc_id {doc_id} is not part of this store")
+            catalog = self._partitions.pop(doc_id, None)
+            if catalog is None:
+                if doc_id in self._lazy:
+                    del self._lazy[doc_id]
+                else:
+                    raise StorageError(f"doc_id {doc_id} is not part of this store")
             self._load_locks.pop(doc_id, None)
+            self._sources.pop(doc_id, None)
+            self._resident.pop(doc_id, None)
+            self._pins.pop(doc_id, None)
             self._invalidate()
+        if catalog is not None:
+            catalog.release_mapping()
 
     def _invalidate(self) -> None:
         # Callers hold self._lock.  The version stamp lets the summary
@@ -712,13 +773,15 @@ class PartitionedCatalog:
     def catalog_for(self, doc_id: int) -> StorageCatalog:
         """The per-document :class:`StorageCatalog` slice for ``doc_id``.
 
-        Materialises a lazy partition on first touch; summary caches are
-        *not* invalidated by materialisation because the loaded content is
+        Materialises a lazy partition on first touch (re-faulting one the
+        cache evicted earlier); summary caches are *not* invalidated by
+        materialisation — or by eviction — because the loaded content is
         exactly what the manifest described.
         """
         with self._lock:
             catalog = self._partitions.get(doc_id)
             if catalog is not None:
+                self._touch(doc_id, catalog)
                 return catalog
             lazy = self._lazy.get(doc_id)
             if lazy is None:
@@ -732,6 +795,7 @@ class PartitionedCatalog:
             with self._lock:
                 catalog = self._partitions.get(doc_id)
                 if catalog is not None:
+                    self._touch(doc_id, catalog)
                     return catalog
                 lazy = self._lazy.get(doc_id)
                 if lazy is None:  # removed while we waited for the lock
@@ -743,7 +807,96 @@ class PartitionedCatalog:
                 self._partitions[doc_id] = catalog
                 del self._lazy[doc_id]
                 self._load_locks.pop(doc_id, None)
+                victims: List[StorageCatalog] = []
+                if catalog.resident_bytes() is not None:
+                    # Columnar and lazily-sourced: joins the bounded cache.
+                    self._sources.setdefault(doc_id, lazy)
+                    self._cache_misses += 1
+                    self._resident[doc_id] = catalog.resident_bytes()
+                    self._resident.move_to_end(doc_id)
+                    victims = self._enforce_budget(protect={doc_id})
+            for victim in victims:
+                victim.release_mapping()
             return catalog
+
+    def _touch(self, doc_id: int, catalog: StorageCatalog) -> None:
+        # Callers hold self._lock.  Refresh the accounted size (sections
+        # resolve and records materialize between touches) and mark the
+        # partition most-recently used.
+        if doc_id in self._resident:
+            self._cache_hits += 1
+            self._resident[doc_id] = catalog.resident_bytes() or 0
+            self._resident.move_to_end(doc_id)
+
+    def _enforce_budget(self, protect=frozenset()) -> List[StorageCatalog]:
+        # Callers hold self._lock.  Demote LRU victims until the accounted
+        # total fits the budget; returns the evicted catalogs so callers
+        # can release their mappings outside the lock.  Pinned partitions
+        # (and ``protect``, the partition being touched right now) are
+        # never victims, so a running query keeps its snapshot; the peak
+        # is recorded *after* enforcement — it is the high-water mark of
+        # what the cache actually let stay resident.
+        victims: List[StorageCatalog] = []
+        total = sum(self._resident.values())
+        if self.cache_bytes is not None and total > self.cache_bytes:
+            for victim_id in list(self._resident.keys()):
+                if total <= self.cache_bytes:
+                    break
+                if victim_id in protect or self._pins.get(victim_id, 0):
+                    continue
+                total -= self._resident.pop(victim_id)
+                victims.append(self._partitions.pop(victim_id))
+                self._lazy[victim_id] = self._sources[victim_id]
+                self._cache_evictions += 1
+        if total > self._peak_cached:
+            self._peak_cached = total
+        return victims
+
+    @contextmanager
+    def pinned(self, doc_id: int) -> Iterator[StorageCatalog]:
+        """Context manager yielding the partition's catalog, eviction-proof.
+
+        The pin is taken *before* the partition materializes, so not even
+        the load itself can be undone by a concurrent eviction; on exit
+        the accounted size is refreshed (the query may have resolved
+        sections or materialized records) and the budget enforced.
+        """
+        with self._lock:
+            self._pins[doc_id] = self._pins.get(doc_id, 0) + 1
+        try:
+            yield self.catalog_for(doc_id)
+        finally:
+            victims: List[StorageCatalog] = []
+            with self._lock:
+                count = self._pins.get(doc_id, 0) - 1
+                if count > 0:
+                    self._pins[doc_id] = count
+                else:
+                    self._pins.pop(doc_id, None)
+                catalog = self._partitions.get(doc_id)
+                if catalog is not None and doc_id in self._resident:
+                    self._resident[doc_id] = catalog.resident_bytes() or 0
+                    victims = self._enforce_budget()
+            for victim in victims:
+                victim.release_mapping()
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Counters of the bounded partition cache (all zero when unused).
+
+        Keys: ``budget_bytes`` (``None`` = unbounded), ``cached_bytes``,
+        ``peak_cached_bytes``, ``cached_partitions``, ``hits``, ``misses``
+        (each a load or re-fault) and ``evictions``.
+        """
+        with self._lock:
+            return {
+                "budget_bytes": self.cache_bytes,
+                "cached_bytes": sum(self._resident.values()),
+                "peak_cached_bytes": self._peak_cached,
+                "cached_partitions": len(self._resident),
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "evictions": self._cache_evictions,
+            }
 
     def is_loaded(self, doc_id: int) -> bool:
         """True when the partition's tables are resident (not pending a load)."""

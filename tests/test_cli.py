@@ -426,3 +426,68 @@ def test_stats_reports_store_bytes_per_document(store_dir, capsys):
     assert code == 0
     assert "store size:" in captured
     assert "bytes/doc" in captured
+
+
+def test_save_with_shards_and_raw_columns(collection_dir, tmp_path, capsys):
+    store = str(tmp_path / "sharded.store")
+    code = main([
+        "collection", "save", collection_dir, store, "--shards", "2",
+        "--raw-columns",
+    ])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "2 shard(s)" in captured
+    assert os.path.isdir(os.path.join(store, "shard-00"))
+    assert os.path.isdir(os.path.join(store, "shard-01"))
+    code = main(["collection", "query", store, "//author", "--count"])
+    assert code == 0
+    assert "5 result node(s)" in capsys.readouterr().out
+
+
+def test_stats_reports_partition_cache_and_shards(collection_dir, tmp_path, capsys):
+    store = str(tmp_path / "sharded.store")
+    assert main(["collection", "save", collection_dir, store, "--shards", "2"]) == 0
+    capsys.readouterr()
+    code = main([
+        "collection", "stats", store, "--cache-bytes", "1", "--query", "//author",
+    ])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "partition cache:" in captured
+    assert "1 byte budget" in captured
+    assert "miss(es)" in captured
+    assert "eviction(s)" in captured
+    assert "shard-00:" in captured
+    assert "shard-01:" in captured
+
+
+def test_query_with_cache_bytes_matches_unbounded(store_dir, capsys):
+    assert main(["collection", "query", store_dir, "//author", "--count"]) == 0
+    unbounded = capsys.readouterr().out
+    assert main([
+        "collection", "query", store_dir, "//author", "--count",
+        "--cache-bytes", "1",
+    ]) == 0
+    capped = capsys.readouterr().out
+    assert "5 result node(s)" in capped
+    assert capped.splitlines()[1] == unbounded.splitlines()[1]  # per-doc counts
+
+
+def test_missing_shard_prints_one_line_error(collection_dir, tmp_path, capsys):
+    store = str(tmp_path / "sharded.store")
+    assert main(["collection", "save", collection_dir, store, "--shards", "2"]) == 0
+    capsys.readouterr()
+    import shutil
+
+    shutil.rmtree(os.path.join(store, "shard-01"))
+    for argv in (
+        ["collection", "open", store],
+        ["collection", "query", store, "//author"],
+    ):
+        code = main(argv)
+        captured = capsys.readouterr().out
+        assert code == 1
+        lines = [line for line in captured.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert "shard-01" in lines[0]

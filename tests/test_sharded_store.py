@@ -1,0 +1,227 @@
+"""Tests for the sharded collection-store layout.
+
+One logical collection spans multiple shard directories: the root
+``MANIFEST.json`` lists the shards, each shard holds a complete manifest
+plus its own ``partitions/``.  Covers round trips, emptiest-shard append
+routing, single-shard manifest rewrites on mutation, per-shard garbage
+collection, the missing-shard error, and the in-place resharding guards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.collection import BLASCollection
+from repro.exceptions import PersistError
+from repro.storage.persist import MANIFEST_NAME, CollectionStore
+
+DOC_TEXTS = {
+    "alpha.xml": (
+        "<lib><book><title>alpha one</title><year>2001</year></book>"
+        "<book><title>alpha two</title><year>2002</year></book></lib>"
+    ),
+    "beta.xml": (
+        "<lib><book><title>beta one</title><year>2003</year></book>"
+        "<book><title>beta two</title><year>2004</year></book></lib>"
+    ),
+    "gamma.xml": (
+        "<lib><book><title>gamma one</title><year>2006</year></book></lib>"
+    ),
+}
+
+QUERIES = ("//title", "//book[year]", "/lib/book/title")
+
+
+def build_collection() -> BLASCollection:
+    collection = BLASCollection()
+    for name, text in DOC_TEXTS.items():
+        collection.add_xml(text, name=name)
+    return collection
+
+
+def shard_manifest(store: str, shard: str) -> bytes:
+    with open(os.path.join(store, shard, MANIFEST_NAME), "rb") as handle:
+        return handle.read()
+
+
+# -- layout and round trips ---------------------------------------------------------
+
+
+def test_sharded_layout_on_disk(tmp_path):
+    store = str(tmp_path / "store")
+    build_collection().save(store, shards=2)
+    with open(os.path.join(store, MANIFEST_NAME)) as handle:
+        root = json.load(handle)
+    assert root["format"] == "blas-collection-store-sharded"
+    assert root["shards"] == ["shard-00", "shard-01"]
+    for shard in root["shards"]:
+        assert os.path.isfile(os.path.join(store, shard, MANIFEST_NAME))
+        assert os.path.isdir(os.path.join(store, shard, "partitions"))
+    # Every document's partition file lives inside its manifest shard.
+    opened = CollectionStore(store)
+    manifest = opened.read_manifest()
+    assert opened.is_sharded
+    for document in manifest.documents:
+        shard = document.partition.partition("/")[0]
+        assert shard in root["shards"]
+        assert os.path.isfile(os.path.join(store, document.partition))
+
+
+@pytest.mark.parametrize("compression", [None, "hot-raw", "raw"])
+def test_sharded_round_trip_is_byte_identical(tmp_path, compression):
+    fresh = build_collection()
+    store = str(tmp_path / "store")
+    fresh.save(store, shards=3, compression=compression)
+    opened = BLASCollection.open(store)
+    for query in QUERIES:
+        a, b = fresh.query(query), opened.query(query)
+        assert a.starts == b.starts, query
+        assert a.values() == b.values(), query
+        assert a.stats.as_dict() == b.stats.as_dict(), query
+
+
+def test_more_shards_than_documents_is_fine(tmp_path):
+    store = str(tmp_path / "store")
+    build_collection().save(store, shards=8)
+    opened = BLASCollection.open(store)
+    assert opened.query("//title").count == 5
+
+
+# -- append routing and single-shard rewrites ---------------------------------------
+
+
+def test_append_routes_to_the_emptiest_shard(tmp_path):
+    store = str(tmp_path / "store")
+    collection = build_collection()
+    collection.save(store, shards=2)
+    sizes = CollectionStore(store).shard_sizes()
+    emptiest = min(sizes, key=sizes.get)
+    doc_id = collection.add_xml(
+        "<lib><book><title>delta</title><year>2007</year></book></lib>",
+        name="delta.xml",
+    )
+    placed = collection._partition_paths[doc_id]
+    assert placed.partition("/")[0] == emptiest
+    # And the store balances: repeated appends never pile onto one shard.
+    for index in range(4):
+        collection.add_xml(
+            f"<lib><book><title>extra {index}</title></book></lib>",
+            name=f"extra{index}.xml",
+        )
+    by_shard = {"shard-00": 0, "shard-01": 0}
+    for path in collection._partition_paths.values():
+        by_shard[path.partition("/")[0]] += 1
+    assert min(by_shard.values()) >= 3
+
+
+def test_append_rewrites_only_the_touched_shard_manifest(tmp_path):
+    store = str(tmp_path / "store")
+    collection = build_collection()
+    collection.save(store, shards=2)
+    sizes = CollectionStore(store).shard_sizes()
+    target = min(sizes, key=sizes.get)
+    other = next(shard for shard in sizes if shard != target)
+    before = shard_manifest(store, other)
+    collection.add_xml("<lib><book><title>delta</title></book></lib>", name="delta.xml")
+    assert shard_manifest(store, other) == before  # untouched shard: same bytes
+    assert shard_manifest(store, target) != before
+
+
+def test_remove_persists_and_touches_one_shard(tmp_path):
+    store = str(tmp_path / "store")
+    collection = build_collection()
+    collection.save(store, shards=2)
+    victim_path = collection._partition_paths[0]
+    victim_shard = victim_path.partition("/")[0]
+    other = next(
+        shard
+        for shard in CollectionStore(store).shard_sizes()
+        if shard != victim_shard
+    )
+    before = shard_manifest(store, other)
+    collection.remove("alpha.xml")
+    assert not os.path.exists(os.path.join(store, victim_path))
+    assert shard_manifest(store, other) == before
+    reopened = BLASCollection.open(store)
+    assert sorted(entry["name"] for entry in reopened.documents()) == [
+        "beta.xml",
+        "gamma.xml",
+    ]
+    assert reopened.query("//title").count == 3
+
+
+def test_scheme_groups_stay_stable_across_shard_mutations(tmp_path):
+    """Emptied scheme groups keep their manifest positions, so shard
+    manifests skipped by a mutation never reference a shifted group id."""
+    collection = BLASCollection()
+    collection.add_xml(DOC_TEXTS["alpha.xml"], name="alpha.xml")
+    collection.add_xml("<news><story><headline>h1</headline></story></news>",
+                       name="news.xml")
+    store = str(tmp_path / "store")
+    collection.save(store, shards=2)
+    collection.remove("alpha.xml")  # empties the first scheme group
+    collection.add_xml("<news><story><headline>h2</headline></story></news>",
+                       name="more.xml")
+    reopened = BLASCollection.open(store)
+    assert reopened.query("//headline").count == 2
+    assert reopened.query("//title").count == 0
+
+
+def test_resave_collects_garbage_in_every_shard(tmp_path):
+    store = str(tmp_path / "store")
+    collection = build_collection()
+    collection.save(store, shards=2)
+    for shard in ("shard-00", "shard-01"):
+        orphan = os.path.join(store, shard, "partitions", "doc-99999-deadbeef.blas")
+        with open(orphan, "wb") as handle:
+            handle.write(b"orphan")
+    build_collection().save(store, shards=2)
+    for shard in ("shard-00", "shard-01"):
+        assert not os.path.exists(
+            os.path.join(store, shard, "partitions", "doc-99999-deadbeef.blas")
+        )
+    assert BLASCollection.open(store).query("//title").count == 5
+
+
+# -- failure modes ------------------------------------------------------------------
+
+
+def test_missing_shard_directory_is_reported_by_name(tmp_path):
+    store = str(tmp_path / "store")
+    build_collection().save(store, shards=2)
+    os.remove(os.path.join(store, "shard-01", MANIFEST_NAME))
+    with pytest.raises(PersistError, match=r"missing shard 'shard-01'"):
+        BLASCollection.open(store)
+
+
+def test_resharding_in_place_is_rejected(tmp_path):
+    store = str(tmp_path / "store")
+    build_collection().save(store, shards=2)
+    with pytest.raises(PersistError, match="resharding"):
+        CollectionStore(store, shards=3).shard_names()
+
+
+def test_sharding_an_existing_unsharded_store_is_rejected(tmp_path):
+    store = str(tmp_path / "store")
+    build_collection().save(store)
+    with pytest.raises(PersistError, match="sharding an existing store"):
+        CollectionStore(store, shards=2).shard_names()
+
+
+def test_shard_count_must_be_positive(tmp_path):
+    with pytest.raises(PersistError):
+        CollectionStore(str(tmp_path / "store"), shards=0)
+
+
+def test_sharded_store_keeps_fingerprints_and_plans_valid(tmp_path):
+    fresh = build_collection()
+    store = str(tmp_path / "store")
+    fresh.save(store, shards=2)
+    opened = BLASCollection.open(store)
+    for doc_id in fresh.doc_ids():
+        assert fresh.store.partition_fingerprint(
+            doc_id
+        ) == opened.store.partition_fingerprint(doc_id)

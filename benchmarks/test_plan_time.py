@@ -1,0 +1,137 @@
+"""Plan-time benchmark: the greedy fast path plans eligible queries >=10x faster.
+
+Times plan *selection* (``PlannedQuery.planning_seconds`` — the decision
+clock, which excludes lowering and SQL generation) for every workload
+query, once through the planner as shipped and once with the fast path
+disabled so enumeration runs.  Asserts that
+
+* every fast-path-eligible query plans at least 10x faster than full
+  enumeration, and
+* fast-path and exhaustive plans give byte-identical answers and
+  visited-element counters on the whole workload,
+
+so the latency win provably costs nothing in plan quality.  With
+``PLAN_TIME_JSON`` set, the per-query timings are written there (CI
+uploads the file as the ``plan-time-timings.json`` artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.bench.harness import build_bench_system
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+
+#: Queries whose shape is provably fast-path eligible (linear chains).
+ELIGIBLE = {
+    ("shakespeare", "QS1"),
+    ("protein", "QP1"),
+    ("auction", "QA1"),
+    ("auction", "Q2"),
+    ("auction", "Q5"),
+}
+
+#: Median-of-N planning repetitions per (query, mode).
+REPEATS = 50
+
+#: The asserted speed-up floor on eligible queries.
+SPEEDUP_FLOOR = 10.0
+
+
+def _median_plan(planner, tree, text, disable_fast: bool):
+    """Median plan-selection seconds (and the last plan) over REPEATS runs."""
+    if disable_fast:
+        original = planner._fast_path_decision
+        planner._fast_path_decision = lambda _tree: None
+    try:
+        times = []
+        planned = None
+        for _ in range(REPEATS):
+            planned = planner.plan(tree, text)
+            times.append(planned.planning_seconds)
+        return planned, statistics.median(times)
+    finally:
+        if disable_fast:
+            planner._fast_path_decision = original
+
+
+@pytest.fixture(scope="module")
+def report():
+    rows = []
+    for dataset in ("shakespeare", "protein", "auction"):
+        harness = build_bench_system(dataset, scale=1)
+        system = harness.system
+        planner = system.planner
+        planner.model  # build statistics outside the timings
+        for name, path in sorted(harness.queries.items()):
+            text = str(path)
+            tree = build_query_tree(parse_xpath(text))
+            wall_started = time.perf_counter()
+            fast_plan, fast_seconds = _median_plan(planner, tree, text, False)
+            full_plan, full_seconds = _median_plan(planner, tree, text, True)
+            wall_seconds = time.perf_counter() - wall_started
+            fast_result = system._execute_planned(fast_plan)
+            full_result = system._execute_planned(full_plan)
+            rows.append({
+                "dataset": dataset,
+                "query": name,
+                "xpath": text,
+                "eligible": (dataset, name) in ELIGIBLE,
+                "fast_path_taken": fast_plan.fast_path,
+                "fast_plan_us": fast_seconds * 1e6,
+                "exhaustive_plan_us": full_seconds * 1e6,
+                "speedup": (full_seconds / fast_seconds) if fast_seconds else None,
+                "chosen_translator": fast_plan.translator,
+                "chosen_engine": fast_plan.engine,
+                "skipped_candidates": fast_plan.skipped_candidates,
+                "answers_identical": fast_result.starts == full_result.starts,
+                "elements_read_fast": fast_result.stats.elements_read,
+                "elements_read_exhaustive": full_result.stats.elements_read,
+                "bench_wall_seconds": wall_seconds,
+            })
+    target = os.environ.get("PLAN_TIME_JSON")
+    if target:
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, sort_keys=True)
+    return rows
+
+
+def test_covers_the_whole_workload(report):
+    names = {(row["dataset"], row["query"]) for row in report}
+    assert ELIGIBLE <= names
+    assert len(names) == 14
+
+
+def test_fast_path_fires_exactly_on_the_eligible_queries(report):
+    for row in report:
+        assert row["fast_path_taken"] == row["eligible"], row["query"]
+
+
+def test_eligible_queries_plan_at_least_10x_faster(report):
+    for row in report:
+        if not row["eligible"]:
+            continue
+        assert row["speedup"] >= SPEEDUP_FLOOR, (
+            f"{row['dataset']}/{row['query']}: fast {row['fast_plan_us']:.1f}us "
+            f"vs exhaustive {row['exhaustive_plan_us']:.1f}us "
+            f"is only {row['speedup']:.1f}x"
+        )
+
+
+def test_answers_and_counters_are_byte_identical(report):
+    for row in report:
+        assert row["answers_identical"], row["query"]
+        assert row["elements_read_fast"] == row["elements_read_exhaustive"], row["query"]
+
+
+def test_fast_path_skips_the_other_translators(report):
+    for row in report:
+        if row["eligible"]:
+            assert row["skipped_candidates"] > 0
+            assert row["chosen_translator"] == "pushup"

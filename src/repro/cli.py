@@ -90,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--count", action="store_true",
         help="print only the result count; skips value materialization entirely",
     )
+    query.add_argument(
+        "--plan-budget-ms", type=float, default=None, metavar="MS",
+        help="bound plan-selection latency: 0 always forces the greedy "
+             "seed-preference plan, larger budgets stop candidate "
+             "enumeration once exceeded (default: unbounded)",
+    )
 
     plan = subparsers.add_parser("plan", help="show every translator's plan for a query")
     plan.add_argument("file", help="path to the XML document")
@@ -171,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound the partition cache to this many resident bytes "
              "(store-backed collections only)",
     )
+    c_query.add_argument(
+        "--plan-budget-ms", type=float, default=None, metavar="MS",
+        help="bound plan-selection latency per scheme group: 0 always "
+             "forces the greedy plan (default: unbounded)",
+    )
 
     c_explain = collection_sub.add_parser("explain", help="show the per-scheme-group plans for a query")
     c_explain.add_argument("directory", help="the collection directory")
@@ -221,6 +232,7 @@ def _run_query(args: argparse.Namespace) -> int:
         engine=args.engine,
         limit=None if args.count else args.limit,
         count_only=args.count,
+        plan_budget_ms=args.plan_budget_ms,
     )
     if args.explain:
         if result.planned is not None:
@@ -453,6 +465,7 @@ def _run_collection(args: argparse.Namespace) -> int:
             workers=args.workers,
             limit=None if args.count else args.limit,
             count_only=args.count,
+            plan_budget_ms=args.plan_budget_ms,
         )
         names = {entry.doc_id: entry.name for entry in
                  (collection.entry(doc_id) for doc_id in collection.doc_ids())}

@@ -744,24 +744,36 @@ class BLASCollection:
         query: Union[str, LocationPath],
         translator: str = "auto",
         engine: str = "auto",
+        plan_budget_ms: Optional[float] = None,
     ) -> PlannedQuery:
         """Plan a query once for one scheme group (with caching)."""
         tree = self._query_tree(query)
-        return self._plan_group(group, tree, tree.to_xpath(), translator, engine)
+        return self._plan_group(
+            group, tree, tree.to_xpath(), translator, engine, plan_budget_ms
+        )
 
     def _plan_group(
-        self, group: SchemeGroup, tree, text: str, translator: str, engine: str
+        self,
+        group: SchemeGroup,
+        tree,
+        text: str,
+        translator: str,
+        engine: str,
+        plan_budget_ms: Optional[float] = None,
     ) -> PlannedQuery:
         if translator == "unfold" and group.schema is None:
             raise SchemaError(
                 "translator 'unfold' needs a schema graph covering every "
                 f"document of scheme group {group.group_id}"
             )
-        key = plan_key(text, translator, engine, group.fingerprint())
+        key = plan_key(text, translator, engine, group.fingerprint(), plan_budget_ms)
         cached = self.plan_cache.get(key)
         if cached is not None:
             return dataclasses.replace(cached, cache_hit=True)
-        planned = group.planner.plan(tree, text, translator=translator, engine=engine)
+        planned = group.planner.plan(
+            tree, text, translator=translator, engine=engine,
+            plan_budget_ms=plan_budget_ms,
+        )
         self.plan_cache.put(key, planned)
         return planned
 
@@ -787,6 +799,7 @@ class BLASCollection:
         workers: int = 0,
         limit: Optional[int] = None,
         count_only: bool = False,
+        plan_budget_ms: Optional[float] = None,
     ) -> CollectionResult:
         """Answer an XPath query over every document of the collection.
 
@@ -814,6 +827,10 @@ class BLASCollection:
         count_only:
             Skip record materialization entirely; the result carries
             counts and counters but an empty ``records`` list.
+        plan_budget_ms:
+            Plan-selection latency bound in milliseconds, applied to every
+            scheme group's planning (``0`` always forces the greedy plan;
+            ``None`` enumerates exhaustively).
 
         Returns
         -------
@@ -836,7 +853,9 @@ class BLASCollection:
             )
         started = time.perf_counter()
         plans: Dict[int, PlannedQuery] = {
-            group.group_id: self._plan_group(group, tree, text, translator, engine)
+            group.group_id: self._plan_group(
+                group, tree, text, translator, engine, plan_budget_ms
+            )
             for group in self.scheme_groups()
         }
         entries = [self._documents[doc_id] for doc_id in self.doc_ids()]
@@ -910,6 +929,7 @@ class BLASCollection:
         query: Union[str, LocationPath],
         translator: str = "auto",
         engine: str = "auto",
+        plan_budget_ms: Optional[float] = None,
     ) -> str:
         """Readable cross-document EXPLAIN.
 
@@ -925,6 +945,8 @@ class BLASCollection:
             XPath text or a pre-parsed :class:`LocationPath`.
         translator, engine:
             Requested names, as in :meth:`query`.
+        plan_budget_ms:
+            Plan-selection latency bound, as in :meth:`query`.
 
         Returns
         -------
@@ -940,7 +962,9 @@ class BLASCollection:
             f"scheme_groups={len(self.scheme_groups())}"
         )
         for group in self.scheme_groups():
-            planned = self._plan_group(group, tree, text, translator, engine)
+            planned = self._plan_group(
+                group, tree, text, translator, engine, plan_budget_ms
+            )
             lines.append(
                 f"  group {group.group_id}: docs {group.doc_ids} "
                 f"(scheme: {len(group.scheme.tags)} tags, height {group.scheme.height})"

@@ -26,6 +26,23 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
+#: Upper edges (milliseconds) of the cache-miss plan-time histogram buckets.
+#: Fast-path selections land in the first buckets, exhaustive enumeration in
+#: the later ones, so the histogram shows at a glance how often the greedy
+#: short-cut fired for the plans this cache holds.
+PLAN_MS_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+
+def _bucket_label(upper: float) -> str:
+    return f"<={upper:g}ms"
+
+
+#: Histogram keys in ascending order, overflow bucket last.
+PLAN_MS_BUCKET_LABELS = tuple(
+    [_bucket_label(upper) for upper in PLAN_MS_BUCKETS]
+    + [f">{PLAN_MS_BUCKETS[-1]:g}ms"]
+)
+
 
 class PlanCache:
     """Least-recently-used mapping from plan keys to planned queries.
@@ -43,6 +60,19 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.plan_ms_total = 0.0
+        self.plan_ms_saved = 0.0
+        self._plan_ms_histogram: Dict[str, int] = dict.fromkeys(
+            PLAN_MS_BUCKET_LABELS, 0
+        )
+
+    @staticmethod
+    def _plan_ms(value: object) -> Optional[float]:
+        """The value's recorded planning time in milliseconds, if any."""
+        seconds = getattr(value, "planning_seconds", None)
+        if seconds is None:
+            return None
+        return float(seconds) * 1000.0
 
     def __len__(self) -> int:
         with self._lock:
@@ -57,6 +87,11 @@ class PlanCache:
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            # Every hit saves re-planning the query: price the saving at
+            # the entry's own recorded plan-selection time.
+            saved = self._plan_ms(entry)
+            if saved is not None:
+                self.plan_ms_saved += saved
             return entry
 
     def put(self, key: Hashable, value: object) -> None:
@@ -68,6 +103,18 @@ class PlanCache:
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+            # A put follows a cache miss: account the plan time actually
+            # spent and bucket it so fast-path vs exhaustive selections are
+            # distinguishable in the histogram.
+            spent = self._plan_ms(value)
+            if spent is not None:
+                self.plan_ms_total += spent
+                for upper, label in zip(PLAN_MS_BUCKETS, PLAN_MS_BUCKET_LABELS):
+                    if spent <= upper:
+                        self._plan_ms_histogram[label] += 1
+                        break
+                else:
+                    self._plan_ms_histogram[PLAN_MS_BUCKET_LABELS[-1]] += 1
 
     def clear(self) -> None:
         """Drop every entry and zero the counters."""
@@ -76,6 +123,9 @@ class PlanCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.plan_ms_total = 0.0
+            self.plan_ms_saved = 0.0
+            self._plan_ms_histogram = dict.fromkeys(PLAN_MS_BUCKET_LABELS, 0)
 
     def info(self) -> Dict[str, int]:
         """Counters snapshot (for tests and reports)."""
@@ -88,26 +138,46 @@ class PlanCache:
                 "evictions": self.evictions,
             }
 
-    def stats(self) -> Dict[str, int]:
-        """Observability snapshot: alias of :meth:`info`.
+    def stats(self) -> Dict[str, object]:
+        """Observability snapshot: counters plus plan-time accounting.
 
         Surfaced in ``explain()`` output and the ``repro collection stats``
         command so cache effectiveness is visible without a debugger.
+        ``plan_ms_total`` is the plan-selection time spent on cache misses,
+        ``plan_ms_saved`` the time hits avoided (each hit priced at its
+        entry's recorded plan time), and ``plan_ms_histogram`` buckets the
+        miss plan times (fast-path selections populate the lowest buckets).
         """
-        return self.info()
+        with self._lock:
+            snapshot: Dict[str, object] = dict(self.info())
+            snapshot["plan_ms_total"] = self.plan_ms_total
+            snapshot["plan_ms_saved"] = self.plan_ms_saved
+            snapshot["plan_ms_histogram"] = dict(self._plan_ms_histogram)
+            return snapshot
 
     def describe(self) -> str:
         """One-line rendering used by EXPLAIN output and the CLI."""
-        snapshot = self.info()
+        snapshot = self.stats()
         return (
             f"plan cache: size={snapshot['size']}/{snapshot['capacity']} "
             f"hits={snapshot['hits']} misses={snapshot['misses']} "
-            f"evictions={snapshot['evictions']}"
+            f"evictions={snapshot['evictions']} "
+            f"plan_ms_total={snapshot['plan_ms_total']:.3f} "
+            f"plan_ms_saved={snapshot['plan_ms_saved']:.3f}"
         )
 
 
 def plan_key(
-    query_text: str, translator: str, engine: str, fingerprint: str
-) -> Tuple[str, str, str, str]:
-    """The canonical cache key for one planned query."""
-    return (query_text, translator, engine, fingerprint)
+    query_text: str,
+    translator: str,
+    engine: str,
+    fingerprint: str,
+    plan_budget_ms: Optional[float] = None,
+) -> Tuple[str, str, str, str, Optional[float]]:
+    """The canonical cache key for one planned query.
+
+    The plan budget is part of the key: a budget-forced greedy plan and an
+    exhaustively enumerated plan for the same query text can legitimately
+    differ, so they must never be served from each other's cache slots.
+    """
+    return (query_text, translator, engine, fingerprint, plan_budget_ms)

@@ -28,8 +28,8 @@ Operator vocabulary: :class:`IndexScan` (plabel equality),
 A third, *vectorized* vocabulary executes the same plan shapes
 column-at-a-time over the packed columnar store (``engine="vector"``):
 :class:`VectorScan` evaluates a selection to a slot selection vector
-(bisecting the packed plabel column, tag-dictionary ranges for tag
-clusters — no record is built), :class:`VectorStructuralJoin` /
+through the same :class:`~repro.storage.table.SlotRangeAccess` path the
+record scans use (no record is built), :class:`VectorStructuralJoin` /
 :class:`VectorContainmentFilter` run the merge kernels of
 :mod:`repro.engine.vector` over slot vectors, :class:`VectorTwigJoin` is
 the slot-stream holistic twig join, and :class:`VectorProject` /
@@ -51,7 +51,6 @@ rules that make this safe under cache eviction).
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -70,7 +69,7 @@ from repro.exceptions import EngineError, PlanError
 from repro.planner.cost import BranchPlan, Cost, CostModel, ZERO_COST
 from repro.storage.columns import ColumnSlice
 from repro.storage.stats import AccessStatistics
-from repro.storage.table import ClusterKind, StorageCatalog
+from repro.storage.table import StorageCatalog
 from repro.translate.plan import (
     ConjunctivePlan,
     JoinSpec,
@@ -513,20 +512,16 @@ class Dedup(RecordOperator):
 def vector_select(selection: SelectionSpec, ctx: ExecutionContext) -> ColumnSlice:
     """Evaluate one selection to a slot selection vector, counting reads.
 
-    The column-at-a-time twin of the :class:`NodeTable` access paths:
-    plabel probes bisect the packed SP plabel column, tag probes resolve
-    through the tag-dictionary SD ranges, and residual ``data``/``level``
-    predicates filter the selection vector afterwards.  The
-    :class:`~repro.storage.stats.AccessStatistics` calls are identical —
-    same element counts, same page math, same index-lookup count — to the
-    record scan over the same table, so a vector execution's counters
-    cannot drift from the row engines'.
-
-    MAINTENANCE INVARIANT: this function mirrors the accounting of
-    ``NodeTable.select_plabel_range`` / ``select_tag`` branch for branch.
-    Any change to the row scans' element/page/lookup accounting must be
-    mirrored here (and vice versa); the cross-engine property tests in
-    ``tests/test_vector_execution.py`` enforce the parity after the fact.
+    The column-at-a-time twin of the :class:`NodeTable` record scans.  Both
+    resolve the selection through the table's single
+    :class:`~repro.storage.table.SlotRangeAccess` path
+    (``plabel_slot_access`` / ``tag_slot_access``), so the
+    :class:`~repro.storage.stats.AccessStatistics` counters — element
+    counts, page math, index lookups — come from one implementation and a
+    vector execution cannot drift from the row engines'.  The only
+    vector-specific step is mapping the access's clustered positions to
+    packed SP slots (``NodeTable.packed_selection``) and applying the
+    residual ``data``/``level`` predicates to the selection vector.
     """
     columns = ctx.catalog.columns()
     if selection.kind is SelectionKind.EMPTY:
@@ -539,45 +534,12 @@ def vector_select(selection: SelectionSpec, ctx: ExecutionContext) -> ColumnSlic
             if selection.kind is SelectionKind.PLABEL_RANGE
             else low
         )
-        first = bisect.bisect_left(columns.plabels, low)
-        last = bisect.bisect_right(columns.plabels, high) - 1
-        if table.cluster is ClusterKind.SP:
-            scanned = ColumnSlice.contiguous(columns, first, last)
-            pages = table.pages.pages_for_range(first, last)
-        else:
-            # The row engine probes the SD table's plabel B+ tree and pays
-            # one scattered page per match; same matches, same page count.
-            scanned = ColumnSlice(
-                columns, [slot for slot in columns.sd_order if first <= slot <= last]
-            )
-            pages = table.pages.pages_for_scattered(len(scanned))
-    elif selection.tag is None or selection.tag == "*":
-        if table.cluster is ClusterKind.SD:
-            scanned = ColumnSlice(columns, columns.sd_order)
-        else:
-            scanned = ColumnSlice(columns, range(columns.n))
-        pages = table.total_pages
-    elif table.cluster is ClusterKind.SD:
-        sd_range = columns.tag_sd_ranges().get(selection.tag)
-        if sd_range is None:
-            scanned = ColumnSlice(columns, ())
-            pages = 0
-        else:
-            first, last = sd_range
-            scanned = ColumnSlice(columns, columns.sd_order[first : last + 1])
-            pages = table.pages.pages_for_range(first, last)
+        access = table.plabel_slot_access(low, high)
     else:
-        try:
-            tag_id = columns.tags.index(selection.tag)
-        except ValueError:
-            tag_id = -1
-        scanned = ColumnSlice(
-            columns,
-            [slot for slot, value in enumerate(columns.tag_ids) if value == tag_id],
-        )
-        pages = table.pages.pages_for_scattered(len(scanned))
+        access = table.tag_slot_access(selection.tag)
+    scanned = table.packed_selection(access, columns)
     ctx.stats.record_index_lookup()
-    ctx.stats.record_scan(selection.alias, len(scanned), pages)
+    ctx.stats.record_scan(selection.alias, access.elements, access.pages)
     return scanned.filtered(selection.data_eq, selection.level_eq)
 
 

@@ -15,8 +15,43 @@ pipelined :class:`~repro.planner.physical.PhysicalPlan`:
    tie-break — so the planner can only ever match or beat the seed default
    (Push-Up over the memory engine) on visited elements.
 
+Two greedy short-cuts skip the enumeration when it cannot change the
+answer or is not worth its latency:
+
+* **The fast path** fires when pattern selectivity is syntactically
+  obvious: the query tree is one linear child-axis chain (a single
+  conjunctive piece — no branching, no interior ``//``, no wildcards) and,
+  when a schema graph is present, carries no residual value predicate.
+  For those shapes Push-Up collapses the whole pattern into one plabel
+  selection whose exact histogram cardinality is a provable lower bound on
+  every enumerated candidate's element cost (see
+  :func:`fast_path_selection_shape`), so the planner builds that plan
+  directly and prices only the engine choice.  Whenever any precondition
+  fails it falls back to full enumeration, keeping the
+  never-worse-than-seed element guarantee intact.
+* **The plan budget** (``plan_budget_ms``) bounds enumeration latency:
+  translators are priced in seed-preference order (Push-Up first) and once
+  the clock exceeds the budget the remaining translators are skipped — the
+  winner is then the greedy Push-Up plan with the engine auto-pick rule.
+  ``plan_budget_ms=0`` therefore always forces the greedy plan; a forced
+  greedy plan can visit more elements than full enumeration would (it
+  skips e.g. an Unfold win) but never more than the seed default, because
+  the seed *is* the Push-Up shape.
+
+``planning_seconds`` is the plan-**selection** time — everything needed
+to *decide* translator, engine and join order.  For the exhaustive path
+that is translation plus costing plus the winner choice; for the fast
+path it is the closed-form decision (chain check, P-label interval, exact
+histogram cardinality, engine pick — see
+:meth:`QueryPlanner._fast_path_decision`).  Building the chosen plan's IR,
+pricing the candidate table for EXPLAIN, lowering to a physical pipeline
+and generating SQL are all compilation of an already-made decision and
+are excluded, so the metric compares fast-path and exhaustive selection
+head-to-head.
+
 The :class:`PlannedQuery` result keeps the full candidate table so EXPLAIN
-output can show estimated against actual cost.
+output can show estimated against actual cost (plus how many candidates a
+greedy plan skipped).
 """
 
 from __future__ import annotations
@@ -32,13 +67,17 @@ from repro.planner.cost import (
     CostModel,
     ENGINE_PREFERENCE,
     TRANSLATOR_PREFERENCE,
+    VECTOR_BATCH_FACTOR,
+    ZERO_COST,
     preference_rank,
 )
 from repro.planner.physical import PhysicalPlan, lower_plan
 from repro.storage.table import StorageCatalog
 from repro.translate import translate
-from repro.translate.plan import QueryPlan
+from repro.translate.plan import QueryPlan, single_branch_plan
+from repro.translate.split import selection_for_suffix_path
 from repro.translate.sql import plan_to_sql
+from repro.xpath.ast import Axis
 
 #: Engines the planner may pick on its own.  SQLite stays opt-in: choosing it
 #: silently would build a whole relational store behind the caller's back.
@@ -66,6 +105,85 @@ class PlanCandidate:
         )
 
 
+def fast_path_chain(query_tree) -> Optional[Tuple[List[str], bool, Optional[str]]]:
+    """The ``(tags, rooted, data_eq)`` of a fast-path-shaped query tree.
+
+    Returns ``None`` unless the tree is one linear chain that Push-Up
+    collapses into a single selection: every node has at most one child,
+    every edge after the leading axis is a child axis (an interior ``//``
+    or a branch would cut the decomposition into joined pieces), no
+    wildcards (Split/Push-Up cannot label them), no value predicate on an
+    interior node, and the return node is the end of the chain.
+    """
+    node = query_tree.root
+    tags: List[str] = []
+    while True:
+        if node.tag == "*":
+            return None
+        tags.append(node.tag)
+        if len(node.children) > 1 or (node.is_return and node.children):
+            return None
+        if not node.children:
+            break
+        if node.value is not None:
+            return None
+        child = node.children[0]
+        if child.axis is not Axis.CHILD:
+            return None
+        node = child
+    if not node.is_return:
+        return None
+    return tags, query_tree.root.axis is Axis.CHILD, node.value
+
+
+def fast_path_selection_shape(
+    query_tree, catalog: StorageCatalog, query_text: str = ""
+) -> Optional[QueryPlan]:
+    """Build the greedy plan directly when it provably matches enumeration.
+
+    Eligibility: the query tree is a single linear chain
+    (:func:`fast_path_chain`) and — when the catalog has a schema graph —
+    the chain carries no residual value predicate.  The returned logical
+    plan is exactly what the Push-Up translator emits for the shape: one
+    plabel equality (rooted chain) or plabel range (``//`` chain) selection,
+    or a statically empty selection when the scheme rules the path out.
+
+    Why the element count provably matches full enumeration:
+
+    * The selection's scan is exactly the records whose path matches the
+      pattern, so if its (exact) cardinality is ``E``, every correct
+      candidate must scan at least the ``E``-superset holding the results:
+      Split emits the identical single selection, D-labeling scans whole
+      tag clusters (supersets of the plabel ranges, one per query node),
+      and Unfold's per-path equality selections partition the very same
+      record set, summing to ``E``.
+    * The one way Unfold could price *below* ``E`` is pruning a branch
+      whose residual predicate is provably empty on that exact path while
+      other paths still match — which is why a residual predicate makes
+      the shape ineligible whenever a schema graph (and therefore the
+      Unfold candidate) exists.
+    * If the selection is statically empty the greedy cost is zero — the
+      enumeration minimum — and all-zero ties resolve to Push-Up/memory by
+      the seed preference order, which is again the greedy choice.
+    """
+    chain = fast_path_chain(query_tree)
+    if chain is None:
+        return None
+    tags, rooted, data_eq = chain
+    if catalog.schema is not None and data_eq is not None:
+        return None
+    selection = selection_for_suffix_path(
+        alias="T1", tags=tags, rooted=rooted, scheme=catalog.scheme, data_eq=data_eq
+    )
+    return single_branch_plan(
+        selections=[selection],
+        joins=[],
+        return_alias="T1",
+        translator="pushup",
+        query_text=query_text or query_tree.to_xpath(),
+    )
+
+
 @dataclass
 class PlannedQuery:
     """The planner's answer: an executable plan plus its provenance."""
@@ -82,6 +200,19 @@ class PlannedQuery:
     requested_translator: str = "auto"
     requested_engine: str = "auto"
     cache_hit: bool = False
+    fast_path: bool = False
+    budget_forced: bool = False
+    skipped_candidates: int = 0
+    plan_budget_ms: Optional[float] = None
+
+    @property
+    def plan_mode(self) -> str:
+        """How the plan was chosen: fast path, budget-forced greedy, exhaustive."""
+        if self.fast_path:
+            return "fast path"
+        if self.budget_forced:
+            return "greedy (plan budget)"
+        return "exhaustive"
 
     def explain(self, actual=None) -> str:
         """EXPLAIN text: candidates, the chosen physical plan, and — when a
@@ -92,12 +223,23 @@ class PlannedQuery:
             f"  chosen: translator={self.translator} engine={self.engine} "
             f"(est {self.estimated.describe()})"
         )
+        lines.append(
+            f"  planning: {self.planning_seconds * 1000:.3f} ms "
+            f"({self.plan_mode}"
+            + (", cache hit)" if self.cache_hit else ")")
+        )
         lines.append("  candidates considered:")
         for candidate in sorted(self.candidates, key=PlanCandidate.rank_key):
             marker = " <- chosen" if candidate.chosen else ""
             lines.append(
                 f"    {candidate.translator:>7s} / {candidate.engine:<6s} "
                 f"est {candidate.cost.describe()}{marker}"
+            )
+        if self.skipped_candidates:
+            reason = "fast path" if self.fast_path else "plan budget"
+            lines.append(
+                f"    skipped ({reason}): {self.skipped_candidates} candidates "
+                "not enumerated"
             )
         if self.physical is not None:
             lines.append("  physical plan:")
@@ -138,6 +280,14 @@ class QueryPlanner:
             names.insert(names.index("split") + 1, "unfold")
         return names
 
+    def _translate(self, query_tree, name: str) -> QueryPlan:
+        if name == "unfold":
+            if self.catalog.schema is None:
+                raise SchemaError("this system was built without a schema graph")
+            return translate(query_tree, self.catalog.scheme, "unfold",
+                             schema=self.catalog.schema)
+        return translate(query_tree, self.catalog.scheme, name)
+
     def _translate_candidates(
         self, query_tree, translator: str
     ) -> List[Tuple[str, QueryPlan]]:
@@ -148,13 +298,7 @@ class QueryPlanner:
         first_error: Optional[Exception] = None
         for name in names:
             try:
-                if name == "unfold":
-                    if self.catalog.schema is None:
-                        raise SchemaError("this system was built without a schema graph")
-                    plan = translate(query_tree, self.catalog.scheme, "unfold",
-                                     schema=self.catalog.schema)
-                else:
-                    plan = translate(query_tree, self.catalog.scheme, name)
+                plan = self._translate(query_tree, name)
             except (SchemaError, UnsupportedQueryError, PlanError) as error:
                 # Expected "this translator cannot handle this query" cases;
                 # anything else is a translator bug and must propagate.
@@ -168,31 +312,151 @@ class QueryPlanner:
             raise PlanError(f"no translator available for {query_tree!r}")
         return plans
 
+    def _fast_path_decision(self, query_tree) -> Optional[Tuple[str, Cost]]:
+        """Closed-form greedy decision: ``(engine, cost)`` or ``None``.
+
+        When the shape is eligible (see :func:`fast_path_selection_shape`
+        for the dominance proof) the whole enumeration collapses to pricing
+        one selection on three engines, and that pricing has a closed form:
+
+        * statically empty (tag outside the scheme, zero-cardinality
+          interval, or a residual predicate the histograms prove matches
+          nothing) — every engine prices to zero and the all-zero tie
+          resolves to ``memory`` by the seed preference order;
+        * otherwise every engine scans exactly ``E`` elements (the interval
+          cardinality), the memory pipeline costs ``E`` CPU, twig costs
+          more (``E`` plus its output merges), and the vector engine prices
+          the cheaper row strategy down by :data:`VECTOR_BATCH_FACTOR` —
+          so ``vector`` at ``E * 0.25`` CPU always wins.
+
+        The returned cost is bit-identical to what
+        :meth:`CostModel.engine_costs` computes for the winning engine
+        (property-tested against full enumeration), so the plan selection
+        is complete when this returns — constructing the selection IR and
+        the EXPLAIN candidate table happens after the planning clock stops.
+        """
+        chain = fast_path_chain(query_tree)
+        if chain is None:
+            return None
+        catalog = self.catalog
+        tags, rooted, data_eq = chain
+        if catalog.schema is not None and data_eq is not None:
+            return None
+        interval = catalog.scheme.suffix_path_interval(tags, rooted=rooted)
+        if interval is None:
+            return "memory", ZERO_COST
+        table = self.model.statistics.table("sp")
+        if rooted:
+            elements = table.plabel_eq_count(interval.p1)
+            high = interval.p1
+        else:
+            elements = table.plabel_range_count(interval.p1, interval.p2)
+            high = interval.p2
+        if elements == 0:
+            return "memory", ZERO_COST
+        if data_eq is not None and table.data_eq_count(data_eq, interval.p1, high) == 0:
+            return "memory", ZERO_COST
+        return "vector", Cost(elements, float(elements) * VECTOR_BATCH_FACTOR)
+
+    def _price_translator(
+        self,
+        name: str,
+        logical: QueryPlan,
+        engines: Sequence[str],
+        model: CostModel,
+    ) -> List[PlanCandidate]:
+        """One translator's candidates: its shape priced on every engine."""
+        shapes = model.plan_shapes(logical)
+        costs = model.engine_costs(shapes, engines)
+        return [
+            PlanCandidate(
+                translator=name,
+                engine=engine_name,
+                cost=costs[engine_name],
+                shapes=shapes,
+                logical=logical,
+            )
+            for engine_name in engines
+        ]
+
     def plan(
         self,
         query_tree,
         query_text: str,
         translator: str = "auto",
         engine: str = "auto",
+        plan_budget_ms: Optional[float] = None,
     ) -> PlannedQuery:
-        """Pick and lower the cheapest (translator, join order, engine)."""
+        """Pick and lower the cheapest (translator, join order, engine).
+
+        ``plan_budget_ms`` bounds enumeration latency: once plan selection
+        has run longer than the budget, the translators not yet priced are
+        skipped and the greedy (seed-preference-first) winner stands.  The
+        provably-identical fast path is tried first regardless of budget.
+        """
         started = time.perf_counter()
         engines: Sequence[str] = AUTO_ENGINES if engine == "auto" else (engine,)
         model = self.model
+        fast_path = False
+        budget_forced = False
+        skipped_candidates = 0
         candidates: List[PlanCandidate] = []
-        for name, logical in self._translate_candidates(query_tree, translator):
-            shapes = model.plan_shapes(logical)
-            for engine_name in engines:
-                candidates.append(
-                    PlanCandidate(
-                        translator=name,
-                        engine=engine_name,
-                        cost=model.plan_cost(shapes, engine_name),
-                        shapes=shapes,
-                        logical=logical,
-                    )
+
+        decision: Optional[Tuple[str, Cost]] = None
+        if translator == "auto" and engine == "auto":
+            decision = self._fast_path_decision(query_tree)
+
+        if decision is not None:
+            # The decision is made: stop the planning clock, then build the
+            # greedy plan's IR and price its candidate table for EXPLAIN —
+            # compilation and observability of an already-made choice.
+            elapsed = time.perf_counter() - started
+            fast_path = True
+            fast_engine, _ = decision
+            greedy_logical = fast_path_selection_shape(
+                query_tree, self.catalog, query_text
+            )
+            candidates = self._price_translator(
+                "pushup", greedy_logical, engines, model
+            )
+            skipped_candidates = (
+                (len(self.available_translators()) - 1) * len(engines)
+            )
+            winner = next(c for c in candidates if c.engine == fast_engine)
+        else:
+            names = (
+                self.available_translators() if translator == "auto"
+                else [translator]
+            )
+            first_error: Optional[Exception] = None
+            for position, name in enumerate(names):
+                if candidates and plan_budget_ms is not None:
+                    elapsed_ms = (time.perf_counter() - started) * 1000.0
+                    if elapsed_ms > plan_budget_ms:
+                        budget_forced = True
+                        skipped_candidates = (len(names) - position) * len(engines)
+                        break
+                try:
+                    logical = self._translate(query_tree, name)
+                except (SchemaError, UnsupportedQueryError, PlanError) as error:
+                    # Expected "this translator cannot handle this query"
+                    # cases; anything else is a translator bug and must
+                    # propagate.
+                    if first_error is None:
+                        first_error = error
+                    continue
+                candidates.extend(
+                    self._price_translator(name, logical, engines, model)
                 )
-        winner = min(candidates, key=PlanCandidate.rank_key)
+            if not candidates:
+                if first_error is not None:
+                    raise first_error
+                raise PlanError(f"no translator available for {query_tree!r}")
+            winner = min(candidates, key=PlanCandidate.rank_key)
+            # The decision is made: everything below is compilation of the
+            # winner, excluded from the plan-selection metric.
+            elapsed = time.perf_counter() - started
+
         winner.chosen = True
         physical: Optional[PhysicalPlan] = None
         if winner.engine in AUTO_ENGINES:
@@ -203,7 +467,6 @@ class QueryPlanner:
                 model=model,
                 shapes=winner.shapes,
             )
-        elapsed = time.perf_counter() - started
         return PlannedQuery(
             query_text=query_text,
             translator=winner.translator,
@@ -216,4 +479,8 @@ class QueryPlanner:
             planning_seconds=elapsed,
             requested_translator=translator,
             requested_engine=engine,
+            fast_path=fast_path,
+            budget_forced=budget_forced,
+            skipped_candidates=skipped_candidates,
+            plan_budget_ms=plan_budget_ms,
         )

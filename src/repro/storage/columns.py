@@ -44,6 +44,7 @@ Two levels of laziness stack on top of the record cache:
 
 from __future__ import annotations
 
+import bisect
 import sys
 import zlib
 from array import array
@@ -479,6 +480,31 @@ class ColumnarRecords:
         self._record_cache = list(ordered)
         self._all_records = self._record_cache
         self._materialized = self.n
+
+    def plabel_slot_bounds(self, low: int, high: int) -> Tuple[int, int]:
+        """Inclusive SP slot bounds of ``low <= plabel <= high`` (by bisection).
+
+        The plabel column is the SP cluster-key sequence, so the bounds are
+        found without decoding the column; an empty range comes back as
+        ``(first, first - 1)``.
+        """
+        plabels = self.plabels
+        first = bisect.bisect_left(plabels, low)
+        last = bisect.bisect_right(plabels, high, lo=first) - 1
+        return first, last
+
+    def tag_slot_list(self, tag: str) -> List[int]:
+        """The SP slots carrying ``tag``, via the packed tag-id column.
+
+        This is the scattered access path of a tag filter over the SP
+        layout: the dictionary is probed once and only the id column is
+        touched — no record materialization.
+        """
+        try:
+            tag_id = self.tags.index(tag)
+        except ValueError:
+            return []
+        return [slot for slot, value in enumerate(self.tag_ids) if value == tag_id]
 
     def tag_sd_ranges(self) -> Dict[str, Tuple[int, int]]:
         """First/last SD position per tag (the tag-dictionary cluster ranges).

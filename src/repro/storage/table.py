@@ -19,8 +19,11 @@ partition replaces its tables wholesale).
 Every read path reports the number of records (and simulated pages) it
 touched into an :class:`~repro.storage.stats.AccessStatistics`, which is how
 the benchmark harness regenerates the paper's "visited elements" panels.
-(The vectorized engine mirrors this accounting branch-for-branch in
-``repro.planner.physical.vector_select`` — keep the two in sync.)
+Both the record scans here and the vectorized engine's
+``repro.planner.physical.vector_select`` resolve selections through the one
+:class:`SlotRangeAccess` path (:meth:`NodeTable.plabel_slot_access` /
+:meth:`NodeTable.tag_slot_access`), so their element/page/lookup counters
+come from a single implementation and cannot diverge.
 Laziness and memoization are invisible to those counters: a memoized stream
 replays exactly the scan counts its first construction recorded.
 """
@@ -38,7 +41,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 from repro.core.indexer import IndexedDocument, NodeRecord
 from repro.exceptions import StorageError
 from repro.storage.btree import BPlusTree
-from repro.storage.columns import ColumnarPartition, ColumnarRecords
+from repro.storage.columns import ColumnarPartition, ColumnarRecords, ColumnSlice
 from repro.storage.pages import PageLayout
 from repro.storage.stats import (
     AccessStatistics,
@@ -54,6 +57,54 @@ class ClusterKind(Enum):
 
     SP = "sp"  # clustered by (plabel, start) — the BLAS layout
     SD = "sd"  # clustered by (tag, start) — the D-labeling layout
+
+
+@dataclass(frozen=True)
+class SlotRangeAccess:
+    """The resolved access path of one selection over a clustered table.
+
+    One access is one index lookup plus one scan: ``elements`` and ``pages``
+    are exactly what the scan reports into
+    :class:`~repro.storage.stats.AccessStatistics`, and the slots identify
+    the scanned rows in clustered positions.  A contiguous access stores the
+    inclusive ``[first, last]`` clustered range (``slots`` is ``None``); a
+    scattered access stores the explicit clustered slot list in scan order.
+
+    Both the record-scan operators and the vectorized engine consume the
+    same :class:`SlotRangeAccess` (via :meth:`NodeTable.access_rows` and
+    :meth:`NodeTable.packed_selection` respectively), which is what makes
+    counter divergence between the engines structurally impossible — there
+    is exactly one place that computes element/page/lookup math.
+    """
+
+    first: int
+    last: int
+    slots: Optional[Tuple[int, ...]]
+    elements: int
+    pages: int
+
+    @classmethod
+    def contiguous(cls, first: int, last: int, pages: int) -> "SlotRangeAccess":
+        """A clustered range access touching ``pages`` heap pages."""
+        elements = max(0, last - first + 1)
+        return cls(first=first, last=last, slots=None, elements=elements, pages=pages)
+
+    @classmethod
+    def scattered(cls, slots: Sequence[int], pages: int) -> "SlotRangeAccess":
+        """An unclustered access fetching ``slots`` individually."""
+        slots = tuple(slots)
+        return cls(first=-1, last=-1, slots=slots, elements=len(slots), pages=pages)
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the access is one clustered slot range."""
+        return self.slots is None
+
+    def clustered_slots(self) -> Sequence[int]:
+        """The scanned clustered positions, in scan order."""
+        if self.slots is None:
+            return range(self.first, self.last + 1)
+        return self.slots
 
 
 #: Per-table LRU bound on memoized twig streams.  Each entry holds a fully
@@ -215,6 +266,86 @@ class NodeTable:
         """Pages occupied by the clustered heap."""
         return self.pages.total_pages(self._n)
 
+    # -- the unified slot-range access path -------------------------------------
+
+    def plabel_slot_access(self, low: int, high: int) -> SlotRangeAccess:
+        """Resolve ``low <= plabel <= high`` to its :class:`SlotRangeAccess`.
+
+        On the SP layout this is a contiguous clustered range found by
+        bisecting the cluster keys; on the SD layout the matches are
+        scattered (bisecting the packed SP plabel column when
+        column-backed, probing the plabel B+ tree otherwise) and each match
+        costs one unclustered page.
+        """
+        if self.cluster is ClusterKind.SP:
+            first = bisect.bisect_left(self._cluster_keys, low)
+            last = bisect.bisect_right(self._cluster_keys, high, lo=first) - 1
+            return SlotRangeAccess.contiguous(
+                first, last, self.pages.pages_for_range(first, last)
+            )
+        if self._records_cache is None:
+            first, last = self._columns.plabel_slot_bounds(low, high)
+            slots = [
+                position
+                for position, sp_slot in enumerate(self._columns.sd_order)
+                if first <= sp_slot <= last
+            ]
+        else:
+            slots = sorted(slot for _, slot in self._plabel_index().range(low, high))
+        return SlotRangeAccess.scattered(slots, self.pages.pages_for_scattered(len(slots)))
+
+    def tag_slot_access(self, tag: Optional[str]) -> SlotRangeAccess:
+        """Resolve a tag selection to its :class:`SlotRangeAccess`.
+
+        ``None`` or ``"*"`` selects the whole clustered heap; on the SD
+        layout a named tag is one contiguous cluster range (or empty when
+        the tag does not occur); on the SP layout the matches are scattered
+        and each costs one unclustered page.
+        """
+        if tag is None or tag == "*":
+            return SlotRangeAccess.contiguous(0, self._n - 1, self.total_pages)
+        if self.cluster is ClusterKind.SD:
+            slot_range = self._tag_ranges().get(tag)
+            if slot_range is None:
+                return SlotRangeAccess.contiguous(0, -1, 0)
+            first, last = slot_range
+            return SlotRangeAccess.contiguous(
+                first, last, self.pages.pages_for_range(first, last)
+            )
+        if self._records_cache is None:
+            slots = self._columns.tag_slot_list(tag)
+        else:
+            slots = [
+                slot for slot, record in enumerate(self._records_cache)
+                if record.tag == tag
+            ]
+        return SlotRangeAccess.scattered(slots, self.pages.pages_for_scattered(len(slots)))
+
+    def access_rows(self, access: SlotRangeAccess) -> List[NodeRecord]:
+        """Materialize the records an access scans, in scan order."""
+        if access.slots is None:
+            return self._rows(access.first, access.last)
+        return [self._row(slot) for slot in access.slots]
+
+    def packed_selection(
+        self, access: SlotRangeAccess, columns: ColumnarRecords
+    ) -> ColumnSlice:
+        """The access's scanned rows as a selection vector over ``columns``.
+
+        Translates clustered positions to packed SP slots: the SP layout is
+        the packing order (contiguous accesses stay zero-copy ranges); SD
+        positions go through the ``sd_order`` permutation.  ``columns`` must
+        be the catalog's packed view of this table's records.
+        """
+        if self.cluster is ClusterKind.SP:
+            if access.slots is None:
+                return ColumnSlice.contiguous(columns, access.first, access.last)
+            return ColumnSlice(columns, list(access.slots))
+        sd_order = columns.sd_order
+        if access.slots is None:
+            return ColumnSlice(columns, sd_order[access.first : access.last + 1])
+        return ColumnSlice(columns, [sd_order[slot] for slot in access.slots])
+
     # -- selections (the BLAS access paths) ------------------------------------
 
     def select_plabel_range(
@@ -228,23 +359,15 @@ class NodeTable:
     ) -> List[NodeRecord]:
         """Records with ``low <= plabel <= high`` (a suffix-path selection).
 
-        On the SP layout this is a contiguous clustered range; elsewhere the
-        plabel B+ tree is probed and each match costs one scattered page.
-        Additional ``data``/``level`` predicates are applied after the scan —
-        the scanned records still count as read.
+        Resolves through :meth:`plabel_slot_access`; additional ``data``/
+        ``level`` predicates are applied after the scan — the scanned
+        records still count as read.
         """
-        if self.cluster is ClusterKind.SP:
-            first = bisect.bisect_left(self._cluster_keys, low)
-            last = bisect.bisect_right(self._cluster_keys, high) - 1
-            scanned = self._rows(first, last)
-            pages = self.pages.pages_for_range(first, last)
-        else:
-            slots = [slot for _, slot in self._plabel_index().range(low, high)]
-            scanned = [self._row(slot) for slot in sorted(slots)]
-            pages = self.pages.pages_for_scattered(len(scanned))
+        access = self.plabel_slot_access(low, high)
+        scanned = self.access_rows(access)
         if stats is not None:
             stats.record_index_lookup()
-            stats.record_scan(alias, len(scanned), pages)
+            stats.record_scan(alias, access.elements, access.pages)
         return _apply_residual(scanned, data_eq, level_eq)
 
     def select_plabel_eq(
@@ -275,39 +398,13 @@ class NodeTable:
         This is the access path of the D-labeling baseline: answering a query
         requires reading *all* tuples whose tag appears in the query, so the
         whole tag cluster counts as read even when residual predicates filter
-        most of it out.
+        most of it out.  Resolves through :meth:`tag_slot_access`.
         """
-        if tag is None or tag == "*":
-            scanned = list(self.records)
-            pages = self.total_pages
-        elif self.cluster is ClusterKind.SD:
-            slot_range = self._tag_ranges().get(tag)
-            if slot_range is None:
-                scanned = []
-                pages = 0
-            else:
-                first, last = slot_range
-                scanned = self._rows(first, last)
-                pages = self.pages.pages_for_range(first, last)
-        elif self._records_cache is None:
-            # Column-backed SP layout: filter on the packed tag-id column
-            # and materialize only the matches.
-            try:
-                tag_id = self._columns.tags.index(tag)
-            except ValueError:
-                tag_id = -1
-            scanned = [
-                self._columns.record(slot)
-                for slot, value in enumerate(self._columns.tag_ids)
-                if value == tag_id
-            ]
-            pages = self.pages.pages_for_scattered(len(scanned))
-        else:
-            scanned = [record for record in self.records if record.tag == tag]
-            pages = self.pages.pages_for_scattered(len(scanned))
+        access = self.tag_slot_access(tag)
+        scanned = self.access_rows(access)
         if stats is not None:
             stats.record_index_lookup()
-            stats.record_scan(alias, len(scanned), pages)
+            stats.record_scan(alias, access.elements, access.pages)
         return _apply_residual(scanned, data_eq, level_eq)
 
     # -- sorted streams for the holistic twig join ------------------------------

@@ -274,13 +274,15 @@ class BLAS:
         query: Union[str, LocationPath],
         translator: str = DEFAULT_TRANSLATOR,
         engine: str = DEFAULT_ENGINE,
+        plan_budget_ms: Optional[float] = None,
     ) -> PlannedQuery:
         """Plan a query through the cost-based optimizer (with caching).
 
         The LRU plan cache is keyed on the query text, the requested
-        translator/engine, and the document fingerprint, so a system over
-        different data never reuses another document's plan.  Cache hits are
-        returned as copies flagged ``cache_hit=True``.
+        translator/engine, the document fingerprint and the plan budget, so
+        a system over different data never reuses another document's plan
+        and a budget-forced greedy plan never masquerades as an exhaustive
+        one.  Cache hits are returned as copies flagged ``cache_hit=True``.
 
         Parameters
         ----------
@@ -289,6 +291,12 @@ class BLAS:
         translator, engine:
             ``"auto"`` or an explicit name; unknown names raise
             :class:`~repro.exceptions.EngineError`.
+        plan_budget_ms:
+            Bound on plan-selection latency in milliseconds.  ``None`` (the
+            default) enumerates every candidate; ``0`` always forces the
+            greedy seed-preference plan; in between, enumeration stops once
+            the budget is exceeded and the best candidate so far wins.  The
+            provably-identical fast path runs regardless of the budget.
 
         Returns
         -------
@@ -302,11 +310,16 @@ class BLAS:
             raise SchemaError("this system was built without a schema graph")
         tree = self._query_tree(query)
         text = tree.to_xpath()
-        key = plan_key(text, translator, engine, self.catalog.fingerprint())
+        key = plan_key(
+            text, translator, engine, self.catalog.fingerprint(), plan_budget_ms
+        )
         cached = self.plan_cache.get(key)
         if cached is not None:
             return dataclasses.replace(cached, cache_hit=True)
-        planned = self.planner.plan(tree, text, translator=translator, engine=engine)
+        planned = self.planner.plan(
+            tree, text, translator=translator, engine=engine,
+            plan_budget_ms=plan_budget_ms,
+        )
         self.plan_cache.put(key, planned)
         return planned
 
@@ -341,6 +354,7 @@ class BLAS:
         query: Union[str, LocationPath],
         translator: str = DEFAULT_TRANSLATOR,
         engine: str = DEFAULT_ENGINE,
+        plan_budget_ms: Optional[float] = None,
     ) -> str:
         """A readable plan description, matching what ``query()`` would run.
 
@@ -356,6 +370,10 @@ class BLAS:
             XPath text or a pre-parsed :class:`LocationPath`.
         translator, engine:
             Requested names, as in :meth:`query`.
+        plan_budget_ms:
+            Plan-selection latency bound, as in :meth:`plan_query`.  The
+            EXPLAIN output reports the plan mode (fast path, budget-forced
+            greedy, or exhaustive) and how many candidates were skipped.
 
         Returns
         -------
@@ -365,7 +383,9 @@ class BLAS:
         self._check_translator(translator)
         self._check_engine(engine)
         if translator == "auto" or engine == "auto":
-            explained = self.plan_query(query, translator, engine).explain()
+            explained = self.plan_query(
+                query, translator, engine, plan_budget_ms=plan_budget_ms
+            ).explain()
             return explained + "\n  " + self.plan_cache.describe()
         return self.translate(query, translator).plan.describe()
 
@@ -378,6 +398,7 @@ class BLAS:
         engine: str = DEFAULT_ENGINE,
         limit: Optional[int] = None,
         count_only: bool = False,
+        plan_budget_ms: Optional[float] = None,
     ) -> QueryResult:
         """Answer an XPath query.
 
@@ -408,6 +429,10 @@ class BLAS:
         count_only:
             Skip record materialization entirely — the result carries
             ``starts``/``count``/``stats`` but an empty ``records`` list.
+        plan_budget_ms:
+            Plan-selection latency bound in milliseconds, as in
+            :meth:`plan_query` (``0`` always forces the greedy plan; only
+            meaningful when the planner is involved).
 
         Returns
         -------
@@ -420,7 +445,9 @@ class BLAS:
         self._check_translator(translator)
         self._check_engine(engine)
         if translator == "auto" or engine == "auto":
-            planned = self.plan_query(query, translator, engine)
+            planned = self.plan_query(
+                query, translator, engine, plan_budget_ms=plan_budget_ms
+            )
             return self._execute_planned(planned, limit=limit, count_only=count_only)
         outcome = self.translate(query, translator)
         if engine == "memory":

@@ -1,0 +1,272 @@
+"""Fast-path planning: the greedy short-cut provably matches enumeration.
+
+The planner's fast path skips candidate enumeration when pattern
+selectivity is syntactically obvious (one linear child-axis chain, no
+residual predicate when a schema graph exists).  These tests hold it to
+the PR's guarantee: on every workload query the fast path and exhaustive
+enumeration pick the same winner and produce byte-identical answers and
+visited-element counters — and the plan budget (``plan_budget_ms``),
+which *can* legitimately force a greedy plan that enumeration would have
+beaten, still never does worse than the seed default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.bench.harness import build_bench_system
+from repro.collection import BLASCollection
+from repro.core.indexer import index_text
+from repro.planner.planner import QueryPlanner, fast_path_chain
+from repro.system import BLAS
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
+
+from tests.conftest import PROTEIN_SAMPLE
+
+#: Workload queries whose shape is provably fast-path eligible (linear
+#: chains without residual predicates).  The property test below asserts
+#: both that these actually take the fast path and that every other query
+#: falls back — so the short-cut neither silently dies nor overreaches.
+ELIGIBLE = {
+    ("shakespeare", "QS1"),
+    ("protein", "QP1"),
+    ("auction", "QA1"),
+    ("auction", "Q2"),
+    ("auction", "Q5"),
+}
+
+
+@pytest.fixture(scope="module", params=["shakespeare", "protein", "auction"])
+def bench(request):
+    return request.param, build_bench_system(request.param, scale=1)
+
+
+@contextlib.contextmanager
+def fast_path_disabled(planner: QueryPlanner):
+    """Force full enumeration by blinding the closed-form decision."""
+    original = planner._fast_path_decision
+    planner._fast_path_decision = lambda tree: None
+    try:
+        yield
+    finally:
+        planner._fast_path_decision = original
+
+
+def _tree(text: str):
+    return build_query_tree(parse_xpath(text))
+
+
+# -- the property: both paths agree on the whole workload ---------------------------
+
+
+def test_fast_path_matches_exhaustive_on_the_whole_workload(bench):
+    dataset, harness = bench
+    system = harness.system
+    planner = system.planner
+    for name, path in sorted(harness.queries.items()):
+        text = str(path)
+        tree = _tree(text)
+        fast = planner.plan(tree, text)
+        with fast_path_disabled(planner):
+            full = planner.plan(tree, text)
+        assert fast.fast_path == ((dataset, name) in ELIGIBLE), (dataset, name)
+        assert not full.fast_path
+        # Same winner: translator, engine, and the full estimated cost.
+        assert fast.translator == full.translator, (dataset, name)
+        assert fast.engine == full.engine, (dataset, name)
+        assert fast.estimated == full.estimated, (dataset, name)
+        # Byte-identical answers and visited-element counters.
+        fast_result = system._execute_planned(fast)
+        full_result = system._execute_planned(full)
+        assert fast_result.starts == full_result.starts, (dataset, name)
+        assert [r.data for r in fast_result.records] == [
+            r.data for r in full_result.records
+        ]
+        assert fast_result.stats.elements_read == full_result.stats.elements_read
+        assert fast_result.stats.pages_read == full_result.stats.pages_read
+
+
+def test_closed_form_decision_matches_the_cost_model(bench):
+    """The timed decision and the model-priced winner can never drift."""
+    dataset, harness = bench
+    planner = harness.system.planner
+    for name, path in sorted(harness.queries.items()):
+        text = str(path)
+        tree = _tree(text)
+        decision = planner._fast_path_decision(tree)
+        if (dataset, name) not in ELIGIBLE:
+            assert decision is None, (dataset, name)
+            continue
+        planned = planner.plan(tree, text)
+        assert decision is not None, (dataset, name)
+        assert decision[0] == planned.engine, (dataset, name)
+        assert decision[1] == planned.estimated, (dataset, name)
+
+
+# -- eligibility edges --------------------------------------------------------------
+
+
+def test_multi_branch_twigs_are_ineligible(protein_system):
+    twig = "/ProteinDatabase/ProteinEntry[protein/name]/reference"
+    assert fast_path_chain(_tree(twig)) is None
+    planned = protein_system.plan_query(twig)
+    assert not planned.fast_path
+    assert planned.plan_mode == "exhaustive"
+
+
+def test_interior_descendant_axes_are_ineligible(protein_system):
+    planned = protein_system.plan_query("/ProteinDatabase//refinfo/year")
+    assert not planned.fast_path
+
+
+def test_wildcards_are_ineligible(protein_system):
+    planned = protein_system.plan_query("//refinfo/*")
+    assert not planned.fast_path
+
+
+def test_residual_predicate_with_schema_present_is_ineligible(protein_system):
+    """Unfold can prune per-path on residuals, so the shape must enumerate."""
+    assert protein_system.schema is not None
+    query = '//refinfo/year = "2001"'
+    planned = protein_system.plan_query(query)
+    assert not planned.fast_path
+    # The fast path would have been wrong to fire only if Unfold undercuts;
+    # enumeration and the greedy shape still answer identically.
+    budget_forced = protein_system.plan_query(query, plan_budget_ms=0)
+    assert budget_forced.budget_forced
+    fast_result = protein_system._execute_planned(budget_forced)
+    full_result = protein_system._execute_planned(planned)
+    assert fast_result.starts == full_result.starts
+
+
+def test_residual_predicate_without_schema_is_eligible():
+    """With no schema graph there is no Unfold candidate to undercut."""
+    indexed = index_text(PROTEIN_SAMPLE, extract_schema_graph=False)
+    system = BLAS(indexed)
+    query = '//refinfo/year = "2001"'
+    planned = system.plan_query(query)
+    assert planned.fast_path
+    with fast_path_disabled(system.planner):
+        full = system.planner.plan(_tree(query), query)
+    assert (planned.translator, planned.engine) == (full.translator, full.engine)
+    assert planned.estimated == full.estimated
+    assert system._execute_planned(planned).starts == (
+        system._execute_planned(full).starts
+    )
+
+
+def test_explicit_translator_or_engine_bypasses_the_fast_path(protein_system):
+    assert not protein_system.plan_query("//refinfo/year", translator="pushup").fast_path
+    assert not protein_system.plan_query("//refinfo/year", engine="memory").fast_path
+
+
+def test_empty_collection_with_budget_answers_empty():
+    collection = BLASCollection()
+    result = collection.query("//anything", plan_budget_ms=0)
+    assert result.count == 0
+    assert result.records == []
+
+
+def test_store_opened_with_cache_bytes_matches_exhaustive(tmp_path, protein_xml):
+    collection = BLASCollection()
+    collection.add_xml(protein_xml, name="protein.xml")
+    collection.save(str(tmp_path / "store"))
+    opened = BLASCollection.open(str(tmp_path / "store"), cache_bytes=1)
+    query = "//refinfo/year"
+    fast = opened.query(query)
+    exhaustive = opened.query(query, plan_budget_ms=1e9)
+    assert [r.start for r in fast.records] == [r.start for r in exhaustive.records]
+    assert [r.data for r in fast.records] == [r.data for r in exhaustive.records]
+    assert fast.stats.elements_read == exhaustive.stats.elements_read
+
+
+# -- plan budget extremes -----------------------------------------------------------
+
+
+def test_budget_zero_always_forces_greedy(protein_system):
+    """``plan_budget_ms=0`` is deterministic: one translator, then stop."""
+    for query in ("//refinfo/year", "/ProteinDatabase//refinfo/year",
+                  "/ProteinDatabase/ProteinEntry[protein/name]/reference"):
+        planned = protein_system.plan_query(query, plan_budget_ms=0)
+        assert planned.fast_path or planned.budget_forced, query
+        assert planned.plan_budget_ms == 0
+        exhaustive = protein_system.plan_query(query)
+        fast_result = protein_system._execute_planned(planned)
+        full_result = protein_system._execute_planned(exhaustive)
+        assert fast_result.starts == full_result.starts, query
+        assert [r.data for r in fast_result.records] == [
+            r.data for r in full_result.records
+        ]
+
+
+def test_huge_budget_never_forces_greedy(protein_system):
+    planned = protein_system.plan_query(
+        "/ProteinDatabase//refinfo/year", plan_budget_ms=1e9
+    )
+    assert not planned.budget_forced
+    assert planned.skipped_candidates == 0
+    assert planned.plan_mode == "exhaustive"
+    baseline = protein_system.plan_query("/ProteinDatabase//refinfo/year")
+    assert (planned.translator, planned.engine) == (
+        baseline.translator, baseline.engine
+    )
+
+
+def test_budget_is_part_of_the_cache_key(protein_system):
+    protein_system.plan_cache.clear()
+    first = protein_system.plan_query("//refinfo/title", plan_budget_ms=0)
+    second = protein_system.plan_query("//refinfo/title")
+    assert not first.cache_hit
+    assert not second.cache_hit  # different budget, different slot
+    third = protein_system.plan_query("//refinfo/title", plan_budget_ms=0)
+    assert third.cache_hit
+
+
+# -- the tier-1 guard: budget-forced greedy never does worse than the seed ----------
+
+
+def test_budget_forced_plans_never_visit_more_elements_than_the_seed(bench):
+    dataset, harness = bench
+    system = harness.system
+    for name, path in sorted(harness.queries.items()):
+        text = str(path)
+        planned = system.plan_query(text, plan_budget_ms=0)
+        assert planned.fast_path or planned.budget_forced, (dataset, name)
+        greedy = system._execute_planned(planned)
+        seed = system.query(text, translator="pushup", engine="memory")
+        assert greedy.starts == seed.starts, (dataset, name)
+        assert greedy.stats.elements_read <= seed.stats.elements_read, (dataset, name)
+
+
+# -- observability ------------------------------------------------------------------
+
+
+def test_explain_shows_plan_mode_and_skipped_candidates(protein_system):
+    text = protein_system.explain("//refinfo/year")
+    assert "planning:" in text
+    assert "(fast path" in text
+    assert "skipped (fast path)" in text
+    assert "<- chosen" in text
+    # The candidate table still shows the greedy winner's engine pricing.
+    assert "pushup" in text
+
+
+def test_explain_shows_budget_mode_on_forced_plans(protein_system):
+    text = protein_system.explain(
+        "/ProteinDatabase/ProteinEntry[protein/name]/reference", plan_budget_ms=0
+    )
+    assert "greedy (plan budget)" in text
+    assert "skipped (plan budget)" in text
+
+
+def test_fast_path_populates_plan_time_accounting(protein_system):
+    protein_system.plan_cache.clear()
+    protein_system.plan_query("//refinfo/year")
+    protein_system.plan_query("//refinfo/year")  # hit
+    stats = protein_system.plan_cache.stats()
+    assert stats["plan_ms_total"] > 0
+    assert stats["plan_ms_saved"] > 0
+    assert sum(stats["plan_ms_histogram"].values()) == stats["misses"]

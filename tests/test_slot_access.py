@@ -1,0 +1,247 @@
+"""Unit tests of the single slot-range access path.
+
+Both the record-scan operators (``select_plabel_range``/``select_tag``)
+and the vectorized ``vector_select`` resolve through one implementation —
+:meth:`NodeTable.plabel_slot_access` / :meth:`NodeTable.tag_slot_access`
+returning a :class:`SlotRangeAccess` — so the element/page/lookup counters
+the two engines report cannot diverge by construction.  These tests pin
+down that single path directly: slot bounds, counter math, record- vs
+column-backed parity, and the clustered-to-packed slot mapping used by the
+vector engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.columns import ColumnarPartition
+from repro.storage.pages import PageLayout
+from repro.storage.stats import AccessStatistics
+from repro.storage.table import SlotRangeAccess, StorageCatalog
+from repro.translate.plan import SelectionKind, SelectionSpec
+from repro.planner.physical import ExecutionContext, vector_select
+
+
+@pytest.fixture()
+def catalog(protein_indexed):
+    return StorageCatalog(protein_indexed, page_layout=PageLayout(records_per_page=10))
+
+
+# -- SlotRangeAccess value semantics ------------------------------------------------
+
+
+def test_contiguous_access_counts_inclusive_slots():
+    access = SlotRangeAccess.contiguous(3, 7, pages=2)
+    assert access.is_contiguous
+    assert access.elements == 5
+    assert access.pages == 2
+    assert list(access.clustered_slots()) == [3, 4, 5, 6, 7]
+
+
+def test_empty_contiguous_access_is_zero():
+    access = SlotRangeAccess.contiguous(0, -1, pages=0)
+    assert access.elements == 0
+    assert access.pages == 0
+    assert list(access.clustered_slots()) == []
+
+
+def test_scattered_access_counts_explicit_slots():
+    access = SlotRangeAccess.scattered([2, 5, 9], pages=3)
+    assert not access.is_contiguous
+    assert access.elements == 3
+    assert list(access.clustered_slots()) == [2, 5, 9]
+
+
+# -- plabel access on the SP cluster ------------------------------------------------
+
+
+def test_sp_plabel_access_matches_brute_force(catalog, protein_indexed):
+    scheme = protein_indexed.scheme
+    interval = scheme.suffix_path_interval(["refinfo", "year"])
+    access = catalog.sp.plabel_slot_access(interval.p1, interval.p2)
+    expected = [
+        record for record in catalog.sp.records
+        if interval.p1 <= record.plabel <= interval.p2
+    ]
+    assert access.is_contiguous
+    assert access.elements == len(expected) > 0
+    assert access.pages == catalog.sp.pages.pages_for_range(access.first, access.last)
+    assert catalog.sp.access_rows(access) == expected
+
+
+def test_sp_plabel_access_empty_range(catalog):
+    domain = catalog.scheme.domain
+    access = catalog.sp.plabel_slot_access(domain + 10, domain + 20)
+    assert access.elements == 0
+    assert access.pages == 0
+    assert catalog.sp.access_rows(access) == []
+
+
+# -- plabel access on the SD cluster (scattered) ------------------------------------
+
+
+def test_sd_plabel_access_is_scattered_and_exact(catalog, protein_indexed):
+    scheme = protein_indexed.scheme
+    interval = scheme.suffix_path_interval(["refinfo", "year"])
+    access = catalog.sd.plabel_slot_access(interval.p1, interval.p2)
+    scanned = catalog.sd.access_rows(access)
+    assert not access.is_contiguous
+    assert access.elements == len(scanned)
+    assert access.pages == catalog.sd.pages.pages_for_scattered(access.elements)
+    assert sorted(r.plabel for r in scanned) == sorted(
+        record.plabel
+        for record in catalog.sp.records
+        if interval.p1 <= record.plabel <= interval.p2
+    )
+
+
+# -- tag access ---------------------------------------------------------------------
+
+
+def test_sd_tag_access_is_the_contiguous_cluster(catalog):
+    access = catalog.sd.tag_slot_access("author")
+    scanned = catalog.sd.access_rows(access)
+    assert access.is_contiguous
+    assert {record.tag for record in scanned} == {"author"}
+    assert access.elements == sum(
+        1 for record in catalog.sd.records if record.tag == "author"
+    )
+
+
+def test_sd_missing_tag_access_is_empty(catalog):
+    access = catalog.sd.tag_slot_access("nonexistent")
+    assert access.elements == 0
+    assert access.pages == 0
+    assert catalog.sd.access_rows(access) == []
+
+
+def test_sp_tag_access_is_scattered(catalog):
+    access = catalog.sp.tag_slot_access("author")
+    scanned = catalog.sp.access_rows(access)
+    assert not access.is_contiguous
+    assert {record.tag for record in scanned} == {"author"}
+    assert access.pages == catalog.sp.pages.pages_for_scattered(access.elements)
+
+
+def test_wildcard_tag_access_is_the_whole_table(catalog):
+    for table in (catalog.sp, catalog.sd):
+        for tag in (None, "*"):
+            access = table.tag_slot_access(tag)
+            assert access.is_contiguous
+            assert access.elements == len(table)
+            assert access.pages == table.total_pages
+
+
+# -- record-backed vs column-backed parity ------------------------------------------
+
+
+def _column_catalog(catalog: StorageCatalog) -> StorageCatalog:
+    """A purely column-backed catalog over the same packed columns."""
+    partition = ColumnarPartition(
+        columns=catalog.columns(),
+        scheme=catalog.scheme,
+        schema=catalog.schema,
+        name="columnar-twin",
+        source_size_bytes=0,
+        fingerprint=catalog.fingerprint(),
+    )
+    return StorageCatalog.from_columns(
+        partition, page_layout=PageLayout(records_per_page=10)
+    )
+
+
+def test_column_backed_plabel_access_matches_record_backed(catalog, protein_indexed):
+    columnar = _column_catalog(catalog)
+    scheme = protein_indexed.scheme
+    for steps in (["refinfo", "year"], ["protein", "name"], ["author"]):
+        interval = scheme.suffix_path_interval(steps)
+        for source in ("sp", "sd"):
+            record_access = catalog.table_for(source).plabel_slot_access(
+                interval.p1, interval.p2
+            )
+            column_access = columnar.table_for(source).plabel_slot_access(
+                interval.p1, interval.p2
+            )
+            assert record_access == column_access
+
+
+def test_column_backed_tag_access_matches_record_backed(catalog):
+    columnar = _column_catalog(catalog)
+    for tag in ("author", "year", "nonexistent", None):
+        for source in ("sp", "sd"):
+            record_access = catalog.table_for(source).tag_slot_access(tag)
+            column_access = columnar.table_for(source).tag_slot_access(tag)
+            assert record_access == column_access
+
+
+# -- the packed mapping used by the vector engine -----------------------------------
+
+
+def test_packed_selection_materializes_the_same_records(catalog, protein_indexed):
+    columns = catalog.columns()
+    scheme = protein_indexed.scheme
+    interval = scheme.suffix_path_interval(["refinfo", "year"])
+    for source in ("sp", "sd"):
+        table = catalog.table_for(source)
+        access = table.plabel_slot_access(interval.p1, interval.p2)
+        packed = table.packed_selection(access, columns)
+        assert packed.materialize() == table.access_rows(access)
+
+
+def test_packed_tag_selection_materializes_the_same_records(catalog):
+    columns = catalog.columns()
+    for source in ("sp", "sd"):
+        table = catalog.table_for(source)
+        for tag in ("author", "nonexistent", None):
+            access = table.tag_slot_access(tag)
+            packed = table.packed_selection(access, columns)
+            assert packed.materialize() == table.access_rows(access)
+
+
+# -- both engines report the one access path's counters -----------------------------
+
+
+@pytest.mark.parametrize("source", ["sp", "sd"])
+def test_record_and_vector_selection_counters_are_the_same_numbers(
+    catalog, protein_indexed, source
+):
+    """The counters come from one SlotRangeAccess, whichever engine asks."""
+    scheme = protein_indexed.scheme
+    interval = scheme.suffix_path_interval(["refinfo", "year"])
+    table = catalog.table_for(source)
+
+    row_stats = AccessStatistics()
+    table.select_plabel_range(interval.p1, interval.p2, row_stats, alias="T1")
+
+    selection = SelectionSpec(
+        alias="T1",
+        kind=SelectionKind.PLABEL_RANGE,
+        plabel_low=interval.p1,
+        plabel_high=interval.p2,
+        source=source,
+        description="//refinfo/year",
+    )
+    vec_stats = AccessStatistics()
+    ctx = ExecutionContext(catalog=catalog, stats=vec_stats)
+    vector_select(selection, ctx)
+
+    assert vec_stats.elements_read == row_stats.elements_read
+    assert vec_stats.pages_read == row_stats.pages_read
+    assert vec_stats.index_lookups == row_stats.index_lookups
+
+
+def test_tag_selection_counters_match_across_engines(catalog):
+    row_stats = AccessStatistics()
+    catalog.sd.select_tag("author", row_stats, alias="T1")
+
+    selection = SelectionSpec(
+        alias="T1", kind=SelectionKind.TAG, tag="author", source="sd",
+        description="author",
+    )
+    vec_stats = AccessStatistics()
+    ctx = ExecutionContext(catalog=catalog, stats=vec_stats)
+    vector_select(selection, ctx)
+
+    assert vec_stats.elements_read == row_stats.elements_read
+    assert vec_stats.pages_read == row_stats.pages_read
+    assert vec_stats.index_lookups == row_stats.index_lookups

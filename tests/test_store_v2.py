@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import glob
 import os
+import re
 
 import pytest
 
@@ -84,10 +85,16 @@ def test_v1_and_v2_stores_answer_identically(dataset_texts, tmp_path):
                 assert answer.engine == baseline.engine, context
     # EXPLAIN output (candidates, chosen plans, per-document costs) matches
     # across formats too — the plans, not just the answers, are identical.
+    # Measured planning latency is the one legitimately format-independent
+    # difference, so the wall-clock figures are masked before comparing.
+    def stable(text):
+        text = re.sub(r"planning: \d+\.\d+ ms", "planning: _ ms", text)
+        return re.sub(r"(plan_ms_\w+)=\d+\.\d+", r"\1=_", text)
+
     for dataset in DATASET_NAMES:
         for query_text in QUERY_SETS[dataset].values():
-            assert (
-                stores["v1"].explain(query_text) == stores["v2"].explain(query_text)
+            assert stable(stores["v1"].explain(query_text)) == stable(
+                stores["v2"].explain(query_text)
             )
 
 

@@ -1,0 +1,155 @@
+"""End-to-end smoke test for ``repro serve`` (the CI ``daemon-smoke`` job).
+
+Builds a store from the synthetic datasets, launches the *real* CLI
+daemon as a subprocess, queries it over HTTP and checks the answers
+against direct single-threaded library runs — including a live ``/add``
+commit under the running server.  Exits non-zero on any mismatch.
+
+Not ``test_``-prefixed on purpose: this is a standalone script (it owns
+its subprocess lifecycle), not a pytest module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from repro.collection import BLASCollection
+from repro.datasets import build_dataset
+from repro.xmlkit.writer import document_to_string
+
+QUERIES = [
+    "//SPEECH/LINE",
+    "//ProteinEntry/protein/name",
+    "//ACT//SPEECH[SPEAKER]/LINE",
+]
+
+EXTRA = "<lib><book><title>added-under-load</title></book></lib>"
+
+
+def get_json(url):
+    """GET a URL and decode its one-line JSON body."""
+    with urllib.request.urlopen(url, timeout=30) as response:
+        assert response.status == 200, f"{url}: HTTP {response.status}"
+        return json.loads(response.read().decode("utf-8"))
+
+
+def post_json(url, payload):
+    """POST a JSON body and decode the JSON response."""
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.status == 200, f"{url}: HTTP {response.status}"
+        return json.loads(response.read().decode("utf-8"))
+
+
+def answer_key(result):
+    """Byte-identity key of a library result (mirrors the HTTP payload)."""
+    return (
+        [(r.doc_id, r.tag, r.start, r.level, r.data) for r in result.records],
+        result.count,
+        result.stats.elements_read,
+    )
+
+
+def http_key(payload):
+    """The same key extracted from a /query response."""
+    return (
+        [
+            (r["doc_id"], r["tag"], r["start"], r["level"], r["data"])
+            for r in payload["records"]
+        ],
+        payload["count"],
+        payload["elements_read"],
+    )
+
+
+def wait_for_startup(process):
+    """Read the serve banner line, failing fast if the daemon died."""
+    banner = process.stdout.readline().strip()
+    assert banner.startswith("serving "), f"unexpected banner: {banner!r}"
+    return banner
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="daemon-smoke-")
+    store = os.path.join(workdir, "corpus.store")
+
+    collection = BLASCollection()
+    for name in ("shakespeare", "protein"):
+        collection.add_xml(
+            document_to_string(build_dataset(name, scale=1)), name=name
+        )
+    collection.save(store)
+    expected = {
+        query: answer_key(collection.query(query, parallel=False))
+        for query in QUERIES
+    }
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", store, "--port", "18472"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        banner = wait_for_startup(process)
+        print(banner)
+        base = "http://127.0.0.1:18472"
+
+        health = get_json(base + "/healthz")
+        assert health == {"status": "ok", "version": 2, "documents": 2}, health
+
+        for query in QUERIES:
+            payload = get_json(base + "/query?q=" + urllib.parse.quote(query))
+            assert http_key(payload) == expected[query], f"mismatch on {query}"
+            print(f"ok: {query} -> {payload['count']} result(s) "
+                  f"({payload['elements_read']} elements read)")
+
+        explain = get_json(base + "/explain?q=" + urllib.parse.quote(QUERIES[0]))
+        assert explain["explain"].startswith("SNAPSHOT EXPLAIN"), explain
+
+        # A live commit under the running daemon, visible to the next read.
+        added = post_json(base + "/add", {"xml": EXTRA, "name": "extra"})
+        assert added["version"] == 3, added
+        payload = get_json(base + "/query?q=" + urllib.parse.quote("//book/title"))
+        assert payload["version"] == 3 and payload["count"] == 1, payload
+        print("ok: /add committed version 3 and the new document answers")
+
+        # Errors stay one-line JSON with real status codes.
+        try:
+            urllib.request.urlopen(base + "/query?q=" + urllib.parse.quote("//a["),
+                                   timeout=30)
+            raise AssertionError("bad query unexpectedly succeeded")
+        except urllib.error.HTTPError as error:
+            assert error.code == 400, error.code
+            body = error.read()
+            assert b"\n" not in body and b"error" in body, body
+        print("ok: bad query -> 400 one-line JSON")
+
+        stats = get_json(base + "/stats")
+        assert stats["server"]["requests_total"] >= len(QUERIES) + 4, stats
+        print("daemon smoke passed:", json.dumps(stats["server"]))
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    code = main()
+    print(f"total {time.perf_counter() - start:.1f}s")
+    sys.exit(code)

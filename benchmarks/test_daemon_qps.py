@@ -1,0 +1,212 @@
+"""Daemon throughput benchmark: sustained mixed read/write over HTTP.
+
+Four HTTP reader threads hammer ``/query`` while a writer lands 55
+interleaved add/remove commits through the same daemon's collection.
+Right after each commit the writer records the single-threaded library
+answer for that manifest version; every concurrent HTTP response must be
+byte-identical (records, count and visited-element counters) to the
+library answer at the version it reports.  The suite asserts
+
+* zero failed requests across the whole mixed phase,
+* byte-identity at every manifest version a reader observed,
+* at least 50 commits landed under the readers, and
+* daemon QPS at least 4x the per-query subprocess-startup path
+  (``python -m repro collection query <store> Q --count``).
+
+With ``DAEMON_QPS_JSON`` set, the timings are written there (CI uploads
+the file as the ``daemon-qps-timings.json`` artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.parse
+import urllib.request
+
+import pytest
+
+import repro
+from repro.collection import BLASCollection
+from repro.server import DaemonServer
+
+QUERY = "//book/title"
+READERS = 4
+#: Minimum /query requests per reader thread during the mixed phase.
+REQUESTS_PER_READER = 40
+COMMITS = 55
+#: The asserted throughput floor over the subprocess-per-query path.
+QPS_FLOOR = 4.0
+#: Subprocess baseline repetitions (the minimum is used — best case for
+#: the baseline, i.e. the hardest comparison for the daemon).
+BASELINE_RUNS = 3
+
+CHURN = "<lib><book><title>churn</title></book></lib>"
+
+
+def _doc(i: int) -> str:
+    return (
+        f"<lib><book><title>t{i}</title></book>"
+        f"<book><title>u{i}</title></book></lib>"
+    )
+
+
+def _key(result):
+    """Byte-identity key of a library result."""
+    return (
+        tuple((r.doc_id, r.tag, r.start, r.level, r.data) for r in result.records),
+        result.count,
+        result.stats.elements_read,
+    )
+
+
+def _http_key(payload):
+    """The same key extracted from a daemon /query response."""
+    return (
+        tuple(
+            (r["doc_id"], r["tag"], r["start"], r["level"], r["data"])
+            for r in payload["records"]
+        ),
+        payload["count"],
+        payload["elements_read"],
+    )
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    store = str(tmp_path_factory.mktemp("daemon-qps") / "store")
+    seed = BLASCollection()
+    for i in range(6):
+        seed.add_xml(_doc(i), name=f"doc{i}")
+    seed.save(store)
+
+    collection = BLASCollection.open(store)
+    server = DaemonServer(collection)
+    server.start()
+
+    expected = {}
+    expected_lock = threading.Lock()
+    with expected_lock:
+        expected[collection.version] = _key(collection.query(QUERY, parallel=False))
+    writer_done = threading.Event()
+    observations = []  # (version, key) per successful request
+    failures = []  # anything that was not a clean HTTP 200
+    commits_landed = [0]
+
+    def writer():
+        try:
+            for commit in range(1, COMMITS + 1):
+                if commit % 2 == 1:
+                    collection.add_xml(CHURN, name=f"churn{commit}")
+                else:
+                    collection.remove(f"churn{commit - 1}")
+                commits_landed[0] += 1
+                # The writer is the sole mutator: the serial library run
+                # right after the commit is the ground truth for this
+                # manifest version.
+                with expected_lock:
+                    expected[collection.version] = _key(
+                        collection.query(QUERY, parallel=False)
+                    )
+        except Exception as error:  # pragma: no cover - surfaced in asserts
+            failures.append(("writer", repr(error)))
+        finally:
+            writer_done.set()
+
+    def reader():
+        url = server.url + "/query?q=" + urllib.parse.quote(QUERY)
+        done = 0
+        local = []
+        try:
+            while done < REQUESTS_PER_READER or not writer_done.is_set():
+                with urllib.request.urlopen(url, timeout=30) as response:
+                    if response.status != 200:
+                        failures.append(("reader", response.status))
+                    payload = json.loads(response.read().decode("utf-8"))
+                local.append((payload["version"], _http_key(payload)))
+                done += 1
+        except Exception as error:  # pragma: no cover - surfaced in asserts
+            failures.append(("reader", repr(error)))
+        observations.extend(local)
+
+    threads = [threading.Thread(target=reader) for _ in range(READERS)]
+    threads.append(threading.Thread(target=writer))
+    mixed_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    mixed_seconds = time.perf_counter() - mixed_started
+    server.stop()
+
+    daemon_qps = len(observations) / mixed_seconds if mixed_seconds else 0.0
+
+    # Baseline: one subprocess per query, paying interpreter + import +
+    # store-open on every request.  Best (minimum) of several runs.
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(repro.__file__))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    baseline_seconds = []
+    for _ in range(BASELINE_RUNS):
+        started = time.perf_counter()
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "collection", "query",
+             store, QUERY, "--count"],
+            env=env, capture_output=True, text=True,
+        )
+        baseline_seconds.append(time.perf_counter() - started)
+        assert completed.returncode == 0, completed.stderr
+    subprocess_qps = 1.0 / min(baseline_seconds)
+
+    rows = {
+        "readers": READERS,
+        "requests": len(observations),
+        "failed_requests": len(failures),
+        "failures": [repr(f) for f in failures[:5]],
+        "commits": commits_landed[0],
+        "versions_observed": sorted({version for version, _ in observations}),
+        "mixed_seconds": mixed_seconds,
+        "daemon_qps": daemon_qps,
+        "subprocess_seconds_min": min(baseline_seconds),
+        "subprocess_qps": subprocess_qps,
+        "qps_ratio": daemon_qps / subprocess_qps if subprocess_qps else None,
+        "mismatches": [
+            {"version": version, "got": repr(key), "want": repr(expected.get(version))}
+            for version, key in observations
+            if key != expected.get(version)
+        ][:5],
+        "identical_at_every_version": all(
+            key == expected.get(version) for version, key in observations
+        ),
+    }
+    target = os.environ.get("DAEMON_QPS_JSON")
+    if target:
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, sort_keys=True)
+    return rows
+
+
+def test_zero_failed_requests(report):
+    assert report["failed_requests"] == 0, report["failures"]
+    assert report["requests"] >= READERS * REQUESTS_PER_READER
+
+
+def test_answers_byte_identical_at_every_version(report):
+    assert report["identical_at_every_version"], report["mismatches"]
+    # Readers really did observe the store moving underneath them.
+    assert len(report["versions_observed"]) >= 2
+
+
+def test_at_least_fifty_interleaved_commits(report):
+    assert report["commits"] >= 50
+
+
+def test_daemon_beats_subprocess_startup_by_4x(report):
+    assert report["qps_ratio"] >= QPS_FLOOR, (
+        f"daemon {report['daemon_qps']:.1f} qps vs subprocess "
+        f"{report['subprocess_qps']:.1f} qps is only {report['qps_ratio']:.1f}x"
+    )

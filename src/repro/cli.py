@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Four subcommands cover the everyday uses of the library:
+Five subcommands cover the everyday uses of the library:
 
 ``query``
     Index an XML file and evaluate one XPath query, printing the matching
@@ -20,6 +20,12 @@ Four subcommands cover the everyday uses of the library:
     ``open`` lists a store O(manifest), and ``add --store`` ingests files
     straight into a store.  Directories holding a ``MANIFEST.json`` are
     detected as stores automatically.
+
+``serve``
+    Run the long-lived HTTP daemon over a collection store: ``/query``,
+    ``/explain``, ``/stats``, ``/healthz`` plus the ``/add``/``/remove``
+    mutation endpoints, with per-request snapshot isolation (see
+    ``docs/daemon.md``).
 
 ``experiment``
     Run one of the paper-figure experiment drivers on the synthetic datasets
@@ -199,6 +205,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-bytes", type=int, default=None, metavar="BYTES",
         help="bound the partition cache to this many resident bytes "
              "(store-backed collections only)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a collection store over HTTP (long-lived daemon)"
+    )
+    serve.add_argument("store", help="the collection store directory (or an XML directory)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (default 8080; 0 picks a free port)")
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="per-query fan-out thread-pool width (0 = auto-size)",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="BYTES",
+        help="bound the shared partition cache to this many resident bytes",
+    )
+    serve.add_argument(
+        "--max-plan-cost", type=float, default=None, metavar="ELEMENTS",
+        help="reject queries whose estimated plan cost exceeds this many "
+             "visited elements (HTTP 422) before executing anything",
     )
 
     experiment = subparsers.add_parser(
@@ -522,6 +549,38 @@ def _run_collection(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the HTTP daemon over a store until interrupted.
+
+    One process opens the collection once and serves every request from it:
+    readers get per-request snapshot isolation, mutations commit through
+    the same atomic manifest swap the library uses, and the plan/partition
+    caches are shared across the whole workload.
+    """
+    from repro.server import DaemonServer  # stdlib http.server, loaded on use
+
+    collection = _load_collection(args.store, cache_bytes=args.cache_bytes)
+    collection.workers = args.workers
+    server = DaemonServer(
+        collection,
+        host=args.host,
+        port=args.port,
+        max_plan_cost=args.max_plan_cost,
+    )
+    print(
+        f"serving {args.store} on {server.url} "
+        f"({len(collection)} document(s), version {collection.version})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     name = args.name
     if name == "fig11":
@@ -628,6 +687,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_plan(args)
         if args.command == "collection":
             return _run_collection(args)
+        if args.command == "serve":
+            return _run_serve(args)
         return _run_experiment(args)
     except ReproError as error:
         print(f"error: {error}")

@@ -16,13 +16,16 @@ from repro.collection.collection import (
 )
 from repro.collection.fanout import default_workers, merge_document_streams, run_jobs
 from repro.collection.result import CollectionResult, DocumentResult
+from repro.collection.snapshot import CollectionSnapshot, SnapshotGroup
 
 __all__ = [
     "BLASCollection",
     "CollectionDocument",
     "CollectionResult",
+    "CollectionSnapshot",
     "DocumentResult",
     "SchemeGroup",
+    "SnapshotGroup",
     "default_workers",
     "merge_document_streams",
     "run_jobs",

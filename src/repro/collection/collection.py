@@ -33,11 +33,13 @@ doc_id-partitioned store and answers XPath over the whole collection:
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.collection.fanout import default_workers, merge_document_streams, run_jobs
 from repro.collection.result import CollectionResult, DocumentResult
+from repro.collection.snapshot import CollectionSnapshot
 from repro.core.indexer import (
     IndexedDocument,
     discover_vocabulary,
@@ -286,6 +288,15 @@ class BLASCollection:
         self._groups: List[SchemeGroup] = []
         self._next_doc_id = 0
         self._persist: Optional[CollectionStore] = None
+        #: Monotonic commit counter: every successful membership mutation
+        #: bumps it (persisted as the manifest ``generation``), so
+        #: snapshots and version-aware plan-cache keys can tell membership
+        #: states apart without hashing.
+        self._version = 0
+        #: Serializes membership mutations against each other and against
+        #: snapshot admission, so a snapshot can never observe (or pin)
+        #: a half-applied mutation.
+        self._mutation_lock = threading.RLock()
         #: doc_id -> relative partition path inside the bound store.  The
         #: path (extension included) depends on the partition format the
         #: file was written in, so it is recorded at write/open time rather
@@ -298,6 +309,18 @@ class BLASCollection:
     def store_path(self) -> Optional[str]:
         """Root directory of the bound on-disk store, or ``None``."""
         return self._persist.root if self._persist is not None else None
+
+    @property
+    def version(self) -> int:
+        """The membership commit counter (the manifest ``generation``).
+
+        Starts at the opened manifest's generation (0 for a fresh or
+        pre-generation store) and increments on every successful
+        ``add_*``/:meth:`remove`.  Two equal versions of one collection
+        mean identical membership; a bump means at least one commit
+        happened in between.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -338,6 +361,7 @@ class BLASCollection:
             per-shard disk bytes in ``store_shards`` when sharded.
         """
         stats: Dict[str, object] = {
+            "version": self._version,
             "documents": len(self._documents),
             "nodes": self.store.node_count,
             "scheme_groups": len(self.scheme_groups()),
@@ -358,6 +382,24 @@ class BLASCollection:
             if self._persist.is_sharded:
                 stats["store_shards"] = self._persist.shard_sizes()
         return stats
+
+    def snapshot(self) -> CollectionSnapshot:
+        """An isolated, pinned view of the current membership.
+
+        The snapshot captures the membership, scheme groups and version as
+        of this call and pins every member partition, so it keeps
+        answering — byte-identically — no matter how many ``add_*`` /
+        :meth:`remove` commits happen afterwards; partitions removed under
+        it stay servable (and their files undeleted) until the snapshot is
+        closed.  Admission is serialized against mutations, so a snapshot
+        can never observe a half-applied commit.
+
+        Close it (``with collection.snapshot() as view: ...`` or an
+        explicit :meth:`CollectionSnapshot.close`) to drop the pins; the
+        daemon admits one per request.
+        """
+        with self._mutation_lock:
+            return CollectionSnapshot(self)
 
     def document_view(self, doc_id: int):
         """A single-document :class:`~repro.system.BLAS` view of one member.
@@ -435,42 +477,46 @@ class BLASCollection:
         )
 
     def _register(self, indexed: IndexedDocument, group: Optional[SchemeGroup]) -> int:
-        doc_id = self._next_doc_id
-        if group is None:
-            group = SchemeGroup(len(self._groups), indexed.scheme, self.store)
-            self._groups.append(group)
-        self.store.add_partition(indexed, doc_id)
-        group.add(doc_id, indexed.schema)
-        self._documents[doc_id] = CollectionDocument(
-            doc_id=doc_id,
-            name=indexed.name,
-            group_id=group.group_id,
-            partitions=self.store,
-            summary_row=indexed.summary(),
-        )
-        self._next_doc_id += 1
-        if self._persist is not None:
-            # Append to the bound store: write only the new partition file,
-            # then commit it with an atomic manifest swap.  A crash between
-            # the two leaves the previous manifest readable (the new file is
-            # an ignorable orphan).  A *failed* write rolls the in-memory
-            # registration back too — otherwise a later successful mutation
-            # would commit a manifest referencing the never-written file.
-            try:
-                self._partition_paths[doc_id] = self._persist.write_partition(
-                    indexed, doc_id, self.store.partition_fingerprint(doc_id)
-                )
-                self._persist.write_manifest(
-                    self._manifest(stable_groups=self._persist.is_sharded)
-                )
-            except BaseException:
-                del self._documents[doc_id]
-                self._partition_paths.pop(doc_id, None)
-                self.store.remove_partition(doc_id)
-                group.remove(doc_id)
-                self._next_doc_id = doc_id
-                raise
-        return doc_id
+        with self._mutation_lock:
+            doc_id = self._next_doc_id
+            if group is None:
+                group = SchemeGroup(len(self._groups), indexed.scheme, self.store)
+                self._groups.append(group)
+            self.store.add_partition(indexed, doc_id)
+            group.add(doc_id, indexed.schema)
+            self._documents[doc_id] = CollectionDocument(
+                doc_id=doc_id,
+                name=indexed.name,
+                group_id=group.group_id,
+                partitions=self.store,
+                summary_row=indexed.summary(),
+            )
+            self._next_doc_id += 1
+            self._version += 1
+            if self._persist is not None:
+                # Append to the bound store: write only the new partition
+                # file, then commit it with an atomic manifest swap.  A
+                # crash between the two leaves the previous manifest
+                # readable (the new file is an ignorable orphan).  A
+                # *failed* write rolls the in-memory registration back too —
+                # otherwise a later successful mutation would commit a
+                # manifest referencing the never-written file.
+                try:
+                    self._partition_paths[doc_id] = self._persist.write_partition(
+                        indexed, doc_id, self.store.partition_fingerprint(doc_id)
+                    )
+                    self._persist.write_manifest(
+                        self._manifest(stable_groups=self._persist.is_sharded)
+                    )
+                except BaseException:
+                    del self._documents[doc_id]
+                    self._partition_paths.pop(doc_id, None)
+                    self.store.remove_partition(doc_id)
+                    group.remove(doc_id)
+                    self._next_doc_id = doc_id
+                    self._version -= 1
+                    raise
+            return doc_id
 
     def remove(self, ref: Union[int, str]) -> int:
         """Remove a document by doc_id or by name; returns the doc_id removed.
@@ -479,9 +525,13 @@ class BLASCollection:
         merged statistics, fingerprints — and therefore every cached plan
         over the old membership — are invalidated.  On a store-bound
         collection the removal is persisted: the manifest is swapped first
-        (the commit point) and the partition file deleted afterwards.
-        Removing the last document leaves a valid, queryable empty
-        collection — and a valid empty store.
+        (the commit point) and the partition file deleted afterwards —
+        unless a live :meth:`snapshot` still pins the partition, in which
+        case the file deletion is deferred (via the store's removal
+        ticket) until the last pin drops, so in-flight snapshot readers
+        keep streaming the removed document's partition.  Removing the
+        last document leaves a valid, queryable empty collection — and a
+        valid empty store.
 
         Parameters
         ----------
@@ -493,21 +543,30 @@ class BLASCollection:
         int
             The doc_id that was removed.
         """
-        doc_id = self._resolve(ref)
-        victim_file = (
-            self._partition_paths.get(doc_id) if self._persist is not None else None
-        )
-        entry = self._documents.pop(doc_id)
-        self._partition_paths.pop(doc_id, None)
-        self.store.remove_partition(doc_id)
-        self._group_by_id(entry.group_id).remove(doc_id)
-        if self._persist is not None:
-            self._persist.write_manifest(
-                self._manifest(stable_groups=self._persist.is_sharded)
+        with self._mutation_lock:
+            doc_id = self._resolve(ref)
+            victim_file = (
+                self._partition_paths.get(doc_id)
+                if self._persist is not None
+                else None
             )
-            if victim_file is not None:
-                self._persist.remove_partition_file(victim_file)
-        return doc_id
+            entry = self._documents.pop(doc_id)
+            self._partition_paths.pop(doc_id, None)
+            self._group_by_id(entry.group_id).remove(doc_id)
+            self._version += 1
+            if self._persist is not None:
+                self._persist.write_manifest(
+                    self._manifest(stable_groups=self._persist.is_sharded)
+                )
+            # The manifest no longer references the partition, so its file
+            # may go — but only once no live snapshot pin holds it.
+            ticket = self.store.remove_partition(doc_id)
+            if self._persist is not None and victim_file is not None:
+                persist = self._persist
+                ticket.on_release(
+                    lambda: persist.remove_partition_file(victim_file)
+                )
+            return doc_id
 
     # -- persistence ------------------------------------------------------------
 
@@ -555,6 +614,7 @@ class BLASCollection:
             next_doc_id=self._next_doc_id,
             scheme_groups=[scheme_to_dict(group.scheme) for group in groups],
             documents=documents,
+            generation=self._version,
         )
 
     def save(
@@ -706,6 +766,7 @@ class BLASCollection:
             )
             collection._partition_paths[entry.doc_id] = entry.partition
         collection._next_doc_id = manifest.next_doc_id
+        collection._version = manifest.generation
         return collection
 
     def _resolve(self, ref: Union[int, str]) -> int:

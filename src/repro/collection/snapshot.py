@@ -1,0 +1,361 @@
+"""Snapshot-isolated views over a :class:`~repro.collection.BLASCollection`.
+
+A :class:`CollectionSnapshot` freezes one membership state — the document
+set, scheme groups and commit version as of admission — and pins every
+member partition in the shared :class:`~repro.storage.table.PartitionedCatalog`.
+From then on the snapshot answers queries byte-identically to the
+collection at admission time, no matter how many ``add_*``/``remove``
+commits land afterwards:
+
+* **Removed partitions stay servable.**  The store defers their teardown
+  (and the caller's file deletion) until the snapshot's pins drop, so a
+  reader mid-stream never has a partition yanked from under it.
+* **Groups are frozen.**  ``SchemeGroup`` mutates in place on membership
+  change; a :class:`SnapshotGroup` copies the member list, fingerprint and
+  schema thunks at admission, so concurrent commits cannot perturb the
+  snapshot's planning inputs.
+* **Plans are version-keyed.**  Snapshot plan-cache keys fold the
+  collection version in (:func:`repro.planner.cache.plan_key` with
+  ``version=``), so a commit invalidates the previous version's plans
+  wholesale and per-version hit/miss counters stay attributable.
+
+This is the daemon's request-isolation substrate: the HTTP server admits
+one snapshot per request and closes it when the response is built.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.collection.fanout import default_workers, merge_document_streams, run_jobs
+from repro.collection.result import CollectionResult, DocumentResult
+from repro.exceptions import CollectionError, SchemaError
+from repro.planner.cache import plan_key
+from repro.planner.planner import PlannedQuery, QueryPlanner
+from repro.storage.stats import CatalogStatistics
+from repro.xmlkit.schema import SchemaGraph, merge_schema_graphs
+from repro.xpath.ast import LocationPath
+
+_UNSET = object()
+
+
+class SnapshotGroup:
+    """A scheme group frozen at snapshot admission.
+
+    Quacks like a live ``SchemeGroup`` for planning purposes — ``scheme``,
+    ``schema``, ``statistics()``, ``fingerprint()``, ``planner`` — but its
+    member list and fingerprint are immutable copies, so the planner's
+    inputs cannot change while the snapshot lives.
+    """
+
+    def __init__(self, group) -> None:
+        self.group_id = group.group_id
+        self.scheme = group.scheme
+        self._store = group._store
+        self.doc_ids: Tuple[int, ...] = tuple(group.doc_ids)
+        # Schema values may still be lazy thunks; resolving one later goes
+        # through the store's catalog_for, which serves removed-but-pinned
+        # partitions from their deferred entries.
+        self._schemas = dict(group._schemas)
+        self._schema_cache: object = _UNSET
+        self._planner: Optional[QueryPlanner] = None
+        # Content-addressed and therefore stable, but captured eagerly so
+        # admission, not first use, fixes the plan-cache key material.
+        self._fingerprint = group.fingerprint()
+
+    @property
+    def schema(self) -> Optional[SchemaGraph]:
+        """The union schema of the frozen members, or ``None``.
+
+        Same contract as the live group: ``None`` as soon as any member
+        was indexed without schema extraction.
+        """
+        if self._schema_cache is _UNSET:
+            graphs = []
+            for doc_id in self.doc_ids:
+                value = self._schemas[doc_id]
+                if callable(value):
+                    value = value()
+                    self._schemas[doc_id] = value
+                graphs.append(value)
+            if graphs and all(graph is not None for graph in graphs):
+                self._schema_cache = merge_schema_graphs(graphs)
+            else:
+                self._schema_cache = None
+        return self._schema_cache  # type: ignore[return-value]
+
+    def statistics(self) -> CatalogStatistics:
+        """Merged exact statistics over the frozen member partitions."""
+        return self._store.statistics_for(list(self.doc_ids))
+
+    def fingerprint(self) -> str:
+        """The frozen membership's collection fingerprint."""
+        return self._fingerprint
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The group's planner over the frozen statistics."""
+        if self._planner is None:
+            self._planner = QueryPlanner(self)
+        return self._planner
+
+
+class CollectionSnapshot:
+    """One isolated membership state of a collection, pinned while open.
+
+    Constructed via :meth:`BLASCollection.snapshot` (which serializes
+    admission against mutations).  Works as a context manager; always
+    :meth:`close` it — pins block cache eviction and keep removed
+    partitions (and their files) alive for the snapshot's lifetime.
+    """
+
+    def __init__(self, collection) -> None:
+        self._collection = collection
+        self._store = collection.store
+        self._plan_cache = collection.plan_cache
+        #: The collection commit version this snapshot was admitted at.
+        self.version: int = collection.version
+        self._entries = [
+            collection._documents[doc_id] for doc_id in collection.doc_ids()
+        ]
+        self._groups = [SnapshotGroup(group) for group in collection.scheme_groups()]
+        self._closed = False
+        self._pinned: List[int] = []
+        try:
+            for entry in self._entries:
+                self._store.pin(entry.doc_id)
+                self._pinned.append(entry.doc_id)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once the snapshot's pins have been dropped."""
+        return self._closed
+
+    def close(self) -> None:
+        """Drop every pin (idempotent).
+
+        The last pin on a partition removed while this snapshot lived
+        completes the deferred removal: the store releases its mapping and
+        runs the removal ticket's callbacks (the file deletion).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        while self._pinned:
+            self._store.unpin(self._pinned.pop())
+
+    def __enter__(self) -> "CollectionSnapshot":
+        """Context-manager entry; returns the snapshot itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit; closes the snapshot."""
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise CollectionError("snapshot is closed")
+
+    # -- introspection -----------------------------------------------------------
+
+    def doc_ids(self) -> List[int]:
+        """The frozen member doc_ids in ascending order."""
+        return [entry.doc_id for entry in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- planning ----------------------------------------------------------------
+
+    def _plan_group(
+        self,
+        group: SnapshotGroup,
+        tree,
+        text: str,
+        translator: str,
+        engine: str,
+        plan_budget_ms: Optional[float] = None,
+    ) -> PlannedQuery:
+        if translator == "unfold" and group.schema is None:
+            raise SchemaError(
+                "translator 'unfold' needs a schema graph covering every "
+                f"document of scheme group {group.group_id}"
+            )
+        key = plan_key(
+            text,
+            translator,
+            engine,
+            group.fingerprint(),
+            plan_budget_ms,
+            version=self.version,
+        )
+        cached = self._plan_cache.get(key, version=self.version)
+        if cached is not None:
+            return dataclasses.replace(cached, cache_hit=True)
+        planned = group.planner.plan(
+            tree, text, translator=translator, engine=engine,
+            plan_budget_ms=plan_budget_ms,
+        )
+        self._plan_cache.put(key, planned, version=self.version)
+        return planned
+
+    def _plans(
+        self,
+        tree,
+        text: str,
+        translator: str,
+        engine: str,
+        plan_budget_ms: Optional[float] = None,
+    ) -> Dict[int, PlannedQuery]:
+        return {
+            group.group_id: self._plan_group(
+                group, tree, text, translator, engine, plan_budget_ms
+            )
+            for group in self._groups
+        }
+
+    def estimate(
+        self,
+        query: Union[str, LocationPath],
+        translator: str = "auto",
+        engine: str = "auto",
+        plan_budget_ms: Optional[float] = None,
+    ) -> float:
+        """Total estimated elements the planned query would visit.
+
+        Plans every group (through the shared, version-keyed plan cache,
+        so the estimate's planning work is reused by the subsequent
+        :meth:`query`) and sums the chosen plans' estimated element
+        counts.  The daemon's ``--max-plan-cost`` admission guard runs on
+        this number before executing anything.
+        """
+        self._require_open()
+        self._collection._check_names(translator, engine)
+        tree = self._collection._query_tree(query)
+        plans = self._plans(tree, tree.to_xpath(), translator, engine, plan_budget_ms)
+        return float(
+            sum(planned.estimated.elements for planned in plans.values())
+        )
+
+    # -- querying ----------------------------------------------------------------
+
+    def query(
+        self,
+        query: Union[str, LocationPath],
+        translator: str = "auto",
+        engine: str = "auto",
+        parallel: bool = True,
+        workers: int = 0,
+        limit: Optional[int] = None,
+        count_only: bool = False,
+        plan_budget_ms: Optional[float] = None,
+    ) -> CollectionResult:
+        """Answer an XPath query over the frozen membership.
+
+        Mirrors :meth:`BLASCollection.query` — same planning, fan-out and
+        merge machinery, byte-identical serial/parallel answers — but over
+        the snapshot's pinned members and with version-keyed plan-cache
+        entries, so concurrent commits change neither the answer nor its
+        visited-element counters.
+        """
+        self._require_open()
+        self._collection._check_names(translator, engine)
+        tree = self._collection._query_tree(query)
+        text = tree.to_xpath()
+        if not self._entries:
+            return CollectionResult(
+                query_text=text,
+                translator=translator,
+                engine=engine,
+                parallel=False,
+                workers=0,
+            )
+        started = time.perf_counter()
+        plans = self._plans(tree, text, translator, engine, plan_budget_ms)
+        jobs = [
+            (
+                lambda entry=entry: self._collection._execute_on(
+                    entry, plans[entry.group_id], limit=limit, count_only=count_only
+                )
+            )
+            for entry in self._entries
+        ]
+        # SQLite connections are bound to their creating thread, so the
+        # explicit sqlite engine always fans out serially (as in the live
+        # collection path).
+        sqlite_involved = any(planned.engine == "sqlite" for planned in plans.values())
+        if workers < 1:
+            workers = self._collection.workers or default_workers(len(jobs))
+        use_parallel = (
+            parallel and not sqlite_involved and len(jobs) > 1 and workers > 1
+        )
+        outputs = run_jobs(jobs, parallel=use_parallel, workers=workers)
+        elapsed = time.perf_counter() - started
+        per_document = [
+            DocumentResult(doc_id=entry.doc_id, name=entry.name, result=result)
+            for entry, result in zip(self._entries, outputs)
+        ]
+        result = CollectionResult(
+            query_text=text,
+            translator=self._collection._uniform(plans, "translator"),
+            engine=self._collection._uniform(plans, "engine"),
+            per_document=per_document,
+            records=merge_document_streams(per_document, limit=limit),
+            elapsed_seconds=elapsed,
+            parallel=use_parallel,
+            workers=workers if use_parallel else 1,
+            total_count=sum(dr.count for dr in per_document),
+        )
+        for document_result in per_document:
+            result.stats.merge(document_result.result.stats)
+        return result
+
+    # -- EXPLAIN -----------------------------------------------------------------
+
+    def explain(
+        self,
+        query: Union[str, LocationPath],
+        translator: str = "auto",
+        engine: str = "auto",
+        plan_budget_ms: Optional[float] = None,
+    ) -> str:
+        """Readable EXPLAIN over the frozen membership.
+
+        Same shape as :meth:`BLASCollection.explain`, with a header line
+        naming the snapshot version the plans were keyed under.
+        """
+        self._require_open()
+        self._collection._check_names(translator, engine)
+        tree = self._collection._query_tree(query)
+        text = tree.to_xpath()
+        entries = {entry.doc_id: entry for entry in self._entries}
+        lines = [f"SNAPSHOT EXPLAIN {text}"]
+        lines.append(
+            f"  version={self.version} documents={len(self._entries)} "
+            f"scheme_groups={len(self._groups)}"
+        )
+        for group in self._groups:
+            planned = self._plan_group(
+                group, tree, text, translator, engine, plan_budget_ms
+            )
+            lines.append(
+                f"  group {group.group_id}: docs {list(group.doc_ids)} "
+                f"(scheme: {len(group.scheme.tags)} tags, height {group.scheme.height})"
+            )
+            lines.extend("  " + line for line in planned.explain().splitlines())
+            lines.append("    per-document cost estimates:")
+            for doc_id in group.doc_ids:
+                entry = entries[doc_id]
+                cost = self._collection.specialize_cost(entry, planned)
+                lines.append(
+                    f"      doc {doc_id} ({entry.name}): est {cost.describe()}"
+                )
+        lines.append("  " + self._plan_cache.describe())
+        return "\n".join(lines)

@@ -24,7 +24,12 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple, Union
+
+#: How many distinct collection versions keep per-version counters before
+#: the oldest are folded away (daemons bump versions on every commit; the
+#: stats map must not grow without bound).
+VERSION_STATS_LIMIT = 32
 
 #: Upper edges (milliseconds) of the cache-miss plan-time histogram buckets.
 #: Fast-path selections land in the first buckets, exhaustive enumeration in
@@ -65,6 +70,9 @@ class PlanCache:
         self._plan_ms_histogram: Dict[str, int] = dict.fromkeys(
             PLAN_MS_BUCKET_LABELS, 0
         )
+        #: Per-collection-version counters, populated only by callers that
+        #: pass ``version=`` (the daemon's snapshot query path).
+        self._version_stats: "OrderedDict[int, Dict[str, int]]" = OrderedDict()
 
     @staticmethod
     def _plan_ms(value: object) -> Optional[float]:
@@ -78,10 +86,32 @@ class PlanCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: Hashable) -> Optional[object]:
-        """The cached value, refreshed as most recently used, or ``None``."""
+    def _version_bucket(self, version: int) -> Dict[str, int]:
+        # Callers hold self._lock.  Fetch-or-create the per-version counter
+        # row, evicting the oldest row past VERSION_STATS_LIMIT.
+        bucket = self._version_stats.get(version)
+        if bucket is None:
+            bucket = {"hits": 0, "misses": 0, "plans": 0}
+            self._version_stats[version] = bucket
+            if len(self._version_stats) > VERSION_STATS_LIMIT:
+                self._version_stats.popitem(last=False)
+        return bucket
+
+    def get(
+        self, key: Hashable, version: Optional[int] = None
+    ) -> Optional[object]:
+        """The cached value, refreshed as most recently used, or ``None``.
+
+        ``version`` (optional) attributes the hit/miss to that collection
+        version in the per-version counters; it does not affect lookup —
+        versioned callers already fold the version into ``key`` via
+        :func:`plan_key`.
+        """
         with self._lock:
             entry = self._entries.get(key)
+            if version is not None:
+                bucket = self._version_bucket(version)
+                bucket["hits" if entry is not None else "misses"] += 1
             if entry is None:
                 self.misses += 1
                 return None
@@ -94,9 +124,17 @@ class PlanCache:
                 self.plan_ms_saved += saved
             return entry
 
-    def put(self, key: Hashable, value: object) -> None:
-        """Insert (or refresh) a value, evicting the LRU entry when full."""
+    def put(
+        self, key: Hashable, value: object, version: Optional[int] = None
+    ) -> None:
+        """Insert (or refresh) a value, evicting the LRU entry when full.
+
+        ``version`` (optional) counts the inserted plan against that
+        collection version's ``plans`` counter.
+        """
         with self._lock:
+            if version is not None:
+                self._version_bucket(version)["plans"] += 1
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = value
@@ -126,6 +164,7 @@ class PlanCache:
             self.plan_ms_total = 0.0
             self.plan_ms_saved = 0.0
             self._plan_ms_histogram = dict.fromkeys(PLAN_MS_BUCKET_LABELS, 0)
+            self._version_stats = OrderedDict()
 
     def info(self) -> Dict[str, int]:
         """Counters snapshot (for tests and reports)."""
@@ -147,12 +186,19 @@ class PlanCache:
         ``plan_ms_saved`` the time hits avoided (each hit priced at its
         entry's recorded plan time), and ``plan_ms_histogram`` buckets the
         miss plan times (fast-path selections populate the lowest buckets).
+        ``versions`` maps each collection version that versioned callers
+        (the daemon) queried under to its hit/miss/plans counters — empty
+        for pure library use.
         """
         with self._lock:
             snapshot: Dict[str, object] = dict(self.info())
             snapshot["plan_ms_total"] = self.plan_ms_total
             snapshot["plan_ms_saved"] = self.plan_ms_saved
             snapshot["plan_ms_histogram"] = dict(self._plan_ms_histogram)
+            snapshot["versions"] = {
+                version: dict(bucket)
+                for version, bucket in self._version_stats.items()
+            }
             return snapshot
 
     def describe(self) -> str:
@@ -173,11 +219,25 @@ def plan_key(
     engine: str,
     fingerprint: str,
     plan_budget_ms: Optional[float] = None,
-) -> Tuple[str, str, str, str, Optional[float]]:
+    version: Optional[int] = None,
+) -> Union[
+    Tuple[str, str, str, str, Optional[float]],
+    Tuple[str, str, str, str, Optional[float], int],
+]:
     """The canonical cache key for one planned query.
 
     The plan budget is part of the key: a budget-forced greedy plan and an
     exhaustively enumerated plan for the same query text can legitimately
     differ, so they must never be served from each other's cache slots.
+
+    ``version`` (the collection's commit counter) extends the key for
+    snapshot-issued queries: a version bump invalidates every cached plan
+    of the previous version wholesale, even where group fingerprints
+    happened to survive the commit, so daemon answers can never mix plan
+    state across manifest versions.  Library callers omit it and keep the
+    fingerprint-only keys.
     """
-    return (query_text, translator, engine, fingerprint, plan_budget_ms)
+    key = (query_text, translator, engine, fingerprint, plan_budget_ms)
+    if version is None:
+        return key
+    return key + (version,)

@@ -1,0 +1,14 @@
+"""Threaded HTTP daemon serving one opened collection (``repro serve``).
+
+:class:`DaemonServer` wraps a :class:`~repro.collection.BLASCollection`
+behind a small JSON-over-HTTP API — ``/query``, ``/explain``, ``/stats``,
+``/healthz`` plus the mutation endpoints ``/add`` and ``/remove`` — with
+snapshot isolation per request: every read admits a pinned
+:class:`~repro.collection.CollectionSnapshot`, so in-flight readers keep
+streaming the manifest version they were admitted at while writers commit
+new ones.
+"""
+
+from repro.server.daemon import DaemonServer
+
+__all__ = ["DaemonServer"]

@@ -1,0 +1,418 @@
+"""The threaded query-serving daemon behind ``repro serve``.
+
+One long-lived process opens a collection once and answers many HTTP
+requests over it, amortizing process startup, store open, plan cache and
+partition cache across the whole workload.  The concurrency model:
+
+* **Readers are snapshot-isolated.**  Every ``/query``/``/explain``
+  request admits a :class:`~repro.collection.CollectionSnapshot` — pinning
+  the membership it was admitted at — and closes it when the response is
+  built.  A writer committing between admission and response changes
+  nothing the reader observes: answers and visited-element counters are
+  byte-identical to a single-threaded run at that manifest version.
+* **Writers commit through the library path.**  ``/add`` and ``/remove``
+  call the collection's own mutation methods, so the atomic manifest swap
+  (and the deferred deletion of partitions still pinned by live readers)
+  is exactly the one the persistence tests prove crash-safe.
+* **Caches are shared and version-keyed.**  The plan cache serves every
+  request; snapshot queries key plans by ``(…, fingerprint, version)``, so
+  a commit cleanly invalidates the previous version's plans and per-version
+  hit/miss counters stay attributable (``/stats`` shows them).
+
+Errors are one-line JSON bodies ``{"error": …}`` with meaningful status
+codes: 400 for bad queries/parameters/XML, 404 for unknown paths and
+documents, 422 for plans whose estimated cost exceeds ``--max-plan-cost``,
+500 for corrupt stores.
+
+The implementation is standard-library only
+(:class:`http.server.ThreadingHTTPServer`), so the daemon adds no
+dependencies over the library itself.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.collection import BLASCollection
+from repro.exceptions import (
+    CollectionError,
+    EngineError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    UnsupportedQueryError,
+    XMLSyntaxError,
+    XPathSyntaxError,
+)
+
+#: Library errors that mean the *request* was wrong (HTTP 400): bad XPath,
+#: bad XML payloads, unknown translator/engine names, schema-less unfold.
+_BAD_REQUEST_ERRORS = (
+    XMLSyntaxError,
+    XPathSyntaxError,
+    UnsupportedQueryError,
+    SchemaError,
+    EngineError,
+    PlanError,
+)
+
+
+class _RequestError(Exception):
+    """An endpoint-level failure carrying its HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _one_line(message: str) -> str:
+    """Collapse a (possibly multi-line) error message to one line."""
+    return " ".join(str(message).split())
+
+
+def _bool_param(params: Dict[str, str], name: str) -> bool:
+    """Parse a boolean query parameter (absent/0/false/no = False)."""
+    value = params.get(name, "").strip().lower()
+    if value in ("", "0", "false", "no"):
+        return False
+    if value in ("1", "true", "yes"):
+        return True
+    raise _RequestError(400, f"parameter {name!r} must be a boolean, got {value!r}")
+
+
+def _int_param(params: Dict[str, str], name: str) -> Optional[int]:
+    """Parse an optional integer query parameter."""
+    value = params.get(name)
+    if value is None or value == "":
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise _RequestError(400, f"parameter {name!r} must be an integer, got {value!r}")
+
+
+def _float_param(params: Dict[str, str], name: str) -> Optional[float]:
+    """Parse an optional float query parameter."""
+    value = params.get(name)
+    if value is None or value == "":
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        raise _RequestError(400, f"parameter {name!r} must be a number, got {value!r}")
+
+
+class DaemonServer:
+    """A threaded HTTP server over one opened :class:`BLASCollection`.
+
+    Parameters
+    ----------
+    collection:
+        The (typically store-bound) collection to serve.  Mutation
+        endpoints persist through it, so a store-bound collection gives
+        the daemon durable commits.
+    host, port:
+        Bind address.  ``port=0`` picks a free port (see :attr:`port`).
+    max_plan_cost:
+        Reject ``/query`` requests whose summed estimated plan cost
+        (elements visited) exceeds this bound with HTTP 422, before
+        executing anything.  ``None`` disables the guard.
+
+    Use :meth:`start`/:meth:`stop` for a background thread (tests,
+    embedding) or :meth:`serve_forever` to run in the foreground (the
+    CLI).
+    """
+
+    def __init__(
+        self,
+        collection: BLASCollection,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_plan_cost: Optional[float] = None,
+    ) -> None:
+        self.collection = collection
+        self.max_plan_cost = max_plan_cost
+        self._stats_lock = threading.Lock()
+        self._requests: Dict[str, int] = {}
+        self._errors = 0
+        self._thread: Optional[threading.Thread] = None
+        self._http = ThreadingHTTPServer((host, port), _DaemonHandler)
+        self._http.daemon_threads = True
+        # Back-pointer for the handler (http.server instantiates handlers
+        # itself, so state rides on the server object).
+        self._http.blas_daemon = self  # type: ignore[attr-defined]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the OS-assigned one when constructed with 0)."""
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve from a daemon background thread (returns immediately)."""
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="repro-daemon", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve in the calling thread until :meth:`stop` (or interrupt)."""
+        self._http.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving and release the listening socket (idempotent)."""
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # -- accounting --------------------------------------------------------------
+
+    def _count(self, endpoint: str, failed: bool) -> None:
+        with self._stats_lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            if failed:
+                self._errors += 1
+
+    def server_stats(self) -> Dict[str, object]:
+        """Request counters since startup (per endpoint, plus errors)."""
+        with self._stats_lock:
+            return {
+                "requests": dict(sorted(self._requests.items())),
+                "requests_total": sum(self._requests.values()),
+                "errors": self._errors,
+            }
+
+    # -- endpoints ---------------------------------------------------------------
+    #
+    # Each handler returns (status, payload); transport concerns (JSON
+    # encoding, content-length, logging) live in _DaemonHandler.
+
+    def handle_healthz(self) -> Tuple[int, Dict[str, object]]:
+        """``GET /healthz`` — liveness plus the current manifest version."""
+        return 200, {
+            "status": "ok",
+            "version": self.collection.version,
+            "documents": len(self.collection),
+        }
+
+    def handle_stats(self) -> Tuple[int, Dict[str, object]]:
+        """``GET /stats`` — server counters plus full collection stats."""
+        return 200, {
+            "version": self.collection.version,
+            "server": self.server_stats(),
+            "collection": self.collection.stats(),
+        }
+
+    def handle_query(self, params: Dict[str, str]) -> Tuple[int, Dict[str, object]]:
+        """``GET /query`` — snapshot-isolated query execution.
+
+        Parameters: ``q`` (required XPath), ``translator``, ``engine``,
+        ``limit``, ``count`` (skip record materialization), ``serial``
+        (disable fan-out), ``plan_budget_ms``.  The response carries the
+        snapshot ``version`` the answer was computed at.
+        """
+        query = params.get("q")
+        if not query:
+            raise _RequestError(400, "missing required parameter 'q'")
+        translator = params.get("translator", "auto")
+        engine = params.get("engine", "auto")
+        limit = _int_param(params, "limit")
+        count_only = _bool_param(params, "count")
+        serial = _bool_param(params, "serial")
+        plan_budget_ms = _float_param(params, "plan_budget_ms")
+        with self.collection.snapshot() as snapshot:
+            if self.max_plan_cost is not None:
+                estimate = snapshot.estimate(
+                    query, translator=translator, engine=engine,
+                    plan_budget_ms=plan_budget_ms,
+                )
+                if estimate > self.max_plan_cost:
+                    raise _RequestError(
+                        422,
+                        f"plan over budget: estimated {estimate:.0f} elements "
+                        f"exceeds max_plan_cost={self.max_plan_cost:.0f}",
+                    )
+            result = snapshot.query(
+                query,
+                translator=translator,
+                engine=engine,
+                parallel=not serial,
+                limit=limit,
+                count_only=count_only,
+                plan_budget_ms=plan_budget_ms,
+            )
+            return 200, {
+                "version": snapshot.version,
+                "query": result.query_text,
+                "count": result.count,
+                "translator": result.translator,
+                "engine": result.engine,
+                "parallel": result.parallel,
+                "elapsed_ms": result.elapsed_seconds * 1000.0,
+                "elements_read": result.stats.elements_read,
+                "counts_by_document": {
+                    str(doc_id): count
+                    for doc_id, count in result.counts_by_document().items()
+                },
+                "records": [
+                    {
+                        "doc_id": record.doc_id,
+                        "tag": record.tag,
+                        "start": record.start,
+                        "level": record.level,
+                        "data": record.data,
+                    }
+                    for record in result.records
+                ],
+            }
+
+    def handle_explain(self, params: Dict[str, str]) -> Tuple[int, Dict[str, object]]:
+        """``GET /explain`` — the snapshot's EXPLAIN text for a query."""
+        query = params.get("q")
+        if not query:
+            raise _RequestError(400, "missing required parameter 'q'")
+        with self.collection.snapshot() as snapshot:
+            text = snapshot.explain(
+                query,
+                translator=params.get("translator", "auto"),
+                engine=params.get("engine", "auto"),
+                plan_budget_ms=_float_param(params, "plan_budget_ms"),
+            )
+            return 200, {"version": snapshot.version, "explain": text}
+
+    def handle_add(self, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        """``POST /add`` — index an XML document into the collection.
+
+        Body: ``{"xml": "<…>", "name": "optional-name"}``.  Store-bound
+        collections persist the append (partition write + atomic manifest
+        swap) before this returns.
+        """
+        xml = payload.get("xml")
+        if not isinstance(xml, str) or not xml:
+            raise _RequestError(400, "body must carry a non-empty 'xml' string")
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            raise _RequestError(400, "'name' must be a string when given")
+        doc_id = self.collection.add_xml(xml, name=name)
+        return 200, {
+            "version": self.collection.version,
+            "doc_id": doc_id,
+            "name": self.collection.entry(doc_id).name,
+        }
+
+    def handle_remove(self, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        """``POST /remove`` — remove a document by doc_id or name.
+
+        Body: ``{"ref": 3}`` or ``{"ref": "name.xml"}``.  If live snapshot
+        readers still pin the partition, its file deletion is deferred
+        until the last of them finishes; the commit itself is immediate.
+        """
+        ref = payload.get("ref")
+        if not isinstance(ref, (int, str)) or isinstance(ref, bool):
+            raise _RequestError(400, "body must carry 'ref' (a doc_id or name)")
+        removed = self.collection.remove(ref)
+        return 200, {"version": self.collection.version, "removed": removed}
+
+
+class _DaemonHandler(BaseHTTPRequestHandler):
+    """Transport layer: routing, JSON encoding, error mapping."""
+
+    server_version = "repro-daemon"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def daemon(self) -> DaemonServer:
+        """The owning :class:`DaemonServer`."""
+        return self.server.blas_daemon  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence the default stderr access log (``/stats`` covers it)."""
+
+    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        # Errors are one-line JSON; success payloads one line too — the
+        # golden tests pin that framing.
+        body = json.dumps(payload, separators=(", ", ": ")).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _run(self, endpoint: str, handler) -> None:
+        try:
+            status, payload = handler()
+        except _RequestError as error:
+            status, payload = error.status, {"error": _one_line(str(error))}
+        except _BAD_REQUEST_ERRORS as error:
+            status, payload = 400, {"error": _one_line(str(error))}
+        except CollectionError as error:
+            status, payload = 404, {"error": _one_line(str(error))}
+        except ReproError as error:
+            # Storage/persist failures: the store is damaged, not the
+            # request.
+            status, payload = 500, {"error": _one_line(str(error))}
+        except Exception as error:  # pragma: no cover - defensive
+            status, payload = 500, {"error": _one_line(f"internal error: {error}")}
+        self.daemon._count(endpoint, failed=status >= 400)
+        self._respond(status, payload)
+
+    def _params(self) -> Dict[str, str]:
+        raw = parse_qs(urlsplit(self.path).query, keep_blank_values=True)
+        return {key: values[-1] for key, values in raw.items()}
+
+    def _json_body(self) -> Dict[str, object]:
+        length = self.headers.get("Content-Length")
+        try:
+            raw = self.rfile.read(int(length)) if length else b""
+        except ValueError:
+            raise _RequestError(400, "invalid Content-Length")
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _RequestError(400, f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        return payload
+
+    def do_GET(self) -> None:
+        """Route GET requests (query/explain/stats/healthz)."""
+        route = urlsplit(self.path).path
+        if route == "/healthz":
+            self._run("healthz", self.daemon.handle_healthz)
+        elif route == "/stats":
+            self._run("stats", self.daemon.handle_stats)
+        elif route == "/query":
+            self._run("query", lambda: self.daemon.handle_query(self._params()))
+        elif route == "/explain":
+            self._run("explain", lambda: self.daemon.handle_explain(self._params()))
+        else:
+            self.daemon._count("unknown", failed=True)
+            self._respond(404, {"error": f"unknown endpoint {route!r}"})
+
+    def do_POST(self) -> None:
+        """Route POST requests (add/remove mutations)."""
+        route = urlsplit(self.path).path
+        if route == "/add":
+            self._run("add", lambda: self.daemon.handle_add(self._json_body()))
+        elif route == "/remove":
+            self._run("remove", lambda: self.daemon.handle_remove(self._json_body()))
+        else:
+            self.daemon._count("unknown", failed=True)
+            self._respond(404, {"error": f"unknown endpoint {route!r}"})

@@ -282,6 +282,11 @@ class Manifest:
     next_doc_id: int = 0
     scheme_groups: List[Dict[str, object]] = field(default_factory=list)
     documents: List[ManifestDocument] = field(default_factory=list)
+    #: Monotonic commit counter: every committed membership change bumps
+    #: it, so daemon snapshots and version-aware plan-cache keys can tell
+    #: manifest states apart without hashing.  Absent in pre-generation
+    #: stores (read as 0) — an additive field, not a format bump.
+    generation: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """The complete manifest JSON object."""
@@ -289,6 +294,7 @@ class Manifest:
             "format": MANIFEST_FORMAT,
             "version": self.version,
             "next_doc_id": self.next_doc_id,
+            "generation": self.generation,
             "scheme_groups": self.scheme_groups,
             "documents": [document.to_dict() for document in self.documents],
         }
@@ -310,6 +316,7 @@ class Manifest:
             return cls(
                 version=version,
                 next_doc_id=int(payload["next_doc_id"]),
+                generation=int(payload.get("generation", 0)),
                 scheme_groups=list(payload["scheme_groups"]),
                 documents=[
                     ManifestDocument.from_dict(document)
@@ -518,6 +525,7 @@ class CollectionStore:
                 )
             shard_manifest = Manifest.from_dict(shard_payload)
             merged.next_doc_id = max(merged.next_doc_id, shard_manifest.next_doc_id)
+            merged.generation = max(merged.generation, shard_manifest.generation)
             ours, theirs = merged.scheme_groups, shard_manifest.scheme_groups
             if len(theirs) >= len(ours):
                 if theirs[: len(ours)] != ours:
@@ -579,6 +587,7 @@ class CollectionStore:
                 next_doc_id=manifest.next_doc_id,
                 scheme_groups=manifest.scheme_groups,
                 documents=by_shard[shard],
+                generation=manifest.generation,
             )
             os.makedirs(os.path.dirname(target), exist_ok=True)
             payload = json.dumps(shard_manifest.to_dict(), indent=1, sort_keys=True)

@@ -34,7 +34,7 @@ import bisect
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -709,6 +709,64 @@ class _LazyPartition:
     node_count: int
 
 
+class RemovalTicket:
+    """Outcome handle of :meth:`PartitionedCatalog.remove_partition`.
+
+    When no live pin held the partition, teardown already ran and the
+    ticket is *released*: callbacks registered via :meth:`on_release`
+    execute immediately (deleting the partition's files is safe).  When a
+    pin held it, the ticket stays *deferred* until the last pin drops;
+    callbacks queue and run at that point, outside the store lock.
+    """
+
+    __slots__ = ("_lock", "_released", "_callbacks")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._released = False
+        self._callbacks: List[Callable[[], None]] = []
+
+    @property
+    def deferred(self) -> bool:
+        """True while teardown is still waiting on live pins."""
+        with self._lock:
+            return not self._released
+
+    def on_release(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once teardown completes (now, if it already has)."""
+        with self._lock:
+            if not self._released:
+                self._callbacks.append(callback)
+                return
+        callback()
+
+    def _release(self) -> None:
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
+
+
+@dataclass
+class _DeferredPartition:
+    """A removed partition kept servable because live pins still hold it.
+
+    Exactly one of ``catalog``/``lazy`` was populated at removal time; a
+    pin holder touching a never-materialized entry loads it through
+    ``lazy`` under ``load_lock`` (at most once, never joining the bounded
+    cache).  The last :meth:`PartitionedCatalog.unpin` releases the
+    mapping and fires ``ticket``'s callbacks.
+    """
+
+    catalog: Optional[StorageCatalog]
+    lazy: Optional[_LazyPartition]
+    ticket: RemovalTicket
+    load_lock: threading.Lock = field(default_factory=threading.Lock)
+
+
 class PartitionedCatalog:
     """A doc_id-partitioned store over many indexed documents.
 
@@ -758,6 +816,9 @@ class PartitionedCatalog:
         #: doc_id -> accounted heap bytes, in LRU order (oldest first).
         self._resident: "OrderedDict[int, int]" = OrderedDict()
         self._pins: Dict[int, int] = {}
+        #: Removed-but-pinned partitions, kept servable for their pin
+        #: holders until the last pin drops (snapshot isolation).
+        self._deferred: Dict[int, _DeferredPartition] = {}
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
@@ -836,26 +897,46 @@ class PartitionedCatalog:
             )
         return StorageCatalog(loaded, self._layout, self._btree_order)
 
-    def remove_partition(self, doc_id: int) -> None:
+    def remove_partition(self, doc_id: int) -> RemovalTicket:
         """Drop a document's partition (both layouts at once).
 
-        Releases the partition's file mapping on the way out, so callers
-        may delete the partition file immediately after this returns.
+        Returns a :class:`RemovalTicket`.  With no live :meth:`pin`, the
+        partition's file mapping is released before this returns and the
+        ticket is already released, so callers may delete partition files
+        immediately (directly or via :meth:`RemovalTicket.on_release`).
+        While pins exist the partition leaves the membership — new
+        :meth:`catalog_for`/:meth:`doc_ids` callers no longer see it — but
+        its content stays servable to the pin holders; teardown and the
+        ticket's callbacks (typically the file deletion) run when the last
+        pin drops.
         """
+        ticket = RemovalTicket()
+        deferred = False
         with self._lock:
             catalog = self._partitions.pop(doc_id, None)
-            if catalog is None:
-                if doc_id in self._lazy:
-                    del self._lazy[doc_id]
-                else:
-                    raise StorageError(f"doc_id {doc_id} is not part of this store")
+            lazy = self._lazy.pop(doc_id, None)
+            if catalog is None and lazy is None:
+                raise StorageError(f"doc_id {doc_id} is not part of this store")
+            if lazy is None:
+                # A materialized partition may get evicted between now and
+                # the last unpin only if it re-joined membership — it
+                # cannot — so retaining the loader is belt-and-braces for
+                # the catalog case, and essential for the evicted case.
+                lazy = self._sources.get(doc_id)
             self._load_locks.pop(doc_id, None)
             self._sources.pop(doc_id, None)
             self._resident.pop(doc_id, None)
-            self._pins.pop(doc_id, None)
+            if self._pins.get(doc_id, 0):
+                self._deferred[doc_id] = _DeferredPartition(catalog, lazy, ticket)
+                deferred = True
+            else:
+                self._pins.pop(doc_id, None)
             self._invalidate()
-        if catalog is not None:
-            catalog.release_mapping()
+        if not deferred:
+            if catalog is not None:
+                catalog.release_mapping()
+            ticket._release()
+        return ticket
 
     def _invalidate(self) -> None:
         # Callers hold self._lock.  The version stamp lets the summary
@@ -873,7 +954,9 @@ class PartitionedCatalog:
         Materialises a lazy partition on first touch (re-faulting one the
         cache evicted earlier); summary caches are *not* invalidated by
         materialisation — or by eviction — because the loaded content is
-        exactly what the manifest described.
+        exactly what the manifest described.  A pin holder may keep
+        calling this for a partition that was removed under it: the
+        deferred entry serves it until the last pin drops.
         """
         with self._lock:
             catalog = self._partitions.get(doc_id)
@@ -882,8 +965,13 @@ class PartitionedCatalog:
                 return catalog
             lazy = self._lazy.get(doc_id)
             if lazy is None:
-                raise StorageError(f"doc_id {doc_id} is not part of this store")
-            load_lock = self._load_locks.setdefault(doc_id, threading.Lock())
+                deferred = self._deferred.get(doc_id)
+                if deferred is None:
+                    raise StorageError(f"doc_id {doc_id} is not part of this store")
+            else:
+                load_lock = self._load_locks.setdefault(doc_id, threading.Lock())
+        if lazy is None:
+            return self._materialize_deferred(doc_id, deferred)
         # File read + decode + table wiring happen outside the partition-set
         # lock: loads of *different* partitions run concurrently, and cheap
         # membership calls never wait behind disk I/O.  The per-doc lock
@@ -896,11 +984,26 @@ class PartitionedCatalog:
                     return catalog
                 lazy = self._lazy.get(doc_id)
                 if lazy is None:  # removed while we waited for the lock
-                    raise StorageError(f"doc_id {doc_id} is not part of this store")
+                    deferred = self._deferred.get(doc_id)
+                    if deferred is None:
+                        raise StorageError(
+                            f"doc_id {doc_id} is not part of this store"
+                        )
+            if lazy is None:
+                return self._materialize_deferred(doc_id, deferred)
             catalog = self._build_catalog(lazy.loader(), doc_id)
             with self._lock:
                 if doc_id not in self._lazy:  # removed while loading
-                    raise StorageError(f"doc_id {doc_id} is not part of this store")
+                    deferred = self._deferred.get(doc_id)
+                    if deferred is None:
+                        raise StorageError(
+                            f"doc_id {doc_id} is not part of this store"
+                        )
+                    # Hand the freshly-built tables to the pin holders the
+                    # removal is waiting on; the entry dies with them.
+                    if deferred.catalog is None:
+                        deferred.catalog = catalog
+                    return deferred.catalog
                 self._partitions[doc_id] = catalog
                 del self._lazy[doc_id]
                 self._load_locks.pop(doc_id, None)
@@ -949,40 +1052,87 @@ class PartitionedCatalog:
             self._peak_cached = total
         return victims
 
+    def _materialize_deferred(
+        self, doc_id: int, deferred: _DeferredPartition
+    ) -> StorageCatalog:
+        # A pin holder touching a partition removed under it: membership
+        # checks no longer apply, the deferred entry serves it.  The
+        # per-entry lock makes a never-materialized partition load at most
+        # once; the result never joins the bounded cache — it dies with
+        # the last pin.
+        with deferred.load_lock:
+            if deferred.catalog is None:
+                if deferred.lazy is None:
+                    raise StorageError(f"doc_id {doc_id} is not part of this store")
+                deferred.catalog = self._build_catalog(deferred.lazy.loader(), doc_id)
+            return deferred.catalog
+
+    def pin(self, doc_id: int) -> None:
+        """Take one eviction/removal pin on ``doc_id``'s partition.
+
+        Pinned partitions are never cache-eviction victims, and
+        :meth:`remove_partition` defers their teardown — and the caller's
+        file deletion, via :class:`RemovalTicket` — until the last pin
+        drops, so a pin holder can keep streaming a partition that was
+        removed under it.  Pair every call with :meth:`unpin`; prefer the
+        :meth:`pinned` context manager for single-partition use.
+        """
+        with self._lock:
+            self._pins[doc_id] = self._pins.get(doc_id, 0) + 1
+
+    def unpin(self, doc_id: int) -> None:
+        """Drop one pin; the last drop finishes any deferred removal.
+
+        Refreshes the accounted cache size of a still-member partition and
+        enforces the byte budget (the pin holder may have resolved
+        sections or materialized records while pinned); for a partition
+        removed while pinned, the last drop releases its mapping and runs
+        the removal ticket's callbacks.
+        """
+        victims: List[StorageCatalog] = []
+        deferred: Optional[_DeferredPartition] = None
+        with self._lock:
+            count = self._pins.get(doc_id, 0) - 1
+            if count > 0:
+                self._pins[doc_id] = count
+            else:
+                self._pins.pop(doc_id, None)
+                deferred = self._deferred.pop(doc_id, None)
+            catalog = self._partitions.get(doc_id)
+            if catalog is not None and doc_id in self._resident:
+                self._resident[doc_id] = catalog.resident_bytes() or 0
+                victims = self._enforce_budget()
+        for victim in victims:
+            victim.release_mapping()
+        if deferred is not None:
+            if deferred.catalog is not None:
+                deferred.catalog.release_mapping()
+            deferred.ticket._release()
+
     @contextmanager
     def pinned(self, doc_id: int) -> Iterator[StorageCatalog]:
         """Context manager yielding the partition's catalog, eviction-proof.
 
         The pin is taken *before* the partition materializes, so not even
-        the load itself can be undone by a concurrent eviction; on exit
-        the accounted size is refreshed (the query may have resolved
-        sections or materialized records) and the budget enforced.
+        the load itself can be undone by a concurrent eviction — nor can a
+        concurrent :meth:`remove_partition` tear the partition down while
+        the body runs; on exit the accounted size is refreshed (the query
+        may have resolved sections or materialized records) and the budget
+        enforced.
         """
-        with self._lock:
-            self._pins[doc_id] = self._pins.get(doc_id, 0) + 1
+        self.pin(doc_id)
         try:
             yield self.catalog_for(doc_id)
         finally:
-            victims: List[StorageCatalog] = []
-            with self._lock:
-                count = self._pins.get(doc_id, 0) - 1
-                if count > 0:
-                    self._pins[doc_id] = count
-                else:
-                    self._pins.pop(doc_id, None)
-                catalog = self._partitions.get(doc_id)
-                if catalog is not None and doc_id in self._resident:
-                    self._resident[doc_id] = catalog.resident_bytes() or 0
-                    victims = self._enforce_budget()
-            for victim in victims:
-                victim.release_mapping()
+            self.unpin(doc_id)
 
     def cache_stats(self) -> Dict[str, object]:
         """Counters of the bounded partition cache (all zero when unused).
 
         Keys: ``budget_bytes`` (``None`` = unbounded), ``cached_bytes``,
         ``peak_cached_bytes``, ``cached_partitions``, ``hits``, ``misses``
-        (each a load or re-fault) and ``evictions``.
+        (each a load or re-fault), ``evictions``, and
+        ``deferred_partitions`` (removed but kept alive by live pins).
         """
         with self._lock:
             return {
@@ -993,6 +1143,7 @@ class PartitionedCatalog:
                 "hits": self._cache_hits,
                 "misses": self._cache_misses,
                 "evictions": self._cache_evictions,
+                "deferred_partitions": len(self._deferred),
             }
 
     def is_loaded(self, doc_id: int) -> bool:
@@ -1027,6 +1178,10 @@ class PartitionedCatalog:
         """One partition's content digest — without forcing a load."""
         with self._lock:
             lazy = self._lazy.get(doc_id)
+            if lazy is None:
+                removed = self._deferred.get(doc_id)
+                if removed is not None and removed.lazy is not None:
+                    lazy = removed.lazy
         if lazy is not None:
             return lazy.fingerprint
         return self.catalog_for(doc_id).fingerprint()
@@ -1035,6 +1190,10 @@ class PartitionedCatalog:
         """One partition's record count — without forcing a load."""
         with self._lock:
             lazy = self._lazy.get(doc_id)
+            if lazy is None:
+                removed = self._deferred.get(doc_id)
+                if removed is not None and removed.lazy is not None:
+                    lazy = removed.lazy
         if lazy is not None:
             return lazy.node_count
         return len(self.catalog_for(doc_id).sp)

@@ -1,0 +1,184 @@
+"""Daemon crash-safety: writers dying mid-commit must not take the
+serving path down.
+
+Two failure shapes are exercised:
+
+* an *external* writer process is SIGKILLed between partition write and
+  manifest swap (the same window ``test_persist.py`` proves crash-safe) —
+  the daemon keeps answering from the old manifest and a fresh open is
+  clean, with at most an orphaned partition file left behind;
+* an *in-process* commit through ``POST /add`` fails — the request maps
+  to HTTP 500, the collection rolls back (version unchanged), and reads
+  keep working.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro.collection import BLASCollection
+from repro.server import DaemonServer
+
+DOC = "<lib><book><title>steady</title></book></lib>"
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def _build_store(tmp_path):
+    store = str(tmp_path / "store")
+    collection = BLASCollection()
+    collection.add_xml(DOC, name="steady")
+    collection.save(store)
+    return store
+
+
+def _store_files(store):
+    found = set()
+    for root, _, names in os.walk(store):
+        for name in names:
+            found.add(os.path.join(root, name))
+    return found
+
+
+# A writer that stalls right before the manifest swap: the partition file
+# is (about to be / already) durable, the commit is not.  The parent kills
+# it at the READY-TO-DIE marker.
+_WRITER_SCRIPT = """
+import time
+from repro.storage.persist import CollectionStore
+
+def stall(self, *args, **kwargs):
+    print("READY-TO-DIE", flush=True)
+    time.sleep(60)
+
+CollectionStore.write_manifest = stall
+
+from repro.collection import BLASCollection
+
+collection = BLASCollection.open({store!r})
+collection.add_xml("<lib><book><title>doomed</title></book></lib>", name="doomed")
+"""
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="requires SIGKILL")
+def test_daemon_survives_a_writer_killed_mid_commit(tmp_path):
+    store = _build_store(tmp_path)
+    server = DaemonServer(BLASCollection.open(store))
+    server.start()
+    try:
+        status, before = _get(server.url + "/query?q=//book/title&serial=1")
+        assert status == 200 and before["count"] == 1
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        writer = subprocess.Popen(
+            [sys.executable, "-c", _WRITER_SCRIPT.format(store=store)],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            marker = writer.stdout.readline().strip()
+            assert marker == "READY-TO-DIE"
+            writer.send_signal(signal.SIGKILL)
+        finally:
+            writer.wait(timeout=30)
+
+        # The daemon never saw the aborted commit: same answer, same
+        # version, health intact.
+        status, after = _get(server.url + "/query?q=//book/title&serial=1")
+        assert status == 200
+        assert after["count"] == before["count"]
+        assert after["version"] == before["version"]
+        assert after["records"] == before["records"]
+        status, health = _get(server.url + "/healthz")
+        assert status == 200 and health["status"] == "ok"
+
+        # A writer through the daemon still commits cleanly afterwards.
+        status, added = _post(server.url + "/add", {"xml": DOC, "name": "late"})
+        assert status == 200 and added["version"] == before["version"] + 1
+    finally:
+        server.stop()
+
+    # A fresh open sees the committed membership only; the dead writer
+    # left at most an orphaned partition file, never a torn manifest.
+    reopened = BLASCollection.open(store)
+    assert reopened.version == before["version"] + 1
+    names = {reopened.entry(doc_id).name for doc_id in reopened.doc_ids()}
+    assert names == {"steady", "late"}
+    assert "doomed" not in names
+
+
+def test_failed_add_maps_to_500_and_rolls_back(tmp_path, monkeypatch):
+    from repro.storage.persist import CollectionStore, PersistError
+
+    store = _build_store(tmp_path)
+    server = DaemonServer(BLASCollection.open(store))
+    server.start()
+    try:
+        _, health = _get(server.url + "/healthz")
+        version = health["version"]
+
+        def fail(self, *args, **kwargs):
+            raise PersistError("disk full (injected)")
+
+        monkeypatch.setattr(CollectionStore, "write_partition", fail)
+        status, payload = _post(server.url + "/add", {"xml": DOC, "name": "lost"})
+        assert status == 500
+        assert payload == {"error": "disk full (injected)"}
+        monkeypatch.undo()
+
+        # Rolled back: version unchanged, reads unaffected.
+        _, health = _get(server.url + "/healthz")
+        assert health["version"] == version and health["documents"] == 1
+        status, answer = _get(server.url + "/query?q=//book/title&serial=1")
+        assert status == 200 and answer["count"] == 1
+    finally:
+        server.stop()
+    assert BLASCollection.open(store).version == version
+
+
+def test_restart_after_daemon_kill_opens_clean(tmp_path):
+    """Simulated daemon restart: stop with in-flight state, reopen fresh."""
+    store = _build_store(tmp_path)
+    first = DaemonServer(BLASCollection.open(store))
+    first.start()
+    try:
+        _post(first.url + "/add", {"xml": DOC, "name": "second"})
+        before = _store_files(store)
+    finally:
+        first.stop()
+
+    second = DaemonServer(BLASCollection.open(store))
+    second.start()
+    try:
+        assert _store_files(store) == before
+        status, health = _get(second.url + "/healthz")
+        assert status == 200 and health["documents"] == 2
+        status, answer = _get(second.url + "/query?q=//book/title&serial=1")
+        assert status == 200 and answer["count"] == 2
+    finally:
+        second.stop()

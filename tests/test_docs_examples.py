@@ -23,6 +23,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOCUMENTS = [
     "docs/architecture.md",
     "docs/cli.md",
+    "docs/daemon.md",
     "docs/file-format.md",
     "README.md",
 ]

@@ -27,6 +27,9 @@ CHECKED_PATHS = [
     "collection/collection.py",
     "collection/fanout.py",
     "collection/result.py",
+    "collection/snapshot.py",
+    "server/__init__.py",
+    "server/daemon.py",
 ]
 
 

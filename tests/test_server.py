@@ -1,0 +1,259 @@
+"""HTTP API golden tests for the query daemon.
+
+Every endpoint gets a golden-response test, and every failure class gets
+an error test asserting both the status code and the one-line JSON body:
+bad queries and parameters are 400, unknown endpoints/documents 404,
+over-budget plans 422, corrupt stores 500.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.collection import BLASCollection
+from repro.server import DaemonServer
+
+DOC_A = (
+    "<lib><book><title>alpha</title></book>"
+    "<book><title>beta</title></book></lib>"
+)
+DOC_B = "<lib><book><title>gamma</title></book></lib>"
+
+
+def _request(url, data=None):
+    """Return (status, raw-bytes, parsed-json) without raising on 4xx/5xx."""
+    request = urllib.request.Request(url, data=data)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            raw = response.read()
+            return response.status, raw, json.loads(raw.decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        return error.code, raw, json.loads(raw.decode("utf-8"))
+
+
+@pytest.fixture
+def serve(tmp_path):
+    """Factory: start a daemon over a freshly built two-document store."""
+    started = []
+
+    def factory(**kwargs):
+        store = str(tmp_path / "store")
+        collection = BLASCollection()
+        collection.add_xml(DOC_A, name="a")
+        collection.add_xml(DOC_B, name="b")
+        collection.save(store)
+        server = DaemonServer(BLASCollection.open(store), **kwargs)
+        server.start()
+        started.append(server)
+        return server
+
+    yield factory
+    for server in started:
+        server.stop()
+
+
+# -- golden responses ---------------------------------------------------------------
+
+
+def test_healthz_golden(serve):
+    server = serve()
+    status, raw, payload = _request(server.url + "/healthz")
+    assert status == 200
+    assert payload == {"status": "ok", "version": 2, "documents": 2}
+    assert b"\n" not in raw
+
+
+def test_query_golden(serve):
+    # serial=1 pins `parallel` (the default is machine-dependent: fan-out
+    # engages only when multiple workers are available).
+    server = serve()
+    status, raw, payload = _request(server.url + "/query?q=//book/title&serial=1")
+    assert status == 200
+    assert b"\n" not in raw
+    assert payload.pop("elapsed_ms") >= 0.0
+    assert payload == {
+        "version": 2,
+        "query": "//book/title",
+        "count": 3,
+        "translator": "pushup",
+        "engine": "vector",
+        "parallel": False,
+        "elements_read": 3,
+        "counts_by_document": {"0": 2, "1": 1},
+        "records": [
+            {"doc_id": 0, "tag": "title", "start": 3, "level": 3, "data": "alpha"},
+            {"doc_id": 0, "tag": "title", "start": 8, "level": 3, "data": "beta"},
+            {"doc_id": 1, "tag": "title", "start": 3, "level": 3, "data": "gamma"},
+        ],
+    }
+
+
+def test_query_matches_single_threaded_library_run(serve, tmp_path):
+    server = serve()
+    library = BLASCollection.open(str(tmp_path / "store"))
+    expected = library.query("//book/title", parallel=False)
+    _, _, payload = _request(server.url + "/query?q=//book/title&serial=1")
+    assert payload["parallel"] is False
+    assert payload["count"] == expected.count
+    assert payload["elements_read"] == expected.stats.elements_read
+    assert [
+        (r["doc_id"], r["tag"], r["start"], r["level"], r["data"])
+        for r in payload["records"]
+    ] == [(r.doc_id, r.tag, r.start, r.level, r.data) for r in expected.records]
+
+
+def test_query_limit_and_count_params(serve):
+    server = serve()
+    # `limit` truncates the record stream; `count` stays the total match
+    # count (mirroring the library semantics).
+    _, _, limited = _request(server.url + "/query?q=//book/title&limit=1")
+    assert limited["count"] == 3 and len(limited["records"]) == 1
+    _, _, counted = _request(server.url + "/query?q=//book/title&count=1")
+    assert counted["count"] == 3 and counted["records"] == []
+
+
+def test_explain_golden(serve):
+    server = serve()
+    status, raw, payload = _request(server.url + "/explain?q=//book/title")
+    assert status == 200
+    assert b"\n" not in raw  # newlines in the text are JSON-escaped
+    assert payload["version"] == 2
+    assert payload["explain"].startswith("SNAPSHOT EXPLAIN")
+    assert "version=2" in payload["explain"]
+
+
+def test_stats_reports_server_and_collection(serve):
+    server = serve()
+    _request(server.url + "/query?q=//book/title")
+    _request(server.url + "/query?q=/lib(")  # one failure
+    status, _, payload = _request(server.url + "/stats")
+    assert status == 200
+    assert payload["version"] == 2
+    assert payload["server"]["requests"]["query"] == 2
+    assert payload["server"]["errors"] == 1
+    assert payload["server"]["requests_total"] == 2
+    assert payload["collection"]["documents"] == 2
+    assert payload["collection"]["version"] == 2
+
+
+def test_add_and_remove_bump_the_version(serve):
+    server = serve()
+    body = json.dumps({"xml": DOC_B, "name": "c"}).encode("utf-8")
+    status, _, added = _request(server.url + "/add", data=body)
+    assert status == 200
+    assert added == {"version": 3, "doc_id": 2, "name": "c"}
+    _, _, answer = _request(server.url + "/query?q=//book/title")
+    assert answer["count"] == 4 and answer["version"] == 3
+    status, _, removed = _request(
+        server.url + "/remove", data=json.dumps({"ref": "c"}).encode("utf-8")
+    )
+    assert status == 200
+    assert removed == {"version": 4, "removed": 2}
+    _, _, answer = _request(server.url + "/query?q=//book/title")
+    assert answer["count"] == 3 and answer["version"] == 4
+
+
+# -- error responses ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("path", "status", "message"),
+    [
+        ("/query", 400, "missing required parameter 'q'"),
+        ("/explain", 400, "missing required parameter 'q'"),
+        ("/query?q=//book/title&limit=soon", 400,
+         "parameter 'limit' must be an integer, got 'soon'"),
+        ("/query?q=//book/title&count=maybe", 400,
+         "parameter 'count' must be a boolean, got 'maybe'"),
+        ("/query?q=//book/title&plan_budget_ms=fast", 400,
+         "parameter 'plan_budget_ms' must be a number, got 'fast'"),
+        ("/nope", 404, "unknown endpoint '/nope'"),
+    ],
+)
+def test_request_errors_are_one_line_json(serve, path, status, message):
+    server = serve()
+    got_status, raw, payload = _request(server.url + path)
+    assert got_status == status
+    assert payload == {"error": message}
+    assert b"\n" not in raw
+
+
+def test_bad_xpath_is_400(serve):
+    server = serve()
+    status, raw, payload = _request(server.url + "/query?q=//book[")
+    assert status == 400
+    assert b"\n" not in raw
+    assert "error" in payload and payload["error"] == " ".join(payload["error"].split())
+
+
+def test_unknown_engine_and_translator_are_400(serve):
+    server = serve()
+    status, _, _ = _request(server.url + "/query?q=//book&engine=warp")
+    assert status == 400
+    status, _, _ = _request(server.url + "/query?q=//book&translator=warp")
+    assert status == 400
+
+
+def test_remove_unknown_document_is_404(serve):
+    server = serve()
+    status, _, payload = _request(
+        server.url + "/remove", data=json.dumps({"ref": "ghost"}).encode("utf-8")
+    )
+    assert status == 404
+    assert "ghost" in payload["error"]
+
+
+@pytest.mark.parametrize(
+    "body",
+    [b"not json", b"[1, 2]", json.dumps({"xml": 7}).encode("utf-8"),
+     json.dumps({}).encode("utf-8")],
+)
+def test_add_rejects_malformed_bodies(serve, body):
+    server = serve()
+    status, raw, payload = _request(server.url + "/add", data=body)
+    assert status == 400
+    assert b"\n" not in raw and "error" in payload
+
+
+def test_add_rejects_bad_xml_with_400(serve):
+    server = serve()
+    body = json.dumps({"xml": "<open><unclosed>"}).encode("utf-8")
+    status, _, payload = _request(server.url + "/add", data=body)
+    assert status == 400 and "error" in payload
+
+
+def test_over_budget_plan_is_422(serve):
+    server = serve(max_plan_cost=0.0)
+    status, raw, payload = _request(server.url + "/query?q=//book/title")
+    assert status == 422
+    assert b"\n" not in raw
+    assert payload["error"].startswith("plan over budget: estimated ")
+    assert payload["error"].endswith("exceeds max_plan_cost=0")
+
+
+def test_corrupt_store_is_500(serve, tmp_path):
+    server = serve()
+    # Truncate a partition file out from under the (lazily loaded) store.
+    store = tmp_path / "store"
+    victims = sorted((store / "partitions").glob("doc-00000-*.blas"))
+    assert victims
+    victims[0].write_bytes(b"not a partition")
+    status, raw, payload = _request(server.url + "/query?q=//book/title")
+    assert status == 500
+    assert b"\n" not in raw and "error" in payload
+    # The daemon survives: healthz still answers.
+    status, _, payload = _request(server.url + "/healthz")
+    assert status == 200 and payload["status"] == "ok"
+
+
+def test_responses_are_http11_with_content_length(serve):
+    server = serve()
+    request = urllib.request.Request(server.url + "/healthz")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        assert response.headers["Content-Type"] == "application/json"
+        assert int(response.headers["Content-Length"]) == len(response.read())

@@ -1,0 +1,288 @@
+"""Snapshot-isolation property suite.
+
+A reader admitted at manifest version N must get byte-identical answers
+and visited-element counters no matter how many commits (N+1, N+2, …) a
+writer lands concurrently — across serial and parallel fan-out, bounded
+partition caches and sharded stores.  The suite also pins the storage
+substrate beneath that guarantee: removal of a pinned partition defers
+teardown and file deletion until the last pin drops.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.collection import BLASCollection
+from repro.core.indexer import index_text
+from repro.exceptions import CollectionError, StorageError
+from repro.storage.table import PartitionedCatalog
+
+QUERY = "//book/title"
+
+
+def _doc(i: int) -> str:
+    return (
+        f"<lib><book><title>t{i}</title></book>"
+        f"<book><title>u{i}</title></book></lib>"
+    )
+
+
+EXTRA = "<lib><book><title>extra</title></book></lib>"
+
+
+def _build_store(tmp_path, shards=None, cache_bytes=None, docs=3):
+    store = str(tmp_path / "store")
+    collection = BLASCollection()
+    for i in range(docs):
+        collection.add_xml(_doc(i), name=f"doc{i}")
+    collection.save(store, shards=shards)
+    return BLASCollection.open(store, cache_bytes=cache_bytes), store
+
+
+def _key(result):
+    """Byte-identity key: records, total count and the visited counter."""
+    return (
+        [(r.doc_id, r.tag, r.start, r.level, r.data) for r in result.records],
+        result.count,
+        result.stats.elements_read,
+    )
+
+
+def _store_files(store):
+    found = set()
+    for root, _, names in os.walk(store):
+        for name in names:
+            found.add(os.path.join(root, name))
+    return found
+
+
+# -- the core isolation property ----------------------------------------------------
+
+
+@pytest.mark.parametrize("parallel", [False, True], ids=["serial", "parallel"])
+@pytest.mark.parametrize("shards", [None, 2], ids=["plain", "sharded"])
+@pytest.mark.parametrize(
+    "cache_bytes", [None, 1], ids=["unbounded", "bounded-cache"]
+)
+def test_snapshot_is_frozen_while_writer_commits(
+    tmp_path, parallel, shards, cache_bytes
+):
+    collection, _ = _build_store(tmp_path, shards=shards, cache_bytes=cache_bytes)
+    with collection.snapshot() as snapshot:
+        admitted = snapshot.version
+        baseline = _key(snapshot.query(QUERY, parallel=parallel))
+        # Writer commits N+1 (add) and N+2 (remove) under the reader.
+        collection.add_xml(EXTRA, name="extra")
+        collection.remove("doc0")
+        assert collection.version == admitted + 2
+        # The pinned reader neither sees the new document nor loses the
+        # removed one — and its counters do not move either.
+        assert _key(snapshot.query(QUERY, parallel=parallel)) == baseline
+        assert snapshot.version == admitted
+    # The live collection sees the new membership.
+    live = collection.query(QUERY, parallel=parallel)
+    data = [record.data for record in live.records]
+    assert "extra" in data and "t0" not in data
+
+
+@pytest.mark.parametrize("parallel", [False, True], ids=["serial", "parallel"])
+def test_concurrent_readers_verify_against_serial_library_runs(tmp_path, parallel):
+    """Every concurrent snapshot answer equals the single-threaded answer
+    the writer recorded for that exact version."""
+    collection, _ = _build_store(tmp_path)
+    expected = {}
+    expected_lock = threading.Lock()
+    with expected_lock:
+        expected[collection.version] = _key(collection.query(QUERY, parallel=False))
+    stop = threading.Event()
+    failures = []
+
+    def writer():
+        for commit in range(8):
+            if commit % 2 == 0:
+                collection.add_xml(EXTRA, name=f"extra{commit}")
+            else:
+                collection.remove(f"extra{commit - 1}")
+            # The writer is the only mutator, so the library answer it
+            # records right after a commit is the single-threaded truth
+            # for that version.
+            with expected_lock:
+                expected[collection.version] = _key(
+                    collection.query(QUERY, parallel=False)
+                )
+        stop.set()
+
+    def reader():
+        try:
+            while not stop.is_set():
+                with collection.snapshot() as snapshot:
+                    version = snapshot.version
+                    answer = _key(snapshot.query(QUERY, parallel=parallel))
+                for _ in range(200):
+                    with expected_lock:
+                        want = expected.get(version)
+                    if want is not None:
+                        break
+                if want != answer:
+                    failures.append((version, want, answer))
+        except Exception as error:  # pragma: no cover - surfaced below
+            failures.append(error)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not failures, failures[:3]
+    assert stop.is_set(), "writer did not finish its commits"
+
+
+# -- deferred file deletion ---------------------------------------------------------
+
+
+def test_remove_defers_file_deletion_until_last_pin_drops(tmp_path):
+    collection, store = _build_store(tmp_path)
+    first = collection.snapshot()
+    second = collection.snapshot()
+    before = _store_files(store)
+    collection.remove("doc0")
+    assert collection.store.cache_stats()["deferred_partitions"] == 1
+    # The manifest swap committed, but the pinned partition file survives.
+    assert _store_files(store) == before
+    first.close()
+    assert _store_files(store) == before  # second snapshot still pins it
+    second.close()
+    deleted = before - _store_files(store)
+    assert len(deleted) == 1 and "doc-00000" in deleted.pop()
+    assert collection.store.cache_stats()["deferred_partitions"] == 0
+
+
+def test_snapshot_still_streams_a_lazily_opened_partition_removed_under_it(tmp_path):
+    """A partition that was never materialized must stay loadable after a
+    concurrent remove: the deferred entry keeps its loader and its file."""
+    collection, _ = _build_store(tmp_path)
+    with collection.snapshot() as snapshot:
+        assert not collection.store.is_loaded(0)
+        collection.remove("doc0")
+        result = snapshot.query(QUERY, parallel=False)
+        assert [r.data for r in result.records[:2]] == ["t0", "u0"]
+
+
+def test_closed_snapshot_rejects_queries(tmp_path):
+    collection, _ = _build_store(tmp_path)
+    snapshot = collection.snapshot()
+    snapshot.close()
+    snapshot.close()  # idempotent
+    with pytest.raises(CollectionError, match="closed"):
+        snapshot.query(QUERY)
+
+
+# -- the storage substrate ----------------------------------------------------------
+
+
+def test_partitioned_catalog_defers_removal_of_pinned_partitions():
+    catalog = PartitionedCatalog()
+    indexed = index_text(_doc(0), doc_id=0)
+    catalog.add_partition(indexed, 0)
+    released = []
+    catalog.pin(0)
+    ticket = catalog.remove_partition(0)
+    ticket.on_release(lambda: released.append("a"))
+    assert ticket.deferred
+    assert released == []
+    # Membership is gone for new callers, but the pin holder still reads.
+    assert catalog.doc_ids() == []
+    assert catalog.catalog_for(0).fingerprint()
+    catalog.unpin(0)
+    assert not ticket.deferred
+    assert released == ["a"]
+    # Callbacks registered after release run immediately.
+    ticket.on_release(lambda: released.append("b"))
+    assert released == ["a", "b"]
+    with pytest.raises(StorageError):
+        catalog.catalog_for(0)
+
+
+def test_partitioned_catalog_removal_without_pins_releases_immediately():
+    catalog = PartitionedCatalog()
+    catalog.add_partition(index_text(_doc(0), doc_id=0), 0)
+    ticket = catalog.remove_partition(0)
+    assert not ticket.deferred
+    ran = []
+    ticket.on_release(lambda: ran.append(True))
+    assert ran == [True]
+
+
+# -- version plumbing ---------------------------------------------------------------
+
+
+def test_version_counts_commits_and_survives_reopen(tmp_path):
+    collection, store = _build_store(tmp_path)
+    opened_at = collection.version
+    collection.add_xml(EXTRA, name="extra")
+    collection.remove("extra")
+    assert collection.version == opened_at + 2
+    assert BLASCollection.open(store).version == opened_at + 2
+
+
+def test_version_survives_reopen_on_sharded_stores(tmp_path):
+    collection, store = _build_store(tmp_path, shards=2)
+    collection.add_xml(EXTRA, name="extra")
+    collection.remove("extra")
+    assert BLASCollection.open(store).version == collection.version
+
+
+def test_failed_persist_rolls_the_version_back(tmp_path, monkeypatch):
+    from repro.storage.persist import CollectionStore, PersistError
+
+    collection, _ = _build_store(tmp_path)
+    before = collection.version
+
+    def fail(self, *args, **kwargs):
+        raise PersistError("injected failure")
+
+    monkeypatch.setattr(CollectionStore, "write_partition", fail)
+    with pytest.raises(PersistError):
+        collection.add_xml(EXTRA, name="extra")
+    assert collection.version == before
+    monkeypatch.undo()
+    collection.add_xml(EXTRA, name="extra")
+    assert collection.version == before + 1
+
+
+def test_plan_cache_keeps_per_version_counters(tmp_path):
+    collection, _ = _build_store(tmp_path)
+    with collection.snapshot() as snapshot:
+        first = snapshot.version
+        snapshot.query(QUERY)  # miss + plan
+        snapshot.query(QUERY)  # hit
+    collection.add_xml(EXTRA, name="extra")
+    with collection.snapshot() as snapshot:
+        second = snapshot.version
+        snapshot.query(QUERY)
+    versions = collection.plan_cache.stats()["versions"]
+    assert versions[first]["hits"] >= 1 and versions[first]["misses"] >= 1
+    assert versions[first]["plans"] >= 1
+    assert versions[second]["misses"] >= 1
+    # Library-path queries stay unversioned: their keys and counters are
+    # untouched by the snapshot machinery.
+    collection.query(QUERY)
+    assert set(collection.plan_cache.stats()["versions"]) == {first, second}
+
+
+def test_snapshot_explain_names_its_version(tmp_path):
+    collection, _ = _build_store(tmp_path)
+    with collection.snapshot() as snapshot:
+        text = snapshot.explain(QUERY)
+    assert text.startswith("SNAPSHOT EXPLAIN")
+    assert f"version={snapshot.version}" in text
+
+
+def test_empty_snapshot_answers_empty(tmp_path):
+    collection, _ = _build_store(tmp_path, docs=1)
+    collection.remove("doc0")
+    with collection.snapshot() as snapshot:
+        result = snapshot.query(QUERY)
+    assert result.count == 0 and result.records == []

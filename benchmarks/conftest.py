@@ -9,6 +9,8 @@ suite runs in a few minutes on a laptop.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench.harness import build_bench_system
@@ -18,6 +20,25 @@ REPLICATE_LARGE = 10
 
 #: Replication sweep standing in for the paper's 10x-60x scalability runs.
 SCALABILITY_SWEEP = [2, 4, 6, 8]
+
+
+@pytest.fixture(autouse=True)
+def lockwatch_clean(request):
+    """With ``REPRO_LOCKWATCH=1``, fail any benchmark that trips the race
+    detector (see the identical fixture in ``tests/conftest.py``)."""
+    if (
+        not os.environ.get("REPRO_LOCKWATCH")
+        # Tests that provoke violations on purpose manage WATCH themselves.
+        or "lockwatch_env" in request.fixturenames
+    ):
+        yield
+        return
+    from repro.analysis.lockwatch import WATCH
+
+    before = WATCH.violations()
+    yield
+    after = WATCH.violations()
+    assert after == before, f"lockwatch reported race(s): {WATCH.report()!r}"
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,45 @@
+"""Invariant analysis for the BLAS reproduction: ``repro lint`` + lockwatch.
+
+Static side (stdlib :mod:`ast`, no third-party dependencies): four
+checkers encode the codebase's real concurrency/accounting invariants —
+
+========  ===================  ==============================================
+code      name                 invariant
+========  ===================  ==============================================
+``RL01``  lock-discipline      ``#: guarded-by:`` fields only touched under
+                               their declared ``with self.<lock>`` block
+``CA01``  counter-accounting   scan-counter math stays inside ``storage/``
+                               (the ``SlotRangeAccess`` path)
+``PL01``  pin-lifetime         partition materialization happens under
+                               ``pinned()``; mapped views don't escape closers
+``EP01``  error-policy         raises crossing public surfaces are
+                               ``ReproError`` subclasses
+========  ===================  ==============================================
+
+Dynamic side: :mod:`repro.analysis.lockwatch` wraps the collection and
+daemon locks under ``REPRO_LOCKWATCH=1``, recording per-thread
+acquisition stacks to fail tests on lock-order inversions and unguarded
+writes actually observed at runtime.
+
+See ``docs/static-analysis.md`` for the annotation conventions.
+"""
+
+from repro.analysis.base import Context, Finding, SourceModule
+from repro.analysis.runner import (
+    CHECKERS,
+    LintReport,
+    check_source,
+    lint_paths,
+    resolve_codes,
+)
+
+__all__ = [
+    "CHECKERS",
+    "Context",
+    "Finding",
+    "LintReport",
+    "SourceModule",
+    "check_source",
+    "lint_paths",
+    "resolve_codes",
+]

@@ -1,0 +1,295 @@
+"""Shared plumbing for the invariant analyzers.
+
+The checkers in this package work on a :class:`SourceModule`: one parsed
+Python file plus the lightweight annotation layer that binds the repo's
+concurrency and accounting conventions to source lines.  Three comment
+forms carry the conventions (comments are invisible to :mod:`ast`, so
+they are recovered from the raw source text):
+
+``#: guarded-by: <lock>`` (optionally ``[writes]``)
+    On — or on the line above — a ``self.<field> = …`` assignment inside
+    a class body.  Declares that ``<field>`` may only be touched while
+    ``with self.<lock>`` is held in the owning class.  The ``[writes]``
+    qualifier relaxes the rule to writes only, for fields whose unlocked
+    reads are benign under the GIL by design.
+
+``#: holds: <lock>``
+    Trailing a ``def`` line (or on the line above it).  Declares that the
+    method runs with ``<lock>`` already held by its callers, so accesses
+    to fields guarded by that lock inside it are compliant.
+
+``# lint: ignore[CODE] -- justification``
+    Suppresses findings of ``CODE`` on that line.  The justification is
+    mandatory: a suppression without ``-- <reason>`` does not suppress.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.exceptions import AnalysisError
+
+#: Annotation declaring a lock-guarded field (see module docstring).
+GUARDED_BY_RE = re.compile(
+    r"#:\s*guarded-by:\s*([A-Za-z_]\w*)\s*(?P<writes>\[\s*writes\s*\])?"
+)
+
+#: Annotation declaring a callers-hold-the-lock helper method.
+HOLDS_RE = re.compile(r"#:\s*holds:\s*([A-Za-z_]\w*)")
+
+#: In-source suppression; the justification after ``--`` is mandatory.
+SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore\[([A-Z]{2}\d{2}(?:\s*,\s*[A-Z]{2}\d{2})*)\]"
+    r"(?P<why>\s*--\s*\S.*)?"
+)
+
+#: A ``self.<field> = …`` (or annotated ``self.<field>: T = …``) line.
+_SELF_ASSIGN_RE = re.compile(r"^\s*self\.([A-Za-z_]\w*)\s*(?::[^=]+)?=(?!=)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation: a checker code anchored to a source line."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line ``path:line: CODE message`` form used by the CLI."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready dict for ``repro lint --format json`` reports."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class GuardedField:
+    """A ``#: guarded-by:`` declaration bound to one class field."""
+
+    name: str
+    lock: str
+    writes_only: bool
+    line: int
+
+
+@dataclass(frozen=True)
+class Context:
+    """Per-run inputs shared by every checker.
+
+    ``known_errors`` is the set of :class:`~repro.exceptions.ReproError`
+    subclass names the error-policy checker accepts; the runner fills it
+    by parsing the linted package's ``exceptions.py``.
+    """
+
+    known_errors: FrozenSet[str] = frozenset()
+
+
+class SourceModule:
+    """One parsed source file plus its annotation layer.
+
+    ``logical`` is the file's path relative to the package root (posix
+    separators, e.g. ``"storage/table.py"``); the path-scoped checkers
+    (counter accounting, pin lifetimes) key their allowlists on it.
+    """
+
+    def __init__(self, text: str, path: str = "<memory>", logical: Optional[str] = None):
+        self.text = text
+        self.path = path
+        self.logical = logical if logical is not None else path.replace("\\", "/")
+        try:
+            self.tree = ast.parse(text)
+        except SyntaxError as error:
+            raise AnalysisError(f"cannot parse {path}: {error}") from error
+        self.lines = text.splitlines()
+        self._comments = self._collect_comments()
+        self._annotate_parents()
+        self._suppressions = self._collect_suppressions()
+        self.guarded = self._collect_guarded_fields()
+        self._holds_by_line = self._collect_holds()
+
+    # -- structure helpers -------------------------------------------------------
+
+    def _annotate_parents(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child._lint_parent = node  # type: ignore[attr-defined]
+
+    @staticmethod
+    def parent(node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (annotated at parse time)."""
+        return getattr(node, "_lint_parent", None)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The innermost ``def`` lexically containing ``node``, if any."""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parent(current)
+        return None
+
+    def classes(self) -> List[ast.ClassDef]:
+        """Every class definition in the module, at any nesting depth."""
+        return [n for n in ast.walk(self.tree) if isinstance(n, ast.ClassDef)]
+
+    # -- annotation layer --------------------------------------------------------
+
+    def _collect_comments(self) -> Dict[int, str]:
+        """Real comment tokens by line — annotation text quoted inside a
+        docstring or string literal must not register as an annotation."""
+        table: Dict[int, str] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    table[token.start[0]] = token.string
+        except tokenize.TokenizeError:  # pragma: no cover - ast.parse passed
+            pass
+        return table
+
+    def _collect_suppressions(self) -> Dict[int, Set[str]]:
+        table: Dict[int, Set[str]] = {}
+        for number, line in sorted(self._comments.items()):
+            match = SUPPRESS_RE.search(line)
+            if match is None or not match.group("why"):
+                continue
+            codes = {code.strip() for code in match.group(1).split(",")}
+            table.setdefault(number, set()).update(codes)
+            if self.lines[number - 1].strip().startswith("#"):
+                # A standalone suppression comment covers the next code
+                # line after its comment block (trailing form covers its
+                # own line only).
+                for follower in range(number + 1, len(self.lines) + 1):
+                    text = self.lines[follower - 1].strip()
+                    if text.startswith("#"):
+                        continue
+                    table.setdefault(follower, set()).update(codes)
+                    break
+        return table
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True when ``code`` carries a justified suppression on ``line``."""
+        return code in self._suppressions.get(line, ())
+
+    def _owning_class(self, line: int) -> Optional[str]:
+        best: Optional[ast.ClassDef] = None
+        for cls in self.classes():
+            end = getattr(cls, "end_lineno", cls.lineno)
+            if cls.lineno <= line <= end:
+                if best is None or cls.lineno > best.lineno:
+                    best = cls
+        return best.name if best is not None else None
+
+    def _collect_guarded_fields(self) -> Dict[str, Dict[str, GuardedField]]:
+        table: Dict[str, Dict[str, GuardedField]] = {}
+        for number, line in sorted(self._comments.items()):
+            match = GUARDED_BY_RE.search(line)
+            if match is None:
+                continue
+            lock = match.group(1)
+            writes_only = match.group("writes") is not None
+            # The annotation trails the assignment line, or sits on its own
+            # line directly above it (skipping further annotation lines).
+            target_line, field = None, None
+            for candidate in range(number, min(number + 3, len(self.lines)) + 1):
+                assign = _SELF_ASSIGN_RE.match(self.lines[candidate - 1])
+                if assign is not None:
+                    target_line, field = candidate, assign.group(1)
+                    break
+                if candidate > number and not self.lines[candidate - 1].strip().startswith("#"):
+                    break
+            if field is None:
+                raise AnalysisError(
+                    f"{self.path}:{number}: '#: guarded-by:' annotation does not "
+                    f"precede a 'self.<field> = ...' assignment"
+                )
+            owner = self._owning_class(target_line)
+            if owner is None:
+                raise AnalysisError(
+                    f"{self.path}:{number}: '#: guarded-by:' annotation outside a class body"
+                )
+            table.setdefault(owner, {})[field] = GuardedField(
+                name=field, lock=lock, writes_only=writes_only, line=target_line
+            )
+        return table
+
+    def _collect_holds(self) -> Dict[int, str]:
+        table: Dict[int, str] = {}
+        for number, line in sorted(self._comments.items()):
+            match = HOLDS_RE.search(line)
+            if match is not None:
+                table[number] = match.group(1)
+        return table
+
+    def holds_lock(self, func: ast.AST) -> Optional[str]:
+        """The ``#: holds:`` lock of ``func``, from its def line or above."""
+        line = getattr(func, "lineno", None)
+        if line is None:
+            return None
+        return self._holds_by_line.get(line) or self._holds_by_line.get(line - 1)
+
+    # -- finding helper ----------------------------------------------------------
+
+    def finding(self, code: str, line: int, message: str) -> Optional[Finding]:
+        """Build a :class:`Finding` unless a justified suppression covers it."""
+        if self.suppressed(line, code):
+            return None
+        return Finding(path=self.path, line=line, code=code, message=message)
+
+
+def self_attribute(node: ast.AST) -> Optional[str]:
+    """The field name when ``node`` is a plain ``self.<field>`` attribute."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+#: Method names that mutate their receiver in place; a call like
+#: ``self.field.append(x)`` counts as a write to ``field``.
+MUTATING_METHODS = frozenset({
+    "append", "add", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "sort", "update", "move_to_end",
+})
+
+
+def is_write_access(module: SourceModule, node: ast.Attribute) -> bool:
+    """Whether this attribute use writes (vs merely reads) the field.
+
+    Covers direct stores/deletes, subscript stores (``self.f[k] = v``),
+    augmented assignment, and in-place mutator calls (``self.f.pop()``).
+    """
+    if isinstance(node.ctx, (ast.Store, ast.Del)):
+        return True
+    parent = module.parent(node)
+    if (
+        isinstance(parent, ast.Subscript)
+        and parent.value is node
+        and isinstance(parent.ctx, (ast.Store, ast.Del))
+    ):
+        return True
+    if isinstance(parent, ast.Attribute) and parent.value is node:
+        grand = module.parent(parent)
+        if (
+            isinstance(grand, ast.Call)
+            and grand.func is parent
+            and parent.attr in MUTATING_METHODS
+        ):
+            return True
+    return False

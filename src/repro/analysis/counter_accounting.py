@@ -1,0 +1,144 @@
+"""CA01 — counter accounting stays inside the storage layer.
+
+PR 5's lesson: when two call sites each do their own element/page
+arithmetic over the packed columns, they drift.  PR 7 folded every scan
+path through one implementation (``SlotRangeAccess`` /
+``NodeTable.access_rows`` / ``packed_selection``); this checker makes
+reintroducing a second implementation unshippable:
+
+* no module outside ``storage/`` may import :mod:`bisect` (packed-column
+  slot math belongs to the storage layer);
+* no module outside ``storage/stats.py`` may write the scan counters
+  (``elements_read``, ``pages_read``, …) — they are owned by
+  ``AccessStatistics``;
+* ``record_scan`` calls outside ``storage/`` must forward a
+  ``SlotRangeAccess``'s own ``.elements``/``.pages`` pair (the shape the
+  vector engine uses), never hand-computed counts, and a bare
+  ``record_index_lookup`` is only allowed next to such a call;
+* the raw slot helpers (``plabel_slot_bounds``, ``tag_slot_list``,
+  ``tag_sd_ranges``) are storage-internal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.base import Context, Finding, SourceModule
+
+CODE = "CA01"
+NAME = "counter-accounting"
+
+#: Scan-counter fields owned by ``AccessStatistics``.
+COUNTER_FIELDS = frozenset({
+    "elements_read", "pages_read", "index_lookups",
+    "selections_executed", "per_alias_elements",
+})
+
+#: Storage-internal helpers that expose raw packed-column slot math.
+RAW_SLOT_HELPERS = frozenset({
+    "plabel_slot_bounds", "tag_slot_list", "tag_sd_ranges",
+})
+
+_STORAGE_PREFIX = "storage/"
+_STATS_MODULE = "storage/stats.py"
+_SCAN_MODULES = frozenset({"storage/table.py", "storage/stats.py"})
+
+
+def _is_slot_access_pair(call: ast.Call) -> bool:
+    """True when the call forwards one object's ``.elements``/``.pages``.
+
+    The shape ``stats.record_scan(alias, access.elements, access.pages)``
+    — both counter arguments read off the same base expression — is the
+    ``SlotRangeAccess`` forwarding idiom and carries no arithmetic of its
+    own, so it cannot drift from the storage layer's accounting.
+    """
+    if len(call.args) < 3:
+        return False
+    elements, pages = call.args[1], call.args[2]
+    if not (
+        isinstance(elements, ast.Attribute)
+        and elements.attr == "elements"
+        and isinstance(pages, ast.Attribute)
+        and pages.attr == "pages"
+    ):
+        return False
+    return ast.dump(elements.value) == ast.dump(pages.value)
+
+
+def check(module: SourceModule, context: Context) -> List[Finding]:
+    """Run the counter-accounting checker over one module."""
+    logical = module.logical
+    if logical.startswith(_STORAGE_PREFIX):
+        return []
+    findings: List[Finding] = []
+
+    def emit(line: int, message: str) -> None:
+        finding = module.finding(CODE, line, message)
+        if finding is not None:
+            findings.append(finding)
+
+    # Functions containing an allowed record_scan forwarding call; a bare
+    # record_index_lookup is only legitimate alongside one of those.
+    functions_with_scan = set()
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "record_scan"
+            and _is_slot_access_pair(node)
+        ):
+            owner = module.enclosing_function(node)
+            if owner is not None:
+                functions_with_scan.add(owner)
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "bisect" or alias.name.startswith("bisect."):
+                    emit(node.lineno,
+                         "imports bisect outside repro/storage — packed-column "
+                         "slot math must go through SlotRangeAccess/packed_selection")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "bisect":
+                emit(node.lineno,
+                     "imports from bisect outside repro/storage — packed-column "
+                     "slot math must go through SlotRangeAccess/packed_selection")
+        elif isinstance(node, ast.Attribute):
+            if node.attr in COUNTER_FIELDS:
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    emit(node.lineno,
+                         f"writes scan counter '{node.attr}' outside "
+                         f"storage/stats.py — counters are owned by AccessStatistics")
+                else:
+                    parent = module.parent(node)
+                    grand = module.parent(parent) if parent is not None else None
+                    if (
+                        isinstance(parent, ast.Attribute)
+                        and parent.value is node
+                        and isinstance(grand, ast.Call)
+                        and grand.func is parent
+                        and parent.attr in ("update", "clear", "setdefault", "pop")
+                    ):
+                        emit(node.lineno,
+                             f"mutates scan counter '{node.attr}' outside "
+                             f"storage/stats.py — counters are owned by AccessStatistics")
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+            if name in RAW_SLOT_HELPERS:
+                emit(node.lineno,
+                     f"calls storage-internal slot helper '{name}' — scans "
+                     f"outside storage/ must use the SlotRangeAccess path")
+            elif name == "record_scan" and logical not in _SCAN_MODULES:
+                if not _is_slot_access_pair(node):
+                    emit(node.lineno,
+                         "record_scan outside storage/ must forward a "
+                         "SlotRangeAccess's .elements/.pages pair, not "
+                         "hand-computed counts")
+            elif name == "record_index_lookup" and logical not in _SCAN_MODULES:
+                owner = module.enclosing_function(node)
+                if owner is None or owner not in functions_with_scan:
+                    emit(node.lineno,
+                         "record_index_lookup outside storage/ is only allowed "
+                         "next to a SlotRangeAccess-forwarding record_scan")
+    return findings

@@ -1,0 +1,123 @@
+"""EP01 — every surfaced error is a :class:`~repro.exceptions.ReproError`.
+
+The CLI's one-line ``error:`` contract and the daemon's HTTP status
+mapping both catch ``ReproError``; a builtin exception escaping a public
+surface turns into a traceback (CLI) or a blind 500 (daemon).  This
+checker flags ``raise`` statements whose exception is a builtin.
+
+Allowed without findings:
+
+* ``ReproError`` subclasses — names parsed from the linted package's
+  ``exceptions.py``, names imported from an ``…exceptions`` module, and
+  locally defined classes inheriting (transitively) from either;
+* module-private exception classes (leading underscore) — internal
+  control flow that never crosses the API boundary;
+* ``NotImplementedError`` (abstract methods) and ``AssertionError``;
+* protocol exceptions (``IndexError``, ``KeyError``, ``StopIteration``,
+  ``TypeError``, ``AttributeError``) inside dunder methods, where the
+  language defines their meaning;
+* bare ``raise`` and re-raises of caught variables (unresolvable
+  statically).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import List, Optional, Set
+
+from repro.analysis.base import Context, Finding, SourceModule
+
+CODE = "EP01"
+NAME = "error-policy"
+
+_ALWAYS_ALLOWED = frozenset({"NotImplementedError", "AssertionError"})
+
+#: Builtins the sequence/mapping/iterator protocols define a meaning for.
+_PROTOCOL_ALLOWED = frozenset({
+    "IndexError", "KeyError", "StopIteration", "TypeError", "AttributeError",
+})
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+
+def _base_name(base: ast.expr) -> Optional[str]:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _allowed_names(module: SourceModule, context: Context) -> Set[str]:
+    allowed: Set[str] = {"ReproError"} | set(context.known_errors)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "exceptions" or node.module.endswith(".exceptions")
+        ):
+            for alias in node.names:
+                allowed.add(alias.asname or alias.name)
+    # Local subclasses, to a fixpoint (handles chains defined in order or not).
+    classes = [n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)]
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in allowed:
+                continue
+            bases = {_base_name(base) for base in cls.bases}
+            if bases & allowed:
+                allowed.add(cls.name)
+                changed = True
+    return allowed
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def check(module: SourceModule, context: Context) -> List[Finding]:
+    """Run the error-policy checker over one module."""
+    findings: List[Finding] = []
+    allowed = _allowed_names(module, context)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Raise):
+            continue
+        name = _raised_name(node)
+        if name is None or name in allowed or name in _ALWAYS_ALLOWED:
+            continue
+        if name.startswith("_"):
+            continue  # module-private control-flow exception
+        if name not in _BUILTIN_EXCEPTIONS:
+            continue  # a variable or an import we cannot resolve; not provably bad
+        owner = module.enclosing_function(node)
+        if (
+            owner is not None
+            and owner.name.startswith("__")
+            and owner.name.endswith("__")
+            and name in _PROTOCOL_ALLOWED
+        ):
+            continue
+        finding = module.finding(
+            CODE,
+            node.lineno,
+            f"raises builtin {name} — errors crossing the public API/CLI "
+            f"surface must be ReproError subclasses",
+        )
+        if finding is not None:
+            findings.append(finding)
+    return findings

@@ -1,0 +1,157 @@
+"""RL01 — lock discipline for ``#: guarded-by:`` declared fields.
+
+A field declared ``#: guarded-by: _lock`` may only be touched inside a
+``with self._lock`` block in the owning class.  ``__init__`` is
+allowlisted (the instance is not yet shared), methods annotated
+``#: holds: _lock`` run with the lock already held by contract, and a
+``[writes]`` qualifier on the declaration restricts enforcement to
+writes (for fields whose unlocked reads are benign by design).
+
+Scope: the checker reasons about ``self.<field>`` accesses lexically
+inside the owning class.  Accesses through other names (a classmethod's
+local variable, another object's reference) are out of scope — the
+dynamic lockwatch detector covers those at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List
+
+from repro.analysis.base import (
+    Context,
+    Finding,
+    GuardedField,
+    SourceModule,
+    is_write_access,
+    self_attribute,
+)
+
+CODE = "RL01"
+NAME = "lock-discipline"
+
+#: Methods exempt from the rule: the instance is still private to its
+#: constructing thread while they run.
+_ALLOWLIST = frozenset({"__init__"})
+
+
+def _with_locks(node: ast.AST) -> FrozenSet[str]:
+    """Lock field names acquired by a ``with`` statement's items."""
+    names = set()
+    for item in node.items:
+        field = self_attribute(item.context_expr)
+        if field is not None:
+            names.add(field)
+    return frozenset(names)
+
+
+class _MethodScanner:
+    """Walks one method body tracking the set of held ``self.*`` locks."""
+
+    def __init__(
+        self,
+        module: SourceModule,
+        class_name: str,
+        fields: Dict[str, GuardedField],
+        findings: List[Finding],
+    ):
+        self.module = module
+        self.class_name = class_name
+        self.fields = fields
+        self.findings = findings
+
+    def scan(self, func: ast.AST) -> None:
+        """Scan one method; seeds held locks from its ``#: holds:`` note."""
+        held = frozenset()
+        contract = self.module.holds_lock(func)
+        if contract is not None:
+            held = frozenset({contract})
+        for statement in func.body:
+            self._visit(statement, held)
+
+    def _visit(self, node: ast.AST, held: FrozenSet[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self._visit(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self._visit(item.optional_vars, held)
+            inner = held | _with_locks(node)
+            for statement in node.body:
+                self._visit(statement, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Deferred execution: the lock held at definition time says
+            # nothing about the lock held when the body eventually runs.
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                self._visit(default, held)
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for statement in body:
+                self._visit(statement, frozenset())
+            return
+        if isinstance(node, ast.Attribute):
+            field = self_attribute(node)
+            if field is not None and field in self.fields:
+                self._check(node, field, held, is_write_access(self.module, node))
+            self._visit(node.value, held)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _visit_call(self, node: ast.Call, held: FrozenSet[str]) -> None:
+        # getattr/setattr/delattr with a literal field name are accesses too.
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "getattr", "setattr", "delattr"
+        ):
+            args = node.args
+            if (
+                len(args) >= 2
+                and isinstance(args[0], ast.Name)
+                and args[0].id == "self"
+                and isinstance(args[1], ast.Constant)
+                and isinstance(args[1].value, str)
+                and args[1].value in self.fields
+            ):
+                write = node.func.id in ("setattr", "delattr")
+                self._check(node, args[1].value, held, write)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _check(
+        self, node: ast.AST, field: str, held: FrozenSet[str], write: bool
+    ) -> None:
+        declaration = self.fields[field]
+        if declaration.writes_only and not write:
+            return
+        if declaration.lock in held:
+            return
+        verb = "written" if write else "read"
+        finding = self.module.finding(
+            CODE,
+            node.lineno,
+            f"{self.class_name}.{field} is declared guarded by "
+            f"'{declaration.lock}' but is {verb} without holding it",
+        )
+        if finding is not None:
+            self.findings.append(finding)
+
+
+def check(module: SourceModule, context: Context) -> List[Finding]:
+    """Run the lock-discipline checker over one module."""
+    findings: List[Finding] = []
+    for cls in module.classes():
+        fields = module.guarded.get(cls.name)
+        if not fields:
+            continue
+        scanner = _MethodScanner(module, cls.name, fields, findings)
+        for node in cls.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name in _ALLOWLIST:
+                continue
+            scanner.scan(node)
+    return findings

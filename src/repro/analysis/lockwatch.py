@@ -1,0 +1,297 @@
+"""Dynamic lock-order race detector (``REPRO_LOCKWATCH=1``).
+
+The static lock-discipline checker (RL01) proves ``self.``-scoped
+accesses are guarded; this module covers what statics cannot — actual
+runtime ordering between *different* locks, and writes reaching guarded
+fields through paths the AST cannot see.  A :class:`LockWatch` wraps the
+collection/daemon locks in :class:`InstrumentedLock` delegates that
+record per-thread acquisition stacks:
+
+* **Lock-order inversions.**  Acquiring ``B`` while holding ``A`` draws
+  the edge ``A → B`` in a name-keyed graph; observing both ``A → B`` and
+  ``B → A`` is a potential deadlock and is reported with both
+  acquisition stacks.
+* **Unguarded writes.**  :meth:`LockWatch.guard_fields` swaps an object
+  onto a dynamic subclass whose ``__setattr__`` reports writes to
+  declared fields made without their lock held.
+
+The wrapper preserves the inner lock's observable behavior — context
+manager protocol, ``acquire``/``release`` signatures, attribute
+passthrough and ``__repr__`` — so instrumented runs stay byte-identical
+apart from the reports.  Enable via the ``REPRO_LOCKWATCH`` environment
+variable; the conftest fixtures then fail any test that produced a
+report (see ``tests/test_lockwatch.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import AnalysisError
+
+#: Environment flag gating instrumentation in the product code paths.
+ENV_FLAG = "REPRO_LOCKWATCH"
+
+
+def enabled() -> bool:
+    """Whether lockwatch instrumentation is switched on for this process."""
+    return bool(os.environ.get(ENV_FLAG))
+
+
+def _stack(skip: int = 3, limit: int = 14) -> str:
+    """A trimmed acquisition stack, dropping lockwatch's own frames."""
+    frames = traceback.format_stack(limit=limit)
+    return "".join(frames[:-skip]) if len(frames) > skip else "".join(frames)
+
+
+class InstrumentedLock:
+    """A delegating lock wrapper that reports acquisitions to a watch.
+
+    Behaves exactly like the wrapped lock (``with``, ``acquire(blocking,
+    timeout)``, ``release``, attribute passthrough) and reprs as it —
+    code and tests keyed on the inner lock's behavior see no difference.
+    """
+
+    __slots__ = ("_inner", "name", "watch")
+
+    def __init__(self, inner, name: str, watch: "LockWatch"):
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "watch", watch)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the inner lock, then record the acquisition."""
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self.watch._note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        """Record the release, then release the inner lock."""
+        self.watch._note_released(self)
+        self._inner.release()
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.release()
+        return False
+
+    def held_by_current_thread(self) -> bool:
+        """Whether the calling thread currently holds this lock."""
+        return self.watch.holds(self)
+
+    def __repr__(self) -> str:
+        return repr(self._inner)
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+class LockWatch:
+    """Aggregates acquisition edges and unguarded-write reports.
+
+    One process-global instance (:data:`WATCH`) backs the env-gated
+    product hooks; tests that provoke violations on purpose use private
+    instances so the global stays clean.
+    """
+
+    def __init__(self) -> None:
+        self._meta = threading.Lock()
+        self._held = threading.local()
+        self._edges: Dict[Tuple[str, str], str] = {}
+        self._inversion_pairs: set = set()
+        self._unguarded_keys: set = set()
+        self.inversions: List[Dict[str, str]] = []
+        self.unguarded_writes: List[Dict[str, str]] = []
+        self.acquisitions = 0
+
+    # -- wrapping ----------------------------------------------------------------
+
+    def wrap(self, lock, name: str) -> InstrumentedLock:
+        """Wrap ``lock`` under ``name`` (idempotent for wrapped locks)."""
+        if isinstance(lock, InstrumentedLock):
+            return lock
+        return InstrumentedLock(lock, name, self)
+
+    def guard_fields(self, obj, fields: Iterable[str], lock: InstrumentedLock) -> None:
+        """Report writes to ``fields`` on ``obj`` made without ``lock`` held.
+
+        Swaps ``obj`` onto a dynamic subclass overriding ``__setattr__``;
+        everything else about the object (name, isinstance checks, attribute
+        layout) is unchanged.
+        """
+        if not isinstance(lock, InstrumentedLock):
+            raise AnalysisError("guard_fields needs a lock wrapped by this watch")
+        guards = dict(obj.__dict__.get("_lockwatch_guards", ()) or {})
+        for field in fields:
+            guards[field] = lock
+        object.__setattr__(obj, "_lockwatch_guards", guards)
+        cls = type(obj)
+        if getattr(cls, "_lockwatch_instrumented", False):
+            return
+        holder: Dict[str, type] = {}
+
+        def _watched_setattr(instance, name, value):
+            instance_guards = instance.__dict__.get("_lockwatch_guards")
+            if instance_guards is not None:
+                guard = instance_guards.get(name)
+                if guard is not None and not guard.held_by_current_thread():
+                    guard.watch._record_unguarded(type(instance).__name__, name)
+            super(holder["cls"], instance).__setattr__(name, value)
+
+        subclass = type(
+            cls.__name__,
+            (cls,),
+            {"__setattr__": _watched_setattr, "_lockwatch_instrumented": True},
+        )
+        holder["cls"] = subclass
+        obj.__class__ = subclass
+
+    # -- per-thread bookkeeping --------------------------------------------------
+
+    def _thread_stack(self) -> List[InstrumentedLock]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def holds(self, lock: InstrumentedLock) -> bool:
+        """Whether the calling thread holds ``lock`` (by identity)."""
+        return any(entry is lock for entry in self._thread_stack())
+
+    def _note_acquired(self, lock: InstrumentedLock) -> None:
+        stack = self._thread_stack()
+        # Re-entrant holds of the same (named) lock draw no ordering edge.
+        held_names = [
+            entry.name for entry in stack if entry.name != lock.name
+        ]
+        new_edges = []
+        inversions = []
+        with self._meta:
+            self.acquisitions += 1
+            for held in held_names:
+                edge = (held, lock.name)
+                if edge not in self._edges:
+                    new_edges.append(edge)
+                reverse = (lock.name, held)
+                if reverse in self._edges:
+                    pair = frozenset(edge)
+                    if pair not in self._inversion_pairs:
+                        self._inversion_pairs.add(pair)
+                        inversions.append((edge, self._edges[reverse]))
+        if new_edges or inversions:
+            frames = _stack()
+            with self._meta:
+                for edge in new_edges:
+                    self._edges.setdefault(edge, frames)
+                for (held, acquired), reverse_frames in inversions:
+                    self.inversions.append({
+                        "first": held,
+                        "second": acquired,
+                        "thread": threading.current_thread().name,
+                        "stack": frames,
+                        "reverse_stack": reverse_frames,
+                    })
+        stack.append(lock)
+
+    def _note_released(self, lock: InstrumentedLock) -> None:
+        stack = self._thread_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    def _record_unguarded(self, class_name: str, field: str) -> None:
+        key = (class_name, field)
+        frames = _stack()
+        with self._meta:
+            if key in self._unguarded_keys:
+                return
+            self._unguarded_keys.add(key)
+            self.unguarded_writes.append({
+                "class": class_name,
+                "field": field,
+                "thread": threading.current_thread().name,
+                "stack": frames,
+            })
+
+    # -- reporting ---------------------------------------------------------------
+
+    def violations(self) -> int:
+        """Total reports so far: inversions plus unguarded writes."""
+        with self._meta:
+            return len(self.inversions) + len(self.unguarded_writes)
+
+    def report(self) -> Dict[str, object]:
+        """A JSON-ready snapshot of everything observed so far."""
+        with self._meta:
+            return {
+                "acquisitions": self.acquisitions,
+                "edges": sorted(self._edges),
+                "inversions": list(self.inversions),
+                "unguarded_writes": list(self.unguarded_writes),
+            }
+
+    def clear(self) -> None:
+        """Drop every recorded edge and report (held stacks are untouched)."""
+        with self._meta:
+            self._edges.clear()
+            self._inversion_pairs.clear()
+            self._unguarded_keys.clear()
+            self.inversions.clear()
+            self.unguarded_writes.clear()
+            self.acquisitions = 0
+
+
+#: The process-global watch the env-gated product hooks report into.
+WATCH = LockWatch()
+
+
+def instrument_collection(collection, watch: Optional[LockWatch] = None) -> LockWatch:
+    """Wrap a collection's locks and guard its declared fields.
+
+    Covers the three locks the daemon's correctness argument rests on:
+    ``BLASCollection._mutation_lock``, the shared catalog's
+    ``PartitionedCatalog._lock`` and ``PlanCache._lock``.
+    """
+    watch = watch or WATCH
+    collection._mutation_lock = watch.wrap(
+        collection._mutation_lock, "BLASCollection._mutation_lock"
+    )
+    store = collection.store
+    store._lock = watch.wrap(store._lock, "PartitionedCatalog._lock")
+    cache = collection.plan_cache
+    cache._lock = watch.wrap(cache._lock, "PlanCache._lock")
+    watch.guard_fields(
+        collection,
+        ("_documents", "_groups", "_next_doc_id", "_version",
+         "_persist", "_partition_paths"),
+        collection._mutation_lock,
+    )
+    watch.guard_fields(
+        cache,
+        ("hits", "misses", "evictions", "plan_ms_total", "plan_ms_saved"),
+        cache._lock,
+    )
+    watch.guard_fields(
+        store,
+        ("_cache_hits", "_cache_misses", "_cache_evictions",
+         "_peak_cached", "_version"),
+        store._lock,
+    )
+    return watch
+
+
+def instrument_daemon(server, watch: Optional[LockWatch] = None) -> LockWatch:
+    """Wrap a daemon's stats lock and guard its request/error counters."""
+    watch = watch or WATCH
+    server._stats_lock = watch.wrap(server._stats_lock, "DaemonServer._stats_lock")
+    watch.guard_fields(server, ("_requests", "_errors"), server._stats_lock)
+    return watch

@@ -1,0 +1,139 @@
+"""PL01 — partition pin lifetimes and mapped-buffer escapes.
+
+Two rules protect the bounded partition cache's correctness argument
+(see ``docs/architecture.md``, *Memory model*):
+
+* **Pinned materialization.**  In the fan-out and server layers
+  (``collection/``, ``server/``), materializing a partition catalog via
+  ``catalog_for`` must happen lexically inside a ``with …pinned(…)``
+  block — otherwise the cache may evict the partition mid-scan.
+  Storage-internal call sites are exempt (the store itself serializes
+  against its own lock), as are sites carrying a justified suppression.
+
+* **No escaping views.**  A function that closes a mapping (calls
+  ``.close()`` or ``.release_mapping()``) must not also return or yield
+  a ``memoryview``/``.cast`` of a buffer — the view would outlive the
+  mapping it reads from.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.base import Context, Finding, SourceModule
+
+CODE = "PL01"
+NAME = "pin-lifetime"
+
+#: Logical path prefixes where catalog materialization must be pinned.
+_SCOPED_PREFIXES = ("collection/", "server/")
+
+#: Calls that tear down a mapping.
+_CLOSERS = frozenset({"close", "release_mapping"})
+
+
+def _contains_pinned_call(node: ast.AST) -> bool:
+    for inner in ast.walk(node):
+        if (
+            isinstance(inner, ast.Call)
+            and isinstance(inner.func, ast.Attribute)
+            and inner.func.attr == "pinned"
+        ):
+            return True
+    return False
+
+
+class _PinScanner:
+    """Flags ``catalog_for`` calls outside any enclosing pinned() block."""
+
+    def __init__(self, module: SourceModule, findings: List[Finding]):
+        self.module = module
+        self.findings = findings
+
+    def scan(self, tree: ast.AST) -> None:
+        """Walk the module, tracking whether a pinned() scope is active."""
+        self._visit(tree, pinned=False)
+
+    def _visit(self, node: ast.AST, pinned: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            granted = pinned or any(
+                _contains_pinned_call(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                self._visit(item.context_expr, pinned)
+            for statement in node.body:
+                self._visit(statement, granted)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A deferred body does not inherit the pin active at its
+            # definition site — by the time it runs, the pin may be gone.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for statement in body:
+                self._visit(statement, pinned=False)
+            return
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "catalog_for"
+            and not pinned
+        ):
+            finding = self.module.finding(
+                CODE,
+                node.lineno,
+                "materializes a partition catalog (catalog_for) outside a "
+                "pinned() scope — the cache may evict it mid-use",
+            )
+            if finding is not None:
+                self.findings.append(finding)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, pinned)
+
+
+def _check_view_escapes(module: SourceModule, findings: List[Finding]) -> None:
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        closes = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CLOSERS
+            for node in ast.walk(func)
+        )
+        if not closes:
+            continue
+        for node in ast.walk(func):
+            value = None
+            if isinstance(node, ast.Return):
+                value = node.value
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                value = node.value
+            if value is None:
+                continue
+            for inner in ast.walk(value):
+                if not isinstance(inner, ast.Call):
+                    continue
+                makes_view = (
+                    isinstance(inner.func, ast.Name) and inner.func.id == "memoryview"
+                ) or (
+                    isinstance(inner.func, ast.Attribute) and inner.func.attr == "cast"
+                )
+                if makes_view:
+                    finding = module.finding(
+                        CODE,
+                        node.lineno,
+                        f"'{func.name}' closes a mapping but returns/yields a "
+                        f"memoryview over it — the view would outlive its buffer",
+                    )
+                    if finding is not None:
+                        findings.append(finding)
+                    break
+
+
+def check(module: SourceModule, context: Context) -> List[Finding]:
+    """Run the pin-lifetime checker over one module."""
+    findings: List[Finding] = []
+    if module.logical.startswith(_SCOPED_PREFIXES):
+        _PinScanner(module, findings).scan(module.tree)
+    _check_view_escapes(module, findings)
+    return findings

@@ -1,0 +1,188 @@
+"""Run the invariant checkers over files and trees: the ``repro lint`` core.
+
+The runner resolves which checkers to run (``--select``/``--ignore``),
+walks the requested paths, determines each file's *logical* path (its
+path relative to the enclosing package root — the path-scoped checkers
+key their allowlists on it), and aggregates :class:`Finding`s into a
+:class:`LintReport` that renders as text or JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis import (
+    counter_accounting,
+    error_policy,
+    lock_discipline,
+    resource_lifetime,
+)
+from repro.analysis.base import Context, Finding, SourceModule
+from repro.exceptions import AnalysisError
+
+#: The checker registry, in report order.
+CHECKERS = {
+    lock_discipline.CODE: lock_discipline,
+    counter_accounting.CODE: counter_accounting,
+    resource_lifetime.CODE: resource_lifetime,
+    error_policy.CODE: error_policy,
+}
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run: findings plus coverage counters."""
+
+    findings: Tuple[Finding, ...]
+    files_checked: int
+    codes: Tuple[str, ...]
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready report (the CI artifact's schema)."""
+        return {
+            "version": 1,
+            "codes": list(self.codes),
+            "files_checked": self.files_checked,
+            "count": len(self.findings),
+            "findings": [finding.to_payload() for finding in self.findings],
+        }
+
+    def render_text(self) -> str:
+        """Human-readable report: one line per finding plus a summary."""
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"checked {self.files_checked} file(s) with "
+            f"{len(self.codes)} checker(s): "
+        )
+        if self.findings:
+            summary += f"{len(self.findings)} finding(s)"
+        else:
+            summary += "clean"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def resolve_codes(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Tuple[str, ...]:
+    """The checker codes a run covers, honoring select/ignore lists."""
+    for code in list(select or ()) + list(ignore or ()):
+        if code not in CHECKERS:
+            known = ", ".join(CHECKERS)
+            raise AnalysisError(f"unknown checker code {code!r} (known: {known})")
+    codes = tuple(select) if select else tuple(CHECKERS)
+    if ignore:
+        codes = tuple(code for code in codes if code not in ignore)
+    return codes
+
+
+def package_root(path: str) -> str:
+    """The topmost enclosing package directory of a Python file.
+
+    Climbs from the file's directory while an ``__init__.py`` is present;
+    the last such directory is the package root the logical path is
+    computed against.  For a file outside any package, its own directory
+    is the root (logical path = basename).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    root = directory
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        root = directory
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            break
+        directory = parent
+    return root
+
+
+def known_errors_for(root: str) -> FrozenSet[str]:
+    """ReproError subclass names declared in ``<root>/exceptions.py``."""
+    path = os.path.join(root, "exceptions.py")
+    if not os.path.isfile(path):
+        return frozenset()
+    try:
+        tree = ast.parse(open(path, encoding="utf-8").read())
+    except (OSError, SyntaxError):
+        return frozenset()
+    return frozenset(
+        node.name for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+    )
+
+
+def check_source(
+    text: str,
+    path: str = "<memory>",
+    logical: Optional[str] = None,
+    codes: Optional[Sequence[str]] = None,
+    known_errors: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run checkers over one in-memory source; the test-facing API.
+
+    ``logical`` poses the source as a file at that package-relative path
+    (e.g. ``"engine/rogue.py"``) so fixtures exercise the path-scoped
+    rules without living inside ``src/repro``.
+    """
+    module = SourceModule(text, path=path, logical=logical)
+    context = Context(known_errors=frozenset(known_errors or ()))
+    findings: List[Finding] = []
+    for code in resolve_codes(select=codes):
+        findings.extend(CHECKERS[code].check(module, context))
+    return sorted(findings)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in filenames
+                    if name.endswith(".py")
+                )
+        else:
+            raise AnalysisError(f"no such file or directory: {path!r}")
+    return sorted(set(files))
+
+
+def default_paths() -> List[str]:
+    """The installed ``repro`` package — what a bare ``repro lint`` checks."""
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def lint_paths(
+    paths: Optional[Sequence[str]] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files/directories (default: the installed package)."""
+    codes = resolve_codes(select=select, ignore=ignore)
+    files = iter_python_files(list(paths) if paths else default_paths())
+    findings: List[Finding] = []
+    known_cache: Dict[str, FrozenSet[str]] = {}
+    for path in files:
+        root = package_root(path)
+        if root not in known_cache:
+            known_cache[root] = known_errors_for(root)
+        logical = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+        try:
+            text = open(path, encoding="utf-8").read()
+        except OSError as error:
+            raise AnalysisError(f"cannot read {path}: {error}") from error
+        module = SourceModule(text, path=path, logical=logical)
+        context = Context(known_errors=known_cache[root])
+        for code in codes:
+            findings.extend(CHECKERS[code].check(module, context))
+    return LintReport(
+        findings=tuple(sorted(findings)), files_checked=len(files), codes=codes
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Five subcommands cover the everyday uses of the library:
+Six subcommands cover the everyday uses of the library:
 
 ``query``
     Index an XML file and evaluate one XPath query, printing the matching
@@ -33,6 +33,12 @@ Five subcommands cover the everyday uses of the library:
     fig18, sec42), or ``explain`` for the cost-based planner's choices on
     the whole workload.
 
+``lint``
+    Run the AST-based invariant analyzers over the package (or explicit
+    paths): lock discipline (RL01), counter accounting (CA01), resource
+    lifetimes (PL01) and error policy (EP01).  Exits 1 when any invariant
+    is violated; see ``docs/static-analysis.md``.
+
 Queries default to ``--translator auto --engine auto`` (the cost-based
 planner); ``--explain`` prints the planner's EXPLAIN — candidates, the
 chosen physical plan, and estimated vs. actual cost.
@@ -42,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import glob
+import json
 import os
 import shutil
 import sys
@@ -236,6 +243,32 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--replicate", type=int, default=6,
         help="replication factor for the twig/scalability experiments",
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST invariant analyzers (lock discipline, counter "
+             "accounting, resource lifetimes, error policy)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (text findings or a JSON report document)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated checker codes to run (e.g. RL01,EP01)",
+    )
+    lint.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated checker codes to skip",
+    )
+    lint.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the JSON report document to this file",
     )
     return parser
 
@@ -669,6 +702,40 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """Run the invariant analyzers; exit 0 on a clean tree, 1 on findings."""
+    from repro.analysis import lint_paths
+
+    def split_codes(raw: Optional[str]) -> Optional[List[str]]:
+        if raw is None:
+            return None
+        return [code.strip() for code in raw.split(",") if code.strip()]
+
+    report = lint_paths(
+        args.paths or None,
+        select=split_codes(args.select),
+        ignore=split_codes(args.ignore),
+    )
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+        # Keep stdout valid JSON: the one-line summary goes to stderr.
+        stream = sys.stderr
+    else:
+        print(report.render_text())
+        stream = sys.stdout
+    if report.findings:
+        print(
+            f"error: {len(report.findings)} invariant violation(s) found",
+            file=stream,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -689,6 +756,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_collection(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "lint":
+            return _run_lint(args)
         return _run_experiment(args)
     except ReproError as error:
         print(f"error: {error}")

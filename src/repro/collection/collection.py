@@ -33,6 +33,7 @@ doc_id-partitioned store and answers XPath over the whole collection:
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -114,6 +115,9 @@ class CollectionDocument:
     @property
     def catalog(self) -> StorageCatalog:
         """The document's storage slice (loads a lazy partition on first use)."""
+        # lint: ignore[PL01] -- property hands the slice to callers that pin
+        # for themselves (query execution wraps it in store.pinned()); an
+        # unpinned touch can at worst be evicted and re-faulted, not torn.
         return self._partitions.catalog_for(self.doc_id)
 
     @property
@@ -284,14 +288,21 @@ class BLASCollection:
         self.plan_cache = PlanCache(capacity=plan_cache_size)
         #: Default worker count for parallel fan-out; 0 means auto-size.
         self.workers = workers
-        self._documents: Dict[int, CollectionDocument] = {}
-        self._groups: List[SchemeGroup] = []
-        self._next_doc_id = 0
+        # Membership state is written under _mutation_lock only (the
+        # ``[writes]`` qualifier): unlocked reads are benign by design —
+        # each field is swapped/updated atomically under the GIL, and
+        # readers needing a consistent *multi-field* view go through
+        # snapshot(), which serializes against mutations.
+        self._documents: Dict[int, CollectionDocument] = {}  #: guarded-by: _mutation_lock [writes]
+        self._groups: List[SchemeGroup] = []  #: guarded-by: _mutation_lock [writes]
+        self._next_doc_id = 0  #: guarded-by: _mutation_lock [writes]
+        #: guarded-by: _mutation_lock [writes]
         self._persist: Optional[CollectionStore] = None
         #: Monotonic commit counter: every successful membership mutation
         #: bumps it (persisted as the manifest ``generation``), so
         #: snapshots and version-aware plan-cache keys can tell membership
         #: states apart without hashing.
+        #: guarded-by: _mutation_lock [writes]
         self._version = 0
         #: Serializes membership mutations against each other and against
         #: snapshot admission, so a snapshot can never observe (or pin)
@@ -301,7 +312,12 @@ class BLASCollection:
         #: path (extension included) depends on the partition format the
         #: file was written in, so it is recorded at write/open time rather
         #: than recomputed.
+        #: guarded-by: _mutation_lock [writes]
         self._partition_paths: Dict[int, str] = {}
+        if os.environ.get("REPRO_LOCKWATCH"):
+            from repro.analysis.lockwatch import instrument_collection
+
+            instrument_collection(self)
 
     # -- introspection ----------------------------------------------------------
 
@@ -659,27 +675,28 @@ class BLASCollection:
         store fully readable; files orphaned by the re-save are garbage
         collected after the swap.
         """
-        store = CollectionStore(
-            path,
-            partition_format=partition_format,
-            compression=compression,
-            shards=shards,
-        )
-        paths = {
-            doc_id: store.write_partition(
-                self._documents[doc_id].indexed,
-                doc_id,
-                self.store.partition_fingerprint(doc_id),
+        with self._mutation_lock:
+            store = CollectionStore(
+                path,
+                partition_format=partition_format,
+                compression=compression,
+                shards=shards,
             )
-            for doc_id in self.doc_ids()
-        }
-        manifest = self._manifest(paths, stable_groups=store.is_sharded)
-        store.write_manifest(manifest)
-        store.collect_garbage(manifest)
-        # Only now — after the manifest swap committed — does this
-        # collection switch its binding to the freshly written store.
-        self._partition_paths = paths
-        self._persist = store
+            paths = {
+                doc_id: store.write_partition(
+                    self._documents[doc_id].indexed,
+                    doc_id,
+                    self.store.partition_fingerprint(doc_id),
+                )
+                for doc_id in self.doc_ids()
+            }
+            manifest = self._manifest(paths, stable_groups=store.is_sharded)
+            store.write_manifest(manifest)
+            store.collect_garbage(manifest)
+            # Only now — after the manifest swap committed — does this
+            # collection switch its binding to the freshly written store.
+            self._partition_paths = paths
+            self._persist = store
 
     @classmethod
     def open(
@@ -730,43 +747,53 @@ class BLASCollection:
         collection = cls(
             plan_cache_size=plan_cache_size, workers=workers, cache_bytes=cache_bytes
         )
-        collection._persist = store
-        for position, payload in enumerate(manifest.scheme_groups):
-            try:
-                scheme = scheme_from_dict(payload)
-            except (KeyError, TypeError, ValueError, LabelingError) as error:
-                raise PersistError(
-                    f"malformed scheme group {position} in store manifest: {error!r}"
+        # The new collection is not yet visible to other threads, but its
+        # membership fields are declared lock-guarded, so the rebuild takes
+        # the mutation lock like every other writer.
+        with collection._mutation_lock:
+            collection._persist = store
+            for position, payload in enumerate(manifest.scheme_groups):
+                try:
+                    scheme = scheme_from_dict(payload)
+                except (KeyError, TypeError, ValueError, LabelingError) as error:
+                    raise PersistError(
+                        f"malformed scheme group {position} in store manifest: {error!r}"
+                    )
+                collection._groups.append(
+                    SchemeGroup(position, scheme, collection.store)
                 )
-            collection._groups.append(SchemeGroup(position, scheme, collection.store))
-        for entry in manifest.documents:
-            if not 0 <= entry.group_id < len(collection._groups):
-                raise PersistError(
-                    f"document {entry.doc_id} references scheme group "
-                    f"{entry.group_id}, but the manifest defines "
-                    f"{len(collection._groups)}"
+            for entry in manifest.documents:
+                if not 0 <= entry.group_id < len(collection._groups):
+                    raise PersistError(
+                        f"document {entry.doc_id} references scheme group "
+                        f"{entry.group_id}, but the manifest defines "
+                        f"{len(collection._groups)}"
+                    )
+                group = collection._groups[entry.group_id]
+                collection.store.add_lazy_partition(
+                    entry.doc_id,
+                    loader=lambda e=entry, s=group.scheme: store.read_partition(e, s),
+                    fingerprint=entry.fingerprint,
+                    node_count=entry.node_count,
                 )
-            group = collection._groups[entry.group_id]
-            collection.store.add_lazy_partition(
-                entry.doc_id,
-                loader=lambda e=entry, s=group.scheme: store.read_partition(e, s),
-                fingerprint=entry.fingerprint,
-                node_count=entry.node_count,
-            )
-            group.add(
-                entry.doc_id,
-                lambda doc_id=entry.doc_id: collection.store.catalog_for(doc_id).schema,
-            )
-            collection._documents[entry.doc_id] = CollectionDocument(
-                doc_id=entry.doc_id,
-                name=entry.name,
-                group_id=entry.group_id,
-                partitions=collection.store,
-                summary_row=entry.summary,
-            )
-            collection._partition_paths[entry.doc_id] = entry.partition
-        collection._next_doc_id = manifest.next_doc_id
-        collection._version = manifest.generation
+                group.add(
+                    entry.doc_id,
+                    # lint: ignore[PL01] -- deferred schema thunk; it runs
+                    # later inside query paths that pin for themselves.
+                    lambda doc_id=entry.doc_id: collection.store.catalog_for(
+                        doc_id
+                    ).schema,
+                )
+                collection._documents[entry.doc_id] = CollectionDocument(
+                    doc_id=entry.doc_id,
+                    name=entry.name,
+                    group_id=entry.group_id,
+                    partitions=collection.store,
+                    summary_row=entry.summary,
+                )
+                collection._partition_paths[entry.doc_id] = entry.partition
+            collection._next_doc_id = manifest.next_doc_id
+            collection._version = manifest.generation
         return collection
 
     def _resolve(self, ref: Union[int, str]) -> int:

@@ -18,6 +18,7 @@ seed, and sized by a ``scale`` parameter.
 """
 
 from repro.datasets.auction import generate_auction
+from repro.exceptions import DatasetError
 from repro.datasets.protein import generate_protein
 from repro.datasets.queries import (
     BENCHMARK_QUERIES,
@@ -38,7 +39,7 @@ GENERATORS = {
 def build_dataset(name: str, scale: int = 1, seed: int = 7):
     """Build one of the three datasets by name."""
     if name not in GENERATORS:
-        raise ValueError(f"unknown dataset {name!r}; expected one of {sorted(GENERATORS)}")
+        raise DatasetError(f"unknown dataset {name!r}; expected one of {sorted(GENERATORS)}")
     return GENERATORS[name](scale=scale, seed=seed)
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.exceptions import DatasetError
 from repro.xpath.ast import LocationPath, PathPredicate, Step
 from repro.xpath.parser import parse_xpath
 
@@ -68,7 +69,7 @@ BENCHMARK_QUERIES: Dict[str, str] = {
 def queries_for_dataset(name: str) -> Dict[str, LocationPath]:
     """Parsed Figure 10 queries for one dataset."""
     if name not in QUERY_SETS:
-        raise ValueError(f"unknown dataset {name!r}; expected one of {sorted(QUERY_SETS)}")
+        raise DatasetError(f"unknown dataset {name!r}; expected one of {sorted(QUERY_SETS)}")
     return {query_name: parse_xpath(text) for query_name, text in QUERY_SETS[name].items()}
 
 

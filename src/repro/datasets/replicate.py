@@ -11,6 +11,7 @@ figures rely on.
 
 from __future__ import annotations
 
+from repro.exceptions import DatasetError
 from repro.xmlkit.model import Document, Element
 
 
@@ -29,7 +30,7 @@ def copy_element(element: Element) -> Element:
 def replicate_document(document: Document, times: int, name: str | None = None) -> Document:
     """Return a document whose root children are repeated ``times`` times."""
     if times < 1:
-        raise ValueError("times must be at least 1")
+        raise DatasetError("times must be at least 1")
     original_root = document.root
     new_root = Element(original_root.tag, text=original_root.text,
                        attributes=dict(original_root.attributes))

@@ -69,6 +69,15 @@ class CollectionError(ReproError):
     """Raised by the multi-document collection layer (membership, fan-out)."""
 
 
+class DatasetError(ReproError):
+    """Raised by the synthetic dataset builders (bad names or parameters)."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the static-analysis framework (``repro lint``) on bad input:
+    unparseable source, unknown checker codes, unreadable paths."""
+
+
 class PersistError(StorageError):
     """Raised by the on-disk collection store (missing/corrupt manifest or
     partition files, format-version mismatches)."""

@@ -26,6 +26,8 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple, Union
 
+from repro.exceptions import PlanError
+
 #: How many distinct collection versions keep per-version counters before
 #: the oldest are folded away (daemons bump versions on every commit; the
 #: stats map must not grow without bound).
@@ -58,20 +60,22 @@ class PlanCache:
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
-            raise ValueError("plan cache capacity must be at least 1")
+            raise PlanError("plan cache capacity must be at least 1")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()  #: guarded-by: _lock
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.plan_ms_total = 0.0
-        self.plan_ms_saved = 0.0
+        self.hits = 0  #: guarded-by: _lock
+        self.misses = 0  #: guarded-by: _lock
+        self.evictions = 0  #: guarded-by: _lock
+        self.plan_ms_total = 0.0  #: guarded-by: _lock
+        self.plan_ms_saved = 0.0  #: guarded-by: _lock
+        #: guarded-by: _lock
         self._plan_ms_histogram: Dict[str, int] = dict.fromkeys(
             PLAN_MS_BUCKET_LABELS, 0
         )
         #: Per-collection-version counters, populated only by callers that
         #: pass ``version=`` (the daemon's snapshot query path).
+        #: guarded-by: _lock
         self._version_stats: "OrderedDict[int, Dict[str, int]]" = OrderedDict()
 
     @staticmethod
@@ -86,7 +90,7 @@ class PlanCache:
         with self._lock:
             return len(self._entries)
 
-    def _version_bucket(self, version: int) -> Dict[str, int]:
+    def _version_bucket(self, version: int) -> Dict[str, int]:  #: holds: _lock
         # Callers hold self._lock.  Fetch-or-create the per-version counter
         # row, evicting the oldest row past VERSION_STATS_LIMIT.
         bucket = self._version_stats.get(version)

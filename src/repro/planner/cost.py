@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.exceptions import PlanError
 from repro.storage.stats import CatalogStatistics
 from repro.translate.plan import ConjunctivePlan, JoinSpec, QueryPlan, SelectionKind, SelectionSpec
 
@@ -245,7 +246,7 @@ class CostModel:
         for it here raises instead of answering inconsistently.
         """
         if engine == "vector":
-            raise ValueError(
+            raise PlanError(
                 "the vector engine is priced at plan level; use plan_cost"
             )
         if shape.statically_empty:

@@ -32,6 +32,7 @@ dependencies over the library itself.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
@@ -137,14 +138,18 @@ class DaemonServer:
         self.collection = collection
         self.max_plan_cost = max_plan_cost
         self._stats_lock = threading.Lock()
-        self._requests: Dict[str, int] = {}
-        self._errors = 0
+        self._requests: Dict[str, int] = {}  #: guarded-by: _stats_lock
+        self._errors = 0  #: guarded-by: _stats_lock
         self._thread: Optional[threading.Thread] = None
         self._http = ThreadingHTTPServer((host, port), _DaemonHandler)
         self._http.daemon_threads = True
         # Back-pointer for the handler (http.server instantiates handlers
         # itself, so state rides on the server object).
         self._http.blas_daemon = self  # type: ignore[attr-defined]
+        if os.environ.get("REPRO_LOCKWATCH"):
+            from repro.analysis.lockwatch import instrument_daemon
+
+            instrument_daemon(self)
 
     # -- lifecycle ---------------------------------------------------------------
 

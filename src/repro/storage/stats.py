@@ -27,6 +27,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.exceptions import StorageError
+
 
 @dataclass
 class AccessStatistics:
@@ -195,7 +197,7 @@ class TableStatistics:
         fan-out plans with.
         """
         if not parts:
-            raise ValueError("cannot merge an empty list of table statistics")
+            raise StorageError("cannot merge an empty list of table statistics")
         merged = cls.__new__(cls)
         merged.row_count = sum(part.row_count for part in parts)
         tag_counts: Dict[str, int] = {}

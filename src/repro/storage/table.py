@@ -143,6 +143,7 @@ class NodeTable:
         self._start_tree: Optional[BPlusTree] = None
         self._data_tree: Optional[BPlusTree] = None
         self._tag_slots_cache: Optional[Dict[str, Tuple[int, int]]] = None
+        #: guarded-by: _stream_lock
         self._stream_cache: "OrderedDict[Tuple, Tuple[List[NodeRecord], int, int]]" = (
             OrderedDict()
         )
@@ -535,7 +536,9 @@ class StorageCatalog:
             raise StorageError("cannot build storage over an empty document index")
         self._indexed: Optional[IndexedDocument] = indexed
         self._partition: Optional[ColumnarPartition] = None
-        self._columns_lock = threading.Lock()
+        # Re-entrant: statistics() builds its memo under the lock and calls
+        # fingerprint(), which takes it again.
+        self._columns_lock = threading.RLock()
         self.scheme = indexed.scheme
         self.schema = indexed.schema
         self._name = str(getattr(indexed, "name", "") or "")
@@ -562,7 +565,7 @@ class StorageCatalog:
         catalog = cls.__new__(cls)
         catalog._indexed = None
         catalog._partition = partition
-        catalog._columns_lock = threading.Lock()
+        catalog._columns_lock = threading.RLock()
         catalog.scheme = partition.scheme
         catalog.schema = partition.schema
         catalog._name = str(partition.name or "")
@@ -585,9 +588,9 @@ class StorageCatalog:
         record-backed catalog packs its SP records into columns on first
         demand and caches the result, seeding the record cache with the
         existing record objects so late materialization hands back the very
-        objects the row engines already share.  Packing is O(records), so —
-        unlike the cheap lazy memos — it is lock-guarded: concurrent
-        fan-out queries pack a shared document once, not once per thread.
+        objects the row engines already share.  Packing is O(records), so
+        it is lock-guarded: concurrent fan-out queries pack a shared
+        document once, not once per thread.
         """
         if self._partition is not None:
             return self._partition.columns
@@ -600,7 +603,7 @@ class StorageCatalog:
                 # clustered on, and SP keys are unique per record, so the
                 # packed slot order is exactly the sp table's slot order.
                 cached.adopt_records(records)
-                self._columns_cache = cached
+                self._columns_cache = cached  #: guarded-by: _columns_lock
             return cached
 
     @property
@@ -626,33 +629,38 @@ class StorageCatalog:
         """Catalog statistics for the planner (built lazily, then cached).
 
         Both layouts hold the same records, so they share one
-        :class:`TableStatistics` instance.
+        :class:`TableStatistics` instance.  The memo is built and read
+        under ``_columns_lock``: a half-published ``CatalogStatistics``
+        must never be observable from a concurrent fan-out thread.
         """
-        cached = getattr(self, "_statistics", None)
-        if cached is None:
-            shared = self.sp.statistics()
-            self.sd._statistics = shared
-            cached = CatalogStatistics(
-                sp=shared,
-                sd=shared,
-                node_count=self.node_count,
-                fingerprint=self.fingerprint(),
-            )
-            self._statistics = cached
-        return cached
+        with self._columns_lock:
+            cached = getattr(self, "_statistics", None)
+            if cached is None:
+                shared = self.sp.statistics()
+                self.sd._statistics = shared
+                cached = CatalogStatistics(
+                    sp=shared,
+                    sd=shared,
+                    node_count=self.node_count,
+                    fingerprint=self.fingerprint(),
+                )
+                self._statistics = cached  #: guarded-by: _columns_lock
+            return cached
 
     def fingerprint(self) -> str:
         """A digest identifying the indexed content (plan-cache key part).
 
         A column-backed catalog is seeded with the fingerprint the store
         reader already verified; the record-backed path digests (a sample
-        of) the SP-ordered records, exactly as the store writer does.
+        of) the SP-ordered records, exactly as the store writer does —
+        under ``_columns_lock``, like every lazy memo on this catalog.
         """
-        cached = getattr(self, "_fingerprint", None)
-        if cached is None:
-            cached = fingerprint_records(self.sp.records, name=self._name)
-            self._fingerprint = cached
-        return cached
+        with self._columns_lock:
+            cached = getattr(self, "_fingerprint", None)
+            if cached is None:
+                cached = fingerprint_records(self.sp.records, name=self._name)
+                self._fingerprint = cached  #: guarded-by: _columns_lock
+            return cached
 
     def table_for(self, source: str) -> NodeTable:
         """Return the table named ``"sp"`` or ``"sd"``."""
@@ -723,8 +731,8 @@ class RemovalTicket:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._released = False
-        self._callbacks: List[Callable[[], None]] = []
+        self._released = False  #: guarded-by: _lock
+        self._callbacks: List[Callable[[], None]] = []  #: guarded-by: _lock
 
     @property
     def deferred(self) -> bool:
@@ -808,23 +816,26 @@ class PartitionedCatalog:
         self._layout = page_layout or PageLayout()
         self._btree_order = btree_order
         self.cache_bytes = cache_bytes
-        self._partitions: Dict[int, StorageCatalog] = {}
-        self._lazy: Dict[int, _LazyPartition] = {}
+        self._partitions: Dict[int, StorageCatalog] = {}  #: guarded-by: _lock
+        self._lazy: Dict[int, _LazyPartition] = {}  #: guarded-by: _lock
         #: Loaders of evictable partitions, retained across evictions so a
         #: demoted partition can always re-fault.
+        #: guarded-by: _lock
         self._sources: Dict[int, _LazyPartition] = {}
         #: doc_id -> accounted heap bytes, in LRU order (oldest first).
+        #: guarded-by: _lock
         self._resident: "OrderedDict[int, int]" = OrderedDict()
-        self._pins: Dict[int, int] = {}
+        self._pins: Dict[int, int] = {}  #: guarded-by: _lock
         #: Removed-but-pinned partitions, kept servable for their pin
         #: holders until the last pin drops (snapshot isolation).
+        #: guarded-by: _lock
         self._deferred: Dict[int, _DeferredPartition] = {}
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._cache_evictions = 0
-        self._peak_cached = 0
-        self._statistics_cache: Dict[Tuple[int, ...], CatalogStatistics] = {}
-        self._fingerprint_cache: Dict[Tuple[int, ...], str] = {}
+        self._cache_hits = 0  #: guarded-by: _lock
+        self._cache_misses = 0  #: guarded-by: _lock
+        self._cache_evictions = 0  #: guarded-by: _lock
+        self._peak_cached = 0  #: guarded-by: _lock
+        self._statistics_cache: Dict[Tuple[int, ...], CatalogStatistics] = {}  #: guarded-by: _lock
+        self._fingerprint_cache: Dict[Tuple[int, ...], str] = {}  #: guarded-by: _lock
         # Concurrent queries share one partition set (the collection's
         # fan-out pool, plus callers issuing queries from their own
         # threads).  Lazy materialization moves membership between _lazy
@@ -834,8 +845,8 @@ class PartitionedCatalog:
         # Loader I/O itself runs *outside* it, under a per-doc_id lock, so
         # independent cold partition loads proceed in parallel.
         self._lock = threading.RLock()
-        self._load_locks: Dict[int, threading.Lock] = {}
-        self._version = 0
+        self._load_locks: Dict[int, threading.Lock] = {}  #: guarded-by: _lock
+        self._version = 0  #: guarded-by: _lock
 
     # -- membership -------------------------------------------------------------
 
@@ -938,7 +949,7 @@ class PartitionedCatalog:
             ticket._release()
         return ticket
 
-    def _invalidate(self) -> None:
+    def _invalidate(self) -> None:  #: holds: _lock
         # Callers hold self._lock.  The version stamp lets the summary
         # caches, which compute outside the lock, discard results that
         # straddled a membership change.
@@ -1019,7 +1030,7 @@ class PartitionedCatalog:
                 victim.release_mapping()
             return catalog
 
-    def _touch(self, doc_id: int, catalog: StorageCatalog) -> None:
+    def _touch(self, doc_id: int, catalog: StorageCatalog) -> None:  #: holds: _lock
         # Callers hold self._lock.  Refresh the accounted size (sections
         # resolve and records materialize between touches) and mark the
         # partition most-recently used.
@@ -1028,7 +1039,7 @@ class PartitionedCatalog:
             self._resident[doc_id] = catalog.resident_bytes() or 0
             self._resident.move_to_end(doc_id)
 
-    def _enforce_budget(self, protect=frozenset()) -> List[StorageCatalog]:
+    def _enforce_budget(self, protect=frozenset()) -> List[StorageCatalog]:  #: holds: _lock
         # Callers hold self._lock.  Demote LRU victims until the accounted
         # total fits the budget; returns the evicted catalogs so callers
         # can release their mappings outside the lock.  Pinned partitions

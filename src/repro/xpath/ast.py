@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Tuple
 
+from repro.exceptions import XPathSyntaxError
+
 
 class Axis(Enum):
     """The two navigation axes of the subset."""
@@ -89,7 +91,7 @@ class LocationPath:
 
     def __post_init__(self) -> None:
         if not self.steps:
-            raise ValueError("a location path needs at least one step")
+            raise XPathSyntaxError("a location path needs at least one step")
 
     @property
     def length(self) -> int:

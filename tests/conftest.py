@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.indexer import index_text
@@ -81,6 +83,30 @@ TINY_SAMPLE = """
   <e>plain</e>
 </a>
 """
+
+
+@pytest.fixture(autouse=True)
+def lockwatch_clean(request):
+    """With ``REPRO_LOCKWATCH=1``, fail any test that trips the race detector.
+
+    Instrumented collections/daemons report lock-order inversions and
+    unguarded writes to the process-wide
+    :data:`repro.analysis.lockwatch.WATCH`; this fixture turns any new
+    report during a test into that test's failure.
+    """
+    if (
+        not os.environ.get("REPRO_LOCKWATCH")
+        # Tests that provoke violations on purpose manage WATCH themselves.
+        or "lockwatch_env" in request.fixturenames
+    ):
+        yield
+        return
+    from repro.analysis.lockwatch import WATCH
+
+    before = WATCH.violations()
+    yield
+    after = WATCH.violations()
+    assert after == before, f"lockwatch reported race(s): {WATCH.report()!r}"
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,31 @@
+"""CA01 fixture: re-implements packed-column scan accounting by hand.
+
+Regression note: before the scan path was unified behind
+``SlotRangeAccess`` / ``access_rows`` / ``packed_selection``, two engines
+each did their own bisect-based slot math and their element/page counts
+drifted apart on the same query.  This fixture is that outlawed second
+implementation: a bisect over the packed column plus hand-maintained
+counters — exactly what the checker must keep unshippable outside
+``storage/``.
+"""
+
+import bisect
+from bisect import bisect_left
+
+
+def rogue_scan(stats, column, low, high):
+    """Hand-rolled slot math with hand-rolled accounting."""
+    start = bisect.bisect_left(column, low)
+    stop = bisect_left(column, high)
+    stats.elements_read += stop - start
+    stats.pages_read = stats.pages_read + 1
+    stats.per_alias_elements.update({"rogue": stop - start})
+    return range(start, stop)
+
+
+def rogue_record(stats, table, tag):
+    """record_scan with hand-computed counts, plus raw slot helpers."""
+    slots = table.tag_slot_list(tag)
+    stats.record_scan(tag, len(slots), len(slots) // 8)
+    stats.record_index_lookup(tag)
+    return slots

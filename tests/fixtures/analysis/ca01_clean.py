@@ -1,0 +1,20 @@
+"""CA01 fixture: the compliant twin of ``ca01_bad.py``.
+
+Scans outside ``storage/`` go through the unified access path and forward
+the access object's own ``.elements``/``.pages`` pair to ``record_scan``
+— no local arithmetic to drift.  A ``record_index_lookup`` is fine in the
+same function as such a forwarding call.
+"""
+
+
+def proper_scan(stats, table, tag, low, high):
+    """The SlotRangeAccess forwarding idiom (the vector engine's shape)."""
+    access = table.access_rows(tag, low, high)
+    stats.record_scan(tag, access.elements, access.pages)
+    stats.record_index_lookup(tag)
+    return access.rows
+
+
+def proper_selection(table, tag, value):
+    """Value selections go through packed_selection, not raw slots."""
+    return table.packed_selection(tag, value)

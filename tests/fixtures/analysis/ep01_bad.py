@@ -1,0 +1,24 @@
+"""EP01 fixture: builtin exceptions escaping toward the public surface.
+
+Regression note: mirrors the ``PlanCache(capacity=0)`` guard, which
+raised a bare ``ValueError`` — the CLI's ``except ReproError`` boundary
+let it through as a traceback instead of a one-line ``error: …``.  The
+fix re-parented it onto ``PlanError``; the dataset builders and the
+statistics merge had the same shape (now ``DatasetError`` /
+``StorageError``).
+"""
+
+
+class Cacheish:
+    """Miniature of the plan cache's constructor guard."""
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+
+
+def build_dataset(name, registry):
+    if name not in registry:
+        raise RuntimeError(f"unknown dataset {name!r}")
+    return registry[name]()

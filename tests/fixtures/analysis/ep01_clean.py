@@ -1,0 +1,31 @@
+"""EP01 fixture: the compliant twin of ``ep01_bad.py``.
+
+Errors bound for the public surface are ``ReproError`` subclasses (the
+CLI maps them to one-line ``error: …`` output); builtin protocol
+exceptions remain legitimate inside the dunder methods that define the
+protocol, and bare re-raises pass through untouched.
+"""
+
+from repro.exceptions import DatasetError, PlanError
+
+
+class Cacheish:
+    """Miniature of the plan cache's constructor guard."""
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise PlanError("capacity must be at least 1")
+        self.capacity = capacity
+
+    def __getitem__(self, key):
+        # Protocol exemption: dunders may speak the container protocol.
+        raise IndexError(key)
+
+
+def build_dataset(name, registry):
+    if name not in registry:
+        raise DatasetError(f"unknown dataset {name!r}")
+    try:
+        return registry[name]()
+    except Exception:
+        raise

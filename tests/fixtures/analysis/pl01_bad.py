@@ -1,0 +1,23 @@
+"""PL01 fixture: partition materialization and buffer views done wrong.
+
+Regression note: with the bounded partition cache (`cache_bytes=`) a
+partition touched outside a ``pinned()`` scope can be evicted between the
+materializing call and the scan over it; and a ``memoryview`` handed out
+of a function that also closes the mapping reads freed pages.  Both
+shapes below must stay unshippable in the fan-out/server layers.
+"""
+
+
+def fan_out_scan(store, doc_id, query):
+    """Broken: materializes the catalog with no pin held."""
+    catalog = store.catalog_for(doc_id)
+    return query.run(catalog)
+
+
+def peek_column(store, doc_id):
+    """Broken: hands out a view over a mapping this function closes."""
+    mapping = store.open_mapping(doc_id)
+    try:
+        return memoryview(mapping.buffer).cast("I")
+    finally:
+        mapping.close()

@@ -1,0 +1,21 @@
+"""PL01 fixture: the compliant twin of ``pl01_bad.py``.
+
+Materialization happens inside ``with store.pinned(doc_id)`` — the pin
+holds the partition resident for the whole scan — and column bytes are
+copied out before the mapping closes instead of escaping as a view.
+"""
+
+
+def fan_out_scan(store, doc_id, query):
+    """Pins the partition for the duration of the scan."""
+    with store.pinned(doc_id) as catalog:
+        return query.run(catalog)
+
+
+def peek_column(store, doc_id):
+    """Copies the bytes out; no view survives the close."""
+    mapping = store.open_mapping(doc_id)
+    try:
+        return bytes(mapping.buffer)
+    finally:
+        mapping.close()

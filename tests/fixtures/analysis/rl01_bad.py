@@ -1,0 +1,33 @@
+"""RL01 fixture: writes a guarded field without holding its lock.
+
+Regression note: mirrors the bug fixed in ``BLASCollection.save`` — the
+tail of the method rebound ``self._partition_paths`` and ``self._persist``
+*outside* ``self._mutation_lock``, so a concurrent ``add_xml`` fanning out
+over the old store could observe a half-switched binding.  The fix wrapped
+the save body in the mutation lock; this fixture preserves the broken
+shape so the checker is pinned to keep catching it.
+"""
+
+import threading
+
+
+class Collectionish:
+    """Miniature of the collection's store-binding state."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._paths = {}  #: guarded-by: _lock
+        self._store = None  #: guarded-by: _lock
+
+    def save(self, store, paths):
+        """Broken: commits the new binding without the lock."""
+        self._paths = paths
+        self._store = store
+
+    def mutate_entry(self, key, value):
+        """Broken: subscript store into a guarded mapping, unlocked."""
+        self._paths[key] = value
+
+    def read_store(self):
+        """Broken: unlocked read of a read/write-guarded field."""
+        return self._store

@@ -1,0 +1,34 @@
+"""RL01 fixture: the compliant twin of ``rl01_bad.py``.
+
+Every touch of a guarded field happens under ``with self._lock`` (or in
+``__init__``, which is allowlisted — the object is not yet shared), and a
+callers-hold-the-lock helper is declared with ``#: holds:``.
+"""
+
+import threading
+
+
+class Collectionish:
+    """Miniature of the collection's store-binding state."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._paths = {}  #: guarded-by: _lock
+        self._store = None  #: guarded-by: _lock
+
+    def save(self, store, paths):
+        """Commits the new binding under the mutation lock."""
+        with self._lock:
+            self._paths = paths
+            self._store = store
+
+    def mutate_entry(self, key, value):
+        with self._lock:
+            self._touch(key, value)
+
+    def _touch(self, key, value):  #: holds: _lock
+        self._paths[key] = value
+
+    def read_store(self):
+        with self._lock:
+            return self._store

@@ -1,0 +1,328 @@
+"""The invariant analyzer suite: fixtures, the live tree, and the CLI.
+
+Three layers of coverage:
+
+* **Fixtures** — each checker has a broken/compliant fixture pair under
+  ``tests/fixtures/analysis/``; the broken ones preserve the shapes of
+  real bugs fixed in this repo (see each fixture's regression note).
+* **The live tree** — ``lint_paths()`` over ``src/repro`` must be clean,
+  and *stay sensitive*: deleting any single ``with self._lock`` that
+  lexically guards a declared field must produce an RL01 finding, and
+  injecting a hand-rolled bisect scan into a non-storage module must
+  produce CA01 findings.
+* **The CLI** — ``repro lint`` exit codes, text/json formats, code
+  selection and the report file.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.analysis import CHECKERS, check_source, lint_paths, resolve_codes
+from repro.analysis.base import SourceModule
+from repro.cli import main
+from repro.exceptions import AnalysisError
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "analysis"
+
+#: Logical (package-relative) paths the fixtures pose as: the path-scoped
+#: checkers (CA01, PL01) only police non-storage / fan-out modules.
+FIXTURE_LOGICAL = {
+    "rl01": "collection/rogue.py",
+    "ca01": "engine/rogue.py",
+    "pl01": "collection/rogue.py",
+    "ep01": "engine/rogue.py",
+}
+
+#: The annotated production files the mutation test sweeps.
+ANNOTATED_FILES = {
+    "src/repro/planner/cache.py": "planner/cache.py",
+    "src/repro/storage/table.py": "storage/table.py",
+    "src/repro/collection/collection.py": "collection/collection.py",
+    "src/repro/server/daemon.py": "server/daemon.py",
+}
+
+REPO = pathlib.Path(__file__).parent.parent
+
+
+def fixture_findings(name: str):
+    path = FIXTURES / f"{name}.py"
+    code = name.split("_")[0]
+    return check_source(
+        path.read_text(), path=str(path), logical=FIXTURE_LOGICAL[code]
+    )
+
+
+# -- fixture pairs ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("checker", ["rl01", "ca01", "pl01", "ep01"])
+def test_bad_fixture_is_flagged(checker):
+    findings = fixture_findings(f"{checker}_bad")
+    assert findings, f"{checker}_bad.py should produce findings"
+    assert {f.code for f in findings} == {checker.upper()}
+
+
+@pytest.mark.parametrize("checker", ["rl01", "ca01", "pl01", "ep01"])
+def test_clean_fixture_is_clean(checker):
+    assert fixture_findings(f"{checker}_clean") == []
+
+
+def test_rl01_fixture_pins_the_save_regression():
+    """The unlocked store-binding writes (the ``save()`` bug) are caught."""
+    messages = [f.message for f in fixture_findings("rl01_bad")]
+    assert any("_paths" in m and "written" in m for m in messages)
+    assert any("_store" in m and "written" in m for m in messages)
+    assert any("_store" in m and "read" in m for m in messages)
+
+
+def test_ca01_fixture_pins_the_drift_regression():
+    """Both bisect import forms and all counter-write shapes are caught."""
+    messages = [f.message for f in fixture_findings("ca01_bad")]
+    assert sum("bisect" in m for m in messages) == 2
+    assert any("elements_read" in m for m in messages)
+    assert any("record_scan" in m for m in messages)
+    assert any("record_index_lookup" in m for m in messages)
+
+
+def test_ep01_fixture_pins_the_capacity_guard_regression():
+    """The bare-``ValueError`` capacity guard (the PlanCache bug) is caught."""
+    findings = fixture_findings("ep01_bad")
+    assert any("ValueError" in f.message for f in findings)
+    assert any("RuntimeError" in f.message for f in findings)
+
+
+# -- the live tree ------------------------------------------------------------------
+
+
+def test_live_tree_is_clean():
+    """The shipped package passes its own invariant analyzers."""
+    report = lint_paths()
+    assert not report.findings
+    assert report.files_checked > 50
+    assert set(report.codes) == set(CHECKERS)
+
+
+def _guarded_with_blocks(module: SourceModule):
+    """(line, lock) for every ``with self.<lock>:`` whose body lexically
+    touches a field declared guarded by that lock in the enclosing class."""
+    blocks = []
+    for cls in module.classes():
+        guarded = module.guarded.get(cls.name, {})
+        if not guarded:
+            continue
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.With):
+                continue
+            locks = set()
+            for item in node.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                ):
+                    locks.add(expr.attr)
+            touched = any(
+                isinstance(inner, ast.Attribute)
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id == "self"
+                and inner.attr in guarded
+                and guarded[inner.attr].lock in locks
+                for statement in node.body
+                for inner in ast.walk(statement)
+            )
+            if touched and locks:
+                blocks.append((node.lineno, locks))
+    return blocks
+
+
+@pytest.mark.parametrize("path", sorted(ANNOTATED_FILES))
+def test_deleting_any_lock_guard_is_caught(path):
+    """Mutation sweep: neutralize each guarding ``with`` one at a time.
+
+    Every ``with self._lock`` block that lexically touches a declared
+    guarded field must, when replaced by ``if True:``, make the lock
+    checker report — this is the acceptance criterion that the analyzer
+    actually protects the annotations it claims to.
+    """
+    logical = ANNOTATED_FILES[path]
+    text = (REPO / path).read_text()
+    module = SourceModule(text, path=path, logical=logical)
+    blocks = _guarded_with_blocks(module)
+    assert blocks, f"{path} should have lock-guarded with-blocks"
+    lines = text.splitlines()
+    for line_no, _locks in blocks:
+        original = lines[line_no - 1]
+        match = re.match(r"^(\s*)with\s", original)
+        if match is None:
+            continue  # multi-line with items; the single-line form covers all locks here
+        mutated = lines[:]
+        mutated[line_no - 1] = f"{match.group(1)}if True:"
+        findings = check_source("\n".join(mutated), path=path, logical=logical)
+        assert any(f.code == "RL01" for f in findings), (
+            f"deleting the lock at {path}:{line_no} went undetected"
+        )
+
+
+def test_injected_bisect_scan_is_caught():
+    """Adding a hand-rolled packed-column bisect to a non-storage module
+    (here: the planner's cost model) makes the tree lint dirty."""
+    path = REPO / "src/repro/planner/cost.py"
+    rogue = (
+        "\n\nimport bisect\n\n"
+        "def rogue_count(stats, column, value):\n"
+        "    stats.elements_read += bisect.bisect_left(column, value)\n"
+    )
+    findings = check_source(
+        path.read_text() + rogue, path=str(path), logical="planner/cost.py"
+    )
+    assert {f.code for f in findings} == {"CA01"}
+    assert len(findings) >= 2  # the import and the counter write
+
+
+# -- annotation layer ---------------------------------------------------------------
+
+
+def test_unbound_guarded_annotation_is_an_error():
+    source = "#: guarded-by: _lock\nx = 1\n"
+    with pytest.raises(AnalysisError, match="does not precede"):
+        check_source(source)
+
+
+def test_guarded_annotation_outside_class_is_an_error():
+    source = "def f(self):\n    self.x = 1  #: guarded-by: _lock\n"
+    with pytest.raises(AnalysisError, match="outside a class"):
+        check_source(source)
+
+
+def test_annotation_text_inside_docstring_is_inert():
+    """Annotation grammar quoted in docstrings must not register."""
+    source = '"""Docs mention #: guarded-by: _lock here."""\nx = 1\n'
+    assert check_source(source) == []
+
+
+def test_suppression_requires_justification():
+    bad = "def f(n):\n    raise ValueError(n)  # lint: ignore[EP01]\n"
+    findings = check_source(bad)
+    assert [f.code for f in findings] == ["EP01"]
+
+    good = (
+        "def f(n):\n"
+        "    raise ValueError(n)  # lint: ignore[EP01] -- fixture exercising raises\n"
+    )
+    assert check_source(good) == []
+
+
+def test_standalone_suppression_covers_next_code_line():
+    source = (
+        "def f(n):\n"
+        "    # lint: ignore[EP01] -- fixture exercising raises\n"
+        "    # (continued explanation)\n"
+        "    raise ValueError(n)\n"
+    )
+    assert check_source(source) == []
+
+
+def test_syntax_error_raises_analysis_error():
+    with pytest.raises(AnalysisError, match="cannot parse"):
+        check_source("def broken(:\n")
+
+
+# -- code selection -----------------------------------------------------------------
+
+
+def test_resolve_codes_select_and_ignore():
+    # Selected codes keep their selection order; ignores filter the rest.
+    assert resolve_codes(["EP01", "RL01"], None) == ("EP01", "RL01")
+    assert resolve_codes(None, ["RL01"]) == ("CA01", "PL01", "EP01")
+    assert resolve_codes(None, None) == tuple(CHECKERS)
+
+
+def test_resolve_codes_rejects_unknown():
+    with pytest.raises(AnalysisError, match="unknown checker code"):
+        resolve_codes(["ZZ99"], None)
+
+
+def test_select_limits_checkers():
+    path = FIXTURES / "ep01_bad.py"
+    text = path.read_text()
+    assert check_source(text, logical="engine/rogue.py", codes=("RL01",)) == []
+    assert check_source(text, logical="engine/rogue.py", codes=("EP01",))
+
+
+# -- the CLI ------------------------------------------------------------------------
+
+
+def test_cli_lint_flags_bad_fixture(capsys):
+    exit_code = main(["lint", str(FIXTURES / "ep01_bad.py")])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "EP01" in out
+    assert out.rstrip().endswith("error: 2 invariant violation(s) found")
+
+
+def test_cli_lint_clean_fixture_exits_zero(capsys):
+    exit_code = main(["lint", str(FIXTURES / "ep01_clean.py")])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "clean" in out
+    assert "error:" not in out
+
+
+def test_cli_lint_default_tree_is_clean(capsys):
+    assert main(["lint"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_lint_json_format(capsys):
+    exit_code = main(["lint", "--format", "json", str(FIXTURES / "ep01_bad.py")])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["version"] == 1
+    assert payload["count"] == 2
+    assert payload["files_checked"] == 1
+    assert {f["code"] for f in payload["findings"]} == {"EP01"}
+    assert all(
+        set(f) == {"path", "line", "code", "message"} for f in payload["findings"]
+    )
+
+
+def test_cli_lint_ignore_silences_code(capsys):
+    exit_code = main(["lint", "--ignore", "EP01", str(FIXTURES / "ep01_bad.py")])
+    assert exit_code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_lint_select_other_code_is_clean(capsys):
+    exit_code = main(["lint", "--select", "RL01", str(FIXTURES / "ep01_bad.py")])
+    assert exit_code == 0
+    capsys.readouterr()
+
+
+def test_cli_lint_unknown_code_is_cli_error(capsys):
+    exit_code = main(["lint", "--select", "ZZ99", str(FIXTURES / "ep01_bad.py")])
+    assert exit_code == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_cli_lint_missing_path_is_cli_error(capsys):
+    exit_code = main(["lint", str(FIXTURES / "does_not_exist.py")])
+    assert exit_code == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_cli_lint_output_writes_report_file(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    exit_code = main([
+        "lint", "--output", str(report_path), str(FIXTURES / "ep01_bad.py")
+    ])
+    capsys.readouterr()
+    assert exit_code == 1
+    payload = json.loads(report_path.read_text())
+    assert payload["count"] == 2

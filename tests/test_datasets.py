@@ -11,6 +11,7 @@ from repro.datasets.shakespeare import PUBLIC_PLACE_TITLE, generate_shakespeare
 from repro.xmlkit.schema import extract_schema
 from repro.xpath.evaluator import evaluate
 from repro.xpath.parser import parse_xpath
+from repro.exceptions import DatasetError
 
 
 def count(document, text):
@@ -18,7 +19,7 @@ def count(document, text):
 
 
 def test_build_dataset_rejects_unknown_names():
-    with pytest.raises(ValueError):
+    with pytest.raises(DatasetError):
         build_dataset("imdb")
 
 
@@ -100,7 +101,7 @@ def test_replicate_scales_query_results_linearly(protein_dataset_document):
 
 
 def test_replicate_rejects_zero(auction_document):
-    with pytest.raises(ValueError):
+    with pytest.raises(DatasetError):
         replicate_document(auction_document, 0)
 
 

@@ -25,6 +25,7 @@ DOCUMENTS = [
     "docs/cli.md",
     "docs/daemon.md",
     "docs/file-format.md",
+    "docs/static-analysis.md",
     "README.md",
 ]
 

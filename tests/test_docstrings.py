@@ -30,6 +30,10 @@ CHECKED_PATHS = [
     "collection/snapshot.py",
     "server/__init__.py",
     "server/daemon.py",
+    "analysis/__init__.py",
+    "analysis/base.py",
+    "analysis/runner.py",
+    "analysis/lockwatch.py",
 ]
 
 

@@ -1,0 +1,261 @@
+"""The dynamic lock-order race detector (``repro.analysis.lockwatch``).
+
+Covers the detector mechanics on private :class:`LockWatch` instances
+(inversion detection, unguarded-write detection, wrapper transparency)
+and the product integration: with ``REPRO_LOCKWATCH=1`` an instrumented
+collection and daemon run the full stats surface — ``cache_stats()``,
+``stats()``, HTTP ``/stats`` — without tripping the detector, and a
+deliberately inverted acquisition order fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.analysis.lockwatch import InstrumentedLock, LockWatch
+from repro.collection import BLASCollection
+from repro.exceptions import AnalysisError
+
+DOC = "<lib><book><title>alpha</title></book></lib>"
+
+
+# -- detector mechanics -------------------------------------------------------------
+
+
+def test_inversion_is_detected():
+    """Acquiring A→B on one thread and B→A on another is an inversion."""
+    watch = LockWatch()
+    a = watch.wrap(threading.Lock(), "A")
+    b = watch.wrap(threading.Lock(), "B")
+
+    with a:
+        with b:
+            pass
+    assert watch.inversions == []
+
+    def inverted():
+        with b:
+            with a:
+                pass
+
+    worker = threading.Thread(target=inverted)
+    worker.start()
+    worker.join()
+
+    assert len(watch.inversions) == 1
+    assert watch.violations() == 1
+    report = watch.report()
+    assert report["inversions"]
+    inversion = report["inversions"][0]
+    assert {inversion["first"], inversion["second"]} == {"A", "B"}
+    assert inversion["stack"] and inversion["reverse_stack"]
+
+
+def test_inversion_reported_once_per_pair():
+    watch = LockWatch()
+    a = watch.wrap(threading.Lock(), "A")
+    b = watch.wrap(threading.Lock(), "B")
+    with a:
+        with b:
+            pass
+    for _ in range(3):
+        with b:
+            with a:
+                pass
+    assert len(watch.inversions) == 1
+
+
+def test_consistent_order_is_clean():
+    watch = LockWatch()
+    a = watch.wrap(threading.Lock(), "A")
+    b = watch.wrap(threading.Lock(), "B")
+    for _ in range(5):
+        with a:
+            with b:
+                pass
+    assert watch.inversions == []
+    assert watch.report()["edges"] == [("A", "B")]
+
+
+def test_reentrant_lock_draws_no_self_edge():
+    watch = LockWatch()
+    lock = watch.wrap(threading.RLock(), "R")
+    with lock:
+        with lock:
+            pass
+    assert watch.report()["edges"] == []
+    assert watch.inversions == []
+
+
+def test_unguarded_write_is_detected():
+    watch = LockWatch()
+
+    class Holder:
+        def __init__(self):
+            self._lock = watch.wrap(threading.Lock(), "Holder._lock")
+            self.count = 0
+
+    holder = Holder()
+    watch.guard_fields(holder, ("count",), holder._lock)
+
+    with holder._lock:
+        holder.count += 1  # guarded write: clean
+    assert watch.unguarded_writes == []
+
+    holder.count += 1  # unguarded write: reported
+    assert len(watch.unguarded_writes) == 1
+    assert watch.unguarded_writes[0]["field"] == "count"
+    assert watch.violations() == 1
+    # The write still happened — the detector observes, never blocks.
+    assert holder.count == 2
+
+
+def test_unguarded_write_reported_once_per_field():
+    watch = LockWatch()
+
+    class Holder:
+        def __init__(self):
+            self._lock = watch.wrap(threading.Lock(), "Holder._lock")
+            self.count = 0
+
+    holder = Holder()
+    watch.guard_fields(holder, ("count",), holder._lock)
+    for _ in range(4):
+        holder.count += 1
+    assert len(watch.unguarded_writes) == 1
+
+
+def test_guard_fields_requires_instrumented_lock():
+    watch = LockWatch()
+    with pytest.raises(AnalysisError):
+        watch.guard_fields(object(), ("x",), threading.Lock())
+
+
+def test_wrapper_preserves_lock_surface():
+    watch = LockWatch()
+    inner = threading.RLock()
+    lock = watch.wrap(inner, "L")
+    assert isinstance(lock, InstrumentedLock)
+    assert repr(lock) == repr(inner)
+    assert lock.acquire(timeout=1)
+    assert lock.held_by_current_thread()
+    lock.release()
+    assert not lock.held_by_current_thread()
+    with lock:
+        assert lock.held_by_current_thread()
+    # Wrapping an already-wrapped lock is the identity.
+    assert watch.wrap(lock, "L") is lock
+
+
+def test_clear_resets_the_watch():
+    watch = LockWatch()
+    a = watch.wrap(threading.Lock(), "A")
+    with a:
+        pass
+    assert watch.acquisitions == 1
+    watch.clear()
+    assert watch.acquisitions == 0
+    assert watch.report()["edges"] == []
+
+
+# -- product integration ------------------------------------------------------------
+
+
+@pytest.fixture
+def lockwatch_env(monkeypatch):
+    """Enable lockwatch and isolate the process-global WATCH state."""
+    from repro.analysis.lockwatch import WATCH
+
+    monkeypatch.setenv("REPRO_LOCKWATCH", "1")
+    WATCH.clear()
+    yield WATCH
+    WATCH.clear()
+
+
+def test_instrumented_collection_stats_are_clean(lockwatch_env):
+    """The ride-along fix: the full stats surface works while every lock
+    is wrapped, and a query workload draws no inversion reports."""
+    collection = BLASCollection()
+    collection.add_xml(DOC, name="a")
+    collection.add_xml(DOC.replace("alpha", "beta"), name="b")
+    assert type(collection._mutation_lock).__name__ == "InstrumentedLock"
+
+    collection.query("/lib/book/title")
+    stats = collection.stats()
+    assert stats["documents"] == 2
+    assert "partition_cache" in stats
+    assert "plan_cache" in stats
+    cache_stats = collection.store.cache_stats()
+    assert {"hits", "misses", "evictions", "cached_partitions"} <= set(cache_stats)
+
+    assert lockwatch_env.violations() == 0
+    assert lockwatch_env.acquisitions > 0
+
+
+def test_instrumented_collection_save_open_clean(lockwatch_env, tmp_path):
+    collection = BLASCollection()
+    collection.add_xml(DOC, name="a")
+    collection.save(str(tmp_path / "store"))
+    reopened = BLASCollection.open(str(tmp_path / "store"))
+    reopened.query("/lib/book/title")
+    assert reopened.stats()["documents"] == 1
+    assert lockwatch_env.violations() == 0
+
+
+def test_instrumented_daemon_stats_endpoint_clean(lockwatch_env, tmp_path):
+    from repro.server import DaemonServer
+
+    collection = BLASCollection()
+    collection.add_xml(DOC, name="a")
+    collection.save(str(tmp_path / "store"))
+    server = DaemonServer(BLASCollection.open(str(tmp_path / "store")))
+    server.start()
+    try:
+        base = f"http://127.0.0.1:{server.port}"
+        # Counters commit after the response is written, so the second
+        # request observes the first.
+        for _ in range(2):
+            with urllib.request.urlopen(f"{base}/stats", timeout=10) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        assert payload["server"]["requests"]["stats"] >= 1
+        assert "plan_cache" in payload["collection"]
+    finally:
+        server.stop()
+    assert lockwatch_env.violations() == 0
+
+
+def test_deliberate_inversion_fails_loudly(lockwatch_env):
+    """The acceptance probe: an artificial mutation-lock/catalog-lock
+    inversion must surface as a reported violation."""
+    collection = BLASCollection()
+    collection.add_xml(DOC, name="a")
+    mutation = collection._mutation_lock
+    catalog = collection.store._lock
+
+    # The product's order (established by add/query paths):
+    with mutation:
+        with catalog:
+            pass
+    baseline = lockwatch_env.violations()
+
+    def inverted():
+        with catalog:
+            with mutation:
+                pass
+
+    worker = threading.Thread(target=inverted)
+    worker.start()
+    worker.join()
+
+    assert lockwatch_env.violations() == baseline + 1
+    locks = {
+        name
+        for inversion in lockwatch_env.inversions
+        for name in (inversion["first"], inversion["second"])
+    }
+    assert "BLASCollection._mutation_lock" in locks
+    assert "PartitionedCatalog._lock" in locks

@@ -7,6 +7,7 @@ import pytest
 from repro.planner.cache import PlanCache, plan_key
 from repro.system import BLAS
 from tests.conftest import PROTEIN_SAMPLE
+from repro.exceptions import PlanError
 
 
 # -- the cache itself ---------------------------------------------------------------
@@ -60,7 +61,7 @@ def test_explain_surfaces_plan_cache_stats(protein_system):
 
 
 def test_capacity_must_be_positive():
-    with pytest.raises(ValueError):
+    with pytest.raises(PlanError):
         PlanCache(capacity=0)
 
 

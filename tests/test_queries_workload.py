@@ -19,6 +19,7 @@ from repro.datasets.queries import (
 from repro.xpath.ast import Axis
 from repro.xpath.parser import parse_xpath
 from repro.xpath.query_tree import build_query_tree
+from repro.exceptions import DatasetError
 
 
 def test_each_dataset_has_three_queries():
@@ -49,7 +50,7 @@ def test_query_type_3_is_a_tree_query():
 
 
 def test_queries_for_dataset_rejects_unknown_names():
-    with pytest.raises(ValueError):
+    with pytest.raises(DatasetError):
         queries_for_dataset("wikipedia")
 
 

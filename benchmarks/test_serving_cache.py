@@ -1,0 +1,301 @@
+"""Serving-path benchmark: result cache, single-flight and morsel warm-up.
+
+Three phases over one daemon plus a cold-store phase:
+
+* **Repeat-query throughput** — the same ``/query`` over HTTP with the
+  result cache on versus per-request ``no_result_cache=1``.  Cached
+  serving must be at least ``QPS_FLOOR``x faster and byte-identical to
+  the uncached answer (modulo the leader's ``elapsed_ms``, which the
+  cache replays verbatim).
+* **Thundering herd** — 8 identical concurrent requests against a fresh
+  version must move ``query_executions`` by exactly 1 (single-flight
+  leaders absorb the herd; late arrivals hit the result cache — either
+  way only one execution happens).
+* **Write churn** — interleaved ``/add``/``/remove`` commits under
+  concurrent readers; every response must match the single-threaded
+  library answer at the version it reports and ``stale_served`` must
+  end at 0.
+* **Cold morsel warm-up** — a scan-heavy query over a cold sharded
+  store, morsel-parallel at 4 workers versus serial.  Byte-identity is
+  asserted unconditionally; the ``MORSEL_FLOOR``x wall-clock assertion
+  only runs on multi-core hosts (on one CPU no thread-level speedup is
+  physically possible — the timings are still recorded).
+
+With ``SERVING_CACHE_JSON`` set, all measurements are written there (CI
+uploads the file as the ``serving-cache-timings.json`` artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.collection import BLASCollection
+from repro.server import DaemonServer
+
+QUERY = "//book/title"
+#: The repeat-phase query: the value predicate makes each uncached
+#: execution scan-heavy, so the measured ratio is execution saved, not
+#: HTTP overhead noise.
+REPEAT_QUERY = '//book[year="1950"]/title'
+#: Asserted floor: cached QPS over uncached QPS on the repeat workload.
+QPS_FLOOR = 5.0
+#: Asserted floor (multi-core hosts only): serial cold time over
+#: morsel-parallel cold time at 4 workers.
+MORSEL_FLOOR = 1.5
+REPEAT_REQUESTS = 15
+HERD = 8
+CHURN_COMMITS = 40
+CHURN = "<lib><book><title>churn</title></book></lib>"
+
+
+def _doc(i: int, books: int) -> str:
+    return "<lib>" + "".join(
+        f"<book><title>t{i}-{n}</title><year>{1900 + n % 120}</year></book>"
+        for n in range(books)
+    ) + "</lib>"
+
+
+def _payload_key(payload):
+    """Byte-identity key of a /query response, elapsed_ms excluded."""
+    return (
+        payload["version"],
+        payload["count"],
+        payload["elements_read"],
+        tuple(
+            (r["doc_id"], r["tag"], r["start"], r["level"], r["data"])
+            for r in payload["records"]
+        ),
+    )
+
+
+def _result_key(result):
+    """The same identity key from a library result (version-less)."""
+    return (
+        result.count,
+        result.stats.elements_read,
+        tuple((r.doc_id, r.tag, r.start, r.level, r.data) for r in result.records),
+    )
+
+
+def _fetch(url):
+    with urllib.request.urlopen(url, timeout=60) as response:
+        assert response.status == 200
+        return response.read()
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert response.status == 200
+        return json.loads(response.read().decode("utf-8"))
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serving-cache")
+    store = str(root / "store")
+    seed = BLASCollection()
+    for i in range(6):
+        seed.add_xml(_doc(i, books=4000), name=f"doc{i}")
+    seed.save(store)
+    collection = BLASCollection.open(store)
+    server = DaemonServer(collection)
+    server.start()
+    rows = {"cpu_count": os.cpu_count()}
+    base = server.url + "/query?q=" + urllib.parse.quote(QUERY) + "&serial=1&count=1"
+
+    # -- phase 1: repeated-query throughput, cached vs uncached ----------
+    repeat_url = (
+        server.url + "/query?q=" + urllib.parse.quote(REPEAT_QUERY)
+        + "&serial=1&count=1"
+    )
+    uncached_url = repeat_url + "&no_result_cache=1"
+    _fetch(uncached_url)  # warm partitions/plans so both sides pay only serving
+    started = time.perf_counter()
+    uncached_bodies = [_fetch(uncached_url) for _ in range(REPEAT_REQUESTS)]
+    uncached_seconds = time.perf_counter() - started
+    leader_body = _fetch(repeat_url)  # populates the cache
+    started = time.perf_counter()
+    cached_bodies = [_fetch(repeat_url) for _ in range(REPEAT_REQUESTS)]
+    cached_seconds = time.perf_counter() - started
+    rows["repeat"] = {
+        "requests": REPEAT_REQUESTS,
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "uncached_qps": REPEAT_REQUESTS / uncached_seconds,
+        "cached_qps": REPEAT_REQUESTS / cached_seconds,
+        "qps_ratio": uncached_seconds / cached_seconds,
+        "cached_byte_identical": all(body == leader_body for body in cached_bodies),
+        "semantically_identical": all(
+            _payload_key(json.loads(body)) == _payload_key(json.loads(leader_body))
+            for body in uncached_bodies
+        ),
+    }
+
+    # -- phase 2: thundering herd on a fresh version ---------------------
+    _post(server.url + "/add", {"xml": CHURN, "name": "herd-doc"})
+    executions_before = server.server_stats()["query_executions"]
+    barrier = threading.Barrier(HERD)
+    herd_bodies = [None] * HERD
+
+    def stampede(slot):
+        barrier.wait(timeout=60)
+        herd_bodies[slot] = _fetch(base)
+
+    threads = [threading.Thread(target=stampede, args=(slot,)) for slot in range(HERD)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    stats = server.server_stats()
+    rows["herd"] = {
+        "requests": HERD,
+        "executions": stats["query_executions"] - executions_before,
+        "coalesced_followers": stats["coalesced_followers"],
+        "follower_fallbacks": stats["follower_fallbacks"],
+        "identical_bodies": len({body for body in herd_bodies}) == 1,
+    }
+    _post(server.url + "/remove", {"ref": "herd-doc"})
+
+    # -- phase 3: write churn under concurrent readers -------------------
+    expected = {collection.version: _result_key(collection.query(QUERY, parallel=False))}
+    expected_lock = threading.Lock()
+    writer_done = threading.Event()
+    observations = []
+    failures = []
+
+    def writer():
+        try:
+            for commit in range(1, CHURN_COMMITS + 1):
+                if commit % 2 == 1:
+                    collection.add_xml(CHURN, name=f"churn{commit}")
+                else:
+                    collection.remove(f"churn{commit - 1}")
+                with expected_lock:
+                    expected[collection.version] = _result_key(
+                        collection.query(QUERY, parallel=False)
+                    )
+        except Exception as error:  # pragma: no cover - surfaced in asserts
+            failures.append(repr(error))
+        finally:
+            writer_done.set()
+
+    def reader():
+        local = []
+        try:
+            while not writer_done.is_set() or len(local) < 10:
+                payload = json.loads(_fetch(base))
+                local.append((payload["version"], payload["count"],
+                              payload["elements_read"]))
+        except Exception as error:  # pragma: no cover - surfaced in asserts
+            failures.append(repr(error))
+        observations.extend(local)
+
+    churn_threads = [threading.Thread(target=reader) for _ in range(3)]
+    churn_threads.append(threading.Thread(target=writer))
+    for thread in churn_threads:
+        thread.start()
+    for thread in churn_threads:
+        thread.join(timeout=300)
+    mismatches = [
+        observed for observed in observations
+        if (observed[1], observed[2]) != expected[observed[0]][:2]
+    ]
+    cache_stats = collection.result_cache.cache_stats()
+    rows["churn"] = {
+        "requests": len(observations),
+        "failures": failures[:5],
+        "versions_observed": len({version for version, _, _ in observations}),
+        "mismatches": mismatches[:5],
+        "stale_served": cache_stats["stale_served"],
+        "version_evictions": cache_stats["version_evictions"],
+    }
+    server.stop()
+
+    # -- phase 4: cold morsel warm-up over a sharded store ---------------
+    cold_store = str(root / "cold")
+    cold_seed = BLASCollection()
+    for i in range(8):
+        cold_seed.add_xml(_doc(i, books=1200), name=f"cold{i}")
+    cold_seed.save(cold_store, shards=4)
+
+    def cold_run(**kwargs):
+        fresh = BLASCollection.open(cold_store)
+        started = time.perf_counter()
+        result = fresh.query(QUERY, **kwargs)
+        return time.perf_counter() - started, _result_key(result)
+
+    serial_runs = [cold_run(parallel=False) for _ in range(3)]
+    morsel_runs = [cold_run(parallel=True, workers=4) for _ in range(3)]
+    serial_seconds = min(seconds for seconds, _ in serial_runs)
+    morsel_seconds = min(seconds for seconds, _ in morsel_runs)
+    rows["morsel"] = {
+        "serial_seconds_min": serial_seconds,
+        "morsel_seconds_min": morsel_seconds,
+        "speedup": serial_seconds / morsel_seconds,
+        "byte_identical": len(
+            {key for _, key in serial_runs} | {key for _, key in morsel_runs}
+        ) == 1,
+    }
+
+    target = os.environ.get("SERVING_CACHE_JSON")
+    if target:
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, sort_keys=True)
+    return rows
+
+
+def test_cached_serving_beats_uncached_by_5x(report):
+    repeat = report["repeat"]
+    assert repeat["qps_ratio"] >= QPS_FLOOR, (
+        f"cached {repeat['cached_qps']:.0f} qps vs uncached "
+        f"{repeat['uncached_qps']:.0f} qps is only {repeat['qps_ratio']:.1f}x"
+    )
+
+
+def test_cached_answers_are_byte_identical(report):
+    assert report["repeat"]["cached_byte_identical"]
+    assert report["repeat"]["semantically_identical"]
+
+
+def test_thundering_herd_executes_exactly_once(report):
+    herd = report["herd"]
+    assert herd["executions"] == 1, herd
+    assert herd["identical_bodies"]
+    assert herd["follower_fallbacks"] == 0
+
+
+def test_churn_serves_no_stale_answer(report):
+    churn = report["churn"]
+    assert churn["failures"] == []
+    assert churn["mismatches"] == [], churn["mismatches"]
+    assert churn["stale_served"] == 0
+    # Readers really observed the store moving underneath them.
+    assert churn["versions_observed"] >= 2
+
+
+def test_morsel_parallel_is_byte_identical(report):
+    assert report["morsel"]["byte_identical"]
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="thread-level speedup needs more than one CPU",
+)
+def test_morsel_parallel_speeds_up_cold_scans(report):
+    morsel = report["morsel"]
+    assert morsel["speedup"] >= MORSEL_FLOOR, (
+        f"cold serial {morsel['serial_seconds_min'] * 1000:.0f}ms vs morsel "
+        f"{morsel['morsel_seconds_min'] * 1000:.0f}ms is only "
+        f"{morsel['speedup']:.2f}x"
+    )

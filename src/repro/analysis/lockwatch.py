@@ -257,9 +257,10 @@ WATCH = LockWatch()
 def instrument_collection(collection, watch: Optional[LockWatch] = None) -> LockWatch:
     """Wrap a collection's locks and guard its declared fields.
 
-    Covers the three locks the daemon's correctness argument rests on:
+    Covers the four locks the daemon's correctness argument rests on:
     ``BLASCollection._mutation_lock``, the shared catalog's
-    ``PartitionedCatalog._lock`` and ``PlanCache._lock``.
+    ``PartitionedCatalog._lock``, ``PlanCache._lock`` and
+    ``ResultCache._lock``.
     """
     watch = watch or WATCH
     collection._mutation_lock = watch.wrap(
@@ -269,6 +270,8 @@ def instrument_collection(collection, watch: Optional[LockWatch] = None) -> Lock
     store._lock = watch.wrap(store._lock, "PartitionedCatalog._lock")
     cache = collection.plan_cache
     cache._lock = watch.wrap(cache._lock, "PlanCache._lock")
+    results = collection.result_cache
+    results._lock = watch.wrap(results._lock, "ResultCache._lock")
     watch.guard_fields(
         collection,
         ("_documents", "_groups", "_next_doc_id", "_version",
@@ -286,12 +289,25 @@ def instrument_collection(collection, watch: Optional[LockWatch] = None) -> Lock
          "_peak_cached", "_version"),
         store._lock,
     )
+    watch.guard_fields(
+        results,
+        ("hits", "misses", "evictions", "version_evictions", "stale_served",
+         "puts", "oversize_rejections", "cached_bytes", "peak_cached_bytes"),
+        results._lock,
+    )
     return watch
 
 
 def instrument_daemon(server, watch: Optional[LockWatch] = None) -> LockWatch:
-    """Wrap a daemon's stats lock and guard its request/error counters."""
+    """Wrap a daemon's stats/flight locks and guard its counters."""
     watch = watch or WATCH
     server._stats_lock = watch.wrap(server._stats_lock, "DaemonServer._stats_lock")
-    watch.guard_fields(server, ("_requests", "_errors"), server._stats_lock)
+    server._flight_lock = watch.wrap(server._flight_lock, "DaemonServer._flight_lock")
+    watch.guard_fields(
+        server,
+        ("_requests", "_errors", "_coalesced_leaders", "_coalesced_followers",
+         "_follower_fallbacks", "_query_executions"),
+        server._stats_lock,
+    )
+    watch.guard_fields(server, ("_flights",), server._flight_lock)
     return watch

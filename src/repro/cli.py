@@ -195,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound plan-selection latency per scheme group: 0 always "
              "forces the greedy plan (default: unbounded)",
     )
+    c_query.add_argument(
+        "--no-result-cache", action="store_true",
+        help="open the collection with the serialized-result cache "
+             "disabled (one-shot queries never consult it; this keeps "
+             "stats output free of an idle cache line)",
+    )
 
     c_explain = collection_sub.add_parser("explain", help="show the per-scheme-group plans for a query")
     c_explain.add_argument("directory", help="the collection directory")
@@ -233,6 +239,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-plan-cost", type=float, default=None, metavar="ELEMENTS",
         help="reject queries whose estimated plan cost exceeds this many "
              "visited elements (HTTP 422) before executing anything",
+    )
+    serve.add_argument(
+        "--plan-budget-ms", type=float, default=None, metavar="MS",
+        help="default plan-selection latency bound applied to /query and "
+             "/explain requests that don't pass their own plan_budget_ms",
+    )
+    serve.add_argument(
+        "--result-cache-bytes", type=int, default=None, metavar="BYTES",
+        help="bound the version-keyed /query result cache to this many "
+             "cached response bytes (default 64 MiB)",
+    )
+    serve.add_argument(
+        "--no-result-cache", action="store_true",
+        help="disable the /query result cache entirely",
     )
 
     experiment = subparsers.add_parser(
@@ -363,7 +383,9 @@ def _collection_files(directory: str) -> List[str]:
 
 
 def _load_collection(
-    directory: str, cache_bytes: Optional[int] = None
+    directory: str,
+    cache_bytes: Optional[int] = None,
+    result_cache_bytes: Optional[int] = None,
 ) -> BLASCollection:
     """Open a persistent store, or stream-ingest a directory of XML files.
 
@@ -372,13 +394,19 @@ def _load_collection(
     budget.  Anything else is treated as a plain directory whose ``*.xml``
     members are indexed from scratch (the budget does not apply: only
     store-backed partitions can be re-faulted after eviction).
+    ``result_cache_bytes`` bounds the serialized-response result cache
+    (``0`` disables it; ``None`` keeps the default budget).
     """
     if CollectionStore.is_store(directory):
-        return BLASCollection.open(directory, cache_bytes=cache_bytes)
+        return BLASCollection.open(
+            directory,
+            cache_bytes=cache_bytes,
+            result_cache_bytes=result_cache_bytes,
+        )
     files = _collection_files(directory)
     if not files:
         raise ReproError(f"no *.xml documents in {directory!r}")
-    collection = BLASCollection()
+    collection = BLASCollection(result_cache_bytes=result_cache_bytes)
     for path in files:
         collection.add_file(path, name=os.path.basename(path))
     return collection
@@ -503,7 +531,9 @@ def _run_collection(args: argparse.Namespace) -> int:
         return 0
 
     collection = _load_collection(
-        args.directory, cache_bytes=getattr(args, "cache_bytes", None)
+        args.directory,
+        cache_bytes=getattr(args, "cache_bytes", None),
+        result_cache_bytes=0 if getattr(args, "no_result_cache", False) else None,
     )
     if command == "list":
         rows = [
@@ -579,6 +609,7 @@ def _run_collection(args: argparse.Namespace) -> int:
           f"{cache['hits']} hit(s), {cache['misses']} miss(es), "
           f"{cache['evictions']} eviction(s)")
     print(collection.plan_cache.describe())
+    print(collection.result_cache.describe())
     return 0
 
 
@@ -592,13 +623,19 @@ def _run_serve(args: argparse.Namespace) -> int:
     """
     from repro.server import DaemonServer  # stdlib http.server, loaded on use
 
-    collection = _load_collection(args.store, cache_bytes=args.cache_bytes)
+    result_cache_bytes = 0 if args.no_result_cache else args.result_cache_bytes
+    collection = _load_collection(
+        args.store,
+        cache_bytes=args.cache_bytes,
+        result_cache_bytes=result_cache_bytes,
+    )
     collection.workers = args.workers
     server = DaemonServer(
         collection,
         host=args.host,
         port=args.port,
         max_plan_cost=args.max_plan_cost,
+        plan_budget_ms=args.plan_budget_ms,
     )
     print(
         f"serving {args.store} on {server.url} "

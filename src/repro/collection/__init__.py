@@ -14,8 +14,14 @@ from repro.collection.collection import (
     CollectionDocument,
     SchemeGroup,
 )
-from repro.collection.fanout import default_workers, merge_document_streams, run_jobs
+from repro.collection.fanout import (
+    default_workers,
+    merge_document_streams,
+    run_jobs,
+    run_morsel_warmup,
+)
 from repro.collection.result import CollectionResult, DocumentResult
+from repro.collection.result_cache import ResultCache, result_key
 from repro.collection.snapshot import CollectionSnapshot, SnapshotGroup
 
 __all__ = [
@@ -24,9 +30,12 @@ __all__ = [
     "CollectionResult",
     "CollectionSnapshot",
     "DocumentResult",
+    "ResultCache",
     "SchemeGroup",
     "SnapshotGroup",
     "default_workers",
     "merge_document_streams",
+    "result_key",
     "run_jobs",
+    "run_morsel_warmup",
 ]

@@ -38,8 +38,14 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.collection.fanout import default_workers, merge_document_streams, run_jobs
+from repro.collection.fanout import (
+    default_workers,
+    merge_document_streams,
+    run_jobs,
+    run_morsel_warmup,
+)
 from repro.collection.result import CollectionResult, DocumentResult
+from repro.collection.result_cache import DEFAULT_RESULT_CACHE_BYTES, ResultCache
 from repro.collection.snapshot import CollectionSnapshot
 from repro.core.indexer import (
     IndexedDocument,
@@ -269,6 +275,11 @@ class BLASCollection:
         stay under the budget no matter how large the corpus is.  Queries
         pin the partitions they are executing on, so eviction never
         invalidates a running query.
+    result_cache_bytes:
+        Byte budget of the version-keyed serialized-result cache the
+        daemon serves repeated queries from (``None`` = the 64 MiB
+        default, ``0`` disables it).  Pure library queries never consult
+        it; it costs nothing until a daemon populates it.
 
     Notes
     -----
@@ -283,9 +294,15 @@ class BLASCollection:
         plan_cache_size: int = 128,
         workers: int = 0,
         cache_bytes: Optional[int] = None,
+        result_cache_bytes: Optional[int] = None,
     ):
         self.store = PartitionedCatalog(cache_bytes=cache_bytes)
         self.plan_cache = PlanCache(capacity=plan_cache_size)
+        self.result_cache = ResultCache(
+            DEFAULT_RESULT_CACHE_BYTES
+            if result_cache_bytes is None
+            else result_cache_bytes
+        )
         #: Default worker count for parallel fan-out; 0 means auto-size.
         self.workers = workers
         # Membership state is written under _mutation_lock only (the
@@ -368,7 +385,10 @@ class BLASCollection:
         dict
             ``documents``, ``nodes``, ``scheme_groups``, ``plan_cache``
             counters, ``partition_cache`` (bounded-cache byte accounting
-            and hit/miss/eviction counters), plus ``store`` (bound store
+            and hit/miss/eviction counters), ``result_cache`` (the
+            daemon's serialized-answer cache: byte accounting,
+            hit/miss/eviction and stale-served counters), plus ``store``
+            (bound store
             path or ``None``), ``loaded_documents`` (how many partitions
             are resident — less than ``documents`` right after a lazy
             :meth:`open`, or under cache pressure) and, on a store-bound
@@ -383,6 +403,7 @@ class BLASCollection:
             "scheme_groups": len(self.scheme_groups()),
             "plan_cache": self.plan_cache.stats(),
             "partition_cache": self.store.cache_stats(),
+            "result_cache": self.result_cache.cache_stats(),
             "store": self.store_path,
             "loaded_documents": sum(
                 1 for doc_id in self._documents if self.store.is_loaded(doc_id)
@@ -705,6 +726,7 @@ class BLASCollection:
         plan_cache_size: int = 128,
         workers: int = 0,
         cache_bytes: Optional[int] = None,
+        result_cache_bytes: Optional[int] = None,
     ) -> "BLASCollection":
         """Open a saved collection store — in O(manifest), not O(corpus).
 
@@ -729,6 +751,9 @@ class BLASCollection:
             larger than RAM streams through the cache: partitions fault in
             on first touch and evict in LRU order, answers stay
             byte-identical to an unbounded open.
+        result_cache_bytes:
+            Byte budget of the serialized-result cache (``None`` = the
+            64 MiB default, ``0`` disables it), as in the constructor.
 
         Returns
         -------
@@ -745,7 +770,10 @@ class BLASCollection:
         store = CollectionStore(path)
         manifest = store.read_manifest()
         collection = cls(
-            plan_cache_size=plan_cache_size, workers=workers, cache_bytes=cache_bytes
+            plan_cache_size=plan_cache_size,
+            workers=workers,
+            cache_bytes=cache_bytes,
+            result_cache_bytes=result_cache_bytes,
         )
         # The new collection is not yet visible to other threads, but its
         # membership fields are declared lock-guarded, so the rebuild takes
@@ -888,6 +916,7 @@ class BLASCollection:
         limit: Optional[int] = None,
         count_only: bool = False,
         plan_budget_ms: Optional[float] = None,
+        morsel: bool = True,
     ) -> CollectionResult:
         """Answer an XPath query over every document of the collection.
 
@@ -919,6 +948,11 @@ class BLASCollection:
             Plan-selection latency bound in milliseconds, applied to every
             scheme group's planning (``0`` always forces the greedy plan;
             ``None`` enumerates exhaustively).
+        morsel:
+            Warm cold partitions with morsel-style per-section parallelism
+            before planning and fan-out (default on; purely a latency
+            lever — answers and counters are byte-identical either way).
+            Only applies when ``parallel`` and ``workers > 1``.
 
         Returns
         -------
@@ -940,6 +974,20 @@ class BLASCollection:
                 workers=0,
             )
         started = time.perf_counter()
+        if workers < 1:
+            workers = self.workers or default_workers(len(self._documents))
+        # Morsel warm-up runs *before* planning: on a cold store the serial
+        # bottleneck is faulting partitions in and building the per-partition
+        # statistics planning consumes, so that work is sliced into
+        # pin-aware per-section tasks and spread over the pool first.  The
+        # explicit sqlite engine gets no warm-up (it reads records, not
+        # packed columns).
+        if morsel and parallel and workers > 1 and engine != "sqlite":
+            cold = self.store.cold_doc_ids(self.doc_ids())
+            if cold:
+                run_morsel_warmup(
+                    self.store, cold, workers=workers, include_data=not count_only
+                )
         plans: Dict[int, PlannedQuery] = {
             group.group_id: self._plan_group(
                 group, tree, text, translator, engine, plan_budget_ms
@@ -958,8 +1006,6 @@ class BLASCollection:
         # SQLite connections are bound to their creating thread, so the
         # explicit sqlite engine always fans out serially.
         sqlite_involved = any(planned.engine == "sqlite" for planned in plans.values())
-        if workers < 1:
-            workers = self.workers or default_workers(len(jobs))
         use_parallel = parallel and not sqlite_involved and len(jobs) > 1 and workers > 1
         outputs = run_jobs(jobs, parallel=use_parallel, workers=workers)
         elapsed = time.perf_counter() - started

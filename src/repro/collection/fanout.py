@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.core.indexer import NodeRecord
 from repro.collection.result import DocumentResult
+from repro.exceptions import ReproError
 
 T = TypeVar("T")
 
@@ -58,6 +59,65 @@ def run_jobs(
     with ThreadPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(job) for job in jobs]
         return [future.result() for future in futures]
+
+
+def run_morsel_warmup(
+    store,
+    doc_ids: Sequence[int],
+    workers: int = 0,
+    include_data: bool = True,
+    parallel: bool = True,
+) -> int:
+    """Warm cold partitions with morsel-style intra-query parallelism.
+
+    The per-document fan-out above parallelises *execution*, but a cold
+    query's wall clock is dominated by what comes first: faulting each
+    partition in, inflating its packed column sections and building the
+    per-partition statistics planning consumes — all serial on the calling
+    thread without this.  This driver splits that work two levels deep on
+    one shared pool:
+
+    1. **Slicing** (one task per document): pin, fault the partition in and
+       ask it for its unresolved-section morsels
+       (:meth:`repro.storage.table.PartitionedCatalog.prefetch_morsels`).
+       Independent partition loads already run under per-document locks,
+       so cold loads overlap here.
+    2. **Morsels** (one task per (partition, section), plus one statistics
+       task per partition): resolve one packed column section each.  The
+       underlying work — file reads, zlib inflation, checksums — releases
+       the GIL, so the morsels parallelise for real on CPython.
+
+    Warm-up is *purely a latency lever*: every task is an idempotent
+    resolve of state the query would fault in anyway, visited-element
+    counters are recorded only during execution, and a task losing a race
+    with a concurrent ``remove`` simply gives up (the error is the
+    executing query's to report, not the warm-up's).  Returns the number
+    of morsels run (0 when warm-up was skipped).
+    """
+    doc_ids = list(doc_ids)
+    if not parallel or not doc_ids:
+        return 0
+    if workers < 1:
+        workers = default_workers(max(len(doc_ids), 2))
+
+    def slice_one(doc_id: int) -> List[Callable[[], None]]:
+        try:
+            return store.prefetch_morsels(doc_id, include_data=include_data)
+        except ReproError:
+            return []
+
+    def run_one(task: Callable[[], None]) -> None:
+        try:
+            task()
+        except ReproError:
+            pass
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        sliced = list(pool.map(slice_one, doc_ids))
+        morsels = [task for tasks in sliced for task in tasks]
+        for _ in pool.map(run_one, morsels):
+            pass
+    return len(morsels)
 
 
 def merge_document_streams(

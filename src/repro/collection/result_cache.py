@@ -1,0 +1,273 @@
+"""The version-keyed result cache behind the daemon's ``/query`` fast path.
+
+The MVCC substrate makes cached answers trivially safe: membership is
+identified by the collection's commit ``version`` (the manifest
+``generation``) plus its content fingerprint (the scheme-group partition
+fingerprints folded together), and both are part of every cache key — so a
+commit *is* the invalidation.  No entry is ever purged on write; entries
+of superseded versions simply stop being addressable and age out through
+the same bounded per-version window discipline the plan cache uses
+(:data:`repro.planner.cache.VERSION_STATS_LIMIT` distinct versions,
+oldest-first).
+
+What the cache stores is the **fully serialized response**: the daemon
+puts the exact one-line JSON bytes it wrote to the leader's socket, and
+every later hit is a byte-identical replay — no re-serialization, no
+chance of framing drift between cached and computed answers.  Keys
+normalize the query text through the same canonicalization the plan cache
+keys use (:func:`repro.planner.cache.canonical_query_text`), so
+``//book/title`` and an equivalently-spelled query share one slot.
+
+Accounting is byte-accurate: entries charge ``len(body)`` against the
+``capacity_bytes`` budget and evict least-recently-used first.  The
+``stale_served`` counter exists to make the central guarantee *measured*
+rather than assumed: because the version is folded into the key, a lookup
+can never return an entry recorded at a different version — the counter
+is bumped if that ever happens and the serving tests assert it stays 0.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+from repro.exceptions import CollectionError
+from repro.planner.cache import VERSION_STATS_LIMIT
+
+#: Default byte budget of a collection's result cache.  Large enough that
+#: a realistic hot query set fits whole, small enough to be irrelevant
+#: next to the partition cache; ``result_cache_bytes=0`` disables caching.
+DEFAULT_RESULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+def result_key(
+    query_text: str,
+    params: Tuple[Hashable, ...],
+    version: int,
+    fingerprint: str,
+) -> Tuple[Hashable, ...]:
+    """The canonical cache key for one serialized query answer.
+
+    ``query_text`` must already be canonical
+    (:func:`repro.planner.cache.canonical_query_text`), ``params`` is the
+    tuple of answer-shaping request parameters (translator, engine, limit,
+    count, serial, plan budget), ``version`` the collection commit counter
+    the answer is valid at and ``fingerprint`` the collection content
+    digest — so two stores that happen to share a version number can never
+    serve each other's bytes.
+    """
+    return (query_text, params, version, fingerprint)
+
+
+class ResultCache:
+    """A bounded, byte-accounted LRU of serialized query responses.
+
+    Thread-safe: the daemon's handler threads hit it concurrently, and a
+    leader publishing a fresh entry races follower lookups.  Every public
+    operation takes the single internal lock; counters are maintained
+    under it, so ``hits + misses`` equals the number of ``get`` calls even
+    under a stampede.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Byte budget over the cached bodies.  ``0`` (or ``None``) disables
+        the cache: ``get`` always misses and ``put`` is a no-op, so
+        callers never need their own enable checks beyond :attr:`enabled`.
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = DEFAULT_RESULT_CACHE_BYTES):
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise CollectionError("result cache capacity_bytes must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._lock = threading.Lock()
+        #: key -> (body bytes, version), LRU order (oldest first).
+        #: guarded-by: _lock
+        self._entries: "OrderedDict[Hashable, Tuple[bytes, int]]" = OrderedDict()
+        #: Per-version bookkeeping in first-seen order: the live keys of
+        #: that version plus its hit/miss/put counters.  Bounded to
+        #: VERSION_STATS_LIMIT versions — aging a version out drops its
+        #: remaining entries (that is the "invalidation for free" path)
+        #: and folds its counters into the ``evicted`` aggregate.
+        #: guarded-by: _lock
+        self._versions: "OrderedDict[int, Dict[str, object]]" = OrderedDict()
+        #: Aggregate of version rows that aged out of the window.
+        #: guarded-by: _lock
+        self._evicted_versions: Dict[str, int] = {
+            "versions": 0, "hits": 0, "misses": 0, "puts": 0,
+        }
+        self.hits = 0  #: guarded-by: _lock
+        self.misses = 0  #: guarded-by: _lock
+        self.evictions = 0  #: guarded-by: _lock
+        self.version_evictions = 0  #: guarded-by: _lock
+        self.stale_served = 0  #: guarded-by: _lock
+        self.puts = 0  #: guarded-by: _lock
+        self.oversize_rejections = 0  #: guarded-by: _lock
+        self.cached_bytes = 0  #: guarded-by: _lock
+        self.peak_cached_bytes = 0  #: guarded-by: _lock
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all (positive byte budget)."""
+        return bool(self.capacity_bytes)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _version_row(self, version: int) -> Dict[str, object]:  #: holds: _lock
+        # Callers hold self._lock.  Fetch-or-create the per-version row,
+        # aging the oldest version past the window — dropping its live
+        # entries and folding its counters, never silently.
+        row = self._versions.get(version)
+        if row is None:
+            row = {"keys": set(), "hits": 0, "misses": 0, "puts": 0}
+            self._versions[version] = row
+            while len(self._versions) > VERSION_STATS_LIMIT:
+                _, oldest = self._versions.popitem(last=False)
+                self.version_evictions += 1
+                self._evicted_versions["versions"] += 1
+                for counter in ("hits", "misses", "puts"):
+                    self._evicted_versions[counter] += oldest[counter]
+                keys: Set[Hashable] = oldest["keys"]  # type: ignore[assignment]
+                for key in keys:
+                    body, _ = self._entries.pop(key)
+                    self.cached_bytes -= len(body)
+                    self.evictions += 1
+        return row
+
+    def get(self, key: Hashable, version: Optional[int] = None) -> Optional[bytes]:
+        """The cached serialized body for ``key``, or ``None``.
+
+        ``version`` attributes the hit/miss to that collection version and
+        arms the staleness check: an entry recorded at any *other* version
+        bumps :attr:`stale_served` when returned.  Because versions are
+        folded into keys by :func:`result_key` this cannot happen — the
+        counter is the measured proof, asserted 0 by the serving tests.
+        """
+        with self._lock:
+            row = self._version_row(version) if version is not None else None
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                if row is not None:
+                    row["misses"] += 1  # type: ignore[operator]
+                return None
+            body, entry_version = entry
+            if version is not None and entry_version != version:
+                self.stale_served += 1
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if row is not None:
+                row["hits"] += 1  # type: ignore[operator]
+            return body
+
+    def put(self, key: Hashable, body: bytes, version: int) -> bool:
+        """Insert one serialized answer; returns whether it was admitted.
+
+        Rejected when the cache is disabled or ``body`` alone exceeds the
+        whole budget (counted in ``oversize_rejections``).  Admission
+        charges ``len(body)`` and evicts least-recently-used entries until
+        the total fits again.
+        """
+        if not self.enabled:
+            return False
+        size = len(body)
+        with self._lock:
+            row = self._version_row(version)
+            row["puts"] += 1  # type: ignore[operator]
+            self.puts += 1
+            if size > self.capacity_bytes:
+                self.oversize_rejections += 1
+                return False
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.cached_bytes -= len(previous[0])
+                previous_row = self._versions.get(previous[1])
+                if previous_row is not None:
+                    previous_row["keys"].discard(key)  # type: ignore[union-attr]
+            self._entries[key] = (body, version)
+            self.cached_bytes += size
+            row["keys"].add(key)  # type: ignore[union-attr]
+            while self.cached_bytes > self.capacity_bytes:
+                victim_key, (victim_body, victim_version) = self._entries.popitem(
+                    last=False
+                )
+                self.cached_bytes -= len(victim_body)
+                self.evictions += 1
+                victim_row = self._versions.get(victim_version)
+                if victim_row is not None:
+                    victim_row["keys"].discard(victim_key)  # type: ignore[union-attr]
+            if self.cached_bytes > self.peak_cached_bytes:
+                self.peak_cached_bytes = self.cached_bytes
+            return True
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._versions.clear()
+            self._evicted_versions = {
+                "versions": 0, "hits": 0, "misses": 0, "puts": 0,
+            }
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.version_evictions = 0
+            self.stale_served = 0
+            self.puts = 0
+            self.oversize_rejections = 0
+            self.cached_bytes = 0
+            self.peak_cached_bytes = 0
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Observability snapshot (``/stats`` and ``collection stats``).
+
+        Keys: ``budget_bytes`` (0/None = disabled), ``cached_bytes``,
+        ``peak_cached_bytes``, ``entries``, ``hits``, ``misses``,
+        ``evictions``, ``version_evictions``, ``stale_served``, ``puts``,
+        ``oversize_rejections`` and ``versions`` — per-version
+        hit/miss/put/entry counters, with an ``"evicted"`` aggregate row
+        once versions have aged out of the window.
+        """
+        with self._lock:
+            versions: Dict[object, Dict[str, int]] = {
+                version: {
+                    "hits": row["hits"],
+                    "misses": row["misses"],
+                    "puts": row["puts"],
+                    "entries": len(row["keys"]),  # type: ignore[arg-type]
+                }
+                for version, row in self._versions.items()
+            }
+            if self._evicted_versions["versions"]:
+                versions["evicted"] = dict(self._evicted_versions)
+            return {
+                "budget_bytes": self.capacity_bytes,
+                "cached_bytes": self.cached_bytes,
+                "peak_cached_bytes": self.peak_cached_bytes,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "version_evictions": self.version_evictions,
+                "stale_served": self.stale_served,
+                "puts": self.puts,
+                "oversize_rejections": self.oversize_rejections,
+                "versions": versions,
+            }
+
+    def describe(self) -> str:
+        """One-line rendering used by the CLI's ``collection stats``."""
+        snapshot = self.cache_stats()
+        budget = snapshot["budget_bytes"]
+        budget_text = f"{budget} byte budget" if budget else "disabled"
+        return (
+            f"result cache: {snapshot['cached_bytes']} bytes cached "
+            f"({budget_text}, peak {snapshot['peak_cached_bytes']}), "
+            f"{snapshot['entries']} entr(ies), "
+            f"{snapshot['hits']} hit(s), {snapshot['misses']} miss(es), "
+            f"{snapshot['evictions']} eviction(s), "
+            f"stale_served={snapshot['stale_served']}"
+        )

@@ -29,7 +29,12 @@ import dataclasses
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.collection.fanout import default_workers, merge_document_streams, run_jobs
+from repro.collection.fanout import (
+    default_workers,
+    merge_document_streams,
+    run_jobs,
+    run_morsel_warmup,
+)
 from repro.collection.result import CollectionResult, DocumentResult
 from repro.exceptions import CollectionError, SchemaError
 from repro.planner.cache import plan_key
@@ -256,13 +261,15 @@ class CollectionSnapshot:
         limit: Optional[int] = None,
         count_only: bool = False,
         plan_budget_ms: Optional[float] = None,
+        morsel: bool = True,
     ) -> CollectionResult:
         """Answer an XPath query over the frozen membership.
 
         Mirrors :meth:`BLASCollection.query` — same planning, fan-out and
-        merge machinery, byte-identical serial/parallel answers — but over
-        the snapshot's pinned members and with version-keyed plan-cache
-        entries, so concurrent commits change neither the answer nor its
+        merge machinery (morsel warm-up of cold partitions included),
+        byte-identical serial/parallel answers — but over the snapshot's
+        pinned members and with version-keyed plan-cache entries, so
+        concurrent commits change neither the answer nor its
         visited-element counters.
         """
         self._require_open()
@@ -278,6 +285,18 @@ class CollectionSnapshot:
                 workers=0,
             )
         started = time.perf_counter()
+        if workers < 1:
+            workers = self._collection.workers or default_workers(len(self._entries))
+        # As in the live collection path: slice cold-partition faulting and
+        # statistics building into pin-aware morsels before planning, so a
+        # cold multi-partition query uses the whole pool instead of paying
+        # the loads serially inside planning.
+        if morsel and parallel and workers > 1 and engine != "sqlite":
+            cold = self._store.cold_doc_ids(self.doc_ids())
+            if cold:
+                run_morsel_warmup(
+                    self._store, cold, workers=workers, include_data=not count_only
+                )
         plans = self._plans(tree, text, translator, engine, plan_budget_ms)
         jobs = [
             (
@@ -291,8 +310,6 @@ class CollectionSnapshot:
         # explicit sqlite engine always fans out serially (as in the live
         # collection path).
         sqlite_involved = any(planned.engine == "sqlite" for planned in plans.values())
-        if workers < 1:
-            workers = self._collection.workers or default_workers(len(jobs))
         use_parallel = (
             parallel and not sqlite_involved and len(jobs) > 1 and workers > 1
         )

@@ -27,6 +27,9 @@ from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple, Union
 
 from repro.exceptions import PlanError
+from repro.xpath.ast import LocationPath
+from repro.xpath.parser import parse_xpath
+from repro.xpath.query_tree import build_query_tree
 
 #: How many distinct collection versions keep per-version counters before
 #: the oldest are folded away (daemons bump versions on every commit; the
@@ -77,6 +80,16 @@ class PlanCache:
         #: pass ``version=`` (the daemon's snapshot query path).
         #: guarded-by: _lock
         self._version_stats: "OrderedDict[int, Dict[str, int]]" = OrderedDict()
+        self.version_evictions = 0  #: guarded-by: _lock
+        #: Aggregate of the version rows that aged out of the window —
+        #: their counters fold in here instead of vanishing, so the totals
+        #: in ``stats()["versions"]`` stay reconcilable with the global
+        #: hit/miss counters no matter how many commits a daemon lives
+        #: through.
+        #: guarded-by: _lock
+        self._evicted_version_stats: Dict[str, int] = {
+            "versions": 0, "hits": 0, "misses": 0, "plans": 0,
+        }
 
     @staticmethod
     def _plan_ms(value: object) -> Optional[float]:
@@ -92,13 +105,19 @@ class PlanCache:
 
     def _version_bucket(self, version: int) -> Dict[str, int]:  #: holds: _lock
         # Callers hold self._lock.  Fetch-or-create the per-version counter
-        # row, evicting the oldest row past VERSION_STATS_LIMIT.
+        # row, aging the oldest row past VERSION_STATS_LIMIT — folding its
+        # counters into the ``evicted`` aggregate rather than dropping
+        # them silently.
         bucket = self._version_stats.get(version)
         if bucket is None:
             bucket = {"hits": 0, "misses": 0, "plans": 0}
             self._version_stats[version] = bucket
             if len(self._version_stats) > VERSION_STATS_LIMIT:
-                self._version_stats.popitem(last=False)
+                _, evicted = self._version_stats.popitem(last=False)
+                self.version_evictions += 1
+                self._evicted_version_stats["versions"] += 1
+                for counter in ("hits", "misses", "plans"):
+                    self._evicted_version_stats[counter] += evicted[counter]
         return bucket
 
     def get(
@@ -169,6 +188,10 @@ class PlanCache:
             self.plan_ms_saved = 0.0
             self._plan_ms_histogram = dict.fromkeys(PLAN_MS_BUCKET_LABELS, 0)
             self._version_stats = OrderedDict()
+            self.version_evictions = 0
+            self._evicted_version_stats = {
+                "versions": 0, "hits": 0, "misses": 0, "plans": 0,
+            }
 
     def info(self) -> Dict[str, int]:
         """Counters snapshot (for tests and reports)."""
@@ -192,17 +215,25 @@ class PlanCache:
         miss plan times (fast-path selections populate the lowest buckets).
         ``versions`` maps each collection version that versioned callers
         (the daemon) queried under to its hit/miss/plans counters — empty
-        for pure library use.
+        for pure library use.  Versions aged out of the
+        :data:`VERSION_STATS_LIMIT` window are not dropped: their counters
+        fold into an ``"evicted"`` aggregate row (present only once at
+        least one version aged out), and ``version_evictions`` counts the
+        aged-out versions.
         """
         with self._lock:
             snapshot: Dict[str, object] = dict(self.info())
             snapshot["plan_ms_total"] = self.plan_ms_total
             snapshot["plan_ms_saved"] = self.plan_ms_saved
             snapshot["plan_ms_histogram"] = dict(self._plan_ms_histogram)
-            snapshot["versions"] = {
+            snapshot["version_evictions"] = self.version_evictions
+            versions: Dict[object, Dict[str, int]] = {
                 version: dict(bucket)
                 for version, bucket in self._version_stats.items()
             }
+            if self._evicted_version_stats["versions"]:
+                versions["evicted"] = dict(self._evicted_version_stats)
+            snapshot["versions"] = versions
             return snapshot
 
     def describe(self) -> str:
@@ -245,3 +276,18 @@ def plan_key(
     if version is None:
         return key
     return key + (version,)
+
+
+def canonical_query_text(query: Union[str, LocationPath]) -> str:
+    """The canonical spelling of a query — the shared cache-key normalizer.
+
+    Every cache keyed on query text must agree on one spelling, or
+    equivalent requests fragment across slots: the plan cache keys on the
+    query tree's ``to_xpath()`` rendering, and the daemon's result cache
+    (:mod:`repro.collection.result_cache`) must key on exactly the same
+    text so a result-cache miss that plans the query hits the plan cache
+    a different spelling already populated.  Parsing here also surfaces
+    XPath syntax errors *before* any cache or single-flight bookkeeping.
+    """
+    path = parse_xpath(query) if isinstance(query, str) else query
+    return build_query_tree(path).to_xpath()

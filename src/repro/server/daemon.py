@@ -18,6 +18,20 @@ partition cache across the whole workload.  The concurrency model:
   request; snapshot queries key plans by ``(…, fingerprint, version)``, so
   a commit cleanly invalidates the previous version's plans and per-version
   hit/miss counters stay attributable (``/stats`` shows them).
+* **Repeated reads are served from the result cache.**  ``/query`` keys
+  the fully serialized response bytes on (canonical query text, answer
+  parameters, collection version, collection fingerprint) in the
+  collection's :class:`~repro.collection.result_cache.ResultCache`; a hit
+  replays the exact bytes of the execution that populated it, and a
+  commit invalidates everything for free because the new version makes a
+  new key.  ``no_result_cache=1`` opts a request out.
+* **Identical misses coalesce onto one leader.**  A thundering herd of
+  concurrent identical (query, version) requests executes once: the first
+  request becomes the *leader* and runs the query; the others are
+  *followers* that block on the leader's published bytes, so follower
+  responses are byte-identical to the leader's.  A follower whose leader
+  failed falls back to executing for itself (errors are never cached or
+  shared).
 
 Errors are one-line JSON bodies ``{"error": …}`` with meaningful status
 codes: 400 for bad queries/parameters/XML, 404 for unknown paths and
@@ -39,6 +53,8 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.collection import BLASCollection
+from repro.collection.result_cache import result_key
+from repro.planner.cache import canonical_query_text
 from repro.exceptions import (
     CollectionError,
     EngineError,
@@ -68,6 +84,40 @@ class _RequestError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+def _encode(payload: Dict[str, object]) -> bytes:
+    """Serialize one response payload to its canonical one-line JSON bytes.
+
+    This is the *single* serialization point for ``/query`` answers: the
+    leader encodes once, and the result cache, coalesced followers and the
+    transport all carry these exact bytes — so cached, coalesced and
+    freshly computed responses are byte-identical by construction (the
+    golden tests pin the one-line framing).
+    """
+    return json.dumps(payload, separators=(", ", ": ")).encode("utf-8")
+
+
+#: How long a coalesced follower waits on its leader before giving up and
+#: executing for itself.  Generous: leaders run ordinary snapshot queries,
+#: and a follower timing out merely loses the coalescing win.
+_FOLLOWER_WAIT_SECONDS = 60.0
+
+
+class _Flight:
+    """One in-flight leader execution that followers wait on.
+
+    ``done`` is set exactly once, after ``body`` is published (the
+    leader's serialized 200 response) or left ``None`` (the leader
+    failed — followers fall back to executing themselves).
+    """
+
+    __slots__ = ("done", "body", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.body: Optional[bytes] = None
+        self.followers = 0  #: guarded-by: DaemonServer._flight_lock
 
 
 def _one_line(message: str) -> str:
@@ -122,6 +172,10 @@ class DaemonServer:
         Reject ``/query`` requests whose summed estimated plan cost
         (elements visited) exceeds this bound with HTTP 422, before
         executing anything.  ``None`` disables the guard.
+    plan_budget_ms:
+        Default plan-selection latency bound applied to every ``/query``
+        and ``/explain`` request that does not pass its own
+        ``plan_budget_ms`` parameter (``None`` = unbounded planning).
 
     Use :meth:`start`/:meth:`stop` for a background thread (tests,
     embedding) or :meth:`serve_forever` to run in the foreground (the
@@ -134,12 +188,28 @@ class DaemonServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_plan_cost: Optional[float] = None,
+        plan_budget_ms: Optional[float] = None,
     ) -> None:
         self.collection = collection
         self.max_plan_cost = max_plan_cost
+        self.plan_budget_ms = plan_budget_ms
         self._stats_lock = threading.Lock()
         self._requests: Dict[str, int] = {}  #: guarded-by: _stats_lock
         self._errors = 0  #: guarded-by: _stats_lock
+        #: Single-flight table: result-cache key -> in-flight leader
+        #: execution.  Entries live only while their leader runs.
+        self._flight_lock = threading.Lock()
+        self._flights: Dict[Tuple, _Flight] = {}  #: guarded-by: _flight_lock
+        #: Leaders whose flight was joined by at least one follower.
+        self._coalesced_leaders = 0  #: guarded-by: _stats_lock
+        #: Requests served by blocking on another request's execution.
+        self._coalesced_followers = 0  #: guarded-by: _stats_lock
+        #: Followers whose leader failed/timed out; they executed alone.
+        self._follower_fallbacks = 0  #: guarded-by: _stats_lock
+        #: Actual snapshot query executions (cache hits and coalesced
+        #: followers never increment this — a thundering herd of N
+        #: identical requests moves it by exactly 1).
+        self._query_executions = 0  #: guarded-by: _stats_lock
         self._thread: Optional[threading.Thread] = None
         self._http = ThreadingHTTPServer((host, port), _DaemonHandler)
         self._http.daemon_threads = True
@@ -196,12 +266,25 @@ class DaemonServer:
                 self._errors += 1
 
     def server_stats(self) -> Dict[str, object]:
-        """Request counters since startup (per endpoint, plus errors)."""
+        """Request counters since startup.
+
+        Per-endpoint request counts and errors, plus the serving-path
+        counters: ``query_executions`` (actual snapshot executions —
+        result-cache hits and coalesced followers don't move it),
+        ``coalesced_leaders``/``coalesced_followers`` (single-flight
+        proof: a herd of N identical requests is one leader with N-1
+        followers) and ``follower_fallbacks`` (followers whose leader
+        failed, so they executed for themselves).
+        """
         with self._stats_lock:
             return {
                 "requests": dict(sorted(self._requests.items())),
                 "requests_total": sum(self._requests.values()),
                 "errors": self._errors,
+                "query_executions": self._query_executions,
+                "coalesced_leaders": self._coalesced_leaders,
+                "coalesced_followers": self._coalesced_followers,
+                "follower_fallbacks": self._follower_fallbacks,
             }
 
     # -- endpoints ---------------------------------------------------------------
@@ -225,13 +308,24 @@ class DaemonServer:
             "collection": self.collection.stats(),
         }
 
-    def handle_query(self, params: Dict[str, str]) -> Tuple[int, Dict[str, object]]:
-        """``GET /query`` — snapshot-isolated query execution.
+    def handle_query(self, params: Dict[str, str]) -> Tuple[int, bytes]:
+        """``GET /query`` — the three-layer read-serving fast path.
 
         Parameters: ``q`` (required XPath), ``translator``, ``engine``,
         ``limit``, ``count`` (skip record materialization), ``serial``
-        (disable fan-out), ``plan_budget_ms``.  The response carries the
-        snapshot ``version`` the answer was computed at.
+        (disable fan-out), ``plan_budget_ms`` (defaults to the server's
+        ``--plan-budget-ms``), ``no_result_cache`` (bypass layer 1).  The
+        response carries the snapshot ``version`` the answer was computed
+        at; the returned payload is the serialized response bytes.
+
+        Layer 1 — **result cache**: look the canonical key up at the
+        current collection version; a hit replays the cached bytes.
+        Layer 2 — **single-flight**: a miss joins the flight table; only
+        the first request for a key executes, the rest block on its bytes.
+        Layer 3 — **execution**: the leader runs the snapshot query (with
+        morsel-parallel warm-up underneath), serializes once, publishes to
+        its followers and caches under the version it actually executed
+        at.
         """
         query = params.get("q")
         if not query:
@@ -241,11 +335,74 @@ class DaemonServer:
         limit = _int_param(params, "limit")
         count_only = _bool_param(params, "count")
         serial = _bool_param(params, "serial")
+        no_cache = _bool_param(params, "no_result_cache")
         plan_budget_ms = _float_param(params, "plan_budget_ms")
+        if plan_budget_ms is None:
+            plan_budget_ms = self.plan_budget_ms
+        # Canonicalization doubles as validation: syntax errors surface as
+        # HTTP 400 here, before any cache or flight bookkeeping.
+        text = canonical_query_text(query)
+        request = (text, translator, engine, limit, count_only, serial, plan_budget_ms)
+        cache = self.collection.result_cache
+        if no_cache or not cache.enabled:
+            body, _ = self._execute_query(request)
+            return 200, body
+        version = self.collection.version
+        key = result_key(
+            text, request[1:], version, self.collection.store.fingerprint()
+        )
+        cached = cache.get(key, version=version)
+        if cached is not None:
+            return 200, cached
+        with self._flight_lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+            else:
+                flight.followers += 1
+        if not leader:
+            with self._stats_lock:
+                self._coalesced_followers += 1
+            if flight.done.wait(_FOLLOWER_WAIT_SECONDS) and flight.body is not None:
+                return 200, flight.body
+            # The leader failed (or is pathologically slow): run the query
+            # for ourselves — its error, if any, is then ours to report.
+            with self._stats_lock:
+                self._follower_fallbacks += 1
+            body, _ = self._execute_query(request)
+            return 200, body
+        try:
+            body, executed_version = self._execute_query(request)
+            # Cache under the key only if the admitted snapshot really was
+            # the version the key promises — a commit racing in between
+            # means this answer belongs to a newer version and the next
+            # request at that version will cache it.
+            if executed_version == version:
+                cache.put(key, body, version=version)
+            flight.body = body
+            return 200, body
+        finally:
+            with self._flight_lock:
+                self._flights.pop(key, None)
+                had_followers = flight.followers > 0
+            if had_followers:
+                with self._stats_lock:
+                    self._coalesced_leaders += 1
+            flight.done.set()
+
+    def _execute_query(self, request: Tuple) -> Tuple[bytes, int]:
+        """Layer 3: execute one ``/query`` request against a fresh snapshot.
+
+        Returns the serialized one-line response bytes and the collection
+        version the snapshot was actually admitted at.
+        """
+        text, translator, engine, limit, count_only, serial, plan_budget_ms = request
         with self.collection.snapshot() as snapshot:
             if self.max_plan_cost is not None:
                 estimate = snapshot.estimate(
-                    query, translator=translator, engine=engine,
+                    text, translator=translator, engine=engine,
                     plan_budget_ms=plan_budget_ms,
                 )
                 if estimate > self.max_plan_cost:
@@ -255,7 +412,7 @@ class DaemonServer:
                         f"exceeds max_plan_cost={self.max_plan_cost:.0f}",
                     )
             result = snapshot.query(
-                query,
+                text,
                 translator=translator,
                 engine=engine,
                 parallel=not serial,
@@ -263,7 +420,9 @@ class DaemonServer:
                 count_only=count_only,
                 plan_budget_ms=plan_budget_ms,
             )
-            return 200, {
+            with self._stats_lock:
+                self._query_executions += 1
+            return _encode({
                 "version": snapshot.version,
                 "query": result.query_text,
                 "count": result.count,
@@ -286,19 +445,26 @@ class DaemonServer:
                     }
                     for record in result.records
                 ],
-            }
+            }), snapshot.version
 
     def handle_explain(self, params: Dict[str, str]) -> Tuple[int, Dict[str, object]]:
-        """``GET /explain`` — the snapshot's EXPLAIN text for a query."""
+        """``GET /explain`` — the snapshot's EXPLAIN text for a query.
+
+        ``plan_budget_ms`` defaults to the server's ``--plan-budget-ms``,
+        so EXPLAIN shows the plan a default ``/query`` would really run.
+        """
         query = params.get("q")
         if not query:
             raise _RequestError(400, "missing required parameter 'q'")
+        plan_budget_ms = _float_param(params, "plan_budget_ms")
+        if plan_budget_ms is None:
+            plan_budget_ms = self.plan_budget_ms
         with self.collection.snapshot() as snapshot:
             text = snapshot.explain(
                 query,
                 translator=params.get("translator", "auto"),
                 engine=params.get("engine", "auto"),
-                plan_budget_ms=_float_param(params, "plan_budget_ms"),
+                plan_budget_ms=plan_budget_ms,
             )
             return 200, {"version": snapshot.version, "explain": text}
 
@@ -350,10 +516,15 @@ class _DaemonHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Silence the default stderr access log (``/stats`` covers it)."""
 
-    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+    def _respond(self, status: int, payload) -> None:
         # Errors are one-line JSON; success payloads one line too — the
-        # golden tests pin that framing.
-        body = json.dumps(payload, separators=(", ", ": ")).encode("utf-8")
+        # golden tests pin that framing.  ``/query`` hands back already
+        # serialized bytes (so cache hits and coalesced followers replay
+        # the leader's exact bytes); dict payloads encode identically.
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+        else:
+            body = json.dumps(payload, separators=(", ", ": ")).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

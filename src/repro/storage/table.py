@@ -670,6 +670,47 @@ class StorageCatalog:
             return self.sd
         raise StorageError(f"unknown table source {source!r}")
 
+    #: Packed sections every scan path touches (label geometry + tags).
+    _HOT_SECTIONS = ("plabels", "starts", "ends", "levels", "tag_ids", "sd_order")
+    #: Packed sections only record materialization needs.
+    _DATA_SECTIONS = ("data_nulls", "data_ends", "data_blob")
+
+    def prefetch_sections(self, include_data: bool = True) -> List[str]:
+        """Names of the packed sections worth warming, unresolved-only.
+
+        The morsel warm-up driver slices one resolve task per returned
+        name.  A record-backed catalog has no packed sections to inflate
+        and returns ``[]``; ``include_data=False`` (count-only queries)
+        skips the text-payload sections that late materialization alone
+        would touch.
+        """
+        if self._partition is None:
+            return []
+        columns = self._partition.columns
+        names = [
+            name for name in self._HOT_SECTIONS
+            if not columns.section_resolved(name)
+        ]
+        if include_data:
+            names.extend(
+                name for name in self._DATA_SECTIONS
+                if not columns.section_resolved(name)
+            )
+        return names
+
+    def prefetch_section(self, name: str) -> None:
+        """Resolve one packed column section (idempotent, benign to race).
+
+        Touching the section property runs the same lazy resolve the
+        engines would trigger mid-scan — file read, zlib inflate, checksum
+        — which releases the GIL, so concurrent prefetches of different
+        sections genuinely overlap.  Racing a query on the same section is
+        safe: resolution decodes immutable bytes and is idempotent.
+        """
+        if self._partition is None:
+            return
+        getattr(self._partition.columns, name)
+
     def resident_bytes(self) -> Optional[int]:
         """Estimated heap bytes of the partition's decoded column data.
 
@@ -1165,6 +1206,51 @@ class PartitionedCatalog:
             if doc_id in self._lazy:
                 return False
             raise StorageError(f"doc_id {doc_id} is not part of this store")
+
+    def cold_doc_ids(self, doc_ids: Sequence[int]) -> List[int]:
+        """The subset of ``doc_ids`` whose partitions are pending a load.
+
+        The morsel warm-up gate: warming only cold partitions keeps the
+        hot serving path free of pool churn — on a fully resident store
+        this returns ``[]`` and warm-up is skipped entirely.  Unknown or
+        removed-but-pinned doc_ids are simply not cold (they are excluded
+        rather than raising, because callers race commits by design).
+        """
+        with self._lock:
+            return [doc_id for doc_id in doc_ids if doc_id in self._lazy]
+
+    def prefetch_morsels(
+        self, doc_id: int, include_data: bool = True
+    ) -> List[Callable[[], None]]:
+        """Pin-aware warm-up tasks for one partition (the morsel slicing).
+
+        Faults the partition in under its own pin — so a concurrent
+        eviction can never undo the load mid-slicing — and returns one
+        zero-argument task per unresolved packed column section, plus one
+        task that builds the partition's statistics (what planning
+        consumes).  Every returned task re-pins for its own duration:
+        tasks may run on any pool thread at any later point, and the pin
+        is what keeps the section resolve safe against eviction and
+        removal no matter when it runs.  Tasks are idempotent and safe to
+        race with queries on the same partition.
+        """
+        with self.pinned(doc_id) as catalog:
+            sections = catalog.prefetch_sections(include_data=include_data)
+
+        def section_task(name: str) -> Callable[[], None]:
+            def resolve() -> None:
+                with self.pinned(doc_id) as pinned_catalog:
+                    pinned_catalog.prefetch_section(name)
+
+            return resolve
+
+        def statistics_task() -> None:
+            with self.pinned(doc_id) as pinned_catalog:
+                pinned_catalog.statistics()
+
+        tasks: List[Callable[[], None]] = [section_task(name) for name in sections]
+        tasks.append(statistics_task)
+        return tasks
 
     def doc_ids(self) -> List[int]:
         """Member doc_ids in ascending order."""

@@ -1,0 +1,168 @@
+"""Unit tests for the version-keyed serialized-response result cache.
+
+The cache's contract is byte-exact replay under a byte-exact budget:
+entries charge ``len(body)``, evict LRU-first, age out whole versions
+through the same bounded window the plan cache uses, and keep counters
+that add up (``hits + misses == get calls``).  The staleness check is the
+paper-trail for the serving guarantee: keys fold the version in, so
+``stale_served`` must never move.
+"""
+
+import pytest
+
+from repro.collection.result_cache import (
+    DEFAULT_RESULT_CACHE_BYTES,
+    ResultCache,
+    result_key,
+)
+from repro.exceptions import CollectionError
+from repro.planner.cache import VERSION_STATS_LIMIT, canonical_query_text
+
+
+def _key(query="//a", version=1, fingerprint="fp", params=("auto",)):
+    return result_key(query, params, version, fingerprint)
+
+
+def test_roundtrip_returns_identical_bytes():
+    cache = ResultCache(capacity_bytes=1024)
+    body = b'{"count": 3}'
+    assert cache.put(_key(), body, version=1)
+    assert cache.get(_key(), version=1) is body
+    stats = cache.cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 0
+    assert stats["cached_bytes"] == len(body)
+    assert stats["stale_served"] == 0
+
+
+def test_key_components_all_discriminate():
+    cache = ResultCache(capacity_bytes=1024)
+    cache.put(_key(), b"x", version=1)
+    assert cache.get(_key(query="//b")) is None
+    assert cache.get(_key(version=2)) is None
+    assert cache.get(_key(fingerprint="other")) is None
+    assert cache.get(_key(params=("sqlite",))) is None
+    assert cache.get(_key()) == b"x"
+
+
+def test_lru_eviction_is_byte_accounted():
+    cache = ResultCache(capacity_bytes=100)
+    cache.put(_key("//a"), b"a" * 40, version=1)
+    cache.put(_key("//b"), b"b" * 40, version=1)
+    # Touch //a so //b is the LRU victim when //c overflows the budget.
+    assert cache.get(_key("//a")) is not None
+    cache.put(_key("//c"), b"c" * 40, version=1)
+    assert cache.get(_key("//b")) is None
+    assert cache.get(_key("//a")) is not None
+    assert cache.get(_key("//c")) is not None
+    stats = cache.cache_stats()
+    assert stats["evictions"] == 1
+    assert stats["cached_bytes"] == 80 <= stats["budget_bytes"]
+    assert stats["peak_cached_bytes"] == 80
+
+
+def test_replacing_an_entry_does_not_double_charge():
+    cache = ResultCache(capacity_bytes=100)
+    cache.put(_key(), b"x" * 60, version=1)
+    cache.put(_key(), b"y" * 30, version=1)
+    stats = cache.cache_stats()
+    assert stats["entries"] == 1
+    assert stats["cached_bytes"] == 30
+    assert stats["evictions"] == 0
+
+
+def test_oversize_bodies_are_rejected_not_cached():
+    cache = ResultCache(capacity_bytes=10)
+    assert not cache.put(_key(), b"x" * 11, version=1)
+    assert cache.get(_key()) is None
+    stats = cache.cache_stats()
+    assert stats["oversize_rejections"] == 1
+    assert stats["entries"] == 0 and stats["cached_bytes"] == 0
+
+
+def test_disabled_cache_never_stores():
+    for capacity in (0, None):
+        cache = ResultCache(capacity_bytes=capacity)
+        assert not cache.enabled
+        assert not cache.put(_key(), b"x", version=1)
+        assert cache.get(_key(), version=1) is None
+        assert cache.cache_stats()["entries"] == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(CollectionError):
+        ResultCache(capacity_bytes=-1)
+
+
+def test_old_versions_age_out_with_their_entries():
+    cache = ResultCache(capacity_bytes=DEFAULT_RESULT_CACHE_BYTES)
+    total = VERSION_STATS_LIMIT + 8
+    for version in range(1, total + 1):
+        cache.put(_key(version=version), b"x" * 10, version=version)
+    stats = cache.cache_stats()
+    assert stats["version_evictions"] == 8
+    # The aged-out versions took their live entries with them — that is
+    # the bounded-memory half of "a commit is the invalidation".
+    assert stats["entries"] == VERSION_STATS_LIMIT
+    assert stats["cached_bytes"] == VERSION_STATS_LIMIT * 10
+    assert stats["evictions"] == 8
+    evicted = stats["versions"]["evicted"]
+    assert evicted["versions"] == 8 and evicted["puts"] == 8
+    assert cache.get(_key(version=1), version=1) is None
+    assert cache.get(_key(version=total), version=total) is not None
+
+
+def test_counters_add_up_and_stale_served_stays_zero():
+    cache = ResultCache(capacity_bytes=1024)
+    gets = 0
+    for version in (1, 2, 3):
+        key = _key(version=version)
+        assert cache.get(key, version=version) is None
+        cache.put(key, b"v%d" % version, version=version)
+        assert cache.get(key, version=version) == b"v%d" % version
+        gets += 2
+    stats = cache.cache_stats()
+    assert stats["hits"] + stats["misses"] == gets
+    assert stats["stale_served"] == 0
+    assert stats["versions"][2] == {"hits": 1, "misses": 1, "puts": 1, "entries": 1}
+
+
+def test_stale_detector_arms_on_version_mismatch():
+    # The daemon always folds the version into the key, so this cannot
+    # happen on the serving path — the detector exists to prove that, and
+    # this test proves the detector itself works.
+    cache = ResultCache(capacity_bytes=1024)
+    key = ("shared-key-without-version",)
+    cache.put(key, b"old", version=1)
+    assert cache.get(key, version=2) == b"old"
+    assert cache.cache_stats()["stale_served"] == 1
+
+
+def test_clear_resets_everything():
+    cache = ResultCache(capacity_bytes=1024)
+    cache.put(_key(), b"x", version=1)
+    cache.get(_key(), version=1)
+    cache.clear()
+    stats = cache.cache_stats()
+    assert stats["entries"] == 0 and stats["cached_bytes"] == 0
+    assert stats["hits"] == 0 and stats["misses"] == 0 and stats["puts"] == 0
+    assert stats["versions"] == {}
+
+
+def test_describe_one_liner():
+    cache = ResultCache(capacity_bytes=1024)
+    cache.put(_key(), b"xyz", version=1)
+    text = cache.describe()
+    assert text.startswith("result cache: 3 bytes cached (1024 byte budget")
+    assert "stale_served=0" in text
+    assert "\n" not in text
+    assert "disabled" in ResultCache(capacity_bytes=0).describe()
+
+
+def test_canonical_query_text_normalizes_spelling():
+    # Two spellings of the same path share one canonical form — and
+    # therefore one result-cache slot.
+    assert canonical_query_text("//book/title") == canonical_query_text(
+        "// book / title".replace(" ", "")
+    )
+    with pytest.raises(Exception):
+        canonical_query_text("//book[")
